@@ -1,0 +1,288 @@
+(* Benchmark and experiment harness.
+
+   `dune exec bench/main.exe`              — regenerate every table/figure
+                                             (reduced default scales) plus
+                                             bechamel micro-benchmarks.
+   `dune exec bench/main.exe -- table1`    — Table I only (add
+                                             `rows=<n>` to rescale).
+   Other targets: figure3, attack, ablation-semantics, ablation-horizontal,
+   ablation-workload, ablation-modes, micro. *)
+
+open Snf_experiments
+
+let arg_value key default =
+  let prefix = key ^ "=" in
+  Array.fold_left
+    (fun acc a ->
+      if String.length a > String.length prefix
+         && String.sub a 0 (String.length prefix) = prefix
+      then
+        int_of_string (String.sub a (String.length prefix)
+                         (String.length a - String.length prefix))
+      else acc)
+    default Sys.argv
+
+let wants target =
+  let explicit = ref [] in
+  Array.iteri (fun i a -> if i > 0 && not (String.contains a '=') then explicit := a :: !explicit) Sys.argv;
+  match !explicit with
+  | [] -> true (* no target: run everything *)
+  | targets -> List.mem target targets || List.mem "all" targets
+
+let section title = Printf.printf "\n=== %s ===\n%!" title
+
+let run_table1 () =
+  section "Table I";
+  let rows = arg_value "rows" 20_000 in
+  let config = { Table1.default_config with Table1.rows } in
+  print_string (Table1.render (Table1.run ~config ()))
+
+let run_figure3 () =
+  section "Figure 3";
+  let rows = arg_value "rows" 20_000 in
+  let config = { Figure3.default_config with Figure3.rows } in
+  print_string (Figure3.render (Figure3.run ~config ()))
+
+let run_attack () =
+  section "Attack evaluation";
+  print_string (Attack_eval.render (Attack_eval.run ()));
+  Printf.printf "\nOrder vs equality leakage (dense 50-value column, 3000 rows):\n";
+  List.iter
+    (fun (label, acc) -> Printf.printf "  %-28s %5.1f%%\n" label (100.0 *. acc))
+    (Attack_eval.run_sorting ())
+
+let run_ablations () =
+  if wants "ablation-semantics" then begin
+    section "Ablation: semantics";
+    print_string (Ablations.semantics ())
+  end;
+  if wants "ablation-horizontal" then begin
+    section "Ablation: horizontal partitioning";
+    print_string (Ablations.horizontal ())
+  end;
+  if wants "ablation-workload" then begin
+    section "Ablation: workload-aware partitioning";
+    print_string (Ablations.workload ())
+  end;
+  if wants "ablation-modes" then begin
+    section "Ablation: reconstruction modes (measured)";
+    print_string (Ablations.modes ())
+  end;
+  if wants "ablation-index" then begin
+    section "Ablation: equality indexes";
+    print_string (Ablations.index ())
+  end;
+  if wants "ablation-dynamic" then begin
+    section "Ablation: dynamic inserts";
+    print_string (Ablations.dynamic ())
+  end;
+  if wants "ablation-knowledge" then begin
+    section "Ablation: knowledge acquisition";
+    print_string (Ablations.knowledge ())
+  end
+
+(* --- parameter sweeps ----------------------------------------------------------- *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let run_sweeps () =
+  section "Parameter sweeps";
+  (* Path ORAM: cost per access vs capacity (expected ~log n). *)
+  Printf.printf "\nPath ORAM: per-access bucket touches and wall time vs capacity\n";
+  List.iter
+    (fun n ->
+      let prng = Snf_crypto.Prng.create 3 in
+      let oram = Snf_exec.Path_oram.create ~num_blocks:n ~block_size:32 prng in
+      for i = 0 to n - 1 do
+        Snf_exec.Path_oram.write oram i (String.make 32 'x')
+      done;
+      let before = Snf_exec.Path_oram.bucket_touches oram in
+      let accesses = 2_000 in
+      let (), dt =
+        time (fun () ->
+            for i = 0 to accesses - 1 do
+              ignore (Snf_exec.Path_oram.read oram (i * 37 mod n))
+            done)
+      in
+      Printf.printf "  n=%6d  touches/access=%5.1f  time/access=%6.1f µs\n" n
+        (float_of_int (Snf_exec.Path_oram.bucket_touches oram - before)
+        /. float_of_int accesses)
+        (dt /. float_of_int accesses *. 1e6))
+    [ 64; 256; 1024; 4096; 16384 ];
+  (* Oblivious join: comparisons and time vs side cardinality. *)
+  Printf.printf "\nOblivious sort-merge join vs side cardinality\n";
+  List.iter
+    (fun n ->
+      let rows = List.init n (fun i -> [ i; i * 3 ]) in
+      let r =
+        Snf_relational.Relation.create
+          (Snf_relational.Schema.of_attributes
+             Snf_relational.[ Attribute.int "a"; Attribute.int "b" ])
+          (List.map
+             (fun row ->
+               Array.of_list (List.map (fun v -> Snf_relational.Value.Int v) row))
+             rows)
+      in
+      let policy =
+        Snf_core.Policy.create
+          [ ("a", Snf_crypto.Scheme.Det); ("b", Snf_crypto.Scheme.Ndet) ]
+      in
+      let g = Snf_deps.Dep_graph.create [ "a"; "b" ] in
+      let g = Snf_deps.Dep_graph.declare_dependent g "a" "b" in
+      let owner = Snf_exec.System.outsource ~name:"sweep" ~graph:g r policy in
+      match owner.Snf_exec.System.enc.Snf_exec.Enc_relation.leaves with
+      | [ la; lb ] ->
+        let stats = Snf_exec.Oblivious_join.fresh_stats () in
+        let _, dt =
+          time (fun () ->
+              ignore
+                (Snf_exec.Oblivious_join.join_indices stats
+                   owner.Snf_exec.System.client la lb))
+        in
+        Printf.printf "  n=%6d  comparisons=%9d  time=%8.1f ms\n" n
+          stats.Snf_exec.Oblivious_join.comparisons (dt *. 1e3)
+      | _ -> ())
+    [ 256; 1024; 4096 ];
+  (* Binning: bandwidth overhead vs bin size at fixed selectivity. *)
+  Printf.printf "\nQuery binning: bandwidth overhead vs bin size (universe 4096, 16 wanted)\n";
+  let key = Snf_crypto.Prf.key_of_string "sweep-bin" in
+  let wanted = List.init 16 (fun i -> i * 255) in
+  List.iter
+    (fun bin_size ->
+      let s = Snf_exec.Binning.schedule ~key ~universe:4096 ~bin_size wanted in
+      Printf.printf "  bin=%4d  retrieved=%6d  overhead=%6.1fx  anonymity=%d\n" bin_size
+        s.Snf_exec.Binning.retrieved (Snf_exec.Binning.overhead s)
+        (Snf_exec.Binning.anonymity s))
+    [ 8; 32; 128; 512 ];
+  (* OPE: encryption cost vs domain bits (one PRF path per bit). *)
+  Printf.printf "\nOPE encryption time vs domain bits\n";
+  List.iter
+    (fun bits ->
+      let ope =
+        Snf_crypto.Ope.create ~key:(Snf_crypto.Prf.key_of_string "sweep-ope")
+          ~domain_bits:bits ()
+      in
+      let reps = 2_000 in
+      let (), dt =
+        time (fun () ->
+            for i = 0 to reps - 1 do
+              ignore (Snf_crypto.Ope.encrypt ope (i land ((1 lsl bits) - 1)))
+            done)
+      in
+      Printf.printf "  bits=%2d  time/op=%6.1f µs\n" bits
+        (dt /. float_of_int reps *. 1e6))
+    [ 8; 16; 24; 32 ]
+
+(* --- bechamel micro-benchmarks ------------------------------------------------ *)
+
+let micro_tests () =
+  let open Bechamel in
+  let acs =
+    Snf_workload.Acs.generate
+      { Snf_workload.Acs.rows = 500;
+        seed = 1;
+        cluster_sizes = [ 8; 5; 3 ];
+        independent_attrs = 6 }
+  in
+  let policy =
+    Snf_workload.Sensitivity.annotate ~weak:14 ~seed:2
+      (Snf_relational.Relation.schema acs.Snf_workload.Acs.relation)
+  in
+  let graph = acs.Snf_workload.Acs.graph in
+  let key = Snf_crypto.Prf.key_of_string "bench" in
+  let ope = Snf_crypto.Ope.create ~key ~domain_bits:32 () in
+  let prng = Snf_crypto.Prng.create 9 in
+  let paillier = Snf_crypto.Paillier.key_gen ~prime_bits:48 prng in
+  let det = Snf_crypto.Det.key_of_string "bench" in
+  let sort_input = Array.init 1024 (fun i -> (i * 7919) mod 1024) in
+  let client =
+    Snf_exec.Enc_relation.make_client ~relation_name:"bench" ~master:"m" ()
+  in
+  let small_rep = Snf_core.Strategy.non_repeating graph policy in
+  let enc =
+    Snf_exec.Enc_relation.encrypt client acs.Snf_workload.Acs.relation small_rep
+  in
+  let two_leaves =
+    match enc.Snf_exec.Enc_relation.leaves with
+    | a :: b :: _ -> (a, b)
+    | _ -> failwith "bench: expected at least two leaves"
+  in
+  let oram =
+    Snf_exec.Path_oram.create ~num_blocks:1024 ~block_size:64
+      (Snf_crypto.Prng.create 5)
+  in
+  for i = 0 to 1023 do
+    Snf_exec.Path_oram.write oram i (String.make 64 (Char.chr (i land 0xff)))
+  done;
+  [ Test.make ~name:"table1/leakage-closure (231-attr leaf audit)"
+      (Staged.stage (fun () ->
+           ignore
+             (Snf_core.Closure.analyze_colocated graph
+                (List.map
+                   (fun a -> (a, Snf_core.Policy.scheme_of policy a))
+                   (Snf_core.Policy.attrs policy)))));
+    Test.make ~name:"table1/non-repeating partitioning"
+      (Staged.stage (fun () -> ignore (Snf_core.Strategy.non_repeating graph policy)));
+    Test.make ~name:"table1/max-repeating partitioning"
+      (Staged.stage (fun () -> ignore (Snf_core.Strategy.max_repeating graph policy)));
+    Test.make ~name:"figure3/oblivious-join (500x500)"
+      (Staged.stage (fun () ->
+           let stats = Snf_exec.Oblivious_join.fresh_stats () in
+           let a, b = two_leaves in
+           ignore (Snf_exec.Oblivious_join.join_indices stats client a b)));
+    Test.make ~name:"figure3/bitonic-sort-1024"
+      (Staged.stage (fun () ->
+           let arr = Array.copy sort_input in
+           Snf_exec.Bitonic.sort ~cmp:Int.compare arr));
+    Test.make ~name:"exec/path-oram-access (1024 blocks)"
+      (Staged.stage (fun () -> ignore (Snf_exec.Path_oram.read oram 511)));
+    Test.make ~name:"crypto/ope-encrypt-32bit"
+      (Staged.stage
+         (let c = ref 0 in
+          fun () ->
+            incr c;
+            ignore (Snf_crypto.Ope.encrypt ope (!c land 0xFFFF))));
+    Test.make ~name:"crypto/det-encrypt"
+      (Staged.stage (fun () -> ignore (Snf_crypto.Det.encrypt det "benchmark-cell")));
+    Test.make ~name:"crypto/paillier-encrypt"
+      (Staged.stage (fun () ->
+           ignore (Snf_crypto.Paillier.encrypt_int prng paillier.Snf_crypto.Paillier.public 42)))
+  ]
+
+let run_micro () =
+  section "Micro-benchmarks (bechamel)";
+  let open Bechamel in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 500) () in
+  let grouped = Test.make_grouped ~name:"snf" ~fmt:"%s %s" (micro_tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results =
+    List.map (fun instance -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true
+                                              ~predictors:[| Measure.run |]) instance raw)
+      instances
+  in
+  let merged = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:true
+                                ~predictors:[| Measure.run |]) instances results in
+  Hashtbl.iter
+    (fun measure per_test ->
+      Printf.printf "  [%s]\n" measure;
+      let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) per_test [] in
+      List.iter
+        (fun (name, result) ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "    %-50s %12.1f ns/run\n" name est
+          | _ -> Printf.printf "    %-50s (no estimate)\n" name)
+        (List.sort compare rows))
+    merged
+
+let () =
+  if wants "table1" then run_table1 ();
+  if wants "figure3" then run_figure3 ();
+  if wants "attack" then run_attack ();
+  run_ablations ();
+  if wants "sweeps" then run_sweeps ();
+  if wants "micro" then run_micro ();
+  Printf.printf "\nbench: done\n"

@@ -1,0 +1,308 @@
+(* snf_cli — command-line front end for the Secure Normal Form library.
+
+   Subcommands:
+     demo       walk through the paper's Example 1 end to end
+     analyze    mine dependencies from a CSV and audit a representation
+     normalize  partition a CSV into SNF and report the representation
+     query      outsource a CSV and run a point query securely
+     table1 / figure3 / attack   regenerate the paper's experiments *)
+
+open Cmdliner
+open Snf_relational
+module Scheme = Snf_crypto.Scheme
+open Snf_core
+
+(* --- shared argument parsing -------------------------------------------------- *)
+
+let parse_enc_spec spec =
+  (* "State=NDET,ZipCode=DET" *)
+  String.split_on_char ',' spec
+  |> List.filter (fun s -> s <> "")
+  |> List.map (fun pair ->
+         match String.index_opt pair '=' with
+         | None -> failwith (Printf.sprintf "bad annotation %S (want attr=SCHEME)" pair)
+         | Some i ->
+           let attr = String.sub pair 0 i in
+           let scheme_name = String.sub pair (i + 1) (String.length pair - i - 1) in
+           (match Scheme.of_string scheme_name with
+            | Some s -> (attr, s)
+            | None -> failwith (Printf.sprintf "unknown scheme %S" scheme_name)))
+
+let load_csv path = Csv.load path
+
+let policy_of ~enc ~default r =
+  let overrides = parse_enc_spec enc in
+  let default =
+    match Scheme.of_string default with
+    | Some s -> s
+    | None -> failwith (Printf.sprintf "unknown default scheme %S" default)
+  in
+  Policy.of_schema ~default ~overrides (Relation.schema r)
+
+let csv_arg =
+  Arg.(required & opt (some file) None & info [ "csv" ] ~docv:"FILE"
+         ~doc:"Input relation as CSV with a name:type header.")
+
+let enc_arg =
+  Arg.(value & opt string "" & info [ "enc" ] ~docv:"SPEC"
+         ~doc:"Encryption annotation, e.g. ZipCode=DET,Income=OPE. \
+               Schemes: PLAIN, NDET (AES), DET, OPE, ORE, PHE.")
+
+let default_scheme_arg =
+  Arg.(value & opt string "NDET" & info [ "default" ] ~docv:"SCHEME"
+         ~doc:"Scheme for unannotated attributes (default NDET).")
+
+let strategy_arg =
+  let strategy_conv =
+    Arg.enum
+      [ ("naive", `Naive); ("strawman", `Strawman); ("all-strong", `All_strong);
+        ("non-repeating", `Non_repeating); ("max-repeating", `Max_repeating);
+        ("exhaustive", `Exhaustive) ]
+  in
+  Arg.(value & opt strategy_conv `Non_repeating & info [ "strategy" ] ~docv:"STRATEGY"
+         ~doc:"Partitioning strategy (default non-repeating).")
+
+let semantics_arg =
+  let semantics_conv =
+    Arg.enum [ ("strict", Semantics.Strict); ("marginal", Semantics.Marginal) ]
+  in
+  Arg.(value & opt semantics_conv Semantics.Strict & info [ "semantics" ]
+         ~doc:"Leakage semantics: strict (default) also forbids joint exposure \
+               of dependent weak columns; marginal follows the paper's literal rule.")
+
+let rows_arg default =
+  Arg.(value & opt int default & info [ "rows" ] ~docv:"N" ~doc:"Dataset scale.")
+
+let deps_arg =
+  Arg.(value & opt (some file) None & info [ "deps" ] ~docv:"FILE"
+         ~doc:"Dependence specification in the Spec_lang format (one \
+               declaration per line: `A -> B`, `A ~ B`, `A _|_ B`, \
+               `A _|_ B | C = v`). When omitted, dependencies are mined \
+               from the data.")
+
+let graph_of ~deps r =
+  match deps with
+  | None -> Snf_deps.Dep_graph.of_relation r
+  | Some path ->
+    let ic = open_in path in
+    let text =
+      Fun.protect ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    (match
+       Snf_deps.Spec_lang.parse
+         ~universe:(Schema.names (Relation.schema r)) text
+     with
+     | Ok g -> g
+     | Error e -> failwith ("dependence spec: " ^ e))
+
+(* --- demo ---------------------------------------------------------------------- *)
+
+let demo_cmd =
+  let run () =
+    let r =
+      Relation.create
+        (Schema.of_attributes
+           [ Attribute.int "tid"; Attribute.text "State"; Attribute.int "ZipCode" ])
+        [ [| Value.Int 218; Value.Text "TX"; Value.Int 75050 |];
+          [| Value.Int 589; Value.Text "TX"; Value.Int 75050 |];
+          [| Value.Int 402; Value.Text "CA"; Value.Int 94202 |] ]
+    in
+    let base = Relation.project r [ "State"; "ZipCode" ] in
+    Printf.printf "Example 1 (paper, Fig. 1): a relation with ZipCode -> State\n\n";
+    Format.printf "%a@." (Relation.pp ~max_rows:5) r;
+    let policy = Policy.create [ ("State", Scheme.Ndet); ("ZipCode", Scheme.Det) ] in
+    Printf.printf "Annotation: State=NDET (strong), ZipCode=DET (weak, equality leaks)\n\n";
+    let g = Snf_deps.Dep_graph.of_relation base in
+    Printf.printf "Mined dependence: ZipCode ~ State: %b\n\n"
+      (Snf_deps.Dep_graph.dependent g "ZipCode" "State");
+    let strawman = Strategy.strawman policy in
+    Printf.printf "Strawman (co-located, as naive CryptDB usage):\n";
+    List.iter
+      (fun v -> Format.printf "  UNINTENDED: %a@." Audit.pp_violation v)
+      (Audit.violations g policy strawman);
+    let nr = Strategy.non_repeating g policy in
+    Format.printf "@.SNF normalization (non-repeating): %a@." Partition.pp nr;
+    Printf.printf "SNF: %b; maximally permissive: %b\n\n"
+      (Audit.is_snf g policy nr)
+      (Maximal.is_maximally_permissive g policy nr);
+    let owner = Snf_exec.System.outsource ~name:"demo" ~graph:g base policy in
+    let q = Snf_exec.Query.point ~select:[ "State" ] [ ("ZipCode", Value.Int 75050) ] in
+    (match Snf_exec.System.query owner q with
+     | Ok (ans, trace) ->
+       Format.printf "Query: %a@." Snf_exec.Query.pp q;
+       Format.printf "Answer:@.%a@." (Relation.pp ~max_rows:5) ans;
+       Format.printf "Trace: %a@." Snf_exec.Executor.pp_trace trace
+     | Error e -> Printf.printf "query failed: %s\n" e);
+    Printf.printf "\nThe adversary's view: run `snf_cli attack` to see the difference.\n"
+  in
+  Cmd.v (Cmd.info "demo" ~doc:"Walk through the paper's Example 1 end to end.")
+    Term.(const run $ const ())
+
+(* --- analyze -------------------------------------------------------------------- *)
+
+let analyze_cmd =
+  let run csv enc default semantics deps =
+    let r = load_csv csv in
+    let policy = policy_of ~enc ~default r in
+    let g = graph_of ~deps r in
+    Printf.printf "Mined %d functional dependencies; %.0f%% of pairs decided.\n\n"
+      (List.length (Snf_deps.Dep_graph.fds g))
+      (100.0 *. Snf_deps.Dep_graph.completeness g);
+    List.iter
+      (fun fd -> Format.printf "  %a@." Fd.pp fd)
+      (Snf_deps.Dep_graph.fds g);
+    let strawman = Strategy.strawman policy in
+    Printf.printf "\nLeakage closure of the co-located (strawman) representation:\n";
+    List.iter
+      (fun (attr, leaked, allowed, ok) ->
+        Printf.printf "  %-20s leaks %-8s allowed %-8s %s\n" attr
+          (Leakage.kind_to_string leaked)
+          (Leakage.kind_to_string allowed)
+          (if ok then "ok" else "UNINTENDED"))
+      (Audit.closure_report g policy strawman);
+    print_newline ();
+    print_string (Explain.report ~semantics g policy strawman)
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Mine dependencies and audit the co-located representation.")
+    Term.(const run $ csv_arg $ enc_arg $ default_scheme_arg $ semantics_arg $ deps_arg)
+
+(* --- normalize ------------------------------------------------------------------ *)
+
+let normalize_cmd =
+  let run csv enc default strategy semantics deps =
+    let r = load_csv csv in
+    let policy = policy_of ~enc ~default r in
+    let g = graph_of ~deps r in
+    let plan = Normalizer.plan_with_graph ~semantics ~strategy g policy in
+    Format.printf "%a@." Normalizer.pp plan;
+    Printf.printf "repetition factor: %.2f\n"
+      (Partition.repetition_factor plan.Normalizer.representation);
+    Printf.printf "maximally permissive: %b\n"
+      (Maximal.is_maximally_permissive ~semantics g policy plan.Normalizer.representation);
+    if not plan.Normalizer.snf then begin
+      Printf.printf "violations:\n";
+      List.iter
+        (fun v -> Format.printf "  %a@." Audit.pp_violation v)
+        (Audit.violations ~semantics g policy plan.Normalizer.representation)
+    end
+  in
+  Cmd.v (Cmd.info "normalize" ~doc:"Partition a relation into secure normal form.")
+    Term.(const run $ csv_arg $ enc_arg $ default_scheme_arg $ strategy_arg $ semantics_arg
+          $ deps_arg)
+
+(* --- query ----------------------------------------------------------------------- *)
+
+let query_cmd =
+  let select_arg =
+    Arg.(required & opt (some string) None & info [ "select" ] ~docv:"ATTRS"
+           ~doc:"Comma-separated projection attributes.")
+  in
+  let where_arg =
+    Arg.(value & opt string "" & info [ "where" ] ~docv:"PREDS"
+           ~doc:"Comma-separated point predicates attr=value (values typed \
+                 against the schema).")
+  in
+  let mode_arg =
+    let mode_conv =
+      Arg.enum [ ("sort-merge", `Sort_merge); ("oram", `Oram); ("binning", `Binning 16) ]
+    in
+    Arg.(value & opt mode_conv `Sort_merge & info [ "mode" ]
+           ~doc:"Oblivious reconstruction mechanism.")
+  in
+  let parse_preds where parse_value =
+    String.split_on_char ',' where
+    |> List.filter (( <> ) "")
+    |> List.map (fun pair ->
+           match String.index_opt pair '=' with
+           | None -> failwith (Printf.sprintf "bad predicate %S" pair)
+           | Some i ->
+             let attr = String.sub pair 0 i in
+             (attr, parse_value attr (String.sub pair (i + 1) (String.length pair - i - 1))))
+  in
+  let run csv enc default select where mode =
+    let r = load_csv csv in
+    let policy = policy_of ~enc ~default r in
+    let schema = Relation.schema r in
+    let parse_value attr raw =
+      match (Schema.find_exn schema attr).Attribute.ty with
+      | Value.TInt -> Value.Int (int_of_string raw)
+      | Value.TFloat -> Value.Float (float_of_string raw)
+      | Value.TBool -> Value.Bool (bool_of_string raw)
+      | Value.TText -> Value.Text raw
+    in
+    let preds = parse_preds where parse_value in
+    let select = String.split_on_char ',' select |> List.filter (( <> ) "") in
+    let owner = Snf_exec.System.outsource ~name:"cli" r policy in
+    let q = Snf_exec.Query.point ~select preds in
+    match Snf_exec.System.query ~mode owner q with
+    | Ok (ans, trace) ->
+      Format.printf "%a@." (Relation.pp ~max_rows:50) ans;
+      Format.printf "-- %a@." Snf_exec.Executor.pp_trace trace;
+      Printf.printf "-- verified against plaintext reference: %b\n"
+        (Snf_exec.System.verify ~mode owner q)
+    | Error e -> Printf.printf "query failed: %s\n" e
+  in
+  Cmd.v (Cmd.info "query" ~doc:"Outsource a CSV and run a point query securely.")
+    Term.(const run $ csv_arg $ enc_arg $ default_scheme_arg $ select_arg $ where_arg
+          $ mode_arg)
+
+(* --- visualize ---------------------------------------------------------------------- *)
+
+let visualize_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+           ~doc:"Write the DOT graph here instead of stdout.")
+  in
+  let run csv enc default strategy semantics deps out =
+    let r = load_csv csv in
+    let policy = policy_of ~enc ~default r in
+    let g = graph_of ~deps r in
+    let rep = Normalizer.(plan_with_graph ~semantics ~strategy g policy).representation in
+    let dot = Visualize.leakage_dot ~semantics g policy rep in
+    match out with
+    | None -> print_string dot
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc dot);
+      Printf.printf "wrote %s (render with: dot -Tsvg %s -o graph.svg)\n" path path
+  in
+  Cmd.v
+    (Cmd.info "visualize"
+       ~doc:"Emit a Graphviz picture of a representation's leakage flows (§V-D).")
+    Term.(const run $ csv_arg $ enc_arg $ default_scheme_arg $ strategy_arg
+          $ semantics_arg $ deps_arg $ out_arg)
+
+(* --- experiments ------------------------------------------------------------------ *)
+
+let table1_cmd =
+  let run rows =
+    let config = { Snf_experiments.Table1.default_config with Snf_experiments.Table1.rows } in
+    print_string (Snf_experiments.Table1.render (Snf_experiments.Table1.run ~config ()))
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Regenerate the paper's Table I.")
+    Term.(const run $ rows_arg 20_000)
+
+let figure3_cmd =
+  let run rows =
+    let config = { Snf_experiments.Figure3.default_config with Snf_experiments.Figure3.rows } in
+    print_string (Snf_experiments.Figure3.render (Snf_experiments.Figure3.run ~config ()))
+  in
+  Cmd.v (Cmd.info "figure3" ~doc:"Regenerate the paper's Figure 3.")
+    Term.(const run $ rows_arg 20_000)
+
+let attack_cmd =
+  let run rows =
+    print_string (Snf_experiments.Attack_eval.render (Snf_experiments.Attack_eval.run ~rows ()))
+  in
+  Cmd.v (Cmd.info "attack" ~doc:"Frequency-analysis + inference attack: strawman vs SNF.")
+    Term.(const run $ rows_arg 4_000)
+
+let main =
+  Cmd.group
+    (Cmd.info "snf_cli" ~version:"1.0.0"
+       ~doc:"Secure Normal Form: leakage-aware normalization for encrypted databases.")
+    [ demo_cmd; analyze_cmd; normalize_cmd; query_cmd; visualize_cmd; table1_cmd;
+      figure3_cmd; attack_cmd ]
+
+let () = exit (Cmd.eval main)

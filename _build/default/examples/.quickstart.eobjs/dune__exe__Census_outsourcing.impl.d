@@ -1,0 +1,1 @@
+examples/census_outsourcing.ml: Audit Format List Partition Printf Relation Schema Snf_core Snf_exec Snf_relational Snf_workload Strategy

@@ -1,0 +1,1 @@
+examples/federated_shop.ml: Array Attribute Dynamic Enc_relation List Multi Printf Query Relation Schema Snf_core Snf_crypto Snf_deps Snf_exec Snf_relational String System Value Wire

@@ -1,0 +1,1 @@
+examples/hospital_records.ml: Attribute Audit Format Horizontal List Partition Policy Printf Quantify Relation Schema Snf_core Snf_crypto Snf_deps Snf_exec Snf_relational Strategy String Value

@@ -1,0 +1,1 @@
+examples/payroll_aggregation.ml: Algebra Array Attribute Audit Format List Normalizer Partition Policy Printf Relation Schema Snf_core Snf_crypto Snf_deps Snf_exec Snf_relational Strategy Value

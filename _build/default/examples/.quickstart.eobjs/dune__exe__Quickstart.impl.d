@@ -1,0 +1,1 @@
+examples/quickstart.ml: Attribute Format Normalizer Partition Policy Relation Schema Snf_core Snf_crypto Snf_exec Snf_relational Value

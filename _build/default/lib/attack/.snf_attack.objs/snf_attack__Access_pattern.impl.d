@@ -1,0 +1,1 @@
+lib/attack/access_pattern.ml: Array Float Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/attack/access_pattern.mli:

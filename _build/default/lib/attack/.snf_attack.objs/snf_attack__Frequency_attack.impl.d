@@ -1,0 +1,1 @@
+lib/attack/frequency_attack.ml: Array Hashtbl Int List Option Snf_crypto Snf_exec Snf_relational Value

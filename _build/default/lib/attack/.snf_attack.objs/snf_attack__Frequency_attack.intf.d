@@ -1,0 +1,1 @@
+lib/attack/frequency_attack.mli: Snf_exec Snf_relational Value

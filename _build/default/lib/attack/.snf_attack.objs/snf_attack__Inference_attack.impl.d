@@ -1,0 +1,1 @@
+lib/attack/inference_attack.ml: Array Frequency_attack Hashtbl List Option Relation Snf_crypto Snf_exec Snf_relational Value

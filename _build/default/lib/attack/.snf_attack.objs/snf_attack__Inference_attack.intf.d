@@ -1,0 +1,1 @@
+lib/attack/inference_attack.mli: Relation Snf_exec Snf_relational Value

@@ -1,0 +1,1 @@
+lib/attack/sorting_attack.ml: Array Float Frequency_attack Fun Int Snf_crypto Snf_exec Snf_relational Value

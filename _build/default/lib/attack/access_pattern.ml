@@ -1,0 +1,67 @@
+let chi_square_uniform ~observed ~bins =
+  if observed = [] then invalid_arg "Access_pattern: empty trace";
+  if bins < 2 then invalid_arg "Access_pattern: need at least 2 bins";
+  let counts = Array.make bins 0 in
+  List.iter
+    (fun b ->
+      if b < 0 || b >= bins then invalid_arg "Access_pattern: label out of range";
+      counts.(b) <- counts.(b) + 1)
+    observed;
+  let n = float_of_int (List.length observed) in
+  let expected = n /. float_of_int bins in
+  Array.fold_left
+    (fun acc c ->
+      let d = float_of_int c -. expected in
+      acc +. (d *. d /. expected))
+    0.0 counts
+
+(* Wilson–Hilferty: (X²/k)^(1/3) is approximately normal with mean
+   1 - 2/(9k) and variance 2/(9k). *)
+let p_value ~chi2 ~dof =
+  if dof < 1 then invalid_arg "Access_pattern: dof < 1";
+  let k = float_of_int dof in
+  let z =
+    ((Float.pow (chi2 /. k) (1.0 /. 3.0)) -. (1.0 -. (2.0 /. (9.0 *. k))))
+    /. Float.sqrt (2.0 /. (9.0 *. k))
+  in
+  (* upper tail of the standard normal via the complementary error
+     function; erfc(x) = 2/(1+exp(a x + b x^3))-ish is too crude, use the
+     Abramowitz–Stegun 7.1.26 polynomial. *)
+  let erfc x =
+    let t = 1.0 /. (1.0 +. (0.3275911 *. Float.abs x)) in
+    let poly =
+      t
+      *. (0.254829592
+         +. (t
+            *. (-0.284496736
+               +. (t *. (1.421413741 +. (t *. (-1.453152027 +. (t *. 1.061405429))))))))
+    in
+    let e = poly *. Float.exp (-.(x *. x)) in
+    if x >= 0.0 then e else 2.0 -. e
+  in
+  0.5 *. erfc (z /. Float.sqrt 2.0)
+
+let plausibly_uniform ?(alpha = 0.01) ~bins observed =
+  let chi2 = chi_square_uniform ~observed ~bins in
+  p_value ~chi2 ~dof:(bins - 1) >= alpha
+
+let identifiability ~profile =
+  match profile with
+  | [] -> 0.0
+  | _ ->
+    let counts = Hashtbl.create 16 in
+    List.iter
+      (fun v -> Hashtbl.replace counts v (1 + Option.value (Hashtbl.find_opt counts v) ~default:0))
+      profile;
+    let unique = List.filter (fun v -> Hashtbl.find counts v = 1) profile in
+    float_of_int (List.length unique) /. float_of_int (List.length profile)
+
+let pad_to_buckets n =
+  if n <= 0 then 0
+  else begin
+    let rec go m = if m >= n then m else go (m * 2) in
+    go 1
+  end
+
+let padded_identifiability ~profile =
+  identifiability ~profile:(List.map pad_to_buckets profile)

@@ -1,0 +1,40 @@
+(** Access-pattern analysis (§II's dynamic leakages, adversary side).
+
+    Two diagnostics over what the server observes during query execution:
+
+    {b Path uniformity.} Path ORAM's guarantee is that every access looks
+    like a uniformly random root-to-leaf path. [chi_square_uniform] tests
+    an observed path trace against uniformity (Pearson statistic with a
+    Wilson–Hilferty p-value approximation): ORAM traces must pass, while a
+    naive direct-access trace of a skewed workload fails — the test suite
+    demonstrates both.
+
+    {b Volume fingerprinting.} Result cardinalities identify queries: if
+    the adversary knows the volume profile of candidate queries (standard
+    auxiliary assumption), any query whose volume is unique in the profile
+    is recognized the moment it runs. [identifiability] measures the
+    fraction of a workload so exposed, and [pad_to_buckets] quantifies the
+    classic mitigation (padding volumes to powers of two). *)
+
+val chi_square_uniform : observed:int list -> bins:int -> float
+(** Pearson X² of the observed bin labels (each in [\[0, bins)]) against
+    the uniform distribution. @raise Invalid_argument on empty input or
+    out-of-range labels. *)
+
+val p_value : chi2:float -> dof:int -> float
+(** Upper-tail p-value via the Wilson–Hilferty cube-root normal
+    approximation (adequate for dof >= 3). *)
+
+val plausibly_uniform : ?alpha:float -> bins:int -> int list -> bool
+(** [plausibly_uniform ~bins observed]: [p_value >= alpha] (default 0.01),
+    i.e. uniformity cannot be rejected. *)
+
+val identifiability : profile:int list -> float
+(** Fraction of queries whose volume is unique within the profile. *)
+
+val pad_to_buckets : int -> int
+(** Next power of two (0 stays 0) — the padded volume the server would
+    observe under bucket padding. *)
+
+val padded_identifiability : profile:int list -> float
+(** [identifiability] after padding every volume. *)

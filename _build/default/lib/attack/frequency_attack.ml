@@ -1,0 +1,95 @@
+open Snf_relational
+module Enc_relation = Snf_exec.Enc_relation
+module Scheme = Snf_crypto.Scheme
+module Ore = Snf_crypto.Ore
+
+let cell_group_key (cell : Enc_relation.cell) =
+  match cell with
+  | Enc_relation.C_plain v -> Value.encode v
+  | Enc_relation.C_bytes b -> b
+  | Enc_relation.C_ord { ord; _ } -> string_of_int ord
+  | Enc_relation.C_ore { payload; _ } -> payload
+  | Enc_relation.C_nat _ -> invalid_arg "Frequency_attack: PHE leaks no equality"
+
+let equality_pattern (leaf : Enc_relation.enc_leaf) attr =
+  let col = Enc_relation.column leaf attr in
+  (match col.Enc_relation.scheme with
+   | Scheme.Ndet | Scheme.Phe ->
+     invalid_arg "Frequency_attack.equality_pattern: column reveals no equality"
+   | Scheme.Det | Scheme.Ope | Scheme.Ore | Scheme.Plain -> ());
+  let ids = Hashtbl.create 64 in
+  Array.map
+    (fun cell ->
+      let key = cell_group_key cell in
+      match Hashtbl.find_opt ids key with
+      | Some id -> id
+      | None ->
+        let id = Hashtbl.length ids in
+        Hashtbl.add ids key id;
+        id)
+    col.Enc_relation.cells
+
+type result = {
+  guesses : Value.t array;
+  correct : int;
+  total : int;
+  accuracy : float;
+}
+
+let frequencies_desc keys =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun k -> Hashtbl.replace tbl k (1 + Option.value (Hashtbl.find_opt tbl k) ~default:0))
+    keys;
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl []
+  |> List.sort (fun (k1, n1) (k2, n2) ->
+         match Int.compare n2 n1 with 0 -> compare k1 k2 | c -> c)
+
+let match_by_frequency ~pattern ~aux =
+  if Array.length aux = 0 then invalid_arg "Frequency_attack: empty auxiliary sample";
+  let groups = frequencies_desc pattern in
+  let aux_ranked = frequencies_desc (Array.map Value.encode aux) in
+  let mode =
+    match aux_ranked with
+    | (k, _) :: _ -> Value.decode k
+    | [] -> assert false
+  in
+  let assignment = Hashtbl.create 64 in
+  let rec assign gs vs =
+    match (gs, vs) with
+    | [], _ -> ()
+    | (g, _) :: gs', [] ->
+      Hashtbl.add assignment g mode;
+      assign gs' []
+    | (g, _) :: gs', (v, _) :: vs' ->
+      Hashtbl.add assignment g (Value.decode v);
+      assign gs' vs'
+  in
+  assign groups aux_ranked;
+  Array.map (fun g -> Hashtbl.find assignment g) pattern
+
+let attack client (leaf : Enc_relation.enc_leaf) attr ~aux =
+  let pattern = equality_pattern leaf attr in
+  let guesses = match_by_frequency ~pattern ~aux in
+  let col = Enc_relation.column leaf attr in
+  let truth =
+    Array.map
+      (Enc_relation.decrypt_cell client ~leaf:leaf.Enc_relation.label ~attr
+         ~scheme:col.Enc_relation.scheme)
+      col.Enc_relation.cells
+  in
+  let correct = ref 0 in
+  Array.iteri (fun i g -> if Value.equal g truth.(i) then incr correct) guesses;
+  let total = Array.length guesses in
+  { guesses;
+    correct = !correct;
+    total;
+    accuracy = (if total = 0 then 0.0 else float_of_int !correct /. float_of_int total) }
+
+let mode_baseline aux =
+  let n = Array.length aux in
+  if n = 0 then 0.0
+  else
+    match frequencies_desc (Array.map Value.encode aux) with
+    | (_, top) :: _ -> float_of_int top /. float_of_int n
+    | [] -> 0.0

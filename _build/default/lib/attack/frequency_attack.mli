@@ -1,0 +1,43 @@
+(** Frequency analysis against DET columns (Naveed et al., CCS'15).
+
+    The adversary sees a deterministic-encryption column — i.e. the exact
+    {e equality pattern} of the plaintexts — and holds an auxiliary sample
+    of the column's distribution (here: the exact marginal, the strongest
+    standard assumption). Matching ciphertext groups to plaintext values
+    by frequency rank recovers every value whose frequency is unique; ties
+    are broken arbitrarily, succeeding with probability 1/class-size
+    (cf. [Snf_core.Quantify.recovery_rate], the analytic expectation this
+    attack realizes — compared in tests). *)
+
+open Snf_relational
+module Enc_relation = Snf_exec.Enc_relation
+
+val equality_pattern : Enc_relation.enc_leaf -> string -> int array
+(** Ciphertext-only view of a DET/OPE/ORE/Plain column: a group id per
+    row, equal ids iff equal ciphertexts. @raise Invalid_argument for
+    NDET/PHE columns (no equality observable). *)
+
+type result = {
+  guesses : Value.t array;  (** per-slot plaintext guesses *)
+  correct : int;
+  total : int;
+  accuracy : float;
+}
+
+val match_by_frequency :
+  pattern:int array -> aux:Value.t array -> Value.t array
+(** Rank-match ciphertext groups against the auxiliary distribution:
+    most frequent group gets the most frequent auxiliary value, etc.
+    When there are more groups than auxiliary values the surplus groups
+    are guessed as the auxiliary mode. *)
+
+val attack :
+  Enc_relation.client ->
+  Enc_relation.enc_leaf -> string -> aux:Value.t array -> result
+(** Run the attack on one column and score it against the ground truth
+    (obtained by decrypting — evaluation only; the attack itself sees
+    ciphertexts and [aux] alone). *)
+
+val mode_baseline : Value.t array -> float
+(** Accuracy of the best blind guess (the distribution's mode share) —
+    what the adversary achieves {e without} the ciphertexts. *)

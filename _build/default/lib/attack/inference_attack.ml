@@ -1,0 +1,112 @@
+open Snf_relational
+module Enc_relation = Snf_exec.Enc_relation
+module Scheme = Snf_crypto.Scheme
+
+type outcome = {
+  linked : bool;
+  source_accuracy : float;
+  target_accuracy : float;
+  blind_baseline : float;
+}
+
+let joint_mapping aux ~source ~target =
+  let src = Relation.column aux source and tgt = Relation.column aux target in
+  let counts = Hashtbl.create 64 in
+  Array.iteri
+    (fun i s ->
+      let key = (Value.encode s, Value.encode tgt.(i)) in
+      Hashtbl.replace counts key (1 + Option.value (Hashtbl.find_opt counts key) ~default:0))
+    src;
+  let best = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (s, t) n ->
+      match Hashtbl.find_opt best s with
+      | Some (_, n') when n' >= n -> ()
+      | _ -> Hashtbl.replace best s (t, n))
+    counts;
+  fun v ->
+    Hashtbl.find_opt best (Value.encode v) |> Option.map (fun (t, _) -> Value.decode t)
+
+let reveals_equality (col : Enc_relation.enc_column) =
+  match col.Enc_relation.scheme with
+  | Scheme.Det | Scheme.Ope | Scheme.Ore | Scheme.Plain -> true
+  | Scheme.Ndet | Scheme.Phe -> false
+
+let decrypt_column client (leaf : Enc_relation.enc_leaf) attr =
+  let col = Enc_relation.column leaf attr in
+  Array.map
+    (Enc_relation.decrypt_cell client ~leaf:leaf.Enc_relation.label ~attr
+       ~scheme:col.Enc_relation.scheme)
+    col.Enc_relation.cells
+
+let accuracy_against truth guesses =
+  let n = Array.length truth in
+  if n = 0 then 0.0
+  else begin
+    let c = ref 0 in
+    Array.iteri (fun i g -> if Value.equal g truth.(i) then incr c) guesses;
+    float_of_int !c /. float_of_int n
+  end
+
+let cross_column client (enc : Enc_relation.t) ~source ~target ~aux =
+  let source_leaf =
+    List.find_opt
+      (fun (l : Enc_relation.enc_leaf) ->
+        match List.find_opt (fun c -> c.Enc_relation.attr = source) l.Enc_relation.columns with
+        | Some col -> reveals_equality col
+        | None -> false)
+      enc.Enc_relation.leaves
+  in
+  let target_leaf_of (l : Enc_relation.enc_leaf) =
+    List.exists (fun c -> c.Enc_relation.attr = target) l.Enc_relation.columns
+  in
+  let aux_target = Relation.column aux target in
+  let blind_baseline = Frequency_attack.mode_baseline aux_target in
+  match source_leaf with
+  | None ->
+    (* No equality-revealing copy of the source anywhere: the frequency
+       attack has no foothold at all. *)
+    { linked = false;
+      source_accuracy = 0.0;
+      target_accuracy = blind_baseline;
+      blind_baseline }
+  | Some leaf ->
+    let aux_source = Relation.column aux source in
+    let freq = Frequency_attack.attack client leaf source ~aux:aux_source in
+    if target_leaf_of leaf then begin
+      (* Strawman case: rows are linked by co-location. *)
+      let map = joint_mapping aux ~source ~target in
+      let mode =
+        let counts = Hashtbl.create 64 in
+        Array.iter
+          (fun v ->
+            let k = Value.encode v in
+            Hashtbl.replace counts k
+              (1 + Option.value (Hashtbl.find_opt counts k) ~default:0))
+          aux_target;
+        Hashtbl.fold (fun k n acc ->
+            match acc with
+            | Some (_, n') when n' >= n -> acc
+            | _ -> Some (k, n))
+          counts None
+        |> Option.map (fun (k, _) -> Value.decode k)
+        |> Option.value ~default:Value.Null
+      in
+      let target_guesses =
+        Array.map
+          (fun s -> match map s with Some t -> t | None -> mode)
+          freq.Frequency_attack.guesses
+      in
+      let truth = decrypt_column client leaf target in
+      { linked = true;
+        source_accuracy = freq.Frequency_attack.accuracy;
+        target_accuracy = accuracy_against truth target_guesses;
+        blind_baseline }
+    end
+    else
+      (* SNF case: the target column lives in an unlinkable leaf; blind
+         mode-guessing is the adversary's best remaining strategy. *)
+      { linked = false;
+        source_accuracy = freq.Frequency_attack.accuracy;
+        target_accuracy = blind_baseline;
+        blind_baseline }

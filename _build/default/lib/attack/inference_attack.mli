@@ -1,0 +1,45 @@
+(** The cross-cryptographic adversary of Example 1 / §I.
+
+    Target: a strongly encrypted (NDET) attribute [target] that is
+    functionally dependent on a weakly encrypted (DET) attribute [source].
+    The adversary holds the auxiliary joint distribution of
+    (source, target) — e.g. public ZipCode→State mappings — and proceeds:
+
+    + frequency-attack the DET [source] column;
+    + for each row, map the guessed source value through the auxiliary
+      dependency to a guess for [target].
+
+    Against a {b strawman} representation the two columns are co-located,
+    so every row's target guess lands on the right row: recovery tracks
+    the frequency attack's accuracy. Against an {b SNF} representation the
+    target lives in a different, independently shuffled leaf with its own
+    tid key — no ciphertext-level linkage exists, and the adversary's best
+    strategy collapses to blind mode-guessing. [cross_column] realizes
+    both situations uniformly: it attacks whatever representation it is
+    given and is scored against ground truth. *)
+
+open Snf_relational
+module Enc_relation = Snf_exec.Enc_relation
+
+type outcome = {
+  linked : bool;
+    (** were source and target co-located (attack could link rows)? *)
+  source_accuracy : float;   (** frequency attack on the source column *)
+  target_accuracy : float;   (** end-to-end recovery of the target *)
+  blind_baseline : float;    (** mode share of the target distribution *)
+}
+
+val joint_mapping : Relation.t -> source:string -> target:string ->
+  (Value.t -> Value.t option)
+(** Most frequent target value per source value in the auxiliary sample. *)
+
+val cross_column :
+  Enc_relation.client ->
+  Enc_relation.t ->
+  source:string -> target:string ->
+  aux:Relation.t ->
+  outcome
+(** Finds a leaf containing an equality-revealing copy of [source]; if the
+    same leaf also stores [target], performs the linked attack; otherwise
+    falls back to blind guessing for the target (the SNF case). The client
+    is used only to score guesses against ground truth. *)

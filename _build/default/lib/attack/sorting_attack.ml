@@ -1,0 +1,84 @@
+open Snf_relational
+module Enc_relation = Snf_exec.Enc_relation
+module Scheme = Snf_crypto.Scheme
+module Ore = Snf_crypto.Ore
+
+(* A comparable ciphertext-only key per cell. ORE ciphertexts are compared
+   with the public comparison operation; OPE/Plain by value order. *)
+type order_key = K_int of int | K_ore of Ore.ciphertext | K_plain of Value.t
+
+let compare_keys a b =
+  match (a, b) with
+  | K_int x, K_int y -> Int.compare x y
+  | K_ore x, K_ore y -> Ore.compare_ciphertexts x y
+  | K_plain x, K_plain y -> Value.compare x y
+  | _ -> invalid_arg "Sorting_attack: mixed key kinds"
+
+let order_key (cell : Enc_relation.cell) =
+  match cell with
+  | Enc_relation.C_ord { ord; _ } -> K_int ord
+  | Enc_relation.C_ore { ore; _ } -> K_ore ore
+  | Enc_relation.C_plain v -> K_plain v
+  | Enc_relation.C_bytes _ | Enc_relation.C_nat _ ->
+    invalid_arg "Sorting_attack: column reveals no order"
+
+let rank_pattern (leaf : Enc_relation.enc_leaf) attr =
+  let col = Enc_relation.column leaf attr in
+  (match col.Enc_relation.scheme with
+   | Scheme.Ope | Scheme.Ore | Scheme.Plain -> ()
+   | Scheme.Det | Scheme.Ndet | Scheme.Phe ->
+     invalid_arg "Sorting_attack: column reveals no order");
+  let keys = Array.map order_key col.Enc_relation.cells in
+  let order = Array.init (Array.length keys) Fun.id in
+  Array.sort (fun i j -> compare_keys keys.(i) keys.(j)) order;
+  let ranks = Array.make (Array.length keys) 0 in
+  Array.iteri
+    (fun pos idx ->
+      (* ties share the rank of their first occurrence *)
+      if pos > 0 && compare_keys keys.(order.(pos - 1)) keys.(idx) = 0 then
+        ranks.(idx) <- ranks.(order.(pos - 1))
+      else ranks.(idx) <- pos)
+    order;
+  ranks
+
+type result = {
+  guesses : Value.t array;
+  correct : int;
+  total : int;
+  accuracy : float;
+}
+
+let quantile_match ~ranks ~aux =
+  if Array.length aux = 0 then invalid_arg "Sorting_attack: empty auxiliary sample";
+  let sorted_aux = Array.copy aux in
+  Array.sort Value.compare sorted_aux;
+  let n = Array.length ranks and m = Array.length sorted_aux in
+  Array.map
+    (fun r ->
+      let q = if n <= 1 then 0.0 else float_of_int r /. float_of_int (n - 1) in
+      let idx = int_of_float (Float.round (q *. float_of_int (m - 1))) in
+      sorted_aux.(max 0 (min (m - 1) idx)))
+    ranks
+
+let attack client (leaf : Enc_relation.enc_leaf) attr ~aux =
+  let ranks = rank_pattern leaf attr in
+  let guesses = quantile_match ~ranks ~aux in
+  let col = Enc_relation.column leaf attr in
+  let truth =
+    Array.map
+      (Enc_relation.decrypt_cell client ~leaf:leaf.Enc_relation.label ~attr
+         ~scheme:col.Enc_relation.scheme)
+      col.Enc_relation.cells
+  in
+  let correct = ref 0 in
+  Array.iteri (fun i g -> if Value.equal g truth.(i) then incr correct) guesses;
+  let total = Array.length guesses in
+  { guesses;
+    correct = !correct;
+    total;
+    accuracy = (if total = 0 then 0.0 else float_of_int !correct /. float_of_int total) }
+
+let compare_with_frequency client leaf attr ~aux =
+  let s = attack client leaf attr ~aux in
+  let f = Frequency_attack.attack client leaf attr ~aux in
+  (`Sorting s.accuracy, `Frequency f.Frequency_attack.accuracy)

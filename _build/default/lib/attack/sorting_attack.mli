@@ -1,0 +1,40 @@
+(** The sorting attack against OPE/ORE columns (Naveed et al., CCS'15).
+
+    Order-revealing ciphertexts expose the plaintexts' ranks. With an
+    auxiliary sample of the distribution, the adversary sorts both sides
+    and aligns by empirical quantile: a cell at rank r/n is guessed as the
+    auxiliary value at the same quantile. On a {e dense} column (most of
+    the domain present) this recovers nearly everything — the reason the
+    leakage lattice puts [Order] strictly above [Equality], and the reason
+    OPE annotations deserve stronger budgets than DET in the policy.
+
+    Like [Frequency_attack], the attack consumes only the ciphertext
+    column and the auxiliary sample; ground truth is used for scoring. *)
+
+open Snf_relational
+module Enc_relation = Snf_exec.Enc_relation
+
+val rank_pattern : Enc_relation.enc_leaf -> string -> int array
+(** Ciphertext-only view of an OPE/ORE/Plain column: each cell's rank
+    (position of its ciphertext in the sorted order of all cells; ties
+    share ranks). @raise Invalid_argument for columns that reveal no
+    order. *)
+
+type result = {
+  guesses : Value.t array;
+  correct : int;
+  total : int;
+  accuracy : float;
+}
+
+val quantile_match : ranks:int array -> aux:Value.t array -> Value.t array
+(** Guess the value at each cell's empirical quantile of [aux]. *)
+
+val attack :
+  Enc_relation.client -> Enc_relation.enc_leaf -> string -> aux:Value.t array -> result
+
+val compare_with_frequency :
+  Enc_relation.client -> Enc_relation.enc_leaf -> string -> aux:Value.t array ->
+  [ `Sorting of float ] * [ `Frequency of float ]
+(** Both attacks on the same (order-revealing) column — sorting dominates
+    once frequencies collide. *)

@@ -1,0 +1,455 @@
+(* Little-endian limb arrays in base 2^26, normalized: the most significant
+   limb is non-zero, and zero is the empty array. *)
+
+let limb_bits = 26
+let base = 1 lsl limb_bits
+let limb_mask = base - 1
+
+type t = int array
+
+let zero : t = [||]
+
+let normalize (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do decr n done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int n =
+  if n < 0 then invalid_arg "Nat.of_int: negative";
+  let rec limbs n = if n = 0 then [] else (n land limb_mask) :: limbs (n lsr limb_bits) in
+  Array.of_list (limbs n)
+
+let one = of_int 1
+let two = of_int 2
+
+let is_zero a = Array.length a = 0
+let is_one a = Array.length a = 1 && a.(0) = 1
+let is_even a = Array.length a = 0 || a.(0) land 1 = 0
+
+let to_int_opt a =
+  (* max_int has 62 bits; accept up to 62 bits. *)
+  let bits = Array.length a * limb_bits in
+  if bits <= 62 then begin
+    let v = ref 0 in
+    for i = Array.length a - 1 downto 0 do
+      v := (!v lsl limb_bits) lor a.(i)
+    done;
+    Some !v
+  end else begin
+    (* May still fit if high limbs are small; compute carefully. *)
+    let v = ref 0 and ok = ref true in
+    for i = Array.length a - 1 downto 0 do
+      if !ok then
+        if !v > (max_int - a.(i)) lsr limb_bits then ok := false
+        else v := (!v lsl limb_bits) lor a.(i)
+    done;
+    if !ok then Some !v else None
+  end
+
+let to_int_exn a =
+  match to_int_opt a with
+  | Some v -> v
+  | None -> failwith "Nat.to_int_exn: overflow"
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let bit_length a =
+  let l = Array.length a in
+  if l = 0 then 0
+  else begin
+    let top = a.(l - 1) in
+    let rec width n = if n = 0 then 0 else 1 + width (n lsr 1) in
+    (l - 1) * limb_bits + width top
+  end
+
+let testbit a i =
+  let limb = i / limb_bits and off = i mod limb_bits in
+  limb < Array.length a && (a.(limb) lsr off) land 1 = 1
+
+let add (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let l = max la lb in
+  let r = Array.make (l + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to l - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  r.(l) <- !carry;
+  normalize r
+
+let sub (a : t) (b : t) : t =
+  if compare a b < 0 then invalid_arg "Nat.sub: negative result";
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin r.(i) <- d + base; borrow := 1 end
+    else begin r.(i) <- d; borrow := 0 end
+  done;
+  normalize r
+
+let mul (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let acc = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- acc land limb_mask;
+        carry := acc lsr limb_bits
+      done;
+      (* Propagate the remaining carry. *)
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let acc = r.(!k) + !carry in
+        r.(!k) <- acc land limb_mask;
+        carry := acc lsr limb_bits;
+        incr k
+      done
+    done;
+    normalize r
+  end
+
+let shift_left (a : t) n =
+  if n < 0 then invalid_arg "Nat.shift_left";
+  if is_zero a || n = 0 then a
+  else begin
+    let limbs = n / limb_bits and bits = n mod limb_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limbs + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl bits in
+      r.(i + limbs) <- r.(i + limbs) lor (v land limb_mask);
+      r.(i + limbs + 1) <- r.(i + limbs + 1) lor (v lsr limb_bits)
+    done;
+    normalize r
+  end
+
+let shift_right (a : t) n =
+  if n < 0 then invalid_arg "Nat.shift_right";
+  if is_zero a || n = 0 then a
+  else begin
+    let limbs = n / limb_bits and bits = n mod limb_bits in
+    let la = Array.length a in
+    if limbs >= la then zero
+    else begin
+      let l = la - limbs in
+      let r = Array.make l 0 in
+      for i = 0 to l - 1 do
+        let lo = a.(i + limbs) lsr bits in
+        let hi =
+          if bits > 0 && i + limbs + 1 < la
+          then (a.(i + limbs + 1) lsl (limb_bits - bits)) land limb_mask
+          else 0
+        in
+        r.(i) <- lo lor hi
+      done;
+      normalize r
+    end
+  end
+
+(* Division by a single limb: schoolbook from the most significant limb;
+   the two-limb intermediate stays below 2^52. *)
+let divmod_limb (a : t) d =
+  let n = Array.length a in
+  let q = Array.make n 0 in
+  let r = ref 0 in
+  for i = n - 1 downto 0 do
+    let cur = (!r lsl limb_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (normalize q, (if !r = 0 then zero else [| !r |]))
+
+(* Knuth TAOCP 4.3.1 Algorithm D over base-2^26 limbs. All intermediates
+   (two-limb dividends, limb products) fit comfortably in a 63-bit int. *)
+let divmod_knuth (u : t) (v : t) : t * t =
+  let n = Array.length v in
+  let m = Array.length u - n in
+  (* D1: normalize so the divisor's top limb has its high bit set. *)
+  let top_bits x =
+    let rec w n = if n = 0 then 0 else 1 + w (n lsr 1) in
+    w x
+  in
+  let s = limb_bits - top_bits v.(n - 1) in
+  let vn = Array.make n 0 in
+  for i = n - 1 downto 1 do
+    vn.(i) <- ((v.(i) lsl s) lor (if s = 0 then 0 else v.(i - 1) lsr (limb_bits - s)))
+              land limb_mask
+  done;
+  vn.(0) <- (v.(0) lsl s) land limb_mask;
+  let un = Array.make (m + n + 1) 0 in
+  un.(m + n) <- if s = 0 then 0 else u.(m + n - 1) lsr (limb_bits - s);
+  for i = m + n - 1 downto 1 do
+    un.(i) <- ((u.(i) lsl s) lor (if s = 0 then 0 else u.(i - 1) lsr (limb_bits - s)))
+              land limb_mask
+  done;
+  un.(0) <- (u.(0) lsl s) land limb_mask;
+  let q = Array.make (m + 1) 0 in
+  (* D2-D7: one quotient limb per iteration. *)
+  for j = m downto 0 do
+    let top = (un.(j + n) lsl limb_bits) lor un.(j + n - 1) in
+    let qhat = ref (top / vn.(n - 1)) in
+    let rhat = ref (top mod vn.(n - 1)) in
+    let adjust () =
+      while
+        !qhat >= base
+        || (n > 1 && !qhat * vn.(n - 2) > (!rhat lsl limb_bits) lor un.(j + n - 2)
+            && !rhat < base)
+      do
+        decr qhat;
+        rhat := !rhat + vn.(n - 1)
+      done
+    in
+    adjust ();
+    (* D4: multiply and subtract (signed borrow propagation). *)
+    let borrow = ref 0 in
+    let carry = ref 0 in
+    for i = 0 to n - 1 do
+      let p = !qhat * vn.(i) + !carry in
+      carry := p lsr limb_bits;
+      let t = un.(i + j) - (p land limb_mask) - !borrow in
+      if t < 0 then begin
+        un.(i + j) <- t + base;
+        borrow := 1
+      end
+      else begin
+        un.(i + j) <- t;
+        borrow := 0
+      end
+    done;
+    let t = un.(j + n) - !carry - !borrow in
+    (* D5/D6: if we overshot (negative), decrement qhat and add back. *)
+    if t < 0 then begin
+      un.(j + n) <- t + base;
+      decr qhat;
+      let c = ref 0 in
+      for i = 0 to n - 1 do
+        let sum = un.(i + j) + vn.(i) + !c in
+        un.(i + j) <- sum land limb_mask;
+        c := sum lsr limb_bits
+      done;
+      un.(j + n) <- (un.(j + n) + !c) land limb_mask
+    end
+    else un.(j + n) <- t;
+    q.(j) <- !qhat
+  done;
+  (* D8: denormalize the remainder. *)
+  let r = Array.make n 0 in
+  for i = 0 to n - 1 do
+    r.(i) <-
+      ((un.(i) lsr s)
+      lor (if s = 0 || i + 1 > n then 0
+           else (un.(i + 1) lsl (limb_bits - s)) land limb_mask))
+      land limb_mask
+  done;
+  (normalize q, normalize r)
+
+let divmod (a : t) (b : t) : t * t =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else if Array.length b = 1 then divmod_limb a b.(0)
+  else divmod_knuth a b
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let succ a = add a one
+let pred a = sub a one
+
+let add_mod a b m = rem (add a b) m
+let mul_mod a b m = rem (mul a b) m
+
+let pow_mod b e m =
+  if is_zero m then raise Division_by_zero;
+  if is_one m then zero
+  else begin
+    let result = ref one and acc = ref (rem b m) in
+    for i = 0 to bit_length e - 1 do
+      if testbit e i then result := mul_mod !result !acc m;
+      acc := mul_mod !acc !acc m
+    done;
+    !result
+  end
+
+let rec gcd a b = if is_zero b then a else gcd b (rem a b)
+
+let lcm a b =
+  if is_zero a || is_zero b then zero
+  else div (mul a b) (gcd a b)
+
+(* Extended Euclid over naturals: track signs of the Bezout coefficients
+   explicitly to stay within the natural-number representation. *)
+let mod_inverse a m =
+  if is_zero m || is_one m then None
+  else begin
+    let a = rem a m in
+    if is_zero a then None
+    else begin
+      (* Invariants: r0 = s0*a - t0*m when s0_neg=false (and symmetric
+         variants); we only need the coefficient of [a]. *)
+      let rec go r0 r1 s0 s1 s0_neg s1_neg =
+        if is_zero r1 then
+          if is_one r0 then Some (if s0_neg then sub m (rem s0 m) else rem s0 m)
+          else None
+        else begin
+          let q, r2 = divmod r0 r1 in
+          (* s2 = s0 - q*s1, tracking signs. *)
+          let qs1 = mul q s1 in
+          let s2, s2_neg =
+            match (s0_neg, s1_neg) with
+            | false, false ->
+              if compare s0 qs1 >= 0 then (sub s0 qs1, false) else (sub qs1 s0, true)
+            | true, true ->
+              if compare s0 qs1 >= 0 then (sub s0 qs1, true) else (sub qs1 s0, false)
+            | false, true -> (add s0 qs1, false)
+            | true, false -> (add s0 qs1, true)
+          in
+          go r1 r2 s1 s2 s1_neg s2_neg
+        end
+      in
+      go m a zero one false false
+      |> Option.map (fun inv_of_a_coeff ->
+             (* go computed the coefficient chain starting from (m, a); the
+                coefficient returned corresponds to [a]. *)
+             inv_of_a_coeff)
+    end
+  end
+
+let of_string s =
+  if s = "" then invalid_arg "Nat.of_string: empty";
+  let ten = of_int 10 in
+  let acc = ref zero in
+  String.iter
+    (fun c ->
+      if c < '0' || c > '9' then invalid_arg "Nat.of_string: not a digit";
+      acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0')))
+    s;
+  !acc
+
+let to_string a =
+  if is_zero a then "0"
+  else begin
+    let ten = of_int 10 in
+    let buf = Buffer.create 16 in
+    let rec go a =
+      if not (is_zero a) then begin
+        let q, r = divmod a ten in
+        go q;
+        Buffer.add_char buf (Char.chr (Char.code '0' + to_int_exn r))
+      end
+    in
+    go a;
+    Buffer.contents buf
+  end
+
+let of_bytes_be s =
+  let acc = ref zero in
+  String.iter (fun c -> acc := add (shift_left !acc 8) (of_int (Char.code c))) s;
+  !acc
+
+let to_bytes_be a =
+  let n = (bit_length a + 7) / 8 in
+  let b = Bytes.create n in
+  let rec go a i =
+    if i >= 0 then begin
+      Bytes.set b i (Char.chr (to_int_exn (rem a (of_int 256))));
+      go (shift_right a 8) (i - 1)
+    end
+  in
+  go a (n - 1);
+  Bytes.to_string b
+
+let random_bits rand k =
+  if k < 1 then invalid_arg "Nat.random_bits";
+  let limbs = (k + limb_bits - 1) / limb_bits in
+  let r = Array.make limbs 0 in
+  for i = 0 to limbs - 1 do
+    r.(i) <- rand base
+  done;
+  (* Clear bits above position k-1, then force the top bit. *)
+  let top_limb = (k - 1) / limb_bits and top_off = (k - 1) mod limb_bits in
+  for i = top_limb + 1 to limbs - 1 do r.(i) <- 0 done;
+  r.(top_limb) <- r.(top_limb) land ((1 lsl (top_off + 1)) - 1);
+  r.(top_limb) <- r.(top_limb) lor (1 lsl top_off);
+  normalize r
+
+let random_below rand n =
+  if is_zero n then invalid_arg "Nat.random_below: zero bound";
+  let k = bit_length n in
+  let limbs = (k + limb_bits - 1) / limb_bits in
+  let rec draw () =
+    let r = Array.init limbs (fun _ -> rand base) in
+    let top_limb = (k - 1) / limb_bits and top_off = (k - 1) mod limb_bits in
+    for i = top_limb + 1 to limbs - 1 do r.(i) <- 0 done;
+    r.(top_limb) <- r.(top_limb) land ((1 lsl (top_off + 1)) - 1);
+    let v = normalize r in
+    if compare v n < 0 then v else draw ()
+  in
+  draw ()
+
+let small_primes = [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37; 41; 43; 47 ]
+
+let is_probable_prime ?(rounds = 24) rand n =
+  if compare n two < 0 then false
+  else if List.exists (fun p -> equal n (of_int p)) small_primes then true
+  else if List.exists (fun p -> is_zero (rem n (of_int p))) small_primes then false
+  else begin
+    (* n - 1 = d * 2^s with d odd *)
+    let n1 = pred n in
+    let rec split d s = if is_even d then split (shift_right d 1) (s + 1) else (d, s) in
+    let d, s = split n1 0 in
+    let witness a =
+      let x = ref (pow_mod a d n) in
+      if is_one !x || equal !x n1 then false
+      else begin
+        let composite = ref true in
+        (try
+           for _ = 1 to s - 1 do
+             x := mul_mod !x !x n;
+             if equal !x n1 then begin
+               composite := false;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        !composite
+      end
+    in
+    let rec trial i =
+      if i = 0 then true
+      else begin
+        let a = add two (random_below rand (sub n (of_int 3))) in
+        if witness a then false else trial (i - 1)
+      end
+    in
+    trial rounds
+  end
+
+let random_prime rand k =
+  let rec go () =
+    let c = random_bits rand k in
+    let c = if is_even c then succ c else c in
+    if bit_length c = k && is_probable_prime rand c then c else go ()
+  in
+  go ()
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

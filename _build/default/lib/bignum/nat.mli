@@ -1,0 +1,114 @@
+(** Arbitrary-precision natural numbers.
+
+    A small, dependency-free bignum used as the substrate for the Paillier
+    additive-homomorphic scheme in [Snf_crypto.Paillier]. Values are
+    immutable. Numbers are stored as little-endian limb arrays in base
+    [2^26], which keeps every intermediate product of two limbs well inside
+    the 63-bit native integer range.
+
+    The sizes involved in this repository are modest (Paillier with
+    simulation-scale primes, i.e. moduli of a few hundred bits), so the
+    implementation favours clarity over asymptotic speed: schoolbook
+    multiplication and shift-subtract division. *)
+
+type t
+
+(** {1 Constants and conversions} *)
+
+val zero : t
+val one : t
+val two : t
+
+val of_int : int -> t
+(** [of_int n] converts a non-negative native integer.
+    @raise Invalid_argument if [n < 0]. *)
+
+val to_int_opt : t -> int option
+(** [to_int_opt n] is [Some i] when [n] fits a native [int]. *)
+
+val to_int_exn : t -> int
+(** @raise Failure when the value does not fit a native [int]. *)
+
+val of_string : string -> t
+(** Parse a decimal string. @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+(** Render as decimal. *)
+
+val of_bytes_be : string -> t
+(** Interpret a big-endian byte string as a natural number. *)
+
+val to_bytes_be : t -> string
+(** Minimal big-endian byte representation ([""] for zero). *)
+
+(** {1 Comparison and predicates} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val is_one : t -> bool
+val is_even : t -> bool
+
+val bit_length : t -> int
+(** Number of significant bits; [bit_length zero = 0]. *)
+
+(** {1 Arithmetic} *)
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+(** Truncated subtraction. @raise Invalid_argument if the result would be
+    negative. *)
+
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r] and [r < b].
+    @raise Division_by_zero if [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+val testbit : t -> int -> bool
+
+val succ : t -> t
+val pred : t -> t
+
+(** {1 Modular arithmetic} *)
+
+val add_mod : t -> t -> t -> t
+val mul_mod : t -> t -> t -> t
+
+val pow_mod : t -> t -> t -> t
+(** [pow_mod b e m] is [b^e mod m] by square-and-multiply.
+    @raise Division_by_zero if [m] is zero. *)
+
+val gcd : t -> t -> t
+
+val lcm : t -> t -> t
+
+val mod_inverse : t -> t -> t option
+(** [mod_inverse a m] is [Some x] with [a*x = 1 (mod m)] when
+    [gcd a m = 1]. *)
+
+(** {1 Primality} *)
+
+val is_probable_prime : ?rounds:int -> (int -> int) -> t -> bool
+(** [is_probable_prime rand n] runs Miller–Rabin with [rounds] (default 24)
+    random bases drawn via [rand bound], which must return a uniform integer
+    in [\[0, bound)]. *)
+
+val random_bits : (int -> int) -> int -> t
+(** [random_bits rand k] draws a uniform [k]-bit number with the top bit
+    set (so exactly [k] significant bits) for [k >= 1]. *)
+
+val random_below : (int -> int) -> t -> t
+(** [random_below rand n] draws uniformly from [\[0, n)] by rejection.
+    @raise Invalid_argument if [n] is zero. *)
+
+val random_prime : (int -> int) -> int -> t
+(** [random_prime rand k] draws a random [k]-bit probable prime. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/audit.ml: Closure Format Leakage List Partition Policy Result Semantics

@@ -1,0 +1,1 @@
+lib/core/audit.mli: Format Leakage Partition Policy Semantics Snf_deps Snf_relational

@@ -1,0 +1,1 @@
+lib/core/closure.ml: Leakage List Partition Snf_deps String

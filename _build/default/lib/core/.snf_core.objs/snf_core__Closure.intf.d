@@ -1,0 +1,1 @@
+lib/core/closure.mli: Leakage Partition Snf_crypto Snf_deps Snf_relational Value

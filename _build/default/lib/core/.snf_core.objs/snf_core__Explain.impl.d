@@ -1,0 +1,1 @@
+lib/core/explain.ml: Audit Buffer Leakage List Partition Policy Printf Snf_crypto String

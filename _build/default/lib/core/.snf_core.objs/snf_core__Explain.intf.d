@@ -1,0 +1,1 @@
+lib/core/explain.mli: Audit Partition Policy Semantics Snf_crypto Snf_deps

@@ -1,0 +1,1 @@
+lib/core/horizontal.ml: Array Audit Format Leakage List Partition Policy Printf Relation Schema Snf_relational Strategy String Value

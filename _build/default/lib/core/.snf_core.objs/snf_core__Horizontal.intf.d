@@ -1,0 +1,1 @@
+lib/core/horizontal.mli: Format Partition Policy Relation Semantics Snf_deps Snf_relational Value

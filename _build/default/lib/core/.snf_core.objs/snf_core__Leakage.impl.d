@@ -1,0 +1,1 @@
+lib/core/leakage.ml: Format Int List Map Snf_crypto String

@@ -1,0 +1,1 @@
+lib/core/maximal.ml: Audit Format List Partition Policy Snf_crypto

@@ -1,0 +1,1 @@
+lib/core/maximal.mli: Format Partition Policy Semantics Snf_crypto Snf_deps

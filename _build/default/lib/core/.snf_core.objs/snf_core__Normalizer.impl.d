@@ -1,0 +1,1 @@
+lib/core/normalizer.ml: Audit Closure Format Leakage List Partition Policy Snf_deps Strategy

@@ -1,0 +1,1 @@
+lib/core/normalizer.mli: Format Leakage Partition Policy Relation Semantics Snf_deps Snf_relational

@@ -1,0 +1,1 @@
+lib/core/partition.ml: Algebra Array Attribute Format Leakage List Option Policy Printf Relation Result Schema Snf_crypto Snf_relational String Value

@@ -1,0 +1,1 @@
+lib/core/partition.mli: Format Policy Relation Snf_crypto Snf_relational

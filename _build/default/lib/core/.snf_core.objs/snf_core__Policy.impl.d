@@ -1,0 +1,1 @@
+lib/core/policy.ml: Format Leakage List Map Printf Schema Snf_crypto Snf_relational String

@@ -1,0 +1,1 @@
+lib/core/policy.mli: Format Leakage Schema Snf_crypto Snf_relational

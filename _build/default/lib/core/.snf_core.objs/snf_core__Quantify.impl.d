@@ -1,0 +1,1 @@
+lib/core/quantify.ml: Array Closure Float Hashtbl Int Leakage List Option Partition Policy Printf Relation Snf_crypto Snf_relational Value

@@ -1,0 +1,1 @@
+lib/core/quantify.mli: Partition Policy Relation Snf_deps Snf_relational

@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Array Audit Hashtbl Leakage List Option Partition Policy Printf Semantics Snf_crypto Snf_deps String

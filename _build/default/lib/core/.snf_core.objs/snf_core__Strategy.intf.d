@@ -1,0 +1,1 @@
+lib/core/strategy.mli: Partition Policy Semantics Snf_crypto Snf_deps Snf_relational

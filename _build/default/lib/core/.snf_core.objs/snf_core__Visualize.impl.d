@@ -1,0 +1,1 @@
+lib/core/visualize.ml: Audit Buffer Leakage List Partition Printf Snf_crypto Snf_deps Snf_relational String

@@ -1,0 +1,1 @@
+lib/core/visualize.mli: Partition Policy Semantics Snf_crypto Snf_deps

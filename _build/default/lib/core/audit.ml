@@ -1,0 +1,95 @@
+type channel =
+  | Marginal_excess
+  | Joint_exposure of string
+
+type violation = {
+  attr : string;
+  leaked : Leakage.kind;
+  allowed : Leakage.kind;
+  in_leaf : string;
+  provenance : Leakage.provenance;
+  channel : channel;
+}
+
+let marginal_leaf_violations ?fragment g policy (l : Partition.leaf) =
+  let closure = Closure.analyze_leaf ?fragment g l in
+  List.filter_map
+    (fun (attr, (entry : Leakage.entry)) ->
+      let allowed =
+        if Policy.mem policy attr then Policy.permissible policy attr
+        else Leakage.Nothing
+      in
+      if Leakage.leq entry.kind allowed then None
+      else
+        Some
+          { attr; leaked = entry.kind; allowed; in_leaf = l.label;
+            provenance = entry.provenance; channel = Marginal_excess })
+    (Leakage.Assignment.bindings closure)
+
+let joint_leaf_violations ?fragment g policy (l : Partition.leaf) =
+  let columns =
+    List.map (fun (c : Partition.column_spec) -> (c.name, c.scheme)) l.columns
+  in
+  let fully_public a =
+    Policy.mem policy a && Leakage.equal_kind (Policy.permissible policy a) Leakage.Full
+  in
+  List.filter_map
+    (fun (a, b, k) ->
+      if fully_public a && fully_public b then None
+      else
+        let weaker_budget =
+          if Policy.mem policy a && Policy.mem policy b then
+            if Leakage.leq (Policy.permissible policy a) (Policy.permissible policy b)
+            then a else b
+          else if Policy.mem policy a then b
+          else a
+        in
+        let partner = if weaker_budget = a then b else a in
+        Some
+          { attr = weaker_budget;
+            leaked = k;
+            allowed =
+              (if Policy.mem policy weaker_budget then
+                 Policy.permissible policy weaker_budget
+               else Leakage.Nothing);
+            in_leaf = l.label;
+            provenance = Leakage.Inferred [ partner; weaker_budget ];
+            channel = Joint_exposure partner })
+    (Closure.joint_pairs ?fragment g columns)
+
+let violations ?(semantics = Semantics.default) ?fragment g policy t =
+  let marginal = List.concat_map (marginal_leaf_violations ?fragment g policy) t in
+  match semantics with
+  | Semantics.Marginal -> marginal
+  | Semantics.Strict ->
+    marginal @ List.concat_map (joint_leaf_violations ?fragment g policy) t
+
+let check ?semantics ?fragment g policy t =
+  match Partition.validate policy t with
+  | Error msg -> Error (`Structural msg)
+  | Ok () -> (
+    match violations ?semantics ?fragment g policy t with
+    | [] -> Ok ()
+    | vs -> Error (`Leakage vs))
+
+let is_snf ?semantics ?fragment g policy t =
+  Result.is_ok (check ?semantics ?fragment g policy t)
+
+let closure_report g policy t =
+  let closure = Closure.analyze g t in
+  List.map
+    (fun attr ->
+      let leaked = Leakage.Assignment.kind_of closure attr in
+      let allowed = Policy.permissible policy attr in
+      (attr, leaked, allowed, Leakage.leq leaked allowed))
+    (Policy.attrs policy)
+
+let pp_violation fmt v =
+  match v.channel with
+  | Marginal_excess ->
+    Format.fprintf fmt "%s leaks %a in leaf %s (allowed %a; %a)" v.attr
+      Leakage.pp_kind v.leaked v.in_leaf Leakage.pp_kind v.allowed
+      Leakage.pp_provenance v.provenance
+  | Joint_exposure partner ->
+    Format.fprintf fmt "joint distribution of (%s, %s) observable in leaf %s (%a)"
+      v.attr partner v.in_leaf Leakage.pp_kind v.leaked

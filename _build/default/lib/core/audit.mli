@@ -1,0 +1,54 @@
+(** The SNF predicate (Definition 2) and unintended-leakage reporting.
+
+    A representation is in SNF w.r.t. the owner's annotation iff its
+    leakage closure is dominated by the permissible set L_P — i.e. no
+    attribute leaks more than the direct leakage of its annotated
+    primitive — and it is structurally valid (coverage, scheme
+    discipline; [Partition.validate]). Under the default [Semantics.Strict]
+    reading, co-locating two {e dependent} attributes of which at least one
+    leaks is additionally unintended (joint-distribution leakage), unless
+    both are annotated fully public. Every violation carries the
+    provenance chain witnessing the inference, so the owner can see
+    {e why} a co-location is unsafe (the "visualizing leakages" aid of
+    §V-D). *)
+
+type channel =
+  | Marginal_excess  (** an attribute's closure kind exceeds its budget *)
+  | Joint_exposure of string
+      (** joint distribution with the named partner attribute observable *)
+
+type violation = {
+  attr : string;
+  leaked : Leakage.kind;
+  allowed : Leakage.kind;
+  in_leaf : string;          (** label of a leaf witnessing the excess *)
+  provenance : Leakage.provenance;
+  channel : channel;
+}
+
+val violations :
+  ?semantics:Semantics.t ->
+  ?fragment:string * Snf_relational.Value.t ->
+  Snf_deps.Dep_graph.t -> Policy.t -> Partition.t -> violation list
+(** All unintended leakages of the representation. Structural invalidity
+    is not reported here — use [check]. *)
+
+val is_snf :
+  ?semantics:Semantics.t ->
+  ?fragment:string * Snf_relational.Value.t ->
+  Snf_deps.Dep_graph.t -> Policy.t -> Partition.t -> bool
+(** Definition 2: structurally valid and free of unintended leakage. *)
+
+val check :
+  ?semantics:Semantics.t ->
+  ?fragment:string * Snf_relational.Value.t ->
+  Snf_deps.Dep_graph.t -> Policy.t -> Partition.t ->
+  (unit, [ `Structural of string | `Leakage of violation list ]) result
+
+val closure_report :
+  Snf_deps.Dep_graph.t -> Policy.t -> Partition.t ->
+  (string * Leakage.kind * Leakage.kind * bool) list
+(** Per attribute: (name, leaked, allowed, within budget) — the full
+    L⁺ vs L_P table for display (marginal closure only). *)
+
+val pp_violation : Format.formatter -> violation -> unit

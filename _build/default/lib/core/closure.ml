@@ -1,0 +1,87 @@
+module Dep_graph = Snf_deps.Dep_graph
+
+let dependent ?fragment g a b =
+  match fragment with
+  | None -> Dep_graph.dependent g a b
+  | Some on -> Dep_graph.dependent_in_fragment g ~on a b
+
+(* Fixpoint propagation inside one co-location set. Each attribute starts
+   with the direct leakage of its scheme; one step propagates the current
+   kind of every attribute to each of its dependents, extending the
+   provenance chain. Terminates because kinds only grow in a finite
+   lattice over finitely many attributes. *)
+let analyze_colocated ?fragment g columns =
+  let direct =
+    List.fold_left
+      (fun acc (a, s) ->
+        Leakage.Assignment.update_join acc a
+          { Leakage.kind = Leakage.of_scheme s; provenance = Leakage.Direct })
+      Leakage.Assignment.empty columns
+  in
+  let names = List.sort_uniq String.compare (List.map fst columns) in
+  let chain_of attr entry =
+    match entry.Leakage.provenance with
+    | Leakage.Direct -> [ attr ]
+    | Leakage.Inferred chain -> chain
+  in
+  let rec fixpoint acc =
+    let changed = ref false in
+    let next =
+      List.fold_left
+        (fun acc a ->
+          match Leakage.Assignment.find acc a with
+          | None -> acc
+          | Some ea ->
+            List.fold_left
+              (fun acc b ->
+                if b <> a && dependent ?fragment g a b
+                   && not (Leakage.leq ea.Leakage.kind (Leakage.Assignment.kind_of acc b))
+                then begin
+                  changed := true;
+                  Leakage.Assignment.update_join acc b
+                    { Leakage.kind = ea.Leakage.kind;
+                      provenance = Leakage.Inferred (chain_of a ea @ [ b ]) }
+                end
+                else acc)
+              acc names)
+        acc names
+    in
+    if !changed then fixpoint next else next
+  in
+  fixpoint direct
+
+let leaf_columns (l : Partition.leaf) =
+  List.map (fun (c : Partition.column_spec) -> (c.name, c.scheme)) l.columns
+
+let analyze_leaf ?fragment g l = analyze_colocated ?fragment g (leaf_columns l)
+
+let analyze ?fragment g t =
+  List.fold_left
+    (fun acc l -> Leakage.Assignment.merge acc (analyze_leaf ?fragment g l))
+    Leakage.Assignment.empty t
+
+let joint_pairs ?fragment g columns =
+  let direct = List.map (fun (a, s) -> (a, Leakage.of_scheme s)) columns in
+  let rec pairs = function
+    | [] -> []
+    | (a, ka) :: rest ->
+      List.filter_map
+        (fun (b, kb) ->
+          let k = Leakage.join ka kb in
+          if a <> b && dependent ?fragment g a b
+             && not (Leakage.equal_kind k Leakage.Nothing)
+          then Some (min a b, max a b, k)
+          else None)
+        rest
+      @ pairs rest
+  in
+  List.sort_uniq compare (pairs direct)
+
+let would_leak ?fragment g colocated (a, s) =
+  let before = analyze_colocated ?fragment g colocated in
+  let after = analyze_colocated ?fragment g ((a, s) :: colocated) in
+  List.filter_map
+    (fun (attr, entry) ->
+      let old = Leakage.Assignment.kind_of before attr in
+      if Leakage.leq entry.Leakage.kind old then None else Some (attr, entry.Leakage.kind))
+    (Leakage.Assignment.bindings after)

@@ -1,0 +1,60 @@
+(** ANALYZELEAKAGECLOSURE (Algorithm 1, line 2): the leakage-inference
+    engine.
+
+    Given a co-location of attributes (one leaf of a representation) and
+    the dependence specification D, compute everything the adversary can
+    derive — the closure L⁺ = L_P ∪ L_U of the leaf. The engine applies
+    the paper's {e conservative propagation rule} (§III-A): whenever
+    attribute [b] is dependent on attribute [a] and the representation
+    leaks kind [k] about [a], the adversary also learns [k] about [b].
+    Propagation is transitive (chains of dependencies) but confined to the
+    leaf: sub-relations are unlinkable at rest, so nothing flows between
+    leaves. For a whole representation, the closure is the per-attribute
+    join over all leaves.
+
+    The result is {b sound} (every reported entry is derivable by finitely
+    many rule applications, witnessed by its provenance chain) and
+    {b complete} (computed to fixpoint: no further rule application can
+    add anything) — property-tested in [test/test_closure.ml]. *)
+
+open Snf_relational
+
+val analyze_colocated :
+  ?fragment:string * Value.t ->
+  Snf_deps.Dep_graph.t ->
+  (string * Snf_crypto.Scheme.kind) list ->
+  Leakage.Assignment.t
+(** Closure of an explicit co-location. When [fragment] is given,
+    dependence is judged by [Dep_graph.dependent_in_fragment] — the
+    horizontal-partitioning refinement of §IV-A. *)
+
+val analyze_leaf :
+  ?fragment:string * Value.t ->
+  Snf_deps.Dep_graph.t -> Partition.leaf -> Leakage.Assignment.t
+
+val analyze :
+  ?fragment:string * Value.t ->
+  Snf_deps.Dep_graph.t -> Partition.t -> Leakage.Assignment.t
+(** Join of the per-leaf closures: the total L⁺ of the representation. *)
+
+val joint_pairs :
+  ?fragment:string * Value.t ->
+  Snf_deps.Dep_graph.t ->
+  (string * Snf_crypto.Scheme.kind) list ->
+  (string * string * Leakage.kind) list
+(** Co-located dependent pairs where at least one endpoint's direct scheme
+    leaks: the adversary observes their joint distribution — the extra
+    channel the [Strict] semantics forbids ([Semantics]). The reported
+    kind is the join of the two direct kinds. Each unordered pair appears
+    once, alphabetically. *)
+
+val would_leak :
+  ?fragment:string * Value.t ->
+  Snf_deps.Dep_graph.t ->
+  (string * Snf_crypto.Scheme.kind) list ->
+  string * Snf_crypto.Scheme.kind ->
+  (string * Leakage.kind) list
+(** [would_leak g colocated (a, s)]: the {e delta} — per-attribute leakage
+    increases caused by adding column [a] (stored under [s]) to the
+    co-location. Empty iff the addition is leakage-free. The primitive the
+    greedy normalization strategies are built on. *)

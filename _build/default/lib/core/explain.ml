@@ -1,0 +1,143 @@
+module Scheme = Snf_crypto.Scheme
+
+type repair =
+  | Separate of { attr : string; from_leaf : string }
+  | Strengthen of { attr : string; to_ : Scheme.kind }
+
+let violation_text (v : Audit.violation) =
+  match v.Audit.channel with
+  | Audit.Joint_exposure partner ->
+    Printf.sprintf
+      "%s and %s are dependent and stored together in %s, so the server can \
+       observe their joint distribution (%s-level), which exceeds the \
+       per-column budgets."
+      v.Audit.attr partner v.Audit.in_leaf
+      (Leakage.kind_to_string v.Audit.leaked)
+  | Audit.Marginal_excess -> (
+    match v.Audit.provenance with
+    | Leakage.Inferred chain ->
+      Printf.sprintf
+        "%s is annotated to leak at most '%s', but inside %s the adversary \
+         learns its %s through the dependence chain %s."
+        v.Audit.attr
+        (Leakage.kind_to_string v.Audit.allowed)
+        v.Audit.in_leaf
+        (Leakage.kind_to_string v.Audit.leaked)
+        (String.concat " ~> " chain)
+    | Leakage.Direct ->
+      Printf.sprintf
+        "%s is stored in %s under a scheme that leaks its %s directly, beyond \
+         its '%s' budget."
+        v.Audit.attr v.Audit.in_leaf
+        (Leakage.kind_to_string v.Audit.leaked)
+        (Leakage.kind_to_string v.Audit.allowed))
+
+let separate rep attr from_leaf =
+  let fresh_label =
+    let existing = List.map (fun (l : Partition.leaf) -> l.Partition.label) rep in
+    let rec pick i =
+      let c = Printf.sprintf "fix%d" i in
+      if List.mem c existing then pick (i + 1) else c
+    in
+    pick 0
+  in
+  let moved = ref None in
+  let rep' =
+    List.filter_map
+      (fun (l : Partition.leaf) ->
+        if l.Partition.label <> from_leaf then Some l
+        else begin
+          let keep, gone =
+            List.partition (fun (c : Partition.column_spec) -> c.name <> attr) l.Partition.columns
+          in
+          (match gone with [ c ] -> moved := Some c | _ -> ());
+          if keep = [] then None else Some { l with Partition.columns = keep }
+        end)
+      rep
+  in
+  match !moved with
+  | None -> None
+  | Some c -> Some (rep' @ [ { Partition.label = fresh_label; columns = [ c ] } ])
+
+let strengthen_in rep attr scheme =
+  List.map
+    (fun (l : Partition.leaf) ->
+      { l with
+        Partition.columns =
+          List.map
+            (fun (c : Partition.column_spec) ->
+              if c.name = attr then { c with Partition.scheme } else c)
+            l.Partition.columns })
+    rep
+
+let violation_gone ?semantics g policy rep (v : Audit.violation) =
+  not
+    (List.exists
+       (fun (v' : Audit.violation) ->
+         v'.Audit.attr = v.Audit.attr && v'.Audit.channel = v.Audit.channel)
+       (Audit.violations ?semantics g policy rep))
+
+let repairs ?semantics g policy rep (v : Audit.violation) =
+  let candidates =
+    (* Moving either endpoint out of the shared leaf preserves budgets. *)
+    let move_targets =
+      match v.Audit.channel with
+      | Audit.Joint_exposure partner -> [ v.Audit.attr; partner ]
+      | Audit.Marginal_excess -> (
+        v.Audit.attr
+        ::
+        (match v.Audit.provenance with
+         | Leakage.Inferred (src :: _) when src <> v.Audit.attr -> [ src ]
+         | _ -> []))
+    in
+    List.map
+      (fun attr -> (Separate { attr; from_leaf = v.Audit.in_leaf }, `Move attr))
+      move_targets
+    (* Or strengthen the leaking source so nothing spreads. *)
+    @ (match v.Audit.provenance with
+       | Leakage.Inferred (src :: _) ->
+         [ (Strengthen { attr = src; to_ = Scheme.Ndet }, `Strengthen src) ]
+       | _ -> [ (Strengthen { attr = v.Audit.attr; to_ = Scheme.Ndet }, `Strengthen v.Audit.attr) ])
+  in
+  List.filter_map
+    (fun (repair, action) ->
+      match action with
+      | `Move attr -> (
+        match separate rep attr v.Audit.in_leaf with
+        | Some rep' when violation_gone ?semantics g policy rep' v ->
+          Some (repair, rep', policy)
+        | _ -> None)
+      | `Strengthen attr ->
+        let policy' = Policy.strengthen policy attr Scheme.Ndet in
+        let rep' = strengthen_in rep attr Scheme.Ndet in
+        if violation_gone ?semantics g policy' rep' v then Some (repair, rep', policy')
+        else None)
+    candidates
+
+let repair_text = function
+  | Separate { attr; from_leaf } ->
+    Printf.sprintf "move %s out of %s into its own sub-relation" attr from_leaf
+  | Strengthen { attr; to_ } ->
+    Printf.sprintf "re-annotate %s as %s (gives up its server-side predicates)"
+      attr (Scheme.to_string to_)
+
+let report ?semantics g policy rep =
+  match Audit.violations ?semantics g policy rep with
+  | [] -> "The representation is in secure normal form: nothing beyond the \
+           annotated leakage is inferable.\n"
+  | vs ->
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf
+      (Printf.sprintf "%d unintended leakage(s):\n" (List.length vs));
+    List.iter
+      (fun v ->
+        Buffer.add_string buf ("  * " ^ violation_text v ^ "\n");
+        match repairs ?semantics g policy rep v with
+        | [] -> Buffer.add_string buf "      (no single-step repair found)\n"
+        | rs ->
+          List.iter
+            (fun (r, _, _) ->
+              Buffer.add_string buf ("      fix: " ^ repair_text r ^ "\n"))
+            rs)
+      vs;
+    Buffer.contents buf

@@ -1,0 +1,35 @@
+(** Human-readable explanations and repairs for audit findings (§V-D:
+    "it may be challenging for non-domain experts ... immediate system
+    feedback through inference would make the system more usable").
+
+    [violation] turns an [Audit.violation] into a sentence that names the
+    inference channel; [repairs] proposes concrete actions that
+    provably remove a violation — each one is checked by re-running the
+    audit on the modified representation, so every suggestion shown to the
+    user is guaranteed to work. *)
+
+type repair =
+  | Separate of { attr : string; from_leaf : string }
+      (** move the attribute into its own fresh leaf *)
+  | Strengthen of { attr : string; to_ : Snf_crypto.Scheme.kind }
+      (** re-annotate with a stronger scheme (changes the budget!) *)
+
+val violation_text : Audit.violation -> string
+(** One sentence: what leaks, where, and through which chain. *)
+
+val repairs :
+  ?semantics:Semantics.t ->
+  Snf_deps.Dep_graph.t -> Policy.t -> Partition.t -> Audit.violation ->
+  (repair * Partition.t * Policy.t) list
+(** Verified repairs for one violation, each with the representation and
+    policy after applying it; every returned option removes {e this}
+    violation (others may remain — iterate). Separation options come
+    first (they preserve the owner's budget). *)
+
+val repair_text : repair -> string
+
+val report :
+  ?semantics:Semantics.t ->
+  Snf_deps.Dep_graph.t -> Policy.t -> Partition.t -> string
+(** The full audit narrative: every violation with its explanation and
+    verified repair options, or a clean bill of health. *)

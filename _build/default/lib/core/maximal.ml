@@ -1,0 +1,77 @@
+module Scheme = Snf_crypto.Scheme
+
+type defect =
+  | Addable of { attr : string; leaf : string }
+  | Weakenable of { attr : string; leaf : string; to_ : Scheme.kind }
+
+let replace_leaf rep label f =
+  List.map (fun (l : Partition.leaf) -> if l.label = label then f l else l) rep
+
+let first_defect ?semantics g policy rep =
+  let all_attrs = Policy.attrs policy in
+  let addable =
+    List.find_map
+      (fun (l : Partition.leaf) ->
+        List.find_map
+          (fun a ->
+            if Partition.mem_leaf l a then None
+            else begin
+              let grown =
+                replace_leaf rep l.label (fun l ->
+                    { l with
+                      columns =
+                        l.columns
+                        @ [ { Partition.name = a; scheme = Policy.scheme_of policy a } ] })
+              in
+              if Audit.is_snf ?semantics g policy grown then
+                Some (Addable { attr = a; leaf = l.label })
+              else None
+            end)
+          all_attrs)
+      rep
+  in
+  match addable with
+  | Some _ as d -> d
+  | None ->
+    List.find_map
+      (fun (l : Partition.leaf) ->
+        List.find_map
+          (fun (c : Partition.column_spec) ->
+            List.find_map
+              (fun weaker ->
+                let weakened =
+                  replace_leaf rep l.label (fun l ->
+                      { l with
+                        columns =
+                          List.map
+                            (fun (c' : Partition.column_spec) ->
+                              if c'.name = c.name then { c' with scheme = weaker } else c')
+                            l.columns })
+                in
+                if Audit.is_snf ?semantics g policy weakened then
+                  Some (Weakenable { attr = c.name; leaf = l.label; to_ = weaker })
+                else None)
+              (Scheme.weakenings c.scheme))
+          l.columns)
+      rep
+
+let is_maximally_permissive ?semantics g policy rep =
+  first_defect ?semantics g policy rep = None
+
+let rec tighten ?semantics g policy rep =
+  match first_defect ?semantics g policy rep with
+  | Some (Addable { attr; leaf }) ->
+    let grown =
+      replace_leaf rep leaf (fun l ->
+          { l with
+            columns =
+              l.columns @ [ { Partition.name = attr; scheme = Policy.scheme_of policy attr } ] })
+    in
+    tighten ?semantics g policy grown
+  | Some (Weakenable _) | None -> rep
+
+let pp_defect fmt = function
+  | Addable { attr; leaf } -> Format.fprintf fmt "leaf %s could absorb %s" leaf attr
+  | Weakenable { attr; leaf; to_ } ->
+    Format.fprintf fmt "leaf %s stores %s stronger than needed (could be %s)" leaf attr
+      (Scheme.to_string to_)

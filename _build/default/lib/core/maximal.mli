@@ -1,0 +1,38 @@
+(** Maximally permissive SNFs (Definition 3).
+
+    A representation in SNF is {e maximally permissive} when no leaf can
+    absorb an additional attribute, and no stored column can be weakened,
+    without the representation falling out of SNF. Maximality matters for
+    performance: the more attributes share a leaf, the more queries avoid
+    cross-leaf oblivious joins.
+
+    Note the asymmetry the paper leaves implicit: [max_repeating] is
+    maximal by construction, while [non_repeating] usually is {e not} — an
+    attribute placed in leaf 1 could often also live in leaf 3, so leaf 3
+    admits an addition. [tighten] closes that gap greedily (and on
+    conflict-free inputs reproduces max-repeating placements). *)
+
+type defect =
+  | Addable of { attr : string; leaf : string }
+    (** storing [attr] (at its annotated scheme) in [leaf] keeps SNF *)
+  | Weakenable of { attr : string; leaf : string; to_ : Snf_crypto.Scheme.kind }
+    (** the stored copy could use a leakier scheme and keep SNF *)
+
+val first_defect :
+  ?semantics:Semantics.t ->
+  Snf_deps.Dep_graph.t -> Policy.t -> Partition.t -> defect option
+
+val is_maximally_permissive :
+  ?semantics:Semantics.t ->
+  Snf_deps.Dep_graph.t -> Policy.t -> Partition.t -> bool
+(** [first_defect = None]. Only meaningful for representations already in
+    SNF. *)
+
+val tighten :
+  ?semantics:Semantics.t ->
+  Snf_deps.Dep_graph.t -> Policy.t -> Partition.t -> Partition.t
+(** Repeatedly apply [Addable] defects (additions only) until none remain.
+    Preserves SNF; terminates because each step adds a stored copy and
+    copies are bounded by attrs × leaves. *)
+
+val pp_defect : Format.formatter -> defect -> unit

@@ -1,0 +1,48 @@
+type strategy =
+  [ `Naive | `Strawman | `All_strong | `Non_repeating | `Max_repeating
+  | `Exhaustive ]
+
+type plan = {
+  policy : Policy.t;
+  graph : Snf_deps.Dep_graph.t;
+  representation : Partition.t;
+  strategy : strategy;
+  closure : Leakage.Assignment.t;
+  snf : bool;
+}
+
+let run_strategy ?semantics strategy g policy =
+  match strategy with
+  | `Naive -> Strategy.naive policy
+  | `Strawman -> Strategy.strawman policy
+  | `All_strong -> Strategy.all_strong policy
+  | `Non_repeating -> Strategy.non_repeating ?semantics g policy
+  | `Max_repeating -> Strategy.max_repeating ?semantics g policy
+  | `Exhaustive -> Strategy.exhaustive ?semantics g policy
+
+let plan_with_graph ?semantics ?(strategy = `Non_repeating) g policy =
+  let representation = run_strategy ?semantics strategy g policy in
+  { policy;
+    graph = g;
+    representation;
+    strategy;
+    closure = Closure.analyze g representation;
+    snf = Audit.is_snf ?semantics g policy representation }
+
+let plan ?semantics ?strategy ?mode ?max_lhs ?correlation_threshold r policy =
+  let g = Snf_deps.Dep_graph.of_relation ?mode ?max_lhs ?correlation_threshold r in
+  plan_with_graph ?semantics ?strategy g policy
+
+let strategy_name = function
+  | `Naive -> "naive"
+  | `Strawman -> "strawman"
+  | `All_strong -> "all-strong"
+  | `Non_repeating -> "non-repeating"
+  | `Max_repeating -> "max-repeating"
+  | `Exhaustive -> "exhaustive"
+
+let pp fmt p =
+  Format.fprintf fmt "@[<v>strategy: %s; %d leaves; SNF: %b@,%a@]"
+    (strategy_name p.strategy)
+    (List.length p.representation)
+    p.snf Partition.pp p.representation

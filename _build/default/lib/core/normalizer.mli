@@ -1,0 +1,41 @@
+(** The data-owner pipeline of Algorithm 1, lines 1–3:
+    DEPENDENCYINFERENCE → ANALYZELEAKAGECLOSURE → PARTITIONING.
+
+    Encryption and outsourcing (line 4 onward) live in [Snf_exec.System],
+    which builds on the plan produced here. *)
+
+open Snf_relational
+
+type strategy =
+  [ `Naive | `Strawman | `All_strong | `Non_repeating | `Max_repeating
+  | `Exhaustive ]
+(** [`Exhaustive] is the chase-style optimum ([Strategy.exhaustive]); only
+    usable on schemas of at most 10 attributes. *)
+
+type plan = {
+  policy : Policy.t;
+  graph : Snf_deps.Dep_graph.t;
+  representation : Partition.t;
+  strategy : strategy;
+  closure : Leakage.Assignment.t;   (** L⁺ of the representation *)
+  snf : bool;                       (** [Audit.is_snf] verdict *)
+}
+
+val plan_with_graph :
+  ?semantics:Semantics.t ->
+  ?strategy:strategy -> Snf_deps.Dep_graph.t -> Policy.t -> plan
+(** Partition with a caller-supplied dependence specification (declared
+    semantics instead of mined). Default strategy: [`Non_repeating]. *)
+
+val plan :
+  ?semantics:Semantics.t ->
+  ?strategy:strategy ->
+  ?mode:Snf_deps.Dep_graph.mode ->
+  ?max_lhs:int ->
+  ?correlation_threshold:float ->
+  Relation.t -> Policy.t -> plan
+(** Full owner-side pipeline: mine the dependence specification from the
+    data (excluding nothing; pass a tid-free relation), then partition.
+    Mining defaults follow [Dep_graph.of_relation]. *)
+
+val pp : Format.formatter -> plan -> unit

@@ -1,0 +1,123 @@
+open Snf_relational
+module Scheme = Snf_crypto.Scheme
+
+type column_spec = { name : string; scheme : Scheme.kind }
+
+type leaf = { label : string; columns : column_spec list }
+
+type t = leaf list
+
+let tid_name = "__tid"
+
+let leaf label columns =
+  if columns = [] then invalid_arg "Partition.leaf: empty column list";
+  let names = List.map fst columns in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg "Partition.leaf: duplicate column";
+  if List.mem tid_name names then
+    invalid_arg (Printf.sprintf "Partition.leaf: %s is reserved" tid_name);
+  { label; columns = List.map (fun (name, scheme) -> { name; scheme }) columns }
+
+let leaf_attrs l = List.map (fun c -> c.name) l.columns
+
+let mem_leaf l a = List.exists (fun c -> c.name = a) l.columns
+
+let scheme_in_leaf l a =
+  List.find_opt (fun c -> c.name = a) l.columns |> Option.map (fun c -> c.scheme)
+
+let attrs t =
+  List.concat_map leaf_attrs t |> List.sort_uniq String.compare
+
+let leaves_with t a = List.filter (fun l -> mem_leaf l a) t
+
+let total_columns t = List.fold_left (fun acc l -> acc + List.length l.columns) 0 t
+
+let repetition_factor t =
+  let distinct = List.length (attrs t) in
+  if distinct = 0 then 1.0 else float_of_int (total_columns t) /. float_of_int distinct
+
+let validate policy t =
+  let ( let* ) r f = Result.bind r f in
+  let* () =
+    let labels = List.map (fun l -> l.label) t in
+    if List.length (List.sort_uniq String.compare labels) <> List.length labels then
+      Error "duplicate leaf labels"
+    else Ok ()
+  in
+  let annotated = Policy.attrs policy in
+  let stored = attrs t in
+  let* () =
+    match List.find_opt (fun a -> not (List.mem a stored)) annotated with
+    | Some a -> Error (Printf.sprintf "attribute %S is not stored in any leaf" a)
+    | None -> Ok ()
+  in
+  let* () =
+    match List.find_opt (fun a -> not (Policy.mem policy a)) stored with
+    | Some a -> Error (Printf.sprintf "leaf stores unannotated attribute %S" a)
+    | None -> Ok ()
+  in
+  List.fold_left
+    (fun acc l ->
+      let* () = acc in
+      List.fold_left
+        (fun acc c ->
+          let* () = acc in
+          let allowed = Policy.permissible policy c.name in
+          if Leakage.leq (Leakage.of_scheme c.scheme) allowed then Ok ()
+          else
+            Error
+              (Printf.sprintf
+                 "leaf %S stores %S under %s, weaker than its annotation" l.label
+                 c.name (Scheme.to_string c.scheme)))
+        (Ok ()) l.columns)
+    (Ok ()) t
+
+let materialize r t =
+  let n = Relation.cardinality r in
+  let tid_col = Array.init n (fun i -> Value.Int i) in
+  List.map
+    (fun l ->
+      let projected = Relation.project r (leaf_attrs l) in
+      let schema =
+        Schema.of_attributes
+          (Attribute.int tid_name :: Schema.attributes (Relation.schema projected))
+      in
+      let columns =
+        Array.append [| Array.copy tid_col |]
+          (Array.of_list
+             (List.map (fun a -> Relation.column projected a) (leaf_attrs l)))
+      in
+      (l, Relation.of_columns schema columns))
+    t
+
+let reconstruct pieces =
+  match pieces with
+  | [] -> invalid_arg "Partition.reconstruct: empty representation"
+  | (_, first) :: rest ->
+    let joined =
+      List.fold_left
+        (fun acc (_, piece) ->
+          (* Drop attributes already present to keep the first copy. *)
+          let fresh =
+            List.filter
+              (fun a -> a = tid_name || not (Schema.mem (Relation.schema acc) a))
+              (Schema.names (Relation.schema piece))
+          in
+          if fresh = [ tid_name ] then acc
+          else Algebra.equi_join ~on:tid_name acc (Relation.project piece fresh))
+        first rest
+    in
+    let out =
+      List.filter (fun a -> a <> tid_name) (Schema.names (Relation.schema joined))
+    in
+    Relation.project joined out
+
+let pp_leaf fmt l =
+  Format.fprintf fmt "%s{%s}" l.label
+    (String.concat ", "
+       (List.map (fun c -> Printf.sprintf "%s:%s" c.name (Scheme.to_string c.scheme)) l.columns))
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%d leaves@," (List.length t);
+  List.iter (fun l -> Format.fprintf fmt "  %a@," pp_leaf l) t;
+  Format.fprintf fmt "@]"

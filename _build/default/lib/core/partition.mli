@@ -1,0 +1,64 @@
+(** Partitioned representations R = {R_1, ..., R_n}.
+
+    A (vertical) representation is a list of {e leaves}; each leaf is a
+    sub-relation storing some of the original attributes, each under a
+    chosen primitive. Every materialized leaf additionally carries a [tid]
+    column — always strongly encrypted, under a per-leaf key — which is
+    what makes the original relation reconstructable (lossless join) while
+    keeping leaves unlinkable at rest. Horizontal extensions are layered on
+    top by [Horizontal]. *)
+
+open Snf_relational
+
+type column_spec = { name : string; scheme : Snf_crypto.Scheme.kind }
+
+type leaf = { label : string; columns : column_spec list }
+
+type t = leaf list
+
+val tid_name : string
+(** The reserved tid attribute name, ["__tid"]. *)
+
+val leaf : string -> (string * Snf_crypto.Scheme.kind) list -> leaf
+(** @raise Invalid_argument on an empty column list, duplicate columns, or
+    a column named [tid_name]. *)
+
+val leaf_attrs : leaf -> string list
+val mem_leaf : leaf -> string -> bool
+val scheme_in_leaf : leaf -> string -> Snf_crypto.Scheme.kind option
+
+val attrs : t -> string list
+(** All attributes stored somewhere, sorted, without duplicates. *)
+
+val leaves_with : t -> string -> leaf list
+
+val total_columns : t -> int
+(** Sum of leaf widths — counts repeated attributes once per copy. *)
+
+val repetition_factor : t -> float
+(** [total_columns / distinct attrs]; 1.0 for repetition-free
+    representations. *)
+
+val validate : Policy.t -> t -> (unit, string) result
+(** Structural well-formedness w.r.t. the annotation:
+    - leaf labels are unique and leaves are well-formed;
+    - every annotated attribute is stored in at least one leaf
+      (coverage — necessary for lossless reconstruction);
+    - no leaf stores an attribute outside the annotation;
+    - each stored copy uses the annotated scheme or a {e stronger} one
+      (storing more leakily than annotated is never allowed). *)
+
+val materialize : Relation.t -> t -> (leaf * Relation.t) list
+(** Project the base relation onto each leaf and prefix the shared dense
+    [tid] column (plaintext here; encryption happens in
+    [Snf_exec.Enc_relation]). @raise Not_found if a leaf mentions an
+    attribute absent from the relation. *)
+
+val reconstruct : (leaf * Relation.t) list -> Relation.t
+(** Join all materialized leaves on [tid] and drop it — the lossless-
+    reconstructability direction of Def. 2. Attributes stored in several
+    leaves are taken from the first leaf that has them.
+    @raise Invalid_argument on an empty representation. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_leaf : Format.formatter -> leaf -> unit

@@ -1,0 +1,84 @@
+open Snf_relational
+
+let frequencies r name =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun v ->
+      let k = Value.encode v in
+      Hashtbl.replace tbl k (1 + Option.value (Hashtbl.find_opt tbl k) ~default:0))
+    (Relation.column r name);
+  Hashtbl.fold (fun _ n acc -> n :: acc) tbl []
+
+let shannon_entropy r name =
+  let freqs = frequencies r name in
+  let n = float_of_int (List.fold_left ( + ) 0 freqs) in
+  if n = 0.0 then 0.0
+  else
+    List.fold_left
+      (fun acc f ->
+        let p = float_of_int f /. n in
+        acc -. (p *. (Float.log p /. Float.log 2.0)))
+      0.0 freqs
+
+let normalized_entropy r name =
+  let distinct = List.length (frequencies r name) in
+  if distinct <= 1 then 0.0
+  else shannon_entropy r name /. (Float.log (float_of_int distinct) /. Float.log 2.0)
+
+let frequency_classes r name =
+  let by_freq = Hashtbl.create 16 in
+  List.iter
+    (fun f -> Hashtbl.replace by_freq f (1 + Option.value (Hashtbl.find_opt by_freq f) ~default:0))
+    (frequencies r name);
+  Hashtbl.fold (fun f c acc -> (f, c) :: acc) by_freq []
+  |> List.sort (fun (f1, _) (f2, _) -> Int.compare f2 f1)
+
+let frequency_anonymity r name =
+  match frequency_classes r name with
+  | [] -> 0
+  | classes -> List.fold_left (fun acc (_, c) -> min acc c) max_int classes
+
+let recovery_rate r name =
+  let classes = frequency_classes r name in
+  let n = List.fold_left (fun acc (f, c) -> acc + (f * c)) 0 classes in
+  if n = 0 then 0.0
+  else
+    List.fold_left
+      (fun acc (f, c) ->
+        (* f*c cells fall in this class; each is matched w.p. 1/c. *)
+        acc +. (float_of_int (f * c) /. float_of_int c))
+      0.0 classes
+    /. float_of_int n
+
+let deniable ~k r name = frequency_anonymity r name >= k
+
+module Strategy_quantified = struct
+  (* Compatibility under the relaxed budget: each closure entry must either
+     be within the symbolic budget, or be an equality excess on an
+     attribute that is k-deniable in the data. *)
+  let relaxed_ok ~k data policy closure =
+    List.for_all
+      (fun (attr, (entry : Leakage.entry)) ->
+        Policy.mem policy attr
+        && (Policy.allows policy attr entry.kind
+           || (Leakage.equal_kind entry.kind Leakage.Equality && deniable ~k data attr)))
+      (Leakage.Assignment.bindings closure)
+
+  let non_repeating ~k data g policy =
+    let leaves : (string * Snf_crypto.Scheme.kind) list list ref = ref [] in
+    List.iter
+      (fun a ->
+        let s = Policy.scheme_of policy a in
+        let fits cols =
+          relaxed_ok ~k data policy (Closure.analyze_colocated g ((a, s) :: cols))
+        in
+        match List.find_opt fits !leaves with
+        | Some cols ->
+          leaves :=
+            List.map (fun c -> if c == cols then (a, s) :: c else c) !leaves
+        | None -> leaves := !leaves @ [ [ (a, s) ] ])
+      (Policy.attrs policy);
+    List.mapi
+      (fun i cols -> Partition.leaf (Printf.sprintf "q%d" i) (List.rev cols))
+      !leaves
+end

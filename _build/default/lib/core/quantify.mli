@@ -1,0 +1,50 @@
+(** Quantified leakage (§V-A, "Quantifying Leakages").
+
+    The boolean lattice of [Leakage] treats any equality leakage on an
+    attribute as equally bad. This module refines that with data-dependent
+    measures of what a frequency-analysis adversary actually gains from a
+    DET column, and a plausible-deniability knob in the spirit of the
+    authors' earlier inference-control work: equality leakage on an
+    attribute whose frequency classes all contain at least [k]
+    indistinguishable values may be declared tolerable.
+
+    [Strategy_quantified.non_repeating] (see below) uses this to co-locate
+    pairs a purely symbolic analysis would separate. *)
+
+open Snf_relational
+
+val shannon_entropy : Relation.t -> string -> float
+(** Entropy (bits) of the column's empirical distribution. *)
+
+val normalized_entropy : Relation.t -> string -> float
+(** Entropy divided by [log2 #distinct]; 1.0 = uniform, 0 for constant or
+    single-valued columns. *)
+
+val frequency_classes : Relation.t -> string -> (int * int) list
+(** [(frequency, class size)]: how many distinct values occur exactly
+    [frequency] times. The adversary's equivalence classes under pure
+    frequency analysis. *)
+
+val frequency_anonymity : Relation.t -> string -> int
+(** Size of the smallest frequency class — the worst-case anonymity set of
+    any value under frequency analysis. 0 for an empty column. *)
+
+val recovery_rate : Relation.t -> string -> float
+(** Expected fraction of {e cells} a frequency-analysis adversary with the
+    exact auxiliary distribution assigns correctly: each value in a class
+    of [c] equally-frequent candidates is guessed with probability [1/c].
+    1.0 when all frequencies are distinct. *)
+
+val deniable : k:int -> Relation.t -> string -> bool
+(** [frequency_anonymity >= k]. *)
+
+module Strategy_quantified : sig
+  val non_repeating :
+    k:int -> Relation.t ->
+    Snf_deps.Dep_graph.t -> Policy.t -> Partition.t
+  (** Like [Strategy.non_repeating], but an inferred {e equality} excess on
+      an attribute is tolerated when the attribute is [deniable ~k] in the
+      given data. Inferred {e order} or {e full} excesses are never
+      tolerated. The result is in relaxed-SNF, not necessarily strict SNF
+      — [Audit.violations] will list exactly the tolerated entries. *)
+end

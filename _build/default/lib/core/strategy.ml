@@ -1,0 +1,280 @@
+module Scheme = Snf_crypto.Scheme
+module Dep_graph = Snf_deps.Dep_graph
+
+let naive policy =
+  List.mapi
+    (fun i a -> Partition.leaf (Printf.sprintf "p%d" i) [ (a, Policy.scheme_of policy a) ])
+    (Policy.attrs policy)
+
+let strawman policy =
+  [ Partition.leaf "r0"
+      (List.map (fun a -> (a, Policy.scheme_of policy a)) (Policy.attrs policy)) ]
+
+let all_strong policy =
+  [ Partition.leaf "r0" (List.map (fun a -> (a, Scheme.Ndet)) (Policy.attrs policy)) ]
+
+let dependent ?fragment g a b =
+  match fragment with
+  | None -> Dep_graph.dependent g a b
+  | Some on -> Dep_graph.dependent_in_fragment g ~on a b
+
+(* Fast equivalent of "closure of the grown co-location stays within
+   budget": under symmetric full-strength propagation, the closure kind of
+   every attribute equals the maximum direct kind of its dependence-
+   connected component inside the leaf, so only the component the new
+   attribute joins (or bridges) needs rechecking. Under Strict semantics
+   the joint rule additionally forbids any dependence edge whose joined
+   direct kind is not Nothing, unless both endpoints are annotated fully
+   public. Equivalence with the closure-based definition is property-
+   tested in [test/test_strategy.ml]. *)
+let compatible ?(semantics = Semantics.default) ?fragment g policy colocated a =
+  let direct x = Leakage.of_scheme (Policy.scheme_of policy x) in
+  let budget x = Policy.permissible policy x in
+  let strict_ok () =
+    let fully_public x = Leakage.equal_kind (budget x) Leakage.Full in
+    List.for_all
+      (fun (b, sb) ->
+        (not (dependent ?fragment g a b))
+        || Leakage.equal_kind
+             (Leakage.join (direct a) (Leakage.of_scheme sb))
+             Leakage.Nothing
+        || (fully_public a && fully_public b))
+      colocated
+  in
+  let marginal_ok () =
+    (* BFS the component of [a] within colocated ∪ {a}. *)
+    let members = a :: List.map fst colocated in
+    let visited = Hashtbl.create 16 in
+    let rec bfs frontier =
+      match frontier with
+      | [] -> ()
+      | x :: rest ->
+        if Hashtbl.mem visited x then bfs rest
+        else begin
+          Hashtbl.add visited x ();
+          let next =
+            List.filter
+              (fun y -> (not (Hashtbl.mem visited y)) && dependent ?fragment g x y)
+              members
+          in
+          bfs (next @ rest)
+        end
+    in
+    bfs [ a ];
+    let component = Hashtbl.fold (fun x () acc -> x :: acc) visited [] in
+    let max_kind = Leakage.join_all (List.map direct component) in
+    List.for_all (fun x -> Leakage.leq max_kind (budget x)) component
+  in
+  Policy.mem policy a
+  && marginal_ok ()
+  && (match semantics with Semantics.Marginal -> true | Semantics.Strict -> strict_ok ())
+
+(* Shared greedy scaffold for the two §IV-A strategies. [placement] decides,
+   given the list of compatible leaf indices, which of them receive the
+   attribute ([] means: open a fresh leaf). *)
+let greedy ?semantics ?fragment ~placement g policy =
+  let leaves : (string * Scheme.kind) list list ref = ref [] in
+  List.iter
+    (fun a ->
+      let s = Policy.scheme_of policy a in
+      let candidate_idxs =
+        List.concat
+          (List.mapi
+             (fun i cols -> if compatible ?semantics ?fragment g policy cols a then [ i ] else [])
+             !leaves)
+      in
+      match placement candidate_idxs with
+      | [] -> leaves := !leaves @ [ [ (a, s) ] ]
+      | chosen ->
+        leaves :=
+          List.mapi
+            (fun i cols -> if List.mem i chosen then (a, s) :: cols else cols)
+            !leaves)
+    (Policy.attrs policy);
+  List.mapi
+    (fun i cols -> Partition.leaf (Printf.sprintf "p%d" i) (List.rev cols))
+    !leaves
+
+let non_repeating ?semantics ?fragment g policy =
+  greedy ?semantics ?fragment g policy
+    ~placement:(function [] -> [] | first :: _ -> [ first ])
+
+(* Max-repeating keeps the non-repeating leaf skeleton (so both strategies
+   report the same partition count, as in the paper's Table I) and then
+   adds a copy of every attribute to every leaf that can absorb it without
+   unintended leakage. A fresh greedy with "place everywhere" placement
+   would instead balloon the leaf count: early attributes replicate into
+   all leaves and block later dependent attributes everywhere at once. *)
+let max_repeating ?semantics ?fragment g policy =
+  let skeleton = non_repeating ?semantics ?fragment g policy in
+  let leaves =
+    Array.of_list
+      (List.map
+         (fun (l : Partition.leaf) ->
+           ref
+             (List.map
+                (fun (c : Partition.column_spec) -> (c.name, c.scheme))
+                l.columns))
+         skeleton)
+  in
+  List.iter
+    (fun a ->
+      let s = Policy.scheme_of policy a in
+      Array.iter
+        (fun cols ->
+          if (not (List.mem_assoc a !cols))
+             && compatible ?semantics ?fragment g policy !cols a
+          then cols := !cols @ [ (a, s) ])
+        leaves)
+    (Policy.attrs policy);
+  Array.to_list leaves
+  |> List.mapi (fun i cols -> Partition.leaf (Printf.sprintf "p%d" i) !cols)
+
+(* ---- Exhaustive (chase-style) normalization --------------------------- *)
+
+(* Enumerate all set partitions by assigning each attribute either to one
+   of the blocks opened so far or to a fresh block — the restricted-growth
+   encoding, which visits each partition exactly once. *)
+let set_partitions items =
+  let rec go blocks = function
+    | [] -> [ List.rev_map List.rev blocks ]
+    | x :: rest ->
+      let with_existing =
+        List.concat
+          (List.mapi
+             (fun i _ ->
+               let blocks' =
+                 List.mapi (fun j b -> if i = j then x :: b else b) blocks
+               in
+               go blocks' rest)
+             blocks)
+      in
+      let with_fresh = go ([ x ] :: blocks) rest in
+      with_existing @ with_fresh
+  in
+  go [] items
+
+let exhaustive ?semantics ?(max_attrs = 10) ?cost g policy =
+  let attrs = Policy.attrs policy in
+  if List.length attrs > max_attrs then
+    invalid_arg
+      (Printf.sprintf "Strategy.exhaustive: %d attributes exceed the cap of %d"
+         (List.length attrs) max_attrs);
+  let cost =
+    Option.value cost
+      ~default:(fun rep ->
+        float_of_int ((1000 * List.length rep) + Partition.total_columns rep))
+  in
+  let to_rep blocks =
+    List.mapi
+      (fun i block ->
+        Partition.leaf (Printf.sprintf "p%d" i)
+          (List.map (fun a -> (a, Policy.scheme_of policy a)) block))
+      blocks
+  in
+  let best = ref None in
+  List.iter
+    (fun blocks ->
+      let rep = to_rep blocks in
+      if Audit.is_snf ?semantics g policy rep then begin
+        let c = cost rep in
+        match !best with
+        | Some (c0, _) when c0 <= c -> ()
+        | _ -> best := Some (c, rep)
+      end)
+    (set_partitions attrs);
+  match !best with
+  | Some (_, rep) -> rep
+  | None ->
+    (* The singleton partition is always in SNF; unreachable unless the
+       policy itself is inconsistent. *)
+    naive policy
+
+(* ---- Workload-aware local search (§V-B) ------------------------------- *)
+
+type move =
+  | Add of string * int       (* add a copy of attr to leaf i *)
+  | Drop of string * int      (* remove the copy of attr from leaf i *)
+  | Relocate of string * int * int  (* move the copy from leaf i to leaf j *)
+
+let apply_move policy rep mv =
+  let arr = Array.of_list rep in
+  let with_cols i cols =
+    let l = arr.(i) in
+    if cols = [] then None else Some { l with Partition.columns = cols }
+  in
+  let add i a =
+    let l = arr.(i) in
+    { l with
+      Partition.columns =
+        l.Partition.columns
+        @ [ { Partition.name = a; scheme = Policy.scheme_of policy a } ] }
+  in
+  let drop i a =
+    with_cols i
+      (List.filter (fun (c : Partition.column_spec) -> c.name <> a) arr.(i).Partition.columns)
+  in
+  match mv with
+  | Add (a, i) ->
+    arr.(i) <- add i a;
+    Some (Array.to_list arr)
+  | Drop (a, i) -> (
+    match drop i a with
+    | None -> None (* dropping would empty the leaf; disallow *)
+    | Some l ->
+      arr.(i) <- l;
+      Some (Array.to_list arr))
+  | Relocate (a, i, j) -> (
+    match drop i a with
+    | None -> None
+    | Some l ->
+      arr.(i) <- l;
+      arr.(j) <- add j a;
+      Some (Array.to_list arr))
+
+let candidate_moves rep =
+  let leaves = Array.of_list rep in
+  let n = Array.length leaves in
+  let moves = ref [] in
+  for i = 0 to n - 1 do
+    let here = Partition.leaf_attrs leaves.(i) in
+    List.iter
+      (fun a ->
+        moves := Drop (a, i) :: !moves;
+        for j = 0 to n - 1 do
+          if j <> i && not (Partition.mem_leaf leaves.(j) a) then begin
+            moves := Relocate (a, i, j) :: !moves
+          end
+        done)
+      here;
+    (* Additions of attributes this leaf lacks. *)
+    List.iter
+      (fun a -> if not (Partition.mem_leaf leaves.(i) a) then moves := Add (a, i) :: !moves)
+      (List.concat_map Partition.leaf_attrs rep |> List.sort_uniq String.compare)
+  done;
+  !moves
+
+let workload_aware ?semantics ?(max_rounds = 4) ~cost g policy start =
+  let best = ref start in
+  let best_cost = ref (cost start) in
+  let improved = ref true in
+  let rounds = ref 0 in
+  while !improved && !rounds < max_rounds do
+    improved := false;
+    incr rounds;
+    List.iter
+      (fun mv ->
+        match apply_move policy !best mv with
+        | None -> ()
+        | Some rep ->
+          if Audit.is_snf ?semantics g policy rep then begin
+            let c = cost rep in
+            if c < !best_cost -. 1e-9 then begin
+              best := rep;
+              best_cost := c;
+              improved := true
+            end
+          end)
+      (candidate_moves !best)
+  done;
+  !best

@@ -1,0 +1,74 @@
+(** Normalization / PARTITIONING algorithms (Algorithm 1 line 3, §IV-A).
+
+    All strategies return representations that store every attribute under
+    its annotated scheme; they differ in how attributes are grouped:
+
+    - [naive] — the trivial strategy: one attribute per sub-relation.
+      Always in SNF, never shares a leaf, maximum query-time joins.
+    - [strawman] — everything co-located in one relation (the naive use of
+      a CryptDB-style system). {e Not} SNF in the presence of
+      dependencies; the baseline the paper's Table I compares against.
+    - [all_strong] — one relation, every attribute strengthened to NDET.
+      In SNF trivially, but supports no server-side predicates.
+    - [non_repeating] — greedy hill-climbing (Strategy 1): each attribute
+      joins the first existing leaf it can enter without creating
+      unintended leakage, else opens a new leaf. Repetition-free.
+    - [max_repeating] — Strategy 2: each attribute joins {e every} leaf it
+      is compatible with (and opens a new leaf when none). Maximally
+      permissive by construction; trades storage for query locality.
+    - [workload_aware] — §V-B: local search over SNF-preserving moves
+      (add / drop / move an attribute copy) minimizing a caller-supplied
+      workload cost.
+
+    Every result of [naive], [non_repeating], [max_repeating] and
+    [workload_aware] satisfies [Audit.is_snf] — property-tested. *)
+
+val naive : Policy.t -> Partition.t
+
+val strawman : Policy.t -> Partition.t
+
+val all_strong : Policy.t -> Partition.t
+
+val compatible :
+  ?semantics:Semantics.t ->
+  ?fragment:string * Snf_relational.Value.t ->
+  Snf_deps.Dep_graph.t -> Policy.t ->
+  (string * Snf_crypto.Scheme.kind) list -> string -> bool
+(** [compatible g policy colocated a]: can attribute [a] (at its annotated
+    scheme) enter the co-location without pushing any closure entry past
+    its permissible bound? The candidate-set test of both strategies. When
+    [fragment] is given, dependence is judged within that horizontal
+    fragment (§IV-A). *)
+
+val non_repeating :
+  ?semantics:Semantics.t ->
+  ?fragment:string * Snf_relational.Value.t ->
+  Snf_deps.Dep_graph.t -> Policy.t -> Partition.t
+
+val max_repeating :
+  ?semantics:Semantics.t ->
+  ?fragment:string * Snf_relational.Value.t ->
+  Snf_deps.Dep_graph.t -> Policy.t -> Partition.t
+
+val exhaustive :
+  ?semantics:Semantics.t ->
+  ?max_attrs:int ->
+  ?cost:(Partition.t -> float) ->
+  Snf_deps.Dep_graph.t -> Policy.t -> Partition.t
+(** The chase-style baseline of §III-A: enumerate {e every} set partition
+    of the attributes (Bell-number many — [max_attrs], default 10, guards
+    the blowup), keep those in SNF, return the [cost]-minimal one (default
+    cost: leaf count, ties to fewer total columns). Guaranteed optimal for
+    its cost; exists to measure how far the greedy strategies are from
+    optimal. @raise Invalid_argument when the schema exceeds [max_attrs].
+    A fallback to a fresh leaf always exists, so a result is guaranteed. *)
+
+val workload_aware :
+  ?semantics:Semantics.t ->
+  ?max_rounds:int ->
+  cost:(Partition.t -> float) ->
+  Snf_deps.Dep_graph.t -> Policy.t -> Partition.t -> Partition.t
+(** Greedy local search from the given SNF starting point (typically
+    [non_repeating]); every intermediate representation is kept in SNF.
+    [max_rounds] bounds full passes over the move neighbourhood
+    (default 4). *)

@@ -1,0 +1,107 @@
+module Scheme = Snf_crypto.Scheme
+module Dep_graph = Snf_deps.Dep_graph
+
+let scheme_color = function
+  | Scheme.Plain -> "#e05252"  (* fully public: red *)
+  | Scheme.Ope | Scheme.Ore -> "#e09a52" (* order: orange *)
+  | Scheme.Det -> "#e0d052"    (* equality: yellow *)
+  | Scheme.Ndet -> "#7dc97d"   (* nothing: green *)
+  | Scheme.Phe -> "#74b5d6"    (* nothing + aggregation: blue *)
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c -> if c = '"' then "\\\"" else String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let node_id ~leaf attr = Printf.sprintf "\"%s/%s\"" (escape leaf) (escape attr)
+
+let dep_graph_dot g =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "graph dependence {\n  node [shape=box, style=rounded];\n";
+  Snf_relational.Fd.Names.iter
+    (fun a -> Buffer.add_string buf (Printf.sprintf "  \"%s\";\n" (escape a)))
+    (Dep_graph.universe g);
+  List.iter
+    (fun (a, b, _) ->
+      if Dep_graph.dependent g a b then
+        Buffer.add_string buf
+          (Printf.sprintf "  \"%s\" -- \"%s\";\n" (escape a) (escape b)))
+    (Dep_graph.explicit_pairs g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let leakage_dot ?semantics g policy rep =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "digraph snf {\n  rankdir=LR;\n  node [shape=box, style=\"rounded,filled\"];\n";
+  (* leaves as clusters *)
+  List.iteri
+    (fun i (l : Partition.leaf) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  subgraph cluster_%d {\n    label=\"%s\";\n" i
+           (escape l.Partition.label));
+      List.iter
+        (fun (c : Partition.column_spec) ->
+          Buffer.add_string buf
+            (Printf.sprintf "    %s [label=\"%s\\n%s\", fillcolor=\"%s\"];\n"
+               (node_id ~leaf:l.Partition.label c.Partition.name)
+               (escape c.Partition.name)
+               (Scheme.to_string c.Partition.scheme)
+               (scheme_color c.Partition.scheme)))
+        l.Partition.columns;
+      Buffer.add_string buf "  }\n")
+    rep;
+  (* dependence edges within leaves (context, dashed) *)
+  List.iter
+    (fun (l : Partition.leaf) ->
+      let attrs = Partition.leaf_attrs l in
+      let rec pairs = function
+        | [] -> ()
+        | a :: rest ->
+          List.iter
+            (fun b ->
+              if Dep_graph.dependent g a b then
+                Buffer.add_string buf
+                  (Printf.sprintf
+                     "  %s -> %s [dir=none, style=dashed, color=grey];\n"
+                     (node_id ~leaf:l.Partition.label a)
+                     (node_id ~leaf:l.Partition.label b)))
+            rest;
+          pairs rest
+      in
+      pairs attrs)
+    rep;
+  (* violations in red *)
+  List.iter
+    (fun (v : Audit.violation) ->
+      match v.Audit.channel with
+      | Audit.Joint_exposure partner ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  %s -> %s [color=red, penwidth=2, dir=both, label=\"joint %s\"];\n"
+             (node_id ~leaf:v.Audit.in_leaf v.Audit.attr)
+             (node_id ~leaf:v.Audit.in_leaf partner)
+             (Leakage.kind_to_string v.Audit.leaked))
+      | Audit.Marginal_excess -> (
+        match v.Audit.provenance with
+        | Leakage.Inferred chain when List.length chain >= 2 ->
+          let rec edges = function
+            | a :: (b :: _ as rest) ->
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "  %s -> %s [color=red, penwidth=2, label=\"%s\"];\n"
+                   (node_id ~leaf:v.Audit.in_leaf a)
+                   (node_id ~leaf:v.Audit.in_leaf b)
+                   (Leakage.kind_to_string v.Audit.leaked));
+              edges rest
+            | _ -> ()
+          in
+          edges chain
+        | _ ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %s [color=red, penwidth=3];\n"
+               (node_id ~leaf:v.Audit.in_leaf v.Audit.attr))))
+    (Audit.violations ?semantics g policy rep);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+(** Graphviz export of representations and their leakage flows — the
+    "Visualizing Leakages" aid of §V-D.
+
+    [leakage_dot] renders one picture of everything the audit knows:
+    leaves as clusters, attributes as nodes colored by their annotated
+    scheme, dependence edges (dashed, grey), and — in red — the inference
+    channels behind every unintended leakage, labelled with the leaked
+    kind. Render with [dot -Tsvg]. *)
+
+val scheme_color : Snf_crypto.Scheme.kind -> string
+(** Fill color encoding the annotation (weak schemes in warm colors). *)
+
+val dep_graph_dot : Snf_deps.Dep_graph.t -> string
+(** Just the dependence structure: solid edges for dependent pairs with
+    explicit evidence, no edge otherwise. *)
+
+val leakage_dot :
+  ?semantics:Semantics.t ->
+  Snf_deps.Dep_graph.t -> Policy.t -> Partition.t -> string
+(** The full audit picture for a representation. *)

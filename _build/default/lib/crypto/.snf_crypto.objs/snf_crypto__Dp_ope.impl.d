@@ -1,0 +1,1 @@
+lib/crypto/dp_ope.ml: Float Ope Prng

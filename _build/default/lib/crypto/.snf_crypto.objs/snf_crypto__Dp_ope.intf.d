@@ -1,0 +1,1 @@
+lib/crypto/dp_ope.mli: Prf Prng

@@ -1,0 +1,1 @@
+lib/crypto/feistel.ml: Int64 Prf

@@ -1,0 +1,1 @@
+lib/crypto/keyring.ml: Buffer Det List Ndet Ope Ore Prf String

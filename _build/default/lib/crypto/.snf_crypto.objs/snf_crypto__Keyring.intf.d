@@ -1,0 +1,1 @@
+lib/crypto/keyring.mli: Det Ndet Ope Ore Prf Prng

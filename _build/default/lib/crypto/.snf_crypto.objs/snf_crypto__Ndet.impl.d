@@ -1,0 +1,1 @@
+lib/crypto/ndet.ml: Char Option Prf Prng String

@@ -1,0 +1,1 @@
+lib/crypto/ope.ml: Int Prf Printf

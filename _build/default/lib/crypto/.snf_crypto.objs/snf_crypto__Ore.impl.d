@@ -1,0 +1,1 @@
+lib/crypto/ore.ml: Array Prf Printf

@@ -1,0 +1,1 @@
+lib/crypto/ore.mli: Prf

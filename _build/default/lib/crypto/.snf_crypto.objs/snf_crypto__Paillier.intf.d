@@ -1,0 +1,1 @@
+lib/crypto/paillier.mli: Prng Snf_bignum

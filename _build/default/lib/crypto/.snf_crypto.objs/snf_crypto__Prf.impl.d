@@ -1,0 +1,1 @@
+lib/crypto/prf.ml: Buffer Char Int64 Prng String

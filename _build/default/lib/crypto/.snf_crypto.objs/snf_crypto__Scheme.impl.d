@@ -1,0 +1,1 @@
+lib/crypto/scheme.ml: Format List Stdlib String

@@ -1,0 +1,27 @@
+type key = { iv_key : Prf.key; stream_key : Prf.key }
+
+let expand master = { iv_key = Prf.derive master "det-iv"; stream_key = Prf.derive master "det-stream" }
+
+let key_gen prng = expand (Prf.random_key prng)
+let key_of_string s = expand (Prf.key_of_string s)
+
+let xor_with a b =
+  String.init (String.length a) (fun i -> Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+
+let encrypt k m =
+  let iv = Prf.tag k.iv_key m in
+  let body = xor_with m (Prf.keystream k.stream_key ~nonce:iv (String.length m)) in
+  iv ^ body
+
+let decrypt k c =
+  if String.length c < 8 then invalid_arg "Det.decrypt: ciphertext too short";
+  let iv = String.sub c 0 8 in
+  let body = String.sub c 8 (String.length c - 8) in
+  let m = xor_with body (Prf.keystream k.stream_key ~nonce:iv (String.length body)) in
+  if not (String.equal (Prf.tag k.iv_key m) iv) then
+    invalid_arg "Det.decrypt: authentication failure";
+  m
+
+let equal_ciphertexts = String.equal
+
+let ciphertext_length n = 8 + n

@@ -1,0 +1,27 @@
+(** Deterministic encryption (DET).
+
+    SIV-style construction: the synthetic IV is the PRF tag of the
+    plaintext, and the body is the plaintext XOR-ed with a keystream
+    derived from that IV under an independent subkey. Encryption of equal
+    plaintexts under the same key yields equal ciphertexts — this is
+    exactly the {e equality / frequency} leakage the SNF model attributes
+    to DET, and nothing else is revealed.
+
+    Ciphertext layout: [iv (8 bytes) || body (len(m) bytes)]. *)
+
+type key
+
+val key_gen : Prng.t -> key
+val key_of_string : string -> key
+
+val encrypt : key -> string -> string
+val decrypt : key -> string -> string
+(** @raise Invalid_argument on truncated or corrupted ciphertexts (the
+    recomputed IV must match). *)
+
+val equal_ciphertexts : string -> string -> bool
+(** The operation the server is allowed to evaluate: ciphertext equality,
+    which coincides with plaintext equality under one key. *)
+
+val ciphertext_length : int -> int
+(** Ciphertext size for a plaintext of the given length. *)

@@ -1,0 +1,37 @@
+type t = { ope : Ope.t; epsilon : float; domain_bits : int }
+
+let create ?range_extra_bits ~key ~domain_bits ~epsilon () =
+  if epsilon <= 0.0 then invalid_arg "Dp_ope.create: epsilon must be positive";
+  { ope = Ope.create ?range_extra_bits ~key ~domain_bits ();
+    epsilon;
+    domain_bits }
+
+let epsilon t = t.epsilon
+let domain_bits t = t.domain_bits
+
+(* Geometric(1 - a) number of failures: floor(ln U / ln a). *)
+let geometric ~alpha prng =
+  let u = 1.0 -. Prng.float prng 1.0 (* (0, 1] : avoids log 0 *) in
+  int_of_float (Float.floor (Float.log u /. Float.log alpha))
+
+(* The difference of two iid geometrics is exactly the two-sided geometric
+   (discrete Laplace) with P(k) proportional to a^|k|. *)
+let sample_noise ~epsilon prng =
+  let alpha = Float.exp (-.epsilon) in
+  geometric ~alpha prng - geometric ~alpha prng
+
+let log_pmf ~epsilon k =
+  let alpha = Float.exp (-.epsilon) in
+  Float.log ((1.0 -. alpha) /. (1.0 +. alpha)) +. (float_of_int (abs k) *. Float.log alpha)
+
+let expected_absolute_error ~epsilon =
+  let a = Float.exp (-.epsilon) in
+  2.0 *. a /. (1.0 -. (a *. a))
+
+let encrypt t prng x =
+  if x < 0 || x lsr t.domain_bits <> 0 then invalid_arg "Dp_ope.encrypt: out of domain";
+  let noised = x + sample_noise ~epsilon:t.epsilon prng in
+  let clamped = max 0 (min ((1 lsl t.domain_bits) - 1) noised) in
+  Ope.encrypt t.ope clamped
+
+let decrypt_noised t c = Ope.decrypt t.ope c

@@ -1,0 +1,53 @@
+(** Differentially private order-preserving desensitization (§V-E).
+
+    The paper suggests building SNFs over weak encryption "with a
+    differentially private leakage, which can be easily quantified and
+    composed" (citing OpBoost and DP-enhanced OPE). This module implements
+    the core of that idea: before order-preserving encryption, the
+    plaintext is perturbed with two-sided geometric (discrete Laplace)
+    noise, so the {e order relation the server observes} is
+    [epsilon]-geo-indistinguishable on the integer line — for inputs [x]
+    and [x'], output distributions differ by a factor of at most
+    [exp (epsilon * |x - x'|)]. Close values become plausibly deniable;
+    far-apart values still sort correctly, which is all range predicates
+    need (with a soft error band at the range edges).
+
+    The noised value is clamped to the domain (post-processing: the DP
+    guarantee is unaffected) and passed through the exact [Ope]. The
+    construction is randomized: range predicates over DP-OPE columns are
+    approximate by design — callers choose [epsilon] to trade recall at
+    range boundaries for adversarial recovery. The sorting attack's
+    accuracy degradation is measured in the test suite. *)
+
+type t
+
+val create :
+  ?range_extra_bits:int ->
+  key:Prf.key -> domain_bits:int -> epsilon:float -> unit -> t
+(** @raise Invalid_argument if [epsilon <= 0] or the domain is invalid
+    (see [Ope.create]). *)
+
+val epsilon : t -> float
+val domain_bits : t -> int
+
+val encrypt : t -> Prng.t -> int -> int
+(** Noised, clamped, OPE-encrypted. Randomized: repeated encryptions of
+    the same plaintext differ. *)
+
+val decrypt_noised : t -> int -> int
+(** The {e noised} plaintext (exact recovery is impossible by design —
+    deploy DP-OPE as an onion next to a DET payload when exact values
+    must come back, as [Enc_relation] does for OPE/ORE). *)
+
+(** {1 The noise mechanism, exposed for analysis} *)
+
+val sample_noise : epsilon:float -> Prng.t -> int
+(** Two-sided geometric: [P(k) = (1-a)/(1+a) * a^|k|] with
+    [a = exp(-epsilon)]. *)
+
+val log_pmf : epsilon:float -> int -> float
+(** Log-probability of a noise value — used to verify the DP ratio
+    property analytically. *)
+
+val expected_absolute_error : epsilon:float -> float
+(** [E|noise| = 2a / (1 - a^2)]. *)

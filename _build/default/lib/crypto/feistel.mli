@@ -1,0 +1,26 @@
+(** Keyed pseudo-random permutations via a balanced Feistel network.
+
+    Used by [Det] for format-preserving deterministic encryption of
+    integers, and by test harnesses that need a keyed bijection. The
+    network runs a fixed number of rounds with [Prf] as the round function.
+    Arbitrary domain sizes are supported by cycle walking over the
+    enclosing power-of-two domain. *)
+
+val rounds : int
+(** Number of Feistel rounds (fixed; at least 4 for PRP behaviour). *)
+
+val encrypt_bits : key:Prf.key -> bits:int -> int -> int
+(** [encrypt_bits ~key ~bits x] permutes [x] within [\[0, 2^bits)].
+    [bits] must be even and in [\[2, 62\]].
+    @raise Invalid_argument on domain violations. *)
+
+val decrypt_bits : key:Prf.key -> bits:int -> int -> int
+(** Inverse of [encrypt_bits]. *)
+
+val permute : key:Prf.key -> domain:int -> int -> int
+(** [permute ~key ~domain x] is a keyed bijection on [\[0, domain)]
+    obtained by cycle-walking the Feistel permutation of the smallest
+    even-bit enclosing power of two. Expected walk length is < 4 steps. *)
+
+val unpermute : key:Prf.key -> domain:int -> int -> int
+(** Inverse of [permute]. *)

@@ -1,0 +1,25 @@
+type t = { root : Prf.key }
+
+let create ~master = { root = Prf.key_of_string master }
+
+let random prng = { root = Prf.random_key prng }
+
+let encode_path path =
+  let buf = Buffer.create 32 in
+  List.iter
+    (fun component ->
+      Buffer.add_string buf (string_of_int (String.length component));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf component)
+    path;
+  Buffer.contents buf
+
+let derive t path = Prf.derive t.root (encode_path path)
+
+let det_key t path = Det.key_of_string (derive t ("det" :: path))
+let ndet_key t path = Ndet.key_of_string (derive t ("ndet" :: path))
+
+let ope t path ~domain_bits =
+  Ope.create ~key:(derive t ("ope" :: path)) ~domain_bits ()
+
+let ore t path ~bits = Ore.create ~key:(derive t ("ore" :: path)) ~bits

@@ -1,0 +1,24 @@
+(** Hierarchical key derivation for the data owner.
+
+    A single master key deterministically yields an independent subkey for
+    every (table, column, purpose) path, so the owner stores one secret and
+    every sub-relation — in particular every per-partition [tid] column,
+    whose keys {e must} differ for sub-relation unlinkability (§II-B of the
+    paper) — gets its own key material. *)
+
+type t
+
+val create : master:string -> t
+(** Derive the keyring from an arbitrary-length master secret. *)
+
+val random : Prng.t -> t
+
+val derive : t -> string list -> Prf.key
+(** [derive t path] is the subkey at [path], e.g.
+    [derive kr \["census"; "ZipCode"; "det"\]]. Injective in the path
+    (components are length-prefixed before hashing). *)
+
+val det_key : t -> string list -> Det.key
+val ndet_key : t -> string list -> Ndet.key
+val ope : t -> string list -> domain_bits:int -> Ope.t
+val ore : t -> string list -> bits:int -> Ore.t

@@ -1,0 +1,31 @@
+type key = { stream_key : Prf.key; tag_key : Prf.key }
+
+let expand master =
+  { stream_key = Prf.derive master "ndet-stream"; tag_key = Prf.derive master "ndet-tag" }
+
+let key_gen prng = expand (Prf.random_key prng)
+let key_of_string s = expand (Prf.key_of_string s)
+
+let fallback_rng = Prng.create 0x5eed_0f_0ff1ce
+
+let xor_with a b =
+  String.init (String.length a) (fun i -> Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+
+let encrypt ?rng k m =
+  let rng = Option.value rng ~default:fallback_rng in
+  let iv = Prng.bytes rng 8 in
+  let body = xor_with m (Prf.keystream k.stream_key ~nonce:iv (String.length m)) in
+  let tag = Prf.tag k.tag_key (iv ^ body) in
+  iv ^ body ^ tag
+
+let decrypt k c =
+  if String.length c < 16 then invalid_arg "Ndet.decrypt: ciphertext too short";
+  let n = String.length c - 16 in
+  let iv = String.sub c 0 8 in
+  let body = String.sub c 8 n in
+  let tag = String.sub c (8 + n) 8 in
+  if not (String.equal (Prf.tag k.tag_key (iv ^ body)) tag) then
+    invalid_arg "Ndet.decrypt: authentication failure";
+  xor_with body (Prf.keystream k.stream_key ~nonce:iv n)
+
+let ciphertext_length n = 16 + n

@@ -1,0 +1,23 @@
+(** Non-deterministic (randomized / semantically secure) encryption.
+
+    Counter-mode stream cipher with a fresh random 8-byte IV per call, plus
+    an 8-byte authentication tag. Two encryptions of the same plaintext are
+    unrelated ciphertexts: the scheme's leakage profile is {e nothing}
+    (beyond plaintext length, which the SNF model treats as public since
+    all columns are padded to fixed width at the storage layer).
+
+    Ciphertext layout: [iv (8) || body (len m) || tag (8)]. *)
+
+type key
+
+val key_gen : Prng.t -> key
+val key_of_string : string -> key
+
+val encrypt : ?rng:Prng.t -> key -> string -> string
+(** Fresh IV from [rng] (a private generator when omitted — prefer passing
+    one for reproducibility). *)
+
+val decrypt : key -> string -> string
+(** @raise Invalid_argument on truncated or tampered ciphertexts. *)
+
+val ciphertext_length : int -> int

@@ -1,0 +1,56 @@
+type t = { key : Prf.key; domain_bits : int; range_bits : int }
+
+let create ?(range_extra_bits = 15) ~key ~domain_bits () =
+  if domain_bits < 1 || domain_bits > 40 then
+    invalid_arg "Ope.create: domain_bits must be within [1, 40]";
+  let range_bits = domain_bits + range_extra_bits in
+  if range_extra_bits < 1 || range_bits > 62 then
+    invalid_arg "Ope.create: range too large";
+  { key; domain_bits; range_bits }
+
+let domain_bits t = t.domain_bits
+let range_bits t = t.range_bits
+
+let node_label dlo dhi = Printf.sprintf "ope:%d:%d" dlo dhi
+
+(* Split point for the node covering domain [dlo, dhi) and range [rlo, rhi):
+   the left half of the domain has [d1] points and must receive at least
+   [d1] range points; symmetrically for the right half. *)
+let split_point t ~dlo ~dhi ~rlo ~rhi =
+  let d = dhi - dlo in
+  let r = rhi - rlo in
+  let d1 = d / 2 in
+  let slack = r - d in
+  let off = Prf.uniform_int t.key (node_label dlo dhi) (slack + 1) in
+  rlo + d1 + off
+
+let leaf_value t ~dlo ~rlo ~rhi =
+  rlo + Prf.uniform_int t.key (node_label dlo (dlo + 1) ^ ":leaf") (rhi - rlo)
+
+let encrypt t x =
+  if x < 0 || x lsr t.domain_bits <> 0 then invalid_arg "Ope.encrypt: out of domain";
+  let rec go dlo dhi rlo rhi =
+    if dhi - dlo = 1 then leaf_value t ~dlo ~rlo ~rhi
+    else begin
+      let dmid = dlo + ((dhi - dlo) / 2) in
+      let rmid = split_point t ~dlo ~dhi ~rlo ~rhi in
+      if x < dmid then go dlo dmid rlo rmid else go dmid dhi rmid rhi
+    end
+  in
+  go 0 (1 lsl t.domain_bits) 0 (1 lsl t.range_bits)
+
+let decrypt t y =
+  if y < 0 || y lsr t.range_bits <> 0 then invalid_arg "Ope.decrypt: out of range";
+  let rec go dlo dhi rlo rhi =
+    if dhi - dlo = 1 then dlo
+    else begin
+      let dmid = dlo + ((dhi - dlo) / 2) in
+      let rmid = split_point t ~dlo ~dhi ~rlo ~rhi in
+      if y < rmid then go dlo dmid rlo rmid else go dmid dhi rmid rhi
+    end
+  in
+  go 0 (1 lsl t.domain_bits) 0 (1 lsl t.range_bits)
+
+let compare_ciphertexts = Int.compare
+
+let ciphertext_length t = (t.range_bits + 7) / 8

@@ -1,0 +1,45 @@
+type t = { key : Prf.key; bits : int }
+
+type ciphertext = int array
+
+let create ~key ~bits =
+  if bits < 1 || bits > 62 then invalid_arg "Ore.create: bits must be within [1, 62]";
+  { key; bits }
+
+let encrypt t x =
+  if x < 0 || x lsr t.bits <> 0 then invalid_arg "Ore.encrypt: out of domain";
+  Array.init t.bits (fun i ->
+      (* Position i counts from the most significant bit. *)
+      let shift = t.bits - 1 - i in
+      let prefix = if shift + 1 >= 63 then 0 else x lsr (shift + 1) in
+      let bit = (x lsr shift) land 1 in
+      let mask = Prf.uniform_int t.key (Printf.sprintf "ore:%d:%d" i prefix) 3 in
+      (mask + bit) mod 3)
+
+let compare_ciphertexts a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Ore.compare_ciphertexts: length mismatch";
+  let rec go i =
+    if i = Array.length a then 0
+    else if a.(i) = b.(i) then go (i + 1)
+    else if (a.(i) - b.(i) + 3) mod 3 = 1 then 1
+    else -1
+  in
+  go 0
+
+let first_diff_index a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Ore.first_diff_index: length mismatch";
+  let rec go i =
+    if i = Array.length a then None else if a.(i) <> b.(i) then Some i else go (i + 1)
+  in
+  go 0
+
+let ciphertext_length t = ((2 * t.bits) + 7) / 8
+
+let symbols (c : ciphertext) = Array.copy c
+
+let of_symbols a =
+  if Array.exists (fun s -> s < 0 || s > 2) a then
+    invalid_arg "Ore.of_symbols: symbol out of range";
+  Array.copy a

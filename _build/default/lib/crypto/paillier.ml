@@ -1,0 +1,58 @@
+module Nat = Snf_bignum.Nat
+
+type public_key = { n : Nat.t; n_squared : Nat.t }
+type private_key = { lambda : Nat.t; mu : Nat.t }
+type keypair = { public : public_key; secret : private_key }
+
+let l_function ~n u = Nat.div (Nat.pred u) n
+
+let key_gen ?(prime_bits = 48) prng =
+  let rand bound = Prng.int prng bound in
+  let rec distinct_primes () =
+    let p = Nat.random_prime rand prime_bits in
+    let q = Nat.random_prime rand prime_bits in
+    if Nat.equal p q then distinct_primes () else (p, q)
+  in
+  let p, q = distinct_primes () in
+  let n = Nat.mul p q in
+  let n_squared = Nat.mul n n in
+  let lambda = Nat.lcm (Nat.pred p) (Nat.pred q) in
+  (* g = n + 1, so g^lambda mod n^2 = 1 + lambda*n mod n^2 and
+     mu = (L(g^lambda mod n^2))^-1 mod n = lambda^-1 mod n. *)
+  let mu =
+    match Nat.mod_inverse lambda n with
+    | Some mu -> mu
+    | None -> failwith "Paillier.key_gen: lambda not invertible (retry with new primes)"
+  in
+  { public = { n; n_squared }; secret = { lambda; mu } }
+
+let encrypt prng pk m =
+  if Nat.compare m pk.n >= 0 then invalid_arg "Paillier.encrypt: plaintext out of range";
+  let rand bound = Prng.int prng bound in
+  let rec draw_r () =
+    let r = Nat.random_below rand pk.n in
+    if Nat.is_zero r || not (Nat.is_one (Nat.gcd r pk.n)) then draw_r () else r
+  in
+  let r = draw_r () in
+  (* (1 + n)^m = 1 + m*n (mod n^2) *)
+  let g_m = Nat.rem (Nat.succ (Nat.mul m pk.n)) pk.n_squared in
+  let r_n = Nat.pow_mod r pk.n pk.n_squared in
+  Nat.mul_mod g_m r_n pk.n_squared
+
+let encrypt_int prng pk m = encrypt prng pk (Nat.of_int m)
+
+let decrypt kp c =
+  let { n; n_squared } = kp.public in
+  let { lambda; mu } = kp.secret in
+  let u = Nat.pow_mod c lambda n_squared in
+  Nat.mul_mod (l_function ~n u) mu n
+
+let decrypt_int kp c = Nat.to_int_exn (decrypt kp c)
+
+let add pk c1 c2 = Nat.mul_mod c1 c2 pk.n_squared
+
+let scalar_mul pk c k =
+  if k < 0 then invalid_arg "Paillier.scalar_mul: negative scalar";
+  Nat.pow_mod c (Nat.of_int k) pk.n_squared
+
+let ciphertext_length pk = (Nat.bit_length pk.n_squared + 7) / 8

@@ -1,0 +1,36 @@
+(** Paillier additive-homomorphic encryption.
+
+    Textbook Paillier over the from-scratch bignum [Snf_bignum.Nat], with
+    the standard [g = n + 1] optimisation. Simulation-scale primes (default
+    48 bits each) keep arithmetic fast while exercising the genuine
+    algorithm; the leakage profile — {e nothing} at rest, homomorphic
+    addition server-side — is what the SNF model consumes.
+
+    Randomized: two encryptions of the same plaintext differ. *)
+
+module Nat = Snf_bignum.Nat
+
+type public_key = { n : Nat.t; n_squared : Nat.t }
+type private_key
+
+type keypair = { public : public_key; secret : private_key }
+
+val key_gen : ?prime_bits:int -> Prng.t -> keypair
+(** [key_gen prng] draws two distinct [prime_bits]-bit primes (default 48). *)
+
+val encrypt : Prng.t -> public_key -> Nat.t -> Nat.t
+(** @raise Invalid_argument if the plaintext is not below [n]. *)
+
+val encrypt_int : Prng.t -> public_key -> int -> Nat.t
+
+val decrypt : keypair -> Nat.t -> Nat.t
+val decrypt_int : keypair -> Nat.t -> int
+
+val add : public_key -> Nat.t -> Nat.t -> Nat.t
+(** Homomorphic: [decrypt (add pk c1 c2) = m1 + m2 mod n]. *)
+
+val scalar_mul : public_key -> Nat.t -> int -> Nat.t
+(** [decrypt (scalar_mul pk c k) = k * m mod n]. *)
+
+val ciphertext_length : public_key -> int
+(** Stored size in bytes of one ciphertext (a residue mod [n^2]). *)

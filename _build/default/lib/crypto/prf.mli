@@ -1,0 +1,38 @@
+(** Keyed pseudo-random function (SipHash-2-4).
+
+    The single PRF underlying every primitive in [Snf_crypto]: DET and NDET
+    keystreams, the Feistel round function, OPE's pseudorandom range splits
+    and subkey derivation all reduce to SipHash-2-4 invocations under
+    distinct derived keys. Keys are 16-byte strings. *)
+
+type key = string
+(** Exactly 16 bytes. *)
+
+val key_of_string : string -> key
+(** [key_of_string s] derives a 16-byte key from an arbitrary string by
+    absorbing it through the PRF under a fixed bootstrap key. *)
+
+val random_key : Prng.t -> key
+
+val mac : key -> string -> int64
+(** [mac key msg] is the 64-bit SipHash-2-4 tag of [msg] under [key].
+    @raise Invalid_argument if [key] is not 16 bytes. *)
+
+val mac_int : key -> int -> int64
+(** PRF applied to the 8-byte little-endian encoding of an integer. *)
+
+val tag : key -> string -> string
+(** [mac] rendered as an 8-byte little-endian string. *)
+
+val keystream : key -> nonce:string -> int -> string
+(** [keystream key ~nonce n] expands [n] pseudo-random bytes in counter
+    mode: block [i] is [mac key (nonce ^ le64 i)]. *)
+
+val derive : key -> string -> key
+(** [derive key label] is a 16-byte subkey bound to [label]; distinct
+    labels yield independent-looking subkeys. *)
+
+val uniform_int : key -> string -> int -> int
+(** [uniform_int key label bound] maps the PRF output under [label] to a
+    uniform integer in [\[0, bound)] (rejection sampling over successive
+    counter blocks). @raise Invalid_argument if [bound <= 0]. *)

@@ -1,0 +1,1 @@
+lib/deps/correlation.ml: Array Float Hashtbl List Option Relation Schema Snf_relational Value

@@ -1,0 +1,1 @@
+lib/deps/correlation.mli: Relation Snf_relational

@@ -1,0 +1,1 @@
+lib/deps/dep_graph.ml: Correlation Fd Fd_discovery Format List Map Option Printf Relation Schema Snf_relational Stdlib String Value

@@ -1,0 +1,1 @@
+lib/deps/dep_graph.mli: Fd Format Relation Snf_relational Value

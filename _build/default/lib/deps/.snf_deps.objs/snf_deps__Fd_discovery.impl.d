@@ -1,0 +1,1 @@
+lib/deps/fd_discovery.ml: Array Fd Hashtbl List Relation Schema Snf_relational Value

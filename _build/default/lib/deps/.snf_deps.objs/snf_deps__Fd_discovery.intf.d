@@ -1,0 +1,1 @@
+lib/deps/fd_discovery.mli: Fd Relation Snf_relational

@@ -1,0 +1,1 @@
+lib/deps/spec_lang.ml: Buffer Dep_graph Fd List Printf Snf_relational String Value

@@ -1,0 +1,1 @@
+lib/deps/spec_lang.mli: Dep_graph Snf_relational

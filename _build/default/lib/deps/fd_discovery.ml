@@ -1,0 +1,70 @@
+open Snf_relational
+
+let code_columns r =
+  let n = Relation.cardinality r in
+  let code_of_column name =
+    let dict = Hashtbl.create 64 in
+    let col = Relation.column r name in
+    Array.init n (fun i ->
+        let key = Value.encode col.(i) in
+        match Hashtbl.find_opt dict key with
+        | Some c -> c
+        | None ->
+          let c = Hashtbl.length dict in
+          Hashtbl.add dict key c;
+          c)
+  in
+  Array.of_list (List.map code_of_column (Schema.names (Relation.schema r)))
+
+let check_fd coded ~lhs ~rhs =
+  if lhs = [] then invalid_arg "Fd_discovery.check_fd: empty lhs";
+  let n = if Array.length coded = 0 then 0 else Array.length coded.(0) in
+  let witness = Hashtbl.create 256 in
+  let rec scan i =
+    if i >= n then true
+    else begin
+      let key = List.map (fun j -> coded.(j).(i)) lhs in
+      let v = coded.(rhs).(i) in
+      match Hashtbl.find_opt witness key with
+      | Some v' when v' <> v -> false
+      | Some _ -> scan (i + 1)
+      | None ->
+        Hashtbl.add witness key v;
+        scan (i + 1)
+    end
+  in
+  scan 0
+
+let rec combinations k xs =
+  if k = 0 then [ [] ]
+  else
+    match xs with
+    | [] -> []
+    | x :: rest ->
+      List.map (fun c -> x :: c) (combinations (k - 1) rest) @ combinations k rest
+
+let discover ?(max_lhs = 1) ?(exclude = fun _ -> false) r =
+  let names = Schema.names (Relation.schema r) in
+  let kept = List.filter (fun a -> not (exclude a)) names in
+  let coded = code_columns r in
+  let index_of =
+    let schema = Relation.schema r in
+    fun a -> Schema.index_of schema a
+  in
+  let found = ref [] in
+  for k = 1 to max_lhs do
+    List.iter
+      (fun lhs ->
+        List.iter
+          (fun rhs ->
+            if not (List.mem rhs lhs) then begin
+              let candidate = Fd.make lhs [ rhs ] in
+              if
+                (not (Fd.implies !found candidate))
+                && check_fd coded ~lhs:(List.map index_of lhs) ~rhs:(index_of rhs)
+              then found := candidate :: !found
+            end)
+          kept)
+      (combinations k kept)
+  done;
+  List.rev !found

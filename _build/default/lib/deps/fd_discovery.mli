@@ -1,0 +1,23 @@
+(** Functional-dependency mining (DEPENDENCYINFERENCE, Algorithm 1 line 1).
+
+    A bounded-LHS miner in the spirit of TANE's first levels: candidate
+    left-hand sides of size at most [max_lhs] are checked by partition
+    refinement over integer-coded columns. The planted dependencies of the
+    ACS-like generator are unary, so [max_lhs = 1] (the default) recovers
+    them exactly; [max_lhs = 2] is available for richer schemas. *)
+
+open Snf_relational
+
+val code_columns : Relation.t -> int array array
+(** Dictionary-encode every column to dense integer codes (equal values get
+    equal codes); the representation all checks run on. *)
+
+val check_fd : int array array -> lhs:int list -> rhs:int -> bool
+(** Does [lhs -> rhs] hold on the coded columns? Linear in the number of
+    rows. @raise Invalid_argument on empty [lhs]. *)
+
+val discover : ?max_lhs:int -> ?exclude:(string -> bool) -> Relation.t -> Fd.t list
+(** All non-trivial FDs with |LHS| <= [max_lhs] (default 1) that hold on
+    the data. Attributes matching [exclude] (default: none) are skipped —
+    callers typically exclude the tid. Results are pruned: an FD is dropped
+    when already implied by previously found ones. *)

@@ -1,0 +1,172 @@
+open Snf_relational
+
+type decl =
+  | Fd of string list * string list
+  | Dependent of string * string
+  | Independent of string * string
+  | Conditional_independent of string * string * (string * Value.t)
+
+(* --- lexing helpers ------------------------------------------------------ *)
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let trim = String.trim
+
+let parse_value raw =
+  let raw = trim raw in
+  if String.length raw >= 2 && raw.[0] = '"' && raw.[String.length raw - 1] = '"' then
+    Value.Text (String.sub raw 1 (String.length raw - 2))
+  else
+    match int_of_string_opt raw with
+    | Some i -> Value.Int i
+    | None -> (
+      match bool_of_string_opt raw with
+      | Some b -> Value.Bool b
+      | None -> (
+        match float_of_string_opt raw with
+        | Some f -> Value.Float f
+        | None -> Value.Text raw))
+
+let parse_name raw =
+  let raw = trim raw in
+  if raw = "" then Error "empty attribute name"
+  else if String.length raw >= 2 && raw.[0] = '"' && raw.[String.length raw - 1] = '"'
+  then Ok (String.sub raw 1 (String.length raw - 2))
+  else if String.exists (fun c -> c = ' ' || c = '\t') raw then
+    Error (Printf.sprintf "attribute %S contains whitespace (quote it)" raw)
+  else Ok raw
+
+let parse_names raw =
+  String.split_on_char ',' raw
+  |> List.map parse_name
+  |> List.fold_left
+       (fun acc r ->
+         match (acc, r) with
+         | Ok names, Ok n -> Ok (names @ [ n ])
+         | (Error _ as e), _ -> e
+         | _, Error e -> Error e)
+       (Ok [])
+
+(* Split [line] at the first occurrence of [sep] outside quotes. *)
+let split_once sep line =
+  let n = String.length line and m = String.length sep in
+  let rec go i in_quote =
+    if i + m > n then None
+    else if line.[i] = '"' then go (i + 1) (not in_quote)
+    else if (not in_quote) && String.sub line i m = sep then
+      Some (String.sub line 0 i, String.sub line (i + m) (n - i - m))
+    else go (i + 1) in_quote
+  in
+  go 0 false
+
+let parse_line line =
+  match split_once "->" line with
+  | Some (lhs, rhs) -> (
+    match (parse_names lhs, parse_names rhs) with
+    | Ok l, Ok r -> Ok (Fd (l, r))
+    | Error e, _ | _, Error e -> Error e)
+  | None -> (
+    match split_once "_|_" line with
+    | Some (a, rest) -> (
+      match split_once "|" rest with
+      | Some (b, cond) -> (
+        match split_once "=" cond with
+        | Some (attr, v) -> (
+          match (parse_name a, parse_name b, parse_name attr) with
+          | Ok a, Ok b, Ok attr ->
+            Ok (Conditional_independent (a, b, (attr, parse_value v)))
+          | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e)
+        | None -> Error "conditional independence needs `attr = value`")
+      | None -> (
+        match (parse_name a, parse_name rest) with
+        | Ok a, Ok b -> Ok (Independent (a, b))
+        | Error e, _ | _, Error e -> Error e))
+    | None -> (
+      match split_once "~" line with
+      | Some (a, b) -> (
+        match (parse_name a, parse_name b) with
+        | Ok a, Ok b -> Ok (Dependent (a, b))
+        | Error e, _ | _, Error e -> Error e)
+      | None -> Error "expected one of `->`, `~`, `_|_`"))
+
+let parse_decls text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      let body = trim (strip_comment line) in
+      if body = "" then go (lineno + 1) acc rest
+      else
+        match parse_line body with
+        | Ok d -> go (lineno + 1) (d :: acc) rest
+        | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+  in
+  go 1 [] lines
+
+let parse ?mode ~universe text =
+  match parse_decls text with
+  | Error _ as e -> e
+  | Ok decls -> (
+    try
+      Ok
+        (List.fold_left
+           (fun g d ->
+             match d with
+             | Fd (lhs, rhs) -> Dep_graph.add_fd g (Fd.make lhs rhs)
+             | Dependent (a, b) -> Dep_graph.declare_dependent g a b
+             | Independent (a, b) -> Dep_graph.declare_independent g a b
+             | Conditional_independent (a, b, on) ->
+               Dep_graph.declare_conditional_independent g ~on a b)
+           (Dep_graph.create ?mode universe)
+           decls)
+    with Invalid_argument msg -> Error msg)
+
+let quote_if_needed name =
+  if String.exists (fun c -> c = ' ' || c = '\t' || c = ',') name then
+    Printf.sprintf "%S" name
+  else name
+
+let render_value = function
+  | Value.Text s -> Printf.sprintf "%S" s
+  | v -> Value.to_string v
+
+let render_decl = function
+  | Fd (lhs, rhs) ->
+    Printf.sprintf "%s -> %s"
+      (String.concat ", " (List.map quote_if_needed lhs))
+      (String.concat ", " (List.map quote_if_needed rhs))
+  | Dependent (a, b) ->
+    Printf.sprintf "%s ~ %s" (quote_if_needed a) (quote_if_needed b)
+  | Independent (a, b) ->
+    Printf.sprintf "%s _|_ %s" (quote_if_needed a) (quote_if_needed b)
+  | Conditional_independent (a, b, (attr, v)) ->
+    Printf.sprintf "%s _|_ %s | %s = %s" (quote_if_needed a) (quote_if_needed b)
+      (quote_if_needed attr) (render_value v)
+
+let render g =
+  let buf = Buffer.create 256 in
+  let emit d =
+    Buffer.add_string buf (render_decl d);
+    Buffer.add_char buf '\n'
+  in
+  List.iter
+    (fun fd ->
+      emit (Fd (Fd.Names.elements fd.Fd.lhs, Fd.Names.elements fd.Fd.rhs)))
+    (List.rev (Dep_graph.fds g));
+  List.iter
+    (fun (a, b, evidence) ->
+      List.iter
+        (function
+          | Dep_graph.Declared_dependent -> emit (Dependent (a, b))
+          | Dep_graph.Declared_independent -> emit (Independent (a, b))
+          | Dep_graph.Correlated _ -> emit (Dependent (a, b))
+          | Dep_graph.Functional _ -> () (* printed via fds above *))
+        evidence)
+    (Dep_graph.explicit_pairs g);
+  List.iter
+    (fun ((attr, v), (a, b)) -> emit (Conditional_independent (a, b, (attr, v))))
+    (List.rev (Dep_graph.conditional_independences g));
+  Buffer.contents buf

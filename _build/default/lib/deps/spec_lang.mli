@@ -1,0 +1,50 @@
+(** A small textual language for dependence specifications (§V-D,
+    "Language for Leakage on Representations").
+
+    The paper calls for a uniform language bridging the owner's knowledge
+    of the data semantics and the symbolic inference rules. This is the
+    minimal such language: one declaration per line, [#] comments.
+
+    {v
+    # functional dependencies (directed)
+    ZipCode -> State
+    ZipCode, City -> County
+
+    # plain statistical dependence (symmetric)
+    Education ~ Income
+
+    # declared independence
+    Profession _|_ Ward
+
+    # conditional independence inside a horizontal fragment
+    Education _|_ Income | Profession = "broker"
+    v}
+
+    Attribute names are bare words (no spaces) or double-quoted strings;
+    fragment constants parse as int / float / bool literals or quoted
+    text. [parse] folds the declarations into a dependence graph over the
+    given universe; [render] prints a graph's explicit evidence back in
+    the language (round-trips modulo formatting — property-tested). *)
+
+type decl =
+  | Fd of string list * string list            (** lhs -> rhs *)
+  | Dependent of string * string               (** a ~ b *)
+  | Independent of string * string             (** a _|_ b *)
+  | Conditional_independent of string * string * (string * Snf_relational.Value.t)
+      (** a _|_ b | attr = value *)
+
+val parse_decls : string -> (decl list, string) result
+(** Parse the whole text; the error names the offending line. *)
+
+val parse :
+  ?mode:Dep_graph.mode -> universe:string list -> string ->
+  (Dep_graph.t, string) result
+(** Parse and fold into a graph. Declarations may only mention universe
+    attributes. *)
+
+val render_decl : decl -> string
+
+val render : Dep_graph.t -> string
+(** The graph's explicit evidence as declarations: one line per FD, per
+    declared/correlated pair and per conditional independence. Default-mode
+    (undeclared) pairs are not printed. *)

@@ -1,0 +1,1 @@
+lib/experiments/attack_eval.ml: Algebra Array Attribute Fd List Policy Printf Relation Report Schema Snf_attack Snf_core Snf_crypto Snf_deps Snf_exec Snf_relational Value

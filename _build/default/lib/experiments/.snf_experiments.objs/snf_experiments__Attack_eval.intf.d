@@ -1,0 +1,1 @@
+lib/experiments/attack_eval.mli:

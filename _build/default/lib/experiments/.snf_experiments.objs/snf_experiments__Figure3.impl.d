@@ -1,0 +1,1 @@
+lib/experiments/figure3.ml: Buffer Int List Printf Relation Report Snf_core Snf_exec Snf_relational Snf_workload Strategy String

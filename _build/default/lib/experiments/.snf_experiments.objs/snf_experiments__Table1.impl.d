@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Audit List Printf Relation Report Schema Snf_core Snf_exec Snf_relational Snf_workload Strategy Unix

@@ -1,0 +1,31 @@
+(** Security evaluation: does SNF actually stop the cross-cryptographic
+    adversary of Example 1?
+
+    A Zipf-skewed relation with a ZipCode→State dependency is outsourced
+    twice — strawman (co-located, as a naive CryptDB deployment would) and
+    SNF non-repeating — and the frequency-analysis + FD-inference attack of
+    [Snf_attack] is run against both, with the exact marginal/joint
+    distributions as auxiliary knowledge (the strongest standard adversary).
+    Reported per representation: frequency-attack accuracy on the DET
+    source column, end-to-end recovery of the strongly encrypted target
+    column, and the blind mode-guessing baseline. *)
+
+type outcome = {
+  representation : string;
+  linked : bool;
+  source_accuracy : float;
+  target_accuracy : float;
+  blind_baseline : float;
+}
+
+type result = { rows : int; distinct_zips : int; outcomes : outcome list }
+
+val run : ?rows:int -> ?seed:int -> unit -> result
+
+val run_sorting : ?rows:int -> ?seed:int -> unit -> (string * float) list
+(** Companion experiment for order leakage: the sorting attack's recovery
+    of a dense OPE column vs the frequency attack on the same column
+    stored DET — the empirical justification for Equality < Order in the
+    leakage lattice. Returns (label, accuracy) pairs. *)
+
+val render : result -> string

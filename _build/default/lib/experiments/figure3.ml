@@ -1,0 +1,98 @@
+open Snf_relational
+module Acs = Snf_workload.Acs
+module Sensitivity = Snf_workload.Sensitivity
+module Query_gen = Snf_workload.Query_gen
+module Planner = Snf_exec.Planner
+module Cost_model = Snf_exec.Cost_model
+open Snf_core
+
+type config = {
+  rows : int;
+  seed : int;
+  weak : int;
+  queries_per_way : int;
+}
+
+let default_config = { rows = 20_000; seed = 2013; weak = 172; queries_per_way = 100 }
+
+type series = {
+  method_name : string;
+  per_join_count : (int * int * float) list;
+  total_seconds : float;
+  mean_seconds : float;
+}
+
+type result = { rows_used : int; series : series list }
+
+let run ?(config = default_config) () =
+  let acs =
+    Acs.generate { Acs.default_config with rows = min config.rows 2_000; seed = config.seed }
+  in
+  (* Plans depend only on the schema and policy; data scale enters through
+     the cost model's [rows], so the dataset itself can stay small. *)
+  let r = acs.Acs.relation in
+  let policy = Sensitivity.annotate ~weak:config.weak ~seed:(config.seed + 7) (Relation.schema r) in
+  let g = acs.Acs.graph in
+  let queries =
+    Query_gen.mixed_workload ~count_per_way:config.queries_per_way
+      ~seed:(config.seed + 13) r policy
+  in
+  let params = Cost_model.default in
+  let methods =
+    [ ("Naive", Strategy.naive policy);
+      ("SNF (non-repeating)", Strategy.non_repeating g policy);
+      ("SNF (max-repeating)", Strategy.max_repeating g policy) ]
+  in
+  let series =
+    List.map
+      (fun (name, rep) ->
+        let costs =
+          List.map
+            (fun q ->
+              match Planner.plan rep q with
+              | Ok p -> (p.Planner.joins, Cost_model.query_seconds params ~rows:config.rows ~plan:p)
+              | Error _ -> invalid_arg "Figure3: unplannable query")
+            queries
+        in
+        let join_counts = List.sort_uniq Int.compare (List.map fst costs) in
+        let per_join_count =
+          List.map
+            (fun j ->
+              let matching = List.filter (fun (j', _) -> j' = j) costs in
+              let n = List.length matching in
+              let mean =
+                List.fold_left (fun acc (_, c) -> acc +. c) 0.0 matching /. float_of_int n
+              in
+              (j, n, mean))
+            join_counts
+        in
+        let total = List.fold_left (fun acc (_, c) -> acc +. c) 0.0 costs in
+        { method_name = name;
+          per_join_count;
+          total_seconds = total;
+          mean_seconds = total /. float_of_int (List.length costs) })
+      methods
+  in
+  { rows_used = config.rows; series }
+
+let render result =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Figure 3: estimated query execution time over required oblivious joins (leaf cardinality %d)\n"
+       result.rows_used);
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "\n  %s: total %s, mean %s per query\n" s.method_name
+           (Report.seconds s.total_seconds)
+           (Report.seconds s.mean_seconds));
+      List.iter
+        (fun (joins, n, mean) ->
+          let bar = String.make (min 60 (int_of_float (mean *. 2.0))) '#' in
+          Buffer.add_string buf
+            (Printf.sprintf "    %d join(s): %3d queries, mean %-10s %s\n" joins n
+               (Report.seconds mean) bar))
+        s.per_join_count)
+    result.series;
+  Buffer.contents buf

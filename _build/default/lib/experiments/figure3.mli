@@ -1,0 +1,33 @@
+(** Experiment harness for the paper's Figure 3: estimated query execution
+    time over the oblivious joins required, per partitioning method.
+
+    Like the paper, the estimate is derived from an oblivious-join cost
+    model (ours is calibrated on the bitonic sort-merge join and exposed in
+    [Snf_exec.Cost_model]); each workload query is planned against each
+    representation and charged the chain of per-leaf oblivious joins its
+    plan requires. The output is, per method: the distribution of per-query
+    estimated times (broken down by join count) and the workload total —
+    the series Figure 3 plots. *)
+
+type config = {
+  rows : int;          (** leaf cardinality used by the cost model *)
+  seed : int;
+  weak : int;
+  queries_per_way : int;
+}
+
+val default_config : config
+
+type series = {
+  method_name : string;
+  per_join_count : (int * int * float) list;
+      (** (joins, #queries with that many, mean est. seconds each) *)
+  total_seconds : float;
+  mean_seconds : float;
+}
+
+type result = { rows_used : int; series : series list }
+
+val run : ?config:config -> unit -> result
+
+val render : result -> string

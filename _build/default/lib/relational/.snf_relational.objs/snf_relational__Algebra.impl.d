@@ -1,0 +1,1 @@
+lib/relational/algebra.ml: Array Attribute Format Hashtbl Int List Printf Relation Schema String Value

@@ -1,0 +1,1 @@
+lib/relational/attribute.ml: Format Stdlib String Value

@@ -1,0 +1,1 @@
+lib/relational/csv.ml: Array Attribute Buffer Fun List Printf Relation Schema String Value

@@ -1,0 +1,1 @@
+lib/relational/fd.ml: Array Format Hashtbl Int List Option Printf Relation Schema Set String Value

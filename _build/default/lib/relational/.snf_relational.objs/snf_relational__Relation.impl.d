@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Array Attribute Format Hashtbl List Option Printf Schema String Value

@@ -1,0 +1,1 @@
+lib/relational/value.ml: Bool Char Float Format Hashtbl Int Int64 Printf String

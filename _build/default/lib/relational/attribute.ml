@@ -1,0 +1,22 @@
+type t = { name : string; ty : Value.ty }
+
+let make name ty =
+  if name = "" then invalid_arg "Attribute.make: empty name";
+  { name; ty }
+
+let int name = make name Value.TInt
+let text name = make name Value.TText
+let bool name = make name Value.TBool
+let float name = make name Value.TFloat
+
+let name t = t.name
+let ty t = t.ty
+
+let equal a b = a.name = b.name && a.ty = b.ty
+
+let compare a b =
+  match String.compare a.name b.name with
+  | 0 -> Stdlib.compare a.ty b.ty
+  | c -> c
+
+let pp fmt t = Format.fprintf fmt "%s:%a" t.name Value.pp_ty t.ty

@@ -1,0 +1,20 @@
+(** Schema attributes: a name paired with a value type. *)
+
+type t = { name : string; ty : Value.ty }
+
+val make : string -> Value.ty -> t
+(** @raise Invalid_argument on an empty name. *)
+
+val int : string -> t
+val text : string -> t
+val bool : string -> t
+val float : string -> t
+
+val name : t -> string
+val ty : t -> Value.ty
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** By name, then type. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,209 @@
+module Names = Set.Make (String)
+
+type t = { lhs : Names.t; rhs : Names.t }
+
+let make lhs rhs =
+  if lhs = [] || rhs = [] then invalid_arg "Fd.make: empty side";
+  { lhs = Names.of_list lhs; rhs = Names.of_list rhs }
+
+let to_string fd =
+  let side s = String.concat "," (Names.elements s) in
+  Printf.sprintf "%s -> %s" (side fd.lhs) (side fd.rhs)
+
+let pp fmt fd = Format.pp_print_string fmt (to_string fd)
+
+let equal a b = Names.equal a.lhs b.lhs && Names.equal a.rhs b.rhs
+
+let compare a b =
+  match Names.compare a.lhs b.lhs with 0 -> Names.compare a.rhs b.rhs | c -> c
+
+let attrs fd = Names.union fd.lhs fd.rhs
+
+let trivial fd = Names.subset fd.rhs fd.lhs
+
+let closure_of x fds =
+  let rec fixpoint acc =
+    let next =
+      List.fold_left
+        (fun acc fd -> if Names.subset fd.lhs acc then Names.union acc fd.rhs else acc)
+        acc fds
+    in
+    if Names.equal next acc then acc else fixpoint next
+  in
+  fixpoint x
+
+let implies fds fd = Names.subset fd.rhs (closure_of fd.lhs fds)
+
+let equivalent a b =
+  List.for_all (implies a) b && List.for_all (implies b) a
+
+let singletons fds =
+  List.concat_map
+    (fun fd -> List.map (fun r -> { fd with rhs = Names.singleton r }) (Names.elements fd.rhs))
+    fds
+
+let remove_extraneous_lhs fds =
+  List.map
+    (fun fd ->
+      let lhs =
+        Names.fold
+          (fun a lhs ->
+            let without = Names.remove a lhs in
+            if (not (Names.is_empty without)) && Names.subset fd.rhs (closure_of without fds)
+            then without
+            else lhs)
+          fd.lhs fd.lhs
+      in
+      { fd with lhs })
+    fds
+
+let remove_redundant fds =
+  let rec go kept = function
+    | [] -> List.rev kept
+    | fd :: rest ->
+      let others = List.rev_append kept rest in
+      if implies others fd then go kept rest else go (fd :: kept) rest
+  in
+  go [] fds
+
+let minimal_cover fds =
+  fds
+  |> singletons
+  |> List.filter (fun fd -> not (trivial fd))
+  |> List.sort_uniq compare
+  |> remove_extraneous_lhs
+  |> remove_redundant
+
+let subsets_of names =
+  (* All non-empty subsets, smallest first — callers keep the attribute
+     universe small. *)
+  let elems = Names.elements names in
+  let rec go = function
+    | [] -> [ [] ]
+    | x :: rest ->
+      let subs = go rest in
+      subs @ List.map (fun s -> x :: s) subs
+  in
+  go elems
+  |> List.filter (fun s -> s <> [])
+  |> List.sort (fun a b -> Int.compare (List.length a) (List.length b))
+  |> List.map Names.of_list
+
+let project_to target fds =
+  let projected =
+    List.filter_map
+      (fun lhs ->
+        let rhs = Names.inter (closure_of lhs fds) target in
+        let rhs = Names.diff rhs lhs in
+        if Names.is_empty rhs then None else Some { lhs; rhs })
+      (subsets_of target)
+  in
+  minimal_cover projected
+
+let candidate_keys universe fds =
+  let is_superkey x = Names.equal (closure_of x fds) universe in
+  let is_minimal x =
+    Names.for_all (fun a -> not (is_superkey (Names.remove a x))) x
+  in
+  subsets_of universe |> List.filter (fun x -> is_superkey x && is_minimal x)
+
+(* Tableau chase: one row per decomposition block, one column per
+   universe attribute; cell (i, a) is "distinguished" iff block i keeps
+   attribute a, otherwise a unique labelled null (i, a). Applying an FD
+   X -> Y equates the Y-cells of any two rows agreeing on X (distinguished
+   wins). Lossless iff some row becomes all-distinguished. *)
+let chase_lossless blocks ~universe fds =
+  List.iter
+    (fun b ->
+      if not (Names.subset b universe) then
+        invalid_arg "Fd.chase_lossless: block outside the universe")
+    blocks;
+  let covered = List.fold_left Names.union Names.empty blocks in
+  if not (Names.equal covered universe) then
+    invalid_arg "Fd.chase_lossless: decomposition does not cover the universe";
+  let attr_arr = Array.of_list (Names.elements universe) in
+  let col_of =
+    let tbl = Hashtbl.create 16 in
+    Array.iteri (fun i a -> Hashtbl.add tbl a i) attr_arr;
+    Hashtbl.find tbl
+  in
+  let n = List.length blocks and m = Array.length attr_arr in
+  (* cell encoding: 0 = distinguished, otherwise a positive null id *)
+  let tableau = Array.make_matrix n m 0 in
+  List.iteri
+    (fun i b ->
+      Array.iteri
+        (fun j a -> tableau.(i).(j) <- (if Names.mem a b then 0 else (i * m) + j + 1))
+        attr_arr)
+    blocks;
+  (* FDs may mention attributes outside the universe; project them first
+     so implied dependencies that route through external attributes are
+     kept (exponential in |universe|, fine for design-sized schemas). *)
+  let fds =
+    if List.for_all (fun fd -> Names.subset (attrs fd) universe) fds then
+      singletons fds
+    else project_to universe fds
+  in
+  let all_distinguished row = Array.for_all (fun c -> c = 0) row in
+  let changed = ref true in
+  let result = ref false in
+  while !changed && not !result do
+    changed := false;
+    List.iter
+      (fun fd ->
+        let lhs_cols = List.map col_of (Names.elements fd.lhs) in
+        let rhs_col = col_of (Names.choose fd.rhs) in
+        for i = 0 to n - 1 do
+          for j = i + 1 to n - 1 do
+            if List.for_all (fun c -> tableau.(i).(c) = tableau.(j).(c)) lhs_cols
+            then begin
+              let vi = tableau.(i).(rhs_col) and vj = tableau.(j).(rhs_col) in
+              if vi <> vj then begin
+                (* equate: distinguished (0) wins; otherwise the smaller
+                   null id, applied tableau-wide for transitivity *)
+                let keep = if vi = 0 || vj = 0 then 0 else min vi vj in
+                let drop = if keep = vi then vj else vi in
+                for r = 0 to n - 1 do
+                  for c = 0 to m - 1 do
+                    if tableau.(r).(c) = drop && c = rhs_col then
+                      tableau.(r).(c) <- keep
+                  done
+                done;
+                changed := true
+              end
+            end
+          done
+        done)
+      fds;
+    if Array.exists all_distinguished tableau then result := true
+  done;
+  !result || Array.exists all_distinguished tableau
+
+let group_rows r lhs_idx =
+  let groups = Hashtbl.create (Relation.cardinality r) in
+  Relation.iter_rows r (fun i row ->
+      let key =
+        String.concat "\x00" (List.map (fun j -> Value.encode row.(j)) lhs_idx)
+      in
+      Hashtbl.replace groups key
+        (i :: Option.value (Hashtbl.find_opt groups key) ~default:[]));
+  groups
+
+let violations r fd =
+  let schema = Relation.schema r in
+  let lhs_idx = List.map (Schema.index_of schema) (Names.elements fd.lhs) in
+  let rhs_idx = List.map (Schema.index_of schema) (Names.elements fd.rhs) in
+  let groups = group_rows r lhs_idx in
+  let rhs_key row = String.concat "\x00" (List.map (fun j -> Value.encode row.(j)) rhs_idx) in
+  Hashtbl.fold
+    (fun _ rows acc ->
+      match rows with
+      | [] | [ _ ] -> acc
+      | first :: rest ->
+        let canon = rhs_key (Relation.row r first) in
+        (match List.find_opt (fun i -> rhs_key (Relation.row r i) <> canon) rest with
+         | Some witness -> (first, witness) :: acc
+         | None -> acc))
+    groups []
+
+let holds r fd = violations r fd = []

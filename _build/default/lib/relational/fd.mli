@@ -1,0 +1,66 @@
+(** Functional dependencies and Armstrong-axiom reasoning.
+
+    FDs are the primary inference channel of the paper's experiments
+    (§IV-B: "we ... simplify the data correlation and inference model of
+    leakages by considering only functional dependencies"). This module
+    provides the classical design-theory toolkit: attribute-set closure,
+    implication, minimal cover and key discovery, plus data-level
+    validation ([holds]). *)
+
+module Names : Set.S with type elt = string
+
+type t = { lhs : Names.t; rhs : Names.t }
+(** [lhs -> rhs]. *)
+
+val make : string list -> string list -> t
+(** @raise Invalid_argument if either side is empty. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val attrs : t -> Names.t
+(** All attributes mentioned. *)
+
+val trivial : t -> bool
+(** [rhs ⊆ lhs]. *)
+
+val closure_of : Names.t -> t list -> Names.t
+(** [closure_of x fds] is X⁺ under the FDs (Armstrong closure of an
+    attribute set). *)
+
+val implies : t list -> t -> bool
+(** [implies fds fd]: does the set entail [fd]? (via attribute closure) *)
+
+val equivalent : t list -> t list -> bool
+
+val minimal_cover : t list -> t list
+(** Canonical cover: singleton right-hand sides, no extraneous LHS
+    attributes, no redundant dependencies. *)
+
+val project_to : Names.t -> t list -> t list
+(** FDs implied on a sub-schema (the dependencies a sub-relation inherits).
+    Exponential in |attrs| in the worst case; intended for the small
+    per-partition attribute sets that arise during normalization. *)
+
+val candidate_keys : Names.t -> t list -> Names.t list
+(** All minimal keys of a relation over the given attribute universe. *)
+
+val chase_lossless : Names.t list -> universe:Names.t -> t list -> bool
+(** The classical tableau chase (Aho–Beeri–Ullman; the paper's citation
+    [42]): does the vertical decomposition into the given attribute sets
+    have the lossless-join property under the FDs? Each decomposition
+    block must be a subset of the universe and the blocks must cover it.
+    SNF sidesteps this by carrying an explicit tid, but the chase answers
+    the design-theoretic question for tid-free decompositions — e.g.
+    whether the tid is actually {e necessary} for a given partitioning.
+    @raise Invalid_argument on a non-covering or out-of-universe
+    decomposition. *)
+
+val holds : Relation.t -> t -> bool
+(** Data-level check: no two rows agree on [lhs] but differ on [rhs]. *)
+
+val violations : Relation.t -> t -> (int * int) list
+(** Pairs of row indices witnessing a violation (first witness per
+    conflicting group). *)

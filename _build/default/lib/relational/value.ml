@@ -1,0 +1,96 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Text of string
+
+type ty = TBool | TInt | TFloat | TText
+
+let type_of = function
+  | Null -> None
+  | Bool _ -> Some TBool
+  | Int _ -> Some TInt
+  | Float _ -> Some TFloat
+  | Text _ -> Some TText
+
+let matches ty v =
+  match type_of v with None -> true | Some ty' -> ty = ty'
+
+let type_rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 3
+  | Text _ -> 4
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Text x, Text y -> String.compare x y
+  | _ -> Int.compare (type_rank a) (type_rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Null -> 0
+  | Bool b -> Hashtbl.hash (1, b)
+  | Int i -> Hashtbl.hash (2, i)
+  | Float f -> Hashtbl.hash (3, f)
+  | Text s -> Hashtbl.hash (4, s)
+
+let to_string = function
+  | Null -> "\xe2\x88\x85" (* ∅ *)
+  | Bool b -> string_of_bool b
+  | Int i -> string_of_int i
+  | Float f -> string_of_float f
+  | Text s -> s
+
+let le64 x =
+  String.init 8 (fun i ->
+      Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical x (8 * i)) 0xffL)))
+
+let read_le64 s off =
+  let b i = Int64.of_int (Char.code s.[off + i]) in
+  let acc = ref 0L in
+  for i = 7 downto 0 do
+    acc := Int64.logor (Int64.shift_left !acc 8) (b i)
+  done;
+  !acc
+
+let encode = function
+  | Null -> "N"
+  | Bool false -> "b\x00"
+  | Bool true -> "b\x01"
+  | Int i -> "i" ^ le64 (Int64.of_int i)
+  | Float f -> "f" ^ le64 (Int64.bits_of_float f)
+  | Text s -> "t" ^ s
+
+let decode s =
+  if String.length s = 0 then invalid_arg "Value.decode: empty";
+  match s.[0] with
+  | 'N' when String.length s = 1 -> Null
+  | 'b' when String.length s = 2 -> Bool (s.[1] <> '\x00')
+  | 'i' when String.length s = 9 -> Int (Int64.to_int (read_le64 s 1))
+  | 'f' when String.length s = 9 -> Float (Int64.float_of_bits (read_le64 s 1))
+  | 't' -> Text (String.sub s 1 (String.length s - 1))
+  | _ -> invalid_arg "Value.decode: malformed"
+
+let size_bytes v = String.length (encode v)
+
+let to_int_exn = function
+  | Int i -> i
+  | v -> invalid_arg (Printf.sprintf "Value.to_int_exn: %s is not an Int" (to_string v))
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+let ty_to_string = function
+  | TBool -> "bool"
+  | TInt -> "int"
+  | TFloat -> "float"
+  | TText -> "text"
+
+let pp_ty fmt ty = Format.pp_print_string fmt (ty_to_string ty)

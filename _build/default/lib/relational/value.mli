@@ -1,0 +1,46 @@
+(** Cell values of the relational substrate.
+
+    A deliberately small dynamic value type: the encrypted-database layer
+    serializes every value to bytes before encryption anyway, and the
+    leakage machinery only needs equality and order on plaintexts. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Text of string
+
+type ty = TBool | TInt | TFloat | TText
+
+val type_of : t -> ty option
+(** [None] for [Null]. *)
+
+val matches : ty -> t -> bool
+(** [Null] matches every type. *)
+
+val compare : t -> t -> int
+(** Total order: [Null] first, then by type, then by value. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val to_string : t -> string
+(** Human-readable rendering ([Null] prints as ["∅"]). *)
+
+val encode : t -> string
+(** Injective byte encoding with a one-byte type tag — the plaintext fed to
+    the column encryptors. *)
+
+val decode : string -> t
+(** Inverse of [encode]. @raise Invalid_argument on malformed input. *)
+
+val size_bytes : t -> int
+(** Size of the encoded form; the unit of plaintext storage accounting. *)
+
+val to_int_exn : t -> int
+(** @raise Invalid_argument unless the value is [Int]. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_ty : Format.formatter -> ty -> unit
+val ty_to_string : ty -> string

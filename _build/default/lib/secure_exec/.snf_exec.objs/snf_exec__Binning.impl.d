@@ -1,0 +1,1 @@
+lib/secure_exec/binning.ml: Int List Snf_crypto

@@ -1,0 +1,1 @@
+lib/secure_exec/binning.mli: Snf_crypto

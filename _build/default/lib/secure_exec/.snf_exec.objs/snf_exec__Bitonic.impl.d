@@ -1,0 +1,1 @@
+lib/secure_exec/bitonic.ml: Array

@@ -1,0 +1,1 @@
+lib/secure_exec/codec.ml: Char Int64 Snf_relational String Value

@@ -1,0 +1,1 @@
+lib/secure_exec/codec.mli: Snf_relational Value

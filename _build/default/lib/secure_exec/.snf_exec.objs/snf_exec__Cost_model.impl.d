@@ -1,0 +1,1 @@
+lib/secure_exec/cost_model.ml: Bitonic List Planner

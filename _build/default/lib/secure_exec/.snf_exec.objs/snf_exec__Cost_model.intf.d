@@ -1,0 +1,1 @@
+lib/secure_exec/cost_model.mli: Planner

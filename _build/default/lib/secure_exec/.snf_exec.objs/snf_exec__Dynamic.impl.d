@@ -1,0 +1,1 @@
+lib/secure_exec/dynamic.ml: Array Attribute Enc_relation Hashtbl List Printf Query Relation Schema Snf_core Snf_deps Snf_relational String System Value

@@ -1,0 +1,1 @@
+lib/secure_exec/dynamic.mli: Executor Query Relation Snf_core Snf_relational System Value

@@ -1,0 +1,1 @@
+lib/secure_exec/enc_relation.ml: Array Attribute Codec Hashtbl List Option Relation Schema Snf_bignum Snf_core Snf_crypto Snf_relational Storage_model String Value

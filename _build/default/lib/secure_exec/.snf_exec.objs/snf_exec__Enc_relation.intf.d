@@ -1,0 +1,1 @@
+lib/secure_exec/enc_relation.mli: Hashtbl Relation Snf_bignum Snf_core Snf_crypto Snf_relational Value

@@ -1,0 +1,1 @@
+lib/secure_exec/executor.mli: Cost_model Enc_relation Format Planner Query Relation Snf_core Snf_relational

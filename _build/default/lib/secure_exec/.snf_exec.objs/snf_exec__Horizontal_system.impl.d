@@ -1,0 +1,1 @@
+lib/secure_exec/horizontal_system.ml: Array List Printf Query Relation Schema Snf_core Snf_deps Snf_relational String System Value

@@ -1,0 +1,1 @@
+lib/secure_exec/horizontal_system.mli: Executor Query Relation Snf_core Snf_relational Storage_model Value

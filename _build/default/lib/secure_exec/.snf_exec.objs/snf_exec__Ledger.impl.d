@@ -1,0 +1,1 @@
+lib/secure_exec/ledger.ml: Executor Format Hashtbl Int List Option Planner Query Relation Snf_relational String System Value

@@ -1,0 +1,1 @@
+lib/secure_exec/ledger.mli: Executor Format Query Snf_relational System

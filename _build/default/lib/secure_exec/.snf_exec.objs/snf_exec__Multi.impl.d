@@ -1,0 +1,1 @@
+lib/secure_exec/multi.ml: Array Attribute Bitonic Executor Hashtbl Int List Option Printf Query Relation Result Schema Snf_core Snf_crypto Snf_deps Snf_relational String System Value

@@ -1,0 +1,1 @@
+lib/secure_exec/multi.mli: Executor Query Relation Snf_core Snf_deps Snf_relational System

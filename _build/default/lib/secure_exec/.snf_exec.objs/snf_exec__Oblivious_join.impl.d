@@ -1,0 +1,1 @@
+lib/secure_exec/oblivious_join.ml: Array Bitonic Enc_relation Int List Printf

@@ -1,0 +1,1 @@
+lib/secure_exec/oblivious_join.mli: Enc_relation

@@ -1,0 +1,1 @@
+lib/secure_exec/path_oram.ml: Array Hashtbl List Snf_crypto String

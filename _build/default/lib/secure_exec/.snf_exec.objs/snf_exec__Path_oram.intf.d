@@ -1,0 +1,1 @@
+lib/secure_exec/path_oram.mli: Snf_crypto

@@ -1,0 +1,1 @@
+lib/secure_exec/planner.ml: Format Int List Option Printf Query Result Snf_core Snf_crypto String

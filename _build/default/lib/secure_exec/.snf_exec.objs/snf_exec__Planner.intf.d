@@ -1,0 +1,1 @@
+lib/secure_exec/planner.mli: Format Query Snf_core Snf_crypto

@@ -1,0 +1,1 @@
+lib/secure_exec/query.ml: Algebra Format Hashtbl List Relation Snf_relational String Value

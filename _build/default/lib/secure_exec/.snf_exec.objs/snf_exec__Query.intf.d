@@ -1,0 +1,1 @@
+lib/secure_exec/query.mli: Algebra Format Relation Snf_relational Value

@@ -1,0 +1,1 @@
+lib/secure_exec/storage_model.ml: Array List Relation Snf_core Snf_crypto Snf_relational String Value

@@ -1,0 +1,1 @@
+lib/secure_exec/system.ml: Array Enc_relation Executor List Option Query Relation Snf_bignum Snf_core Snf_crypto Snf_deps Snf_relational Storage_model String Value

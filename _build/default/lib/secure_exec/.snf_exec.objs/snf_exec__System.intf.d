@@ -1,0 +1,1 @@
+lib/secure_exec/system.mli: Cost_model Enc_relation Executor Query Relation Snf_core Snf_deps Snf_relational Storage_model

@@ -1,0 +1,1 @@
+lib/secure_exec/wire.ml: Array Buffer Char Enc_relation Fun Hashtbl List Printf Snf_bignum Snf_crypto Snf_relational String Value

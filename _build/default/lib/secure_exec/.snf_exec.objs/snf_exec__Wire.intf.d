@@ -1,0 +1,1 @@
+lib/secure_exec/wire.mli: Enc_relation

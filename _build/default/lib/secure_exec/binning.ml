@@ -1,0 +1,41 @@
+module Feistel = Snf_crypto.Feistel
+
+type schedule = {
+  bin_size : int;
+  bins : int list list;
+  retrieved : int;
+  wanted : int;
+}
+
+let assign ~key ~universe ~bin_size row =
+  if universe < 1 then invalid_arg "Binning.assign: empty universe";
+  if bin_size < 1 then invalid_arg "Binning.assign: bin_size < 1";
+  if row < 0 || row >= universe then invalid_arg "Binning.assign: row out of range";
+  let shuffled =
+    if universe = 1 then 0 else Feistel.permute ~key ~domain:universe row
+  in
+  shuffled / bin_size
+
+let schedule ~key ~universe ~bin_size wanted_rows =
+  let bin_of = assign ~key ~universe ~bin_size in
+  let wanted_bins =
+    List.sort_uniq Int.compare (List.map bin_of wanted_rows)
+  in
+  let members bin =
+    (* All rows landing in this bin under the permutation. Linear scan: the
+       universe is one leaf's row count. *)
+    let out = ref [] in
+    for row = universe - 1 downto 0 do
+      if bin_of row = bin then out := row :: !out
+    done;
+    !out
+  in
+  let bins = List.map members wanted_bins in
+  { bin_size;
+    bins;
+    retrieved = List.fold_left (fun acc b -> acc + List.length b) 0 bins;
+    wanted = List.length (List.sort_uniq Int.compare wanted_rows) }
+
+let overhead s = float_of_int s.retrieved /. float_of_int (max 1 s.wanted)
+
+let anonymity s = s.bin_size

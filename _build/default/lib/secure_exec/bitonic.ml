@@ -1,0 +1,63 @@
+let next_pow2 n =
+  let rec go m = if m >= n then m else go (m * 2) in
+  go 1
+
+let comparator_count n =
+  let m = next_pow2 n in
+  let k =
+    let rec bits x = if x <= 1 then 0 else 1 + bits (x / 2) in
+    bits m
+  in
+  m / 2 * (k * (k + 1) / 2)
+
+(* Standard iterative bitonic network over a padded option array; [None]
+   acts as +infinity so real elements bubble to the front. *)
+let sort ?counter ~cmp arr =
+  let n = Array.length arr in
+  if n > 1 then begin
+    let m = next_pow2 n in
+    let work = Array.make m None in
+    for i = 0 to n - 1 do
+      work.(i) <- Some arr.(i)
+    done;
+    let tick () = match counter with Some c -> incr c | None -> () in
+    let compare_exchange i j =
+      (* Ascending: smaller element ends up at position i. *)
+      match (work.(i), work.(j)) with
+      | Some a, Some b ->
+        tick ();
+        if cmp a b > 0 then begin
+          work.(i) <- Some b;
+          work.(j) <- Some a
+        end
+      | None, Some b ->
+        work.(i) <- Some b;
+        work.(j) <- None
+      | Some _, None | None, None -> ()
+    in
+    let k = ref 2 in
+    while !k <= m do
+      let j = ref (!k / 2) in
+      while !j >= 1 do
+        for i = 0 to m - 1 do
+          let l = i lxor !j in
+          if l > i then
+            if i land !k = 0 then compare_exchange i l else compare_exchange l i
+        done;
+        j := !j / 2
+      done;
+      k := !k * 2
+    done;
+    for i = 0 to n - 1 do
+      match work.(i) with
+      | Some x -> arr.(i) <- x
+      | None -> assert false (* all n real elements precede the sentinels *)
+    done
+  end
+
+let is_sorted ~cmp arr =
+  let ok = ref true in
+  for i = 0 to Array.length arr - 2 do
+    if cmp arr.(i) arr.(i + 1) > 0 then ok := false
+  done;
+  !ok

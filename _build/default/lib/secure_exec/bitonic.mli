@@ -1,0 +1,21 @@
+(** Bitonic sorting network — the data-independent sort underneath the
+    oblivious join.
+
+    The sequence of compare-exchange positions depends only on the input
+    {e length}, never on the data, which is what makes a sort usable inside
+    an enclave without leaking the permutation through its memory trace.
+    Arbitrary lengths are handled by padding to the next power of two with
+    virtual [+∞] sentinels. *)
+
+val comparator_count : int -> int
+(** Exact number of compare-exchanges the network performs for an input of
+    length [n] (after padding): [m/2 * k*(k+1)/2] for [m = 2^k >= n]. *)
+
+val sort : ?counter:int ref -> cmp:('a -> 'a -> int) -> 'a array -> unit
+(** In-place oblivious sort. [counter], when given, is incremented once
+    per compare-exchange actually executed (equals [comparator_count]
+    minus the exchanges short-circuited by sentinel padding — sentinels
+    are tracked separately, so data comparisons are still counted
+    exactly). Stability is not guaranteed. *)
+
+val is_sorted : cmp:('a -> 'a -> int) -> 'a array -> bool

@@ -1,0 +1,61 @@
+type params = {
+  compare_ns : float;
+  row_crypt_ns : float;
+  row_io_ns : float;
+  oram_bucket_ns : float;
+  scan_cell_ns : float;
+}
+
+(* Calibration: Secure-Yannakakis-class oblivious joins process ~10^5 rows
+   in tens of seconds => ~10 µs per row-touch dominated by oblivious
+   memory movement and MAC-ed re-encryption; enclave compare-exchanges are
+   two orders cheaper; Path ORAM bucket touches cost a crypto op plus a
+   cache-hostile access. *)
+let default =
+  { compare_ns = 150.0;
+    row_crypt_ns = 2_000.0;
+    row_io_ns = 500.0;
+    oram_bucket_ns = 4_000.0;
+    scan_cell_ns = 120.0 }
+
+let ns = 1e-9
+
+let oblivious_join_seconds p n1 n2 =
+  let n = n1 + n2 in
+  let comparators = float_of_int (Bitonic.comparator_count n) in
+  let rows = float_of_int n in
+  ns *. ((comparators *. p.compare_ns) +. (rows *. (p.row_crypt_ns +. p.row_io_ns)))
+
+let chain_join_seconds p sizes =
+  match sizes with
+  | [] | [ _ ] -> 0.0
+  | first :: rest ->
+    let _, total =
+      List.fold_left
+        (fun (left, acc) right ->
+          (* Intermediate width kept at the larger input: conservative. *)
+          (max left right, acc +. oblivious_join_seconds p left right))
+        (first, 0.0) rest
+    in
+    total
+
+let scan_seconds p ~rows ~predicate_cols =
+  ns *. (float_of_int rows *. float_of_int predicate_cols *. p.scan_cell_ns)
+
+let query_seconds p ~rows ~plan =
+  let scans =
+    scan_seconds p ~rows ~predicate_cols:(List.length plan.Planner.pred_home)
+  in
+  let joins =
+    chain_join_seconds p (List.map (fun _ -> rows) plan.Planner.leaves)
+  in
+  scans +. joins
+
+let trace_seconds p ~comparisons ~rows_processed ~scanned_cells ~oram_bucket_touches
+    ~retrieved_rows =
+  ns
+  *. ((float_of_int comparisons *. p.compare_ns)
+     +. (float_of_int rows_processed *. (p.row_crypt_ns +. p.row_io_ns))
+     +. (float_of_int scanned_cells *. p.scan_cell_ns)
+     +. (float_of_int oram_bucket_touches *. p.oram_bucket_ns)
+     +. (float_of_int retrieved_rows *. (p.row_io_ns +. p.row_crypt_ns)))

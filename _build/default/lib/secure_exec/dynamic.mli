@@ -1,0 +1,81 @@
+(** SNF over dynamic databases (§V-B).
+
+    The paper notes that updates may force "recasting and re-partitioning"
+    of the outsourced data and leaves the efficient version open. This
+    module implements the standard staged-delta design:
+
+    - {b inserts} are appended to a {e delta segment}: a second encrypted
+      instance of the same representation under fresh per-epoch keys. Only
+      the new rows are encrypted (O(columns) work per row), never the
+      base. Base and delta tid spaces are disjoint, so no cross-segment
+      linkage exists.
+    - {b queries} run the normal secure pipeline over both segments and
+      union the answers — correctness is verified against the plaintext
+      reference over the full current state.
+    - {b compaction} re-outsources base ∪ delta as a fresh base (new keys,
+      new shuffles), the paper's "recasting"; [stats] expose the
+      re-encryption bill so the insert-vs-compact trade-off can be
+      benchmarked.
+    - {b dependency drift}: new data can create dependencies that did not
+      hold before (e.g. a column that becomes functionally determined),
+      silently invalidating SNF. [check_drift] re-mines the dependence
+      specification on the current state and audits the representation
+      against it; [repartition] compacts under a freshly computed plan.
+
+    Known (documented) dynamic leakage: the server observes delta growth —
+    arrival times and row counts — exactly the update-volume side channel
+    §V-B warns about; hiding it needs padded/batched uploads, which are
+    out of scope here. *)
+
+open Snf_relational
+
+type t
+
+type stats = { rows_processed : int; cells_encrypted : int }
+
+val create : System.owner -> t
+(** Wrap an outsourced relation; the delta starts empty. *)
+
+val base_cardinality : t -> int
+val delta_cardinality : t -> int
+val cardinality : t -> int
+
+val current_plaintext : t -> Relation.t
+(** Owner-side view: base ∪ delta. *)
+
+val insert : t -> Value.t array list -> stats
+(** Append rows (validated against the schema); encrypts only the new
+    rows, into the delta segment. @raise Invalid_argument on arity or
+    type mismatch. *)
+
+val delete : t -> Query.pred list -> int
+(** Delete all rows matching the conjunction (evaluated owner-side):
+    matching base rows become {e tombstones} — their ciphertexts stay on
+    the server but the enclave filters them out of every answer — and
+    matching delta rows are dropped with a delta re-encryption. Returns
+    the number of rows deleted. The server learns only the tombstone
+    cardinality over time (the §V-B update-volume channel); [compact]
+    physically removes tombstoned rows. *)
+
+val tombstone_count : t -> int
+
+val query :
+  ?mode:Executor.mode -> t -> Query.t -> (Relation.t * Executor.trace list, string) result
+(** Secure execution over base and (when non-empty) delta; one trace per
+    segment touched. *)
+
+val verify : ?mode:Executor.mode -> t -> Query.t -> bool
+
+val compact : t -> stats
+(** Fold the delta into a freshly outsourced base (same policy, same
+    dependence graph, fresh keys and shuffles); physically drops
+    tombstoned rows. *)
+
+val check_drift :
+  ?max_lhs:int -> t -> [ `Snf_ok | `Violated of Snf_core.Audit.violation list ]
+(** Re-mine dependencies on the current plaintext and audit the current
+    representation against them. *)
+
+val repartition : ?strategy:Snf_core.Normalizer.strategy -> t -> stats
+(** Re-mine, re-plan, re-outsource — the recovery action when
+    [check_drift] reports violations or the workload changed. *)

@@ -1,0 +1,329 @@
+open Snf_relational
+module Scheme = Snf_crypto.Scheme
+module Keyring = Snf_crypto.Keyring
+module Det = Snf_crypto.Det
+module Ndet = Snf_crypto.Ndet
+module Ope = Snf_crypto.Ope
+module Ore = Snf_crypto.Ore
+module Paillier = Snf_crypto.Paillier
+module Feistel = Snf_crypto.Feistel
+module Prng = Snf_crypto.Prng
+module Nat = Snf_bignum.Nat
+module Partition = Snf_core.Partition
+
+type cell =
+  | C_plain of Value.t
+  | C_bytes of string
+  | C_ord of { ord : int; payload : string }
+  | C_ore of { ore : Ore.ciphertext; payload : string }
+  | C_nat of Nat.t
+
+type enc_column = { attr : string; scheme : Scheme.kind; cells : cell array }
+
+type enc_leaf = {
+  label : string;
+  row_count : int;
+  tids : string array;
+  columns : enc_column list;
+}
+
+type t = {
+  relation_name : string;
+  leaves : enc_leaf list;
+  paillier_public : Paillier.public_key;
+  index_cache : (string * string, (string, int list) Hashtbl.t) Hashtbl.t;
+}
+
+type client = {
+  keyring : Keyring.t;
+  paillier : Paillier.keypair;
+  name : string;
+  prng : Prng.t;
+}
+
+let make_client ?(seed = 0x0c11e47) ?(paillier_prime_bits = 48) ~relation_name ~master () =
+  let prng = Prng.create seed in
+  { keyring = Keyring.create ~master;
+    paillier = Paillier.key_gen ~prime_bits:paillier_prime_bits prng;
+    name = relation_name;
+    prng }
+
+let client_paillier c = c.paillier
+
+let path c ~leaf ~attr = [ c.name; leaf; attr ]
+
+let det_key c ~leaf ~attr = Keyring.det_key c.keyring (path c ~leaf ~attr)
+let ndet_key c ~leaf ~attr = Keyring.ndet_key c.keyring (path c ~leaf ~attr)
+let tid_key c ~leaf = Keyring.ndet_key c.keyring [ c.name; leaf; Partition.tid_name ]
+
+let ope_of c ~leaf ~attr =
+  Keyring.ope c.keyring (path c ~leaf ~attr) ~domain_bits:Codec.ordinal_bits
+
+let ore_of c ~leaf ~attr =
+  Keyring.ore c.keyring (path c ~leaf ~attr) ~bits:Codec.ordinal_bits
+
+(* Each leaf stores its rows under an independent keyed shuffle: without
+   it, row position alone would link sub-relations and the encrypted tid
+   would protect nothing. The permutation is derived from the keyring, so
+   the owner (and the enclave) can compute a tid's slot directly. *)
+let perm_key c ~leaf = Keyring.derive c.keyring [ c.name; leaf; "__shuffle" ]
+
+let row_position c ~leaf ~rows tid =
+  if rows < 2 then tid else Feistel.permute ~key:(perm_key c ~leaf) ~domain:rows tid
+
+let tid_at c ~leaf ~rows slot =
+  if rows < 2 then slot else Feistel.unpermute ~key:(perm_key c ~leaf) ~domain:rows slot
+
+let binning_key c ~leaf = Keyring.derive c.keyring [ c.name; leaf; "__binning" ]
+
+let encrypt_cell c ~leaf ~attr scheme v =
+  match (scheme : Scheme.kind) with
+  | Scheme.Plain -> C_plain v
+  | Scheme.Det -> C_bytes (Det.encrypt (det_key c ~leaf ~attr) (Value.encode v))
+  | Scheme.Ndet ->
+    C_bytes (Ndet.encrypt ~rng:c.prng (ndet_key c ~leaf ~attr) (Value.encode v))
+  | Scheme.Ope ->
+    let ord = Ope.encrypt (ope_of c ~leaf ~attr) (Codec.to_ordinal v) in
+    C_ord { ord; payload = Det.encrypt (det_key c ~leaf ~attr) (Value.encode v) }
+  | Scheme.Ore ->
+    let ore = Ore.encrypt (ore_of c ~leaf ~attr) (Codec.to_ordinal v) in
+    C_ore { ore; payload = Det.encrypt (det_key c ~leaf ~attr) (Value.encode v) }
+  | Scheme.Phe ->
+    let m =
+      match v with
+      | Value.Int i when i >= 0 -> Nat.of_int i
+      | Value.Int _ -> invalid_arg "Enc_relation: PHE requires non-negative integers"
+      | _ -> invalid_arg "Enc_relation: PHE requires integer values"
+    in
+    C_nat (Paillier.encrypt c.prng c.paillier.Paillier.public m)
+
+let encrypt client r rep =
+  let leaves =
+    List.map
+      (fun ((l : Partition.leaf), piece) ->
+        let n = Relation.cardinality piece in
+        let key = tid_key client ~leaf:l.label in
+        (* slot_to_tid.(slot) = original row stored at that slot. *)
+        let slot_to_tid = Array.init n (tid_at client ~leaf:l.label ~rows:n) in
+        let tids =
+          Array.map
+            (fun tid -> Ndet.encrypt ~rng:client.prng key (Value.encode (Value.Int tid)))
+            slot_to_tid
+        in
+        let columns =
+          List.map
+            (fun (cs : Partition.column_spec) ->
+              let col = Relation.column piece cs.name in
+              { attr = cs.name;
+                scheme = cs.scheme;
+                cells =
+                  Array.map
+                    (fun tid ->
+                      encrypt_cell client ~leaf:l.label ~attr:cs.name cs.scheme col.(tid))
+                    slot_to_tid })
+            l.columns
+        in
+        { label = l.label; row_count = n; tids; columns })
+      (Partition.materialize r rep)
+  in
+  { relation_name = client.name;
+    leaves;
+    paillier_public = client.paillier.Paillier.public;
+    index_cache = Hashtbl.create 8 }
+
+let find_leaf t label =
+  match List.find_opt (fun l -> l.label = label) t.leaves with
+  | Some l -> l
+  | None -> raise Not_found
+
+let column leaf attr =
+  match List.find_opt (fun c -> c.attr = attr) leaf.columns with
+  | Some c -> c
+  | None -> raise Not_found
+
+let decrypt_cell c ~leaf ~attr ~scheme cell =
+  match ((scheme : Scheme.kind), cell) with
+  | Scheme.Plain, C_plain v -> v
+  | Scheme.Det, C_bytes b -> Value.decode (Det.decrypt (det_key c ~leaf ~attr) b)
+  | Scheme.Ndet, C_bytes b -> Value.decode (Ndet.decrypt (ndet_key c ~leaf ~attr) b)
+  | (Scheme.Ope | Scheme.Ore), (C_ord { payload; _ } | C_ore { payload; _ }) ->
+    Value.decode (Det.decrypt (det_key c ~leaf ~attr) payload)
+  | Scheme.Phe, C_nat n ->
+    Value.Int (Nat.to_int_exn (Paillier.decrypt c.paillier n))
+  | _ -> invalid_arg "Enc_relation.decrypt_cell: scheme/cell shape mismatch"
+
+let decrypt_column c ~leaf (col : enc_column) =
+  Array.map (decrypt_cell c ~leaf ~attr:col.attr ~scheme:col.scheme) col.cells
+
+let decrypt_tid c ~leaf ct =
+  Value.to_int_exn (Value.decode (Ndet.decrypt (tid_key c ~leaf) ct))
+
+let decrypt_leaf c (l : enc_leaf) =
+  let tid_col = Array.map (fun ct -> Value.Int (decrypt_tid c ~leaf:l.label ct)) l.tids in
+  let value_columns =
+    List.map (fun col -> decrypt_column c ~leaf:l.label col) l.columns
+  in
+  let attr_of (col : enc_column) v0 =
+    let ty =
+      match Value.type_of v0 with
+      | Some ty -> ty
+      | None -> Value.TText (* all-null column: arbitrary printable type *)
+    in
+    Attribute.make col.attr ty
+  in
+  let attrs =
+    List.map2
+      (fun col vals ->
+        let witness =
+          Array.fold_left
+            (fun acc v -> match acc with Value.Null -> v | _ -> acc)
+            Value.Null vals
+        in
+        attr_of col witness)
+      l.columns value_columns
+  in
+  let schema = Schema.of_attributes (Attribute.int Partition.tid_name :: attrs) in
+  Relation.of_columns schema (Array.of_list (tid_col :: value_columns))
+
+(* --- predicate tokens --------------------------------------------------- *)
+
+type eq_token =
+  | Eq_plain of Value.t
+  | Eq_det of string
+  | Eq_ord of int
+  | Eq_ore of Ore.ciphertext
+
+type range_token =
+  | Rng_plain of Value.t * Value.t
+  | Rng_ord of int * int
+  | Rng_ore of Ore.ciphertext * Ore.ciphertext
+
+let eq_token c ~leaf ~attr ~scheme v =
+  match (scheme : Scheme.kind) with
+  | Scheme.Plain -> Some (Eq_plain v)
+  | Scheme.Det -> Some (Eq_det (Det.encrypt (det_key c ~leaf ~attr) (Value.encode v)))
+  | Scheme.Ope -> Some (Eq_ord (Ope.encrypt (ope_of c ~leaf ~attr) (Codec.to_ordinal v)))
+  | Scheme.Ore -> Some (Eq_ore (Ore.encrypt (ore_of c ~leaf ~attr) (Codec.to_ordinal v)))
+  | Scheme.Ndet | Scheme.Phe -> None
+
+let range_token c ~leaf ~attr ~scheme ~lo ~hi =
+  match (scheme : Scheme.kind) with
+  | Scheme.Plain -> Some (Rng_plain (lo, hi))
+  | Scheme.Ope ->
+    let e = Ope.encrypt (ope_of c ~leaf ~attr) in
+    Some (Rng_ord (e (Codec.to_ordinal lo), e (Codec.to_ordinal hi)))
+  | Scheme.Ore ->
+    let e = Ore.encrypt (ore_of c ~leaf ~attr) in
+    Some (Rng_ore (e (Codec.to_ordinal lo), e (Codec.to_ordinal hi)))
+  | Scheme.Det | Scheme.Ndet | Scheme.Phe -> None
+
+let cell_matches_eq tok cell =
+  match (tok, cell) with
+  | Eq_plain v, C_plain v' -> Value.equal v v'
+  | Eq_det b, C_bytes b' -> Det.equal_ciphertexts b b'
+  | Eq_ord o, C_ord { ord; _ } -> o = ord
+  | Eq_ore o, C_ore { ore; _ } -> Ore.compare_ciphertexts o ore = 0
+  | _ -> invalid_arg "Enc_relation.cell_matches_eq: token/cell mismatch"
+
+let cell_in_range tok cell =
+  match (tok, cell) with
+  | Rng_plain (lo, hi), C_plain v ->
+    Value.compare lo v <= 0 && Value.compare v hi <= 0
+  | Rng_ord (lo, hi), C_ord { ord; _ } -> lo <= ord && ord <= hi
+  | Rng_ore (lo, hi), C_ore { ore; _ } ->
+    Ore.compare_ciphertexts lo ore <= 0 && Ore.compare_ciphertexts ore hi <= 0
+  | _ -> invalid_arg "Enc_relation.cell_in_range: token/cell mismatch"
+
+let phe_sum t leaf attr =
+  let col = column leaf attr in
+  if col.scheme <> Scheme.Phe then
+    invalid_arg "Enc_relation.phe_sum: column is not PHE";
+  let pk = t.paillier_public in
+  Array.fold_left
+    (fun acc cell ->
+      match cell with
+      | C_nat n -> (
+        match acc with None -> Some n | Some a -> Some (Paillier.add pk a n))
+      | _ -> invalid_arg "Enc_relation.phe_sum: malformed cell")
+    None col.cells
+  |> Option.value ~default:Nat.zero
+
+(* Canonical equality key of a cell, when the scheme makes ciphertexts
+   canonical per plaintext. *)
+let canonical_key scheme (cell : cell) =
+  match ((scheme : Scheme.kind), cell) with
+  | Scheme.Plain, C_plain v -> Some (Value.encode v)
+  | Scheme.Det, C_bytes b -> Some b
+  | Scheme.Ope, C_ord { ord; _ } -> Some (string_of_int ord)
+  | _ -> None
+
+let eq_index t ~leaf ~attr =
+  match Hashtbl.find_opt t.index_cache (leaf, attr) with
+  | Some idx -> Some idx
+  | None ->
+    let l = find_leaf t leaf in
+    let col = column l attr in
+    (match (col.scheme : Scheme.kind) with
+     | Scheme.Ndet | Scheme.Phe | Scheme.Ore -> None
+     | Scheme.Plain | Scheme.Det | Scheme.Ope ->
+       let idx = Hashtbl.create (Array.length col.cells) in
+       Array.iteri
+         (fun slot cell ->
+           match canonical_key col.scheme cell with
+           | Some key ->
+             Hashtbl.replace idx key
+               (slot :: Option.value (Hashtbl.find_opt idx key) ~default:[])
+           | None -> ())
+         col.cells;
+       Hashtbl.add t.index_cache (leaf, attr) idx;
+       Some idx)
+
+let index_key_of_token = function
+  | Eq_plain v -> Some (Value.encode v)
+  | Eq_det b -> Some b
+  | Eq_ord o -> Some (string_of_int o)
+  | Eq_ore _ -> None
+
+let phe_group_sum t leaf ~group_by ~sum =
+  let gcol = column leaf group_by in
+  let scol = column leaf sum in
+  if scol.scheme <> Scheme.Phe then
+    invalid_arg "Enc_relation.phe_group_sum: sum column is not PHE";
+  (match (gcol.scheme : Scheme.kind) with
+   | Scheme.Plain | Scheme.Det | Scheme.Ope -> ()
+   | Scheme.Ndet | Scheme.Phe | Scheme.Ore ->
+     invalid_arg "Enc_relation.phe_group_sum: group column reveals no canonical equality");
+  let pk = t.paillier_public in
+  let groups = Hashtbl.create 32 in
+  Array.iteri
+    (fun i gcell ->
+      let key =
+        match canonical_key gcol.scheme gcell with
+        | Some k -> k
+        | None -> invalid_arg "Enc_relation.phe_group_sum: malformed group cell"
+      in
+      let addend =
+        match scol.cells.(i) with
+        | C_nat n -> n
+        | _ -> invalid_arg "Enc_relation.phe_group_sum: malformed sum cell"
+      in
+      match Hashtbl.find_opt groups key with
+      | Some (rep, acc) -> Hashtbl.replace groups key (rep, Paillier.add pk acc addend)
+      | None -> Hashtbl.add groups key (gcell, addend))
+    gcol.cells;
+  Hashtbl.fold (fun _ (rep, acc) out -> (rep, acc) :: out) groups []
+
+let cell_bytes = function
+  | C_plain v -> Storage_model.plain_cell_bytes v
+  | C_bytes b -> String.length b
+  | C_ord { payload; _ } -> 6 + String.length payload
+  | C_ore { payload; _ } -> 8 + String.length payload
+  | C_nat n -> (Nat.bit_length n + 7) / 8
+
+let leaf_measured_bytes l =
+  let tid_total = Array.fold_left (fun acc s -> acc + String.length s) 0 l.tids in
+  List.fold_left
+    (fun acc col -> Array.fold_left (fun acc cell -> acc + cell_bytes cell) acc col.cells)
+    tid_total l.columns
+
+let measured_bytes t = List.fold_left (fun acc l -> acc + leaf_measured_bytes l) 0 t.leaves

@@ -1,0 +1,144 @@
+(** Encrypted, partitioned storage (ENCRYPTION + outsourcing, Algorithm 1
+    line 4) and the token interface for server-side predicate evaluation.
+
+    Every leaf of the representation is stored as: one tid column,
+    NDET-encrypted under a {e per-leaf} key (distinct keys per leaf ⇒
+    sub-relation unlinkability at rest), plus one encrypted column per
+    attribute copy. OPE/ORE columns are stored as onions — the
+    order-revealing part next to a DET-encrypted payload — so decryption
+    is exact for every value type while the leakage profile is unchanged
+    (the payload's equality leakage is already implied by the
+    deterministic order part).
+
+    The server sees only [t]; all key material lives in [client]. Clients
+    mint {e tokens} for predicates over weak columns; the matching
+    functions on cells are the only operations the server performs. *)
+
+open Snf_relational
+module Scheme = Snf_crypto.Scheme
+
+type cell =
+  | C_plain of Value.t
+  | C_bytes of string                                  (** DET / NDET *)
+  | C_ord of { ord : int; payload : string }           (** OPE onion *)
+  | C_ore of { ore : Snf_crypto.Ore.ciphertext; payload : string }
+  | C_nat of Snf_bignum.Nat.t                          (** Paillier *)
+
+type enc_column = { attr : string; scheme : Scheme.kind; cells : cell array }
+
+type enc_leaf = {
+  label : string;
+  row_count : int;
+  tids : string array;          (** NDET ciphertexts of row ids *)
+  columns : enc_column list;
+}
+
+type t = {
+  relation_name : string;
+  leaves : enc_leaf list;
+  paillier_public : Snf_crypto.Paillier.public_key;
+  index_cache : (string * string, (string, int list) Hashtbl.t) Hashtbl.t;
+      (** server-side memo of equality indexes; see [eq_index] *)
+}
+
+type client
+
+val make_client :
+  ?seed:int -> ?paillier_prime_bits:int ->
+  relation_name:string -> master:string -> unit -> client
+
+val client_paillier : client -> Snf_crypto.Paillier.keypair
+
+val encrypt : client -> Relation.t -> Snf_core.Partition.t -> t
+(** Materialize each leaf of the representation over the relation and
+    encrypt it. @raise Invalid_argument on [Null] under OPE/ORE/PHE or
+    non-integer values under PHE. *)
+
+val find_leaf : t -> string -> enc_leaf
+(** @raise Not_found on unknown label. *)
+
+val column : enc_leaf -> string -> enc_column
+(** @raise Not_found on unknown attribute. *)
+
+(** {1 Client-side decryption} *)
+
+val decrypt_cell :
+  client -> leaf:string -> attr:string -> scheme:Scheme.kind -> cell -> Value.t
+(** @raise Invalid_argument on key or shape mismatch. *)
+
+val decrypt_column : client -> leaf:string -> enc_column -> Value.t array
+
+val decrypt_tid : client -> leaf:string -> string -> int
+
+val row_position : client -> leaf:string -> rows:int -> int -> int
+(** Slot at which a tid's row is stored inside the leaf. Each leaf shuffles
+    its rows under an independent keyed permutation — without this, row
+    position alone would link sub-relations across leaves. *)
+
+val tid_at : client -> leaf:string -> rows:int -> int -> int
+(** Inverse of [row_position]: the tid stored at a slot. *)
+
+val binning_key : client -> leaf:string -> Snf_crypto.Prf.key
+(** Key for the per-leaf binning permutation ([Binning.schedule]); derived
+    from the keyring so client and enclave agree without communication. *)
+
+val decrypt_leaf : client -> enc_leaf -> Relation.t
+(** Rows in stored order, tid first (attribute [Snf_core.Partition.tid_name]),
+    with original value types. *)
+
+(** {1 Server-evaluable predicates} *)
+
+type eq_token
+type range_token
+
+val eq_token : client -> leaf:string -> attr:string -> scheme:Scheme.kind ->
+  Value.t -> eq_token option
+(** [None] when the scheme does not support server-side equality
+    (NDET/PHE). *)
+
+val range_token : client -> leaf:string -> attr:string -> scheme:Scheme.kind ->
+  lo:Value.t -> hi:Value.t -> range_token option
+(** Inclusive bounds; [None] unless the scheme reveals order. *)
+
+val cell_matches_eq : eq_token -> cell -> bool
+(** Pure ciphertext comparison — what the semi-honest server computes. *)
+
+val cell_in_range : range_token -> cell -> bool
+
+(** {1 Homomorphic aggregation} *)
+
+(** {1 Leakage as indexing (§V-D)}
+
+    A column that already reveals equality deterministically (PLAIN, DET,
+    OPE — their ciphertexts are canonical per plaintext) gives the server a
+    free equality index: building it uses only information the owner
+    already conceded. ORE ciphertexts reveal equality through comparison
+    but are not canonical, so ORE columns fall back to scans. *)
+
+val eq_index : t -> leaf:string -> attr:string -> (string, int list) Hashtbl.t option
+(** Server-side: map from canonical cell key to slots, built lazily and
+    memoized per (leaf, attribute). [None] when the column's ciphertexts
+    are not canonical per plaintext (NDET, PHE, ORE). *)
+
+val index_key_of_token : eq_token -> string option
+(** The index key a predicate token probes; [None] for ORE tokens. *)
+
+val phe_sum : t -> enc_leaf -> string -> Snf_bignum.Nat.t
+(** Server-side: homomorphic sum of a PHE column.
+    @raise Invalid_argument if the column is not PHE. *)
+
+val phe_group_sum :
+  t -> enc_leaf -> group_by:string -> sum:string -> (cell * Snf_bignum.Nat.t) list
+(** Server-side [SELECT group_by, SUM(sum) GROUP BY group_by]: rows are
+    grouped by the canonical ciphertext of [group_by] (which must reveal
+    equality deterministically — PLAIN/DET/OPE) and the PHE [sum] cells of
+    each group are homomorphically added. The server never decrypts
+    anything: the result pairs one representative group ciphertext with
+    one Paillier aggregate, both for the client to decrypt. Group count
+    and group sizes are within the group column's permissible equality
+    leakage. @raise Invalid_argument on unsupported schemes. *)
+
+val measured_bytes : t -> int
+(** Actual stored bytes of the simulation ciphertexts. *)
+
+val leaf_measured_bytes : enc_leaf -> int

@@ -1,0 +1,377 @@
+open Snf_relational
+
+type mode = [ `Sort_merge | `Oram | `Binning of int ]
+
+type trace = {
+  plan : Planner.plan;
+  mode : mode;
+  scanned_cells : int;
+  index_probes : int;   (* predicate evaluations served by an equality index *)
+  comparisons : int;
+  rows_processed : int;
+  oram_bucket_touches : int;
+  binning_retrieved : int;
+  result_rows : int;
+  estimated_seconds : float;
+}
+
+let pred_holds (p : Query.pred) v =
+  match p with
+  | Query.Point (_, want) -> Value.equal v want
+  | Query.Range (_, lo, hi) -> Value.compare lo v <= 0 && Value.compare v hi <= 0
+
+(* Server role: evaluate the predicates homed at this leaf over its
+   ciphertext columns, returning the selection mask. Point predicates on
+   columns with canonical ciphertexts can be served from the server's
+   equality index (§V-D "leakage as indexing") instead of a scan. *)
+let server_filter ?(use_index = false) ?enc client (leaf : Enc_relation.enc_leaf) preds
+    scanned index_probes =
+  let mask = Array.make leaf.Enc_relation.row_count true in
+  let apply_slots slots =
+    let keep = Array.make leaf.Enc_relation.row_count false in
+    List.iter (fun s -> keep.(s) <- true) slots;
+    Array.iteri (fun i m -> if m && not keep.(i) then mask.(i) <- false) mask
+  in
+  let try_index (p : Query.pred) =
+    if not use_index then None
+    else
+      match (p, enc) with
+      | Query.Point (attr, v), Some enc -> (
+        let col = Enc_relation.column leaf attr in
+        match
+          ( Enc_relation.eq_index enc ~leaf:leaf.Enc_relation.label ~attr,
+            Enc_relation.eq_token client ~leaf:leaf.Enc_relation.label ~attr
+              ~scheme:col.Enc_relation.scheme v )
+        with
+        | Some idx, Some tok -> (
+          match Enc_relation.index_key_of_token tok with
+          | Some key ->
+            let slots = Option.value (Hashtbl.find_opt idx key) ~default:[] in
+            index_probes := !index_probes + 1 + List.length slots;
+            Some slots
+          | None -> None)
+        | _ -> None)
+      | _ -> None
+  in
+  List.iter
+    (fun (p : Query.pred) ->
+      match try_index p with
+      | Some slots -> apply_slots slots
+      | None ->
+      let attr = Query.pred_attr p in
+      let col = Enc_relation.column leaf attr in
+      scanned := !scanned + leaf.Enc_relation.row_count;
+      let test =
+        match p with
+        | Query.Point (_, v) -> (
+          match
+            Enc_relation.eq_token client ~leaf:leaf.Enc_relation.label ~attr
+              ~scheme:col.Enc_relation.scheme v
+          with
+          | Some tok -> fun cell -> Enc_relation.cell_matches_eq tok cell
+          | None -> invalid_arg "Executor: planner homed an unsupported point predicate")
+        | Query.Range (_, lo, hi) -> (
+          match
+            Enc_relation.range_token client ~leaf:leaf.Enc_relation.label ~attr
+              ~scheme:col.Enc_relation.scheme ~lo ~hi
+          with
+          | Some tok -> fun cell -> Enc_relation.cell_in_range tok cell
+          | None -> invalid_arg "Executor: planner homed an unsupported range predicate")
+      in
+      Array.iteri
+        (fun i cell -> if mask.(i) && not (test cell) then mask.(i) <- false)
+        col.Enc_relation.cells)
+    preds;
+  mask
+
+let decrypt_at client (leaf : Enc_relation.enc_leaf) attr slot =
+  let col = Enc_relation.column leaf attr in
+  Enc_relation.decrypt_cell client ~leaf:leaf.Enc_relation.label ~attr
+    ~scheme:col.Enc_relation.scheme
+    col.Enc_relation.cells.(slot)
+
+let build_result (q : Query.t) rows =
+  let witness_ty i =
+    List.fold_left
+      (fun acc row -> match acc with Some _ -> acc | None -> Value.type_of (List.nth row i))
+      None rows
+    |> Option.value ~default:Value.TText
+  in
+  let schema =
+    Schema.of_attributes
+      (List.mapi (fun i a -> Attribute.make a (witness_ty i)) q.Query.select)
+  in
+  Relation.create schema (List.map Array.of_list rows)
+
+let preds_at (plan : Planner.plan) label =
+  List.filter_map
+    (fun (p, home) -> if home = label then Some p else None)
+    plan.Planner.pred_home
+
+let proj_leaf (plan : Planner.plan) attr =
+  match List.assoc_opt attr plan.Planner.proj_home with
+  | Some l -> l
+  | None -> invalid_arg "Executor: projection attribute without a home leaf"
+
+(* The anchor drives the per-row fetches of the ORAM/binning paths, so the
+   best anchor is the most selective one: fewest mask survivors, ties
+   broken toward more homed predicates, then plan order. *)
+let anchor_label (plan : Planner.plan) leaves masks =
+  let popcount m = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 m in
+  let scored =
+    List.map2
+      (fun (l : Enc_relation.enc_leaf) mask ->
+        ( popcount mask,
+          -List.length (preds_at plan l.Enc_relation.label),
+          l.Enc_relation.label ))
+      leaves masks
+  in
+  match List.stable_sort compare scored with
+  | (_, _, label) :: _ -> label
+  | [] -> invalid_arg "Executor: empty plan"
+
+let needed_attrs_of_leaf (q : Query.t) plan label =
+  let projs = List.filter (fun a -> proj_leaf plan a = label) q.Query.select in
+  let preds = List.map Query.pred_attr (preds_at plan label) in
+  List.sort_uniq String.compare (projs @ preds)
+
+(* Assemble the output rows given, per output tid, a function giving the
+   decrypted value of (leaf label, attr). *)
+let project_rows (q : Query.t) plan matches value_of =
+  List.map
+    (fun m -> List.map (fun attr -> value_of m (proj_leaf plan attr) attr) q.Query.select)
+    matches
+
+(* --- single leaf -------------------------------------------------------- *)
+
+let run_single ~drop_tid client q plan (leaf : Enc_relation.enc_leaf) mask =
+  let n = leaf.Enc_relation.row_count in
+  let slots = ref [] in
+  Array.iteri
+    (fun i keep ->
+      if keep
+         && not
+              (drop_tid
+                 (Enc_relation.tid_at client ~leaf:leaf.Enc_relation.label ~rows:n i))
+      then slots := i :: !slots)
+    mask;
+  let matches = List.rev !slots in
+  let rows =
+    project_rows q plan matches (fun slot _label attr -> decrypt_at client leaf attr slot)
+  in
+  build_result q rows
+
+(* --- sort-merge reconstruction ------------------------------------------ *)
+
+let run_sort_merge ~drop_tid client q plan leaves masks stats =
+  let matched =
+    Oblivious_join.join_many ~masks:(List.combine leaves masks) stats client
+    |> Array.to_seq
+    |> Seq.filter (fun (tid, _) -> not (drop_tid tid))
+    |> Array.of_seq
+  in
+  let label_index =
+    List.mapi (fun i (l : Enc_relation.enc_leaf) -> (l.Enc_relation.label, i)) leaves
+  in
+  let leaf_arr = Array.of_list leaves in
+  let rows =
+    project_rows q plan (Array.to_list matched) (fun (_, slots) label attr ->
+        let i = List.assoc label label_index in
+        decrypt_at client leaf_arr.(i) attr (List.nth slots i))
+  in
+  build_result q rows
+
+(* --- anchor + fetch reconstructions (ORAM / binning) --------------------- *)
+
+(* Partner-leaf access plumbing shared by the ORAM and binning paths: for a
+   tid, retrieve the decrypted values of the attrs this query needs from
+   that leaf. *)
+type fetcher = {
+  fetch : int -> (string * Value.t) list;  (* tid -> (attr, value) *)
+  leaf_label : string;
+}
+
+let oram_fetcher client q plan oram_touches prng (leaf : Enc_relation.enc_leaf) =
+  let label = leaf.Enc_relation.label in
+  let needed = needed_attrs_of_leaf q plan label in
+  let n = leaf.Enc_relation.row_count in
+  let payload slot =
+    Marshal.to_string (List.map (fun a -> (a, decrypt_at client leaf a slot)) needed) []
+  in
+  let block_size =
+    let m = ref 1 in
+    for slot = 0 to n - 1 do
+      m := max !m (String.length (payload slot))
+    done;
+    !m
+  in
+  let pad s = s ^ String.make (block_size - String.length s) '\x00' in
+  let oram = Path_oram.create ~num_blocks:(max n 1) ~block_size prng in
+  for slot = 0 to n - 1 do
+    Path_oram.write oram slot (pad (payload slot))
+  done;
+  let setup_touches = Path_oram.bucket_touches oram in
+  let counted = ref setup_touches in
+  { leaf_label = label;
+    fetch =
+      (fun tid ->
+        let slot = Enc_relation.row_position client ~leaf:label ~rows:n tid in
+        let data = Path_oram.read oram slot in
+        oram_touches := !oram_touches + (Path_oram.bucket_touches oram - !counted);
+        counted := Path_oram.bucket_touches oram;
+        (Marshal.from_string data 0 : (string * Value.t) list)) }
+
+let binning_fetcher client q plan bin_size bin_retrieved ~wanted
+    (leaf : Enc_relation.enc_leaf) =
+  let label = leaf.Enc_relation.label in
+  let needed = needed_attrs_of_leaf q plan label in
+  let n = leaf.Enc_relation.row_count in
+  (* PANDA-style: one schedule of fixed-size keyed bins covering every
+     wanted slot; the server ships whole bins, so it learns only which bins
+     were touched. The enclave keeps the wanted rows. *)
+  let wanted_slots =
+    List.map (fun tid -> Enc_relation.row_position client ~leaf:label ~rows:n tid) wanted
+  in
+  let schedule =
+    if n = 0 || wanted_slots = [] then None
+    else
+      Some
+        (Binning.schedule
+           ~key:(Enc_relation.binning_key client ~leaf:label)
+           ~universe:n ~bin_size:(min bin_size n) wanted_slots)
+  in
+  (match schedule with
+   | Some s -> bin_retrieved := !bin_retrieved + s.Binning.retrieved
+   | None -> ());
+  { leaf_label = label;
+    fetch =
+      (fun tid ->
+        let slot = Enc_relation.row_position client ~leaf:label ~rows:n tid in
+        (match schedule with
+         | Some s ->
+           (* the slot must be inside a requested bin *)
+           assert (List.exists (List.mem slot) s.Binning.bins)
+         | None -> ());
+        List.map (fun a -> (a, decrypt_at client leaf a slot)) needed) }
+
+let run_anchor_fetch ~drop_tid client q plan leaves masks ~make_fetcher =
+  let anchor = anchor_label plan leaves masks in
+  let anchor_leaf, anchor_mask =
+    List.combine leaves masks
+    |> List.find (fun ((l : Enc_relation.enc_leaf), _) -> l.Enc_relation.label = anchor)
+  in
+  let partners =
+    List.filter
+      (fun (l : Enc_relation.enc_leaf) -> l.Enc_relation.label <> anchor)
+      leaves
+  in
+  let n = anchor_leaf.Enc_relation.row_count in
+  let selected_tids = ref [] in
+  Array.iteri
+    (fun slot keep ->
+      if keep then begin
+        let tid = Enc_relation.tid_at client ~leaf:anchor ~rows:n slot in
+        if not (drop_tid tid) then selected_tids := tid :: !selected_tids
+      end)
+    anchor_mask;
+  let fetchers = List.map (make_fetcher ~wanted:(List.rev !selected_tids)) partners in
+  let rows = ref [] in
+  List.iter
+    (fun tid ->
+      let partner_values =
+        List.map (fun f -> (f.leaf_label, f.fetch tid)) fetchers
+      in
+      (* Post-filter: predicates homed at partner leaves. *)
+      let passes =
+        List.for_all
+          (fun (label, values) ->
+            List.for_all
+              (fun p ->
+                match List.assoc_opt (Query.pred_attr p) values with
+                | Some v -> pred_holds p v
+                | None -> invalid_arg "Executor: fetched row misses predicate attr")
+              (preds_at plan label))
+          partner_values
+      in
+      if passes then begin
+        let value_of () label attr =
+          if label = anchor then
+            let slot = Enc_relation.row_position client ~leaf:anchor ~rows:n tid in
+            decrypt_at client anchor_leaf attr slot
+          else List.assoc attr (List.assoc label partner_values)
+        in
+        rows :=
+          List.map (fun attr -> value_of () (proj_leaf plan attr) attr) q.Query.select
+          :: !rows
+      end)
+    (List.rev !selected_tids);
+  build_result q (List.rev !rows)
+
+(* ------------------------------------------------------------------------ *)
+
+let run ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
+    ?(use_index = false) ?(drop_tid = fun _ -> false) client enc rep q =
+  match Planner.plan ?selector rep q with
+  | Error e -> Error e
+  | Ok plan ->
+    let scanned = ref 0 in
+    let index_probes = ref 0 in
+    let stats = Oblivious_join.fresh_stats () in
+    let oram_touches = ref 0 in
+    let bin_retrieved = ref 0 in
+    let leaves =
+      List.map (Enc_relation.find_leaf enc) plan.Planner.leaves
+    in
+    let masks =
+      List.map
+        (fun (l : Enc_relation.enc_leaf) ->
+          server_filter ~use_index ~enc client l
+            (preds_at plan l.Enc_relation.label)
+            scanned index_probes)
+        leaves
+    in
+    let result =
+      match (leaves, masks) with
+      | [ leaf ], [ mask ] -> run_single ~drop_tid client q plan leaf mask
+      | _ -> (
+        match mode with
+        | `Sort_merge -> run_sort_merge ~drop_tid client q plan leaves masks stats
+        | `Oram ->
+          let prng = Snf_crypto.Prng.create 0x09a7 in
+          run_anchor_fetch ~drop_tid client q plan leaves masks
+            ~make_fetcher:(fun ~wanted leaf ->
+              ignore wanted;
+              oram_fetcher client q plan oram_touches prng leaf)
+        | `Binning bin_size ->
+          run_anchor_fetch ~drop_tid client q plan leaves masks
+            ~make_fetcher:(binning_fetcher client q plan bin_size bin_retrieved))
+    in
+    let trace =
+      { plan;
+        mode;
+        scanned_cells = !scanned;
+        index_probes = !index_probes;
+        comparisons = stats.Oblivious_join.comparisons;
+        rows_processed = stats.Oblivious_join.rows_processed;
+        oram_bucket_touches = !oram_touches;
+        binning_retrieved = !bin_retrieved;
+        result_rows = Relation.cardinality result;
+        estimated_seconds =
+          Cost_model.trace_seconds params ~comparisons:stats.Oblivious_join.comparisons
+            ~rows_processed:stats.Oblivious_join.rows_processed ~scanned_cells:!scanned
+            ~oram_bucket_touches:!oram_touches ~retrieved_rows:!bin_retrieved }
+    in
+    Ok (result, trace)
+
+let pp_trace fmt t =
+  Format.fprintf fmt
+    "@[<v>plan: %a (%s)@,scanned cells: %d (+%d via index); comparisons: %d; \
+     rows through networks: %d@,oram bucket touches: %d; binning retrieved: %d@,\
+     result rows: %d; est. %.4f s@]"
+    Planner.pp t.plan
+    (match t.mode with
+     | `Sort_merge -> "sort-merge"
+     | `Oram -> "oram"
+     | `Binning b -> Printf.sprintf "binning(%d)" b)
+    t.scanned_cells t.index_probes t.comparisons t.rows_processed t.oram_bucket_touches
+    t.binning_retrieved t.result_rows t.estimated_seconds

@@ -1,0 +1,60 @@
+(** Secure query execution over an outsourced SNF representation
+    (Algorithm 1, lines 5–12).
+
+    Roles, separated by module boundaries rather than processes:
+    the {e server} evaluates predicate tokens on ciphertext columns and
+    serves rows/bins; the {e enclave} (holding the client's keys, like the
+    SGX deployment of §III-B) performs tid reconstruction obliviously; the
+    {e client} mints tokens and decrypts the final answer.
+
+    Three reconstruction mechanisms:
+    - [`Sort_merge] — bitonic oblivious sort-merge join over full leaves
+      (selection masks applied inside the enclave, after the network);
+    - [`Oram] — anchor-leaf selection, partner rows fetched through a
+      per-leaf Path ORAM;
+    - [`Binning of bin_size] — partner rows fetched by fixed-size keyed
+      bins (PANDA-style), decoys included.
+
+    All three return the same answer (tested against
+    [Query.reference_answer]); they differ in the trace the server
+    observes and the counters charged to the cost model. *)
+
+open Snf_relational
+
+type mode = [ `Sort_merge | `Oram | `Binning of int ]
+
+type trace = {
+  plan : Planner.plan;
+  mode : mode;
+  scanned_cells : int;          (** server predicate evaluations (scans) *)
+  index_probes : int;           (** predicate work served by equality indexes *)
+  comparisons : int;            (** enclave compare-exchanges *)
+  rows_processed : int;         (** rows through oblivious networks *)
+  oram_bucket_touches : int;
+  binning_retrieved : int;      (** rows fetched incl. decoys *)
+  result_rows : int;
+  estimated_seconds : float;    (** via [Cost_model.trace_seconds] *)
+}
+
+val run :
+  ?mode:mode ->
+  ?params:Cost_model.params ->
+  ?selector:[ `Greedy | `Optimal of (Planner.plan -> float) ] ->
+  ?use_index:bool ->
+  ?drop_tid:(int -> bool) ->
+  Enc_relation.client ->
+  Enc_relation.t ->
+  Snf_core.Partition.t ->
+  Query.t ->
+  (Relation.t * trace, string) result
+(** Default mode [`Sort_merge]. [drop_tid] is the enclave-side tombstone
+    filter: rows whose tid it selects are removed from every answer (how
+    deletions work without re-encryption — see [Dynamic.delete]). With
+    [use_index] (default false), point
+    predicates over canonical-ciphertext columns are served from the
+    server's equality index — §V-D "leakage as indexing"; index
+    construction reveals nothing beyond the column's permissible equality
+    leakage. The answer's columns follow the query's projection order; row
+    order is unspecified. *)
+
+val pp_trace : Format.formatter -> trace -> unit

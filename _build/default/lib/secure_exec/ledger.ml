@@ -1,0 +1,115 @@
+open Snf_relational
+
+type t = {
+  owner : System.owner;
+  (* (attr, canonical token fingerprint) -> count *)
+  tokens : (string * string, int) Hashtbl.t;
+  co_access : (string * string, int) Hashtbl.t;
+  mutable volumes : int list; (* newest first *)
+  mutable queries : int;
+  mutable reconstruction_rows : int;
+}
+
+let create owner =
+  { owner;
+    tokens = Hashtbl.create 64;
+    co_access = Hashtbl.create 64;
+    volumes = [];
+    queries = 0;
+    reconstruction_rows = 0 }
+
+let owner t = t.owner
+
+let bump tbl key =
+  Hashtbl.replace tbl key (1 + Option.value (Hashtbl.find_opt tbl key) ~default:0)
+
+(* The server-visible fingerprint of a predicate: the attribute plus the
+   constant's encoding. For DET/OPE the token is deterministic, so equal
+   constants produce equal fingerprints — exactly what the server sees. *)
+let record_predicates t (q : Query.t) =
+  List.iter
+    (fun (p : Query.pred) ->
+      let fingerprint =
+        match p with
+        | Query.Point (a, v) -> (a, "=" ^ Value.encode v)
+        | Query.Range (a, lo, hi) -> (a, "[" ^ Value.encode lo ^ ";" ^ Value.encode hi)
+      in
+      bump t.tokens fingerprint)
+    q.Query.where
+
+let record_plan t (trace : Executor.trace) =
+  let leaves = List.sort String.compare trace.Executor.plan.Planner.leaves in
+  let rec pairs = function
+    | [] -> ()
+    | a :: rest ->
+      List.iter (fun b -> bump t.co_access (a, b)) rest;
+      pairs rest
+  in
+  pairs leaves
+
+let query ?mode ?use_index t q =
+  match System.query ?mode ?use_index t.owner q with
+  | Error _ as e -> e
+  | Ok (ans, trace) ->
+    t.queries <- t.queries + 1;
+    record_predicates t q;
+    record_plan t trace;
+    t.volumes <- Relation.cardinality ans :: t.volumes;
+    t.reconstruction_rows <-
+      t.reconstruction_rows + trace.Executor.rows_processed
+      + trace.Executor.binning_retrieved;
+    Ok (ans, trace)
+
+type attr_report = {
+  attr : string;
+  tokens_issued : int;
+  distinct_tokens : int;
+}
+
+type report = {
+  queries : int;
+  attrs : attr_report list;
+  co_access : ((string * string) * int) list;
+  result_volumes : int list;
+  total_reconstruction_rows : int;
+}
+
+let report t =
+  let per_attr = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (attr, _) count ->
+      let issued, distinct =
+        Option.value (Hashtbl.find_opt per_attr attr) ~default:(0, 0)
+      in
+      Hashtbl.replace per_attr attr (issued + count, distinct + 1))
+    t.tokens;
+  let attrs =
+    Hashtbl.fold
+      (fun attr (tokens_issued, distinct_tokens) acc ->
+        { attr; tokens_issued; distinct_tokens } :: acc)
+      per_attr []
+    |> List.sort (fun a b ->
+           match Int.compare b.tokens_issued a.tokens_issued with
+           | 0 -> String.compare a.attr b.attr
+           | c -> c)
+  in
+  { queries = t.queries;
+    attrs;
+    co_access =
+      Hashtbl.fold (fun pair n acc -> (pair, n) :: acc) t.co_access []
+      |> List.sort (fun ((_, _), n1) ((_, _), n2) -> Int.compare n2 n1);
+    result_volumes = List.rev t.volumes;
+    total_reconstruction_rows = t.reconstruction_rows }
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<v>session: %d queries, %d rows through reconstruction@,"
+    r.queries r.total_reconstruction_rows;
+  List.iter
+    (fun a ->
+      Format.fprintf fmt "  %s: %d tokens (%d distinct constants)@," a.attr
+        a.tokens_issued a.distinct_tokens)
+    r.attrs;
+  List.iter
+    (fun ((l1, l2), n) -> Format.fprintf fmt "  co-accessed %s + %s: %d times@," l1 l2 n)
+    r.co_access;
+  Format.fprintf fmt "@]"

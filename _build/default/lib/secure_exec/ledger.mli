@@ -1,0 +1,49 @@
+(** Holistic dynamic-leakage accounting across a query session.
+
+    The paper's subtitle promises {e holistic leakage accounting}; at rest
+    that is the closure/audit machinery, but §II's dynamic leakages accrue
+    {e per query}: every issued token tells the server which (encrypted)
+    constant was searched, every executed plan reveals which leaves
+    co-occur in queries, and every answer's cardinality leaks volume.
+    This ledger wraps an owner and records exactly that adversary's view,
+    so an owner can ask "what has the server learned from the workload so
+    far?" and decide when to re-key or re-partition.
+
+    Recorded per query (all ciphertext-level — nothing the server cannot
+    see): the leaves touched together, per-attribute token counts with
+    distinct-token counts (repeated searches for the same constant are
+    visible under DET/OPE tokens!), result volumes, and reconstruction
+    traffic. [report] aggregates the session. *)
+
+type t
+
+val create : System.owner -> t
+
+val owner : t -> System.owner
+
+val query :
+  ?mode:Executor.mode -> ?use_index:bool ->
+  t -> Query.t -> (Snf_relational.Relation.t * Executor.trace, string) result
+(** Execute and record. Failed (unplannable) queries are not recorded. *)
+
+type attr_report = {
+  attr : string;
+  tokens_issued : int;
+  distinct_tokens : int;
+    (** distinct searched constants observable by the server — equals the
+        number of distinct plaintext constants for DET/OPE tokens *)
+}
+
+type report = {
+  queries : int;
+  attrs : attr_report list;            (** sorted by tokens, descending *)
+  co_access : ((string * string) * int) list;
+    (** leaf pairs touched by the same query, with counts — the linkage
+        structure the workload reveals *)
+  result_volumes : int list;           (** per query, in execution order *)
+  total_reconstruction_rows : int;     (** rows through oblivious machinery *)
+}
+
+val report : t -> report
+
+val pp_report : Format.formatter -> report -> unit

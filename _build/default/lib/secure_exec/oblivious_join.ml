@@ -1,0 +1,93 @@
+type stats = {
+  mutable comparisons : int;
+  mutable rows_processed : int;
+  mutable joins : int;
+}
+
+let fresh_stats () = { comparisons = 0; rows_processed = 0; joins = 0 }
+
+let default_mask n = Array.make n true
+
+let check_mask label n = function
+  | None -> default_mask n
+  | Some m ->
+    if Array.length m <> n then
+      invalid_arg (Printf.sprintf "Oblivious_join: %s mask length mismatch" label);
+    m
+
+(* Entry: (tid, side, row index, selected). The enclave sorts all entries
+   of both leaves obliviously by (tid, side); matching pairs end up
+   adjacent with side 0 first. *)
+let join_entries stats entries_a entries_b =
+  let all = Array.append entries_a entries_b in
+  stats.rows_processed <- stats.rows_processed + Array.length all;
+  stats.joins <- stats.joins + 1;
+  let counter = ref 0 in
+  Bitonic.sort ~counter
+    ~cmp:(fun (t1, s1, _, _) (t2, s2, _, _) ->
+      match Int.compare t1 t2 with 0 -> Int.compare s1 s2 | c -> c)
+    all;
+  stats.comparisons <- stats.comparisons + !counter;
+  let out = ref [] in
+  for i = Array.length all - 2 downto 0 do
+    let t1, s1, r1, sel1 = all.(i) in
+    let t2, s2, r2, sel2 = all.(i + 1) in
+    if t1 = t2 && s1 = 0 && s2 = 1 && sel1 && sel2 then out := (t1, r1, r2) :: !out
+  done;
+  Array.of_list !out
+
+let decrypt_tids client (leaf : Enc_relation.enc_leaf) side mask =
+  Array.mapi
+    (fun i ct ->
+      (Enc_relation.decrypt_tid client ~leaf:leaf.Enc_relation.label ct, side, i, mask.(i)))
+    leaf.Enc_relation.tids
+
+let join_indices ?mask_a ?mask_b stats client a b =
+  let ma = check_mask "left" a.Enc_relation.row_count mask_a in
+  let mb = check_mask "right" b.Enc_relation.row_count mask_b in
+  join_entries stats (decrypt_tids client a 0 ma) (decrypt_tids client b 1 mb)
+
+let join_many ~masks stats client =
+  match masks with
+  | [] -> invalid_arg "Oblivious_join.join_many: no leaves"
+  | [ (leaf, mask) ] ->
+    let mask = check_mask "only" leaf.Enc_relation.row_count (Some mask) in
+    let out = ref [] in
+    Array.iteri
+      (fun i ct ->
+        if mask.(i) then
+          out := (Enc_relation.decrypt_tid client ~leaf:leaf.Enc_relation.label ct, [ i ]) :: !out)
+      leaf.Enc_relation.tids;
+    Array.of_list (List.sort compare !out)
+  | (first, mask_first) :: rest ->
+    (* Accumulator: (tid, row-index list) pairs; each further leaf joins by
+       synthesising entry arrays for the accumulated side. *)
+    let mask = check_mask "first" first.Enc_relation.row_count (Some mask_first) in
+    let acc =
+      ref
+        (Array.mapi
+           (fun i ct ->
+             let tid = Enc_relation.decrypt_tid client ~leaf:first.Enc_relation.label ct in
+             (tid, [ i ], mask.(i)))
+           first.Enc_relation.tids)
+    in
+    let result =
+      List.fold_left
+        (fun acc_pairs (leaf, mask) ->
+          let mask = check_mask "next" leaf.Enc_relation.row_count (Some mask) in
+          let entries_a =
+            Array.mapi (fun i (tid, _, sel) -> (tid, 0, i, sel)) acc_pairs
+          in
+          let entries_b = decrypt_tids client leaf 1 mask in
+          let matched = join_entries stats entries_a entries_b in
+          Array.map
+            (fun (tid, ra, rb) ->
+              let _, rows, _ = acc_pairs.(ra) in
+              (tid, rows @ [ rb ], true))
+            matched)
+        !acc rest
+    in
+    Array.of_list
+      (List.sort compare
+         (Array.to_list result
+         |> List.filter_map (fun (tid, rows, sel) -> if sel then Some (tid, rows) else None)))

@@ -1,0 +1,41 @@
+(** Oblivious tid-join between two encrypted leaves.
+
+    Models the enclave-assisted reconstruction of §III-B: the enclave
+    (which holds the client's keys) decrypts the tid columns of both
+    leaves internally, then runs a {e sort-merge join over a bitonic
+    network} — concatenate tagged entries, obliviously sort by
+    (tid, side), scan adjacent pairs. The server observes only the public
+    leaf sizes and the data-independent network schedule; in particular it
+    never learns which tid of one leaf matched which row of the other
+    (sub-relation unlinkability during execution).
+
+    Selection masks are applied {e inside} the enclave after the oblivious
+    sort, so the network always processes the full leaves — selectivity is
+    not leaked through the join's trace. The comparison counter reports
+    the real number of compare-exchanges executed, which the cost model
+    converts to estimated wall-clock time (Figure 3). *)
+
+type stats = {
+  mutable comparisons : int;  (** compare-exchanges inside bitonic sorts *)
+  mutable rows_processed : int; (** total (padded) entries fed to networks *)
+  mutable joins : int;          (** number of pairwise oblivious joins *)
+}
+
+val fresh_stats : unit -> stats
+
+val join_indices :
+  ?mask_a:bool array -> ?mask_b:bool array ->
+  stats -> Enc_relation.client ->
+  Enc_relation.enc_leaf -> Enc_relation.enc_leaf ->
+  (int * int * int) array
+(** [(tid, row_a, row_b)] for every tid present (and mask-selected) on both
+    sides, in ascending tid order. Masks default to all-true and must
+    match the leaf lengths. *)
+
+val join_many :
+  masks:(Enc_relation.enc_leaf * bool array) list ->
+  stats -> Enc_relation.client ->
+  (int * int list) array
+(** Chain of pairwise joins across [k] leaves: [(tid, row index per leaf)]
+    for tids selected in every leaf; [k - 1] joins are charged to [stats].
+    @raise Invalid_argument on an empty list. *)

@@ -1,0 +1,106 @@
+module Prng = Snf_crypto.Prng
+
+type block = { id : int; data : string }
+
+type t = {
+  bucket_size : int;
+  num_blocks : int;
+  block_size : int;
+  depth : int;                          (* levels 0..depth; leaves at depth *)
+  buckets : block list array;           (* heap-indexed complete binary tree *)
+  position : int array;                 (* block id -> leaf index in [0, 2^depth) *)
+  stash : (int, string) Hashtbl.t;
+  prng : Prng.t;
+  mutable accesses : int;
+  mutable touches : int;
+  mutable observed : int list;
+}
+
+let create ?(bucket_size = 4) ~num_blocks ~block_size prng =
+  if num_blocks < 1 then invalid_arg "Path_oram.create: num_blocks < 1";
+  if bucket_size < 1 then invalid_arg "Path_oram.create: bucket_size < 1";
+  let rec depth_for leaves d = if leaves >= num_blocks then d else depth_for (leaves * 2) (d + 1) in
+  let depth = depth_for 1 0 in
+  let num_leaves = 1 lsl depth in
+  let num_buckets = (2 * num_leaves) - 1 in
+  { bucket_size;
+    num_blocks;
+    block_size;
+    depth;
+    buckets = Array.make num_buckets [];
+    position = Array.init num_blocks (fun _ -> Prng.int prng num_leaves);
+    stash = Hashtbl.create 64;
+    prng;
+    accesses = 0;
+    touches = 0;
+    observed = [] }
+
+let depth t = t.depth
+
+(* Heap index of the bucket at [level] on the path to [leaf]. *)
+let bucket_index t ~leaf ~level =
+  let leaf_heap = (1 lsl t.depth) - 1 + leaf in
+  let rec up idx l = if l = 0 then idx else up ((idx - 1) / 2) (l - 1) in
+  up leaf_heap (t.depth - level)
+
+(* Does the path to [leaf] pass through the bucket at [level] on the path
+   to [leaf']? Equivalent to the two leaves sharing a prefix of length
+   [level]. *)
+let path_intersects t ~leaf ~leaf' ~level =
+  leaf lsr (t.depth - level) = leaf' lsr (t.depth - level)
+
+let zero_block t = String.make t.block_size '\x00'
+
+let access t id write_data =
+  if id < 0 || id >= t.num_blocks then invalid_arg "Path_oram: block id out of range";
+  (match write_data with
+   | Some d when String.length d <> t.block_size ->
+     invalid_arg "Path_oram: wrong block size"
+   | _ -> ());
+  t.accesses <- t.accesses + 1;
+  let x = t.position.(id) in
+  t.observed <- x :: t.observed;
+  t.position.(id) <- Prng.int t.prng (1 lsl t.depth);
+  (* Read the whole path into the stash. *)
+  for level = 0 to t.depth do
+    let bi = bucket_index t ~leaf:x ~level in
+    t.touches <- t.touches + 1;
+    List.iter (fun b -> Hashtbl.replace t.stash b.id b.data) t.buckets.(bi);
+    t.buckets.(bi) <- []
+  done;
+  let result =
+    match Hashtbl.find_opt t.stash id with
+    | Some d -> d
+    | None -> zero_block t
+  in
+  (match write_data with
+   | Some d -> Hashtbl.replace t.stash id d
+   | None -> Hashtbl.replace t.stash id result);
+  (* Write back greedily, deepest level first. *)
+  for level = t.depth downto 0 do
+    let bi = bucket_index t ~leaf:x ~level in
+    t.touches <- t.touches + 1;
+    let eligible =
+      Hashtbl.fold
+        (fun bid data acc ->
+          if path_intersects t ~leaf:t.position.(bid) ~leaf':x ~level then
+            (bid, data) :: acc
+          else acc)
+        t.stash []
+    in
+    let chosen =
+      List.filteri (fun i _ -> i < t.bucket_size) eligible
+    in
+    List.iter (fun (bid, _) -> Hashtbl.remove t.stash bid) chosen;
+    t.buckets.(bi) <- List.map (fun (bid, data) -> { id = bid; data }) chosen
+  done;
+  result
+
+let read t id = access t id None
+
+let write t id data = ignore (access t id (Some data))
+
+let access_count t = t.accesses
+let bucket_touches t = t.touches
+let stash_size t = Hashtbl.length t.stash
+let paths_observed t = t.observed

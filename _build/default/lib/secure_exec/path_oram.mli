@@ -1,0 +1,42 @@
+(** Path ORAM (Stefanov et al., CCS'13).
+
+    The oblivious-reconstruction substrate of §III-B: when a query touches
+    several sub-relations, the enclave fetches the partner rows through
+    ORAM so the server cannot correlate which tid of one leaf matches which
+    row of another. The implementation is the textbook protocol: a complete
+    binary tree of buckets ([bucket_size] blocks each, default Z = 4), a
+    client-side position map and stash, uniform leaf remap on every access,
+    greedy path write-back.
+
+    All randomness comes from the caller's seeded [Prng.t]; the access
+    sequence the "server" observes is the sequence of root-to-leaf paths,
+    available via [paths_observed] for the access-pattern tests. *)
+
+type t
+
+val create :
+  ?bucket_size:int -> num_blocks:int -> block_size:int -> Snf_crypto.Prng.t -> t
+(** Capacity for block ids [0 .. num_blocks-1]; blocks are fixed-size
+    strings ([block_size] bytes). Unwritten blocks read as all-zero.
+    @raise Invalid_argument if [num_blocks < 1] or [bucket_size < 1]. *)
+
+val read : t -> int -> string
+(** Oblivious read. @raise Invalid_argument on out-of-range id. *)
+
+val write : t -> int -> string -> unit
+(** Oblivious write. @raise Invalid_argument on wrong block size or id. *)
+
+val access_count : t -> int
+val bucket_touches : t -> int
+(** Total buckets read+written — the physical I/O the cost model charges. *)
+
+val stash_size : t -> int
+(** Current overflow stash occupancy (bounded with overwhelming
+    probability; the property test tracks its maximum). *)
+
+val depth : t -> int
+(** Tree depth L; each access touches exactly [2*(L+1)] buckets. *)
+
+val paths_observed : t -> int list
+(** Leaf labels of every path touched so far, most recent first — the
+    adversary's complete view of an access trace. *)

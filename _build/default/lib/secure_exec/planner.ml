@@ -1,0 +1,147 @@
+module Scheme = Snf_crypto.Scheme
+module Partition = Snf_core.Partition
+
+type plan = {
+  leaves : string list;
+  joins : int;
+  pred_home : (Query.pred * string) list;
+  proj_home : (string * string) list;
+}
+
+let supports scheme (p : Query.pred) =
+  match p with
+  | Query.Point _ -> Scheme.supports_equality_predicate scheme
+  | Query.Range _ -> Scheme.supports_range_predicate scheme
+
+(* The unit of covering: projections need any copy of the attribute,
+   predicates need a copy under a scheme that can evaluate them. *)
+type item = Proj of string | Pred of Query.pred
+
+let covers (leaf : Partition.leaf) = function
+  | Proj a -> Partition.mem_leaf leaf a
+  | Pred p -> (
+    match Partition.scheme_in_leaf leaf (Query.pred_attr p) with
+    | Some s -> supports s p
+    | None -> false)
+
+let items_of_query (q : Query.t) =
+  List.map (fun a -> Proj a) q.Query.select @ List.map (fun p -> Pred p) q.Query.where
+
+let assemble rep q chosen =
+  let leaf_of label = List.find (fun (l : Partition.leaf) -> l.label = label) rep in
+  let home_for item =
+    List.find_opt (fun label -> covers (leaf_of label) item) chosen
+  in
+  let pred_home =
+    List.filter_map
+      (fun p -> Option.map (fun l -> (p, l)) (home_for (Pred p)))
+      q.Query.where
+  in
+  let proj_home =
+    List.filter_map
+      (fun a -> Option.map (fun l -> (a, l)) (home_for (Proj a)))
+      q.Query.select
+  in
+  { leaves = chosen;
+    joins = max 0 (List.length chosen - 1);
+    pred_home;
+    proj_home }
+
+let feasible rep q chosen =
+  let leaf_of label = List.find (fun (l : Partition.leaf) -> l.label = label) rep in
+  List.for_all
+    (fun item -> List.exists (fun label -> covers (leaf_of label) item) chosen)
+    (items_of_query q)
+
+let check_items_coverable rep q =
+  let uncoverable =
+    List.find_opt
+      (fun item -> not (List.exists (fun l -> covers l item) rep))
+      (items_of_query q)
+  in
+  match uncoverable with
+  | None -> Ok ()
+  | Some (Proj a) -> Error (Printf.sprintf "attribute %S is stored in no leaf" a)
+  | Some (Pred p) ->
+    Error
+      (Printf.sprintf "no stored copy of %S can evaluate the predicate"
+         (Query.pred_attr p))
+
+let greedy rep q =
+  let rec go chosen uncovered =
+    if uncovered = [] then Ok (List.rev chosen)
+    else begin
+      let candidates =
+        List.filter
+          (fun (l : Partition.leaf) -> not (List.mem l.label chosen))
+          rep
+      in
+      let scored =
+        List.filter_map
+          (fun (l : Partition.leaf) ->
+            let gain = List.length (List.filter (covers l) uncovered) in
+            if gain = 0 then None else Some (gain, List.length l.columns, l))
+          candidates
+      in
+      match
+        List.sort
+          (fun (g1, w1, _) (g2, w2, _) ->
+            match Int.compare g2 g1 with 0 -> Int.compare w1 w2 | c -> c)
+          scored
+      with
+      | [] -> Error "uncoverable query (internal: coverable check passed?)"
+      | (_, _, best) :: _ ->
+        go (best.label :: chosen)
+          (List.filter (fun item -> not (covers best item)) uncovered)
+    end
+  in
+  go [] (items_of_query q)
+
+let rec subsets_upto k = function
+  | [] -> [ [] ]
+  | x :: rest ->
+    let without = subsets_upto k rest in
+    let with_x =
+      if k = 0 then []
+      else List.map (fun s -> x :: s) (subsets_upto (k - 1) rest)
+    in
+    with_x @ List.filter (fun s -> List.length s <= k) without
+
+let optimal cost rep q =
+  let relevant =
+    List.filter
+      (fun (l : Partition.leaf) -> List.exists (covers l) (items_of_query q))
+      rep
+    |> List.map (fun (l : Partition.leaf) -> l.label)
+  in
+  let candidates =
+    subsets_upto 6 relevant
+    |> List.filter (fun s -> s <> [] && feasible rep q s)
+  in
+  match candidates with
+  | [] -> Error "no feasible cover within the size bound"
+  | _ ->
+    let best =
+      List.fold_left
+        (fun acc chosen ->
+          let p = assemble rep q chosen in
+          let c = cost p in
+          match acc with
+          | Some (c0, _) when c0 <= c -> acc
+          | _ -> Some (c, p))
+        None candidates
+    in
+    (match best with Some (_, p) -> Ok p | None -> Error "unreachable")
+
+let plan ?(selector = `Greedy) rep q =
+  match check_items_coverable rep q with
+  | Error e -> Error e
+  | Ok () -> (
+    match selector with
+    | `Greedy -> Result.map (assemble rep q) (greedy rep q)
+    | `Optimal cost -> optimal cost rep q)
+
+let single_leaf p = List.length p.leaves <= 1
+
+let pp fmt p =
+  Format.fprintf fmt "leaves [%s], %d joins" (String.concat "; " p.leaves) p.joins

@@ -1,0 +1,38 @@
+(** QUERYMATCHING (Algorithm 1, line 9): pick the sub-relations that
+    answer a query.
+
+    If one leaf hosts every attribute the query touches {e and} can
+    evaluate every predicate on ciphertexts, the query runs leaf-locally
+    with zero oblivious joins — the case SNF normalization tries to make
+    common (maximal permissiveness). Otherwise the planner chooses a cover
+    of leaves; reconstructing across [k] leaves costs [k - 1] oblivious
+    joins, the unit of the paper's query-cost metric.
+
+    Two selectors are provided: a greedy cover (largest uncovered
+    contribution first, ties to narrower leaves), and an exhaustive
+    minimal-cost search over covers of bounded size implementing the
+    data-aware sub-relation matching of §V-C (several covers may exist;
+    cost decides). *)
+
+
+type plan = {
+  leaves : string list;                  (** labels, join order *)
+  joins : int;                           (** = max 0 (|leaves| - 1) *)
+  pred_home : (Query.pred * string) list; (** evaluating leaf per predicate *)
+  proj_home : (string * string) list;     (** (attribute, leaf) per projection *)
+}
+
+val supports : Snf_crypto.Scheme.kind -> Query.pred -> bool
+(** Can a column under this scheme evaluate the predicate server-side? *)
+
+val plan :
+  ?selector:[ `Greedy | `Optimal of (plan -> float) ] ->
+  Snf_core.Partition.t -> Query.t -> (plan, string) result
+(** [`Greedy] (default) minimizes leaf count heuristically; [`Optimal f]
+    enumerates covers (capped at 6 leaves) and returns the [f]-cheapest.
+    Errors when some attribute is stored nowhere, or some predicate has no
+    leaf whose copy of the attribute supports it. *)
+
+val single_leaf : plan -> bool
+
+val pp : Format.formatter -> plan -> unit

@@ -1,0 +1,76 @@
+open Snf_relational
+module Normalizer = Snf_core.Normalizer
+module Paillier = Snf_crypto.Paillier
+module Nat = Snf_bignum.Nat
+
+type owner = {
+  client : Enc_relation.client;
+  policy : Snf_core.Policy.t;
+  plan : Normalizer.plan;
+  enc : Enc_relation.t;
+  plaintext : Relation.t;
+}
+
+let outsource ?semantics ?strategy ?graph ?mode ?(seed = 0x5eed) ?master ~name r policy =
+  let graph =
+    match graph with
+    | Some g -> g
+    | None -> Snf_deps.Dep_graph.of_relation ?mode r
+  in
+  let plan = Normalizer.plan_with_graph ?semantics ?strategy graph policy in
+  let master = Option.value master ~default:("master:" ^ name) in
+  let client = Enc_relation.make_client ~seed ~relation_name:name ~master () in
+  let enc = Enc_relation.encrypt client r plan.Normalizer.representation in
+  { client; policy; plan; enc; plaintext = r }
+
+let outsource_prepared ?(seed = 0x5eed) ?master ~name ~graph ~representation r policy =
+  let plan =
+    { Normalizer.policy;
+      graph;
+      representation;
+      strategy = `Non_repeating;
+      closure = Snf_core.Closure.analyze graph representation;
+      snf = Snf_core.Audit.is_snf graph policy representation }
+  in
+  let master = Option.value master ~default:("master:" ^ name) in
+  let client = Enc_relation.make_client ~seed ~relation_name:name ~master () in
+  let enc = Enc_relation.encrypt client r representation in
+  { client; policy; plan; enc; plaintext = r }
+
+let query ?mode ?params ?use_index ?drop_tid owner q =
+  Executor.run ?mode ?params ?use_index ?drop_tid owner.client owner.enc
+    owner.plan.Normalizer.representation q
+
+let reference owner q = Query.reference_answer owner.plaintext q
+
+let bag r =
+  Relation.rows r
+  |> List.map (fun row ->
+         String.concat "\x00" (List.map Value.encode (Array.to_list row)))
+  |> List.sort String.compare
+
+let verify ?mode owner q =
+  match query ?mode owner q with
+  | Error _ -> false
+  | Ok (answer, _) -> bag answer = bag (reference owner q)
+
+let storage_bytes profile owner =
+  Storage_model.representation_bytes profile owner.plaintext
+    owner.plan.Normalizer.representation
+
+let group_sum owner ~leaf ~group_by ~sum =
+  let l = Enc_relation.find_leaf owner.enc leaf in
+  let gcol = Enc_relation.column l group_by in
+  let kp = Enc_relation.client_paillier owner.client in
+  Enc_relation.phe_group_sum owner.enc l ~group_by ~sum
+  |> List.map (fun (rep, acc) ->
+         ( Enc_relation.decrypt_cell owner.client ~leaf ~attr:group_by
+             ~scheme:gcol.Enc_relation.scheme rep,
+           Nat.to_int_exn (Paillier.decrypt kp acc) ))
+  |> List.sort (fun (v1, _) (v2, _) -> Value.compare v1 v2)
+
+let sum owner ~leaf ~attr =
+  let l = Enc_relation.find_leaf owner.enc leaf in
+  let c = Enc_relation.phe_sum owner.enc l attr in
+  let kp = Enc_relation.client_paillier owner.client in
+  Nat.to_int_exn (Paillier.decrypt kp c)

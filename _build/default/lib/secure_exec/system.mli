@@ -1,0 +1,78 @@
+(** End-to-end facade: Algorithm 1 in one type.
+
+    [outsource] performs the owner-side pipeline — dependency inference
+    (or a supplied dependence graph), leakage closure, partitioning,
+    encryption — and yields an [owner] handle bundling the key material,
+    the normalization plan and the server-resident encrypted store.
+    [query] runs the cloud-side path of lines 5–12. The owner retains the
+    plaintext relation (data owners do), which powers [reference] answers
+    and [verify]. *)
+
+open Snf_relational
+
+type owner = {
+  client : Enc_relation.client;
+  policy : Snf_core.Policy.t;
+  plan : Snf_core.Normalizer.plan;
+  enc : Enc_relation.t;   (** what the cloud stores *)
+  plaintext : Relation.t; (** retained at the owner *)
+}
+
+val outsource :
+  ?semantics:Snf_core.Semantics.t ->
+  ?strategy:Snf_core.Normalizer.strategy ->
+  ?graph:Snf_deps.Dep_graph.t ->
+  ?mode:Snf_deps.Dep_graph.mode ->
+  ?seed:int ->
+  ?master:string ->
+  name:string ->
+  Relation.t ->
+  Snf_core.Policy.t ->
+  owner
+(** When [graph] is omitted it is mined from the data
+    ([Dep_graph.of_relation] with defaults and the given [mode]). Default
+    strategy [`Non_repeating], master secret derived from [name] unless
+    given. *)
+
+val outsource_prepared :
+  ?seed:int ->
+  ?master:string ->
+  name:string ->
+  graph:Snf_deps.Dep_graph.t ->
+  representation:Snf_core.Partition.t ->
+  Relation.t ->
+  Snf_core.Policy.t ->
+  owner
+(** Outsource under a caller-supplied representation (e.g. one fragment of
+    a horizontal plan) instead of re-running a strategy. The plan records
+    the given representation verbatim; its [snf] verdict is computed
+    against [graph] with default semantics. *)
+
+val query :
+  ?mode:Executor.mode ->
+  ?params:Cost_model.params ->
+  ?use_index:bool ->
+  ?drop_tid:(int -> bool) ->
+  owner -> Query.t -> (Relation.t * Executor.trace, string) result
+
+val reference : owner -> Query.t -> Relation.t
+
+val verify : ?mode:Executor.mode -> owner -> Query.t -> bool
+(** Secure answer equals the plaintext reference answer as a bag
+    (multiset of rows; column order fixed by the projection). *)
+
+val storage_bytes : Storage_model.profile -> owner -> int
+(** Accounted size of the outsourced representation. *)
+
+val sum : owner -> leaf:string -> attr:string -> int
+(** Homomorphic SUM over a PHE column: server-side aggregation +
+    client-side decryption. @raise Invalid_argument / Not_found as the
+    underlying operations do. *)
+
+val group_sum :
+  owner -> leaf:string -> group_by:string -> sum:string ->
+  (Snf_relational.Value.t * int) list
+(** [SELECT group_by, SUM(sum) GROUP BY group_by], aggregated entirely
+    server-side over ciphertexts ([Enc_relation.phe_group_sum]) and
+    decrypted at the client; both columns must live in the named leaf.
+    Sorted by group value. *)

@@ -1,0 +1,173 @@
+open Snf_relational
+module Scheme = Snf_crypto.Scheme
+module Ore = Snf_crypto.Ore
+module Nat = Snf_bignum.Nat
+
+let magic = "SNFE"
+let version = 1
+
+(* --- primitive writers ---------------------------------------------------- *)
+
+let w_u8 buf n = Buffer.add_char buf (Char.chr (n land 0xff))
+
+let w_int buf n =
+  (* 63-bit non-negative, 8 bytes LE *)
+  if n < 0 then invalid_arg "Wire: negative integer";
+  for i = 0 to 7 do
+    Buffer.add_char buf (Char.chr ((n lsr (8 * i)) land 0xff))
+  done
+
+let w_string buf s =
+  w_int buf (String.length s);
+  Buffer.add_string buf s
+
+(* --- primitive readers ----------------------------------------------------- *)
+
+type cursor = { data : string; mutable pos : int }
+
+let fail msg = invalid_arg ("Wire: " ^ msg)
+
+let r_u8 c =
+  if c.pos >= String.length c.data then fail "truncated";
+  let v = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let r_int c =
+  if c.pos + 8 > String.length c.data then fail "truncated";
+  let v = ref 0 in
+  for i = 7 downto 0 do
+    v := (!v lsl 8) lor Char.code c.data.[c.pos + i]
+  done;
+  c.pos <- c.pos + 8;
+  if !v < 0 then fail "negative integer";
+  !v
+
+let r_string c =
+  let n = r_int c in
+  if c.pos + n > String.length c.data then fail "truncated string";
+  let s = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+(* --- scheme and cell codecs -------------------------------------------------- *)
+
+let scheme_tag = function
+  | Scheme.Plain -> 0
+  | Scheme.Ndet -> 1
+  | Scheme.Det -> 2
+  | Scheme.Ope -> 3
+  | Scheme.Ore -> 4
+  | Scheme.Phe -> 5
+
+let scheme_of_tag = function
+  | 0 -> Scheme.Plain
+  | 1 -> Scheme.Ndet
+  | 2 -> Scheme.Det
+  | 3 -> Scheme.Ope
+  | 4 -> Scheme.Ore
+  | 5 -> Scheme.Phe
+  | n -> fail (Printf.sprintf "unknown scheme tag %d" n)
+
+let w_cell buf (cell : Enc_relation.cell) =
+  match cell with
+  | Enc_relation.C_plain v ->
+    w_u8 buf 0;
+    w_string buf (Value.encode v)
+  | Enc_relation.C_bytes b ->
+    w_u8 buf 1;
+    w_string buf b
+  | Enc_relation.C_ord { ord; payload } ->
+    w_u8 buf 2;
+    w_int buf ord;
+    w_string buf payload
+  | Enc_relation.C_ore { ore; payload } ->
+    w_u8 buf 3;
+    let syms = Ore.symbols ore in
+    w_int buf (Array.length syms);
+    Array.iter (fun s -> w_u8 buf s) syms;
+    w_string buf payload
+  | Enc_relation.C_nat n ->
+    w_u8 buf 4;
+    w_string buf (Nat.to_bytes_be n)
+
+let r_cell c : Enc_relation.cell =
+  match r_u8 c with
+  | 0 -> Enc_relation.C_plain (Value.decode (r_string c))
+  | 1 -> Enc_relation.C_bytes (r_string c)
+  | 2 ->
+    let ord = r_int c in
+    Enc_relation.C_ord { ord; payload = r_string c }
+  | 3 ->
+    let n = r_int c in
+    let syms = Array.init n (fun _ -> r_u8 c) in
+    Enc_relation.C_ore { ore = Ore.of_symbols syms; payload = r_string c }
+  | 4 -> Enc_relation.C_nat (Nat.of_bytes_be (r_string c))
+  | n -> fail (Printf.sprintf "unknown cell tag %d" n)
+
+(* --- top level ----------------------------------------------------------------- *)
+
+let to_string (t : Enc_relation.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  w_u8 buf version;
+  w_string buf t.Enc_relation.relation_name;
+  w_string buf (Nat.to_bytes_be t.Enc_relation.paillier_public.Snf_crypto.Paillier.n);
+  w_int buf (List.length t.Enc_relation.leaves);
+  List.iter
+    (fun (l : Enc_relation.enc_leaf) ->
+      w_string buf l.Enc_relation.label;
+      w_int buf l.Enc_relation.row_count;
+      Array.iter (w_string buf) l.Enc_relation.tids;
+      w_int buf (List.length l.Enc_relation.columns);
+      List.iter
+        (fun (col : Enc_relation.enc_column) ->
+          w_string buf col.Enc_relation.attr;
+          w_u8 buf (scheme_tag col.Enc_relation.scheme);
+          Array.iter (w_cell buf) col.Enc_relation.cells)
+        l.Enc_relation.columns)
+    t.Enc_relation.leaves;
+  Buffer.contents buf
+
+let of_string data =
+  let c = { data; pos = 0 } in
+  if String.length data < 5 || String.sub data 0 4 <> magic then fail "bad magic";
+  c.pos <- 4;
+  let v = r_u8 c in
+  if v <> version then fail (Printf.sprintf "unsupported version %d" v);
+  let relation_name = r_string c in
+  let n = Nat.of_bytes_be (r_string c) in
+  let paillier_public =
+    { Snf_crypto.Paillier.n; n_squared = Nat.mul n n }
+  in
+  let leaf_count = r_int c in
+  let leaves =
+    List.init leaf_count (fun _ ->
+        let label = r_string c in
+        let row_count = r_int c in
+        let tids = Array.init row_count (fun _ -> r_string c) in
+        let col_count = r_int c in
+        let columns =
+          List.init col_count (fun _ ->
+              let attr = r_string c in
+              let scheme = scheme_of_tag (r_u8 c) in
+              let cells = Array.init row_count (fun _ -> r_cell c) in
+              { Enc_relation.attr; scheme; cells })
+        in
+        { Enc_relation.label; row_count; tids; columns })
+  in
+  if c.pos <> String.length data then fail "trailing bytes";
+  { Enc_relation.relation_name;
+    leaves;
+    paillier_public;
+    index_cache = Hashtbl.create 8 }
+
+let save path t =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

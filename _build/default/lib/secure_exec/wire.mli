@@ -1,0 +1,22 @@
+(** Binary serialization of the outsourced (server-side) database.
+
+    The artifact the owner actually ships to the cloud: a self-describing,
+    versioned binary image of [Enc_relation.t]. Contains only ciphertexts,
+    public parameters and structural metadata — no key material — so
+    saving/loading is safe on the server side. The lazily built equality
+    indexes are not serialized (the server can always rebuild them from
+    what the image already reveals).
+
+    Format (all integers little-endian, strings length-prefixed):
+    magic ["SNFE"], version byte, relation name, Paillier modulus [n],
+    leaf count, then per leaf: label, row count, tid ciphertexts, columns
+    (attribute, scheme tag, tagged cells). *)
+
+val to_string : Enc_relation.t -> string
+
+val of_string : string -> Enc_relation.t
+(** @raise Invalid_argument on bad magic, unknown version or truncated /
+    malformed input. *)
+
+val save : string -> Enc_relation.t -> unit
+val load : string -> Enc_relation.t

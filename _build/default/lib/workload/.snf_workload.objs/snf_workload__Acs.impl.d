@@ -1,0 +1,1 @@
+lib/workload/acs.ml: Array Attribute Fd Hashtbl List Printf Relation Schema Snf_crypto Snf_deps Snf_relational Value

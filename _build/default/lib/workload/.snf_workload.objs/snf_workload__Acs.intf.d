@@ -1,0 +1,1 @@
+lib/workload/acs.mli: Relation Snf_deps Snf_relational

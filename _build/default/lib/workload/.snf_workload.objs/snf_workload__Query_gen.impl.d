@@ -1,0 +1,1 @@
+lib/workload/query_gen.ml: Array Format Hashtbl List Relation Snf_core Snf_crypto Snf_exec Snf_relational

@@ -1,0 +1,1 @@
+lib/workload/query_gen.mli: Relation Snf_core Snf_exec Snf_relational

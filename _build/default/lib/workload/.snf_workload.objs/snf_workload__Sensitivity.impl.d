@@ -1,0 +1,1 @@
+lib/workload/sensitivity.ml: Array List Schema Snf_core Snf_crypto Snf_relational

@@ -1,0 +1,1 @@
+lib/workload/sensitivity.mli: Schema Snf_core Snf_relational

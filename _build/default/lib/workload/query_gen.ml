@@ -1,0 +1,86 @@
+open Snf_relational
+module Prng = Snf_crypto.Prng
+module Query = Snf_exec.Query
+
+let point_queries ?(count = 100) ~seed ~way r policy =
+  if way < 1 then invalid_arg "Query_gen.point_queries: way < 1";
+  let prng = Prng.create seed in
+  let weak = Array.of_list (Snf_core.Policy.weak_attrs policy) in
+  if Array.length weak = 0 then
+    invalid_arg "Query_gen.point_queries: no weakly encrypted attributes";
+  let all = Array.of_list (Snf_core.Policy.attrs policy) in
+  let n = Relation.cardinality r in
+  let seen = Hashtbl.create (count * 2) in
+  let rec distinct_weak k acc =
+    if k = 0 then acc
+    else begin
+      let a = Prng.pick prng weak in
+      if List.mem a acc then distinct_weak k acc else distinct_weak (k - 1) (a :: acc)
+    end
+  in
+  let rec make acc remaining attempts =
+    if remaining = 0 || attempts > count * 50 then List.rev acc
+    else begin
+      let preds_attrs = distinct_weak (min way (Array.length weak)) [] in
+      let proj = all.(Prng.int prng (Array.length all)) in
+      let preds =
+        List.map
+          (fun a ->
+            let col = Relation.column r a in
+            (a, col.(Prng.int prng n)))
+          preds_attrs
+      in
+      let q = Query.point ~select:[ proj ] preds in
+      let key = Format.asprintf "%a" Query.pp q in
+      if Hashtbl.mem seen key then make acc remaining (attempts + 1)
+      else begin
+        Hashtbl.add seen key ();
+        make (q :: acc) (remaining - 1) (attempts + 1)
+      end
+    end
+  in
+  make [] count 0
+
+let mixed_workload ?(count_per_way = 100) ~seed r policy =
+  point_queries ~count:count_per_way ~seed ~way:2 r policy
+  @ point_queries ~count:count_per_way ~seed:(seed + 1) ~way:3 r policy
+
+let range_queries ?(count = 100) ~seed r policy =
+  let prng = Prng.create seed in
+  let ordered =
+    Snf_core.Policy.attrs policy
+    |> List.filter (fun a ->
+           Snf_crypto.Scheme.supports_range_predicate
+             (Snf_core.Policy.scheme_of policy a))
+    |> Array.of_list
+  in
+  if Array.length ordered = 0 then []
+  else begin
+    let all = Array.of_list (Snf_core.Policy.attrs policy) in
+    let n = Relation.cardinality r in
+    let seen = Hashtbl.create (count * 2) in
+    let rec make acc remaining attempts =
+      if remaining = 0 || attempts > count * 50 then List.rev acc
+      else begin
+        let a = Prng.pick prng ordered in
+        let col = Relation.column r a in
+        let v1 = col.(Prng.int prng n) and v2 = col.(Prng.int prng n) in
+        let lo, hi =
+          if Snf_relational.Value.compare v1 v2 <= 0 then (v1, v2) else (v2, v1)
+        in
+        let proj = all.(Prng.int prng (Array.length all)) in
+        let q = Query.range ~select:[ proj ] [ (a, lo, hi) ] in
+        let key = Format.asprintf "%a" Query.pp q in
+        if Hashtbl.mem seen key then make acc remaining (attempts + 1)
+        else begin
+          Hashtbl.add seen key ();
+          make (q :: acc) (remaining - 1) (attempts + 1)
+        end
+      end
+    in
+    make [] count 0
+  end
+
+let mixed_with_ranges ?(count_per_way = 100) ?(range_count = 100) ~seed r policy =
+  mixed_workload ~count_per_way ~seed r policy
+  @ range_queries ~count:range_count ~seed:(seed + 2) r policy

@@ -1,0 +1,35 @@
+(** The paper's query workload (§IV-B): 100 distinct 2-way and 100
+    distinct 3-way point queries.
+
+    Each k-way point query selects one random projection attribute and
+    filters on [k] distinct randomly chosen {e weakly encrypted}
+    attributes (predicates must be server-evaluable), with constants drawn
+    from the column's actual values so answers are non-trivially empty. *)
+
+open Snf_relational
+
+val point_queries :
+  ?count:int -> seed:int -> way:int ->
+  Relation.t -> Snf_core.Policy.t -> Snf_exec.Query.t list
+(** [count] distinct queries (default 100; fewer if the attribute pool is
+    too small to form them). @raise Invalid_argument if [way < 1] or no
+    weak attributes exist. *)
+
+val mixed_workload :
+  ?count_per_way:int -> seed:int ->
+  Relation.t -> Snf_core.Policy.t -> Snf_exec.Query.t list
+(** The paper's 100 + 100 workload: 2-way then 3-way. *)
+
+val range_queries :
+  ?count:int -> seed:int ->
+  Relation.t -> Snf_core.Policy.t -> Snf_exec.Query.t list
+(** Extension beyond the paper's template: single-predicate range queries
+    over order-revealing (OPE/ORE/PLAIN) attributes, with bounds drawn
+    from actual column values so selectivities are realistic. Returns
+    fewer than [count] (default 100) if no order-revealing attributes
+    exist. *)
+
+val mixed_with_ranges :
+  ?count_per_way:int -> ?range_count:int -> seed:int ->
+  Relation.t -> Snf_core.Policy.t -> Snf_exec.Query.t list
+(** The paper workload plus a range tail. *)

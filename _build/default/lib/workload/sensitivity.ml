@@ -1,0 +1,26 @@
+open Snf_relational
+module Prng = Snf_crypto.Prng
+module Scheme = Snf_crypto.Scheme
+
+let annotate ?(weak = 172) ?(ope_share = 0.25) ~seed schema =
+  let prng = Prng.create seed in
+  let names = Array.of_list (Schema.names schema) in
+  let n = Array.length names in
+  let weak = min weak n in
+  let chosen = Prng.sample_without_replacement prng weak n in
+  let is_weak = Array.make n false in
+  List.iter (fun i -> is_weak.(i) <- true) chosen;
+  Snf_core.Policy.create
+    (Array.to_list
+       (Array.mapi
+          (fun i a ->
+            let scheme =
+              if is_weak.(i) then
+                if Prng.float prng 1.0 < ope_share then Scheme.Ope else Scheme.Det
+              else Scheme.Ndet
+            in
+            (a, scheme))
+          names))
+
+let weak_count policy =
+  List.length (Snf_core.Policy.weak_attrs policy)

@@ -1,0 +1,14 @@
+(** The paper's sensitivity annotation for the ACS experiment: randomly
+    sample 172 of the 231 attributes to encrypt weakly (DET or OPE) and
+    annotate the remainder with AES (our NDET). *)
+
+open Snf_relational
+
+val annotate :
+  ?weak:int -> ?ope_share:float -> seed:int -> Schema.t -> Snf_core.Policy.t
+(** [annotate ~seed schema] samples [weak] attributes (default 172, capped
+    at the arity) uniformly without replacement; each weak attribute is
+    OPE with probability [ope_share] (default 0.25) and DET otherwise;
+    everything else is NDET. Deterministic in [seed]. *)
+
+val weak_count : Snf_core.Policy.t -> int

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Attribute Fd List Printf QCheck2 QCheck_alcotest Relation Schema Snf_core Snf_crypto Snf_deps Snf_relational String Value

@@ -1,0 +1,1 @@
+test/test_access_pattern.ml: Access_pattern Alcotest Fun Helpers List Printf Snf_attack Snf_core Snf_crypto Snf_deps Snf_exec Snf_relational

@@ -1,0 +1,1 @@
+test/test_audit_maximal.ml: Alcotest Audit Format Helpers Leakage List Maximal Partition Policy Semantics Snf_core Snf_crypto Snf_deps Strategy String

@@ -1,0 +1,1 @@
+test/test_chase_failures.ml: Alcotest Array Bytes Char Enc_relation Fd Helpers List Printf QCheck2 Relation Snf_core Snf_crypto Snf_exec Snf_relational System

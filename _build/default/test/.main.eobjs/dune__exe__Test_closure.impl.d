@@ -1,0 +1,1 @@
+test/test_closure.ml: Alcotest Closure Hashtbl Helpers Leakage List Partition Policy QCheck2 Snf_core Snf_crypto Snf_deps Snf_relational

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Bytes Char Det Feistel Fun Hashtbl Helpers Keyring List Ndet Ope Option Ore Paillier Prf Printf Prng QCheck2 Scheme Snf_bignum Snf_crypto String

@@ -1,0 +1,1 @@
+test/test_deps.ml: Alcotest Correlation Dep_graph Fd Fd_discovery Float Helpers List QCheck2 Snf_deps Snf_relational Value

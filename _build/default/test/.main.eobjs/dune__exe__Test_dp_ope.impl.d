@@ -1,0 +1,1 @@
+test/test_dp_ope.ml: Alcotest Array Dp_ope Float Fun Hashtbl List Ope Option Prf Printf Prng Snf_crypto

@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Alcotest Array Dynamic Helpers List QCheck2 Query Relation Snf_crypto Snf_exec Snf_relational System Value

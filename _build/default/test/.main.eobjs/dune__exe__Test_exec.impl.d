@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Enc_relation Fun Helpers List Oblivious_join Planner Query Relation Result Schema Snf_bignum Snf_core Snf_crypto Snf_exec Snf_relational Storage_model String Value

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Ablations Alcotest Attack_eval Figure3 List Snf_exec Snf_experiments String Table1

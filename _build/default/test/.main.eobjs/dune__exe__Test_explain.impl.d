@@ -1,0 +1,1 @@
+test/test_explain.ml: Alcotest Audit Explain Helpers List Partition Policy Printf Result Snf_core Snf_crypto Strategy String

@@ -1,0 +1,1 @@
+test/test_group_sum.ml: Alcotest Attribute Enc_relation Hashtbl Helpers List Option QCheck2 Relation Schema Snf_core Snf_crypto Snf_deps Snf_exec Snf_relational System Value

@@ -1,0 +1,1 @@
+test/test_horizontal_quantify.ml: Alcotest Attribute Float Helpers Horizontal List Partition Policy Quantify Relation Schema Snf_core Snf_crypto Snf_deps Snf_relational Strategy String Value

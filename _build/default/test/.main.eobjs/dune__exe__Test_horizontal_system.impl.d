@@ -1,0 +1,1 @@
+test/test_horizontal_system.ml: Alcotest Attribute Executor Format Horizontal_system List Planner Query Relation Schema Snf_core Snf_crypto Snf_deps Snf_exec Snf_relational Storage_model Value

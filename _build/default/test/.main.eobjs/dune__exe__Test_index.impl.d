@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Enc_relation Executor Format Hashtbl Helpers List QCheck2 Query Relation Snf_core Snf_crypto Snf_deps Snf_exec Snf_relational System Value

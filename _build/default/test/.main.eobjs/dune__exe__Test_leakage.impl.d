@@ -1,0 +1,1 @@
+test/test_leakage.ml: Alcotest Assignment Helpers Leakage List Policy QCheck2 Snf_core Snf_crypto

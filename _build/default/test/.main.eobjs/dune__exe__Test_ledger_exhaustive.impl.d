@@ -1,0 +1,1 @@
+test/test_ledger_exhaustive.ml: Alcotest Audit Format Helpers Ledger List Partition Policy Printf Query Result Snf_core Snf_crypto Snf_deps Snf_exec Snf_relational Strategy String System Value

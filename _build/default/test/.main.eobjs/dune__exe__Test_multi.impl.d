@@ -1,0 +1,1 @@
+test/test_multi.ml: Alcotest Array Attribute Helpers List Multi Printf QCheck2 Query Relation Result Schema Snf_core Snf_crypto Snf_deps Snf_exec Snf_relational Value

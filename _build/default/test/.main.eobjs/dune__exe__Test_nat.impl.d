@@ -1,0 +1,1 @@
+test/test_nat.ml: Alcotest Char Helpers List Nat QCheck2 Snf_bignum Snf_crypto String

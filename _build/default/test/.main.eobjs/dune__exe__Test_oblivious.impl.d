@@ -1,0 +1,1 @@
+test/test_oblivious.ml: Alcotest Array Binning Bitonic Codec Fun Helpers Int List Path_oram Printf QCheck2 Snf_crypto Snf_exec Snf_relational String Value

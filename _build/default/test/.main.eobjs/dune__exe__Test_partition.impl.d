@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Float Helpers List Option Partition QCheck2 Relation Result Schema Snf_core Snf_crypto Snf_relational

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Algebra Array Attribute Csv Fd Helpers List Printf QCheck2 Relation Schema Snf_relational Value

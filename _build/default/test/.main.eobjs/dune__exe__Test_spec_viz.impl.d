@@ -1,0 +1,1 @@
+test/test_spec_viz.ml: Alcotest Dep_graph Helpers List Printf Relation Snf_attack Snf_core Snf_crypto Snf_deps Snf_exec Snf_relational Spec_lang String Value

@@ -1,0 +1,1 @@
+test/test_strategy.ml: Alcotest Audit Closure Float Helpers Leakage List Maximal Partition Policy QCheck2 Result Semantics Snf_core Snf_crypto Snf_deps Strategy

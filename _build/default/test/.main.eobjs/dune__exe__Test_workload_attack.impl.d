@@ -1,0 +1,1 @@
+test/test_workload_attack.ml: Alcotest Fd Float Format Helpers List Normalizer Policy Printf Relation Schema Snf_attack Snf_core Snf_crypto Snf_deps Snf_exec Snf_relational Snf_workload

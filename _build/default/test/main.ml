@@ -1,0 +1,30 @@
+let () =
+  Alcotest.run "snf"
+    [ ("nat", Test_nat.suite);
+      ("crypto", Test_crypto.suite);
+      ("relational", Test_relational.suite);
+      ("deps", Test_deps.suite);
+      ("leakage", Test_leakage.suite);
+      ("closure", Test_closure.suite);
+      ("partition", Test_partition.suite);
+      ("strategy", Test_strategy.suite);
+      ("audit-maximal", Test_audit_maximal.suite);
+      ("horizontal-quantify", Test_horizontal_quantify.suite);
+      ("oblivious", Test_oblivious.suite);
+      ("exec", Test_exec.suite);
+      ("executor", Test_executor.suite);
+      ("workload-attack", Test_workload_attack.suite);
+      ("multi", Test_multi.suite);
+      ("dynamic", Test_dynamic.suite);
+      ("index", Test_index.suite);
+      ("spec-viz", Test_spec_viz.suite);
+      ("horizontal-system", Test_horizontal_system.suite);
+      ("wire", Test_wire.suite);
+      ("dp-ope", Test_dp_ope.suite);
+      ("experiments", Test_experiments.suite);
+      ("ledger-exhaustive", Test_ledger_exhaustive.suite);
+      ("access-pattern", Test_access_pattern.suite);
+      ("group-sum", Test_group_sum.suite);
+      ("cross-properties", Test_cross_properties.suite);
+      ("chase-failures", Test_chase_failures.suite);
+      ("explain", Test_explain.suite) ]

@@ -1,0 +1,115 @@
+open Snf_core
+module Scheme = Snf_crypto.Scheme
+module Dep_graph = Snf_deps.Dep_graph
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* --- Audit -------------------------------------------------------------- *)
+
+let test_check_structural_first () =
+  let policy = Helpers.example1_policy () in
+  let g = Helpers.example1_graph () in
+  let missing = [ Partition.leaf "p0" [ ("State", Scheme.Ndet) ] ] in
+  (match Audit.check g policy missing with
+   | Error (`Structural _) -> ()
+   | _ -> Alcotest.fail "expected structural error");
+  let strawman = Strategy.strawman policy in
+  (match Audit.check g policy strawman with
+   | Error (`Leakage vs) -> Alcotest.(check bool) "violations reported" true (vs <> [])
+   | _ -> Alcotest.fail "expected leakage error")
+
+let test_violation_channels () =
+  (* DET a ~ DET b: no marginal excess, strict joint exposure only. *)
+  let policy = Policy.create [ ("a", Scheme.Det); ("b", Scheme.Det) ] in
+  let g = Dep_graph.create [ "a"; "b" ] in
+  let g = Dep_graph.declare_dependent g "a" "b" in
+  let rep = Strategy.strawman policy in
+  Alcotest.(check int) "no marginal violations" 0
+    (List.length (Audit.violations ~semantics:Semantics.Marginal g policy rep));
+  let strict = Audit.violations ~semantics:Semantics.Strict g policy rep in
+  Alcotest.(check int) "one joint violation" 1 (List.length strict);
+  (match strict with
+   | [ { Audit.channel = Audit.Joint_exposure partner; attr; _ } ] ->
+     Alcotest.(check bool) "pair named" true
+       ((attr = "a" && partner = "b") || (attr = "b" && partner = "a"))
+   | _ -> Alcotest.fail "expected a joint exposure")
+
+let test_plain_plain_joint_tolerated () =
+  let policy = Policy.create [ ("a", Scheme.Plain); ("b", Scheme.Plain) ] in
+  let g = Dep_graph.create [ "a"; "b" ] in
+  let g = Dep_graph.declare_dependent g "a" "b" in
+  Alcotest.(check bool) "public pair may co-locate" true
+    (Audit.is_snf ~semantics:Semantics.Strict g policy (Strategy.strawman policy))
+
+let test_closure_report () =
+  let policy = Helpers.example1_policy () in
+  let g = Helpers.example1_graph () in
+  let report = Audit.closure_report g policy (Strategy.strawman policy) in
+  let state = List.find (fun (a, _, _, _) -> a = "State") report in
+  (match state with
+   | _, leaked, allowed, ok ->
+     Alcotest.(check bool) "state over budget" true
+       (Leakage.equal_kind leaked Leakage.Equality
+       && Leakage.equal_kind allowed Leakage.Nothing
+       && not ok));
+  let zip = List.find (fun (a, _, _, _) -> a = "ZipCode") report in
+  (match zip with
+   | _, _, _, ok -> Alcotest.(check bool) "zip within budget" true ok)
+
+(* --- Maximal -------------------------------------------------------------- *)
+
+let test_maximal_example1 () =
+  let policy = Helpers.example1_policy () in
+  let g = Helpers.example1_graph () in
+  let nr = Strategy.non_repeating g policy in
+  let mr = Strategy.max_repeating g policy in
+  Alcotest.(check bool) "mr maximal" true (Maximal.is_maximally_permissive g policy mr);
+  Alcotest.(check bool) "tighten(nr) maximal" true
+    (Maximal.is_maximally_permissive g policy (Maximal.tighten g policy nr))
+
+let test_defects () =
+  let policy = Helpers.example1_policy () in
+  let g = Helpers.example1_graph () in
+  (* Overly-strong single leaf: weakening ZipCode back to DET keeps SNF. *)
+  let rep =
+    [ Partition.leaf "p0" [ ("State", Scheme.Ndet); ("ZipCode", Scheme.Ndet) ];
+      Partition.leaf "p1" [ ("Income", Scheme.Ope) ] ]
+  in
+  (match Maximal.first_defect g policy rep with
+   | Some defect ->
+     let s = Format.asprintf "%a" Maximal.pp_defect defect in
+     Alcotest.(check bool) "some defect found" true (String.length s > 0)
+   | None -> Alcotest.fail "expected a defect");
+  (* Naive rep of independent attrs: every leaf can absorb the others. *)
+  let policy2 = Policy.create [ ("x", Scheme.Det); ("y", Scheme.Det) ] in
+  let g2 = Dep_graph.create [ "x"; "y" ] in
+  let g2 = Dep_graph.declare_independent g2 "x" "y" in
+  (match Maximal.first_defect g2 policy2 (Strategy.naive policy2) with
+   | Some (Maximal.Addable _) -> ()
+   | _ -> Alcotest.fail "expected an addable defect")
+
+let prop_tighten_maximal =
+  Helpers.qtest ~count:60 "tighten yields maximal permissiveness and keeps SNF"
+    Helpers.instance_gen (fun (_, policy, g) ->
+      let rep = Maximal.tighten g policy (Strategy.non_repeating g policy) in
+      Audit.is_snf g policy rep
+      && (match Maximal.first_defect g policy rep with
+          | Some (Maximal.Addable _) -> false
+          | Some (Maximal.Weakenable _) | None -> true))
+
+let prop_max_repeating_no_addable =
+  Helpers.qtest ~count:60 "max-repeating leaves no addable defect"
+    Helpers.instance_gen (fun (_, policy, g) ->
+      match Maximal.first_defect g policy (Strategy.max_repeating g policy) with
+      | Some (Maximal.Addable _) -> false
+      | _ -> true)
+
+let suite =
+  [ t "check structural first" test_check_structural_first;
+    t "violation channels" test_violation_channels;
+    t "plain-plain joint tolerated" test_plain_plain_joint_tolerated;
+    t "closure report" test_closure_report;
+    t "maximal example 1" test_maximal_example1;
+    t "defects" test_defects;
+    prop_tighten_maximal;
+    prop_max_repeating_no_addable ]

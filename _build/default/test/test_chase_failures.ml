@@ -1,0 +1,165 @@
+open Snf_relational
+open Snf_exec
+
+let t name f = Alcotest.test_case name `Quick f
+
+let names = Fd.Names.of_list
+
+(* --- the tableau chase -------------------------------------------------------- *)
+
+let test_chase_classics () =
+  let universe = names [ "A"; "B"; "C" ] in
+  Alcotest.(check bool) "AB/AC lossless under A->B" true
+    (Fd.chase_lossless [ names [ "A"; "B" ]; names [ "A"; "C" ] ] ~universe
+       [ Fd.make [ "A" ] [ "B" ] ]);
+  Alcotest.(check bool) "AB/BC lossy under A->B alone" false
+    (Fd.chase_lossless [ names [ "A"; "B" ]; names [ "B"; "C" ] ] ~universe
+       [ Fd.make [ "A" ] [ "B" ] ]);
+  Alcotest.(check bool) "AB/BC lossless once B->C" true
+    (Fd.chase_lossless [ names [ "A"; "B" ]; names [ "B"; "C" ] ] ~universe
+       [ Fd.make [ "B" ] [ "C" ] ]);
+  Alcotest.(check bool) "no FDs: only trivial overlap, lossy" false
+    (Fd.chase_lossless [ names [ "A"; "B" ]; names [ "B"; "C" ] ] ~universe []);
+  Alcotest.(check bool) "single block trivially lossless" true
+    (Fd.chase_lossless [ universe ] ~universe []);
+  Alcotest.check_raises "coverage enforced"
+    (Invalid_argument "Fd.chase_lossless: decomposition does not cover the universe")
+    (fun () ->
+      ignore (Fd.chase_lossless [ names [ "A"; "B" ] ] ~universe []))
+
+(* Classical theorem: a binary decomposition {X, Y} is lossless iff
+   X∩Y -> X\Y or X∩Y -> Y\X. Check the chase against the closure test. *)
+let prop_chase_binary_theorem =
+  Helpers.qtest ~count:150 "binary chase agrees with the intersection theorem"
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 0 5) (pair (int_bound 4) (int_bound 4)))
+        (list_size (int_range 1 4) (int_bound 4))
+        (list_size (int_range 1 4) (int_bound 4)))
+    (fun (fd_pairs, xs, ys) ->
+      let name i = Printf.sprintf "a%d" i in
+      let fds = List.map (fun (l, r) -> Fd.make [ name l ] [ name r ]) fd_pairs in
+      let x = names (List.map name xs) and y = names (List.map name ys) in
+      let universe = Fd.Names.union x y in
+      let inter = Fd.Names.inter x y in
+      if Fd.Names.is_empty inter || Fd.Names.equal x universe || Fd.Names.equal y universe
+      then true (* theorem's precondition: proper overlap; skip degenerate *)
+      else begin
+        let closure = Fd.closure_of inter fds in
+        let expected =
+          Fd.Names.subset (Fd.Names.diff x y) closure
+          || Fd.Names.subset (Fd.Names.diff y x) closure
+        in
+        Fd.chase_lossless [ x; y ] ~universe fds = expected
+      end)
+
+let prop_superkey_block_lossless =
+  Helpers.qtest ~count:100 "a block containing a key makes any decomposition lossless"
+    QCheck2.Gen.(list_size (int_range 0 6) (pair (int_bound 4) (int_bound 4)))
+    (fun fd_pairs ->
+      let name i = Printf.sprintf "a%d" i in
+      let fds = List.map (fun (l, r) -> Fd.make [ name l ] [ name r ]) fd_pairs in
+      let universe = names (List.init 5 name) in
+      (* block 1 = the whole universe (a trivial superkey); block 2 random *)
+      Fd.chase_lossless [ universe; names [ name 0; name 1 ] ] ~universe fds)
+
+(* SNF's tid makes reconstruction lossless even where the chase says the
+   tid-free decomposition is lossy — the reason the tid exists. *)
+let test_tid_vs_chase () =
+  let r = Helpers.example1_relation () in
+  let universe = names [ "State"; "ZipCode"; "Income" ] in
+  let blocks = [ names [ "State" ]; names [ "ZipCode"; "Income" ] ] in
+  Alcotest.(check bool) "tid-free split is lossy" false
+    (Fd.chase_lossless blocks ~universe [ Fd.make [ "ZipCode" ] [ "State" ] ]);
+  let rep =
+    [ Snf_core.Partition.leaf "p0" [ ("State", Snf_crypto.Scheme.Ndet) ];
+      Snf_core.Partition.leaf "p1"
+        [ ("ZipCode", Snf_crypto.Scheme.Det); ("Income", Snf_crypto.Scheme.Ope) ] ]
+  in
+  Alcotest.(check bool) "tid join reconstructs anyway" true
+    (Relation.equal_as_sets r
+       (Snf_core.Partition.reconstruct (Snf_core.Partition.materialize r rep)))
+
+(* --- failure injection over the encrypted store ------------------------------- *)
+
+let owner () =
+  System.outsource ~name:"fi" ~graph:(Helpers.example1_graph ())
+    (Helpers.example1_relation ())
+    (Helpers.example1_policy ())
+
+let flip_byte s i =
+  let b = Bytes.of_string s in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+  Bytes.to_string b
+
+let test_tampered_cell_detected () =
+  let o = owner () in
+  let leaf =
+    List.find
+      (fun (l : Enc_relation.enc_leaf) ->
+        List.exists (fun c -> c.Enc_relation.attr = "State") l.Enc_relation.columns)
+      o.System.enc.Enc_relation.leaves
+  in
+  let col = Enc_relation.column leaf "State" in
+  let tampered =
+    match col.Enc_relation.cells.(0) with
+    | Enc_relation.C_bytes b -> Enc_relation.C_bytes (flip_byte b 9)
+    | _ -> Alcotest.fail "expected NDET bytes"
+  in
+  Alcotest.(check bool) "authenticated decryption rejects tampering" true
+    (try
+       ignore
+         (Enc_relation.decrypt_cell o.System.client ~leaf:leaf.Enc_relation.label
+            ~attr:"State" ~scheme:col.Enc_relation.scheme tampered);
+       false
+     with Invalid_argument _ -> true)
+
+let test_tampered_tid_detected () =
+  let o = owner () in
+  let leaf = List.hd o.System.enc.Enc_relation.leaves in
+  Alcotest.(check bool) "tid tampering detected" true
+    (try
+       ignore
+         (Enc_relation.decrypt_tid o.System.client ~leaf:leaf.Enc_relation.label
+            (flip_byte leaf.Enc_relation.tids.(0) 3));
+       false
+     with Invalid_argument _ -> true)
+
+let test_wrong_key_rejected () =
+  let o = owner () in
+  let impostor = Enc_relation.make_client ~relation_name:"fi" ~master:"wrong" () in
+  let leaf = List.hd o.System.enc.Enc_relation.leaves in
+  Alcotest.(check bool) "foreign client cannot decrypt" true
+    (try
+       ignore (Enc_relation.decrypt_leaf impostor leaf);
+       false
+     with Invalid_argument _ -> true)
+
+let test_cross_column_cell_rejected () =
+  (* A cell moved between columns decrypts under the wrong derived key:
+     the SIV/MAC check must catch it. *)
+  let o = owner () in
+  let leaf =
+    List.find
+      (fun (l : Enc_relation.enc_leaf) ->
+        List.exists (fun c -> c.Enc_relation.attr = "ZipCode") l.Enc_relation.columns)
+      o.System.enc.Enc_relation.leaves
+  in
+  let zip = Enc_relation.column leaf "ZipCode" in
+  Alcotest.(check bool) "cell swapped across columns rejected" true
+    (try
+       ignore
+         (Enc_relation.decrypt_cell o.System.client ~leaf:leaf.Enc_relation.label
+            ~attr:"Income" ~scheme:Snf_crypto.Scheme.Det zip.Enc_relation.cells.(0));
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [ t "chase classics" test_chase_classics;
+    prop_chase_binary_theorem;
+    prop_superkey_block_lossless;
+    t "tid vs chase" test_tid_vs_chase;
+    t "tampered cell detected" test_tampered_cell_detected;
+    t "tampered tid detected" test_tampered_tid_detected;
+    t "wrong key rejected" test_wrong_key_rejected;
+    t "cross-column swap rejected" test_cross_column_cell_rejected ]

@@ -1,0 +1,180 @@
+open Snf_core
+module Scheme = Snf_crypto.Scheme
+module Dep_graph = Snf_deps.Dep_graph
+
+let t name f = Alcotest.test_case name `Quick f
+
+let kind = Alcotest.testable Leakage.pp_kind Leakage.equal_kind
+
+(* Example 1 of the paper: DET ZipCode infects dependent State when
+   co-located. *)
+let test_example1 () =
+  let g = Helpers.example1_graph () in
+  let closure =
+    Closure.analyze_colocated g
+      [ ("State", Scheme.Ndet); ("ZipCode", Scheme.Det); ("Income", Scheme.Ope) ]
+  in
+  Alcotest.check kind "state infected with equality" Leakage.Equality
+    (Leakage.Assignment.kind_of closure "State");
+  Alcotest.check kind "zip keeps equality" Leakage.Equality
+    (Leakage.Assignment.kind_of closure "ZipCode");
+  Alcotest.check kind "independent income untouched" Leakage.Order
+    (Leakage.Assignment.kind_of closure "Income");
+  (match Leakage.Assignment.find closure "State" with
+   | Some { provenance = Leakage.Inferred chain; _ } ->
+     Alcotest.(check (list string)) "provenance chain" [ "ZipCode"; "State" ] chain
+   | _ -> Alcotest.fail "expected inferred provenance")
+
+let test_transitive_chain () =
+  (* a(OPE) ~ b(NDET) ~ c(NDET): order reaches c through b. *)
+  let g = Dep_graph.create [ "a"; "b"; "c" ] in
+  let g = Dep_graph.declare_dependent g "a" "b" in
+  let g = Dep_graph.declare_dependent g "b" "c" in
+  let closure =
+    Closure.analyze_colocated g [ ("a", Scheme.Ope); ("b", Scheme.Ndet); ("c", Scheme.Ndet) ]
+  in
+  Alcotest.check kind "c receives order transitively" Leakage.Order
+    (Leakage.Assignment.kind_of closure "c");
+  (match Leakage.Assignment.find closure "c" with
+   | Some { provenance = Leakage.Inferred chain; _ } ->
+     Alcotest.(check (list string)) "chain passes through b" [ "a"; "b"; "c" ] chain
+   | _ -> Alcotest.fail "expected inferred provenance")
+
+let test_confined_to_leaf () =
+  (* Separated representation: no infection across leaves. *)
+  let g = Helpers.example1_graph () in
+  let rep =
+    [ Partition.leaf "p0" [ ("State", Scheme.Ndet) ];
+      Partition.leaf "p1" [ ("ZipCode", Scheme.Det) ];
+      Partition.leaf "p2" [ ("Income", Scheme.Ope) ] ]
+  in
+  let closure = Closure.analyze g rep in
+  Alcotest.check kind "state clean" Leakage.Nothing (Leakage.Assignment.kind_of closure "State");
+  Alcotest.check kind "zip equality only" Leakage.Equality
+    (Leakage.Assignment.kind_of closure "ZipCode")
+
+let test_fragment_conditional () =
+  let g = Dep_graph.create [ "prof"; "edu"; "inc" ] in
+  let g = Dep_graph.declare_dependent g "edu" "inc" in
+  let broker = Snf_relational.Value.Text "broker" in
+  let g = Dep_graph.declare_conditional_independent g ~on:("prof", broker) "edu" "inc" in
+  let cols = [ ("edu", Scheme.Det); ("inc", Scheme.Ndet) ] in
+  let unconditional = Closure.analyze_colocated g cols in
+  Alcotest.check kind "inc infected in general" Leakage.Equality
+    (Leakage.Assignment.kind_of unconditional "inc");
+  let in_fragment = Closure.analyze_colocated ~fragment:("prof", broker) g cols in
+  Alcotest.check kind "inc clean inside the fragment" Leakage.Nothing
+    (Leakage.Assignment.kind_of in_fragment "inc")
+
+let test_joint_pairs () =
+  let g = Helpers.example1_graph () in
+  let pairs =
+    Closure.joint_pairs g
+      [ ("State", Scheme.Ndet); ("ZipCode", Scheme.Det); ("Income", Scheme.Ope) ]
+  in
+  Alcotest.(check int) "one dependent leaking pair" 1 (List.length pairs);
+  (match pairs with
+   | [ (a, b, k) ] ->
+     Alcotest.(check string) "pair lo" "State" a;
+     Alcotest.(check string) "pair hi" "ZipCode" b;
+     Alcotest.check kind "joint kind" Leakage.Equality k
+   | _ -> Alcotest.fail "unexpected");
+  (* Two dependent NDET columns: nothing leaks, no joint pair. *)
+  let g2 = Dep_graph.create [ "x"; "y" ] in
+  let g2 = Dep_graph.declare_dependent g2 "x" "y" in
+  Alcotest.(check int) "ndet pair silent" 0
+    (List.length (Closure.joint_pairs g2 [ ("x", Scheme.Ndet); ("y", Scheme.Ndet) ]))
+
+let test_would_leak () =
+  let g = Helpers.example1_graph () in
+  let delta =
+    Closure.would_leak g [ ("State", Scheme.Ndet) ] ("ZipCode", Scheme.Det)
+  in
+  Alcotest.(check bool) "adding zip raises state" true
+    (List.exists (fun (a, k) -> a = "State" && Leakage.equal_kind k Leakage.Equality) delta);
+  let no_delta = Closure.would_leak g [ ("Income", Scheme.Ope) ] ("ZipCode", Scheme.Det) in
+  Alcotest.(check bool) "independent addition only adds itself" true
+    (List.for_all (fun (a, _) -> a = "ZipCode") no_delta)
+
+(* --- soundness / completeness properties ---------------------------------- *)
+
+(* Reference model: within a co-location, an attribute's closure kind is the
+   join of direct kinds over its dependence-connected component. *)
+let reference_closure g columns =
+  let deps a b = Dep_graph.dependent g a b in
+  let names = List.map fst columns in
+  let direct a = Leakage.of_scheme (List.assoc a columns) in
+  List.map
+    (fun a ->
+      let visited = Hashtbl.create 8 in
+      let rec bfs = function
+        | [] -> ()
+        | x :: rest ->
+          if Hashtbl.mem visited x then bfs rest
+          else begin
+            Hashtbl.add visited x ();
+            bfs (List.filter (fun y -> deps x y) names @ rest)
+          end
+      in
+      bfs [ a ];
+      let component = Hashtbl.fold (fun x () acc -> x :: acc) visited [] in
+      (a, Leakage.join_all (List.map direct component)))
+    names
+
+let colocation_gen =
+  let open QCheck2.Gen in
+  let* names, policy, g = Helpers.instance_gen in
+  let cols = List.map (fun a -> (a, Policy.scheme_of policy a)) names in
+  return (g, cols)
+
+let prop_closure_matches_reference =
+  Helpers.qtest ~count:300 "fixpoint closure = component-max reference" colocation_gen
+    (fun (g, cols) ->
+      let closure = Closure.analyze_colocated g cols in
+      List.for_all
+        (fun (a, expected) ->
+          Leakage.equal_kind expected (Leakage.Assignment.kind_of closure a))
+        (reference_closure g cols))
+
+let prop_closure_sound_provenance =
+  Helpers.qtest ~count:300 "every inferred entry has a valid dependence chain"
+    colocation_gen (fun (g, cols) ->
+      let closure = Closure.analyze_colocated g cols in
+      List.for_all
+        (fun (attr, (e : Leakage.entry)) ->
+          match e.provenance with
+          | Leakage.Direct -> true
+          | Leakage.Inferred chain ->
+            (* chain ends at attr, every step is a dependence edge, and the
+               head's direct kind equals the inferred kind *)
+            let rec steps = function
+              | x :: (y :: _ as rest) -> Dep_graph.dependent g x y && steps rest
+              | _ -> true
+            in
+            (match (chain, List.rev chain) with
+             | src :: _, last :: _ ->
+               last = attr && steps chain
+               && Leakage.equal_kind e.kind (Leakage.of_scheme (List.assoc src cols))
+             | _ -> false))
+        (Leakage.Assignment.bindings closure))
+
+let prop_closure_monotone_in_columns =
+  Helpers.qtest ~count:200 "adding a column never lowers any closure kind"
+    colocation_gen (fun (g, cols) ->
+      match cols with
+      | [] | [ _ ] -> true
+      | (extra :: rest) ->
+        let before = Closure.analyze_colocated g rest in
+        let after = Closure.analyze_colocated g (extra :: rest) in
+        Leakage.Assignment.dominated_by before after)
+
+let suite =
+  [ t "example 1 infection" test_example1;
+    t "transitive chain" test_transitive_chain;
+    t "confinement to leaves" test_confined_to_leaf;
+    t "fragment-conditional closure" test_fragment_conditional;
+    t "joint pairs" test_joint_pairs;
+    t "would_leak delta" test_would_leak;
+    prop_closure_matches_reference;
+    prop_closure_sound_provenance;
+    prop_closure_monotone_in_columns ]

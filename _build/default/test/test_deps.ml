@@ -1,0 +1,149 @@
+open Snf_relational
+open Snf_deps
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* --- Fd_discovery ---------------------------------------------------------- *)
+
+let test_discovery_unary () =
+  let r =
+    Helpers.relation_of_int_rows [ "zip"; "state"; "noise" ]
+      [ [ 1; 10; 5 ]; [ 1; 10; 6 ]; [ 2; 10; 5 ]; [ 3; 30; 7 ]; [ 3; 30; 5 ] ]
+  in
+  let fds = Fd_discovery.discover r in
+  Alcotest.(check bool) "zip -> state found" true
+    (List.exists (Fd.equal (Fd.make [ "zip" ] [ "state" ])) fds);
+  Alcotest.(check bool) "state -> zip absent (2 -> 10 and 1 -> 10)" false
+    (List.exists (Fd.equal (Fd.make [ "state" ] [ "zip" ])) fds);
+  Alcotest.(check bool) "noise determines nothing" true
+    (List.for_all (fun f -> not (Fd.Names.mem "noise" f.Fd.lhs)) fds)
+
+let test_discovery_binary () =
+  (* c = a + b: only the pair (a, b) determines c. *)
+  let rows =
+    List.concat_map (fun a -> List.map (fun b -> [ a; b; a + b ]) [ 0; 1; 2 ]) [ 0; 1; 2 ]
+  in
+  (* the full grid breaks every unary FD among a, b, c *)
+  let r = Helpers.relation_of_int_rows [ "a"; "b"; "c" ] rows in
+  let fds = Fd_discovery.discover ~max_lhs:2 r in
+  Alcotest.(check bool) "ab -> c found" true
+    (Fd.implies fds (Fd.make [ "a"; "b" ] [ "c" ]))
+
+let test_discovery_exclude () =
+  let r = Helpers.relation_of_int_rows [ "tid"; "x" ] [ [ 0; 5 ]; [ 1; 5 ]; [ 2; 7 ] ] in
+  let fds = Fd_discovery.discover ~exclude:(fun a -> a = "tid") r in
+  Alcotest.(check bool) "tid not mentioned" true
+    (List.for_all (fun f -> not (Fd.Names.mem "tid" (Fd.attrs f))) fds)
+
+let prop_discovered_hold =
+  Helpers.qtest ~count:60 "every discovered FD holds on the data"
+    QCheck2.Gen.(list_size (int_range 2 25) (triple (int_bound 3) (int_bound 3) (int_bound 3)))
+    (fun triples ->
+      let rows = List.map (fun (a, b, c) -> [ a; b; c ]) triples in
+      let r = Helpers.relation_of_int_rows [ "a"; "b"; "c" ] rows in
+      List.for_all (Fd.holds r) (Fd_discovery.discover ~max_lhs:2 r))
+
+(* --- Correlation ------------------------------------------------------------ *)
+
+let test_correlation_extremes () =
+  (* y = x: perfect association. *)
+  let rows = List.init 60 (fun i -> [ i mod 5; i mod 5 ]) in
+  let r = Helpers.relation_of_int_rows [ "x"; "y" ] rows in
+  let tbl = Correlation.contingency r "x" "y" in
+  Alcotest.(check bool) "cramers v = 1 for identity" true (Correlation.cramers_v tbl > 0.99);
+  Alcotest.(check bool) "mi positive" true (Correlation.mutual_information tbl > 2.0);
+  (* independent grid: every (x, y) combination equally often. *)
+  let rows2 = List.concat_map (fun x -> List.map (fun y -> [ x; y ]) [ 0; 1; 2; 3 ]) [ 0; 1; 2 ] in
+  let r2 = Helpers.relation_of_int_rows [ "x"; "y" ] (rows2 @ rows2) in
+  let tbl2 = Correlation.contingency r2 "x" "y" in
+  Alcotest.(check bool) "cramers v = 0 for independent" true
+    (Correlation.cramers_v tbl2 < 0.01);
+  Alcotest.(check bool) "mi = 0 for independent" true
+    (Float.abs (Correlation.mutual_information tbl2) < 1e-9)
+
+let test_correlation_degenerate () =
+  let r = Helpers.relation_of_int_rows [ "x"; "y" ] [ [ 1; 1 ]; [ 1; 2 ] ] in
+  let tbl = Correlation.contingency r "x" "y" in
+  Alcotest.(check bool) "single-valued column gives 0" true (Correlation.cramers_v tbl = 0.0)
+
+let test_all_pairs () =
+  let rows = List.init 100 (fun i -> [ i mod 7; i mod 7; i * 37 mod 11 ]) in
+  let r = Helpers.relation_of_int_rows [ "a"; "b"; "c" ] rows in
+  let pairs = Correlation.all_pairs ~threshold:0.5 r in
+  Alcotest.(check bool) "(a, b) detected" true
+    (List.exists (fun (x, y, _) -> (x = "a" && y = "b") || (x = "b" && y = "a")) pairs)
+
+(* --- Dep_graph ---------------------------------------------------------------- *)
+
+let test_graph_modes () =
+  let g_opt = Dep_graph.create ~mode:Dep_graph.Optimistic [ "a"; "b" ] in
+  let g_pes = Dep_graph.create ~mode:Dep_graph.Pessimistic [ "a"; "b" ] in
+  Alcotest.(check bool) "optimistic default independent" false (Dep_graph.dependent g_opt "a" "b");
+  Alcotest.(check bool) "pessimistic default dependent" true (Dep_graph.dependent g_pes "a" "b");
+  Alcotest.(check bool) "reflexive" true (Dep_graph.dependent g_opt "a" "a")
+
+let test_graph_evidence () =
+  let g = Dep_graph.create [ "a"; "b"; "c" ] in
+  let g = Dep_graph.add_fd g (Fd.make [ "a" ] [ "b" ]) in
+  Alcotest.(check bool) "fd makes dependent" true (Dep_graph.dependent g "a" "b");
+  Alcotest.(check bool) "symmetric" true (Dep_graph.dependent g "b" "a");
+  Alcotest.(check bool) "unrelated pair" false (Dep_graph.dependent g "a" "c");
+  Alcotest.(check bool) "decided" true (Dep_graph.decided g "a" "b");
+  Alcotest.(check bool) "undecided" false (Dep_graph.decided g "a" "c");
+  let g = Dep_graph.declare_independent g "a" "c" in
+  Alcotest.(check bool) "declared independent" false (Dep_graph.dependent g "a" "c");
+  (* conflict resolves to dependent *)
+  let g = Dep_graph.declare_dependent g "a" "c" in
+  Alcotest.(check bool) "conflict resolves dependent" true (Dep_graph.dependent g "a" "c");
+  Alcotest.(check (list string)) "neighbors" [ "b"; "c" ] (Dep_graph.dependent_neighbors g "a")
+
+let test_graph_completeness () =
+  let g = Dep_graph.create [ "a"; "b"; "c" ] in
+  Alcotest.(check bool) "empty graph 0%" true (Dep_graph.completeness g = 0.0);
+  let g = Dep_graph.declare_dependent g "a" "b" in
+  Alcotest.(check bool) "one of three pairs" true
+    (Float.abs (Dep_graph.completeness g -. (1.0 /. 3.0)) < 1e-9)
+
+let test_graph_conditional () =
+  let g = Dep_graph.create [ "prof"; "edu"; "inc" ] in
+  let g = Dep_graph.declare_dependent g "edu" "inc" in
+  let broker = Value.Text "broker" in
+  let g = Dep_graph.declare_conditional_independent g ~on:("prof", broker) "edu" "inc" in
+  Alcotest.(check bool) "dependent in general" true (Dep_graph.dependent g "edu" "inc");
+  Alcotest.(check bool) "independent for brokers" false
+    (Dep_graph.dependent_in_fragment g ~on:("prof", broker) "edu" "inc");
+  Alcotest.(check bool) "other fragments unaffected" true
+    (Dep_graph.dependent_in_fragment g ~on:("prof", Value.Text "nurse") "edu" "inc")
+
+let test_graph_restrict () =
+  let g = Dep_graph.create [ "a"; "b"; "c" ] in
+  let g = Dep_graph.add_fd g (Fd.make [ "a" ] [ "b" ]) in
+  let g' = Dep_graph.restrict g (Fd.Names.of_list [ "a"; "b" ]) in
+  Alcotest.(check int) "universe shrunk" 2 (Fd.Names.cardinal (Dep_graph.universe g'));
+  Alcotest.(check bool) "edge kept" true (Dep_graph.dependent g' "a" "b");
+  let g'' = Dep_graph.restrict g (Fd.Names.of_list [ "a"; "c" ]) in
+  Alcotest.(check int) "fd dropped when attr gone" 0 (List.length (Dep_graph.fds g''))
+
+let test_of_relation () =
+  let r =
+    Helpers.relation_of_int_rows [ "zip"; "state"; "noise" ]
+      [ [ 1; 10; 1 ]; [ 1; 10; 2 ]; [ 2; 20; 1 ]; [ 2; 20; 2 ]; [ 3; 20; 1 ] ]
+  in
+  let g = Dep_graph.of_relation r in
+  Alcotest.(check bool) "mined dependence" true (Dep_graph.dependent g "zip" "state");
+  Alcotest.(check bool) "unrelated optimistic" false (Dep_graph.dependent g "zip" "noise")
+
+let suite =
+  [ t "discovery unary" test_discovery_unary;
+    t "discovery binary lhs" test_discovery_binary;
+    t "discovery exclude" test_discovery_exclude;
+    prop_discovered_hold;
+    t "correlation extremes" test_correlation_extremes;
+    t "correlation degenerate" test_correlation_degenerate;
+    t "correlation all pairs" test_all_pairs;
+    t "graph modes" test_graph_modes;
+    t "graph evidence" test_graph_evidence;
+    t "graph completeness" test_graph_completeness;
+    t "graph conditional independence" test_graph_conditional;
+    t "graph restrict" test_graph_restrict;
+    t "graph of relation" test_of_relation ]

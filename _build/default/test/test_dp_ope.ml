@@ -1,0 +1,140 @@
+open Snf_crypto
+
+let t name f = Alcotest.test_case name `Quick f
+
+let key = Prf.key_of_string "dp"
+
+let test_dp_ratio_analytic () =
+  (* Neighbouring noise values differ by at most epsilon in log-probability:
+     the defining property of the mechanism. *)
+  List.iter
+    (fun epsilon ->
+      for k = -20 to 20 do
+        let d =
+          Float.abs (Dp_ope.log_pmf ~epsilon k -. Dp_ope.log_pmf ~epsilon (k + 1))
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "ratio bounded at eps=%.2f k=%d" epsilon k)
+          true
+          (d <= epsilon +. 1e-9)
+      done)
+    [ 0.1; 0.5; 1.0; 2.0 ]
+
+let test_pmf_normalized () =
+  List.iter
+    (fun epsilon ->
+      let total = ref 0.0 in
+      for k = -2000 to 2000 do
+        total := !total +. Float.exp (Dp_ope.log_pmf ~epsilon k)
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "pmf sums to 1 at eps=%.2f (%.4f)" epsilon !total)
+        true
+        (Float.abs (!total -. 1.0) < 1e-3))
+    [ 0.2; 1.0 ]
+
+let test_sampler_matches_pmf () =
+  let epsilon = 0.8 in
+  let prng = Prng.create 42 in
+  let n = 50_000 in
+  let counts = Hashtbl.create 64 in
+  let total_abs = ref 0 in
+  for _ = 1 to n do
+    let k = Dp_ope.sample_noise ~epsilon prng in
+    total_abs := !total_abs + abs k;
+    Hashtbl.replace counts k (1 + Option.value (Hashtbl.find_opt counts k) ~default:0)
+  done;
+  (* empirical frequencies of small k match the analytic pmf *)
+  List.iter
+    (fun k ->
+      let emp =
+        float_of_int (Option.value (Hashtbl.find_opt counts k) ~default:0)
+        /. float_of_int n
+      in
+      let expected = Float.exp (Dp_ope.log_pmf ~epsilon k) in
+      Alcotest.(check bool)
+        (Printf.sprintf "P(%d): emp %.4f vs %.4f" k emp expected)
+        true
+        (Float.abs (emp -. expected) < 0.01))
+    [ -2; -1; 0; 1; 2 ];
+  (* empirical mean absolute error near the analytic expectation *)
+  let emp_mae = float_of_int !total_abs /. float_of_int n in
+  let expected_mae = Dp_ope.expected_absolute_error ~epsilon in
+  Alcotest.(check bool)
+    (Printf.sprintf "MAE %.3f vs analytic %.3f" emp_mae expected_mae)
+    true
+    (Float.abs (emp_mae -. expected_mae) < 0.05)
+
+let test_order_approximately_preserved () =
+  (* Well-separated plaintexts (gap >> expected error) almost always sort
+     correctly; adjacent plaintexts are deniable. *)
+  let dp = Dp_ope.create ~key ~domain_bits:16 ~epsilon:1.0 () in
+  let prng = Prng.create 7 in
+  let trials = 2_000 in
+  let inversions_far = ref 0 and inversions_near = ref 0 in
+  for _ = 1 to trials do
+    if Dp_ope.encrypt dp prng 100 >= Dp_ope.encrypt dp prng 200 then incr inversions_far;
+    if Dp_ope.encrypt dp prng 100 >= Dp_ope.encrypt dp prng 101 then incr inversions_near
+  done;
+  Alcotest.(check int) "gap of 100 never inverts at eps=1" 0 !inversions_far;
+  Alcotest.(check bool)
+    (Printf.sprintf "adjacent values deniable (%d/%d inversions)" !inversions_near trials)
+    true
+    (!inversions_near > trials / 10)
+
+let test_randomized_and_clamped () =
+  let dp = Dp_ope.create ~key ~domain_bits:10 ~epsilon:0.5 () in
+  let prng = Prng.create 3 in
+  let c1 = Dp_ope.encrypt dp prng 500 and c2 = Dp_ope.encrypt dp prng 500 in
+  Alcotest.(check bool) "randomized" true (c1 <> c2);
+  (* clamping keeps boundary values in domain *)
+  for _ = 1 to 200 do
+    let v = Dp_ope.decrypt_noised dp (Dp_ope.encrypt dp prng 0) in
+    Alcotest.(check bool) "clamped low" true (v >= 0 && v < 1024);
+    let v' = Dp_ope.decrypt_noised dp (Dp_ope.encrypt dp prng 1023) in
+    Alcotest.(check bool) "clamped high" true (v' >= 0 && v' < 1024)
+  done;
+  Alcotest.(check bool) "epsilon validated" true
+    (try
+       ignore (Dp_ope.create ~key ~domain_bits:8 ~epsilon:0.0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_degrades_sorting_attack () =
+  (* The whole point: quantile matching against the noised ranks recovers
+     far less than against exact OPE ranks. *)
+  let prng = Prng.create 11 in
+  let n = 600 in
+  let domain = 40 in
+  let plaintexts = Array.init n (fun _ -> Prng.int prng domain) in
+  let exact = Ope.create ~key ~domain_bits:8 () in
+  let dp = Dp_ope.create ~key ~domain_bits:8 ~epsilon:0.4 () in
+  let recover ciphertexts =
+    (* rank-based quantile matching with the exact distribution as aux *)
+    let order = Array.init n Fun.id in
+    Array.sort (fun i j -> compare ciphertexts.(i) ciphertexts.(j)) order;
+    let sorted_aux = Array.copy plaintexts in
+    Array.sort compare sorted_aux;
+    let correct = ref 0 in
+    Array.iteri
+      (fun pos idx -> if sorted_aux.(pos) = plaintexts.(idx) then incr correct)
+      order;
+    float_of_int !correct /. float_of_int n
+  in
+  let exact_acc = recover (Array.map (Ope.encrypt exact) plaintexts) in
+  let dp_acc = recover (Array.map (Dp_ope.encrypt dp prng) plaintexts) in
+  Alcotest.(check bool)
+    (Printf.sprintf "exact OPE highly recoverable (%.2f)" exact_acc)
+    true (exact_acc > 0.9);
+  Alcotest.(check bool)
+    (Printf.sprintf "dp-ope recovery drops (%.2f < %.2f - 0.25)" dp_acc exact_acc)
+    true
+    (dp_acc < exact_acc -. 0.25)
+
+let suite =
+  [ t "dp ratio analytic" test_dp_ratio_analytic;
+    t "pmf normalized" test_pmf_normalized;
+    t "sampler matches pmf" test_sampler_matches_pmf;
+    t "order approximately preserved" test_order_approximately_preserved;
+    t "randomized and clamped" test_randomized_and_clamped;
+    t "degrades sorting attack" test_degrades_sorting_attack ]

@@ -1,0 +1,160 @@
+open Snf_relational
+open Snf_exec
+module Scheme = Snf_crypto.Scheme
+
+let t name f = Alcotest.test_case name `Quick f
+
+let fresh () =
+  Dynamic.create
+    (System.outsource ~name:"dyn" ~graph:(Helpers.example1_graph ())
+       (Helpers.example1_relation ())
+       (Helpers.example1_policy ()))
+
+let row state zip income = [| Value.Text state; Value.Int zip; Value.Int income |]
+
+let q_zip zip = Query.point ~select:[ "State"; "Income" ] [ ("ZipCode", Value.Int zip) ]
+
+let test_insert_and_query () =
+  let d = fresh () in
+  Alcotest.(check int) "initial rows" 6 (Dynamic.cardinality d);
+  let stats = Dynamic.insert d [ row "WA" 98101 150; row "CA" 94016 42 ] in
+  Alcotest.(check int) "two rows inserted" 2 stats.Dynamic.rows_processed;
+  Alcotest.(check bool) "only new cells encrypted" true
+    (stats.Dynamic.cells_encrypted <= 2 * 10);
+  Alcotest.(check int) "cardinality grows" 8 (Dynamic.cardinality d);
+  Alcotest.(check int) "delta holds them" 2 (Dynamic.delta_cardinality d);
+  (* query sees rows from both segments *)
+  (match Dynamic.query d (q_zip 94016) with
+   | Ok (ans, traces) ->
+     Alcotest.(check int) "old + new rows" 3 (Relation.cardinality ans);
+     Alcotest.(check int) "two segments touched" 2 (List.length traces)
+   | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "verified vs full plaintext" true (Dynamic.verify d (q_zip 94016));
+  (* a query matching only delta rows *)
+  Alcotest.(check bool) "delta-only query verified" true (Dynamic.verify d (q_zip 98101))
+
+let test_insert_validation () =
+  let d = fresh () in
+  Alcotest.(check bool) "arity checked" true
+    (try
+       ignore (Dynamic.insert d [ [| Value.Int 1 |] ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "types checked" true
+    (try
+       ignore (Dynamic.insert d [ [| Value.Int 5; Value.Int 1; Value.Int 2 |] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_compact () =
+  let d = fresh () in
+  ignore (Dynamic.insert d [ row "WA" 98101 150 ]);
+  ignore (Dynamic.insert d [ row "WA" 98101 151 ]);
+  let stats = Dynamic.compact d in
+  Alcotest.(check int) "all rows recast" 8 stats.Dynamic.rows_processed;
+  Alcotest.(check int) "delta empty after compact" 0 (Dynamic.delta_cardinality d);
+  Alcotest.(check int) "base holds everything" 8 (Dynamic.base_cardinality d);
+  (* single segment answers correctly after compaction *)
+  (match Dynamic.query d (q_zip 98101) with
+   | Ok (ans, traces) ->
+     Alcotest.(check int) "compacted rows found" 2 (Relation.cardinality ans);
+     Alcotest.(check int) "one segment" 1 (List.length traces)
+   | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "verified" true (Dynamic.verify d (q_zip 98101))
+
+let test_all_modes_after_insert () =
+  let d = fresh () in
+  ignore (Dynamic.insert d [ row "NY" 10001 33 ]);
+  List.iter
+    (fun mode ->
+      Alcotest.(check bool) "mode verified" true (Dynamic.verify ~mode d (q_zip 10001)))
+    [ `Sort_merge; `Oram; `Binning 2 ]
+
+let test_drift_detection () =
+  (* A two-row base where every column determines every other: the planted
+     graph declared Income independent, so the plan co-locates State (NDET)
+     with Income (OPE) — but mining the actual data finds Income -> State,
+     an inference channel the plan never considered. *)
+  let d2 =
+    Dynamic.create
+      (System.outsource ~name:"dyn2" ~graph:(Helpers.example1_graph ())
+         (Relation.create
+            (Relation.schema (Helpers.example1_relation ()))
+            [ row "CA" 94016 10; row "NY" 10001 20 ])
+         (Helpers.example1_policy ()))
+  in
+  ignore (Dynamic.insert d2 [ row "CA" 94016 10 ]);
+  (match Dynamic.check_drift d2 with
+   | `Violated vs -> Alcotest.(check bool) "violations reported" true (vs <> [])
+   | `Snf_ok -> Alcotest.fail "expected drift: ZipCode -> Income now holds");
+  (* repartition restores SNF under the mined graph *)
+  let stats = Dynamic.repartition d2 in
+  Alcotest.(check int) "three rows recast" 3 stats.Dynamic.rows_processed;
+  Alcotest.(check bool) "clean after repartition" true (Dynamic.check_drift d2 = `Snf_ok);
+  Alcotest.(check bool) "queries still verified" true (Dynamic.verify d2 (q_zip 94016))
+
+let prop_inserts_preserve_correctness =
+  Helpers.qtest ~count:25 "random insert batches keep every query verified"
+    QCheck2.Gen.(
+      list_size (int_range 1 3)
+        (list_size (int_range 1 4) (pair (int_bound 2) (int_bound 40))))
+    (fun batches ->
+      let d = fresh () in
+      let zips = [| 94016; 10001; 73301 |] in
+      let states = [| "CA"; "NY"; "TX" |] in
+      List.for_all
+        (fun batch ->
+          let rows =
+            List.map (fun (zi, inc) -> row states.(zi) zips.(zi) (400 + inc)) batch
+          in
+          ignore (Dynamic.insert d rows);
+          Dynamic.verify d (q_zip 94016)
+          && Dynamic.verify d
+               (Query.range ~select:[ "State" ] [ ("Income", Value.Int 400, Value.Int 440) ]))
+        batches)
+
+let test_delete_tombstones () =
+  let d = fresh () in
+  (* delete the two 94016 rows from the base *)
+  let n = Dynamic.delete d [ Query.Point ("ZipCode", Value.Int 94016) ] in
+  Alcotest.(check int) "two rows deleted" 2 n;
+  Alcotest.(check int) "tombstones recorded" 2 (Dynamic.tombstone_count d);
+  Alcotest.(check int) "cardinality shrinks" 4 (Dynamic.cardinality d);
+  (* every mode filters them out of answers *)
+  List.iter
+    (fun mode ->
+      (match Dynamic.query ~mode d (q_zip 94016) with
+       | Ok (ans, _) -> Alcotest.(check int) "deleted rows gone" 0 (Relation.cardinality ans)
+       | Error e -> Alcotest.fail e);
+      Alcotest.(check bool) "other rows verified" true (Dynamic.verify ~mode d (q_zip 10001)))
+    [ `Sort_merge; `Oram; `Binning 2 ];
+  (* deleting again is a no-op *)
+  Alcotest.(check int) "idempotent" 0
+    (Dynamic.delete d [ Query.Point ("ZipCode", Value.Int 94016) ]);
+  (* deletes reach the delta too *)
+  ignore (Dynamic.insert d [ row "CA" 94016 500 ]);
+  Alcotest.(check int) "delta row deleted" 1
+    (Dynamic.delete d [ Query.Point ("ZipCode", Value.Int 94016) ]);
+  Alcotest.(check bool) "still verified" true (Dynamic.verify d (q_zip 94016));
+  (* compaction physically removes tombstones *)
+  let st = Dynamic.compact d in
+  Alcotest.(check int) "only live rows recast" 4 st.Dynamic.rows_processed;
+  Alcotest.(check int) "tombstones cleared" 0 (Dynamic.tombstone_count d);
+  Alcotest.(check bool) "post-compact queries verified" true (Dynamic.verify d (q_zip 10001))
+
+let test_delete_range () =
+  let d = fresh () in
+  let n = Dynamic.delete d [ Query.Range ("Income", Value.Int 60, Value.Int 95) ] in
+  Alcotest.(check int) "range deletes" 4 n;
+  Alcotest.(check bool) "verified after range delete" true
+    (Dynamic.verify d (Query.range ~select:[ "State" ] [ ("Income", Value.Int 0, Value.Int 1000) ]))
+
+let suite =
+  [ t "insert and query" test_insert_and_query;
+    t "insert validation" test_insert_validation;
+    t "compact" test_compact;
+    t "all modes after insert" test_all_modes_after_insert;
+    t "drift detection and repartition" test_drift_detection;
+    prop_inserts_preserve_correctness;
+    t "delete tombstones" test_delete_tombstones;
+    t "delete range" test_delete_range ]

@@ -1,0 +1,240 @@
+open Snf_relational
+open Snf_exec
+module Scheme = Snf_crypto.Scheme
+module Partition = Snf_core.Partition
+
+let t name f = Alcotest.test_case name `Quick f
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let fixture () =
+  let r = Helpers.example1_relation () in
+  let rep =
+    [ Partition.leaf "p0" [ ("State", Scheme.Ndet) ];
+      Partition.leaf "p1" [ ("ZipCode", Scheme.Det); ("Income", Scheme.Ope) ] ]
+  in
+  let client =
+    Enc_relation.make_client ~seed:5 ~relation_name:"ex1" ~master:"m" ()
+  in
+  (r, rep, client, Enc_relation.encrypt client r rep)
+
+(* --- Enc_relation ------------------------------------------------------------ *)
+
+let test_enc_roundtrip () =
+  let r, _rep, client, enc = fixture () in
+  List.iter
+    (fun (leaf : Enc_relation.enc_leaf) ->
+      let dec = Enc_relation.decrypt_leaf client leaf in
+      Alcotest.(check int) "cardinality" (Relation.cardinality r) (Relation.cardinality dec);
+      (* each decrypted row must match the original row its tid names *)
+      Relation.iter_rows dec (fun _ row ->
+          let tid = Value.to_int_exn row.(0) in
+          let names = Schema.names (Relation.schema dec) in
+          List.iteri
+            (fun i a ->
+              if a <> Partition.tid_name then
+                Alcotest.check value "cell matches origin" (Relation.get r ~row:tid a) row.(i))
+            names))
+    enc.Enc_relation.leaves
+
+let test_leaves_shuffled_independently () =
+  let _, _, client, enc = fixture () in
+  let slot_tids (l : Enc_relation.enc_leaf) =
+    Array.to_list
+      (Array.map (Enc_relation.decrypt_tid client ~leaf:l.Enc_relation.label) l.Enc_relation.tids)
+  in
+  match enc.Enc_relation.leaves with
+  | [ l0; l1 ] ->
+    let t0 = slot_tids l0 and t1 = slot_tids l1 in
+    Alcotest.(check bool) "same tid sets" true
+      (List.sort compare t0 = List.sort compare t1);
+    Alcotest.(check bool) "different storage orders" true (t0 <> t1);
+    Alcotest.(check bool) "neither is identity" true
+      (t0 <> List.init (List.length t0) Fun.id || t1 <> List.init (List.length t1) Fun.id)
+  | _ -> Alcotest.fail "expected two leaves"
+
+let test_row_position_inverse () =
+  let _, _, client, enc = fixture () in
+  List.iter
+    (fun (l : Enc_relation.enc_leaf) ->
+      let n = l.Enc_relation.row_count in
+      for tid = 0 to n - 1 do
+        let slot = Enc_relation.row_position client ~leaf:l.Enc_relation.label ~rows:n tid in
+        Alcotest.(check int) "tid_at inverts row_position" tid
+          (Enc_relation.tid_at client ~leaf:l.Enc_relation.label ~rows:n slot);
+        Alcotest.(check int) "stored tid matches permutation" tid
+          (Enc_relation.decrypt_tid client ~leaf:l.Enc_relation.label
+             l.Enc_relation.tids.(slot))
+      done)
+    enc.Enc_relation.leaves
+
+let test_det_column_reveals_equality_only () =
+  let r, _, _, enc = fixture () in
+  let leaf = Enc_relation.find_leaf enc "p1" in
+  let col = Enc_relation.column leaf "ZipCode" in
+  let cts =
+    Array.to_list
+      (Array.map
+         (function Enc_relation.C_bytes b -> b | _ -> Alcotest.fail "expected bytes")
+         col.Enc_relation.cells)
+  in
+  let distinct = List.sort_uniq String.compare cts in
+  let plaintext_distinct =
+    List.sort_uniq compare (Array.to_list (Relation.column r "ZipCode"))
+  in
+  Alcotest.(check int) "ciphertext multiset mirrors plaintext multiset"
+    (List.length plaintext_distinct) (List.length distinct)
+
+let test_tokens () =
+  let _, _, client, enc = fixture () in
+  let leaf = Enc_relation.find_leaf enc "p1" in
+  let zip = Enc_relation.column leaf "ZipCode" in
+  (match
+     Enc_relation.eq_token client ~leaf:"p1" ~attr:"ZipCode" ~scheme:Scheme.Det
+       (Value.Int 94016)
+   with
+   | Some tok ->
+     let hits =
+       Array.fold_left
+         (fun acc cell -> if Enc_relation.cell_matches_eq tok cell then acc + 1 else acc)
+         0 zip.Enc_relation.cells
+     in
+     Alcotest.(check int) "det token matches exactly the equal cells" 2 hits
+   | None -> Alcotest.fail "expected a DET token");
+  (match
+     Enc_relation.range_token client ~leaf:"p1" ~attr:"Income" ~scheme:Scheme.Ope
+       ~lo:(Value.Int 80) ~hi:(Value.Int 120)
+   with
+   | Some tok ->
+     let income = Enc_relation.column leaf "Income" in
+     let hits =
+       Array.fold_left
+         (fun acc cell -> if Enc_relation.cell_in_range tok cell then acc + 1 else acc)
+         0 income.Enc_relation.cells
+     in
+     Alcotest.(check int) "range token hits 80..120" 3 hits
+   | None -> Alcotest.fail "expected an OPE range token");
+  Alcotest.(check bool) "ndet has no eq token" true
+    (Enc_relation.eq_token client ~leaf:"p0" ~attr:"State" ~scheme:Scheme.Ndet
+       (Value.Text "CA")
+    = None);
+  Alcotest.(check bool) "det has no range token" true
+    (Enc_relation.range_token client ~leaf:"p1" ~attr:"ZipCode" ~scheme:Scheme.Det
+       ~lo:(Value.Int 0) ~hi:(Value.Int 1)
+    = None)
+
+let test_phe_sum () =
+  let r = Helpers.example1_relation () in
+  let rep = [ Partition.leaf "agg" [ ("Income", Scheme.Phe); ("State", Scheme.Ndet);
+                                     ("ZipCode", Scheme.Det) ] ] in
+  let client = Enc_relation.make_client ~seed:6 ~relation_name:"agg" ~master:"m" () in
+  let enc = Enc_relation.encrypt client r rep in
+  let leaf = Enc_relation.find_leaf enc "agg" in
+  let c = Enc_relation.phe_sum enc leaf "Income" in
+  let expected = Snf_relational.Algebra.sum_int "Income" r in
+  let kp = Enc_relation.client_paillier client in
+  Alcotest.(check int) "homomorphic sum" expected
+    (Snf_bignum.Nat.to_int_exn (Snf_crypto.Paillier.decrypt kp c))
+
+let test_storage_model_consistency () =
+  let r, rep, _, enc = fixture () in
+  Alcotest.(check int) "simulation accounting matches measured bytes"
+    (Storage_model.representation_bytes Storage_model.Simulation r rep)
+    (Enc_relation.measured_bytes enc);
+  Alcotest.(check bool) "deployment dominates plaintext" true
+    (Storage_model.representation_bytes Storage_model.Deployment r rep
+    > Storage_model.relation_plaintext_bytes r)
+
+(* --- Planner -------------------------------------------------------------------- *)
+
+let test_planner_single_leaf () =
+  let _, rep, _, _ = fixture () in
+  let q = Query.point ~select:[ "Income" ] [ ("ZipCode", Value.Int 94016) ] in
+  match Planner.plan rep q with
+  | Ok p ->
+    Alcotest.(check int) "no join needed" 0 p.Planner.joins;
+    Alcotest.(check (list string)) "one leaf" [ "p1" ] p.Planner.leaves
+  | Error e -> Alcotest.fail e
+
+let test_planner_cross_leaf () =
+  let _, rep, _, _ = fixture () in
+  let q = Query.point ~select:[ "State" ] [ ("ZipCode", Value.Int 94016) ] in
+  match Planner.plan rep q with
+  | Ok p ->
+    Alcotest.(check int) "one join" 1 p.Planner.joins;
+    Alcotest.(check bool) "zip predicate homed at p1" true
+      (List.exists (fun (_, l) -> l = "p1") p.Planner.pred_home)
+  | Error e -> Alcotest.fail e
+
+let test_planner_infeasible () =
+  (* Predicate on an NDET-only attribute is not server-evaluable. *)
+  let rep = [ Partition.leaf "p0" [ ("State", Scheme.Ndet) ] ] in
+  let q = Query.point ~select:[ "State" ] [ ("State", Value.Text "CA") ] in
+  Alcotest.(check bool) "unsupported predicate rejected" true
+    (Result.is_error (Planner.plan rep q));
+  let q2 = Query.point ~select:[ "Ghost" ] [] in
+  Alcotest.(check bool) "unknown attribute rejected" true
+    (Result.is_error (Planner.plan rep q2))
+
+let test_planner_range_needs_order () =
+  let rep =
+    [ Partition.leaf "d" [ ("x", Scheme.Det) ]; Partition.leaf "o" [ ("x", Scheme.Ope) ] ]
+  in
+  let q = Query.range ~select:[ "x" ] [ ("x", Value.Int 0, Value.Int 5) ] in
+  match Planner.plan rep q with
+  | Ok p ->
+    Alcotest.(check (list string)) "range homed at the OPE copy" [ "o" ] p.Planner.leaves
+  | Error e -> Alcotest.fail e
+
+let test_planner_optimal_beats_greedy_cover () =
+  (* Greedy picks the wide leaf first; optimal with a leaf-count cost can
+     pick the same or better — check it returns a minimal cover. *)
+  let rep =
+    [ Partition.leaf "wide" [ ("a", Scheme.Det); ("b", Scheme.Det) ];
+      Partition.leaf "extra" [ ("c", Scheme.Det) ] ]
+  in
+  let q = Query.point ~select:[ "a"; "b"; "c" ] [] in
+  match Planner.plan ~selector:(`Optimal (fun p -> float_of_int (List.length p.Planner.leaves))) rep q with
+  | Ok p -> Alcotest.(check int) "two leaves suffice" 2 (List.length p.Planner.leaves)
+  | Error e -> Alcotest.fail e
+
+(* --- Oblivious_join ---------------------------------------------------------------- *)
+
+let test_join_indices () =
+  let _, _, client, enc = fixture () in
+  let a = Enc_relation.find_leaf enc "p0" and b = Enc_relation.find_leaf enc "p1" in
+  let stats = Oblivious_join.fresh_stats () in
+  let pairs = Oblivious_join.join_indices stats client a b in
+  Alcotest.(check int) "all tids match" 6 (Array.length pairs);
+  Array.iter
+    (fun (tid, ra, rb) ->
+      Alcotest.(check int) "left slot holds tid" tid
+        (Enc_relation.decrypt_tid client ~leaf:"p0" a.Enc_relation.tids.(ra));
+      Alcotest.(check int) "right slot holds tid" tid
+        (Enc_relation.decrypt_tid client ~leaf:"p1" b.Enc_relation.tids.(rb)))
+    pairs;
+  Alcotest.(check int) "one join charged" 1 stats.Oblivious_join.joins;
+  Alcotest.(check bool) "comparisons counted" true (stats.Oblivious_join.comparisons > 0);
+  (* masks hide rows *)
+  let mask = Array.make 6 false in
+  mask.(0) <- true;
+  let stats2 = Oblivious_join.fresh_stats () in
+  let masked = Oblivious_join.join_indices ~mask_a:mask stats2 client a b in
+  Alcotest.(check int) "mask filters output" 1 (Array.length masked);
+  Alcotest.(check int) "but the network always processes everything"
+    stats.Oblivious_join.comparisons stats2.Oblivious_join.comparisons
+
+let suite =
+  [ t "enc roundtrip" test_enc_roundtrip;
+    t "leaves shuffled independently" test_leaves_shuffled_independently;
+    t "row position inverse" test_row_position_inverse;
+    t "det mirrors equality only" test_det_column_reveals_equality_only;
+    t "predicate tokens" test_tokens;
+    t "phe sum" test_phe_sum;
+    t "storage model consistency" test_storage_model_consistency;
+    t "planner single leaf" test_planner_single_leaf;
+    t "planner cross leaf" test_planner_cross_leaf;
+    t "planner infeasible" test_planner_infeasible;
+    t "planner range needs order" test_planner_range_needs_order;
+    t "planner optimal cover" test_planner_optimal_beats_greedy_cover;
+    t "oblivious join indices" test_join_indices ]

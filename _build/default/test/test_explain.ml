@@ -1,0 +1,97 @@
+open Snf_core
+module Scheme = Snf_crypto.Scheme
+
+let t name f = Alcotest.test_case name `Quick f
+
+let fixture () =
+  (Helpers.example1_graph (), Helpers.example1_policy ())
+
+let strawman_violations () =
+  let g, policy = fixture () in
+  let rep = Strategy.strawman policy in
+  (g, policy, rep, Audit.violations g policy rep)
+
+let test_violation_text () =
+  let _, _, _, vs = strawman_violations () in
+  Alcotest.(check bool) "violations exist" true (vs <> []);
+  List.iter
+    (fun v ->
+      let s = Explain.violation_text v in
+      Alcotest.(check bool) "mentions the attribute" true
+        (String.length s > 0
+        &&
+        let needle = v.Audit.attr in
+        let rec contains i =
+          i + String.length needle <= String.length s
+          && (String.sub s i (String.length needle) = needle || contains (i + 1))
+        in
+        contains 0))
+    vs
+
+let test_repairs_verified () =
+  let g, policy, rep, vs = strawman_violations () in
+  List.iter
+    (fun v ->
+      let rs = Explain.repairs g policy rep v in
+      Alcotest.(check bool)
+        (Printf.sprintf "repairs exist for %s" v.Audit.attr)
+        true (rs <> []);
+      List.iter
+        (fun (_, rep', policy') ->
+          (* the specific violation is gone in the repaired representation *)
+          Alcotest.(check bool) "violation removed" true
+            (not
+               (List.exists
+                  (fun (v' : Audit.violation) ->
+                    v'.Audit.attr = v.Audit.attr && v'.Audit.channel = v.Audit.channel)
+                  (Audit.violations g policy' rep'))))
+        rs)
+    vs
+
+let test_repairs_converge_to_snf () =
+  (* Iteratively applying the first repair must reach SNF. *)
+  let g, policy, rep, _ = strawman_violations () in
+  let rec fix policy rep budget =
+    if budget = 0 then Alcotest.fail "repair loop did not converge"
+    else
+      match Audit.violations g policy rep with
+      | [] -> (policy, rep)
+      | v :: _ -> (
+        match Explain.repairs g policy rep v with
+        | (_, rep', policy') :: _ -> fix policy' rep' (budget - 1)
+        | [] -> Alcotest.fail "no repair offered")
+  in
+  let policy', rep' = fix policy rep 10 in
+  Alcotest.(check bool) "converged to SNF" true (Audit.is_snf g policy' rep');
+  Alcotest.(check bool) "still structurally valid" true
+    (Result.is_ok (Partition.validate policy' rep'))
+
+let test_separation_preferred () =
+  let g, policy, rep, vs = strawman_violations () in
+  match vs with
+  | v :: _ -> (
+    match Explain.repairs g policy rep v with
+    | (Explain.Separate _, _, policy') :: _ ->
+      (* separation keeps the owner's budget intact *)
+      Alcotest.(check bool) "policy unchanged by separation" true
+        (List.for_all
+           (fun a -> Policy.scheme_of policy a = Policy.scheme_of policy' a)
+           (Policy.attrs policy))
+    | _ -> Alcotest.fail "expected a separation repair first")
+  | [] -> Alcotest.fail "expected violations"
+
+let test_report () =
+  let g, policy, rep, _ = strawman_violations () in
+  let s = Explain.report g policy rep in
+  Alcotest.(check bool) "narrative produced" true (String.length s > 50);
+  let clean = Strategy.non_repeating g policy in
+  let s' = Explain.report g policy clean in
+  Alcotest.(check bool) "clean bill of health" true
+    (String.length s' > 0 && s' <> s)
+
+let suite =
+  [ t "violation text" test_violation_text;
+    t "repairs verified" test_repairs_verified;
+    t "repairs converge to SNF" test_repairs_converge_to_snf;
+    t "separation preferred" test_separation_preferred;
+    t "report" test_report ]

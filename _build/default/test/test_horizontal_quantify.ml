@@ -1,0 +1,148 @@
+open Snf_core
+open Snf_relational
+module Scheme = Snf_crypto.Scheme
+module Dep_graph = Snf_deps.Dep_graph
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* The paper's stockbroker scenario: Education and Income are correlated in
+   general but independent among brokers. Profession is DET (split key). *)
+let hospital_policy () =
+  Policy.create
+    [ ("Profession", Scheme.Det); ("Education", Scheme.Det); ("Income", Scheme.Ndet) ]
+
+let hospital_graph () =
+  let g = Dep_graph.create [ "Profession"; "Education"; "Income" ] in
+  let g = Dep_graph.declare_dependent g "Education" "Income" in
+  let g = Dep_graph.declare_independent g "Profession" "Education" in
+  let g = Dep_graph.declare_independent g "Profession" "Income" in
+  Dep_graph.declare_conditional_independent g
+    ~on:("Profession", Value.Text "broker")
+    "Education" "Income"
+
+let hospital_relation () =
+  let row p e i = [| Value.Text p; Value.Int e; Value.Int i |] in
+  Relation.create
+    (Schema.of_attributes
+       [ Attribute.text "Profession"; Attribute.int "Education"; Attribute.int "Income" ])
+    [ row "broker" 1 90; row "broker" 3 40; row "broker" 2 95;
+      row "nurse" 2 50; row "nurse" 2 55; row "teacher" 3 60; row "teacher" 3 62 ]
+
+let test_horizontal_partition () =
+  let g = hospital_graph () in
+  let policy = hospital_policy () in
+  let h =
+    Horizontal.partition g policy ~split_on:"Profession" ~values:[ Value.Text "broker" ]
+  in
+  Alcotest.(check bool) "horizontal rep is SNF" true (Horizontal.is_snf g policy h);
+  (* Inside the broker fragment Education/Income may stay together... *)
+  let broker_rep = (List.hd h.Horizontal.fragments).Horizontal.rep in
+  Alcotest.(check bool) "broker fragment co-locates edu and inc" true
+    (List.exists
+       (fun l -> Partition.mem_leaf l "Education" && Partition.mem_leaf l "Income")
+       broker_rep);
+  (* ...but the residual representation must separate them. *)
+  (match h.Horizontal.other with
+   | Some rest ->
+     Alcotest.(check bool) "residual separates them" false
+       (List.exists
+          (fun l -> Partition.mem_leaf l "Education" && Partition.mem_leaf l "Income")
+          rest)
+   | None -> Alcotest.fail "expected residual representation");
+  Alcotest.(check bool) "fragment saves leaves vs residual" true
+    (List.length broker_rep < match h.Horizontal.other with Some r -> List.length r | None -> 0)
+
+let test_horizontal_requires_weak_split_key () =
+  let policy =
+    Policy.create
+      [ ("Profession", Scheme.Ndet); ("Education", Scheme.Det); ("Income", Scheme.Ndet) ]
+  in
+  let g = hospital_graph () in
+  Alcotest.(check bool) "strong split key rejected" true
+    (try
+       ignore
+         (Horizontal.partition g policy ~split_on:"Profession"
+            ~values:[ Value.Text "broker" ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_horizontal_roundtrip () =
+  let g = hospital_graph () in
+  let policy = hospital_policy () in
+  let r = hospital_relation () in
+  let h =
+    Horizontal.partition g policy ~split_on:"Profession" ~values:[ Value.Text "broker" ]
+  in
+  let mats = Horizontal.materialize r h in
+  let back = Horizontal.reconstruct mats in
+  let order = List.sort String.compare (Schema.names (Relation.schema r)) in
+  Alcotest.(check bool) "union of fragments reconstructs" true
+    (Relation.equal_as_sets (Relation.project r order) back);
+  Alcotest.(check int) "total leaves counts fragments and residual"
+    (List.fold_left (fun acc (_, ms) -> acc + List.length ms) 0 mats
+     - 0)
+    (Horizontal.total_leaves h)
+
+(* --- Quantify ---------------------------------------------------------------- *)
+
+let skewed_relation () =
+  (* value 0 x4, value 1 x2, value 2 x2, value 3 x1: anonymity classes
+     {4} -> size 1, {2} -> size 2, {1} -> size 1. *)
+  Helpers.relation_of_int_rows [ "v" ]
+    [ [ 0 ]; [ 0 ]; [ 0 ]; [ 0 ]; [ 1 ]; [ 1 ]; [ 2 ]; [ 2 ]; [ 3 ] ]
+
+let test_entropy () =
+  let uniform = Helpers.relation_of_int_rows [ "v" ] [ [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ] ] in
+  Alcotest.(check bool) "uniform entropy = 2 bits" true
+    (Float.abs (Quantify.shannon_entropy uniform "v" -. 2.0) < 1e-9);
+  Alcotest.(check bool) "uniform normalized = 1" true
+    (Float.abs (Quantify.normalized_entropy uniform "v" -. 1.0) < 1e-9);
+  let constant = Helpers.relation_of_int_rows [ "v" ] [ [ 7 ]; [ 7 ]; [ 7 ] ] in
+  Alcotest.(check bool) "constant entropy = 0" true
+    (Quantify.shannon_entropy constant "v" = 0.0)
+
+let test_frequency_classes () =
+  let r = skewed_relation () in
+  Alcotest.(check int) "anonymity = worst class" 1 (Quantify.frequency_anonymity r "v");
+  Alcotest.(check bool) "not 2-deniable" false (Quantify.deniable ~k:2 r "v");
+  let classes = Quantify.frequency_classes r "v" in
+  Alcotest.(check bool) "class (2, 2) present" true (List.mem (2, 2) classes);
+  (* expected recovery: freq-4 unique (4 cells), freq-1 unique (1 cell),
+     freq-2 class of two values (4 cells at 1/2) -> (4 + 1 + 2) / 9 *)
+  Alcotest.(check bool) "recovery rate" true
+    (Float.abs (Quantify.recovery_rate r "v" -. (7.0 /. 9.0)) < 1e-9)
+
+let test_deniable_uniformish () =
+  (* 4 values, each appearing twice: every class has 4 members. *)
+  let r = Helpers.relation_of_int_rows [ "v" ] [ [0]; [0]; [1]; [1]; [2]; [2]; [3]; [3] ] in
+  Alcotest.(check int) "anonymity 4" 4 (Quantify.frequency_anonymity r "v");
+  Alcotest.(check bool) "4-deniable" true (Quantify.deniable ~k:4 r "v");
+  Alcotest.(check bool) "recovery = 1/4" true
+    (Float.abs (Quantify.recovery_rate r "v" -. 0.25) < 1e-9)
+
+let test_quantified_strategy () =
+  (* a(DET) ~ b(NDET). Symbolically never co-locatable; with b deniable at
+     k = 3 in the data, the relaxed strategy merges them. *)
+  let policy = Policy.create [ ("a", Scheme.Det); ("b", Scheme.Ndet) ] in
+  let g = Dep_graph.create [ "a"; "b" ] in
+  let g = Dep_graph.declare_dependent g "a" "b" in
+  let data =
+    Helpers.relation_of_int_rows [ "a"; "b" ]
+      [ [ 0; 0 ]; [ 0; 1 ]; [ 1; 2 ]; [ 1; 3 ]; [ 2; 4 ]; [ 2; 5 ] ]
+  in
+  (* every b value occurs once: anonymity set = 6 *)
+  let strictly = Strategy.non_repeating g policy in
+  Alcotest.(check int) "strict separates" 2 (List.length strictly);
+  let relaxed = Quantify.Strategy_quantified.non_repeating ~k:3 data g policy in
+  Alcotest.(check int) "relaxed co-locates" 1 (List.length relaxed);
+  let too_strict = Quantify.Strategy_quantified.non_repeating ~k:7 data g policy in
+  Alcotest.(check int) "k above anonymity separates again" 2 (List.length too_strict)
+
+let suite =
+  [ t "horizontal partition" test_horizontal_partition;
+    t "horizontal requires weak split key" test_horizontal_requires_weak_split_key;
+    t "horizontal roundtrip" test_horizontal_roundtrip;
+    t "entropy" test_entropy;
+    t "frequency classes" test_frequency_classes;
+    t "deniability uniformish" test_deniable_uniformish;
+    t "quantified strategy" test_quantified_strategy ]

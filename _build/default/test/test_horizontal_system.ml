@@ -1,0 +1,123 @@
+open Snf_relational
+open Snf_exec
+module Scheme = Snf_crypto.Scheme
+module Dep_graph = Snf_deps.Dep_graph
+
+let t name f = Alcotest.test_case name `Quick f
+
+let checkup = Value.Text "checkup"
+
+(* Same hospital scenario as test_horizontal_quantify, sized up a bit. *)
+let relation () =
+  let row v d m w = [| Value.Text v; Value.Text d; Value.Text m; Value.Int w |] in
+  Relation.create
+    (Schema.of_attributes
+       [ Attribute.text "VisitType"; Attribute.text "Diagnosis";
+         Attribute.text "Medication"; Attribute.int "Ward" ])
+    [ row "checkup" "healthy" "none" 1; row "checkup" "healthy" "none" 2;
+      row "checkup" "hypertension" "none" 3; row "checkup" "diabetes" "none" 4;
+      row "admission" "pneumonia" "antibiotic-a" 1;
+      row "admission" "pneumonia" "antibiotic-a" 2;
+      row "admission" "diabetes" "insulin" 3;
+      row "admission" "hypertension" "beta-blocker" 4;
+      row "emergency" "fracture" "analgesic" 1;
+      row "emergency" "appendicitis" "antibiotic-b" 2 ]
+
+let policy () =
+  Snf_core.Policy.create
+    [ ("VisitType", Scheme.Det); ("Diagnosis", Scheme.Det);
+      ("Medication", Scheme.Ndet); ("Ward", Scheme.Ndet) ]
+
+let graph () =
+  let g = Dep_graph.create [ "VisitType"; "Diagnosis"; "Medication"; "Ward" ] in
+  let g = Dep_graph.declare_dependent g "Diagnosis" "Medication" in
+  let g = Dep_graph.declare_independent g "Diagnosis" "Ward" in
+  let g = Dep_graph.declare_independent g "VisitType" "Diagnosis" in
+  let g = Dep_graph.declare_independent g "VisitType" "Medication" in
+  let g = Dep_graph.declare_independent g "VisitType" "Ward" in
+  let g = Dep_graph.declare_independent g "Medication" "Ward" in
+  Dep_graph.declare_conditional_independent g ~on:("VisitType", checkup)
+    "Diagnosis" "Medication"
+
+let hsys () =
+  let g = graph () and policy = policy () in
+  let h =
+    Snf_core.Horizontal.partition g policy ~split_on:"VisitType" ~values:[ checkup ]
+  in
+  Horizontal_system.outsource ~name:"hosp" (relation ()) policy h
+
+let test_routing () =
+  let hs = hsys () in
+  Alcotest.(check int) "fragment + residual" 2 (Horizontal_system.fragment_count hs);
+  let pinned =
+    Query.point ~select:[ "Diagnosis" ]
+      [ ("VisitType", checkup); ("Diagnosis", Value.Text "healthy") ]
+  in
+  (match Horizontal_system.routed_to hs pinned with
+   | `Fragment v -> Alcotest.(check bool) "routed to checkup" true (Value.equal v checkup)
+   | `Fan_out -> Alcotest.fail "expected routing");
+  let unpinned = Query.point ~select:[ "Diagnosis" ] [ ("Diagnosis", Value.Text "diabetes") ] in
+  (match Horizontal_system.routed_to hs unpinned with
+   | `Fan_out -> ()
+   | `Fragment _ -> Alcotest.fail "expected fan-out");
+  (* pinning to a non-fragment value fans out too (rows live in residual) *)
+  let other = Query.point ~select:[ "Diagnosis" ] [ ("VisitType", Value.Text "emergency") ] in
+  (match Horizontal_system.routed_to hs other with
+   | `Fan_out -> ()
+   | `Fragment _ -> Alcotest.fail "expected fan-out for residual value")
+
+let test_routed_query_is_single_segment () =
+  let hs = hsys () in
+  let q =
+    Query.point ~select:[ "Medication" ]
+      [ ("VisitType", checkup); ("Diagnosis", Value.Text "healthy") ]
+  in
+  match Horizontal_system.query hs q with
+  | Ok (ans, traces) ->
+    Alcotest.(check int) "one segment executed" 1 (List.length traces);
+    Alcotest.(check int) "two healthy checkups" 2 (Relation.cardinality ans);
+    (* fragment-local: Diagnosis and Medication co-located there *)
+    Alcotest.(check int) "no joins inside the fragment" 0
+      (List.hd traces).Executor.plan.Planner.joins;
+    Alcotest.(check bool) "verified" true (Horizontal_system.verify hs q)
+  | Error e -> Alcotest.fail e
+
+let test_fanout_query () =
+  let hs = hsys () in
+  let q = Query.point ~select:[ "Ward" ] [ ("Diagnosis", Value.Text "diabetes") ] in
+  match Horizontal_system.query hs q with
+  | Ok (ans, traces) ->
+    Alcotest.(check int) "both segments executed" 2 (List.length traces);
+    Alcotest.(check int) "diabetes rows from both fragments" 2 (Relation.cardinality ans);
+    Alcotest.(check bool) "verified" true (Horizontal_system.verify hs q)
+  | Error e -> Alcotest.fail e
+
+let test_all_modes () =
+  let hs = hsys () in
+  let queries =
+    [ Query.point ~select:[ "Medication"; "Ward" ] [ ("Diagnosis", Value.Text "pneumonia") ];
+      Query.point ~select:[ "Diagnosis" ] [ ("VisitType", checkup) ];
+      Query.point ~select:[ "Ward" ] [ ("Diagnosis", Value.Text "no-such") ] ]
+  in
+  List.iter
+    (fun q ->
+      List.iter
+        (fun mode ->
+          Alcotest.(check bool)
+            (Format.asprintf "%a" Query.pp q)
+            true
+            (Horizontal_system.verify ~mode hs q))
+        [ `Sort_merge; `Oram; `Binning 2 ])
+    queries
+
+let test_storage_accounting () =
+  let hs = hsys () in
+  Alcotest.(check bool) "positive storage" true
+    (Horizontal_system.storage_bytes Storage_model.Deployment hs > 0)
+
+let suite =
+  [ t "routing" test_routing;
+    t "routed query single segment" test_routed_query_is_single_segment;
+    t "fan-out query" test_fanout_query;
+    t "all modes verified" test_all_modes;
+    t "storage accounting" test_storage_accounting ]

@@ -1,0 +1,125 @@
+open Snf_relational
+open Snf_exec
+module Scheme = Snf_crypto.Scheme
+
+let t name f = Alcotest.test_case name `Quick f
+
+let owner () =
+  System.outsource ~name:"idx" (Helpers.example1_relation ())
+    (Helpers.example1_policy ())
+    ~graph:(Helpers.example1_graph ())
+
+let test_index_construction () =
+  let o = owner () in
+  let enc = o.System.enc in
+  (* ZipCode is DET: indexable. *)
+  let zip_leaf =
+    List.find
+      (fun (l : Enc_relation.enc_leaf) ->
+        List.exists (fun c -> c.Enc_relation.attr = "ZipCode") l.Enc_relation.columns)
+      enc.Enc_relation.leaves
+  in
+  (match Enc_relation.eq_index enc ~leaf:zip_leaf.Enc_relation.label ~attr:"ZipCode" with
+   | Some idx ->
+     Alcotest.(check int) "four distinct zips" 4 (Hashtbl.length idx);
+     let total = Hashtbl.fold (fun _ slots acc -> acc + List.length slots) idx 0 in
+     Alcotest.(check int) "all slots indexed" 6 total
+   | None -> Alcotest.fail "expected a DET index");
+  (* memoized *)
+  Alcotest.(check int) "cache populated" 1 (Hashtbl.length enc.Enc_relation.index_cache);
+  (* NDET State is not indexable *)
+  let state_leaf =
+    List.find
+      (fun (l : Enc_relation.enc_leaf) ->
+        List.exists (fun c -> c.Enc_relation.attr = "State") l.Enc_relation.columns)
+      enc.Enc_relation.leaves
+  in
+  Alcotest.(check bool) "ndet not indexable" true
+    (Enc_relation.eq_index enc ~leaf:state_leaf.Enc_relation.label ~attr:"State" = None)
+
+let test_indexed_queries_agree () =
+  let o = owner () in
+  let queries =
+    [ Query.point ~select:[ "State" ] [ ("ZipCode", Value.Int 94016) ];
+      Query.point ~select:[ "Income" ] [ ("Income", Value.Int 70) ] (* OPE point *);
+      Query.point ~select:[ "State" ] [ ("ZipCode", Value.Int 99999) ] (* empty *) ]
+  in
+  List.iter
+    (fun q ->
+      Alcotest.(check bool)
+        (Format.asprintf "indexed: %a" Query.pp q)
+        true
+        (System.verify o q && System.verify ~mode:`Oram o q
+        &&
+        match System.query ~use_index:true o q with
+        | Ok (ans, _) ->
+          Helpers.bag ans = Helpers.bag (System.reference o q)
+        | Error _ -> false))
+    queries
+
+let test_index_reduces_scanning () =
+  let o = owner () in
+  let q = Query.point ~select:[ "State" ] [ ("ZipCode", Value.Int 94016) ] in
+  let scanned use_index =
+    match System.query ~use_index o q with
+    | Ok (_, tr) -> (tr.Executor.scanned_cells, tr.Executor.index_probes)
+    | Error e -> Alcotest.fail e
+  in
+  let scan_cells, scan_probes = scanned false in
+  let idx_cells, idx_probes = scanned true in
+  Alcotest.(check int) "scan evaluates every cell" 6 scan_cells;
+  Alcotest.(check int) "no probes without index" 0 scan_probes;
+  Alcotest.(check int) "index eliminates the scan" 0 idx_cells;
+  Alcotest.(check bool) "probe cost = hits + 1" true (idx_probes = 3)
+
+let test_range_predicates_still_scan () =
+  let o = owner () in
+  let q = Query.range ~select:[ "State" ] [ ("Income", Value.Int 60, Value.Int 100) ] in
+  match System.query ~use_index:true o q with
+  | Ok (_, tr) ->
+    Alcotest.(check bool) "range scans even with indexes on" true
+      (tr.Executor.scanned_cells > 0 && tr.Executor.index_probes = 0);
+    Alcotest.(check bool) "verified" true (System.verify o q)
+  | Error e -> Alcotest.fail e
+
+let prop_indexed_equals_scanned =
+  Helpers.qtest ~count:60 "indexed and scanned execution agree on random data"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 25) (pair (int_bound 4) (int_bound 4)))
+        (int_bound 4))
+    (fun (rows, needle) ->
+      let r =
+        Helpers.relation_of_int_rows [ "k"; "v" ]
+          (List.map (fun (k, v) -> [ k; v ]) rows)
+      in
+      let policy =
+        Snf_core.Policy.create [ ("k", Scheme.Det); ("v", Scheme.Ndet) ]
+      in
+      let g = Snf_deps.Dep_graph.create [ "k"; "v" ] in
+      let g = Snf_deps.Dep_graph.declare_dependent g "k" "v" in
+      let o = System.outsource ~name:"p" ~graph:g r policy in
+      let q = Query.point ~select:[ "v" ] [ ("k", Value.Int needle) ] in
+      match (System.query ~use_index:true o q, System.query o q) with
+      | Ok (a, _), Ok (b, _) -> Helpers.bag a = Helpers.bag b
+      | _ -> false)
+
+let test_index_with_oram_mode () =
+  (* indexes apply to the server filtering stage regardless of the
+     reconstruction mechanism *)
+  let o = owner () in
+  let q = Query.point ~select:[ "State" ] [ ("ZipCode", Value.Int 94016) ] in
+  match System.query ~mode:`Oram ~use_index:true o q with
+  | Ok (ans, tr) ->
+    Alcotest.(check int) "two rows" 2 (Relation.cardinality ans);
+    Alcotest.(check bool) "index used" true (tr.Executor.index_probes > 0);
+    Alcotest.(check bool) "oram used" true (tr.Executor.oram_bucket_touches > 0)
+  | Error e -> Alcotest.fail e
+
+let suite =
+  [ t "index construction" test_index_construction;
+    t "indexed queries agree" test_indexed_queries_agree;
+    t "index reduces scanning" test_index_reduces_scanning;
+    t "ranges still scan" test_range_predicates_still_scan;
+    prop_indexed_equals_scanned;
+    t "index with oram mode" test_index_with_oram_mode ]

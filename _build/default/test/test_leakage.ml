@@ -1,0 +1,111 @@
+open Snf_core
+module Scheme = Snf_crypto.Scheme
+
+let t name f = Alcotest.test_case name `Quick f
+
+let kind = Alcotest.testable Leakage.pp_kind Leakage.equal_kind
+
+let kinds = Leakage.[ Nothing; Equality; Order; Full ]
+
+let kind_gen = QCheck2.Gen.oneofl kinds
+
+let test_lattice_order () =
+  Alcotest.(check bool) "nothing bottom" true
+    (List.for_all (fun k -> Leakage.leq Leakage.Nothing k) kinds);
+  Alcotest.(check bool) "full top" true
+    (List.for_all (fun k -> Leakage.leq k Leakage.Full) kinds);
+  Alcotest.(check bool) "equality below order" true
+    (Leakage.leq Leakage.Equality Leakage.Order);
+  Alcotest.(check bool) "order not below equality" false
+    (Leakage.leq Leakage.Order Leakage.Equality)
+
+let prop_join_lub =
+  Helpers.qtest "join is the least upper bound" (QCheck2.Gen.pair kind_gen kind_gen)
+    (fun (a, b) ->
+      let j = Leakage.join a b in
+      Leakage.leq a j && Leakage.leq b j
+      && List.for_all
+           (fun u -> if Leakage.leq a u && Leakage.leq b u then Leakage.leq j u else true)
+           kinds)
+
+let prop_join_assoc =
+  Helpers.qtest "join associative/commutative/idempotent"
+    (QCheck2.Gen.triple kind_gen kind_gen kind_gen)
+    (fun (a, b, c) ->
+      Leakage.(
+        equal_kind (join a (join b c)) (join (join a b) c)
+        && equal_kind (join a b) (join b a)
+        && equal_kind (join a a) a))
+
+let test_of_scheme () =
+  Alcotest.check kind "ndet" Leakage.Nothing (Leakage.of_scheme Scheme.Ndet);
+  Alcotest.check kind "phe" Leakage.Nothing (Leakage.of_scheme Scheme.Phe);
+  Alcotest.check kind "det" Leakage.Equality (Leakage.of_scheme Scheme.Det);
+  Alcotest.check kind "ope" Leakage.Order (Leakage.of_scheme Scheme.Ope);
+  Alcotest.check kind "ore" Leakage.Order (Leakage.of_scheme Scheme.Ore);
+  Alcotest.check kind "plain" Leakage.Full (Leakage.of_scheme Scheme.Plain)
+
+let prop_strongest_scheme_galois =
+  Helpers.qtest "strongest_scheme_for realises exactly the kind" kind_gen (fun k ->
+      Leakage.equal_kind k (Leakage.of_scheme (Leakage.strongest_scheme_for k)))
+
+let test_facets () =
+  Alcotest.(check int) "nothing leaks no facet" 0 (List.length (Leakage.facets Leakage.Nothing));
+  Alcotest.(check bool) "equality leaks distribution" true
+    (List.mem Leakage.Distribution (Leakage.facets Leakage.Equality));
+  Alcotest.(check bool) "equality hides association" false
+    (List.mem Leakage.Association (Leakage.facets Leakage.Equality));
+  Alcotest.(check bool) "order adds association" true
+    (List.mem Leakage.Association (Leakage.facets Leakage.Order))
+
+let prop_facets_monotone =
+  Helpers.qtest "facets grow with the lattice" (QCheck2.Gen.pair kind_gen kind_gen)
+    (fun (a, b) ->
+      if Leakage.leq a b then
+        List.for_all (fun f -> List.mem f (Leakage.facets b)) (Leakage.facets a)
+      else true)
+
+let test_assignment () =
+  let open Leakage in
+  let e k = { kind = k; provenance = Direct } in
+  let a = Assignment.singleton "x" (e Equality) in
+  Alcotest.check kind "kind_of present" Equality (Assignment.kind_of a "x");
+  Alcotest.check kind "kind_of absent" Nothing (Assignment.kind_of a "y");
+  let a = Assignment.update_join a "x" { kind = Order; provenance = Inferred [ "z"; "x" ] } in
+  Alcotest.check kind "join raised" Order (Assignment.kind_of a "x");
+  let a2 = Assignment.update_join a "x" (e Equality) in
+  Alcotest.check kind "join keeps max" Order (Assignment.kind_of a2 "x");
+  let b = Assignment.singleton "y" (e Full) in
+  let m = Assignment.merge a b in
+  Alcotest.(check bool) "merge dominates both" true
+    (Assignment.dominated_by a m && Assignment.dominated_by b m);
+  Alcotest.(check bool) "dominated_by strict" false (Assignment.dominated_by m a)
+
+let test_policy () =
+  let p = Helpers.example1_policy () in
+  Alcotest.check kind "permissible state" Leakage.Nothing (Policy.permissible p "State");
+  Alcotest.check kind "permissible zip" Leakage.Equality (Policy.permissible p "ZipCode");
+  Alcotest.(check (list string)) "weak attrs" [ "ZipCode"; "Income" ] (Policy.weak_attrs p);
+  Alcotest.(check (list string)) "strong attrs" [ "State" ] (Policy.strong_attrs p);
+  Alcotest.(check bool) "allows within" true (Policy.allows p "ZipCode" Leakage.Equality);
+  Alcotest.(check bool) "forbids beyond" false (Policy.allows p "ZipCode" Leakage.Order);
+  let p2 = Policy.strengthen p "ZipCode" Scheme.Ndet in
+  Alcotest.check kind "strengthened" Leakage.Nothing (Policy.permissible p2 "ZipCode");
+  Alcotest.check_raises "duplicate attr"
+    (Invalid_argument "Policy.create: duplicate attribute \"a\"") (fun () ->
+      ignore (Policy.create [ ("a", Scheme.Det); ("a", Scheme.Ndet) ]));
+  let schema = Helpers.schema_of_names [ "u"; "v" ] in
+  let p3 = Policy.of_schema ~default:Scheme.Ndet ~overrides:[ ("v", Scheme.Det) ] schema in
+  Alcotest.(check bool) "of_schema default" true (Policy.scheme_of p3 "u" = Scheme.Ndet);
+  Alcotest.(check bool) "of_schema override" true (Policy.scheme_of p3 "v" = Scheme.Det)
+
+let suite =
+  [ t "lattice order" test_lattice_order;
+    prop_join_lub;
+    prop_join_assoc;
+    t "of_scheme" test_of_scheme;
+    prop_strongest_scheme_galois;
+    t "facets" test_facets;
+    prop_facets_monotone;
+    t "assignment" test_assignment;
+    t "policy" test_policy ]

@@ -1,0 +1,199 @@
+open Snf_relational
+open Snf_exec
+module Scheme = Snf_crypto.Scheme
+module Dep_graph = Snf_deps.Dep_graph
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* customers(cid, city, tier) / orders(oid, cid, amount) *)
+let customers () =
+  Relation.create
+    (Schema.of_attributes
+       [ Attribute.int "cid"; Attribute.text "city"; Attribute.int "tier" ])
+    [ [| Value.Int 1; Value.Text "sf"; Value.Int 1 |];
+      [| Value.Int 2; Value.Text "ny"; Value.Int 2 |];
+      [| Value.Int 3; Value.Text "sf"; Value.Int 1 |];
+      [| Value.Int 4; Value.Text "la"; Value.Int 3 |] ]
+
+let orders () =
+  Relation.create
+    (Schema.of_attributes
+       [ Attribute.int "oid"; Attribute.int "cid"; Attribute.int "amount" ])
+    [ [| Value.Int 10; Value.Int 1; Value.Int 250 |];
+      [| Value.Int 11; Value.Int 1; Value.Int 80 |];
+      [| Value.Int 12; Value.Int 2; Value.Int 40 |];
+      [| Value.Int 13; Value.Int 3; Value.Int 99 |];
+      [| Value.Int 14; Value.Int 9; Value.Int 7 |] (* dangling fk *) ]
+
+let db ?(orders_cid = Scheme.Det) () =
+  let cust_policy =
+    Snf_core.Policy.create
+      [ ("cid", Scheme.Det); ("city", Scheme.Det); ("tier", Scheme.Ope) ]
+  in
+  let ord_policy =
+    Snf_core.Policy.create
+      [ ("oid", Scheme.Ndet); ("cid", orders_cid); ("amount", Scheme.Ope) ]
+  in
+  let cg = Dep_graph.create [ "cid"; "city"; "tier" ] in
+  let cg = Dep_graph.declare_independent cg "cid" "city" in
+  let cg = Dep_graph.declare_independent cg "cid" "tier" in
+  let cg = Dep_graph.declare_independent cg "city" "tier" in
+  let og = Dep_graph.create [ "oid"; "cid"; "amount" ] in
+  let og = Dep_graph.declare_independent og "oid" "cid" in
+  let og = Dep_graph.declare_independent og "oid" "amount" in
+  let og = Dep_graph.declare_independent og "cid" "amount" in
+  Multi.outsource
+    [ ("customers", customers (), cust_policy, Some cg);
+      ("orders", orders (), ord_policy, Some og) ]
+
+let spec () =
+  { Multi.left = "customers";
+    right = "orders";
+    on = ("cid", "cid");
+    select = [ ("customers", "city"); ("orders", "amount"); ("customers", "cid") ];
+    where = [ ("customers", Query.Point ("city", Value.Text "sf")) ] }
+
+let test_join_matches_reference () =
+  let db = db () in
+  List.iter
+    (fun (name, mode) ->
+      Alcotest.(check bool) (Printf.sprintf "join verified (%s)" name) true
+        (Multi.verify_join ~mode db (spec ())))
+    [ ("sort-merge", `Sort_merge); ("oram", `Oram); ("binning", `Binning 2) ]
+
+let test_join_contents () =
+  let db = db () in
+  match Multi.join db (spec ()) with
+  | Error e -> Alcotest.fail e
+  | Ok (ans, trace) ->
+    (* sf customers: cid 1 (2 orders), cid 3 (1 order) -> 3 rows *)
+    Alcotest.(check int) "three joined rows" 3 (Relation.cardinality ans);
+    Alcotest.(check (list string)) "qualified output schema"
+      [ "customers.city"; "orders.amount"; "customers.cid" ]
+      (Schema.names (Relation.schema ans));
+    Alcotest.(check int) "result rows in trace" 3 trace.Multi.result_rows;
+    Alcotest.(check bool) "join comparisons counted" true (trace.Multi.join_comparisons > 0);
+    let amounts =
+      Relation.column ans "orders.amount" |> Array.to_list
+      |> List.map Value.to_int_exn |> List.sort compare
+    in
+    Alcotest.(check (list int)) "amounts" [ 80; 99; 250 ] amounts
+
+let test_join_with_both_side_predicates () =
+  let db = db () in
+  let s =
+    { (spec ()) with
+      Multi.where =
+        [ ("customers", Query.Point ("city", Value.Text "sf"));
+          ("orders", Query.Range ("amount", Value.Int 90, Value.Int 300)) ] }
+  in
+  match Multi.join db s with
+  | Error e -> Alcotest.fail e
+  | Ok (ans, _) ->
+    Alcotest.(check int) "filtered to 2 rows" 2 (Relation.cardinality ans);
+    Alcotest.(check bool) "verified" true (Multi.verify_join db s)
+
+let test_join_empty_and_dangling () =
+  let db = db () in
+  let s =
+    { (spec ()) with
+      Multi.where = [ ("customers", Query.Point ("city", Value.Text "tokyo")) ] }
+  in
+  (match Multi.join db s with
+   | Ok (ans, _) -> Alcotest.(check int) "no matches" 0 (Relation.cardinality ans)
+   | Error e -> Alcotest.fail e);
+  (* dangling fk (cid 9) must not appear even without predicates *)
+  let s2 = { (spec ()) with Multi.where = [] } in
+  match Multi.join db s2 with
+  | Ok (ans, _) ->
+    Alcotest.(check int) "4 matched orders of 5" 4 (Relation.cardinality ans);
+    Alcotest.(check bool) "verified" true (Multi.verify_join db s2)
+  | Error e -> Alcotest.fail e
+
+let test_spec_validation () =
+  let db = db () in
+  let bad rels = Result.is_error (Multi.join db rels) in
+  Alcotest.(check bool) "unknown relation" true
+    (bad { (spec ()) with Multi.left = "ghosts" });
+  Alcotest.(check bool) "self join" true
+    (bad { (spec ()) with Multi.right = "customers" });
+  Alcotest.(check bool) "foreign projection" true
+    (bad { (spec ()) with Multi.select = [ ("items", "x") ] });
+  Alcotest.(check bool) "empty projection" true
+    (bad { (spec ()) with Multi.select = [] })
+
+let test_cross_audit () =
+  (* Both fk copies DET -> linkable across relations. *)
+  let db_leaky = db () in
+  let g =
+    Dep_graph.create
+      [ "customers.cid"; "customers.city"; "orders.cid"; "orders.amount" ]
+  in
+  let g = Dep_graph.declare_dependent g "customers.cid" "orders.cid" in
+  let violations = Multi.cross_audit db_leaky g in
+  Alcotest.(check int) "fk pair reported" 1 (List.length violations);
+  (match violations with
+   | [ v ] ->
+     Alcotest.(check bool) "names the fk pair" true
+       (v.Multi.left = ("customers", "cid") && v.Multi.right = ("orders", "cid"))
+   | _ -> Alcotest.fail "unexpected");
+  Alcotest.(check bool) "not cross-SNF" false (Multi.is_cross_snf db_leaky g);
+  (* Strengthening one side fixes it. *)
+  let db_safe = db ~orders_cid:Scheme.Ndet () in
+  Alcotest.(check int) "no violation after strengthening" 0
+    (List.length (Multi.cross_audit db_safe g));
+  (* ...and the enclave-routed join still works. *)
+  Alcotest.(check bool) "join still verified" true (Multi.verify_join db_safe (spec ()))
+
+let prop_random_joins =
+  Helpers.qtest ~count:40 "random fk instances: secure join = plaintext join"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 12) (pair (int_bound 5) (int_bound 3)))
+        (list_size (int_range 1 15) (pair (int_bound 8) (int_bound 50))))
+    (fun (cust_rows, ord_rows) ->
+      let customers =
+        Relation.create
+          (Schema.of_attributes [ Attribute.int "cid"; Attribute.int "seg" ])
+          (List.mapi (fun i (_, seg) -> [| Value.Int i; Value.Int seg |]) cust_rows)
+      in
+      let orders =
+        Relation.create
+          (Schema.of_attributes [ Attribute.int "cid"; Attribute.int "amount" ])
+          (List.map
+             (fun (cid, amount) -> [| Value.Int cid; Value.Int amount |])
+             ord_rows)
+      in
+      let pol_c =
+        Snf_core.Policy.create [ ("cid", Scheme.Det); ("seg", Scheme.Det) ]
+      in
+      let pol_o =
+        Snf_core.Policy.create [ ("cid", Scheme.Det); ("amount", Scheme.Ope) ]
+      in
+      let gi names =
+        let g = Dep_graph.create names in
+        List.fold_left
+          (fun g (a, b) -> Dep_graph.declare_independent g a b)
+          g
+          (match names with [ a; b ] -> [ (a, b) ] | _ -> [])
+      in
+      let db =
+        Multi.outsource
+          [ ("customers", customers, pol_c, Some (gi [ "cid"; "seg" ]));
+            ("orders", orders, pol_o, Some (gi [ "cid"; "amount" ])) ]
+      in
+      Multi.verify_join db
+        { Multi.left = "customers";
+          right = "orders";
+          on = ("cid", "cid");
+          select = [ ("customers", "seg"); ("orders", "amount") ];
+          where = [] })
+
+let suite =
+  [ t "join matches reference in all modes" test_join_matches_reference;
+    t "join contents" test_join_contents;
+    t "join with predicates on both sides" test_join_with_both_side_predicates;
+    t "join empty and dangling fk" test_join_empty_and_dangling;
+    t "spec validation" test_spec_validation;
+    t "cross-relation audit" test_cross_audit;
+    prop_random_joins ]

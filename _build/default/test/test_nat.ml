@@ -1,0 +1,172 @@
+open Snf_bignum
+
+let nat = Alcotest.testable Nat.pp Nat.equal
+
+let of_i = Nat.of_int
+
+let t name f = Alcotest.test_case name `Quick f
+
+let test_conversions () =
+  Alcotest.check nat "of_int 0" Nat.zero (of_i 0);
+  Alcotest.(check string) "to_string" "123456789" (Nat.to_string (of_i 123456789));
+  Alcotest.check nat "of_string" (of_i 98765) (Nat.of_string "98765");
+  Alcotest.(check (option int)) "roundtrip int" (Some 424242) (Nat.to_int_opt (of_i 424242));
+  let big = Nat.of_string "123456789012345678901234567890" in
+  Alcotest.(check string) "big decimal roundtrip" "123456789012345678901234567890"
+    (Nat.to_string big);
+  Alcotest.(check (option int)) "big overflows int" None (Nat.to_int_opt big)
+
+let test_bytes () =
+  let n = Nat.of_string "1311768467463790320" (* 0x1234567890abcdf0 *) in
+  let b = Nat.to_bytes_be n in
+  Alcotest.check nat "bytes roundtrip" n (Nat.of_bytes_be b);
+  Alcotest.check nat "leading zeros ignored" n (Nat.of_bytes_be ("\x00\x00" ^ b));
+  Alcotest.(check string) "zero is empty" "" (Nat.to_bytes_be Nat.zero)
+
+let test_arithmetic () =
+  let a = Nat.of_string "999999999999999999999999" in
+  let b = Nat.of_string "1000000000000000000000001" in
+  Alcotest.(check string) "add" "2000000000000000000000000" (Nat.to_string (Nat.add a b));
+  Alcotest.(check string) "sub" "2" (Nat.to_string (Nat.sub b a));
+  Alcotest.(check string) "mul"
+    "999999999999999999999999999999999999999999999999"
+    (Nat.to_string (Nat.mul a b));
+  Alcotest.check_raises "sub negative" (Invalid_argument "Nat.sub: negative result")
+    (fun () -> ignore (Nat.sub a b))
+
+let test_divmod () =
+  let a = Nat.of_string "123456789012345678901234567890" in
+  let b = Nat.of_string "987654321" in
+  let q, r = Nat.divmod a b in
+  Alcotest.check nat "a = q*b + r" a (Nat.add (Nat.mul q b) r);
+  Alcotest.(check bool) "r < b" true (Nat.compare r b < 0);
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Nat.divmod a Nat.zero))
+
+let test_shifts () =
+  let a = of_i 12345 in
+  Alcotest.check nat "shl/shr" a (Nat.shift_right (Nat.shift_left a 53) 53);
+  Alcotest.check nat "shl = mul 2^k" (Nat.mul a (of_i 1024)) (Nat.shift_left a 10);
+  Alcotest.(check int) "bit_length 0" 0 (Nat.bit_length Nat.zero);
+  Alcotest.(check int) "bit_length 255" 8 (Nat.bit_length (of_i 255));
+  Alcotest.(check int) "bit_length 256" 9 (Nat.bit_length (of_i 256))
+
+let test_modular () =
+  let m = of_i 1000003 in
+  let a = of_i 123456 in
+  Alcotest.check nat "pow_mod small" (of_i 1)
+    (Nat.pow_mod a (Nat.pred m) m) (* Fermat: m prime *);
+  (match Nat.mod_inverse a m with
+   | Some inv -> Alcotest.check nat "inverse" (of_i 1) (Nat.mul_mod a inv m)
+   | None -> Alcotest.fail "inverse should exist");
+  Alcotest.(check bool) "non-invertible" true
+    (Nat.mod_inverse (of_i 6) (of_i 12) = None);
+  Alcotest.check nat "gcd" (of_i 6) (Nat.gcd (of_i 54) (of_i 24));
+  Alcotest.check nat "lcm" (of_i 216) (Nat.lcm (of_i 54) (of_i 24))
+
+let test_primality () =
+  let prng = Snf_crypto.Prng.create 11 in
+  let rand b = Snf_crypto.Prng.int prng b in
+  Alcotest.(check bool) "1e6+3 prime" true (Nat.is_probable_prime rand (of_i 1000003));
+  Alcotest.(check bool) "carmichael 561" false (Nat.is_probable_prime rand (of_i 561));
+  Alcotest.(check bool) "carmichael 6601" false (Nat.is_probable_prime rand (of_i 6601));
+  Alcotest.(check bool) "even" false (Nat.is_probable_prime rand (of_i 1000004));
+  Alcotest.(check bool) "small primes" true
+    (List.for_all (fun p -> Nat.is_probable_prime rand (of_i p)) [ 2; 3; 5; 7; 11; 13 ]);
+  let p = Nat.random_prime rand 40 in
+  Alcotest.(check int) "prime bit length" 40 (Nat.bit_length p);
+  Alcotest.(check bool) "is prime" true (Nat.is_probable_prime rand p)
+
+(* --- properties ---------------------------------------------------------- *)
+
+let gen_small = QCheck2.Gen.(map abs int)
+
+let prop_add_comm =
+  Helpers.qtest "add commutative" QCheck2.Gen.(pair gen_small gen_small) (fun (a, b) ->
+      Nat.equal (Nat.add (of_i a) (of_i b)) (Nat.add (of_i b) (of_i a)))
+
+let prop_mul_distributes =
+  Helpers.qtest "mul distributes over add"
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (a, b, c) ->
+      Nat.equal
+        (Nat.mul (of_i a) (Nat.add (of_i b) (of_i c)))
+        (Nat.add (Nat.mul (of_i a) (of_i b)) (Nat.mul (of_i a) (of_i c))))
+
+let prop_divmod =
+  Helpers.qtest "divmod invariant"
+    QCheck2.Gen.(pair gen_small (int_range 1 max_int))
+    (fun (a, b) ->
+      let q, r = Nat.divmod (of_i a) (of_i b) in
+      Nat.equal (of_i a) (Nat.add (Nat.mul q (of_i b)) r) && Nat.compare r (of_i b) < 0)
+
+let prop_string_roundtrip =
+  Helpers.qtest "decimal roundtrip" gen_small (fun a ->
+      Nat.equal (of_i a) (Nat.of_string (Nat.to_string (of_i a))))
+
+let prop_pow_mod =
+  Helpers.qtest "pow_mod agrees with repeated mul"
+    QCheck2.Gen.(triple (int_bound 1000) (int_bound 12) (int_range 2 10_000))
+    (fun (b, e, m) ->
+      let expected = ref Nat.one in
+      for _ = 1 to e do
+        expected := Nat.mul_mod !expected (of_i b) (of_i m)
+      done;
+      Nat.equal !expected (Nat.pow_mod (of_i b) (of_i e) (of_i m)))
+
+(* Multi-limb stress for Algorithm D, including near-boundary divisors that
+   exercise the qhat-correction and add-back paths. *)
+let big_gen =
+  QCheck2.Gen.(
+    let bytes n = map (fun l -> Nat.of_bytes_be (String.init (List.length l) (List.nth l))) (list_size (return n) (map Char.chr (int_bound 255))) in
+    let* na = int_range 1 30 in
+    let* nb = int_range 1 20 in
+    pair (bytes na) (bytes nb))
+
+let prop_divmod_big =
+  Helpers.qtest ~count:500 "knuth divmod invariant on multi-limb inputs" big_gen
+    (fun (a, b) ->
+      if Nat.is_zero b then true
+      else begin
+        let q, r = Nat.divmod a b in
+        Nat.equal a (Nat.add (Nat.mul q b) r) && Nat.compare r b < 0
+      end)
+
+let prop_divmod_adversarial =
+  (* Divisors of the form base^k - small force maximal qhat corrections. *)
+  Helpers.qtest ~count:300 "divmod near power-of-base boundaries"
+    QCheck2.Gen.(triple (int_range 1 8) (int_range 1 64) (int_range 0 5))
+    (fun (k, small, extra) ->
+      let base_pow = Nat.shift_left Nat.one (26 * k) in
+      let b = Nat.sub base_pow (Nat.of_int small) in
+      let a = Nat.add (Nat.mul b (Nat.of_int (1000 + extra))) (Nat.of_int extra) in
+      let q, r = Nat.divmod a b in
+      Nat.equal a (Nat.add (Nat.mul q b) r)
+      && Nat.compare r b < 0
+      && Nat.equal q (Nat.of_int (1000 + extra))
+      && Nat.equal r (Nat.of_int extra))
+
+let prop_mod_inverse =
+  Helpers.qtest "mod_inverse correct when defined"
+    QCheck2.Gen.(pair (int_range 1 100_000) (int_range 2 100_000))
+    (fun (a, m) ->
+      match Nat.mod_inverse (of_i a) (of_i m) with
+      | Some inv -> Nat.equal Nat.one (Nat.mul_mod (of_i a) inv (of_i m))
+      | None -> not (Nat.is_one (Nat.gcd (of_i a) (of_i m))) || of_i m = Nat.one)
+
+let suite =
+  [ t "conversions" test_conversions;
+    t "bytes" test_bytes;
+    t "arithmetic" test_arithmetic;
+    t "divmod" test_divmod;
+    t "shifts" test_shifts;
+    t "modular" test_modular;
+    t "primality" test_primality;
+    prop_add_comm;
+    prop_mul_distributes;
+    prop_divmod;
+    prop_divmod_big;
+    prop_divmod_adversarial;
+    prop_string_roundtrip;
+    prop_pow_mod;
+    prop_mod_inverse ]

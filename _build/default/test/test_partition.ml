@@ -1,0 +1,119 @@
+open Snf_core
+open Snf_relational
+module Scheme = Snf_crypto.Scheme
+
+let t name f = Alcotest.test_case name `Quick f
+
+let test_leaf_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Partition.leaf: empty column list")
+    (fun () -> ignore (Partition.leaf "l" []));
+  Alcotest.check_raises "duplicate" (Invalid_argument "Partition.leaf: duplicate column")
+    (fun () -> ignore (Partition.leaf "l" [ ("a", Scheme.Det); ("a", Scheme.Ndet) ]));
+  Alcotest.check_raises "reserved tid"
+    (Invalid_argument "Partition.leaf: __tid is reserved") (fun () ->
+      ignore (Partition.leaf "l" [ (Partition.tid_name, Scheme.Ndet) ]))
+
+let test_accessors () =
+  let rep =
+    [ Partition.leaf "p0" [ ("a", Scheme.Det); ("b", Scheme.Ndet) ];
+      Partition.leaf "p1" [ ("b", Scheme.Ndet); ("c", Scheme.Ope) ] ]
+  in
+  Alcotest.(check (list string)) "attrs" [ "a"; "b"; "c" ] (Partition.attrs rep);
+  Alcotest.(check int) "total columns" 4 (Partition.total_columns rep);
+  Alcotest.(check int) "leaves with b" 2 (List.length (Partition.leaves_with rep "b"));
+  Alcotest.(check bool) "repetition factor" true
+    (Float.abs (Partition.repetition_factor rep -. (4.0 /. 3.0)) < 1e-9);
+  Alcotest.(check (option string)) "scheme lookup" (Some "OPE")
+    (Option.map Scheme.to_string (Partition.scheme_in_leaf (List.nth rep 1) "c"))
+
+let test_validate () =
+  let policy = Helpers.example1_policy () in
+  let good =
+    [ Partition.leaf "p0" [ ("State", Scheme.Ndet) ];
+      Partition.leaf "p1" [ ("ZipCode", Scheme.Det); ("Income", Scheme.Ope) ] ]
+  in
+  Alcotest.(check bool) "valid rep" true (Result.is_ok (Partition.validate policy good));
+  let missing = [ Partition.leaf "p0" [ ("State", Scheme.Ndet) ] ] in
+  Alcotest.(check bool) "missing attr rejected" true
+    (Result.is_error (Partition.validate policy missing));
+  let unknown = good @ [ Partition.leaf "p2" [ ("Ghost", Scheme.Det) ] ] in
+  Alcotest.(check bool) "unknown attr rejected" true
+    (Result.is_error (Partition.validate policy unknown));
+  let weaker =
+    [ Partition.leaf "p0" [ ("State", Scheme.Det) ];
+      Partition.leaf "p1" [ ("ZipCode", Scheme.Det); ("Income", Scheme.Ope) ] ]
+  in
+  Alcotest.(check bool) "weakened beyond annotation rejected" true
+    (Result.is_error (Partition.validate policy weaker));
+  let stronger =
+    [ Partition.leaf "p0" [ ("State", Scheme.Ndet) ];
+      Partition.leaf "p1" [ ("ZipCode", Scheme.Ndet); ("Income", Scheme.Ndet) ] ]
+  in
+  Alcotest.(check bool) "strengthening allowed" true
+    (Result.is_ok (Partition.validate policy stronger));
+  let dup = good @ [ Partition.leaf "p0" [ ("State", Scheme.Ndet) ] ] in
+  Alcotest.(check bool) "duplicate labels rejected" true
+    (Result.is_error (Partition.validate policy dup))
+
+let test_materialize_reconstruct () =
+  let r = Helpers.example1_relation () in
+  let rep =
+    [ Partition.leaf "p0" [ ("State", Scheme.Ndet) ];
+      Partition.leaf "p1" [ ("ZipCode", Scheme.Det); ("Income", Scheme.Ope) ] ]
+  in
+  let mats = Partition.materialize r rep in
+  Alcotest.(check int) "two pieces" 2 (List.length mats);
+  List.iter
+    (fun ((l : Partition.leaf), piece) ->
+      Alcotest.(check int) "rows preserved" (Relation.cardinality r)
+        (Relation.cardinality piece);
+      Alcotest.(check bool) "tid column present" true
+        (Schema.mem (Relation.schema piece) Partition.tid_name);
+      Alcotest.(check int) "width = attrs + tid"
+        (List.length l.Partition.columns + 1)
+        (Schema.arity (Relation.schema piece)))
+    mats;
+  let back = Partition.reconstruct mats in
+  Alcotest.(check bool) "lossless" true (Relation.equal_as_sets r back)
+
+let test_reconstruct_with_repetition () =
+  let r = Helpers.example1_relation () in
+  let rep =
+    [ Partition.leaf "p0" [ ("State", Scheme.Ndet); ("Income", Scheme.Ope) ];
+      Partition.leaf "p1" [ ("ZipCode", Scheme.Det); ("Income", Scheme.Ope) ] ]
+  in
+  let back = Partition.reconstruct (Partition.materialize r rep) in
+  Alcotest.(check bool) "repeated attr deduplicated" true (Relation.equal_as_sets r back)
+
+(* Random vertical split of a random relation reconstructs losslessly. *)
+let prop_lossless =
+  Helpers.qtest ~count:100 "random split reconstructs losslessly"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 20) (triple (int_bound 5) (int_bound 5) (int_bound 5)))
+        (int_range 0 2))
+    (fun (triples, split) ->
+      let rows = List.map (fun (a, b, c) -> [ a; b; c ]) triples in
+      let r = Helpers.relation_of_int_rows [ "a"; "b"; "c" ] rows in
+      let rep =
+        match split with
+        | 0 ->
+          [ Partition.leaf "x" [ ("a", Scheme.Ndet) ];
+            Partition.leaf "y" [ ("b", Scheme.Ndet); ("c", Scheme.Ndet) ] ]
+        | 1 ->
+          [ Partition.leaf "x" [ ("a", Scheme.Ndet); ("b", Scheme.Ndet) ];
+            Partition.leaf "y" [ ("c", Scheme.Ndet) ] ]
+        | _ ->
+          [ Partition.leaf "x" [ ("a", Scheme.Ndet) ];
+            Partition.leaf "y" [ ("b", Scheme.Ndet) ];
+            Partition.leaf "z" [ ("c", Scheme.Ndet) ] ]
+      in
+      Relation.equal_as_sets r (Partition.reconstruct (Partition.materialize r rep)))
+
+let suite =
+  [ t "leaf validation" test_leaf_validation;
+    t "accessors" test_accessors;
+    t "validate" test_validate;
+    t "materialize + reconstruct" test_materialize_reconstruct;
+    t "reconstruct with repetition" test_reconstruct_with_repetition;
+    prop_lossless ]

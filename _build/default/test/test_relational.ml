@@ -1,0 +1,261 @@
+open Snf_relational
+
+let t name f = Alcotest.test_case name `Quick f
+
+let value = Alcotest.testable Value.pp Value.equal
+
+(* --- Value ---------------------------------------------------------------- *)
+
+let value_gen =
+  QCheck2.Gen.(
+    oneof
+      [ return Value.Null;
+        map (fun b -> Value.Bool b) bool;
+        map (fun i -> Value.Int i) int;
+        map (fun f -> Value.Float f) (float_bound_inclusive 1e12);
+        map (fun s -> Value.Text s) (string_size (int_bound 20)) ])
+
+let prop_value_roundtrip =
+  Helpers.qtest "value encode/decode roundtrip" value_gen (fun v ->
+      Value.equal v (Value.decode (Value.encode v)))
+
+let prop_value_compare_total =
+  Helpers.qtest "value compare antisymmetric" (QCheck2.Gen.pair value_gen value_gen)
+    (fun (a, b) -> Value.compare a b = -Value.compare b a)
+
+let test_value_basics () =
+  Alcotest.(check bool) "null smallest" true (Value.compare Value.Null (Value.Int min_int) < 0);
+  Alcotest.(check int) "int order" (-1) (Value.compare (Value.Int 1) (Value.Int 2));
+  Alcotest.(check bool) "null matches all types" true (Value.matches Value.TInt Value.Null);
+  Alcotest.(check bool) "mismatch" false (Value.matches Value.TInt (Value.Text "x"));
+  Alcotest.check_raises "to_int_exn"
+    (Invalid_argument "Value.to_int_exn: x is not an Int") (fun () ->
+      ignore (Value.to_int_exn (Value.Text "x")))
+
+(* --- Schema ---------------------------------------------------------------- *)
+
+let test_schema () =
+  let s = Helpers.schema_of_names [ "a"; "b"; "c" ] in
+  Alcotest.(check int) "arity" 3 (Schema.arity s);
+  Alcotest.(check int) "index" 1 (Schema.index_of s "b");
+  Alcotest.(check (list string)) "project order" [ "c"; "a" ]
+    (Schema.names (Schema.project s [ "c"; "a" ]));
+  Alcotest.(check bool) "subset" true (Schema.subset (Schema.project s [ "b" ]) s);
+  Alcotest.(check bool) "equal modulo order" true
+    (Schema.equal_modulo_order s (Schema.project s [ "c"; "b"; "a" ]));
+  Alcotest.(check bool) "not equal ordered" false
+    (Schema.equal s (Schema.project s [ "c"; "b"; "a" ]));
+  Alcotest.check_raises "duplicate" (Invalid_argument "Schema: duplicate attribute \"a\"")
+    (fun () -> ignore (Helpers.schema_of_names [ "a"; "a" ]))
+
+(* --- Relation --------------------------------------------------------------- *)
+
+let sample () =
+  Helpers.relation_of_int_rows [ "x"; "y" ] [ [ 1; 10 ]; [ 2; 20 ]; [ 3; 30 ]; [ 2; 20 ] ]
+
+let test_relation_basics () =
+  let r = sample () in
+  Alcotest.(check int) "cardinality" 4 (Relation.cardinality r);
+  Alcotest.check value "get" (Value.Int 20) (Relation.get r ~row:1 "y");
+  Alcotest.(check int) "distinct" 3 (Relation.cardinality (Relation.distinct r));
+  let f = Relation.filter r (fun _ row -> Value.to_int_exn row.(0) >= 2) in
+  Alcotest.(check int) "filter" 3 (Relation.cardinality f);
+  let p = Relation.project r [ "y" ] in
+  Alcotest.(check (list string)) "project schema" [ "y" ] (Schema.names (Relation.schema p));
+  let w = Relation.with_tid r in
+  Alcotest.(check int) "tid arity" 3 (Schema.arity (Relation.schema w));
+  Alcotest.check value "tid values" (Value.Int 2) (Relation.get w ~row:2 "tid");
+  Alcotest.(check bool) "equal_as_sets ignores order" true
+    (Relation.equal_as_sets r
+       (Relation.create (Relation.schema r) (List.rev (Relation.rows r))))
+
+let test_append_column () =
+  let r = sample () in
+  let r' = r |> fun r -> Relation.append_column r (Attribute.int "z") [| Value.Int 1; Value.Int 2; Value.Int 3; Value.Int 4 |] in
+  Alcotest.(check int) "wider" 3 (Schema.arity (Relation.schema r'));
+  Alcotest.check_raises "length checked"
+    (Invalid_argument "Relation.append_column: length mismatch") (fun () ->
+      ignore (Relation.append_column r (Attribute.int "w") [| Value.Int 1 |]));
+  Alcotest.(check bool) "type checked" true
+    (try
+       ignore (Relation.append_column r (Attribute.int "w")
+                 [| Value.Text "x"; Value.Null; Value.Null; Value.Null |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_relation_shape_errors () =
+  let s = Helpers.schema_of_names [ "a"; "b" ] in
+  Alcotest.check_raises "ragged" (Invalid_argument "Relation: ragged columns") (fun () ->
+      ignore (Relation.of_columns s [| [| Value.Int 1 |]; [||] |]));
+  Alcotest.check_raises "type mismatch"
+    (Invalid_argument "Relation: value x does not match type of a") (fun () ->
+      ignore (Relation.of_columns s [| [| Value.Text "x" |]; [| Value.Int 1 |] |]))
+
+(* --- Algebra ------------------------------------------------------------------ *)
+
+let test_algebra_select_project () =
+  let r = sample () in
+  let sel = Algebra.select (Algebra.Eq ("x", Value.Int 2)) r in
+  Alcotest.(check int) "select eq" 2 (Relation.cardinality sel);
+  let sel2 =
+    Algebra.select (Algebra.And (Algebra.Ge ("x", Value.Int 2), Algebra.Lt ("y", Value.Int 30))) r
+  in
+  Alcotest.(check int) "conjunction" 2 (Relation.cardinality sel2);
+  let sel3 = Algebra.select (Algebra.Not (Algebra.Between ("y", Value.Int 15, Value.Int 25))) r in
+  Alcotest.(check int) "not between" 2 (Relation.cardinality sel3);
+  Alcotest.(check (list string)) "predicate attrs" [ "x"; "y" ]
+    (Algebra.predicate_attrs (Algebra.Or (Algebra.Eq ("y", Value.Int 1), Algebra.Eq ("x", Value.Int 2))))
+
+let test_algebra_join () =
+  let left = Helpers.relation_of_int_rows [ "id"; "a" ] [ [ 1; 10 ]; [ 2; 20 ]; [ 3; 30 ] ] in
+  let right = Helpers.relation_of_int_rows [ "id"; "b" ] [ [ 2; 200 ]; [ 3; 300 ]; [ 4; 400 ] ] in
+  let j = Algebra.equi_join ~on:"id" left right in
+  Alcotest.(check int) "join cardinality" 2 (Relation.cardinality j);
+  Alcotest.(check (list string)) "join schema" [ "id"; "a"; "b" ]
+    (Schema.names (Relation.schema j));
+  let nj = Algebra.natural_join left right in
+  Alcotest.(check bool) "natural agrees with equi" true (Relation.equal_as_sets j nj);
+  (* duplicate non-join attrs get primed *)
+  let right2 = Helpers.relation_of_int_rows [ "id"; "a" ] [ [ 1; 99 ] ] in
+  let j2 = Algebra.equi_join ~on:"id" left right2 in
+  Alcotest.(check (list string)) "renaming" [ "id"; "a"; "a'" ]
+    (Schema.names (Relation.schema j2))
+
+let test_algebra_aggregates () =
+  let r = sample () in
+  Alcotest.(check int) "count" 4 (Algebra.count r);
+  Alcotest.(check int) "sum" 80 (Algebra.sum_int "y" r);
+  match Algebra.group_count "x" r with
+  | (v, n) :: _ ->
+    Alcotest.check value "mode value" (Value.Int 2) v;
+    Alcotest.(check int) "mode count" 2 n
+  | [] -> Alcotest.fail "empty group_count"
+
+(* Join of projections on a keyed relation reconstructs it. *)
+let prop_join_reconstructs =
+  Helpers.qtest ~count:60 "project+join on key reconstructs"
+    QCheck2.Gen.(list_size (int_range 1 30) (pair (int_bound 100) (int_bound 100)))
+    (fun pairs ->
+      let rows = List.mapi (fun i (a, b) -> [ i; a; b ]) pairs in
+      let r = Helpers.relation_of_int_rows [ "k"; "a"; "b" ] rows in
+      let left = Relation.project r [ "k"; "a" ] in
+      let right = Relation.project r [ "k"; "b" ] in
+      Relation.equal_as_sets r (Algebra.equi_join ~on:"k" left right))
+
+(* --- Csv ------------------------------------------------------------------------ *)
+
+let test_csv_roundtrip () =
+  let schema =
+    Schema.of_attributes
+      [ Attribute.int "n"; Attribute.text "s"; Attribute.bool "b"; Attribute.float "f" ]
+  in
+  let r =
+    Relation.create schema
+      [ [| Value.Int 1; Value.Text "plain"; Value.Bool true; Value.Float 1.5 |];
+        [| Value.Int (-2); Value.Text "with,comma"; Value.Bool false; Value.Float 0.25 |];
+        [| Value.Null; Value.Text "quote\"inside"; Value.Null; Value.Null |];
+        [| Value.Int 3; Value.Text "line\nbreak"; Value.Bool true; Value.Float (-3.) |];
+        [| Value.Int 4; Value.Text ""; Value.Bool false; Value.Float 0. |] ]
+  in
+  let r' = Csv.of_string (Csv.to_string r) in
+  Alcotest.(check bool) "roundtrip" true (Relation.equal_as_sets r r')
+
+let test_csv_errors () =
+  Alcotest.check_raises "ragged row" (Invalid_argument "Csv: ragged row") (fun () ->
+      ignore (Csv.of_string "a:int,b:int\n1,2\n3\n"));
+  Alcotest.check_raises "bad type" (Invalid_argument "Csv: unknown type \"wat\"") (fun () ->
+      ignore (Csv.of_string "a:wat\n1\n"));
+  Alcotest.check_raises "bad int" (Invalid_argument "Csv: bad int \"x\"") (fun () ->
+      ignore (Csv.of_string "a:int\nx\n"))
+
+(* --- Fd --------------------------------------------------------------------------- *)
+
+let fd = Alcotest.testable Fd.pp Fd.equal
+
+let test_fd_closure () =
+  let fds = [ Fd.make [ "a" ] [ "b" ]; Fd.make [ "b" ] [ "c" ]; Fd.make [ "c"; "d" ] [ "e" ] ] in
+  let clo = Fd.closure_of (Fd.Names.of_list [ "a" ]) fds in
+  Alcotest.(check (list string)) "a+ = abc" [ "a"; "b"; "c" ] (Fd.Names.elements clo);
+  let clo2 = Fd.closure_of (Fd.Names.of_list [ "a"; "d" ]) fds in
+  Alcotest.(check (list string)) "ad+ = all" [ "a"; "b"; "c"; "d"; "e" ] (Fd.Names.elements clo2);
+  Alcotest.(check bool) "implies transitivity" true (Fd.implies fds (Fd.make [ "a" ] [ "c" ]));
+  Alcotest.(check bool) "does not imply" false (Fd.implies fds (Fd.make [ "b" ] [ "a" ]))
+
+let test_fd_minimal_cover () =
+  let fds =
+    [ Fd.make [ "a" ] [ "b"; "c" ];
+      Fd.make [ "b" ] [ "c" ];
+      Fd.make [ "a" ] [ "b" ];
+      Fd.make [ "a"; "b" ] [ "c" ] ]
+  in
+  let cover = Fd.minimal_cover fds in
+  Alcotest.(check bool) "equivalent" true (Fd.equivalent fds cover);
+  Alcotest.(check int) "minimal size" 2 (List.length cover);
+  List.iter
+    (fun f -> Alcotest.(check int) "singleton rhs" 1 (Fd.Names.cardinal f.Fd.rhs))
+    cover
+
+let test_fd_keys () =
+  let universe = Fd.Names.of_list [ "a"; "b"; "c" ] in
+  let fds = [ Fd.make [ "a" ] [ "b" ]; Fd.make [ "b" ] [ "c" ] ] in
+  (match Fd.candidate_keys universe fds with
+   | [ k ] -> Alcotest.(check (list string)) "key is a" [ "a" ] (Fd.Names.elements k)
+   | ks -> Alcotest.fail (Printf.sprintf "expected 1 key, got %d" (List.length ks)));
+  let fds2 = [ Fd.make [ "a" ] [ "b" ]; Fd.make [ "b" ] [ "a" ] ] in
+  Alcotest.(check int) "two keys" 2
+    (List.length (Fd.candidate_keys (Fd.Names.of_list [ "a"; "b" ]) fds2))
+
+let test_fd_project () =
+  (* a -> b -> c; projecting onto {a, c} must keep a -> c. *)
+  let fds = [ Fd.make [ "a" ] [ "b" ]; Fd.make [ "b" ] [ "c" ] ] in
+  let projected = Fd.project_to (Fd.Names.of_list [ "a"; "c" ]) fds in
+  Alcotest.(check bool) "transitive survives projection" true
+    (Fd.implies projected (Fd.make [ "a" ] [ "c" ]));
+  Alcotest.(check bool) "nothing about b" true
+    (List.for_all (fun f -> not (Fd.Names.mem "b" (Fd.attrs f))) projected)
+
+let test_fd_holds () =
+  let r =
+    Helpers.relation_of_int_rows [ "zip"; "state" ]
+      [ [ 94016; 0 ]; [ 94016; 0 ]; [ 10001; 1 ]; [ 73301; 2 ] ]
+  in
+  Alcotest.(check bool) "fd holds" true (Fd.holds r (Fd.make [ "zip" ] [ "state" ]));
+  Alcotest.(check bool) "state -> zip also holds on this data" true
+    (Fd.holds r (Fd.make [ "state" ] [ "zip" ]));
+  let bad =
+    Helpers.relation_of_int_rows [ "zip"; "state" ] [ [ 94016; 0 ]; [ 94016; 1 ] ]
+  in
+  Alcotest.(check bool) "violation detected" false (Fd.holds bad (Fd.make [ "zip" ] [ "state" ]));
+  Alcotest.(check int) "violation witnesses" 1
+    (List.length (Fd.violations bad (Fd.make [ "zip" ] [ "state" ])))
+
+let prop_closure_monotone =
+  Helpers.qtest ~count:100 "attribute closure is monotone and idempotent"
+    QCheck2.Gen.(pair (list_size (int_range 0 6) (pair (int_bound 4) (int_bound 4))) (int_bound 4))
+    (fun (edges, start) ->
+      let name i = Printf.sprintf "a%d" i in
+      let fds = List.map (fun (x, y) -> Fd.make [ name x ] [ name y ]) edges in
+      let x = Fd.Names.singleton (name start) in
+      let c1 = Fd.closure_of x fds in
+      Fd.Names.subset x c1 && Fd.Names.equal c1 (Fd.closure_of c1 fds))
+
+let suite =
+  [ prop_value_roundtrip;
+    prop_value_compare_total;
+    t "value basics" test_value_basics;
+    t "schema" test_schema;
+    t "relation basics" test_relation_basics;
+    t "append column" test_append_column;
+    t "relation shape errors" test_relation_shape_errors;
+    t "algebra select/project" test_algebra_select_project;
+    t "algebra join" test_algebra_join;
+    t "algebra aggregates" test_algebra_aggregates;
+    prop_join_reconstructs;
+    t "csv roundtrip" test_csv_roundtrip;
+    t "csv errors" test_csv_errors;
+    t "fd closure" test_fd_closure;
+    t "fd minimal cover" test_fd_minimal_cover;
+    t "fd candidate keys" test_fd_keys;
+    t "fd projection" test_fd_project;
+    t "fd holds on data" test_fd_holds;
+    prop_closure_monotone ]

@@ -1,0 +1,157 @@
+open Snf_relational
+open Snf_deps
+module Scheme = Snf_crypto.Scheme
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* --- Spec_lang --------------------------------------------------------------- *)
+
+let spec_text =
+  {|
+# geography
+ZipCode -> State
+ZipCode, City -> County
+
+Education ~ Income
+Profession _|_ Ward
+Education _|_ Income | Profession = "broker"
+Age _|_ Income | Bucket = 3
+|}
+
+let universe =
+  [ "ZipCode"; "State"; "City"; "County"; "Education"; "Income"; "Profession";
+    "Ward"; "Age"; "Bucket" ]
+
+let test_parse () =
+  match Spec_lang.parse ~universe spec_text with
+  | Error e -> Alcotest.fail e
+  | Ok g ->
+    Alcotest.(check bool) "fd edge" true (Dep_graph.dependent g "ZipCode" "State");
+    Alcotest.(check bool) "composite fd edge" true (Dep_graph.dependent g "City" "County");
+    Alcotest.(check bool) "correlation" true (Dep_graph.dependent g "Education" "Income");
+    Alcotest.(check bool) "declared independent" false
+      (Dep_graph.dependent g "Profession" "Ward");
+    Alcotest.(check bool) "conditional honored" false
+      (Dep_graph.dependent_in_fragment g ~on:("Profession", Value.Text "broker")
+         "Education" "Income");
+    Alcotest.(check bool) "int-valued fragment" false
+      (Dep_graph.dependent_in_fragment g ~on:("Bucket", Value.Int 3) "Age" "Income"
+      && true);
+    Alcotest.(check int) "two fds" 2 (List.length (Dep_graph.fds g))
+
+let test_parse_errors () =
+  let bad text =
+    match Spec_lang.parse ~universe text with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "unknown attr" true (bad "Ghost ~ State");
+  Alcotest.(check bool) "garbage line" true (bad "what is this");
+  Alcotest.(check bool) "empty side" true (bad " -> State");
+  Alcotest.(check bool) "whitespace name" true (bad "Zip Code ~ State");
+  (* error message names the line *)
+  (match Spec_lang.parse_decls "A ~ B\nnonsense\n" with
+   | Error e -> Alcotest.(check bool) "line number" true (String.length e > 0 && e.[5] = '2')
+   | Ok _ -> Alcotest.fail "expected parse error")
+
+let test_roundtrip () =
+  match Spec_lang.parse ~universe spec_text with
+  | Error e -> Alcotest.fail e
+  | Ok g -> (
+    let rendered = Spec_lang.render g in
+    match Spec_lang.parse ~universe rendered with
+    | Error e -> Alcotest.fail ("re-parse: " ^ e)
+    | Ok g' ->
+      List.iter
+        (fun (a, b) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s agrees" a b)
+            (Dep_graph.dependent g a b)
+            (Dep_graph.dependent g' a b))
+        [ ("ZipCode", "State"); ("Education", "Income"); ("Profession", "Ward");
+          ("City", "County"); ("Age", "Ward") ];
+      Alcotest.(check bool) "conditional survives" false
+        (Dep_graph.dependent_in_fragment g' ~on:("Profession", Value.Text "broker")
+           "Education" "Income"))
+
+let test_quoted_names () =
+  match Spec_lang.parse ~universe:[ "zip code"; "state" ] "\"zip code\" -> state" with
+  | Ok g -> Alcotest.(check bool) "quoted edge" true (Dep_graph.dependent g "zip code" "state")
+  | Error e -> Alcotest.fail e
+
+(* --- Visualize ----------------------------------------------------------------- *)
+
+let test_dot_output () =
+  let policy = Helpers.example1_policy () in
+  let g = Helpers.example1_graph () in
+  let strawman = Snf_core.Strategy.strawman policy in
+  let dot = Snf_core.Visualize.leakage_dot g policy strawman in
+  let contains needle =
+    let n = String.length needle and h = String.length dot in
+    let rec go i = i + n <= h && (String.sub dot i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "digraph" true (contains "digraph snf");
+  Alcotest.(check bool) "cluster per leaf" true (contains "subgraph cluster_0");
+  Alcotest.(check bool) "nodes labelled with schemes" true (contains "NDET");
+  Alcotest.(check bool) "violations drawn in red" true (contains "color=red");
+  (* a clean SNF rep has no red *)
+  let nr = Snf_core.Strategy.non_repeating g policy in
+  let dot_clean = Snf_core.Visualize.leakage_dot g policy nr in
+  let contains_clean needle =
+    let n = String.length needle and h = String.length dot_clean in
+    let rec go i = i + n <= h && (String.sub dot_clean i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "clean rep has no red edges" false (contains_clean "color=red");
+  (* plain dependence view *)
+  let dep_dot = Snf_core.Visualize.dep_graph_dot g in
+  Alcotest.(check bool) "dependence graph rendered" true
+    (String.length dep_dot > 0 && String.sub dep_dot 0 5 = "graph")
+
+(* --- Sorting attack --------------------------------------------------------------- *)
+
+let test_sorting_attack_dense () =
+  (* Dense OPE column: every value of a small domain appears; quantile
+     matching recovers everything. *)
+  let rows = List.init 60 (fun i -> [ i mod 20; i ]) in
+  let r = Helpers.relation_of_int_rows [ "age"; "row" ] rows in
+  let policy =
+    Snf_core.Policy.create [ ("age", Scheme.Ope); ("row", Scheme.Ndet) ]
+  in
+  let g = Snf_deps.Dep_graph.create [ "age"; "row" ] in
+  let g = Snf_deps.Dep_graph.declare_independent g "age" "row" in
+  let o = Snf_exec.System.outsource ~name:"sort" ~graph:g ~strategy:`Strawman r policy in
+  let leaf = List.hd o.Snf_exec.System.enc.Snf_exec.Enc_relation.leaves in
+  let aux = Relation.column r "age" in
+  let res = Snf_attack.Sorting_attack.attack o.Snf_exec.System.client leaf "age" ~aux in
+  Alcotest.(check bool)
+    (Printf.sprintf "dense column fully recovered (%.2f)" res.Snf_attack.Sorting_attack.accuracy)
+    true
+    (res.Snf_attack.Sorting_attack.accuracy = 1.0);
+  (* sorting beats frequency matching when frequencies are uniform *)
+  let `Sorting s, `Frequency f =
+    Snf_attack.Sorting_attack.compare_with_frequency o.Snf_exec.System.client leaf "age" ~aux
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "sorting (%.2f) >= frequency (%.2f)" s f)
+    true (s >= f)
+
+let test_sorting_attack_needs_order () =
+  let r = Helpers.relation_of_int_rows [ "v" ] [ [ 1 ]; [ 2 ] ] in
+  let policy = Snf_core.Policy.create [ ("v", Scheme.Det) ] in
+  let g = Snf_deps.Dep_graph.create [ "v" ] in
+  let o = Snf_exec.System.outsource ~name:"no" ~graph:g ~strategy:`Strawman r policy in
+  let leaf = List.hd o.Snf_exec.System.enc.Snf_exec.Enc_relation.leaves in
+  Alcotest.(check bool) "det column rejected" true
+    (try
+       ignore (Snf_attack.Sorting_attack.rank_pattern leaf "v");
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [ t "spec parse" test_parse;
+    t "spec parse errors" test_parse_errors;
+    t "spec render roundtrip" test_roundtrip;
+    t "spec quoted names" test_quoted_names;
+    t "dot output" test_dot_output;
+    t "sorting attack on dense OPE" test_sorting_attack_dense;
+    t "sorting attack needs order" test_sorting_attack_needs_order ]

@@ -1,0 +1,198 @@
+open Snf_core
+module Scheme = Snf_crypto.Scheme
+module Dep_graph = Snf_deps.Dep_graph
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* --- baselines -------------------------------------------------------------- *)
+
+let test_naive () =
+  let policy = Helpers.example1_policy () in
+  let rep = Strategy.naive policy in
+  Alcotest.(check int) "one leaf per attribute" 3 (List.length rep);
+  Alcotest.(check bool) "valid" true (Result.is_ok (Partition.validate policy rep));
+  let g = Helpers.example1_graph () in
+  Alcotest.(check bool) "naive always SNF" true (Audit.is_snf g policy rep)
+
+let test_strawman_not_snf () =
+  let policy = Helpers.example1_policy () in
+  let g = Helpers.example1_graph () in
+  let rep = Strategy.strawman policy in
+  Alcotest.(check int) "single relation" 1 (List.length rep);
+  Alcotest.(check bool) "strawman violates SNF" false (Audit.is_snf g policy rep);
+  let vs = Audit.violations g policy rep in
+  Alcotest.(check bool) "state infected" true
+    (List.exists (fun v -> v.Audit.attr = "State") vs)
+
+let test_all_strong () =
+  let policy = Helpers.example1_policy () in
+  let g = Helpers.example1_graph () in
+  let rep = Strategy.all_strong policy in
+  Alcotest.(check bool) "all strong is SNF" true (Audit.is_snf g policy rep);
+  Alcotest.(check bool) "but not maximally permissive" false
+    (Maximal.is_maximally_permissive g policy rep)
+
+(* --- the two greedy strategies ----------------------------------------------- *)
+
+let test_example1_partitioning () =
+  let policy = Helpers.example1_policy () in
+  let g = Helpers.example1_graph () in
+  let nr = Strategy.non_repeating g policy in
+  Alcotest.(check int) "nr: two leaves" 2 (List.length nr);
+  Alcotest.(check bool) "nr in SNF" true (Audit.is_snf g policy nr);
+  let mr = Strategy.max_repeating g policy in
+  Alcotest.(check int) "mr: same leaf count" 2 (List.length mr);
+  Alcotest.(check bool) "mr in SNF" true (Audit.is_snf g policy mr);
+  Alcotest.(check bool) "mr repeats at least as much" true
+    (Partition.total_columns mr >= Partition.total_columns nr)
+
+let test_marginal_vs_strict () =
+  (* Two dependent DET columns: Marginal allows co-location, Strict forbids. *)
+  let policy = Policy.create [ ("a", Scheme.Det); ("b", Scheme.Det) ] in
+  let g = Dep_graph.create [ "a"; "b" ] in
+  let g = Dep_graph.declare_dependent g "a" "b" in
+  let marginal = Strategy.non_repeating ~semantics:Semantics.Marginal g policy in
+  Alcotest.(check int) "marginal co-locates" 1 (List.length marginal);
+  Alcotest.(check bool) "marginal SNF under marginal audit" true
+    (Audit.is_snf ~semantics:Semantics.Marginal g policy marginal);
+  Alcotest.(check bool) "but not under strict audit" false
+    (Audit.is_snf ~semantics:Semantics.Strict g policy marginal);
+  let strict = Strategy.non_repeating ~semantics:Semantics.Strict g policy in
+  Alcotest.(check int) "strict separates" 2 (List.length strict);
+  Alcotest.(check bool) "strict SNF" true (Audit.is_snf ~semantics:Semantics.Strict g policy strict)
+
+(* --- properties ---------------------------------------------------------------- *)
+
+let semantics_gen = QCheck2.Gen.oneofl [ Semantics.Marginal; Semantics.Strict ]
+
+let prop_strategies_always_snf =
+  Helpers.qtest ~count:200 "greedy strategies always produce SNF"
+    QCheck2.Gen.(pair Helpers.instance_gen semantics_gen)
+    (fun ((_, policy, g), semantics) ->
+      let nr = Strategy.non_repeating ~semantics g policy in
+      let mr = Strategy.max_repeating ~semantics g policy in
+      Audit.is_snf ~semantics g policy nr
+      && Audit.is_snf ~semantics g policy mr
+      && Result.is_ok (Partition.validate policy nr)
+      && Result.is_ok (Partition.validate policy mr))
+
+let prop_same_leaf_count =
+  Helpers.qtest ~count:200 "max-repeating keeps the non-repeating leaf count"
+    QCheck2.Gen.(pair Helpers.instance_gen semantics_gen)
+    (fun ((_, policy, g), semantics) ->
+      List.length (Strategy.non_repeating ~semantics g policy)
+      = List.length (Strategy.max_repeating ~semantics g policy))
+
+let prop_non_repeating_repetition_free =
+  Helpers.qtest ~count:200 "non-repeating stores each attribute once"
+    Helpers.instance_gen (fun (_, policy, g) ->
+      let rep = Strategy.non_repeating g policy in
+      Float.abs (Partition.repetition_factor rep -. 1.0) < 1e-9)
+
+(* The fast component-based compatibility test must agree with the
+   closure-based definition: grow a leaf and audit it. *)
+let prop_compatible_equals_closure_def =
+  Helpers.qtest ~count:300 "compatible = closure-based SNF check of the grown leaf"
+    QCheck2.Gen.(pair Helpers.instance_gen semantics_gen)
+    (fun ((names, policy, g), semantics) ->
+      match names with
+      | a :: rest when rest <> [] ->
+        let cols = List.map (fun x -> (x, Policy.scheme_of policy x)) rest in
+        (* [compatible] is only ever called on leaves that are themselves
+           clean (a greedy invariant); restrict the comparison likewise. *)
+        let base_clean =
+          let base = Partition.leaf "base" cols in
+          List.for_all
+            (fun (attr, (e : Leakage.entry)) -> Policy.allows policy attr e.kind)
+            (Leakage.Assignment.bindings (Closure.analyze_leaf g base))
+          && (semantics = Semantics.Marginal
+             || List.for_all
+                  (fun (x, y, _) ->
+                    Leakage.equal_kind (Policy.permissible policy x) Leakage.Full
+                    && Leakage.equal_kind (Policy.permissible policy y) Leakage.Full)
+                  (Closure.joint_pairs g cols))
+        in
+        if not base_clean then true
+        else
+        let fast = Strategy.compatible ~semantics g policy cols a in
+        let grown =
+          Partition.leaf "t" ((a, Policy.scheme_of policy a) :: cols)
+        in
+        (* closure-based reference: marginal domination + strict joint rule *)
+        let closure = Closure.analyze_leaf g grown in
+        let marginal_ok =
+          List.for_all
+            (fun (attr, (e : Leakage.entry)) -> Policy.allows policy attr e.kind)
+            (Leakage.Assignment.bindings closure)
+        in
+        let strict_ok =
+          match semantics with
+          | Semantics.Marginal -> true
+          | Semantics.Strict ->
+            List.for_all
+              (fun (x, y, _) ->
+                Leakage.equal_kind (Policy.permissible policy x) Leakage.Full
+                && Leakage.equal_kind (Policy.permissible policy y) Leakage.Full)
+              (Closure.joint_pairs g
+                 ((a, Policy.scheme_of policy a) :: cols))
+        in
+        fast = (marginal_ok && strict_ok)
+      | _ -> true)
+
+let prop_attrs_preserved =
+  Helpers.qtest ~count:200 "every annotated attribute is stored"
+    Helpers.instance_gen (fun (names, policy, g) ->
+      let rep = Strategy.non_repeating g policy in
+      List.for_all (fun a -> Partition.leaves_with rep a <> []) names)
+
+(* --- workload-aware local search ----------------------------------------------- *)
+
+let test_workload_aware_improves () =
+  (* Cost: queries over (a, c) pay for cross-leaf joins. Non-repeating puts
+     a with b (processing order), forcing (a, c) joins; the optimizer should
+     co-locate a and c. *)
+  let policy =
+    Policy.create
+      [ ("a", Scheme.Det); ("b", Scheme.Det); ("c", Scheme.Det) ]
+  in
+  let g = Dep_graph.create [ "a"; "b"; "c" ] in
+  let g = Dep_graph.declare_independent g "a" "b" in
+  let g = Dep_graph.declare_independent g "a" "c" in
+  let g = Dep_graph.declare_dependent g "b" "c" in
+  let cost rep =
+    (* queries touch {a, c} *)
+    let together =
+      List.exists
+        (fun l -> Partition.mem_leaf l "a" && Partition.mem_leaf l "c")
+        rep
+    in
+    (if together then 0.0 else 10.0) +. (0.1 *. float_of_int (Partition.total_columns rep))
+  in
+  let start = Strategy.non_repeating g policy in
+  let tuned = Strategy.workload_aware ~cost g policy start in
+  Alcotest.(check bool) "cost reduced" true (cost tuned < cost start);
+  Alcotest.(check bool) "still SNF" true (Audit.is_snf g policy tuned);
+  Alcotest.(check bool) "a and c co-located" true
+    (List.exists (fun l -> Partition.mem_leaf l "a" && Partition.mem_leaf l "c") tuned)
+
+let prop_workload_aware_never_worse =
+  Helpers.qtest ~count:60 "local search never increases cost and keeps SNF"
+    Helpers.instance_gen (fun (_, policy, g) ->
+      let start = Strategy.non_repeating g policy in
+      let cost rep = float_of_int (List.length rep) in
+      let tuned = Strategy.workload_aware ~max_rounds:2 ~cost g policy start in
+      cost tuned <= cost start && Audit.is_snf g policy tuned)
+
+let suite =
+  [ t "naive" test_naive;
+    t "strawman not SNF" test_strawman_not_snf;
+    t "all strong" test_all_strong;
+    t "example 1 partitioning" test_example1_partitioning;
+    t "marginal vs strict semantics" test_marginal_vs_strict;
+    prop_strategies_always_snf;
+    prop_same_leaf_count;
+    prop_non_repeating_repetition_free;
+    prop_compatible_equals_closure_def;
+    prop_attrs_preserved;
+    t "workload-aware improves" test_workload_aware_improves;
+    prop_workload_aware_never_worse ]
