@@ -4,11 +4,19 @@
                                              (reduced default scales) plus
                                              bechamel micro-benchmarks.
    `dune exec bench/main.exe -- table1`    — Table I only (add
-                                             `rows=<n>` to rescale).
+                                             `rows=<n>` to rescale); also
+                                             writes BENCH_table1.json.
+   `dune exec bench/main.exe -- micro-modexp`
+                                           — Montgomery vs reference
+                                             modular exponentiation.
+   `dune exec bench/main.exe -- micro-paillier`
+                                           — Paillier kernel comparison;
+                                             writes BENCH_paillier.json.
    Other targets: figure3, attack, ablation-semantics, ablation-horizontal,
    ablation-workload, ablation-modes, micro. *)
 
 open Snf_experiments
+module Nat = Snf_bignum.Nat
 
 let arg_value key default =
   let prefix = key ^ "=" in
@@ -31,11 +39,74 @@ let wants target =
 
 let section title = Printf.printf "\n=== %s ===\n%!" title
 
+(* Wall-clock per-op timing: repeat until the loop is long enough to trust
+   the clock. Coarser than bechamel but directly embeddable in JSON. *)
+let ns_per_op ?(min_time = 0.2) f =
+  ignore (f ());
+  let rec go reps =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < min_time && reps < 10_000_000 then go (reps * 4)
+    else dt /. float_of_int reps *. 1e9
+  in
+  go 4
+
+(* Run [f] under exactly [domains] domains, restoring the prior setting. *)
+let with_domains domains f =
+  let saved = Snf_exec.Parallel.domain_count () in
+  Snf_exec.Parallel.set_domain_count domains;
+  Fun.protect ~finally:(fun () -> Snf_exec.Parallel.set_domain_count saved) f
+
+let table1_json (result : Table1.result) ~deterministic =
+  Report.J_obj
+    [ ("experiment", Report.J_string "table1");
+      ("rows", Report.J_int result.Table1.rows_used);
+      ("attrs", Report.J_int result.Table1.attrs);
+      ("weak", Report.J_int result.Table1.weak_used);
+      ( "table",
+        Report.J_list
+          (List.map
+             (fun (row : Table1.row) ->
+               Report.J_obj
+                 [ ("method", Report.J_string row.Table1.method_name);
+                   ("storage_bytes", Report.J_int row.Table1.storage_bytes);
+                   ("partitions", Report.J_int row.Table1.partitions);
+                   ("total_joins", Report.J_int row.Table1.total_joins);
+                   ("normalized_cost", Report.J_float row.Table1.normalized_cost);
+                   ("snf", Report.J_bool row.Table1.snf);
+                   ("plan_seconds", Report.J_float row.Table1.plan_seconds) ])
+             result.Table1.table) );
+      ("deterministic_across_domains", Report.J_bool deterministic) ]
+
+(* Everything except wall-clock timings must be bit-identical whatever the
+   domain count. *)
+let table1_fingerprint (result : Table1.result) =
+  List.map
+    (fun (row : Table1.row) ->
+      ( row.Table1.method_name,
+        row.Table1.storage_bytes,
+        row.Table1.partitions,
+        row.Table1.total_joins,
+        row.Table1.normalized_cost,
+        row.Table1.snf ))
+    result.Table1.table
+
 let run_table1 () =
   section "Table I";
   let rows = arg_value "rows" 20_000 in
   let config = { Table1.default_config with Table1.rows } in
-  print_string (Table1.render (Table1.run ~config ()))
+  let result = Table1.run ~config () in
+  print_string (Table1.render result);
+  let det_config = { config with Table1.rows = min rows 2_000 } in
+  let fp d = with_domains d (fun () -> table1_fingerprint (Table1.run ~config:det_config ())) in
+  let deterministic = fp 1 = fp 3 in
+  Printf.printf "deterministic across 1 vs 3 domains (rows=%d): %b\n"
+    det_config.Table1.rows deterministic;
+  Report.write_json "BENCH_table1.json" (table1_json result ~deterministic);
+  Printf.printf "wrote BENCH_table1.json\n"
 
 let run_figure3 () =
   section "Figure 3";
@@ -278,6 +349,112 @@ let run_micro () =
         (List.sort compare rows))
     merged
 
+(* --- kernel micro-benchmarks (machine-readable) ----------------------------- *)
+
+let run_micro_modexp () =
+  section "Micro: modular exponentiation (reference vs Montgomery)";
+  let prng = Snf_crypto.Prng.create 0xe47 in
+  let rand b = Snf_crypto.Prng.int prng b in
+  Printf.printf "  %-10s %14s %14s %9s\n" "modulus" "Nat.pow_mod" "Mont.pow_mod" "speedup";
+  List.iter
+    (fun bits ->
+      let m =
+        let m0 = Nat.random_bits rand bits in
+        if Nat.is_even m0 then Nat.succ m0 else m0
+      in
+      let b = Nat.random_below rand m in
+      let e = Nat.random_below rand m in
+      let ctx = Nat.Mont.make m in
+      let ref_ns = ns_per_op (fun () -> Nat.pow_mod b e m) in
+      let mont_ns = ns_per_op (fun () -> Nat.Mont.pow_mod ctx b e) in
+      Printf.printf "  %6d-bit %11.0f ns %11.0f ns %8.1fx\n" bits ref_ns mont_ns
+        (ref_ns /. mont_ns))
+    [ 96; 192; 384 ]
+
+(* End-to-end bulk-encryption determinism: outsource a relation with DET,
+   NDET and PHE columns under 1 and 3 domains and compare the serialized
+   ciphertext stores byte for byte. *)
+let ciphertexts_deterministic () =
+  let n = 200 in
+  let r =
+    Snf_relational.Relation.create
+      (Snf_relational.Schema.of_attributes
+         Snf_relational.[ Attribute.int "a"; Attribute.int "b"; Attribute.int "c" ])
+      (List.init n (fun i ->
+           Snf_relational.
+             [| Value.Int (i mod 17); Value.Int (i * 31); Value.Int (i mod 97) |]))
+  in
+  let policy =
+    Snf_core.Policy.create
+      [ ("a", Snf_crypto.Scheme.Det);
+        ("b", Snf_crypto.Scheme.Ndet);
+        ("c", Snf_crypto.Scheme.Phe) ]
+  in
+  let g = Snf_deps.Dep_graph.create [ "a"; "b"; "c" ] in
+  let g = Snf_deps.Dep_graph.declare_dependent g "a" "b" in
+  let wire d =
+    with_domains d (fun () ->
+        let owner = Snf_exec.System.outsource ~name:"benchdet" ~graph:g r policy in
+        Snf_exec.Wire.to_string owner.Snf_exec.System.enc)
+  in
+  wire 1 = wire 3
+
+let run_micro_paillier () =
+  section "Micro: Paillier kernels (reference vs Montgomery/CRT/pool)";
+  let prime_bits = arg_value "prime_bits" 48 in
+  let prng = Snf_crypto.Prng.create 0x9a13 in
+  let kp = Snf_crypto.Paillier.key_gen ~prime_bits prng in
+  let pk = kp.Snf_crypto.Paillier.public in
+  let m = Nat.of_int 123_456 in
+  let pool =
+    Snf_crypto.Paillier.pool ~key:(Snf_crypto.Prf.key_of_string "bench-pool") pk
+  in
+  let pool_entries = 4_096 in
+  let t0 = Unix.gettimeofday () in
+  Snf_crypto.Paillier.pool_fill pool ~tabulate:Snf_exec.Parallel.tabulate pool_entries;
+  let pool_fill_ns =
+    (Unix.gettimeofday () -. t0) /. float_of_int pool_entries *. 1e9
+  in
+  let enc_ref_ns =
+    ns_per_op (fun () -> Snf_crypto.Paillier.encrypt_reference prng pk m)
+  in
+  let enc_mont_ns = ns_per_op (fun () -> Snf_crypto.Paillier.encrypt prng pk m) in
+  let slot = ref 0 in
+  let enc_pool_ns =
+    ns_per_op (fun () ->
+        slot := (!slot + 1) land (pool_entries - 1);
+        Snf_crypto.Paillier.encrypt_with pool !slot m)
+  in
+  let ct = Snf_crypto.Paillier.encrypt prng pk m in
+  let dec_ref_ns = ns_per_op (fun () -> Snf_crypto.Paillier.decrypt_reference kp ct) in
+  let dec_crt_ns = ns_per_op (fun () -> Snf_crypto.Paillier.decrypt kp ct) in
+  let deterministic = ciphertexts_deterministic () in
+  let enc_speedup_mont = enc_ref_ns /. enc_mont_ns in
+  let enc_speedup_pooled = enc_ref_ns /. enc_pool_ns in
+  let dec_speedup_crt = dec_ref_ns /. dec_crt_ns in
+  Printf.printf "  prime_bits=%d\n" prime_bits;
+  Printf.printf "  encrypt: reference %8.0f ns | montgomery %8.0f ns (%.1fx) | pooled %8.0f ns (%.1fx)\n"
+    enc_ref_ns enc_mont_ns enc_speedup_mont enc_pool_ns enc_speedup_pooled;
+  Printf.printf "  decrypt: reference %8.0f ns | crt        %8.0f ns (%.1fx)\n"
+    dec_ref_ns dec_crt_ns dec_speedup_crt;
+  Printf.printf "  pool fill: %8.0f ns/entry (%d entries)\n" pool_fill_ns pool_entries;
+  Printf.printf "  bulk ciphertexts deterministic across 1 vs 3 domains: %b\n" deterministic;
+  Report.write_json "BENCH_paillier.json"
+    (Report.J_obj
+       [ ("experiment", Report.J_string "paillier-kernels");
+         ("prime_bits", Report.J_int prime_bits);
+         ("encrypt_reference_ns", Report.J_float enc_ref_ns);
+         ("encrypt_montgomery_ns", Report.J_float enc_mont_ns);
+         ("encrypt_pooled_ns", Report.J_float enc_pool_ns);
+         ("pool_fill_ns_per_entry", Report.J_float pool_fill_ns);
+         ("decrypt_reference_ns", Report.J_float dec_ref_ns);
+         ("decrypt_crt_ns", Report.J_float dec_crt_ns);
+         ("encrypt_speedup_montgomery", Report.J_float enc_speedup_mont);
+         ("encrypt_speedup_pooled", Report.J_float enc_speedup_pooled);
+         ("decrypt_speedup_crt", Report.J_float dec_speedup_crt);
+         ("ciphertexts_deterministic_across_domains", Report.J_bool deterministic) ]);
+  Printf.printf "wrote BENCH_paillier.json\n"
+
 let () =
   if wants "table1" then run_table1 ();
   if wants "figure3" then run_figure3 ();
@@ -285,4 +462,6 @@ let () =
   run_ablations ();
   if wants "sweeps" then run_sweeps ();
   if wants "micro" then run_micro ();
+  if wants "micro-modexp" then run_micro_modexp ();
+  if wants "micro-paillier" then run_micro_paillier ();
   Printf.printf "\nbench: done\n"

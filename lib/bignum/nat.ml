@@ -453,3 +453,182 @@ let random_prime rand k =
   go ()
 
 let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+(* --- Montgomery arithmetic ----------------------------------------------- *)
+
+(* Per-modulus fast path: REDC-based multiplication (CIOS) and
+   sliding-window exponentiation. Works on fixed-width (k-limb) scratch
+   arrays so the hot loop never allocates beyond its result, and never
+   divides — the reduction is interleaved shift-free limb arithmetic.
+   The generic [pow_mod] above stays as the reference implementation. *)
+module Mont = struct
+  type ctx = {
+    m : t;                (* modulus, odd, > 1 *)
+    k : int;              (* limb count of m *)
+    m_limbs : int array;  (* length k *)
+    m' : int;             (* -m^{-1} mod base *)
+    r2 : t;               (* R^2 mod m with R = base^k *)
+    one : t;              (* R mod m, i.e. 1 in Montgomery form *)
+  }
+
+  (* Inverse of an odd limb modulo base by Hensel lifting: each step doubles
+     the number of correct low bits (3 -> 6 -> 12 -> 24 -> 48 >= 26). *)
+  let inv_limb x =
+    let y = ref x in
+    for _ = 1 to 4 do
+      y := (!y * ((2 - (x * !y)) land limb_mask)) land limb_mask
+    done;
+    !y
+
+  let make m =
+    if is_zero m || is_even m || is_one m then
+      invalid_arg "Nat.Mont.make: modulus must be odd and > 1";
+    let k = Array.length m in
+    let m_limbs = Array.copy m in
+    let m' = (base - inv_limb m.(0)) land limb_mask in
+    { m;
+      k;
+      m_limbs;
+      m';
+      r2 = rem (shift_left one (2 * k * limb_bits)) m;
+      one = rem (shift_left one (k * limb_bits)) m }
+
+  let modulus ctx = ctx.m
+
+  (* Fixed-width copy of a value already reduced below the modulus. *)
+  let limbs_of ctx (x : t) =
+    let r = Array.make ctx.k 0 in
+    Array.blit x 0 r 0 (Array.length x);
+    r
+
+  (* In-place conditional final subtraction: a (length k, plus carry bit
+     [hi]) minus m when a >= m. *)
+  let reduce_once ctx (a : int array) hi =
+    let k = ctx.k and m = ctx.m_limbs in
+    let ge =
+      hi > 0
+      ||
+      let rec go i =
+        if i < 0 then true
+        else if a.(i) <> m.(i) then a.(i) > m.(i)
+        else go (i - 1)
+      in
+      go (k - 1)
+    in
+    if ge then begin
+      let borrow = ref 0 in
+      for i = 0 to k - 1 do
+        let d = a.(i) - m.(i) - !borrow in
+        if d < 0 then begin
+          a.(i) <- d + base;
+          borrow := 1
+        end
+        else begin
+          a.(i) <- d;
+          borrow := 0
+        end
+      done
+    end
+
+  (* CIOS Montgomery multiplication: a*b*R^-1 mod m for k-limb inputs below
+     m. Every intermediate fits a 63-bit int: limb products stay below
+     2^52 and the running sums add at most two more bits. *)
+  let mont_mul ctx (a : int array) (b : int array) : int array =
+    let k = ctx.k and m = ctx.m_limbs and m' = ctx.m' in
+    let t = Array.make (k + 2) 0 in
+    for i = 0 to k - 1 do
+      let ai = a.(i) in
+      let c = ref 0 in
+      for j = 0 to k - 1 do
+        let s = t.(j) + (ai * b.(j)) + !c in
+        t.(j) <- s land limb_mask;
+        c := s lsr limb_bits
+      done;
+      let s = t.(k) + !c in
+      t.(k) <- s land limb_mask;
+      t.(k + 1) <- t.(k + 1) + (s lsr limb_bits);
+      let u = (t.(0) * m') land limb_mask in
+      let c = ref ((t.(0) + (u * m.(0))) lsr limb_bits) in
+      for j = 1 to k - 1 do
+        let s = t.(j) + (u * m.(j)) + !c in
+        t.(j - 1) <- s land limb_mask;
+        c := s lsr limb_bits
+      done;
+      let s = t.(k) + !c in
+      t.(k - 1) <- s land limb_mask;
+      t.(k) <- t.(k + 1) + (s lsr limb_bits);
+      t.(k + 1) <- 0
+    done;
+    let r = Array.sub t 0 k in
+    reduce_once ctx r t.(k);
+    r
+
+  let to_mont ctx x = normalize (mont_mul ctx (limbs_of ctx (rem x ctx.m)) (limbs_of ctx ctx.r2))
+
+  let of_mont ctx x =
+    let one_l = Array.make ctx.k 0 in
+    one_l.(0) <- 1;
+    normalize (mont_mul ctx (limbs_of ctx (rem x ctx.m)) one_l)
+
+  let mul ctx a b =
+    normalize (mont_mul ctx (limbs_of ctx (rem a ctx.m)) (limbs_of ctx (rem b ctx.m)))
+
+  (* Plain-domain modular product: mont_mul (aR) b = a*b mod m. *)
+  let mul_mod ctx a b =
+    let am = mont_mul ctx (limbs_of ctx (rem a ctx.m)) (limbs_of ctx ctx.r2) in
+    normalize (mont_mul ctx am (limbs_of ctx (rem b ctx.m)))
+
+  let window_bits e_bits =
+    if e_bits <= 8 then 1
+    else if e_bits <= 24 then 2
+    else if e_bits <= 96 then 3
+    else if e_bits <= 768 then 4
+    else 5
+
+  let pow_mod ctx b e =
+    if is_zero e then one
+    else begin
+      let bm = mont_mul ctx (limbs_of ctx (rem b ctx.m)) (limbs_of ctx ctx.r2) in
+      let e_bits = bit_length e in
+      let w = window_bits e_bits in
+      (* Table of odd powers in Montgomery form: tbl.(i) = b^(2i+1). *)
+      let tbl = Array.make (1 lsl (w - 1)) bm in
+      if w > 1 then begin
+        let b2 = mont_mul ctx bm bm in
+        for i = 1 to Array.length tbl - 1 do
+          tbl.(i) <- mont_mul ctx tbl.(i - 1) b2
+        done
+      end;
+      let acc = ref [||] in
+      let started = ref false in
+      let i = ref (e_bits - 1) in
+      while !i >= 0 do
+        if not (testbit e !i) then begin
+          if !started then acc := mont_mul ctx !acc !acc;
+          decr i
+        end
+        else begin
+          (* Greedy window [j, i] ending on a set bit. *)
+          let j = ref (max 0 (!i - w + 1)) in
+          while not (testbit e !j) do incr j done;
+          let v = ref 0 in
+          for p = !i downto !j do
+            v := (!v lsl 1) lor (if testbit e p then 1 else 0)
+          done;
+          if !started then
+            for _ = 1 to !i - !j + 1 do
+              acc := mont_mul ctx !acc !acc
+            done;
+          if !started then acc := mont_mul ctx !acc tbl.(!v lsr 1)
+          else begin
+            acc := Array.copy tbl.(!v lsr 1);
+            started := true
+          end;
+          i := !j - 1
+        end
+      done;
+      let one_l = Array.make ctx.k 0 in
+      one_l.(0) <- 1;
+      normalize (mont_mul ctx !acc one_l)
+    end
+end

@@ -112,3 +112,36 @@ val random_prime : (int -> int) -> int -> t
 (** [random_prime rand k] draws a random [k]-bit probable prime. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Montgomery fast path}
+
+    Per-modulus context carrying the REDC precomputation. [pow_mod] here is
+    a sliding-window exponentiation over division-free Montgomery
+    multiplication — the kernel behind Paillier encryption/decryption. The
+    plain {!val:pow_mod} above is retained as the reference
+    implementation; the two are cross-checked in the test suite. *)
+module Mont : sig
+  type ctx
+
+  val make : t -> ctx
+  (** Precompute the context for an odd modulus [> 1].
+      @raise Invalid_argument on even, zero or unit moduli. *)
+
+  val modulus : ctx -> t
+
+  val to_mont : ctx -> t -> t
+  (** [to_mont ctx x] is [x * R mod m] (Montgomery form), [R = base^k]. *)
+
+  val of_mont : ctx -> t -> t
+  (** Inverse of [to_mont]. *)
+
+  val mul : ctx -> t -> t -> t
+  (** Product of two values {e in Montgomery form} (result in Montgomery
+      form): [mul ctx (to_mont a) (to_mont b) = to_mont (a*b mod m)]. *)
+
+  val mul_mod : ctx -> t -> t -> t
+  (** Plain-domain modular product [a * b mod m]. *)
+
+  val pow_mod : ctx -> t -> t -> t
+  (** Plain-domain [b^e mod m]; agrees with [Nat.pow_mod b e (modulus ctx)]. *)
+end

@@ -1,10 +1,29 @@
 module Nat = Snf_bignum.Nat
+module Mont = Nat.Mont
 
-type public_key = { n : Nat.t; n_squared : Nat.t }
-type private_key = { lambda : Nat.t; mu : Nat.t }
+type public_key = { n : Nat.t; n_squared : Nat.t; mont_n2 : Mont.ctx }
+
+type private_key = {
+  lambda : Nat.t;
+  mu : Nat.t;
+  p : Nat.t;
+  q : Nat.t;
+  mont_p2 : Mont.ctx;
+  mont_q2 : Mont.ctx;
+  pm1 : Nat.t;
+  qm1 : Nat.t;
+  hp : Nat.t;       (* (L_p(g^(p-1) mod p^2))^-1 mod p *)
+  hq : Nat.t;       (* (L_q(g^(q-1) mod q^2))^-1 mod q *)
+  q_inv_p : Nat.t;  (* q^-1 mod p, for the Garner recombination *)
+}
+
 type keypair = { public : public_key; secret : private_key }
 
 let l_function ~n u = Nat.div (Nat.pred u) n
+
+let public_of_n n =
+  let n_squared = Nat.mul n n in
+  { n; n_squared; mont_n2 = Mont.make n_squared }
 
 let key_gen ?(prime_bits = 48) prng =
   let rand bound = Prng.int prng bound in
@@ -15,7 +34,7 @@ let key_gen ?(prime_bits = 48) prng =
   in
   let p, q = distinct_primes () in
   let n = Nat.mul p q in
-  let n_squared = Nat.mul n n in
+  let public = public_of_n n in
   let lambda = Nat.lcm (Nat.pred p) (Nat.pred q) in
   (* g = n + 1, so g^lambda mod n^2 = 1 + lambda*n mod n^2 and
      mu = (L(g^lambda mod n^2))^-1 mod n = lambda^-1 mod n. *)
@@ -24,35 +43,122 @@ let key_gen ?(prime_bits = 48) prng =
     | Some mu -> mu
     | None -> failwith "Paillier.key_gen: lambda not invertible (retry with new primes)"
   in
-  { public = { n; n_squared }; secret = { lambda; mu } }
+  (* CRT decryption precomputation (the h_p/h_q of the original paper,
+     specialised to g = n + 1). *)
+  let mont_p2 = Mont.make (Nat.mul p p) in
+  let mont_q2 = Mont.make (Nat.mul q q) in
+  let pm1 = Nat.pred p and qm1 = Nat.pred q in
+  let g = Nat.succ n in
+  let h_of mont prime prime_m1 =
+    let u = Mont.pow_mod mont g prime_m1 in
+    match Nat.mod_inverse (l_function ~n:prime u) prime with
+    | Some h -> h
+    | None -> failwith "Paillier.key_gen: degenerate CRT precomputation"
+  in
+  let hp = h_of mont_p2 p pm1 in
+  let hq = h_of mont_q2 q qm1 in
+  let q_inv_p =
+    match Nat.mod_inverse q p with
+    | Some inv -> inv
+    | None -> failwith "Paillier.key_gen: primes not coprime"
+  in
+  { public;
+    secret = { lambda; mu; p; q; mont_p2; mont_q2; pm1; qm1; hp; hq; q_inv_p } }
+
+let draw_randomizer rand n =
+  let rec draw () =
+    let r = Nat.random_below rand n in
+    if Nat.is_zero r || not (Nat.is_one (Nat.gcd r n)) then draw () else r
+  in
+  draw ()
+
+(* (1 + n)^m = 1 + m*n (mod n^2) *)
+let g_pow_m pk m = Nat.rem (Nat.succ (Nat.mul m pk.n)) pk.n_squared
+
+let check_plaintext pk m =
+  if Nat.compare m pk.n >= 0 then invalid_arg "Paillier.encrypt: plaintext out of range"
 
 let encrypt prng pk m =
-  if Nat.compare m pk.n >= 0 then invalid_arg "Paillier.encrypt: plaintext out of range";
-  let rand bound = Prng.int prng bound in
-  let rec draw_r () =
-    let r = Nat.random_below rand pk.n in
-    if Nat.is_zero r || not (Nat.is_one (Nat.gcd r pk.n)) then draw_r () else r
-  in
-  let r = draw_r () in
-  (* (1 + n)^m = 1 + m*n (mod n^2) *)
-  let g_m = Nat.rem (Nat.succ (Nat.mul m pk.n)) pk.n_squared in
-  let r_n = Nat.pow_mod r pk.n pk.n_squared in
-  Nat.mul_mod g_m r_n pk.n_squared
+  check_plaintext pk m;
+  let r = draw_randomizer (fun bound -> Prng.int prng bound) pk.n in
+  let r_n = Mont.pow_mod pk.mont_n2 r pk.n in
+  Nat.mul_mod (g_pow_m pk m) r_n pk.n_squared
 
 let encrypt_int prng pk m = encrypt prng pk (Nat.of_int m)
 
+(* Reference kernel: the pre-Montgomery implementation, kept for
+   cross-checking and as the benchmark baseline. *)
+let encrypt_reference prng pk m =
+  check_plaintext pk m;
+  let r = draw_randomizer (fun bound -> Prng.int prng bound) pk.n in
+  let r_n = Nat.pow_mod r pk.n pk.n_squared in
+  Nat.mul_mod (g_pow_m pk m) r_n pk.n_squared
+
+(* --- randomizer pool ----------------------------------------------------- *)
+
+type pool = {
+  pool_key : Prf.key;
+  pool_pk : public_key;
+  mutable entries : Nat.t array;
+}
+
+let pool ~key pk = { pool_key = key; pool_pk = pk; entries = [||] }
+
+let pool_public t = t.pool_pk
+
+(* Entry i depends only on (key, i): a PRF of the index seeds a private
+   stream, so pools are reproducible regardless of fill order or the
+   worker count used to precompute them. *)
+let pool_raw_entry t i =
+  let prng = Prng.of_int64 (Prf.mac_int t.pool_key i) in
+  let r = draw_randomizer (fun bound -> Prng.int prng bound) t.pool_pk.n in
+  Mont.pow_mod t.pool_pk.mont_n2 r t.pool_pk.n
+
+let pool_fill t ~tabulate size =
+  if Array.length t.entries < size then t.entries <- tabulate size (pool_raw_entry t)
+
+let pool_entry t i =
+  if i >= 0 && i < Array.length t.entries then t.entries.(i) else pool_raw_entry t i
+
+let encrypt_with t i m =
+  let pk = t.pool_pk in
+  check_plaintext pk m;
+  Nat.mul_mod (g_pow_m pk m) (pool_entry t i) pk.n_squared
+
+(* --- decryption ----------------------------------------------------------- *)
+
+(* CRT decryption: one half-width exponentiation with a half-width exponent
+   per prime instead of one full-width pow mod n^2 — roughly 8x less limb
+   work per leg, 4x overall. *)
 let decrypt kp c =
-  let { n; n_squared } = kp.public in
-  let { lambda; mu } = kp.secret in
-  let u = Nat.pow_mod c lambda n_squared in
-  Nat.mul_mod (l_function ~n u) mu n
+  let sk = kp.secret in
+  let half mont prime prime_m1 h =
+    let u = Mont.pow_mod mont c prime_m1 in
+    Nat.mul_mod (l_function ~n:prime u) h prime
+  in
+  let mp = half sk.mont_p2 sk.p sk.pm1 sk.hp in
+  let mq = half sk.mont_q2 sk.q sk.qm1 sk.hq in
+  (* Garner: m = mq + q * ((mp - mq) * q^-1 mod p). *)
+  let mq_mod_p = Nat.rem mq sk.p in
+  let diff =
+    if Nat.compare mp mq_mod_p >= 0 then Nat.sub mp mq_mod_p
+    else Nat.sub (Nat.add mp sk.p) mq_mod_p
+  in
+  Nat.add mq (Nat.mul sk.q (Nat.mul_mod diff sk.q_inv_p sk.p))
+
+let decrypt_reference kp c =
+  let { n; n_squared; mont_n2 = _ } = kp.public in
+  let u = Nat.pow_mod c kp.secret.lambda n_squared in
+  Nat.mul_mod (l_function ~n u) kp.secret.mu n
 
 let decrypt_int kp c = Nat.to_int_exn (decrypt kp c)
+
+(* --- homomorphisms -------------------------------------------------------- *)
 
 let add pk c1 c2 = Nat.mul_mod c1 c2 pk.n_squared
 
 let scalar_mul pk c k =
   if k < 0 then invalid_arg "Paillier.scalar_mul: negative scalar";
-  Nat.pow_mod c (Nat.of_int k) pk.n_squared
+  Mont.pow_mod pk.mont_n2 c (Nat.of_int k)
 
 let ciphertext_length pk = (Nat.bit_length pk.n_squared + 7) / 8

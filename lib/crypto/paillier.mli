@@ -6,14 +6,32 @@
     algorithm; the leakage profile — {e nothing} at rest, homomorphic
     addition server-side — is what the SNF model consumes.
 
+    Performance model: modular exponentiation goes through the
+    per-modulus Montgomery contexts of {!Snf_bignum.Nat.Mont}; the secret
+    key retains [p] and [q] so decryption runs two half-width CRT legs;
+    and bulk encryption amortises to a single modular multiplication per
+    cell via a precomputed {!type:pool} of randomizers [r^n mod n^2].
+    [encrypt_reference]/[decrypt_reference] keep the original
+    square-and-multiply kernels as the benchmark baseline and the test
+    oracle.
+
     Randomized: two encryptions of the same plaintext differ. *)
 
 module Nat = Snf_bignum.Nat
 
-type public_key = { n : Nat.t; n_squared : Nat.t }
+type public_key = {
+  n : Nat.t;
+  n_squared : Nat.t;
+  mont_n2 : Nat.Mont.ctx;  (** Montgomery context for [n_squared] *)
+}
+
 type private_key
 
 type keypair = { public : public_key; secret : private_key }
+
+val public_of_n : Nat.t -> public_key
+(** Rebuild a public key (with its Montgomery context) from the modulus —
+    what deserialization uses. *)
 
 val key_gen : ?prime_bits:int -> Prng.t -> keypair
 (** [key_gen prng] draws two distinct [prime_bits]-bit primes (default 48). *)
@@ -23,8 +41,54 @@ val encrypt : Prng.t -> public_key -> Nat.t -> Nat.t
 
 val encrypt_int : Prng.t -> public_key -> int -> Nat.t
 
+val encrypt_reference : Prng.t -> public_key -> Nat.t -> Nat.t
+(** Pre-Montgomery kernel ([Nat.pow_mod] square-and-multiply); the
+    benchmark baseline. Same distribution as [encrypt]. *)
+
 val decrypt : keypair -> Nat.t -> Nat.t
+(** CRT decryption (two half-width exponentiations recombined by Garner). *)
+
+val decrypt_reference : keypair -> Nat.t -> Nat.t
+(** The lambda/mu decryption over the reference [Nat.pow_mod]; the test
+    oracle for [decrypt]. *)
+
 val decrypt_int : keypair -> Nat.t -> int
+
+(** {1 Randomizer pool}
+
+    Bulk encryption spends nearly all its time computing [r^n mod n^2].
+    A pool precomputes those randomizers: entry [i] is derived from a PRF
+    of [i] under the pool key, so a pool's contents depend only on (key,
+    index) — deterministic under any fill order and any worker count.
+    [pool_fill] takes the (possibly parallel) tabulation function from the
+    caller so this module stays free of scheduling concerns. With a filled
+    pool, encryption is one modular multiplication per cell. *)
+
+type pool
+
+val pool : key:Prf.key -> public_key -> pool
+
+val pool_public : pool -> public_key
+
+val pool_raw_entry : pool -> int -> Nat.t
+(** Compute entry [i] ([r_i^n mod n^2]) from scratch; pure w.r.t. the
+    pool, safe to call from multiple domains. *)
+
+val pool_fill : pool -> tabulate:(int -> (int -> Nat.t) -> Nat.t array) -> int -> unit
+(** [pool_fill t ~tabulate size] installs entries [0..size-1], computed by
+    [tabulate size (pool_raw_entry t)]. No-op if already at least that
+    large. *)
+
+val pool_entry : pool -> int -> Nat.t
+(** Cached entry if filled, else computed on demand. *)
+
+val encrypt_with : pool -> int -> Nat.t -> Nat.t
+(** [encrypt_with t i m] encrypts [m] under the pool's public key using
+    randomizer entry [i] — one [mul_mod] when the pool is filled. Each
+    index must be used for at most one ciphertext.
+    @raise Invalid_argument if the plaintext is not below [n]. *)
+
+(** {1 Homomorphisms} *)
 
 val add : public_key -> Nat.t -> Nat.t -> Nat.t
 (** Homomorphic: [decrypt (add pk c1 c2) = m1 + m2 mod n]. *)

@@ -4,6 +4,8 @@ let golden_gamma = 0x9E3779B97F4A7C15L
 
 let create seed = { state = Int64.of_int seed }
 
+let of_int64 state = { state }
+
 let copy t = { state = t.state }
 
 let mix z =

@@ -11,6 +11,12 @@ type t
 val create : int -> t
 (** [create seed] builds a generator from a 63-bit seed. *)
 
+val of_int64 : int64 -> t
+(** [of_int64 state] builds a generator from a full 64-bit state — the
+    hook for deterministic key-splitting: derive the state with a keyed
+    PRF of a position and the resulting stream depends only on (key,
+    position), never on traversal order or worker count. *)
+
 val copy : t -> t
 (** Independent snapshot of the current state. *)
 

@@ -4,6 +4,7 @@ module Sensitivity = Snf_workload.Sensitivity
 module Query_gen = Snf_workload.Query_gen
 module Planner = Snf_exec.Planner
 module Cost_model = Snf_exec.Cost_model
+module Parallel = Snf_exec.Parallel
 open Snf_core
 
 type config = {
@@ -46,8 +47,11 @@ let run ?(config = default_config) () =
   let series =
     List.map
       (fun (name, rep) ->
+        (* Planning is pure, so the per-query cost evaluation fans out
+           over domains; list order (and thus every aggregate) is
+           preserved by [Parallel.map_list]. *)
         let costs =
-          List.map
+          Parallel.map_list
             (fun q ->
               match Planner.plan rep q with
               | Ok p -> (p.Planner.joins, Cost_model.query_seconds params ~rows:config.rows ~plan:p)

@@ -41,3 +41,82 @@ let seconds s =
       s
   else if s >= 1e-3 then Printf.sprintf "%.2f ms" (s *. 1e3)
   else Printf.sprintf "%.0f µs" (s *. 1e6)
+
+(* --- machine-readable artifacts ------------------------------------------- *)
+
+(* Minimal JSON emission for benchmark artifacts (BENCH_*.json). Only what
+   the bench targets need — no parser, no dependency. *)
+type json =
+  | J_bool of bool
+  | J_int of int
+  | J_float of float
+  | J_string of string
+  | J_list of json list
+  | J_obj of (string * json) list
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec json_to_buf buf indent j =
+  let pad n = String.make n ' ' in
+  match j with
+  | J_bool b -> Buffer.add_string buf (string_of_bool b)
+  | J_int i -> Buffer.add_string buf (string_of_int i)
+  | J_float f ->
+    if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
+    else Buffer.add_string buf "null"
+  | J_string s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (json_escape s);
+    Buffer.add_char buf '"'
+  | J_list [] -> Buffer.add_string buf "[]"
+  | J_list items ->
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (pad (indent + 2));
+        json_to_buf buf (indent + 2) item)
+      items;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (pad indent);
+    Buffer.add_char buf ']'
+  | J_obj [] -> Buffer.add_string buf "{}"
+  | J_obj fields ->
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (pad (indent + 2));
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (json_escape k);
+        Buffer.add_string buf "\": ";
+        json_to_buf buf (indent + 2) v)
+      fields;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (pad indent);
+    Buffer.add_char buf '}'
+
+let json_to_string j =
+  let buf = Buffer.create 1024 in
+  json_to_buf buf 0 j;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let write_json path j =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (json_to_string j))

@@ -4,6 +4,7 @@ module Sensitivity = Snf_workload.Sensitivity
 module Query_gen = Snf_workload.Query_gen
 module Planner = Snf_exec.Planner
 module Storage_model = Snf_exec.Storage_model
+module Parallel = Snf_exec.Parallel
 open Snf_core
 
 type config = {
@@ -27,16 +28,20 @@ type row = {
 
 type result = { rows_used : int; attrs : int; weak_used : int; table : row list }
 
+(* Planning is pure; the per-query join counts fan out over domains and
+   the sum is order-independent, so the total is the same for any domain
+   count. *)
 let total_joins rep queries =
-  List.fold_left
-    (fun acc q ->
+  Parallel.map_list
+    (fun q ->
       match Planner.plan rep q with
-      | Ok p -> acc + p.Planner.joins
+      | Ok p -> p.Planner.joins
       | Error _ ->
         (* The strawman can evaluate everything locally; an unplannable
            query would indicate a bug — surface it loudly. *)
         invalid_arg "Table1: unplannable query")
-    0 queries
+    queries
+  |> List.fold_left ( + ) 0
 
 let run ?(config = default_config) () =
   let acs = Acs.generate { Acs.default_config with rows = config.rows; seed = config.seed } in

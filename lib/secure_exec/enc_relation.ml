@@ -27,11 +27,14 @@ type enc_leaf = {
   columns : enc_column list;
 }
 
+type index_stats = { mutable hits : int; mutable misses : int }
+
 type t = {
   relation_name : string;
   leaves : enc_leaf list;
   paillier_public : Paillier.public_key;
   index_cache : (string * string, (string, int list) Hashtbl.t) Hashtbl.t;
+  index_stats : index_stats;
 }
 
 type client = {
@@ -76,12 +79,21 @@ let tid_at c ~leaf ~rows slot =
 
 let binning_key c ~leaf = Keyring.derive c.keyring [ c.name; leaf; "__binning" ]
 
-let encrypt_cell c ~leaf ~attr scheme v =
+(* Randomness discipline for bulk encryption: every randomized cell draws
+   from a private stream derived from (keyring, leaf, attr, slot), never
+   from the shared client PRNG. Ciphertexts therefore depend only on the
+   master key and the cell's position — bit-identical under any domain
+   count (see [Parallel]). *)
+let cell_rng_key c ~leaf ~attr = Keyring.derive c.keyring ("cellrng" :: path c ~leaf ~attr)
+let tid_rng_key c ~leaf = Keyring.derive c.keyring [ c.name; leaf; "__tidrng" ]
+let phe_pool_key c ~leaf ~attr = Keyring.derive c.keyring ("phepool" :: path c ~leaf ~attr)
+
+let encrypt_cell c ~leaf ~attr ?pool ~slot ~rng scheme v =
   match (scheme : Scheme.kind) with
   | Scheme.Plain -> C_plain v
   | Scheme.Det -> C_bytes (Det.encrypt (det_key c ~leaf ~attr) (Value.encode v))
   | Scheme.Ndet ->
-    C_bytes (Ndet.encrypt ~rng:c.prng (ndet_key c ~leaf ~attr) (Value.encode v))
+    C_bytes (Ndet.encrypt ~rng (ndet_key c ~leaf ~attr) (Value.encode v))
   | Scheme.Ope ->
     let ord = Ope.encrypt (ope_of c ~leaf ~attr) (Codec.to_ordinal v) in
     C_ord { ord; payload = Det.encrypt (det_key c ~leaf ~attr) (Value.encode v) }
@@ -95,7 +107,9 @@ let encrypt_cell c ~leaf ~attr scheme v =
       | Value.Int _ -> invalid_arg "Enc_relation: PHE requires non-negative integers"
       | _ -> invalid_arg "Enc_relation: PHE requires integer values"
     in
-    C_nat (Paillier.encrypt c.prng c.paillier.Paillier.public m)
+    (match pool with
+     | Some pool -> C_nat (Paillier.encrypt_with pool slot m)
+     | None -> C_nat (Paillier.encrypt rng c.paillier.Paillier.public m))
 
 let encrypt client r rep =
   let leaves =
@@ -105,22 +119,39 @@ let encrypt client r rep =
         let key = tid_key client ~leaf:l.label in
         (* slot_to_tid.(slot) = original row stored at that slot. *)
         let slot_to_tid = Array.init n (tid_at client ~leaf:l.label ~rows:n) in
+        let trk = tid_rng_key client ~leaf:l.label in
         let tids =
-          Array.map
-            (fun tid -> Ndet.encrypt ~rng:client.prng key (Value.encode (Value.Int tid)))
-            slot_to_tid
+          Parallel.tabulate n (fun slot ->
+              let rng = Parallel.item_prng ~key:trk slot in
+              Ndet.encrypt ~rng key (Value.encode (Value.Int slot_to_tid.(slot))))
         in
         let columns =
           List.map
             (fun (cs : Partition.column_spec) ->
               let col = Relation.column piece cs.name in
+              let pool =
+                match cs.scheme with
+                | Scheme.Phe ->
+                  (* Precompute the r^n randomizers in parallel; each cell
+                     then costs one modular multiplication. *)
+                  let pool =
+                    Paillier.pool
+                      ~key:(phe_pool_key client ~leaf:l.label ~attr:cs.name)
+                      client.paillier.Paillier.public
+                  in
+                  Paillier.pool_fill pool ~tabulate:(fun k f -> Parallel.tabulate k f) n;
+                  Some pool
+                | _ -> None
+              in
+              let crk = cell_rng_key client ~leaf:l.label ~attr:cs.name in
               { attr = cs.name;
                 scheme = cs.scheme;
                 cells =
-                  Array.map
-                    (fun tid ->
-                      encrypt_cell client ~leaf:l.label ~attr:cs.name cs.scheme col.(tid))
-                    slot_to_tid })
+                  Parallel.tabulate n (fun slot ->
+                      let rng = Parallel.item_prng ~key:crk slot in
+                      encrypt_cell client ~leaf:l.label ~attr:cs.name ?pool ~slot ~rng
+                        cs.scheme
+                        col.(slot_to_tid.(slot))) })
             l.columns
         in
         { label = l.label; row_count = n; tids; columns })
@@ -129,7 +160,8 @@ let encrypt client r rep =
   { relation_name = client.name;
     leaves;
     paillier_public = client.paillier.Paillier.public;
-    index_cache = Hashtbl.create 8 }
+    index_cache = Hashtbl.create 8;
+    index_stats = { hits = 0; misses = 0 } }
 
 let find_leaf t label =
   match List.find_opt (fun l -> l.label = label) t.leaves with
@@ -259,13 +291,16 @@ let canonical_key scheme (cell : cell) =
 
 let eq_index t ~leaf ~attr =
   match Hashtbl.find_opt t.index_cache (leaf, attr) with
-  | Some idx -> Some idx
+  | Some idx ->
+    t.index_stats.hits <- t.index_stats.hits + 1;
+    Some idx
   | None ->
     let l = find_leaf t leaf in
     let col = column l attr in
     (match (col.scheme : Scheme.kind) with
      | Scheme.Ndet | Scheme.Phe | Scheme.Ore -> None
      | Scheme.Plain | Scheme.Det | Scheme.Ope ->
+       t.index_stats.misses <- t.index_stats.misses + 1;
        let idx = Hashtbl.create (Array.length col.cells) in
        Array.iteri
          (fun slot cell ->

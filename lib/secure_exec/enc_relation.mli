@@ -33,12 +33,18 @@ type enc_leaf = {
   columns : enc_column list;
 }
 
+type index_stats = { mutable hits : int; mutable misses : int }
+(** Lifetime counters for the equality-index memo: [hits] = lookups served
+    from [index_cache], [misses] = lazy index builds. Surfaced through
+    [Ledger.report]. *)
+
 type t = {
   relation_name : string;
   leaves : enc_leaf list;
   paillier_public : Snf_crypto.Paillier.public_key;
   index_cache : (string * string, (string, int list) Hashtbl.t) Hashtbl.t;
       (** server-side memo of equality indexes; see [eq_index] *)
+  index_stats : index_stats;
 }
 
 type client
@@ -51,8 +57,11 @@ val client_paillier : client -> Snf_crypto.Paillier.keypair
 
 val encrypt : client -> Relation.t -> Snf_core.Partition.t -> t
 (** Materialize each leaf of the representation over the relation and
-    encrypt it. @raise Invalid_argument on [Null] under OPE/ORE/PHE or
-    non-integer values under PHE. *)
+    encrypt it. Bulk work fans out over [Parallel] domains: every
+    randomized cell draws from a per-(leaf, attr, slot) PRNG stream and
+    PHE columns use a precomputed randomizer pool, so the ciphertexts are
+    bit-identical for every domain count. @raise Invalid_argument on
+    [Null] under OPE/ORE/PHE or non-integer values under PHE. *)
 
 val find_leaf : t -> string -> enc_leaf
 (** @raise Not_found on unknown label. *)

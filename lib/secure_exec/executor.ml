@@ -21,41 +21,23 @@ let pred_holds (p : Query.pred) v =
   | Query.Range (_, lo, hi) -> Value.compare lo v <= 0 && Value.compare v hi <= 0
 
 (* Server role: evaluate the predicates homed at this leaf over its
-   ciphertext columns, returning the selection mask. Point predicates on
-   columns with canonical ciphertexts can be served from the server's
-   equality index (§V-D "leakage as indexing") instead of a scan. *)
-let server_filter ?(use_index = false) ?enc client (leaf : Enc_relation.enc_leaf) preds
-    scanned index_probes =
+   ciphertext columns, returning the selection mask and the number of
+   cells scanned. [resolved] pairs each predicate with the slot list an
+   equality index already served (§V-D "leakage as indexing"), [None]
+   when it must be evaluated by scan. Pure — index lookups happen before
+   the per-leaf fan-out (see [resolve_indexed] in [run]) precisely so
+   this function can run on any domain. *)
+let server_filter client (leaf : Enc_relation.enc_leaf) resolved =
   let mask = Array.make leaf.Enc_relation.row_count true in
+  let scanned = ref 0 in
   let apply_slots slots =
     let keep = Array.make leaf.Enc_relation.row_count false in
     List.iter (fun s -> keep.(s) <- true) slots;
     Array.iteri (fun i m -> if m && not keep.(i) then mask.(i) <- false) mask
   in
-  let try_index (p : Query.pred) =
-    if not use_index then None
-    else
-      match (p, enc) with
-      | Query.Point (attr, v), Some enc -> (
-        let col = Enc_relation.column leaf attr in
-        match
-          ( Enc_relation.eq_index enc ~leaf:leaf.Enc_relation.label ~attr,
-            Enc_relation.eq_token client ~leaf:leaf.Enc_relation.label ~attr
-              ~scheme:col.Enc_relation.scheme v )
-        with
-        | Some idx, Some tok -> (
-          match Enc_relation.index_key_of_token tok with
-          | Some key ->
-            let slots = Option.value (Hashtbl.find_opt idx key) ~default:[] in
-            index_probes := !index_probes + 1 + List.length slots;
-            Some slots
-          | None -> None)
-        | _ -> None)
-      | _ -> None
-  in
   List.iter
-    (fun (p : Query.pred) ->
-      match try_index p with
+    (fun ((p : Query.pred), index_slots) ->
+      match index_slots with
       | Some slots -> apply_slots slots
       | None ->
       let attr = Query.pred_attr p in
@@ -81,8 +63,33 @@ let server_filter ?(use_index = false) ?enc client (leaf : Enc_relation.enc_leaf
       Array.iteri
         (fun i cell -> if mask.(i) && not (test cell) then mask.(i) <- false)
         col.Enc_relation.cells)
-    preds;
-  mask
+    resolved;
+  (mask, !scanned)
+
+(* Index lookups run sequentially before the fan-out: [Enc_relation.eq_index]
+   lazily builds and memoizes indexes (a cache write), which must not race
+   with the concurrent cache reads of parallel filters. *)
+let resolve_indexed ~use_index client enc (leaf : Enc_relation.enc_leaf) index_probes
+    (p : Query.pred) =
+  if not use_index then None
+  else
+    match p with
+    | Query.Point (attr, v) -> (
+      let col = Enc_relation.column leaf attr in
+      match
+        ( Enc_relation.eq_index enc ~leaf:leaf.Enc_relation.label ~attr,
+          Enc_relation.eq_token client ~leaf:leaf.Enc_relation.label ~attr
+            ~scheme:col.Enc_relation.scheme v )
+      with
+      | Some idx, Some tok -> (
+        match Enc_relation.index_key_of_token tok with
+        | Some key ->
+          let slots = Option.value (Hashtbl.find_opt idx key) ~default:[] in
+          index_probes := !index_probes + 1 + List.length slots;
+          Some slots
+        | None -> None)
+      | _ -> None)
+    | _ -> None
 
 let decrypt_at client (leaf : Enc_relation.enc_leaf) attr slot =
   let col = Enc_relation.column leaf attr in
@@ -322,14 +329,26 @@ let run ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
     let leaves =
       List.map (Enc_relation.find_leaf enc) plan.Planner.leaves
     in
-    let masks =
+    (* Phase 1 (sequential): serve what the equality indexes can — this is
+       where lazy index builds and cache-hit accounting happen. Phase 2
+       (parallel): the remaining per-leaf ciphertext scans are pure, so
+       they fan out one leaf per domain. *)
+    let resolved =
       List.map
         (fun (l : Enc_relation.enc_leaf) ->
-          server_filter ~use_index ~enc client l
-            (preds_at plan l.Enc_relation.label)
-            scanned index_probes)
+          List.map
+            (fun p -> (p, resolve_indexed ~use_index client enc l index_probes p))
+            (preds_at plan l.Enc_relation.label))
         leaves
     in
+    let filtered =
+      Parallel.map_list
+        ~domains:(Parallel.domain_count ())
+        (fun (l, res) -> server_filter client l res)
+        (List.combine leaves resolved)
+    in
+    let masks = List.map fst filtered in
+    List.iter (fun (_, s) -> scanned := !scanned + s) filtered;
     let result =
       match (leaves, masks) with
       | [ leaf ], [ mask ] -> run_single ~drop_tid client q plan leaf mask

@@ -72,6 +72,8 @@ type report = {
   co_access : ((string * string) * int) list;
   result_volumes : int list;
   total_reconstruction_rows : int;
+  index_hits : int;
+  index_misses : int;
 }
 
 let report t =
@@ -93,13 +95,16 @@ let report t =
            | 0 -> String.compare a.attr b.attr
            | c -> c)
   in
+  let stats = t.owner.System.enc.Enc_relation.index_stats in
   { queries = t.queries;
     attrs;
     co_access =
       Hashtbl.fold (fun pair n acc -> (pair, n) :: acc) t.co_access []
       |> List.sort (fun ((_, _), n1) ((_, _), n2) -> Int.compare n2 n1);
     result_volumes = List.rev t.volumes;
-    total_reconstruction_rows = t.reconstruction_rows }
+    total_reconstruction_rows = t.reconstruction_rows;
+    index_hits = stats.Enc_relation.hits;
+    index_misses = stats.Enc_relation.misses }
 
 let pp_report fmt r =
   Format.fprintf fmt "@[<v>session: %d queries, %d rows through reconstruction@,"
@@ -112,4 +117,7 @@ let pp_report fmt r =
   List.iter
     (fun ((l1, l2), n) -> Format.fprintf fmt "  co-accessed %s + %s: %d times@," l1 l2 n)
     r.co_access;
+  if r.index_hits + r.index_misses > 0 then
+    Format.fprintf fmt "  eq-index cache: %d hits, %d builds@," r.index_hits
+      r.index_misses;
   Format.fprintf fmt "@]"

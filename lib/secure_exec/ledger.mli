@@ -42,6 +42,9 @@ type report = {
         structure the workload reveals *)
   result_volumes : int list;           (** per query, in execution order *)
   total_reconstruction_rows : int;     (** rows through oblivious machinery *)
+  index_hits : int;
+    (** equality-index lookups served from the server's memo cache *)
+  index_misses : int;                  (** lazy equality-index builds *)
 }
 
 val report : t -> report

@@ -36,11 +36,12 @@ let join_entries stats entries_a entries_b =
   done;
   Array.of_list !out
 
+(* Tid decryption is the per-row crypto cost of a join's enclave side;
+   it is pure per row, so it fans out over domains. *)
 let decrypt_tids client (leaf : Enc_relation.enc_leaf) side mask =
-  Array.mapi
-    (fun i ct ->
-      (Enc_relation.decrypt_tid client ~leaf:leaf.Enc_relation.label ct, side, i, mask.(i)))
-    leaf.Enc_relation.tids
+  let tids = leaf.Enc_relation.tids in
+  Parallel.tabulate (Array.length tids) (fun i ->
+      (Enc_relation.decrypt_tid client ~leaf:leaf.Enc_relation.label tids.(i), side, i, mask.(i)))
 
 let join_indices ?mask_a ?mask_b stats client a b =
   let ma = check_mask "left" a.Enc_relation.row_count mask_a in
@@ -64,12 +65,13 @@ let join_many ~masks stats client =
        synthesising entry arrays for the accumulated side. *)
     let mask = check_mask "first" first.Enc_relation.row_count (Some mask_first) in
     let acc =
+      let tids = first.Enc_relation.tids in
       ref
-        (Array.mapi
-           (fun i ct ->
-             let tid = Enc_relation.decrypt_tid client ~leaf:first.Enc_relation.label ct in
-             (tid, [ i ], mask.(i)))
-           first.Enc_relation.tids)
+        (Parallel.tabulate (Array.length tids) (fun i ->
+             let tid =
+               Enc_relation.decrypt_tid client ~leaf:first.Enc_relation.label tids.(i)
+             in
+             (tid, [ i ], mask.(i))))
     in
     let result =
       List.fold_left

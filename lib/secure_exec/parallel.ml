@@ -1,0 +1,60 @@
+module Prng = Snf_crypto.Prng
+module Prf = Snf_crypto.Prf
+
+let parse_env () =
+  match Sys.getenv_opt "SNF_DOMAINS" with
+  | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 1)
+  | None -> Domain.recommended_domain_count ()
+
+let configured = ref None
+
+let domain_count () =
+  match !configured with
+  | Some d -> d
+  | None ->
+    let d = parse_env () in
+    configured := Some d;
+    d
+
+let set_domain_count d =
+  if d < 1 then invalid_arg "Parallel.set_domain_count: must be >= 1";
+  configured := Some d
+
+(* Below this many items the Domain.spawn overhead dominates any win. *)
+let min_parallel_items = 32
+
+let tabulate ?domains n f =
+  if n < 0 then invalid_arg "Parallel.tabulate: negative size";
+  let d = min (max 1 (Option.value domains ~default:(domain_count ()))) n in
+  (* An explicit ?domains is the caller saying the items are coarse-grained
+     (e.g. whole-leaf filters); only the default path applies the
+     small-input cutoff. *)
+  if d = 1 || (domains = None && n < min_parallel_items) then Array.init n f
+  else begin
+    (* Contiguous chunks, one per domain; chunk results are concatenated in
+       chunk order, so the output is independent of scheduling. *)
+    let chunk = (n + d - 1) / d in
+    let bounds =
+      List.init d (fun i ->
+          let lo = i * chunk in
+          (lo, min chunk (n - lo)))
+      |> List.filter (fun (_, len) -> len > 0)
+    in
+    match bounds with
+    | [] -> [||]
+    | (lo0, len0) :: rest ->
+      let workers =
+        List.map
+          (fun (lo, len) -> Domain.spawn (fun () -> Array.init len (fun i -> f (lo + i))))
+          rest
+      in
+      let first = Array.init len0 (fun i -> f (lo0 + i)) in
+      Array.concat (first :: List.map Domain.join workers)
+  end
+
+let map ?domains f arr = tabulate ?domains (Array.length arr) (fun i -> f arr.(i))
+
+let map_list ?domains f l =
+  Array.to_list (map ?domains f (Array.of_list l))
+
+let item_prng ~key i = Prng.of_int64 (Prf.mac_int key i)

@@ -1,0 +1,37 @@
+(** Multicore fan-out with deterministic results (OCaml 5 [Domain]s).
+
+    The execution layer for bulk crypto work: column encryption, randomizer
+    pool precomputation, per-partition server filters and join-side tid
+    decryption all fan out through [tabulate]/[map]. Work is split into
+    contiguous chunks, one per domain, and chunk results are concatenated
+    in chunk order — outputs are bit-identical for every domain count.
+
+    Randomness discipline: workers never share a mutable PRNG. Any job
+    that needs randomness derives a {e per-item} generator with
+    [item_prng], whose stream depends only on (key, item index) — see
+    [Snf_crypto.Prng.of_int64]. That is what makes ciphertexts independent
+    of the worker count, and it is enforced by the determinism tests.
+
+    The default domain count comes from the [SNF_DOMAINS] environment
+    variable when set, else [Domain.recommended_domain_count ()]. *)
+
+val domain_count : unit -> int
+
+val set_domain_count : int -> unit
+(** Override the default for subsequent calls (benchmarks and tests).
+    @raise Invalid_argument below 1. *)
+
+val tabulate : ?domains:int -> int -> (int -> 'a) -> 'a array
+(** [tabulate n f] is [Array.init n f], computed on up to [?domains]
+    (default [domain_count ()]) domains. [f] must be safe to call from
+    any domain and must not share mutable state across items. Small
+    inputs run sequentially unless [?domains] is passed explicitly —
+    an explicit count marks the items as coarse-grained. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+
+val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+
+val item_prng : key:Snf_crypto.Prf.key -> int -> Snf_crypto.Prng.t
+(** [item_prng ~key i] is the private randomness stream of item [i]:
+    a splitmix64 generator seeded by a PRF of the index. *)

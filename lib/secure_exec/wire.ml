@@ -137,9 +137,7 @@ let of_string data =
   if v <> version then fail (Printf.sprintf "unsupported version %d" v);
   let relation_name = r_string c in
   let n = Nat.of_bytes_be (r_string c) in
-  let paillier_public =
-    { Snf_crypto.Paillier.n; n_squared = Nat.mul n n }
-  in
+  let paillier_public = Snf_crypto.Paillier.public_of_n n in
   let leaf_count = r_int c in
   let leaves =
     List.init leaf_count (fun _ ->
@@ -160,7 +158,8 @@ let of_string data =
   { Enc_relation.relation_name;
     leaves;
     paillier_public;
-    index_cache = Hashtbl.create 8 }
+    index_cache = Hashtbl.create 8;
+    index_stats = { hits = 0; misses = 0 } }
 
 let save path t =
   let oc = open_out_bin path in

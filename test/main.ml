@@ -13,6 +13,7 @@ let () =
       ("oblivious", Test_oblivious.suite);
       ("exec", Test_exec.suite);
       ("executor", Test_executor.suite);
+      ("parallel", Test_parallel.suite);
       ("workload-attack", Test_workload_attack.suite);
       ("multi", Test_multi.suite);
       ("dynamic", Test_dynamic.suite);

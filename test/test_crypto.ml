@@ -227,6 +227,65 @@ let prop_paillier_add =
       let c = Paillier.add pk (Paillier.encrypt_int prng pk a) (Paillier.encrypt_int prng pk b) in
       Paillier.decrypt_int kp c = a + b)
 
+(* One keypair per prime size, shared across the kernel cross-checks. *)
+let kp48 = Paillier.key_gen ~prime_bits:48 (Prng.create 481)
+let kp96 = Paillier.key_gen ~prime_bits:96 (Prng.create 961)
+
+let test_paillier_kernels () =
+  List.iter
+    (fun (bits, kp) ->
+      let pk = kp.Paillier.public in
+      let prng = Prng.create (1000 + bits) in
+      let label s = Printf.sprintf "%s (prime_bits=%d)" s bits in
+      (* Montgomery encrypt and reference encrypt decrypt to the same
+         plaintext under both decryption kernels. *)
+      List.iter
+        (fun m ->
+          let mn = Snf_bignum.Nat.of_int m in
+          let c_new = Paillier.encrypt prng pk mn in
+          let c_ref = Paillier.encrypt_reference prng pk mn in
+          Alcotest.(check int) (label "crt decrypt of mont encrypt") m
+            (Paillier.decrypt_int kp c_new);
+          Alcotest.(check int) (label "crt decrypt of ref encrypt") m
+            (Paillier.decrypt_int kp c_ref);
+          Alcotest.(check bool) (label "crt agrees with lambda/mu") true
+            (Snf_bignum.Nat.equal (Paillier.decrypt kp c_new)
+               (Paillier.decrypt_reference kp c_new)))
+        [ 0; 1; 42; 999_983; 123_456_789 ];
+      (* homomorphic roundtrips through the new kernels *)
+      let a = 271_828 and b = 314_159 in
+      let ca = Paillier.encrypt_int prng pk a in
+      let cb = Paillier.encrypt_int prng pk b in
+      Alcotest.(check int) (label "homomorphic add") (a + b)
+        (Paillier.decrypt_int kp (Paillier.add pk ca cb));
+      Alcotest.(check int) (label "scalar mul") (a * 7)
+        (Paillier.decrypt_int kp (Paillier.scalar_mul pk ca 7)))
+    [ (48, kp48); (96, kp96) ]
+
+let test_paillier_pool () =
+  let kp = kp48 in
+  let pk = kp.Paillier.public in
+  let key = Prf.key_of_string "pool-test" in
+  let pool = Paillier.pool ~key pk in
+  (* entries depend only on (key, index): raw computation, cached lookup
+     and a freshly built pool all agree *)
+  Paillier.pool_fill pool ~tabulate:Array.init 16;
+  let pool' = Paillier.pool ~key pk in
+  for i = 0 to 15 do
+    Alcotest.(check bool) "cached = raw" true
+      (Snf_bignum.Nat.equal (Paillier.pool_entry pool i) (Paillier.pool_raw_entry pool i));
+    Alcotest.(check bool) "independent of fill" true
+      (Snf_bignum.Nat.equal (Paillier.pool_entry pool i) (Paillier.pool_entry pool' i))
+  done;
+  Alcotest.(check bool) "distinct indexes, distinct randomizers" true
+    (not (Snf_bignum.Nat.equal (Paillier.pool_entry pool 0) (Paillier.pool_entry pool 1)));
+  (* pooled ciphertexts decrypt and compose like fresh ones *)
+  let c0 = Paillier.encrypt_with pool 0 (Snf_bignum.Nat.of_int 1234) in
+  let c1 = Paillier.encrypt_with pool 1 (Snf_bignum.Nat.of_int 5678) in
+  Alcotest.(check int) "pooled roundtrip" 1234 (Paillier.decrypt_int kp c0);
+  Alcotest.(check int) "pooled homomorphic add" 6912
+    (Paillier.decrypt_int kp (Paillier.add pk c0 c1))
+
 (* --- Scheme / Keyring ------------------------------------------------------ *)
 
 let test_scheme_profiles () =
@@ -277,5 +336,7 @@ let suite =
     prop_ore_order;
     t "paillier" test_paillier;
     prop_paillier_add;
+    t "paillier kernels 48/96" test_paillier_kernels;
+    t "paillier randomizer pool" test_paillier_pool;
     t "scheme profiles" test_scheme_profiles;
     t "keyring" test_keyring ]

@@ -154,8 +154,76 @@ let prop_mod_inverse =
       | Some inv -> Nat.equal Nat.one (Nat.mul_mod (of_i a) inv (of_i m))
       | None -> not (Nat.is_one (Nat.gcd (of_i a) (of_i m))) || of_i m = Nat.one)
 
+(* --- Montgomery kernel ---------------------------------------------------- *)
+
+let bytes_gen lo hi =
+  QCheck2.Gen.(
+    let* n = int_range lo hi in
+    map
+      (fun l -> Nat.of_bytes_be (String.init (List.length l) (List.nth l)))
+      (list_size (return n) (map Char.chr (int_bound 255))))
+
+(* Random odd moduli > 1, one to many limbs. *)
+let odd_modulus_gen =
+  QCheck2.Gen.map
+    (fun m ->
+      let m = if Nat.compare m (of_i 3) < 0 then of_i 3 else m in
+      if Nat.is_even m then Nat.succ m else m)
+    (bytes_gen 1 24)
+
+let prop_mont_mul_mod =
+  Helpers.qtest ~count:400 "Mont.mul_mod agrees with Nat.mul_mod"
+    QCheck2.Gen.(triple odd_modulus_gen (bytes_gen 0 24) (bytes_gen 0 24))
+    (fun (m, a0, b0) ->
+      let ctx = Nat.Mont.make m in
+      let a = Nat.rem a0 m and b = Nat.rem b0 m in
+      Nat.equal (Nat.Mont.mul_mod ctx a b) (Nat.mul_mod a b m))
+
+let prop_mont_pow_mod =
+  Helpers.qtest ~count:300 "Mont.pow_mod agrees with Nat.pow_mod"
+    QCheck2.Gen.(triple odd_modulus_gen (bytes_gen 0 24) (bytes_gen 0 12))
+    (fun (m, b0, e) ->
+      let ctx = Nat.Mont.make m in
+      let b = Nat.rem b0 m in
+      Nat.equal (Nat.Mont.pow_mod ctx b e) (Nat.pow_mod b e m))
+
+let prop_mont_roundtrip =
+  Helpers.qtest ~count:300 "to_mont/of_mont roundtrip"
+    QCheck2.Gen.(pair odd_modulus_gen (bytes_gen 0 24))
+    (fun (m, a0) ->
+      let ctx = Nat.Mont.make m in
+      let a = Nat.rem a0 m in
+      Nat.equal a (Nat.Mont.of_mont ctx (Nat.Mont.to_mont ctx a)))
+
+let test_mont_edges () =
+  let msg = "Nat.Mont.make: modulus must be odd and > 1" in
+  Alcotest.check_raises "even modulus rejected" (Invalid_argument msg) (fun () ->
+      ignore (Nat.Mont.make (of_i 100)));
+  Alcotest.check_raises "modulus 1 rejected" (Invalid_argument msg) (fun () ->
+      ignore (Nat.Mont.make Nat.one));
+  Alcotest.check_raises "modulus 0 rejected" (Invalid_argument msg) (fun () ->
+      ignore (Nat.Mont.make Nat.zero));
+  let ctx = Nat.Mont.make (of_i 1000003) in
+  Alcotest.check nat "x^0 = 1" Nat.one (Nat.Mont.pow_mod ctx (of_i 42) Nat.zero);
+  Alcotest.check nat "0^e = 0" Nat.zero (Nat.Mont.pow_mod ctx Nat.zero (of_i 17));
+  Alcotest.check nat "0^0 = 1" Nat.one (Nat.Mont.pow_mod ctx Nat.zero Nat.zero);
+  Alcotest.check nat "Fermat via Mont" Nat.one
+    (Nat.Mont.pow_mod ctx (of_i 123456) (of_i 1000002));
+  (* huge exponent exercises the widest sliding window *)
+  let m = Nat.pred (Nat.shift_left Nat.one 130) in
+  let m = if Nat.is_even m then Nat.succ m else m in
+  let ctx = Nat.Mont.make m in
+  let e = Nat.of_string "123456789012345678901234567890123456789" in
+  let b = of_i 987654321 in
+  Alcotest.check nat "multi-limb exponent" (Nat.pow_mod b e m)
+    (Nat.Mont.pow_mod ctx b e)
+
 let suite =
   [ t "conversions" test_conversions;
+    t "montgomery edges" test_mont_edges;
+    prop_mont_mul_mod;
+    prop_mont_pow_mod;
+    prop_mont_roundtrip;
     t "bytes" test_bytes;
     t "arithmetic" test_arithmetic;
     t "divmod" test_divmod;

@@ -1,0 +1,147 @@
+(* Determinism of the multicore fan-out layer: every output — raw
+   tabulations, serialized ciphertext stores, query answers, Table I
+   numbers — must be bit-identical whatever the domain count. *)
+
+open Snf_relational
+open Snf_exec
+module Scheme = Snf_crypto.Scheme
+module Prf = Snf_crypto.Prf
+module Prng = Snf_crypto.Prng
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* Run [f] under exactly [domains] domains, restoring the prior setting. *)
+let with_domains domains f =
+  let saved = Parallel.domain_count () in
+  Parallel.set_domain_count domains;
+  Fun.protect ~finally:(fun () -> Parallel.set_domain_count saved) f
+
+let test_tabulate_matches_sequential () =
+  let f i = (i * 2654435761) land 0xFFFF in
+  let expected = Array.init 1000 f in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "tabulate, %d domains" d)
+        true
+        (with_domains d (fun () -> Parallel.tabulate 1000 f) = expected))
+    [ 1; 2; 3; 7 ];
+  (* explicit ?domains bypasses the small-input cutoff *)
+  Alcotest.(check bool) "explicit domains on small input" true
+    (Parallel.tabulate ~domains:3 5 f = Array.init 5 f);
+  Alcotest.(check bool) "empty" true (Parallel.tabulate 0 f = [||]);
+  Alcotest.check_raises "negative size"
+    (Invalid_argument "Parallel.tabulate: negative size") (fun () ->
+      ignore (Parallel.tabulate (-1) f));
+  Alcotest.check_raises "bad domain count"
+    (Invalid_argument "Parallel.set_domain_count: must be >= 1") (fun () ->
+      Parallel.set_domain_count 0)
+
+let test_map_preserves_order () =
+  let l = List.init 200 (fun i -> i * 3) in
+  let f x = x * x in
+  Alcotest.(check (list int)) "map_list = List.map" (List.map f l)
+    (with_domains 3 (fun () -> Parallel.map_list f l));
+  let arr = Array.init 200 (fun i -> i * 5) in
+  Alcotest.(check bool) "map = Array.map" true
+    (with_domains 2 (fun () -> Parallel.map f arr) = Array.map f arr)
+
+let test_item_prng () =
+  let key = Prf.key_of_string "item-prng" in
+  let stream k i n = List.init n (fun _ -> Prng.int (Parallel.item_prng ~key:k i) 1_000_000) in
+  Alcotest.(check (list int)) "same (key, index), same stream" (stream key 7 20)
+    (stream key 7 20);
+  Alcotest.(check bool) "indexes independent" true (stream key 7 20 <> stream key 8 20);
+  Alcotest.(check bool) "keys independent" true
+    (stream key 7 20 <> stream (Prf.key_of_string "other") 7 20)
+
+(* --- end-to-end: bulk encryption ------------------------------------------- *)
+
+let mixed_relation n =
+  Relation.create
+    (Schema.of_attributes [ Attribute.int "a"; Attribute.int "b"; Attribute.int "c" ])
+    (List.init n (fun i ->
+         [| Value.Int (i mod 13); Value.Int (i * 17); Value.Int (i mod 89) |]))
+
+let outsourced n =
+  let policy =
+    Snf_core.Policy.create
+      [ ("a", Scheme.Det); ("b", Scheme.Ndet); ("c", Scheme.Phe) ]
+  in
+  let g = Snf_deps.Dep_graph.create [ "a"; "b"; "c" ] in
+  let g = Snf_deps.Dep_graph.declare_dependent g "a" "b" in
+  System.outsource ~name:"par" ~graph:g (mixed_relation n) policy
+
+let test_ciphertexts_domain_independent () =
+  let wire d = with_domains d (fun () -> Wire.to_string (outsourced 120).System.enc) in
+  let w1 = wire 1 in
+  Alcotest.(check bool) "1 vs 3 domains" true (w1 = wire 3);
+  Alcotest.(check bool) "1 vs 5 domains" true (w1 = wire 5)
+
+let test_answers_domain_independent () =
+  let queries =
+    [ Query.point ~select:[ "b" ] [ ("a", Value.Int 5) ];
+      Query.point ~select:[ "a"; "b" ] [ ("a", Value.Int 12) ];
+      Query.point ~select:[ "c" ] [ ("a", Value.Int 3) ] ]
+  in
+  let answers d =
+    with_domains d (fun () ->
+        let o = outsourced 120 in
+        List.map
+          (fun q ->
+            match System.query o q with
+            | Ok (ans, tr) ->
+              (List.sort compare (Relation.rows ans), tr.Executor.scanned_cells)
+            | Error e -> Alcotest.fail e)
+          queries)
+  in
+  Alcotest.(check bool) "answers and scan counts, 1 vs 3 domains" true
+    (answers 1 = answers 3)
+
+let test_index_counters () =
+  let o = outsourced 120 in
+  let stats = o.System.enc.Enc_relation.index_stats in
+  Alcotest.(check int) "no hits yet" 0 stats.Enc_relation.hits;
+  Alcotest.(check int) "no builds yet" 0 stats.Enc_relation.misses;
+  let q = Query.point ~select:[ "b" ] [ ("a", Value.Int 5) ] in
+  (match System.query ~use_index:true o q with
+   | Ok _ -> ()
+   | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "first indexed query builds" 1 stats.Enc_relation.misses;
+  Alcotest.(check int) "no cache hit on first build" 0 stats.Enc_relation.hits;
+  (match System.query ~use_index:true o q with
+   | Ok _ -> ()
+   | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "second query hits the cache" 1 stats.Enc_relation.hits;
+  Alcotest.(check int) "no further builds" 1 stats.Enc_relation.misses;
+  (* un-indexed scans leave the counters alone *)
+  (match System.query ~use_index:false o q with
+   | Ok _ -> ()
+   | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "scan path does not touch cache" 1 stats.Enc_relation.hits
+
+let test_decrypt_roundtrip_parallel () =
+  (* Decryption of a parallel-encrypted store recovers the plaintext. *)
+  with_domains 3 (fun () ->
+      let o = outsourced 120 in
+      let reference = Query.reference_answer (mixed_relation 120) in
+      List.iter
+        (fun q ->
+          match System.query o q with
+          | Ok (ans, _) ->
+            Alcotest.(check bool)
+              (Format.asprintf "%a" Query.pp q)
+              true
+              (Relation.equal_as_sets ans (reference q))
+          | Error e -> Alcotest.fail e)
+        [ Query.point ~select:[ "b" ] [ ("a", Value.Int 4) ];
+          Query.point ~select:[ "a"; "c" ] [ ("a", Value.Int 0) ] ])
+
+let suite =
+  [ t "tabulate matches sequential" test_tabulate_matches_sequential;
+    t "map preserves order" test_map_preserves_order;
+    t "item prng" test_item_prng;
+    t "ciphertexts domain-independent" test_ciphertexts_domain_independent;
+    t "answers domain-independent" test_answers_domain_independent;
+    t "eq-index cache counters" test_index_counters;
+    t "parallel encrypt roundtrip" test_decrypt_roundtrip_parallel ]
