@@ -12,6 +12,11 @@
    `dune exec bench/main.exe -- micro-paillier`
                                            — Paillier kernel comparison;
                                              writes BENCH_paillier.json.
+   `dune exec bench/main.exe -- trace-demo`
+                                           — record spans over the three
+                                             reconstruction modes and
+                                             write trace.json (Chrome
+                                             trace_event format).
    Other targets: figure3, attack, ablation-semantics, ablation-horizontal,
    ablation-workload, ablation-modes, micro. *)
 
@@ -24,9 +29,16 @@ let arg_value key default =
     (fun acc a ->
       if String.length a > String.length prefix
          && String.sub a 0 (String.length prefix) = prefix
-      then
-        int_of_string (String.sub a (String.length prefix)
-                         (String.length a - String.length prefix))
+      then begin
+        let raw =
+          String.sub a (String.length prefix) (String.length a - String.length prefix)
+        in
+        match int_of_string_opt raw with
+        | Some v -> v
+        | None ->
+          Printf.eprintf "bench: bad argument %s — %S is not an integer\n" a raw;
+          exit 2
+      end
       else acc)
     default Sys.argv
 
@@ -79,7 +91,8 @@ let table1_json (result : Table1.result) ~deterministic =
                    ("snf", Report.J_bool row.Table1.snf);
                    ("plan_seconds", Report.J_float row.Table1.plan_seconds) ])
              result.Table1.table) );
-      ("deterministic_across_domains", Report.J_bool deterministic) ]
+      ("deterministic_across_domains", Report.J_bool deterministic);
+      ("metrics", Report.of_obs_metrics (Snf_obs.Metrics.snapshot ())) ]
 
 (* Everything except wall-clock timings must be bit-identical whatever the
    domain count. *)
@@ -452,8 +465,51 @@ let run_micro_paillier () =
          ("encrypt_speedup_montgomery", Report.J_float enc_speedup_mont);
          ("encrypt_speedup_pooled", Report.J_float enc_speedup_pooled);
          ("decrypt_speedup_crt", Report.J_float dec_speedup_crt);
-         ("ciphertexts_deterministic_across_domains", Report.J_bool deterministic) ]);
+         ("ciphertexts_deterministic_across_domains", Report.J_bool deterministic);
+         ("metrics", Report.of_obs_metrics (Snf_obs.Metrics.snapshot ())) ]);
   Printf.printf "wrote BENCH_paillier.json\n"
+
+(* Span-tracer demo: outsource a small three-leaf relation, run one query
+   per reconstruction mode with spans on, and write a Chrome trace_event
+   file (CI uploads it as an artifact). *)
+let run_trace_demo () =
+  section "Trace demo (Chrome trace_event export)";
+  let rows = arg_value "rows" 400 in
+  let r =
+    Snf_relational.Relation.create
+      (Snf_relational.Schema.of_attributes
+         Snf_relational.[ Attribute.int "a"; Attribute.int "b"; Attribute.int "c" ])
+      (List.init rows (fun i ->
+           Snf_relational.
+             [| Value.Int (i mod 11); Value.Int (i * 13); Value.Int (i mod 7) |]))
+  in
+  let policy =
+    Snf_core.Policy.create
+      [ ("a", Snf_crypto.Scheme.Det);
+        ("b", Snf_crypto.Scheme.Ndet);
+        ("c", Snf_crypto.Scheme.Det) ]
+  in
+  let g = Snf_deps.Dep_graph.create [ "a"; "b"; "c" ] in
+  let g = Snf_deps.Dep_graph.declare_dependent g "a" "b" in
+  let g = Snf_deps.Dep_graph.declare_dependent g "b" "c" in
+  Snf_obs.Span.set_enabled true;
+  let owner = Snf_exec.System.outsource ~name:"tracedemo" ~graph:g r policy in
+  let q =
+    Snf_exec.Query.point ~select:[ "b" ]
+      [ ("a", Snf_relational.Value.Int 5); ("c", Snf_relational.Value.Int 3) ]
+  in
+  List.iter
+    (fun mode ->
+      match Snf_exec.System.query ~mode owner q with
+      | Ok _ -> ()
+      | Error e -> Printf.printf "trace-demo query failed: %s\n" e)
+    [ `Sort_merge; `Oram; `Binning 16 ];
+  Snf_obs.Span.set_enabled false;
+  let events = Snf_obs.Span.events () in
+  Snf_obs.Export.write ~path:"trace.json"
+    (Snf_obs.Export.chrome_trace ~metrics:(Snf_obs.Metrics.snapshot ()) events);
+  Printf.printf "wrote trace.json (%d spans; open in chrome://tracing or Perfetto)\n"
+    (List.length events)
 
 let () =
   if wants "table1" then run_table1 ();
@@ -464,4 +520,5 @@ let () =
   if wants "micro" then run_micro ();
   if wants "micro-modexp" then run_micro_modexp ();
   if wants "micro-paillier" then run_micro_paillier ();
+  if wants "trace-demo" then run_trace_demo ();
   Printf.printf "\nbench: done\n"

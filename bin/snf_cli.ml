@@ -220,7 +220,13 @@ let query_cmd =
              let attr = String.sub pair 0 i in
              (attr, parse_value attr (String.sub pair (i + 1) (String.length pair - i - 1))))
   in
-  let run csv enc default select where mode =
+  let trace_out_arg =
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Record spans and write a Chrome trace_event JSON file \
+                 (view in chrome://tracing or Perfetto) with the metrics \
+                 snapshot embedded.")
+  in
+  let run csv enc default select where mode trace_out =
     let r = load_csv csv in
     let policy = policy_of ~enc ~default r in
     let schema = Relation.schema r in
@@ -233,19 +239,29 @@ let query_cmd =
     in
     let preds = parse_preds where parse_value in
     let select = String.split_on_char ',' select |> List.filter (( <> ) "") in
+    if trace_out <> None then Snf_obs.Span.set_enabled true;
     let owner = Snf_exec.System.outsource ~name:"cli" r policy in
     let q = Snf_exec.Query.point ~select preds in
     match Snf_exec.System.query ~mode owner q with
     | Ok (ans, trace) ->
       Format.printf "%a@." (Relation.pp ~max_rows:50) ans;
       Format.printf "-- %a@." Snf_exec.Executor.pp_trace trace;
+      (* Export before [verify] re-runs the query, so the embedded
+         exec.query.* totals equal the printed trace exactly. *)
+      (match trace_out with
+       | Some path ->
+         Snf_obs.Export.write ~path
+           (Snf_obs.Export.chrome_trace ~metrics:(Snf_obs.Metrics.snapshot ())
+              (Snf_obs.Span.events ()));
+         Printf.printf "-- wrote %s (open in chrome://tracing or Perfetto)\n" path
+       | None -> ());
       Printf.printf "-- verified against plaintext reference: %b\n"
         (Snf_exec.System.verify ~mode owner q)
     | Error e -> Printf.printf "query failed: %s\n" e
   in
   Cmd.v (Cmd.info "query" ~doc:"Outsource a CSV and run a point query securely.")
     Term.(const run $ csv_arg $ enc_arg $ default_scheme_arg $ select_arg $ where_arg
-          $ mode_arg)
+          $ mode_arg $ trace_out_arg)
 
 (* --- visualize ---------------------------------------------------------------------- *)
 

@@ -278,8 +278,16 @@ let pred a = sub a one
 let add_mod a b m = rem (add a b) m
 let mul_mod a b m = rem (mul a b) m
 
+(* Op counters (see DESIGN.md §Observability). Exponentiations batch their
+   inner-multiplication counts into one shard update per call, so the
+   counting cost is invisible next to the limb work it measures. *)
+let m_nat_pow = Snf_obs.Metrics.counter "bignum.nat.pow_mod"
+let m_mont_pow = Snf_obs.Metrics.counter "bignum.mont.pow_mod"
+let m_mont_muls = Snf_obs.Metrics.counter "bignum.mont.muls"
+
 let pow_mod b e m =
   if is_zero m then raise Division_by_zero;
+  Snf_obs.Metrics.incr m_nat_pow;
   if is_one m then zero
   else begin
     let result = ref one and acc = ref (rem b m) in
@@ -588,6 +596,14 @@ module Mont = struct
   let pow_mod ctx b e =
     if is_zero e then one
     else begin
+      Snf_obs.Metrics.incr m_mont_pow;
+      (* Local multiplication count, flushed as one batched metric update
+         below — no per-mult shard traffic. *)
+      let muls = ref 0 in
+      let mont_mul ctx a b =
+        incr muls;
+        mont_mul ctx a b
+      in
       let bm = mont_mul ctx (limbs_of ctx (rem b ctx.m)) (limbs_of ctx ctx.r2) in
       let e_bits = bit_length e in
       let w = window_bits e_bits in
@@ -629,6 +645,8 @@ module Mont = struct
       done;
       let one_l = Array.make ctx.k 0 in
       one_l.(0) <- 1;
-      normalize (mont_mul ctx !acc one_l)
+      let r = normalize (mont_mul ctx !acc one_l) in
+      Snf_obs.Metrics.add m_mont_muls !muls;
+      r
     end
 end

@@ -1,5 +1,8 @@
 type t = { key : Prf.key; domain_bits : int; range_bits : int }
 
+let m_encrypt = Snf_obs.Metrics.counter "crypto.ope.encrypt"
+let m_decrypt = Snf_obs.Metrics.counter "crypto.ope.decrypt"
+
 let create ?(range_extra_bits = 15) ~key ~domain_bits () =
   if domain_bits < 1 || domain_bits > 40 then
     invalid_arg "Ope.create: domain_bits must be within [1, 40]";
@@ -29,6 +32,7 @@ let leaf_value t ~dlo ~rlo ~rhi =
 
 let encrypt t x =
   if x < 0 || x lsr t.domain_bits <> 0 then invalid_arg "Ope.encrypt: out of domain";
+  Snf_obs.Metrics.incr m_encrypt;
   let rec go dlo dhi rlo rhi =
     if dhi - dlo = 1 then leaf_value t ~dlo ~rlo ~rhi
     else begin
@@ -41,6 +45,7 @@ let encrypt t x =
 
 let decrypt t y =
   if y < 0 || y lsr t.range_bits <> 0 then invalid_arg "Ope.decrypt: out of range";
+  Snf_obs.Metrics.incr m_decrypt;
   let rec go dlo dhi rlo rhi =
     if dhi - dlo = 1 then dlo
     else begin

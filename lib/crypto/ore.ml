@@ -2,12 +2,16 @@ type t = { key : Prf.key; bits : int }
 
 type ciphertext = int array
 
+let m_encrypt = Snf_obs.Metrics.counter "crypto.ore.encrypt"
+let m_compare = Snf_obs.Metrics.counter "crypto.ore.compare"
+
 let create ~key ~bits =
   if bits < 1 || bits > 62 then invalid_arg "Ore.create: bits must be within [1, 62]";
   { key; bits }
 
 let encrypt t x =
   if x < 0 || x lsr t.bits <> 0 then invalid_arg "Ore.encrypt: out of domain";
+  Snf_obs.Metrics.incr m_encrypt;
   Array.init t.bits (fun i ->
       (* Position i counts from the most significant bit. *)
       let shift = t.bits - 1 - i in
@@ -19,6 +23,7 @@ let encrypt t x =
 let compare_ciphertexts a b =
   if Array.length a <> Array.length b then
     invalid_arg "Ore.compare_ciphertexts: length mismatch";
+  Snf_obs.Metrics.incr m_compare;
   let rec go i =
     if i = Array.length a then 0
     else if a.(i) = b.(i) then go (i + 1)

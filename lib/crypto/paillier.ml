@@ -1,5 +1,18 @@
 module Nat = Snf_bignum.Nat
 module Mont = Nat.Mont
+module Metrics = Snf_obs.Metrics
+
+(* Primitive op counts (DESIGN.md §Observability). Pooled encryptions
+   ("crypto.paillier.encrypt_pooled") are batch-counted by bulk callers —
+   [encrypt_with] is a single modular multiplication and stays free of
+   per-op accounting. *)
+let m_encrypt = Metrics.counter "crypto.paillier.encrypt"
+let m_encrypt_ref = Metrics.counter "crypto.paillier.encrypt_reference"
+let m_decrypt = Metrics.counter "crypto.paillier.decrypt"
+let m_decrypt_ref = Metrics.counter "crypto.paillier.decrypt_reference"
+let m_add = Metrics.counter "crypto.paillier.add"
+let m_scalar_mul = Metrics.counter "crypto.paillier.scalar_mul"
+let m_pool_entries = Metrics.counter "crypto.paillier.pool_entries"
 
 type public_key = { n : Nat.t; n_squared : Nat.t; mont_n2 : Mont.ctx }
 
@@ -80,6 +93,7 @@ let check_plaintext pk m =
 
 let encrypt prng pk m =
   check_plaintext pk m;
+  Metrics.incr m_encrypt;
   let r = draw_randomizer (fun bound -> Prng.int prng bound) pk.n in
   let r_n = Mont.pow_mod pk.mont_n2 r pk.n in
   Nat.mul_mod (g_pow_m pk m) r_n pk.n_squared
@@ -90,6 +104,7 @@ let encrypt_int prng pk m = encrypt prng pk (Nat.of_int m)
    cross-checking and as the benchmark baseline. *)
 let encrypt_reference prng pk m =
   check_plaintext pk m;
+  Metrics.incr m_encrypt_ref;
   let r = draw_randomizer (fun bound -> Prng.int prng bound) pk.n in
   let r_n = Nat.pow_mod r pk.n pk.n_squared in
   Nat.mul_mod (g_pow_m pk m) r_n pk.n_squared
@@ -115,7 +130,10 @@ let pool_raw_entry t i =
   Mont.pow_mod t.pool_pk.mont_n2 r t.pool_pk.n
 
 let pool_fill t ~tabulate size =
-  if Array.length t.entries < size then t.entries <- tabulate size (pool_raw_entry t)
+  if Array.length t.entries < size then begin
+    Metrics.add m_pool_entries (size - Array.length t.entries);
+    t.entries <- tabulate size (pool_raw_entry t)
+  end
 
 let pool_entry t i =
   if i >= 0 && i < Array.length t.entries then t.entries.(i) else pool_raw_entry t i
@@ -131,6 +149,7 @@ let encrypt_with t i m =
    per prime instead of one full-width pow mod n^2 — roughly 8x less limb
    work per leg, 4x overall. *)
 let decrypt kp c =
+  Metrics.incr m_decrypt;
   let sk = kp.secret in
   let half mont prime prime_m1 h =
     let u = Mont.pow_mod mont c prime_m1 in
@@ -147,6 +166,7 @@ let decrypt kp c =
   Nat.add mq (Nat.mul sk.q (Nat.mul_mod diff sk.q_inv_p sk.p))
 
 let decrypt_reference kp c =
+  Metrics.incr m_decrypt_ref;
   let { n; n_squared; mont_n2 = _ } = kp.public in
   let u = Nat.pow_mod c kp.secret.lambda n_squared in
   Nat.mul_mod (l_function ~n u) kp.secret.mu n
@@ -155,10 +175,13 @@ let decrypt_int kp c = Nat.to_int_exn (decrypt kp c)
 
 (* --- homomorphisms -------------------------------------------------------- *)
 
-let add pk c1 c2 = Nat.mul_mod c1 c2 pk.n_squared
+let add pk c1 c2 =
+  Metrics.incr m_add;
+  Nat.mul_mod c1 c2 pk.n_squared
 
 let scalar_mul pk c k =
   if k < 0 then invalid_arg "Paillier.scalar_mul: negative scalar";
+  Metrics.incr m_scalar_mul;
   Mont.pow_mod pk.mont_n2 c (Nat.of_int k)
 
 let ciphertext_length pk = (Nat.bit_length pk.n_squared + 7) / 8

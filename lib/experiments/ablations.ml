@@ -161,14 +161,15 @@ let index ?(rows = 3_000) ?(seed = 13) () =
   let policy = Sensitivity.annotate ~weak:9 ~ope_share:0.0 ~seed:(seed + 1) (Relation.schema r) in
   let owner = System.outsource ~name:"idx" ~graph:acs.Acs.graph r policy in
   let queries = Query_gen.point_queries ~count:20 ~seed:(seed + 2) ~way:2 r policy in
-  (* Cache counters live on the encrypted store and accumulate across runs;
-     per-run deltas show that indexes are built once (misses) and reused
-     for every later probe (hits). *)
-  let stats = owner.System.enc.Snf_exec.Enc_relation.index_stats in
+  (* Cache accounting is the process-wide Snf_obs counter pair shared with
+     [Enc_relation.eq_index] and [Ledger]; per-run deltas show that indexes
+     are built once (builds) and reused for every later probe (hits). *)
+  let m_hits = Snf_obs.Metrics.counter "exec.eq_index.hits" in
+  let m_builds = Snf_obs.Metrics.counter "exec.eq_index.builds" in
   let run use_index =
     let scans = ref 0 and probes = ref 0 and correct = ref true in
-    let hits0 = stats.Snf_exec.Enc_relation.hits
-    and misses0 = stats.Snf_exec.Enc_relation.misses in
+    let hits0 = Snf_obs.Metrics.value m_hits
+    and builds0 = Snf_obs.Metrics.value m_builds in
     let t0 = Unix.gettimeofday () in
     List.iter
       (fun q ->
@@ -181,8 +182,8 @@ let index ?(rows = 3_000) ?(seed = 13) () =
         | Error _ -> ())
       queries;
     ( !scans, !probes, Unix.gettimeofday () -. t0, !correct,
-      stats.Snf_exec.Enc_relation.hits - hits0,
-      stats.Snf_exec.Enc_relation.misses - misses0 )
+      Snf_obs.Metrics.value m_hits - hits0,
+      Snf_obs.Metrics.value m_builds - builds0 )
   in
   let s_scan, p_scan, t_scan, ok_scan, h_scan, m_scan = run false in
   let s_idx, p_idx, t_idx, ok_idx, h_idx, m_idx = run true in

@@ -120,3 +120,26 @@ let write_json path j =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (json_to_string j))
+
+(* An Snf_obs metrics snapshot as a BENCH_*.json fragment, mirroring the
+   shape of [Snf_obs.Export.metrics_json]. *)
+let of_obs_metrics (s : Snf_obs.Metrics.snapshot) =
+  J_obj
+    [ ( "counters",
+        J_obj (List.map (fun (name, v) -> (name, J_int v)) s.Snf_obs.Metrics.counters) );
+      ( "gauges",
+        J_obj (List.map (fun (name, v) -> (name, J_float v)) s.Snf_obs.Metrics.gauges) );
+      ( "histograms",
+        J_obj
+          (List.map
+             (fun (name, (h : Snf_obs.Metrics.hist)) ->
+               ( name,
+                 J_obj
+                   [ ("count", J_int h.Snf_obs.Metrics.count);
+                     ("sum", J_int h.Snf_obs.Metrics.sum);
+                     ( "buckets",
+                       J_obj
+                         (List.map
+                            (fun (bucket, n) -> (string_of_int bucket, J_int n))
+                            h.Snf_obs.Metrics.buckets) ) ] ))
+             s.Snf_obs.Metrics.histograms) ) ]

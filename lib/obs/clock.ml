@@ -1,0 +1,16 @@
+(* The trace clock. [Unix.gettimeofday] is the best portable clock the
+   toolchain offers without extra dependencies; spans only ever subtract
+   nearby readings, so the occasional NTP step is noise, not corruption.
+   Tests inject a deterministic counter clock through [set]. *)
+
+let real () = Unix.gettimeofday ()
+
+let current : (unit -> float) Atomic.t = Atomic.make real
+
+let set f = Atomic.set current f
+
+let use_real () = Atomic.set current real
+
+let now () = (Atomic.get current) ()
+
+let now_us () = now () *. 1e6

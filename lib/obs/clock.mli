@@ -1,0 +1,14 @@
+(** The clock behind span timestamps. Injectable so tests can run the
+    tracer against a deterministic counter. *)
+
+val now : unit -> float
+(** Current time in seconds (default [Unix.gettimeofday]). *)
+
+val now_us : unit -> float
+(** [now] in microseconds — the unit of Chrome [trace_event] timestamps. *)
+
+val set : (unit -> float) -> unit
+(** Replace the clock (a function returning seconds). *)
+
+val use_real : unit -> unit
+(** Restore the default wall clock. *)

@@ -1,0 +1,116 @@
+(* Exporters: Chrome trace_event JSON (open in chrome://tracing or
+   https://ui.perfetto.dev) and a flat metrics JSON. *)
+
+let event_json (e : Span.event) =
+  Json.Obj
+    [ ("name", Json.String e.name);
+      ("cat", Json.String "snf");
+      ("ph", Json.String "X");
+      ("ts", Json.Float e.ts_us);
+      ("dur", Json.Float e.dur_us);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int e.domain);
+      ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) e.attrs)) ]
+
+let hist_json (h : Metrics.hist) =
+  Json.Obj
+    [ ("count", Json.Int h.count);
+      ("sum", Json.Int h.sum);
+      ( "buckets",
+        Json.Obj (List.map (fun (b, n) -> (string_of_int b, Json.Int n)) h.buckets) ) ]
+
+let metrics_json (s : Metrics.snapshot) =
+  Json.Obj
+    [ ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.counters));
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) s.gauges));
+      ("histograms", Json.Obj (List.map (fun (k, h) -> (k, hist_json h)) s.histograms)) ]
+
+let chrome_trace ?metrics events =
+  let base =
+    [ ("traceEvents", Json.List (List.map event_json events));
+      ("displayTimeUnit", Json.String "ms") ]
+  in
+  let extra =
+    match metrics with None -> [] | Some s -> [ ("metrics", metrics_json s) ]
+  in
+  Json.Obj (base @ extra)
+
+(* --- reading back --------------------------------------------------------- *)
+
+let event_of_json j =
+  let ( let* ) o f = Option.bind o f in
+  let* name = Option.bind (Json.member "name" j) Json.to_string_opt in
+  let* ts_us = Option.bind (Json.member "ts" j) Json.to_float_opt in
+  let* dur_us = Option.bind (Json.member "dur" j) Json.to_float_opt in
+  let* domain = Option.bind (Json.member "tid" j) Json.to_int_opt in
+  let attrs =
+    match Json.member "args" j with
+    | Some (Json.Obj fields) ->
+      List.filter_map
+        (fun (k, v) -> Option.map (fun s -> (k, s)) (Json.to_string_opt v))
+        fields
+    | _ -> []
+  in
+  Some
+    { Span.name; attrs; ts_us; dur_us; depth = 0; domain; seq = 0 }
+
+(* Depth and per-domain order are not serialized by the Chrome format;
+   recover them from interval containment per tid. Events whose intervals
+   merely touch ([end] = next [start]) are siblings, matching how the
+   trace viewer nests slices. *)
+let restore_nesting events =
+  let by_domain = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Span.event) ->
+      Hashtbl.replace by_domain e.domain
+        (e :: Option.value (Hashtbl.find_opt by_domain e.domain) ~default:[]))
+    events;
+  let restored =
+    Hashtbl.fold
+      (fun _ evs acc ->
+        let evs =
+          List.sort
+            (fun (a : Span.event) (b : Span.event) ->
+              match Float.compare a.ts_us b.ts_us with
+              | 0 -> Float.compare b.dur_us a.dur_us (* enclosing span first *)
+              | c -> c)
+            evs
+        in
+        let open_ends = ref [] in
+        List.fold_left
+          (fun (acc, seq) (e : Span.event) ->
+            open_ends := List.filter (fun fin -> fin > e.ts_us) !open_ends;
+            let depth = List.length !open_ends in
+            open_ends := (e.ts_us +. e.dur_us) :: !open_ends;
+            ({ e with depth; seq } :: acc, seq + 1))
+          (acc, 0) evs
+        |> fst)
+      by_domain []
+  in
+  List.sort Span.order restored
+
+let spans_of_chrome_trace j =
+  match Json.member "traceEvents" j with
+  | None -> Error "missing traceEvents"
+  | Some events -> (
+    match Json.to_list_opt events with
+    | None -> Error "traceEvents is not a list"
+    | Some items ->
+      let parsed = List.filter_map event_of_json items in
+      if List.length parsed <> List.length items then
+        Error "malformed trace event"
+      else Ok (restore_nesting parsed))
+
+let counters_of_chrome_trace j =
+  match Option.bind (Json.member "metrics" j) (Json.member "counters") with
+  | Some (Json.Obj fields) ->
+    List.filter_map
+      (fun (k, v) -> Option.map (fun n -> (k, n)) (Json.to_int_opt v))
+      fields
+  | _ -> []
+
+let write ~path j =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string j))

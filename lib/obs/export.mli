@@ -1,0 +1,21 @@
+(** Trace and metrics exporters. *)
+
+val chrome_trace : ?metrics:Metrics.snapshot -> Span.event list -> Json.t
+(** Chrome [trace_event] object format: [{"traceEvents": [...]}] with
+    complete ("ph":"X") events, one trace row ("tid") per domain. When
+    [?metrics] is given, the snapshot is embedded under a ["metrics"] key
+    (ignored by trace viewers, read back by [counters_of_chrome_trace]).
+    View in [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}. *)
+
+val metrics_json : Metrics.snapshot -> Json.t
+(** Flat metrics object: [{"counters": {..}, "gauges": {..},
+    "histograms": {name: {"count","sum","buckets"}}}]. *)
+
+val spans_of_chrome_trace : Json.t -> (Span.event list, string) result
+(** Parse a [chrome_trace] document back into span events. Depth and
+    per-domain sequence are recovered from interval containment. *)
+
+val counters_of_chrome_trace : Json.t -> (string * int) list
+(** The embedded metrics counters, if present. *)
+
+val write : path:string -> Json.t -> unit

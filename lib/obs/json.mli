@@ -1,0 +1,26 @@
+(** Minimal self-contained JSON (emit + parse) for trace and metrics
+    artifacts. Numbers that are exact integers emit without a decimal
+    point and parse back as [Int]; [equal] treats [Int]/[Float] of the
+    same value as equal, so emit→parse round-trips compare cleanly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Pretty-printed, trailing newline. *)
+
+val of_string : string -> (t, string) result
+
+val member : string -> t -> t option
+val to_float_opt : t -> float option
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option
+
+val equal : t -> t -> bool

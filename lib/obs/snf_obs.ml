@@ -1,0 +1,26 @@
+(** [Snf_obs]: span tracing, metrics, and trace export for the
+    secure-execution path.
+
+    - {!Metrics}: always-on named counters, gauges, and log-scale
+      histograms, sharded per domain and merged at [Parallel] joins so
+      totals are deterministic under any [SNF_DOMAINS].
+    - {!Span}: nested monotonic spans, off by default
+      ([Span.set_enabled true] to record), exported as Chrome
+      [trace_event] JSON via {!Export}.
+    - {!Json}: the self-contained JSON used by the exporters (and by
+      [Ledger.report_to_json]).
+
+    Naming and usage conventions are documented in DESIGN.md
+    §Observability. *)
+
+module Clock = Clock
+module Metrics = Metrics
+module Span = Span
+module Json = Json
+module Export = Export
+
+let flush () =
+  Metrics.flush ();
+  Span.flush ()
+(** Merge this domain's metric shard and span buffer into the global
+    accumulators. Called by [Snf_exec.Parallel] as each chunk finishes. *)

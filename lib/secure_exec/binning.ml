@@ -1,5 +1,8 @@
 module Feistel = Snf_crypto.Feistel
 
+let m_schedules = Snf_obs.Metrics.counter "exec.binning.schedules"
+let m_retrieved = Snf_obs.Metrics.counter "exec.binning.retrieved_rows"
+
 type schedule = {
   bin_size : int;
   bins : int list list;
@@ -31,10 +34,15 @@ let schedule ~key ~universe ~bin_size wanted_rows =
     !out
   in
   let bins = List.map members wanted_bins in
-  { bin_size;
-    bins;
-    retrieved = List.fold_left (fun acc b -> acc + List.length b) 0 bins;
-    wanted = List.length (List.sort_uniq Int.compare wanted_rows) }
+  let s =
+    { bin_size;
+      bins;
+      retrieved = List.fold_left (fun acc b -> acc + List.length b) 0 bins;
+      wanted = List.length (List.sort_uniq Int.compare wanted_rows) }
+  in
+  Snf_obs.Metrics.incr m_schedules;
+  Snf_obs.Metrics.add m_retrieved s.retrieved;
+  s
 
 let overhead s = float_of_int s.retrieved /. float_of_int (max 1 s.wanted)
 

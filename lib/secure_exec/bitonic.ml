@@ -1,3 +1,5 @@
+let m_comparators = Snf_obs.Metrics.counter "exec.bitonic.comparators"
+
 let next_pow2 n =
   let rec go m = if m >= n then m else go (m * 2) in
   go 1
@@ -20,7 +22,10 @@ let sort ?counter ~cmp arr =
     for i = 0 to n - 1 do
       work.(i) <- Some arr.(i)
     done;
-    let tick () = match counter with Some c -> incr c | None -> () in
+    (* Count locally and publish one batch update per sort: the inner loop
+       runs O(n log^2 n) times and a per-tick shard update would dominate. *)
+    let ticks = ref 0 in
+    let tick () = incr ticks in
     let compare_exchange i j =
       (* Ascending: smaller element ends up at position i. *)
       match (work.(i), work.(j)) with
@@ -52,7 +57,9 @@ let sort ?counter ~cmp arr =
       match work.(i) with
       | Some x -> arr.(i) <- x
       | None -> assert false (* all n real elements precede the sentinels *)
-    done
+    done;
+    Snf_obs.Metrics.add m_comparators !ticks;
+    match counter with Some c -> c := !c + !ticks | None -> ()
   end
 
 let is_sorted ~cmp arr =

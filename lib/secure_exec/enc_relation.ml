@@ -11,6 +11,18 @@ module Prng = Snf_crypto.Prng
 module Nat = Snf_bignum.Nat
 module Partition = Snf_core.Partition
 
+module Metrics = Snf_obs.Metrics
+module Span = Snf_obs.Span
+
+(* Shared by every consumer of index accounting (Ledger, the index
+   ablation, tests): registration is idempotent by name, so each gets the
+   same counter pair. *)
+let m_idx_hits = Metrics.counter "exec.eq_index.hits"
+let m_idx_builds = Metrics.counter "exec.eq_index.builds"
+let m_cells = Metrics.counter "enc.cells_encrypted"
+let m_tids = Metrics.counter "enc.tids_encrypted"
+let m_pooled = Metrics.counter "crypto.paillier.encrypt_pooled"
+
 type cell =
   | C_plain of Value.t
   | C_bytes of string
@@ -27,14 +39,11 @@ type enc_leaf = {
   columns : enc_column list;
 }
 
-type index_stats = { mutable hits : int; mutable misses : int }
-
 type t = {
   relation_name : string;
   leaves : enc_leaf list;
   paillier_public : Paillier.public_key;
   index_cache : (string * string, (string, int list) Hashtbl.t) Hashtbl.t;
-  index_stats : index_stats;
 }
 
 type client = {
@@ -113,13 +122,16 @@ let encrypt_cell c ~leaf ~attr ?pool ~slot ~rng scheme v =
 
 let encrypt client r rep =
   let leaves =
+    Span.with_ ~name:"enc.encrypt" ~attrs:[ ("relation", client.name) ] @@ fun () ->
     List.map
       (fun ((l : Partition.leaf), piece) ->
+        Span.with_ ~name:"enc.leaf" ~attrs:[ ("leaf", l.label) ] @@ fun () ->
         let n = Relation.cardinality piece in
         let key = tid_key client ~leaf:l.label in
         (* slot_to_tid.(slot) = original row stored at that slot. *)
         let slot_to_tid = Array.init n (tid_at client ~leaf:l.label ~rows:n) in
         let trk = tid_rng_key client ~leaf:l.label in
+        Metrics.add m_tids n;
         let tids =
           Parallel.tabulate n (fun slot ->
               let rng = Parallel.item_prng ~key:trk slot in
@@ -140,10 +152,15 @@ let encrypt client r rep =
                       client.paillier.Paillier.public
                   in
                   Paillier.pool_fill pool ~tabulate:(fun k f -> Parallel.tabulate k f) n;
+                  (* Pooled encryptions are batch-counted here rather than
+                     inside [Paillier.encrypt_with] — the kernel is a single
+                     modular multiplication (see bench/micro-paillier). *)
+                  Metrics.add m_pooled n;
                   Some pool
                 | _ -> None
               in
               let crk = cell_rng_key client ~leaf:l.label ~attr:cs.name in
+              Metrics.add m_cells n;
               { attr = cs.name;
                 scheme = cs.scheme;
                 cells =
@@ -160,8 +177,7 @@ let encrypt client r rep =
   { relation_name = client.name;
     leaves;
     paillier_public = client.paillier.Paillier.public;
-    index_cache = Hashtbl.create 8;
-    index_stats = { hits = 0; misses = 0 } }
+    index_cache = Hashtbl.create 8 }
 
 let find_leaf t label =
   match List.find_opt (fun l -> l.label = label) t.leaves with
@@ -292,7 +308,7 @@ let canonical_key scheme (cell : cell) =
 let eq_index t ~leaf ~attr =
   match Hashtbl.find_opt t.index_cache (leaf, attr) with
   | Some idx ->
-    t.index_stats.hits <- t.index_stats.hits + 1;
+    Metrics.incr m_idx_hits;
     Some idx
   | None ->
     let l = find_leaf t leaf in
@@ -300,7 +316,7 @@ let eq_index t ~leaf ~attr =
     (match (col.scheme : Scheme.kind) with
      | Scheme.Ndet | Scheme.Phe | Scheme.Ore -> None
      | Scheme.Plain | Scheme.Det | Scheme.Ope ->
-       t.index_stats.misses <- t.index_stats.misses + 1;
+       Metrics.incr m_idx_builds;
        let idx = Hashtbl.create (Array.length col.cells) in
        Array.iteri
          (fun slot cell ->

@@ -33,18 +33,12 @@ type enc_leaf = {
   columns : enc_column list;
 }
 
-type index_stats = { mutable hits : int; mutable misses : int }
-(** Lifetime counters for the equality-index memo: [hits] = lookups served
-    from [index_cache], [misses] = lazy index builds. Surfaced through
-    [Ledger.report]. *)
-
 type t = {
   relation_name : string;
   leaves : enc_leaf list;
   paillier_public : Snf_crypto.Paillier.public_key;
   index_cache : (string * string, (string, int list) Hashtbl.t) Hashtbl.t;
       (** server-side memo of equality indexes; see [eq_index] *)
-  index_stats : index_stats;
 }
 
 type client
@@ -127,7 +121,10 @@ val cell_in_range : range_token -> cell -> bool
 val eq_index : t -> leaf:string -> attr:string -> (string, int list) Hashtbl.t option
 (** Server-side: map from canonical cell key to slots, built lazily and
     memoized per (leaf, attribute). [None] when the column's ciphertexts
-    are not canonical per plaintext (NDET, PHE, ORE). *)
+    are not canonical per plaintext (NDET, PHE, ORE). Cache hits and lazy
+    builds are accounted in the process-wide [Snf_obs] counters
+    ["exec.eq_index.hits"] / ["exec.eq_index.builds"]; consumers needing
+    per-store numbers take counter deltas around their calls. *)
 
 val index_key_of_token : eq_token -> string option
 (** The index key a predicate token probes; [None] for ORE tokens. *)

@@ -1,6 +1,24 @@
 open Snf_relational
+module Metrics = Snf_obs.Metrics
+module Span = Snf_obs.Span
+
+(* Query-level totals, published once per [run] from the same values that
+   land in [trace] — the Snf_obs totals therefore match the trace exactly. *)
+let m_queries = Metrics.counter "exec.query.count"
+let m_scanned = Metrics.counter "exec.query.scanned_cells"
+let m_probes = Metrics.counter "exec.query.index_probes"
+let m_comparisons = Metrics.counter "exec.query.comparisons"
+let m_rows_processed = Metrics.counter "exec.query.rows_processed"
+let m_result_rows = Metrics.counter "exec.query.result_rows"
+let m_tokens = Metrics.counter "exec.query.tokens_minted"
+let h_result_rows = Metrics.histogram "exec.query.result_rows_hist"
 
 type mode = [ `Sort_merge | `Oram | `Binning of int ]
+
+let mode_name = function
+  | `Sort_merge -> "sort-merge"
+  | `Oram -> "oram"
+  | `Binning b -> Printf.sprintf "binning(%d)" b
 
 type trace = {
   plan : Planner.plan;
@@ -20,14 +38,70 @@ let pred_holds (p : Query.pred) v =
   | Query.Point (_, want) -> Value.equal v want
   | Query.Range (_, lo, hi) -> Value.compare lo v <= 0 && Value.compare v hi <= 0
 
-(* Server role: evaluate the predicates homed at this leaf over its
-   ciphertext columns, returning the selection mask and the number of
-   cells scanned. [resolved] pairs each predicate with the slot list an
-   equality index already served (§V-D "leakage as indexing"), [None]
-   when it must be evaluated by scan. Pure — index lookups happen before
-   the per-leaf fan-out (see [resolve_indexed] in [run]) precisely so
-   this function can run on any domain. *)
-let server_filter client (leaf : Enc_relation.enc_leaf) resolved =
+(* A predicate after the minting phase: either an equality index already
+   served its slot list (§V-D "leakage as indexing"), or the server must
+   scan the column with a minted ciphertext test. *)
+type compiled_pred =
+  | Indexed of int list
+  | Scan of Enc_relation.enc_column * (Enc_relation.cell -> bool)
+
+(* Client role: mint the token for one predicate, then close it over the
+   ciphertext comparison the server will run. Index lookups also happen
+   here, sequentially — [Enc_relation.eq_index] lazily builds and memoizes
+   indexes (a cache write), which must not race with the concurrent cache
+   reads of parallel filters. *)
+let compile_pred ~use_index client enc (leaf : Enc_relation.enc_leaf) index_probes
+    (p : Query.pred) =
+  let attr = Query.pred_attr p in
+  let col = Enc_relation.column leaf attr in
+  let indexed =
+    if not use_index then None
+    else
+      match p with
+      | Query.Point (_, v) -> (
+        match
+          ( Enc_relation.eq_index enc ~leaf:leaf.Enc_relation.label ~attr,
+            Enc_relation.eq_token client ~leaf:leaf.Enc_relation.label ~attr
+              ~scheme:col.Enc_relation.scheme v )
+        with
+        | Some idx, Some tok -> (
+          match Enc_relation.index_key_of_token tok with
+          | Some key ->
+            let slots = Option.value (Hashtbl.find_opt idx key) ~default:[] in
+            index_probes := !index_probes + 1 + List.length slots;
+            Some slots
+          | None -> None)
+        | _ -> None)
+      | _ -> None
+  in
+  match indexed with
+  | Some slots -> Indexed slots
+  | None ->
+    Metrics.incr m_tokens;
+    let test =
+      match p with
+      | Query.Point (_, v) -> (
+        match
+          Enc_relation.eq_token client ~leaf:leaf.Enc_relation.label ~attr
+            ~scheme:col.Enc_relation.scheme v
+        with
+        | Some tok -> fun cell -> Enc_relation.cell_matches_eq tok cell
+        | None -> invalid_arg "Executor: planner homed an unsupported point predicate")
+      | Query.Range (_, lo, hi) -> (
+        match
+          Enc_relation.range_token client ~leaf:leaf.Enc_relation.label ~attr
+            ~scheme:col.Enc_relation.scheme ~lo ~hi
+        with
+        | Some tok -> fun cell -> Enc_relation.cell_in_range tok cell
+        | None -> invalid_arg "Executor: planner homed an unsupported range predicate")
+    in
+    Scan (col, test)
+
+(* Server role: evaluate the compiled predicates homed at this leaf over
+   its ciphertext columns, returning the selection mask and the number of
+   cells scanned. Pure — all key-dependent work happened in [compile_pred]
+   — precisely so this function can run on any domain. *)
+let server_filter (leaf : Enc_relation.enc_leaf) compiled =
   let mask = Array.make leaf.Enc_relation.row_count true in
   let scanned = ref 0 in
   let apply_slots slots =
@@ -36,60 +110,15 @@ let server_filter client (leaf : Enc_relation.enc_leaf) resolved =
     Array.iteri (fun i m -> if m && not keep.(i) then mask.(i) <- false) mask
   in
   List.iter
-    (fun ((p : Query.pred), index_slots) ->
-      match index_slots with
-      | Some slots -> apply_slots slots
-      | None ->
-      let attr = Query.pred_attr p in
-      let col = Enc_relation.column leaf attr in
-      scanned := !scanned + leaf.Enc_relation.row_count;
-      let test =
-        match p with
-        | Query.Point (_, v) -> (
-          match
-            Enc_relation.eq_token client ~leaf:leaf.Enc_relation.label ~attr
-              ~scheme:col.Enc_relation.scheme v
-          with
-          | Some tok -> fun cell -> Enc_relation.cell_matches_eq tok cell
-          | None -> invalid_arg "Executor: planner homed an unsupported point predicate")
-        | Query.Range (_, lo, hi) -> (
-          match
-            Enc_relation.range_token client ~leaf:leaf.Enc_relation.label ~attr
-              ~scheme:col.Enc_relation.scheme ~lo ~hi
-          with
-          | Some tok -> fun cell -> Enc_relation.cell_in_range tok cell
-          | None -> invalid_arg "Executor: planner homed an unsupported range predicate")
-      in
-      Array.iteri
-        (fun i cell -> if mask.(i) && not (test cell) then mask.(i) <- false)
-        col.Enc_relation.cells)
-    resolved;
+    (function
+      | Indexed slots -> apply_slots slots
+      | Scan (col, test) ->
+        scanned := !scanned + leaf.Enc_relation.row_count;
+        Array.iteri
+          (fun i cell -> if mask.(i) && not (test cell) then mask.(i) <- false)
+          col.Enc_relation.cells)
+    compiled;
   (mask, !scanned)
-
-(* Index lookups run sequentially before the fan-out: [Enc_relation.eq_index]
-   lazily builds and memoizes indexes (a cache write), which must not race
-   with the concurrent cache reads of parallel filters. *)
-let resolve_indexed ~use_index client enc (leaf : Enc_relation.enc_leaf) index_probes
-    (p : Query.pred) =
-  if not use_index then None
-  else
-    match p with
-    | Query.Point (attr, v) -> (
-      let col = Enc_relation.column leaf attr in
-      match
-        ( Enc_relation.eq_index enc ~leaf:leaf.Enc_relation.label ~attr,
-          Enc_relation.eq_token client ~leaf:leaf.Enc_relation.label ~attr
-            ~scheme:col.Enc_relation.scheme v )
-      with
-      | Some idx, Some tok -> (
-        match Enc_relation.index_key_of_token tok with
-        | Some key ->
-          let slots = Option.value (Hashtbl.find_opt idx key) ~default:[] in
-          index_probes := !index_probes + 1 + List.length slots;
-          Some slots
-        | None -> None)
-      | _ -> None)
-    | _ -> None
 
 let decrypt_at client (leaf : Enc_relation.enc_leaf) attr slot =
   let col = Enc_relation.column leaf attr in
@@ -152,17 +181,21 @@ let project_rows (q : Query.t) plan matches value_of =
 (* --- single leaf -------------------------------------------------------- *)
 
 let run_single ~drop_tid client q plan (leaf : Enc_relation.enc_leaf) mask =
-  let n = leaf.Enc_relation.row_count in
-  let slots = ref [] in
-  Array.iteri
-    (fun i keep ->
-      if keep
-         && not
-              (drop_tid
-                 (Enc_relation.tid_at client ~leaf:leaf.Enc_relation.label ~rows:n i))
-      then slots := i :: !slots)
-    mask;
-  let matches = List.rev !slots in
+  let matches =
+    Span.with_ ~name:"query.reconstruct" ~attrs:[ ("path", "single") ] @@ fun () ->
+    let n = leaf.Enc_relation.row_count in
+    let slots = ref [] in
+    Array.iteri
+      (fun i keep ->
+        if keep
+           && not
+                (drop_tid
+                   (Enc_relation.tid_at client ~leaf:leaf.Enc_relation.label ~rows:n i))
+        then slots := i :: !slots)
+      mask;
+    List.rev !slots
+  in
+  Span.with_ ~name:"query.client_decrypt" @@ fun () ->
   let rows =
     project_rows q plan matches (fun slot _label attr -> decrypt_at client leaf attr slot)
   in
@@ -172,11 +205,13 @@ let run_single ~drop_tid client q plan (leaf : Enc_relation.enc_leaf) mask =
 
 let run_sort_merge ~drop_tid client q plan leaves masks stats =
   let matched =
+    Span.with_ ~name:"query.reconstruct" ~attrs:[ ("path", "sort_merge") ] @@ fun () ->
     Oblivious_join.join_many ~masks:(List.combine leaves masks) stats client
     |> Array.to_seq
     |> Seq.filter (fun (tid, _) -> not (drop_tid tid))
     |> Array.of_seq
   in
+  Span.with_ ~name:"query.client_decrypt" @@ fun () ->
   let label_index =
     List.mapi (fun i (l : Enc_relation.enc_leaf) -> (l.Enc_relation.label, i)) leaves
   in
@@ -267,52 +302,60 @@ let run_anchor_fetch ~drop_tid client q plan leaves masks ~make_fetcher =
     List.combine leaves masks
     |> List.find (fun ((l : Enc_relation.enc_leaf), _) -> l.Enc_relation.label = anchor)
   in
-  let partners =
-    List.filter
-      (fun (l : Enc_relation.enc_leaf) -> l.Enc_relation.label <> anchor)
-      leaves
-  in
   let n = anchor_leaf.Enc_relation.row_count in
-  let selected_tids = ref [] in
-  Array.iteri
-    (fun slot keep ->
-      if keep then begin
-        let tid = Enc_relation.tid_at client ~leaf:anchor ~rows:n slot in
-        if not (drop_tid tid) then selected_tids := tid :: !selected_tids
-      end)
-    anchor_mask;
-  let fetchers = List.map (make_fetcher ~wanted:(List.rev !selected_tids)) partners in
-  let rows = ref [] in
-  List.iter
-    (fun tid ->
-      let partner_values =
-        List.map (fun f -> (f.leaf_label, f.fetch tid)) fetchers
-      in
-      (* Post-filter: predicates homed at partner leaves. *)
-      let passes =
-        List.for_all
-          (fun (label, values) ->
-            List.for_all
-              (fun p ->
-                match List.assoc_opt (Query.pred_attr p) values with
-                | Some v -> pred_holds p v
-                | None -> invalid_arg "Executor: fetched row misses predicate attr")
-              (preds_at plan label))
-          partner_values
-      in
-      if passes then begin
-        let value_of () label attr =
+  (* Reconstruction: anchor selection, partner fetches, and the enclave's
+     post-filter — everything that decides which tids survive. *)
+  let matches =
+    Span.with_ ~name:"query.reconstruct" ~attrs:[ ("path", "anchor_fetch") ]
+    @@ fun () ->
+    let partners =
+      List.filter
+        (fun (l : Enc_relation.enc_leaf) -> l.Enc_relation.label <> anchor)
+        leaves
+    in
+    let selected_tids = ref [] in
+    Array.iteri
+      (fun slot keep ->
+        if keep then begin
+          let tid = Enc_relation.tid_at client ~leaf:anchor ~rows:n slot in
+          if not (drop_tid tid) then selected_tids := tid :: !selected_tids
+        end)
+      anchor_mask;
+    let fetchers = List.map (make_fetcher ~wanted:(List.rev !selected_tids)) partners in
+    List.filter_map
+      (fun tid ->
+        let partner_values =
+          List.map (fun f -> (f.leaf_label, f.fetch tid)) fetchers
+        in
+        (* Post-filter: predicates homed at partner leaves. *)
+        let passes =
+          List.for_all
+            (fun (label, values) ->
+              List.for_all
+                (fun p ->
+                  match List.assoc_opt (Query.pred_attr p) values with
+                  | Some v -> pred_holds p v
+                  | None -> invalid_arg "Executor: fetched row misses predicate attr")
+                (preds_at plan label))
+            partner_values
+        in
+        if passes then Some (tid, partner_values) else None)
+      (List.rev !selected_tids)
+  in
+  Span.with_ ~name:"query.client_decrypt" @@ fun () ->
+  let rows =
+    List.map
+      (fun (tid, partner_values) ->
+        let value_of label attr =
           if label = anchor then
             let slot = Enc_relation.row_position client ~leaf:anchor ~rows:n tid in
             decrypt_at client anchor_leaf attr slot
           else List.assoc attr (List.assoc label partner_values)
         in
-        rows :=
-          List.map (fun attr -> value_of () (proj_leaf plan attr) attr) q.Query.select
-          :: !rows
-      end)
-    (List.rev !selected_tids);
-  build_result q (List.rev !rows)
+        List.map (fun attr -> value_of (proj_leaf plan attr) attr) q.Query.select)
+      matches
+  in
+  build_result q rows
 
 (* ------------------------------------------------------------------------ *)
 
@@ -321,6 +364,12 @@ let run ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
   match Planner.plan ?selector rep q with
   | Error e -> Error e
   | Ok plan ->
+    Span.with_ ~name:"query"
+      ~attrs:
+        [ ("mode", mode_name mode);
+          ("relation", enc.Enc_relation.relation_name);
+          ("leaves", string_of_int (List.length plan.Planner.leaves)) ]
+    @@ fun () ->
     let scanned = ref 0 in
     let index_probes = ref 0 in
     let stats = Oblivious_join.fresh_stats () in
@@ -329,23 +378,28 @@ let run ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
     let leaves =
       List.map (Enc_relation.find_leaf enc) plan.Planner.leaves
     in
-    (* Phase 1 (sequential): serve what the equality indexes can — this is
-       where lazy index builds and cache-hit accounting happen. Phase 2
-       (parallel): the remaining per-leaf ciphertext scans are pure, so
-       they fan out one leaf per domain. *)
-    let resolved =
+    (* Phase 1 (sequential): mint tokens and serve what the equality
+       indexes can — this is where lazy index builds and cache-hit
+       accounting happen. Phase 2 (parallel): the per-leaf ciphertext
+       scans are pure, so they fan out one leaf per domain. *)
+    let compiled =
+      Span.with_ ~name:"query.mint_tokens" @@ fun () ->
       List.map
         (fun (l : Enc_relation.enc_leaf) ->
           List.map
-            (fun p -> (p, resolve_indexed ~use_index client enc l index_probes p))
+            (fun p -> compile_pred ~use_index client enc l index_probes p)
             (preds_at plan l.Enc_relation.label))
         leaves
     in
     let filtered =
+      Span.with_ ~name:"query.server_filter" @@ fun () ->
       Parallel.map_list
         ~domains:(Parallel.domain_count ())
-        (fun (l, res) -> server_filter client l res)
-        (List.combine leaves resolved)
+        (fun (l, preds) ->
+          Span.with_ ~name:"query.filter_leaf"
+            ~attrs:[ ("leaf", l.Enc_relation.label) ]
+          @@ fun () -> server_filter l preds)
+        (List.combine leaves compiled)
     in
     let masks = List.map fst filtered in
     List.iter (fun (_, s) -> scanned := !scanned + s) filtered;
@@ -380,6 +434,13 @@ let run ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
             ~rows_processed:stats.Oblivious_join.rows_processed ~scanned_cells:!scanned
             ~oram_bucket_touches:!oram_touches ~retrieved_rows:!bin_retrieved }
     in
+    Metrics.incr m_queries;
+    Metrics.add m_scanned trace.scanned_cells;
+    Metrics.add m_probes trace.index_probes;
+    Metrics.add m_comparisons trace.comparisons;
+    Metrics.add m_rows_processed trace.rows_processed;
+    Metrics.add m_result_rows trace.result_rows;
+    Metrics.observe h_result_rows trace.result_rows;
     Ok (result, trace)
 
 let pp_trace fmt t =
@@ -387,10 +448,5 @@ let pp_trace fmt t =
     "@[<v>plan: %a (%s)@,scanned cells: %d (+%d via index); comparisons: %d; \
      rows through networks: %d@,oram bucket touches: %d; binning retrieved: %d@,\
      result rows: %d; est. %.4f s@]"
-    Planner.pp t.plan
-    (match t.mode with
-     | `Sort_merge -> "sort-merge"
-     | `Oram -> "oram"
-     | `Binning b -> Printf.sprintf "binning(%d)" b)
-    t.scanned_cells t.index_probes t.comparisons t.rows_processed t.oram_bucket_touches
+    Planner.pp t.plan (mode_name t.mode) t.scanned_cells t.index_probes t.comparisons t.rows_processed t.oram_bucket_touches
     t.binning_retrieved t.result_rows t.estimated_seconds

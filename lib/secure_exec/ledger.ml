@@ -1,4 +1,12 @@
 open Snf_relational
+module Metrics = Snf_obs.Metrics
+module Json = Snf_obs.Json
+
+(* Same process-wide counters [Enc_relation.eq_index] bumps — registration
+   is idempotent by name, so there is exactly one accounting source shared
+   with the index ablation and the executor. *)
+let m_idx_hits = Metrics.counter "exec.eq_index.hits"
+let m_idx_builds = Metrics.counter "exec.eq_index.builds"
 
 type t = {
   owner : System.owner;
@@ -8,6 +16,11 @@ type t = {
   mutable volumes : int list; (* newest first *)
   mutable queries : int;
   mutable reconstruction_rows : int;
+  (* Process counters are cumulative; the ledger reports deltas from its
+     creation. *)
+  idx_hits0 : int;
+  idx_builds0 : int;
+  mutable query_metrics : (string * int) list list; (* newest first *)
 }
 
 let create owner =
@@ -16,7 +29,10 @@ let create owner =
     co_access = Hashtbl.create 64;
     volumes = [];
     queries = 0;
-    reconstruction_rows = 0 }
+    reconstruction_rows = 0;
+    idx_hits0 = Metrics.value m_idx_hits;
+    idx_builds0 = Metrics.value m_idx_builds;
+    query_metrics = [] }
 
 let owner t = t.owner
 
@@ -48,6 +64,7 @@ let record_plan t (trace : Executor.trace) =
   pairs leaves
 
 let query ?mode ?use_index t q =
+  let before = Metrics.snapshot () in
   match System.query ?mode ?use_index t.owner q with
   | Error _ as e -> e
   | Ok (ans, trace) ->
@@ -58,6 +75,7 @@ let query ?mode ?use_index t q =
     t.reconstruction_rows <-
       t.reconstruction_rows + trace.Executor.rows_processed
       + trace.Executor.binning_retrieved;
+    t.query_metrics <- Metrics.counter_diff before (Metrics.snapshot ()) :: t.query_metrics;
     Ok (ans, trace)
 
 type attr_report = {
@@ -74,6 +92,7 @@ type report = {
   total_reconstruction_rows : int;
   index_hits : int;
   index_misses : int;
+  query_metrics : (string * int) list list;
 }
 
 let report t =
@@ -95,7 +114,6 @@ let report t =
            | 0 -> String.compare a.attr b.attr
            | c -> c)
   in
-  let stats = t.owner.System.enc.Enc_relation.index_stats in
   { queries = t.queries;
     attrs;
     co_access =
@@ -103,8 +121,123 @@ let report t =
       |> List.sort (fun ((_, _), n1) ((_, _), n2) -> Int.compare n2 n1);
     result_volumes = List.rev t.volumes;
     total_reconstruction_rows = t.reconstruction_rows;
-    index_hits = stats.Enc_relation.hits;
-    index_misses = stats.Enc_relation.misses }
+    index_hits = Metrics.value m_idx_hits - t.idx_hits0;
+    index_misses = Metrics.value m_idx_builds - t.idx_builds0;
+    query_metrics = List.rev t.query_metrics }
+
+let report_to_json (r : report) : Json.t =
+  Json.Obj
+    [ ("queries", Json.Int r.queries);
+      ( "attrs",
+        Json.List
+          (List.map
+             (fun a ->
+               Json.Obj
+                 [ ("attr", Json.String a.attr);
+                   ("tokens_issued", Json.Int a.tokens_issued);
+                   ("distinct_tokens", Json.Int a.distinct_tokens) ])
+             r.attrs) );
+      ( "co_access",
+        Json.List
+          (List.map
+             (fun ((l1, l2), n) ->
+               Json.Obj
+                 [ ("left", Json.String l1);
+                   ("right", Json.String l2);
+                   ("count", Json.Int n) ])
+             r.co_access) );
+      ("result_volumes", Json.List (List.map (fun v -> Json.Int v) r.result_volumes));
+      ("total_reconstruction_rows", Json.Int r.total_reconstruction_rows);
+      ("index_hits", Json.Int r.index_hits);
+      ("index_misses", Json.Int r.index_misses);
+      ( "query_metrics",
+        Json.List
+          (List.map
+             (fun per_query ->
+               Json.Obj (List.map (fun (name, d) -> (name, Json.Int d)) per_query))
+             r.query_metrics) ) ]
+
+let report_of_json (j : Json.t) : (report, string) result =
+  let ( let* ) = Result.bind in
+  let field name conv =
+    match Option.bind (Json.member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "Ledger.report_of_json: bad or missing %S" name)
+  in
+  let int_field j name =
+    match Option.bind (Json.member name j) Json.to_int_opt with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "Ledger.report_of_json: bad or missing %S" name)
+  in
+  let str_field j name =
+    match Option.bind (Json.member name j) Json.to_string_opt with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "Ledger.report_of_json: bad or missing %S" name)
+  in
+  let map_m f l =
+    List.fold_right
+      (fun x acc ->
+        let* acc = acc in
+        let* y = f x in
+        Ok (y :: acc))
+      l (Ok [])
+  in
+  let* queries = int_field j "queries" in
+  let* attrs_json = field "attrs" Json.to_list_opt in
+  let* attrs =
+    map_m
+      (fun a ->
+        let* attr = str_field a "attr" in
+        let* tokens_issued = int_field a "tokens_issued" in
+        let* distinct_tokens = int_field a "distinct_tokens" in
+        Ok { attr; tokens_issued; distinct_tokens })
+      attrs_json
+  in
+  let* co_json = field "co_access" Json.to_list_opt in
+  let* co_access =
+    map_m
+      (fun c ->
+        let* l1 = str_field c "left" in
+        let* l2 = str_field c "right" in
+        let* n = int_field c "count" in
+        Ok ((l1, l2), n))
+      co_json
+  in
+  let* vol_json = field "result_volumes" Json.to_list_opt in
+  let* result_volumes =
+    map_m
+      (fun v ->
+        match Json.to_int_opt v with
+        | Some n -> Ok n
+        | None -> Error "Ledger.report_of_json: non-integer result volume")
+      vol_json
+  in
+  let* total_reconstruction_rows = int_field j "total_reconstruction_rows" in
+  let* index_hits = int_field j "index_hits" in
+  let* index_misses = int_field j "index_misses" in
+  let* qm_json = field "query_metrics" Json.to_list_opt in
+  let* query_metrics =
+    map_m
+      (function
+        | Json.Obj fields ->
+          map_m
+            (fun (name, v) ->
+              match Json.to_int_opt v with
+              | Some d -> Ok (name, d)
+              | None -> Error "Ledger.report_of_json: non-integer counter delta")
+            fields
+        | _ -> Error "Ledger.report_of_json: query_metrics entry is not an object")
+      qm_json
+  in
+  Ok
+    { queries;
+      attrs;
+      co_access;
+      result_volumes;
+      total_reconstruction_rows;
+      index_hits;
+      index_misses;
+      query_metrics }
 
 let pp_report fmt r =
   Format.fprintf fmt "@[<v>session: %d queries, %d rows through reconstruction@,"

@@ -43,10 +43,21 @@ type report = {
   result_volumes : int list;           (** per query, in execution order *)
   total_reconstruction_rows : int;     (** rows through oblivious machinery *)
   index_hits : int;
-    (** equality-index lookups served from the server's memo cache *)
+    (** equality-index lookups served from the server's memo cache, since
+        [create] — read as a delta of the process-wide
+        ["exec.eq_index.hits"] counter (the same one [Enc_relation] bumps
+        and the index ablation reads) *)
   index_misses : int;                  (** lazy equality-index builds *)
+  query_metrics : (string * int) list list;
+    (** per query, in execution order: every [Snf_obs] counter the query
+        moved, with its delta (crypto ops, scans, comparisons, ...) *)
 }
 
 val report : t -> report
+
+val report_to_json : report -> Snf_obs.Json.t
+
+val report_of_json : Snf_obs.Json.t -> (report, string) result
+(** Inverse of [report_to_json]; [Error] on shape mismatch. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -1,3 +1,7 @@
+let m_joins = Snf_obs.Metrics.counter "exec.join.joins"
+let m_rows = Snf_obs.Metrics.counter "exec.join.rows_processed"
+let h_batch = Snf_obs.Metrics.histogram "exec.join.batch_rows"
+
 type stats = {
   mutable comparisons : int;
   mutable rows_processed : int;
@@ -22,6 +26,9 @@ let join_entries stats entries_a entries_b =
   let all = Array.append entries_a entries_b in
   stats.rows_processed <- stats.rows_processed + Array.length all;
   stats.joins <- stats.joins + 1;
+  Snf_obs.Metrics.incr m_joins;
+  Snf_obs.Metrics.add m_rows (Array.length all);
+  Snf_obs.Metrics.observe h_batch (Array.length all);
   let counter = ref 0 in
   Bitonic.sort ~counter
     ~cmp:(fun (t1, s1, _, _) (t2, s2, _, _) ->

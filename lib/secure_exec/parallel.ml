@@ -1,6 +1,8 @@
 module Prng = Snf_crypto.Prng
 module Prf = Snf_crypto.Prf
 
+let g_domains = Snf_obs.Metrics.gauge "exec.parallel.domains"
+
 let parse_env () =
   match Sys.getenv_opt "SNF_DOMAINS" with
   | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 1)
@@ -43,9 +45,17 @@ let tabulate ?domains n f =
     match bounds with
     | [] -> [||]
     | (lo0, len0) :: rest ->
+      Snf_obs.Metrics.set_gauge g_domains (float_of_int d);
+      (* Workers flush their metric shard and span buffer before dying:
+         that is the "merge at join points" making Snf_obs totals
+         deterministic under any domain count. *)
       let workers =
         List.map
-          (fun (lo, len) -> Domain.spawn (fun () -> Array.init len (fun i -> f (lo + i))))
+          (fun (lo, len) ->
+            Domain.spawn (fun () ->
+                let r = Array.init len (fun i -> f (lo + i)) in
+                Snf_obs.flush ();
+                r))
           rest
       in
       let first = Array.init len0 (fun i -> f (lo0 + i)) in

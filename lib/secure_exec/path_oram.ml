@@ -1,5 +1,8 @@
 module Prng = Snf_crypto.Prng
 
+let m_accesses = Snf_obs.Metrics.counter "exec.oram.accesses"
+let m_bucket_touches = Snf_obs.Metrics.counter "exec.oram.bucket_touches"
+
 type block = { id : int; data : string }
 
 type t = {
@@ -58,6 +61,8 @@ let access t id write_data =
      invalid_arg "Path_oram: wrong block size"
    | _ -> ());
   t.accesses <- t.accesses + 1;
+  Snf_obs.Metrics.incr m_accesses;
+  let touches0 = t.touches in
   let x = t.position.(id) in
   t.observed <- x :: t.observed;
   t.position.(id) <- Prng.int t.prng (1 lsl t.depth);
@@ -94,6 +99,7 @@ let access t id write_data =
     List.iter (fun (bid, _) -> Hashtbl.remove t.stash bid) chosen;
     t.buckets.(bi) <- List.map (fun (bid, data) -> { id = bid; data }) chosen
   done;
+  Snf_obs.Metrics.add m_bucket_touches (t.touches - touches0);
   result
 
 let read t id = access t id None

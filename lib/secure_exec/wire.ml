@@ -158,8 +158,7 @@ let of_string data =
   { Enc_relation.relation_name;
     leaves;
     paillier_public;
-    index_cache = Hashtbl.create 8;
-    index_stats = { hits = 0; misses = 0 } }
+    index_cache = Hashtbl.create 8 }
 
 let save path t =
   let oc = open_out_bin path in

@@ -28,4 +28,5 @@ let () =
       ("group-sum", Test_group_sum.suite);
       ("cross-properties", Test_cross_properties.suite);
       ("chase-failures", Test_chase_failures.suite);
-      ("explain", Test_explain.suite) ]
+      ("explain", Test_explain.suite);
+      ("obs", Test_obs.suite) ]
