@@ -314,11 +314,72 @@ let attack_cmd =
   Cmd.v (Cmd.info "attack" ~doc:"Frequency-analysis + inference attack: strawman vs SNF.")
     Term.(const run $ rows_arg 4_000)
 
+(* --- check (conformance soak) ----------------------------------------------------- *)
+
+let check_cmd =
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N"
+           ~doc:"Base seed; every instance and workload is a deterministic \
+                 function of it, so a failing run reproduces exactly.")
+  in
+  let queries_arg =
+    Arg.(value & opt int 200 & info [ "queries" ] ~docv:"K"
+           ~doc:"Keep generating instances until at least K queries have \
+                 executed through every representation (default 200).")
+  in
+  let check_rows_arg =
+    Arg.(value & opt int 16 & info [ "rows" ] ~docv:"R"
+           ~doc:"Cap on rows per generated instance (default 16).")
+  in
+  let faults_arg =
+    Arg.(value & opt bool true & info [ "faults" ] ~docv:"BOOL"
+           ~doc:"Also run the fault-injection campaign per instance \
+                 (default true).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+           ~doc:"Write the JSON soak report here (what the nightly job \
+                 uploads on failure).")
+  in
+  let run seed queries rows faults out =
+    let report =
+      Snf_check.Differential.soak ~rows ~with_faults:faults ~seed ~queries ()
+    in
+    Format.printf "%a@." Snf_check.Differential.pp_report report;
+    (match out with
+     | None -> ()
+     | Some path ->
+       let oc = open_out path in
+       Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+           output_string oc
+             (Snf_obs.Json.to_string (Snf_check.Differential.report_to_json report));
+           output_char oc '\n');
+       Printf.printf "-- wrote %s\n" path);
+    if not (Snf_check.Differential.passed report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Conformance soak: random schemas and workloads through all five \
+             representations against the plaintext oracle, plus fault injection. \
+             Exit 0 on pass, 1 on any conformance failure.")
+    Term.(const run $ seed_arg $ queries_arg $ check_rows_arg $ faults_arg $ out_arg)
+
 let main =
   Cmd.group
     (Cmd.info "snf_cli" ~version:"1.0.0"
        ~doc:"Secure Normal Form: leakage-aware normalization for encrypted databases.")
     [ demo_cmd; analyze_cmd; normalize_cmd; query_cmd; visualize_cmd; table1_cmd;
-      figure3_cmd; attack_cmd ]
+      figure3_cmd; attack_cmd; check_cmd ]
 
-let () = exit (Cmd.eval main)
+(* Exit codes: 0 success, 1 conformance/verification failure (from the
+   subcommand itself), 2 command-line misuse — unknown subcommand, unknown
+   flag, unparseable value — with a pointer at --help. *)
+let () =
+  match Cmd.eval_value main with
+  | Ok (`Ok ()) | Ok `Help | Ok `Version -> exit 0
+  | Error `Parse | Error `Term ->
+    prerr_endline
+      "snf_cli: unknown subcommand or malformed flags; run 'snf_cli --help' \
+       for the command list.";
+    exit 2
+  | Error `Exn -> exit 3

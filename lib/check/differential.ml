@@ -1,0 +1,383 @@
+open Snf_relational
+open Snf_exec
+module Prng = Snf_crypto.Prng
+module Scheme = Snf_crypto.Scheme
+module Policy = Snf_core.Policy
+module Partition = Snf_core.Partition
+module Strategy = Snf_core.Strategy
+module Horizontal = Snf_core.Horizontal
+module Metrics = Snf_obs.Metrics
+module Json = Snf_obs.Json
+
+type failure = {
+  spec : Gen.spec;
+  rep : string;
+  mode : string;
+  query : Query.t option;
+  kind : string;
+  detail : string;
+}
+
+let failure_to_string f =
+  Printf.sprintf "[%s] %s/%s (%s)%s: %s" f.kind f.rep f.mode
+    (Gen.spec_to_string f.spec)
+    (match f.query with
+     | None -> ""
+     | Some q -> Format.asprintf " on %a" Query.pp q)
+    f.detail
+
+type outcome = {
+  queries_run : int;
+  executions : int;
+  failures : failure list;
+}
+
+(* --- the five representations --------------------------------------------- *)
+
+let representations ?(workload = []) g policy =
+  let nr = Strategy.non_repeating g policy in
+  let cost p =
+    match workload with
+    | [] -> float_of_int (Partition.total_columns p)
+    | qs ->
+      List.fold_left
+        (fun acc q ->
+          match Planner.plan p q with
+          | Ok pl -> acc +. float_of_int (1 + pl.Planner.joins)
+          | Error _ -> acc +. 100.)
+        0. qs
+  in
+  [ ("universal", Strategy.strawman policy);
+    ("atomic", Strategy.naive policy);
+    ("snf", nr);
+    ("max-repeating", Strategy.max_repeating g policy);
+    ("workload-aware", Strategy.workload_aware ~cost g policy nr) ]
+
+(* --- per-execution consistency checks -------------------------------------- *)
+
+let mode_name = function
+  | `Sort_merge -> "sort-merge"
+  | `Oram -> "oram"
+  | `Binning n -> Printf.sprintf "binning-%d" n
+
+let modes = [| `Sort_merge; `Oram; `Binning 4 |]
+
+(* The trace handed back to the caller and the process-wide metrics
+   registry are fed by the same execution; their disagreement means the
+   observability layer is lying to one of its consumers. *)
+let counter_mismatches (trace : Executor.trace) deltas =
+  let d name = Option.value (List.assoc_opt name deltas) ~default:0 in
+  [ ("exec.query.count", 1);
+    ("exec.query.scanned_cells", trace.Executor.scanned_cells);
+    ("exec.query.index_probes", trace.Executor.index_probes);
+    ("exec.query.comparisons", trace.Executor.comparisons);
+    ("exec.query.rows_processed", trace.Executor.rows_processed);
+    ("exec.query.result_rows", trace.Executor.result_rows) ]
+  |> List.filter_map (fun (n, want) ->
+         if d n = want then None
+         else Some (Printf.sprintf "%s: trace says %d, counter moved %d" n want (d n)))
+
+(* --- per-instance passes ---------------------------------------------------- *)
+
+let most_frequent col =
+  let counts = Hashtbl.create 8 in
+  Array.iter
+    (fun v ->
+      let k = Value.encode v in
+      Hashtbl.replace counts k
+        (match Hashtbl.find_opt counts k with
+         | Some (_, n) -> (v, n + 1)
+         | None -> (v, 1)))
+    col;
+  Hashtbl.fold
+    (fun _ (v, n) best ->
+      match best with Some (_, m) when m >= n -> best | _ -> Some (v, n))
+    counts None
+  |> Option.map fst
+
+let run_instance ?(queries = 25) ?(check_ledger = true) ?(check_horizontal = true)
+    ?(check_group_sum = true) (inst : Gen.instance) =
+  let qs = Gen.queries ~count:queries ~seed:inst.Gen.spec.Gen.seed inst in
+  let reps = representations ~workload:qs inst.Gen.graph inst.Gen.policy in
+  let owners =
+    List.map
+      (fun (label, rep) ->
+        ( label,
+          System.outsource_prepared
+            ~name:(inst.Gen.name ^ "." ^ label)
+            ~graph:inst.Gen.graph ~representation:rep inst.Gen.relation
+            inst.Gen.policy ))
+      reps
+  in
+  let failures = ref [] and executions = ref 0 in
+  let fail ?query ~rep ~mode ~kind detail =
+    failures := { spec = inst.Gen.spec; rep; mode; query; kind; detail } :: !failures
+  in
+  (* Differential pass: every query through every representation, rotating
+     reconstruction mode and index use; oracle, cross-representation and
+     counter checks per execution. *)
+  List.iteri
+    (fun i q ->
+      let oracle_ans = Oracle.answer inst.Gen.relation q in
+      let mode = modes.(i mod Array.length modes) in
+      let use_index = i land 1 = 0 in
+      let mstr = mode_name mode ^ if use_index then "+index" else "" in
+      let bags =
+        List.filter_map
+          (fun (label, owner) ->
+            incr executions;
+            let before = Metrics.snapshot () in
+            match System.query_checked ~mode ~use_index owner q with
+            | Error (`Plan e) ->
+              fail ~query:q ~rep:label ~mode:mstr ~kind:"plan" e;
+              None
+            | Error (`Corruption c) ->
+              fail ~query:q ~rep:label ~mode:mstr ~kind:"corruption"
+                (Integrity.to_string c);
+              None
+            | Ok (ans, trace) ->
+              let after = Metrics.snapshot () in
+              if not (Oracle.agree oracle_ans ans) then
+                fail ~query:q ~rep:label ~mode:mstr ~kind:"oracle"
+                  (Oracle.diff_summary ~expected:oracle_ans ~got:ans);
+              (match counter_mismatches trace (Metrics.counter_diff before after) with
+               | [] -> ()
+               | errs ->
+                 fail ~query:q ~rep:label ~mode:mstr ~kind:"counters"
+                   (String.concat "; " errs));
+              Some (label, Oracle.bag ans))
+          owners
+      in
+      match bags with
+      | [] -> ()
+      | (l0, b0) :: rest ->
+        List.iter
+          (fun (l, b) ->
+            if b <> b0 then
+              fail ~query:q ~rep:(l0 ^ " vs " ^ l) ~mode:mstr ~kind:"cross-rep"
+                (Printf.sprintf "representations disagree: %d vs %d rows"
+                   (List.length b0) (List.length b)))
+          rest)
+    qs;
+  (* Ledger pass over the SNF representation: the report must recount
+     exactly the answers it just recorded. *)
+  if check_ledger then begin
+    let owner = List.assoc "snf" owners in
+    let led = Ledger.create owner in
+    let vols =
+      List.filter_map
+        (fun q ->
+          incr executions;
+          match Ledger.query led q with
+          | Ok (ans, _) -> Some (Relation.cardinality ans)
+          | Error e ->
+            fail ~query:q ~rep:"snf" ~mode:"ledger" ~kind:"ledger" e;
+            None)
+        qs
+    in
+    let r = Ledger.report led in
+    if r.Ledger.queries <> List.length vols then
+      fail ~rep:"snf" ~mode:"ledger" ~kind:"ledger"
+        (Printf.sprintf "report.queries = %d, executed %d" r.Ledger.queries
+           (List.length vols));
+    if r.Ledger.result_volumes <> vols then
+      fail ~rep:"snf" ~mode:"ledger" ~kind:"ledger"
+        "report.result_volumes disagree with the recorded answers";
+    if List.length r.Ledger.query_metrics <> r.Ledger.queries then
+      fail ~rep:"snf" ~mode:"ledger" ~kind:"ledger"
+        "one query_metrics entry per recorded query expected"
+  end;
+  (* PHE group-sum differential, when the schema drew a PHE column:
+     co-locate it with the guaranteed-DET s0 and aggregate server-side. *)
+  if check_group_sum then begin
+    let names = Schema.names (Relation.schema inst.Gen.relation) in
+    match
+      List.find_opt (fun a -> Policy.scheme_of inst.Gen.policy a = Scheme.Phe) names
+    with
+    | None -> ()
+    | Some p ->
+      let g = "s0" in
+      let rep =
+        Partition.leaf "gs" [ (g, Scheme.Det); (p, Scheme.Phe) ]
+        :: List.filter_map
+             (fun a ->
+               if a = g || a = p then None
+               else
+                 Some (Partition.leaf ("q-" ^ a) [ (a, Policy.scheme_of inst.Gen.policy a) ]))
+             names
+      in
+      let owner =
+        System.outsource_prepared ~name:(inst.Gen.name ^ ".gs")
+          ~graph:inst.Gen.graph ~representation:rep inst.Gen.relation
+          inst.Gen.policy
+      in
+      incr executions;
+      let got = System.group_sum owner ~leaf:"gs" ~group_by:g ~sum:p in
+      let want = Oracle.group_sum inst.Gen.relation ~group_by:g ~sum:p in
+      if got <> want then
+        fail ~rep:"group-sum" ~mode:"phe" ~kind:"group-sum"
+          (Printf.sprintf "homomorphic SUM(%s) GROUP BY %s: %d groups vs oracle %d" p
+             g (List.length got) (List.length want))
+  end;
+  (* Horizontal pass: split on s0 (DET tolerates the equality leakage the
+     split reveals), exercise both routing outcomes. *)
+  if check_horizontal && Relation.cardinality inst.Gen.relation > 0 then begin
+    match most_frequent (Relation.column inst.Gen.relation "s0") with
+    | None -> ()
+    | Some v ->
+      let h =
+        Horizontal.partition inst.Gen.graph inst.Gen.policy ~split_on:"s0"
+          ~values:[ v ]
+      in
+      let hs =
+        Horizontal_system.outsource ~name:(inst.Gen.name ^ ".h") inst.Gen.relation
+          inst.Gen.policy h
+      in
+      let check_h tag q =
+        incr executions;
+        match Horizontal_system.query hs q with
+        | Error e -> fail ~query:q ~rep:"horizontal" ~mode:tag ~kind:"plan" e
+        | Ok (ans, _traces) ->
+          if not (Oracle.agree (Oracle.answer inst.Gen.relation q) ans) then
+            fail ~query:q ~rep:"horizontal" ~mode:tag ~kind:"horizontal"
+              (Oracle.diff_summary
+                 ~expected:(Oracle.answer inst.Gen.relation q)
+                 ~got:ans)
+      in
+      (* A query pinned to the fragment value must route, not fan out. *)
+      let routed = Query.point ~select:[ "s0"; "s1" ] [ ("s0", v) ] in
+      (match Horizontal_system.routed_to hs routed with
+       | `Fragment v' when Value.equal v v' -> ()
+       | `Fragment v' ->
+         fail ~query:routed ~rep:"horizontal" ~mode:"routed" ~kind:"horizontal"
+           (Printf.sprintf "routed to wrong fragment %s" (Value.to_string v'))
+       | `Fan_out ->
+         fail ~query:routed ~rep:"horizontal" ~mode:"routed" ~kind:"horizontal"
+           "pinned query fanned out instead of routing");
+      check_h "routed" routed;
+      List.iteri (fun i q -> if i mod 5 = 0 then check_h "fan-out" q) qs
+  end;
+  { queries_run = List.length qs; executions = !executions; failures = List.rev !failures }
+
+let run_spec ?queries spec = run_instance ?queries (Gen.instance spec)
+
+(* --- soak ------------------------------------------------------------------- *)
+
+type report = {
+  seed : int;
+  instances : int;
+  queries_run : int;
+  executions : int;
+  fault_applicable : int;
+  fault_undetected : int;
+  failures : failure list;
+  failure_count : int;
+}
+
+let max_kept_failures = 25
+
+let soak ?(rows = 16) ?(queries_per_instance = 25) ?(with_faults = true) ~seed
+    ~queries () =
+  let rows = max 1 rows in
+  let prng = Prng.create ((seed * 1103515245) + 12345) in
+  let acc =
+    ref
+      { seed;
+        instances = 0;
+        queries_run = 0;
+        executions = 0;
+        fault_applicable = 0;
+        fault_undetected = 0;
+        failures = [];
+        failure_count = 0 }
+  in
+  while !acc.queries_run < queries do
+    let i = !acc.instances in
+    let spec =
+      Gen.normalize
+        { Gen.seed = abs (seed + (i * 7919) + Prng.int prng 1024);
+          rows = 1 + Prng.int prng rows;
+          clusters = List.init (Prng.int prng 3) (fun _ -> 2 + Prng.int prng 3);
+          singles = 2 + Prng.int prng 3 }
+    in
+    let inst = Gen.instance spec in
+    let o = run_instance ~queries:queries_per_instance inst in
+    let fault_failures, applicable, undetected =
+      if not with_faults then ([], 0, 0)
+      else begin
+        let outs = Fault.campaign ~seed:(seed + i) inst in
+        let app = List.filter (fun (o : Fault.outcome) -> o.Fault.applicable) outs in
+        let und = List.filter (fun (o : Fault.outcome) -> not o.Fault.detected) app in
+        ( List.map
+            (fun (o : Fault.outcome) ->
+              { spec;
+                rep = "fault";
+                mode = Fault.name o.Fault.kind;
+                query = None;
+                kind = "fault-undetected";
+                detail = o.Fault.detail })
+            und,
+          List.length app,
+          List.length und )
+      end
+    in
+    let fresh = o.failures @ fault_failures in
+    let kept =
+      List.filteri
+        (fun j _ -> List.length !acc.failures + j < max_kept_failures)
+        fresh
+    in
+    acc :=
+      { !acc with
+        instances = i + 1;
+        queries_run = !acc.queries_run + o.queries_run;
+        executions = !acc.executions + o.executions;
+        fault_applicable = !acc.fault_applicable + applicable;
+        fault_undetected = !acc.fault_undetected + undetected;
+        failures = !acc.failures @ kept;
+        failure_count = !acc.failure_count + List.length fresh }
+  done;
+  !acc
+
+let passed r = r.failure_count = 0 && r.fault_undetected = 0
+
+let failure_to_json f =
+  Json.Obj
+    [ ("spec", Json.String (Gen.spec_to_string f.spec));
+      ("rep", Json.String f.rep);
+      ("mode", Json.String f.mode);
+      ("query",
+       match f.query with
+       | None -> Json.Null
+       | Some q -> Json.String (Format.asprintf "%a" Query.pp q));
+      ("kind", Json.String f.kind);
+      ("detail", Json.String f.detail) ]
+
+let report_to_json r =
+  Json.Obj
+    [ ("seed", Json.Int r.seed);
+      ("instances", Json.Int r.instances);
+      ("queries_run", Json.Int r.queries_run);
+      ("executions", Json.Int r.executions);
+      ("fault_applicable", Json.Int r.fault_applicable);
+      ("fault_undetected", Json.Int r.fault_undetected);
+      ("failure_count", Json.Int r.failure_count);
+      ("passed", Json.Bool (passed r));
+      ("failures", Json.List (List.map failure_to_json r.failures)) ]
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>soak seed=%d: %d instance(s), %d queries, %d executions@,\
+     faults: %d applicable, %d undetected@,\
+     failures: %d%s@]"
+    r.seed r.instances r.queries_run r.executions r.fault_applicable
+    r.fault_undetected r.failure_count
+    (if passed r then " — PASS" else " — FAIL");
+  if r.failures <> [] then begin
+    Format.pp_print_cut fmt ();
+    List.iter
+      (fun f -> Format.fprintf fmt "  %s@," (failure_to_string f))
+      r.failures;
+    Format.fprintf fmt "reproduce an instance with: snf_cli check --seed <spec seed> --queries %d"
+      r.queries_run
+  end

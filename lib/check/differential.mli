@@ -1,0 +1,99 @@
+(** The differential conformance runner.
+
+    Each generated instance is normalized into {e five} vertical
+    representations — universal (strawman single leaf), atomic (one leaf
+    per attribute), SNF ([Strategy.non_repeating]), max-repeating, and
+    workload-aware (local search seeded from SNF, costed by planner joins
+    over the instance's own workload) — and every generated query executes
+    through the full encrypted path (token minting, server filtering,
+    oblivious reconstruction, client decryption) in each one, rotating
+    reconstruction modes and the equality index.
+
+    Checked per execution: multiset equality with the plaintext
+    {!Oracle}, cross-representation agreement, and internal consistency
+    of the observability layer — the [exec.query.*] counter deltas must
+    equal the returned trace field-for-field. Per instance it also runs a
+    {!Snf_exec.Ledger} pass (report totals vs. the answers it recorded),
+    a PHE group-sum differential when the schema drew a PHE column, and a
+    horizontal-fragmentation pass (routed and fan-out) split on the
+    guaranteed DET column [s0].
+
+    {!soak} drives all of it plus the {!Fault} campaign from a single
+    seed — the engine behind [snf_cli check] and the nightly soak job. *)
+
+open Snf_exec
+
+type failure = {
+  spec : Gen.spec;      (** reproduces the instance *)
+  rep : string;         (** representation label, ["horizontal"], ... *)
+  mode : string;        (** reconstruction mode (+index) or check name *)
+  query : Query.t option;
+  kind : string;
+      (** ["oracle"] | ["cross-rep"] | ["plan"] | ["corruption"] |
+          ["counters"] | ["ledger"] | ["group-sum"] | ["horizontal"] |
+          ["fault-undetected"] *)
+  detail : string;
+}
+
+val failure_to_string : failure -> string
+
+type outcome = {
+  queries_run : int;   (** distinct generated queries *)
+  executions : int;    (** query × representation path executions *)
+  failures : failure list;
+}
+
+val representations :
+  ?workload:Query.t list ->
+  Snf_deps.Dep_graph.t ->
+  Snf_core.Policy.t ->
+  (string * Snf_core.Partition.t) list
+(** The five labelled representations. [workload] feeds the
+    workload-aware cost (planner joins, unplannable = expensive);
+    without it the cost falls back to total stored columns. *)
+
+val run_instance :
+  ?queries:int ->
+  ?check_ledger:bool ->
+  ?check_horizontal:bool ->
+  ?check_group_sum:bool ->
+  Gen.instance ->
+  outcome
+(** Default [queries] 25; all checks on. An empty [failures] list is
+    the conformance verdict. *)
+
+val run_spec : ?queries:int -> Gen.spec -> outcome
+(** [run_instance (Gen.instance spec)]. *)
+
+(** {1 Soak} *)
+
+type report = {
+  seed : int;
+  instances : int;
+  queries_run : int;
+  executions : int;
+  fault_applicable : int;
+  fault_undetected : int;
+  failures : failure list;  (** capped at 25; counts above are exact *)
+  failure_count : int;
+}
+
+val soak :
+  ?rows:int ->
+  ?queries_per_instance:int ->
+  ?with_faults:bool ->
+  seed:int ->
+  queries:int ->
+  unit ->
+  report
+(** Keep generating fresh instances (at most [rows] rows each, default
+    16) and running {!run_instance} ([queries_per_instance], default 25,
+    queries each) until [queries] distinct queries have executed, with
+    the {!Fault} campaign per instance unless [with_faults:false]. *)
+
+val passed : report -> bool
+(** No differential failures and no applicable-but-undetected fault. *)
+
+val report_to_json : report -> Snf_obs.Json.t
+
+val pp_report : Format.formatter -> report -> unit

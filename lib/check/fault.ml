@@ -1,0 +1,264 @@
+open Snf_relational
+open Snf_exec
+module Prng = Snf_crypto.Prng
+module Scheme = Snf_crypto.Scheme
+module Ore = Snf_crypto.Ore
+module Nat = Snf_bignum.Nat
+module Partition = Snf_core.Partition
+
+type kind =
+  | Flip_cell
+  | Flip_tid
+  | Truncate_leaf
+  | Drop_leaf
+  | Stale_index
+  | Key_mismatch
+
+let all = [ Flip_cell; Flip_tid; Truncate_leaf; Drop_leaf; Stale_index; Key_mismatch ]
+
+let name = function
+  | Flip_cell -> "flip-cell"
+  | Flip_tid -> "flip-tid"
+  | Truncate_leaf -> "truncate-leaf"
+  | Drop_leaf -> "drop-leaf"
+  | Stale_index -> "stale-index"
+  | Key_mismatch -> "key-mismatch"
+
+(* --- injectors ------------------------------------------------------------ *)
+
+let flip_byte prng s =
+  if String.length s = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    let i = Prng.int prng (String.length s) in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Prng.int prng 8)));
+    Bytes.to_string b
+  end
+
+let map_leaf t label f =
+  { t with
+    Enc_relation.leaves =
+      List.map
+        (fun (l : Enc_relation.enc_leaf) ->
+          if l.Enc_relation.label = label then f l else l)
+        t.Enc_relation.leaves }
+
+let corrupt_cell prng (cell : Enc_relation.cell) =
+  match cell with
+  | Enc_relation.C_bytes b -> Enc_relation.C_bytes (flip_byte prng b)
+  | Enc_relation.C_ord { ord; payload } ->
+    if Prng.bool prng then Enc_relation.C_ord { ord = ord lxor 1; payload }
+    else Enc_relation.C_ord { ord; payload = flip_byte prng payload }
+  | Enc_relation.C_ore { ore; payload } ->
+    if Prng.bool prng then begin
+      let s = Ore.symbols ore in
+      s.(0) <- (s.(0) + 1) mod 3;
+      Enc_relation.C_ore { ore = Ore.of_symbols s; payload }
+    end
+    else Enc_relation.C_ore { ore; payload = flip_byte prng payload }
+  | Enc_relation.C_nat n -> Enc_relation.C_nat (Nat.add n Nat.one)
+  | Enc_relation.C_plain v -> Enc_relation.C_plain v
+
+let flip_cell ~seed t ~leaf ~attr =
+  let prng = Prng.create (seed + 0xf11b) in
+  let slot = ref 0 in
+  let t' =
+    map_leaf t leaf (fun l ->
+        slot := if l.Enc_relation.row_count = 0 then 0
+                else Prng.int prng l.Enc_relation.row_count;
+        { l with
+          Enc_relation.columns =
+            List.map
+              (fun (c : Enc_relation.enc_column) ->
+                if c.Enc_relation.attr <> attr then c
+                else begin
+                  let cells = Array.copy c.Enc_relation.cells in
+                  if Array.length cells > 0 then
+                    cells.(!slot) <- corrupt_cell prng cells.(!slot);
+                  { c with Enc_relation.cells }
+                end)
+              l.Enc_relation.columns })
+  in
+  (t', !slot)
+
+let flip_tid ~seed t ~leaf =
+  let prng = Prng.create (seed + 0x71d) in
+  let slot = ref 0 in
+  let t' =
+    map_leaf t leaf (fun l ->
+        let tids = Array.copy l.Enc_relation.tids in
+        if Array.length tids > 0 then begin
+          slot := Prng.int prng (Array.length tids);
+          tids.(!slot) <- flip_byte prng tids.(!slot)
+        end;
+        { l with Enc_relation.tids })
+  in
+  (t', !slot)
+
+let truncate_leaf t ~leaf =
+  map_leaf t leaf (fun l ->
+      let drop a = Array.sub a 0 (max 0 (Array.length a - 1)) in
+      { l with
+        Enc_relation.tids = drop l.Enc_relation.tids;
+        Enc_relation.columns =
+          List.map
+            (fun (c : Enc_relation.enc_column) ->
+              { c with Enc_relation.cells = drop c.Enc_relation.cells })
+            l.Enc_relation.columns })
+
+let drop_leaf t ~leaf =
+  { t with
+    Enc_relation.leaves =
+      List.filter
+        (fun (l : Enc_relation.enc_leaf) -> l.Enc_relation.label <> leaf)
+        t.Enc_relation.leaves }
+
+let poison_index t ~leaf ~attr ~key_a ~key_b =
+  match Enc_relation.eq_index t ~leaf ~attr with
+  | None -> false
+  | Some idx ->
+    let a = Option.value (Hashtbl.find_opt idx key_a) ~default:[] in
+    let b = Option.value (Hashtbl.find_opt idx key_b) ~default:[] in
+    Hashtbl.replace idx key_a b;
+    Hashtbl.replace idx key_b a;
+    true
+
+let mismatched_client ~name =
+  Enc_relation.make_client ~relation_name:name ~master:"snf-check:wrong-master" ()
+
+(* --- campaign ------------------------------------------------------------- *)
+
+type outcome = {
+  kind : kind;
+  applicable : bool;
+  detected : bool;
+  detail : string;
+}
+
+let pp_outcome fmt o =
+  Format.fprintf fmt "%-13s %s — %s" (name o.kind)
+    (if not o.applicable then "n/a" else if o.detected then "detected" else "UNDETECTED")
+    o.detail
+
+(* An attribute whose stored ciphertexts are authenticated (or onion-
+   verified), i.e. a legitimate bit-flip target. *)
+let authenticated_attr (inst : Gen.instance) seed =
+  let candidates =
+    List.filter
+      (fun a ->
+        match Snf_core.Policy.scheme_of inst.Gen.policy a with
+        | Scheme.Det | Scheme.Ndet | Scheme.Ope | Scheme.Ore -> true
+        | Scheme.Plain | Scheme.Phe -> false)
+      (Schema.names (Relation.schema inst.Gen.relation))
+  in
+  let arr = Array.of_list candidates in
+  arr.(abs seed mod Array.length arr)  (* s0/s1 guarantee non-emptiness *)
+
+let outsource_leaves (inst : Gen.instance) ~tag leaves =
+  let rep =
+    List.map
+      (fun (label, attrs) ->
+        Partition.leaf label
+          (List.map (fun a -> (a, Snf_core.Policy.scheme_of inst.Gen.policy a)) attrs))
+      leaves
+  in
+  System.outsource_prepared
+    ~name:(inst.Gen.name ^ "." ^ tag)
+    ~graph:inst.Gen.graph ~representation:rep inst.Gen.relation inst.Gen.policy
+
+let detection ?(use_index = false) (owner : System.owner) q =
+  match System.query_checked ~use_index owner q with
+  | Error (`Corruption c) -> (true, Integrity.to_string c)
+  | Error (`Plan e) -> (false, "planner error instead of detection: " ^ e)
+  | Ok (ans, _) ->
+    (false, Printf.sprintf "query returned %d rows from a damaged store"
+              (Relation.cardinality ans))
+
+let full_scan attrs = { Query.select = attrs; where = [] }
+
+let campaign ?(seed = 1) (inst : Gen.instance) =
+  let attr = authenticated_attr inst seed in
+  let run kind ~applicable ~detail f =
+    if not applicable then { kind; applicable = false; detected = false; detail }
+    else begin
+      let detected, d = f () in
+      { kind; applicable = true; detected; detail = Printf.sprintf "%s; %s" detail d }
+    end
+  in
+  let flip_cell_outcome =
+    run Flip_cell ~applicable:true
+      ~detail:(Printf.sprintf "bit-flip in column %s" attr)
+      (fun () ->
+        let owner = outsource_leaves inst ~tag:"flipcell" [ ("f0", [ attr ]) ] in
+        let enc, _slot =
+          flip_cell ~seed owner.System.enc ~leaf:"f0" ~attr
+        in
+        detection { owner with System.enc } (full_scan [ attr ]))
+  in
+  let flip_tid_outcome =
+    run Flip_tid ~applicable:true
+      ~detail:"bit-flip in a tid ciphertext of a joined leaf"
+      (fun () ->
+        let owner =
+          outsource_leaves inst ~tag:"fliptid" [ ("fa", [ "s0" ]); ("fb", [ "s1" ]) ]
+        in
+        let enc, _slot = flip_tid ~seed owner.System.enc ~leaf:"fa" in
+        detection { owner with System.enc } (full_scan [ "s0"; "s1" ]))
+  in
+  let truncate_outcome =
+    run Truncate_leaf
+      ~applicable:(Relation.cardinality inst.Gen.relation > 0)
+      ~detail:"leaf loses its last row, row_count unchanged"
+      (fun () ->
+        let owner = outsource_leaves inst ~tag:"trunc" [ ("f0", [ attr ]) ] in
+        let enc = truncate_leaf owner.System.enc ~leaf:"f0" in
+        detection { owner with System.enc } (full_scan [ attr ]))
+  in
+  let drop_outcome =
+    run Drop_leaf ~applicable:true ~detail:"partition leaf fb dropped from the store"
+      (fun () ->
+        let owner =
+          outsource_leaves inst ~tag:"drop" [ ("fa", [ "s0" ]); ("fb", [ "s1" ]) ]
+        in
+        let enc = drop_leaf owner.System.enc ~leaf:"fb" in
+        detection { owner with System.enc } (full_scan [ "s0"; "s1" ]))
+  in
+  let stale_outcome =
+    (* Two distinct values of the DET column s0 to remap between. *)
+    let col = Relation.column inst.Gen.relation "s0" in
+    let distinct =
+      Array.to_list col |> List.sort_uniq Value.compare |> fun vs ->
+      match vs with v1 :: v2 :: _ -> Some (v1, v2) | _ -> None
+    in
+    run Stale_index
+      ~applicable:(distinct <> None)
+      ~detail:"equality-index entries for two constants swapped"
+      (fun () ->
+        let v1, v2 = Option.get distinct in
+        let owner = outsource_leaves inst ~tag:"stale" [ ("f0", [ "s0" ]) ] in
+        let key_of v =
+          match
+            Enc_relation.eq_token owner.System.client ~leaf:"f0" ~attr:"s0"
+              ~scheme:Scheme.Det v
+          with
+          | Some tok -> Option.get (Enc_relation.index_key_of_token tok)
+          | None -> assert false
+        in
+        if
+          not
+            (poison_index owner.System.enc ~leaf:"f0" ~attr:"s0" ~key_a:(key_of v1)
+               ~key_b:(key_of v2))
+        then (false, "index refused to build")
+        else
+          detection ~use_index:true owner
+            (Query.point ~select:[ "s0" ] [ ("s0", v1) ]))
+  in
+  let key_outcome =
+    run Key_mismatch ~applicable:true ~detail:"client keyed under a wrong master"
+      (fun () ->
+        let owner = outsource_leaves inst ~tag:"keymm" [ ("f0", [ attr ]) ] in
+        let impostor = mismatched_client ~name:(inst.Gen.name ^ ".keymm") in
+        detection { owner with System.client = impostor } (full_scan [ attr ]))
+  in
+  [ flip_cell_outcome; flip_tid_outcome; truncate_outcome; drop_outcome; stale_outcome;
+    key_outcome ]

@@ -1,0 +1,73 @@
+(** Fault injection over the encrypted store.
+
+    Each injector damages a copy of an [Enc_relation.t] the way real
+    storage rots — flipped ciphertext bits, truncated or dropped
+    partition leaves, stale equality-index entries, mismatched key
+    material — and {!campaign} asserts the conformance contract: a query
+    touching the damage must surface [Integrity.Corruption], never a
+    silently wrong answer.
+
+    Known, documented exclusions: PLAIN cells carry no cryptographic
+    protection, and PHE (Paillier) cells are additively malleable {e by
+    design} — authenticating them would destroy server-side aggregation —
+    so neither is a bit-flip target (DESIGN.md §Testing & Conformance). *)
+
+open Snf_exec
+
+type kind =
+  | Flip_cell      (** one bit of one authenticated cell ciphertext *)
+  | Flip_tid       (** one bit of one NDET tid ciphertext *)
+  | Truncate_leaf  (** leaf loses its last row but keeps its row_count *)
+  | Drop_leaf      (** a whole partition leaf disappears *)
+  | Stale_index    (** equality-index entries remapped to wrong slots *)
+  | Key_mismatch   (** client keyed under the wrong master secret *)
+
+val all : kind list
+
+val name : kind -> string
+
+(** {1 Store injectors}
+
+    Every injector returns a damaged {e copy}; the input store is left
+    intact (except {!poison_index}, which mutates the server's memoized
+    index cache — precisely the state a stale index lives in). *)
+
+val flip_cell :
+  seed:int -> Enc_relation.t -> leaf:string -> attr:string -> Enc_relation.t * int
+(** Flip one bit (or rotate one ORE symbol / perturb one OPE order part)
+    of a seed-chosen cell; returns the damaged store and the slot. *)
+
+val flip_tid : seed:int -> Enc_relation.t -> leaf:string -> Enc_relation.t * int
+
+val truncate_leaf : Enc_relation.t -> leaf:string -> Enc_relation.t
+
+val drop_leaf : Enc_relation.t -> leaf:string -> Enc_relation.t
+
+val poison_index :
+  Enc_relation.t -> leaf:string -> attr:string ->
+  key_a:string -> key_b:string -> bool
+(** Swap the slot lists of two index keys inside the server's memoized
+    equality index (building it first if needed); [false] when the column
+    admits no index. *)
+
+val mismatched_client : name:string -> Enc_relation.client
+(** A client for [name] keyed under a wrong master secret — the PRF-key
+    mismatch fault. *)
+
+(** {1 Campaign} *)
+
+type outcome = {
+  kind : kind;
+  applicable : bool;
+      (** [false] when the instance cannot host the fault (e.g. no two
+          distinct values to remap an index entry between) *)
+  detected : bool;  (** the query surfaced [Integrity.Corruption] *)
+  detail : string;
+}
+
+val campaign : ?seed:int -> Gen.instance -> outcome list
+(** Run every fault class against fresh outsourcings of the instance,
+    with a query aimed at the damaged region. An applicable outcome with
+    [detected = false] is a conformance failure. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,86 @@
+open Snf_relational
+module Query = Snf_exec.Query
+
+let pred_holds (p : Query.pred) v =
+  match p with
+  | Query.Point (_, want) -> Value.equal v want
+  | Query.Range (_, lo, hi) -> Value.compare lo v <= 0 && Value.compare v hi <= 0
+
+let answer r (q : Query.t) =
+  let schema = Relation.schema r in
+  let col_index a = Schema.index_of schema a in
+  let pred_cols = List.map (fun p -> (p, col_index (Query.pred_attr p))) q.Query.where in
+  let select_cols = List.map col_index q.Query.select in
+  let out_schema =
+    Schema.of_attributes (List.map (Schema.find_exn schema) q.Query.select)
+  in
+  let rows = ref [] in
+  Relation.iter_rows r (fun _ row ->
+      if List.for_all (fun (p, i) -> pred_holds p row.(i)) pred_cols then
+        rows := Array.of_list (List.map (fun i -> row.(i)) select_cols) :: !rows);
+  Relation.create out_schema (List.rev !rows)
+
+let row_key row =
+  String.concat "\x00" (List.map Value.encode (Array.to_list row))
+
+let bag r = Relation.rows r |> List.map row_key |> List.sort String.compare
+
+let agree a b = bag a = bag b
+
+(* Multiset difference a \ b over sorted lists. *)
+let rec msdiff a b =
+  match (a, b) with
+  | [], _ -> []
+  | a, [] -> a
+  | x :: a', y :: b' ->
+    let c = String.compare x y in
+    if c = 0 then msdiff a' b'
+    else if c < 0 then x :: msdiff a' b
+    else msdiff a b'
+
+let diff_summary ~expected ~got =
+  (* Keys are the binary bag encoding (NUL-laden for ints), so render
+     samples from the original rows, not by re-parsing keys. *)
+  let render = Hashtbl.create 16 in
+  let note r =
+    List.iter
+      (fun row ->
+        Hashtbl.replace render (row_key row)
+          (Printf.sprintf "(%s)"
+             (String.concat ", " (List.map Value.to_string (Array.to_list row)))))
+      (Relation.rows r)
+  in
+  note expected;
+  note got;
+  let show k = Option.value (Hashtbl.find_opt render k) ~default:"<row>" in
+  let be = bag expected and bg = bag got in
+  let sample tag rows =
+    match rows with
+    | [] -> ""
+    | _ ->
+      let shown = List.filteri (fun i _ -> i < 3) rows in
+      Printf.sprintf "; %s e.g. %s" tag (String.concat " " (List.map show shown))
+  in
+  Printf.sprintf "expected %d rows, got %d%s%s" (List.length be) (List.length bg)
+    (sample "missing" (msdiff be bg))
+    (sample "spurious" (msdiff bg be))
+
+let group_sum r ~group_by ~sum =
+  let schema = Relation.schema r in
+  let gi = Schema.index_of schema group_by and si = Schema.index_of schema sum in
+  let groups = Hashtbl.create 16 in
+  Relation.iter_rows r (fun _ row ->
+      let g = row.(gi) in
+      let s =
+        match row.(si) with
+        | Value.Int i -> i
+        | v ->
+          invalid_arg
+            (Printf.sprintf "Oracle.group_sum: non-integer summand %s" (Value.to_string v))
+      in
+      let key = Value.encode g in
+      match Hashtbl.find_opt groups key with
+      | Some (g0, acc) -> Hashtbl.replace groups key (g0, acc + s)
+      | None -> Hashtbl.add groups key (g, s));
+  Hashtbl.fold (fun _ gs out -> gs :: out) groups []
+  |> List.sort (fun (a, _) (b, _) -> Value.compare a b)

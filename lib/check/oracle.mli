@@ -1,0 +1,35 @@
+(** Plaintext reference oracle for the differential harness.
+
+    An {e independent} evaluator of the query AST directly over
+    [Snf_relational] relations: plain row loops over the source schema,
+    sharing no code with [Query.reference_answer] (which routes through
+    [Algebra]) or with the encrypted path. Disagreement between any two of
+    the three is a conformance failure, and because the implementations
+    are independent, a bug must be present in the disagreeing side rather
+    than in shared plumbing. *)
+
+open Snf_relational
+
+val answer : Relation.t -> Snf_exec.Query.t -> Relation.t
+(** Bag semantics; columns in the query's projection order with the
+    source schema's attribute types; row order follows the source.
+    @raise Not_found if the query names an attribute absent from the
+    relation. *)
+
+val bag : Relation.t -> string list
+(** Canonical multiset form: one sorted encoded string per row. Two
+    relations with equal [bag]s contain the same rows with the same
+    multiplicities (column order sensitive). *)
+
+val agree : Relation.t -> Relation.t -> bool
+(** Multiset equality via {!bag}. *)
+
+val diff_summary : expected:Relation.t -> got:Relation.t -> string
+(** One-line description of how two answers differ — row counts plus a
+    few example rows present on only one side. *)
+
+val group_sum :
+  Relation.t -> group_by:string -> sum:string -> (Value.t * int) list
+(** Plaintext [SELECT group_by, SUM(sum) GROUP BY group_by], sorted by
+    group value — the oracle for [System.group_sum].
+    @raise Invalid_argument on non-integer summands. *)

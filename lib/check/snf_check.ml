@@ -1,0 +1,24 @@
+(** [Snf_check]: the conformance harness.
+
+    - {!Oracle}: an independent plaintext evaluator of the query AST over
+      [Snf_relational] relations — row loops, no [Algebra], so it shares
+      no code with the path under test.
+    - {!Gen}: seeded random schemas with planted FD clusters, relations,
+      and query workloads; [QCheck2] integration shrinks failures to
+      minimal (schema, query) pairs.
+    - {!Differential}: every query through all five representations and
+      the horizontal path, checked against the oracle, each other, the
+      [exec.query.*] counters and the leakage ledger.
+    - {!Fault}: storage corruption injectors and the campaign asserting
+      each class is {e detected} ([Integrity.Corruption]) rather than
+      answered wrongly.
+
+    Entry points: the fast qcheck tier in [dune runtest], and
+    [snf_cli check --seed N --queries K] for soaks (nightly CI uploads
+    failing reports). DESIGN.md §Testing & Conformance documents the
+    contract and known exclusions. *)
+
+module Oracle = Oracle
+module Gen = Gen
+module Fault = Fault
+module Differential = Differential

@@ -189,22 +189,76 @@ let column leaf attr =
   | Some c -> c
   | None -> raise Not_found
 
+(* Decryption is the trust boundary between the untrusted store and the
+   client's answer: every authentication failure (and every onion whose
+   order part disagrees with its payload) must surface as a typed
+   [Integrity.Corruption], never as a wrong value. *)
 let decrypt_cell c ~leaf ~attr ~scheme cell =
+  let authenticated f =
+    try f () with Invalid_argument msg -> Integrity.fail ~leaf ~attr ~where:"cell" msg
+  in
   match ((scheme : Scheme.kind), cell) with
   | Scheme.Plain, C_plain v -> v
-  | Scheme.Det, C_bytes b -> Value.decode (Det.decrypt (det_key c ~leaf ~attr) b)
-  | Scheme.Ndet, C_bytes b -> Value.decode (Ndet.decrypt (ndet_key c ~leaf ~attr) b)
-  | (Scheme.Ope | Scheme.Ore), (C_ord { payload; _ } | C_ore { payload; _ }) ->
-    Value.decode (Det.decrypt (det_key c ~leaf ~attr) payload)
-  | Scheme.Phe, C_nat n ->
-    Value.Int (Nat.to_int_exn (Paillier.decrypt c.paillier n))
-  | _ -> invalid_arg "Enc_relation.decrypt_cell: scheme/cell shape mismatch"
+  | Scheme.Det, C_bytes b ->
+    authenticated (fun () -> Value.decode (Det.decrypt (det_key c ~leaf ~attr) b))
+  | Scheme.Ndet, C_bytes b ->
+    authenticated (fun () -> Value.decode (Ndet.decrypt (ndet_key c ~leaf ~attr) b))
+  | Scheme.Ope, C_ord { ord; payload } ->
+    let v =
+      authenticated (fun () -> Value.decode (Det.decrypt (det_key c ~leaf ~attr) payload))
+    in
+    (* The order part drives server-side comparisons but carries no
+       authenticator of its own: re-derive it from the authenticated
+       payload and reject onions whose halves disagree. *)
+    if Ope.encrypt (ope_of c ~leaf ~attr) (Codec.to_ordinal v) <> ord then
+      Integrity.fail ~leaf ~attr ~where:"cell"
+        "OPE onion mismatch: order part disagrees with authenticated payload";
+    v
+  | Scheme.Ore, C_ore { ore; payload } ->
+    let v =
+      authenticated (fun () -> Value.decode (Det.decrypt (det_key c ~leaf ~attr) payload))
+    in
+    if Ore.compare_ciphertexts (Ore.encrypt (ore_of c ~leaf ~attr) (Codec.to_ordinal v)) ore
+       <> 0
+    then
+      Integrity.fail ~leaf ~attr ~where:"cell"
+        "ORE onion mismatch: order part disagrees with authenticated payload";
+    v
+  | Scheme.Phe, C_nat n -> (
+    (* Paillier is additively malleable by design, so individual PHE cells
+       carry no authenticator; the only detectable corruption is a
+       plaintext outside the encodable range. *)
+    match Nat.to_int_opt (Paillier.decrypt c.paillier n) with
+    | Some i -> Value.Int i
+    | None ->
+      Integrity.fail ~leaf ~attr ~where:"cell"
+        "PHE plaintext exceeds the native integer range")
+  | _ ->
+    Integrity.fail ~leaf ~attr ~where:"cell"
+      "scheme/cell shape mismatch (cell constructor does not fit the annotated scheme)"
 
 let decrypt_column c ~leaf (col : enc_column) =
   Array.map (decrypt_cell c ~leaf ~attr:col.attr ~scheme:col.scheme) col.cells
 
 let decrypt_tid c ~leaf ct =
-  Value.to_int_exn (Value.decode (Ndet.decrypt (tid_key c ~leaf) ct))
+  try Value.to_int_exn (Value.decode (Ndet.decrypt (tid_key c ~leaf) ct))
+  with Invalid_argument msg -> Integrity.fail ~leaf ~where:"tid" msg
+
+let check_shape t =
+  List.iter
+    (fun l ->
+      if Array.length l.tids <> l.row_count then
+        Integrity.fail ~leaf:l.label ~where:"leaf"
+          (Printf.sprintf "tid column holds %d ciphertexts for a declared row_count of %d"
+             (Array.length l.tids) l.row_count);
+      List.iter
+        (fun col ->
+          if Array.length col.cells <> l.row_count then
+            Integrity.fail ~leaf:l.label ~attr:col.attr ~where:"leaf"
+              (Printf.sprintf "column holds %d cells for a declared row_count of %d"
+                 (Array.length col.cells) l.row_count))
+        l.columns)
+    t.leaves
 
 let decrypt_leaf c (l : enc_leaf) =
   let tid_col = Array.map (fun ct -> Value.Int (decrypt_tid c ~leaf:l.label ct)) l.tids in

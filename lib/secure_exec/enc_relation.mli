@@ -63,15 +63,29 @@ val find_leaf : t -> string -> enc_leaf
 val column : enc_leaf -> string -> enc_column
 (** @raise Not_found on unknown attribute. *)
 
-(** {1 Client-side decryption} *)
+(** {1 Client-side decryption}
+
+    Decryption is the trust boundary: authentication failures, onions
+    whose order part disagrees with the authenticated payload, and
+    shape mismatches all raise the typed [Integrity.Corruption] so
+    storage damage is {e detected}, never returned as a wrong value
+    (see DESIGN.md §Testing & Conformance). *)
 
 val decrypt_cell :
   client -> leaf:string -> attr:string -> scheme:Scheme.kind -> cell -> Value.t
-(** @raise Invalid_argument on key or shape mismatch. *)
+(** @raise Integrity.Corruption on authentication failure, onion
+    order/payload disagreement, or scheme/cell shape mismatch. *)
 
 val decrypt_column : client -> leaf:string -> enc_column -> Value.t array
 
 val decrypt_tid : client -> leaf:string -> string -> int
+(** @raise Integrity.Corruption on authentication failure (bit-flipped or
+    foreign-key tid ciphertexts). *)
+
+val check_shape : t -> unit
+(** Structural integrity of the stored leaves: every leaf's tid column and
+    attribute columns must hold exactly [row_count] entries.
+    @raise Integrity.Corruption on truncated or padded leaves. *)
 
 val row_position : client -> leaf:string -> rows:int -> int -> int
 (** Slot at which a tid's row is stored inside the leaf. Each leaf shuffles

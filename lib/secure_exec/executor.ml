@@ -40,9 +40,11 @@ let pred_holds (p : Query.pred) v =
 
 (* A predicate after the minting phase: either an equality index already
    served its slot list (§V-D "leakage as indexing"), or the server must
-   scan the column with a minted ciphertext test. *)
+   scan the column with a minted ciphertext test. Indexed predicates keep
+   the source predicate so the client can re-verify fetched rows against
+   it — the index is server state and may be stale. *)
 type compiled_pred =
-  | Indexed of int list
+  | Indexed of Query.pred * int list
   | Scan of Enc_relation.enc_column * (Enc_relation.cell -> bool)
 
 (* Client role: mint the token for one predicate, then close it over the
@@ -68,6 +70,13 @@ let compile_pred ~use_index client enc (leaf : Enc_relation.enc_leaf) index_prob
           match Enc_relation.index_key_of_token tok with
           | Some key ->
             let slots = Option.value (Hashtbl.find_opt idx key) ~default:[] in
+            List.iter
+              (fun s ->
+                if s < 0 || s >= leaf.Enc_relation.row_count then
+                  Integrity.fail ~leaf:leaf.Enc_relation.label ~attr ~where:"index"
+                    (Printf.sprintf "equality-index slot %d outside [0, %d)" s
+                       leaf.Enc_relation.row_count))
+              slots;
             index_probes := !index_probes + 1 + List.length slots;
             Some slots
           | None -> None)
@@ -75,7 +84,7 @@ let compile_pred ~use_index client enc (leaf : Enc_relation.enc_leaf) index_prob
       | _ -> None
   in
   match indexed with
-  | Some slots -> Indexed slots
+  | Some slots -> Indexed (p, slots)
   | None ->
     Metrics.incr m_tokens;
     let test =
@@ -111,7 +120,7 @@ let server_filter (leaf : Enc_relation.enc_leaf) compiled =
   in
   List.iter
     (function
-      | Indexed slots -> apply_slots slots
+      | Indexed (_, slots) -> apply_slots slots
       | Scan (col, test) ->
         scanned := !scanned + leaf.Enc_relation.row_count;
         Array.iteri
@@ -125,6 +134,22 @@ let decrypt_at client (leaf : Enc_relation.enc_leaf) attr slot =
   Enc_relation.decrypt_cell client ~leaf:leaf.Enc_relation.label ~attr
     ~scheme:col.Enc_relation.scheme
     col.Enc_relation.cells.(slot)
+
+(* Client-side re-verification of index-served predicates: the equality
+   index is mutable server state, so a row it returned must still satisfy
+   the predicate once decrypted — a stale entry surfaces as detected
+   corruption, never as a wrong answer. Scanned predicates need no check:
+   their ciphertext test ran on the authenticated cells themselves. *)
+let verify_indexed client (leaf : Enc_relation.enc_leaf) compiled slot =
+  List.iter
+    (function
+      | Indexed (p, _) ->
+        let attr = Query.pred_attr p in
+        if not (pred_holds p (decrypt_at client leaf attr slot)) then
+          Integrity.fail ~leaf:leaf.Enc_relation.label ~attr ~where:"index"
+            "stale equality-index entry: fetched row does not satisfy its predicate"
+      | Scan _ -> ())
+    compiled
 
 let build_result (q : Query.t) rows =
   let witness_ty i =
@@ -180,7 +205,7 @@ let project_rows (q : Query.t) plan matches value_of =
 
 (* --- single leaf -------------------------------------------------------- *)
 
-let run_single ~drop_tid client q plan (leaf : Enc_relation.enc_leaf) mask =
+let run_single ~drop_tid client q plan (leaf : Enc_relation.enc_leaf) compiled mask =
   let matches =
     Span.with_ ~name:"query.reconstruct" ~attrs:[ ("path", "single") ] @@ fun () ->
     let n = leaf.Enc_relation.row_count in
@@ -196,6 +221,7 @@ let run_single ~drop_tid client q plan (leaf : Enc_relation.enc_leaf) mask =
     List.rev !slots
   in
   Span.with_ ~name:"query.client_decrypt" @@ fun () ->
+  List.iter (verify_indexed client leaf compiled) matches;
   let rows =
     project_rows q plan matches (fun slot _label attr -> decrypt_at client leaf attr slot)
   in
@@ -203,7 +229,7 @@ let run_single ~drop_tid client q plan (leaf : Enc_relation.enc_leaf) mask =
 
 (* --- sort-merge reconstruction ------------------------------------------ *)
 
-let run_sort_merge ~drop_tid client q plan leaves masks stats =
+let run_sort_merge ~drop_tid client q plan leaves compiled masks stats =
   let matched =
     Span.with_ ~name:"query.reconstruct" ~attrs:[ ("path", "sort_merge") ] @@ fun () ->
     Oblivious_join.join_many ~masks:(List.combine leaves masks) stats client
@@ -212,6 +238,12 @@ let run_sort_merge ~drop_tid client q plan leaves masks stats =
     |> Array.of_seq
   in
   Span.with_ ~name:"query.client_decrypt" @@ fun () ->
+  Array.iter
+    (fun (_, slots) ->
+      List.iteri
+        (fun i leaf -> verify_indexed client leaf (List.nth compiled i) (List.nth slots i))
+        leaves)
+    matched;
   let label_index =
     List.mapi (fun i (l : Enc_relation.enc_leaf) -> (l.Enc_relation.label, i)) leaves
   in
@@ -296,11 +328,16 @@ let binning_fetcher client q plan bin_size bin_retrieved ~wanted
          | None -> ());
         List.map (fun a -> (a, decrypt_at client leaf a slot)) needed) }
 
-let run_anchor_fetch ~drop_tid client q plan leaves masks ~make_fetcher =
+let run_anchor_fetch ~drop_tid client q plan leaves compiled masks ~make_fetcher =
   let anchor = anchor_label plan leaves masks in
   let anchor_leaf, anchor_mask =
     List.combine leaves masks
     |> List.find (fun ((l : Enc_relation.enc_leaf), _) -> l.Enc_relation.label = anchor)
+  in
+  let anchor_compiled =
+    List.combine leaves compiled
+    |> List.find (fun ((l : Enc_relation.enc_leaf), _) -> l.Enc_relation.label = anchor)
+    |> snd
   in
   let n = anchor_leaf.Enc_relation.row_count in
   (* Reconstruction: anchor selection, partner fetches, and the enclave's
@@ -343,6 +380,11 @@ let run_anchor_fetch ~drop_tid client q plan leaves masks ~make_fetcher =
       (List.rev !selected_tids)
   in
   Span.with_ ~name:"query.client_decrypt" @@ fun () ->
+  List.iter
+    (fun (tid, _) ->
+      verify_indexed client anchor_leaf anchor_compiled
+        (Enc_relation.row_position client ~leaf:anchor ~rows:n tid))
+    matches;
   let rows =
     List.map
       (fun (tid, partner_values) ->
@@ -375,8 +417,19 @@ let run ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
     let stats = Oblivious_join.fresh_stats () in
     let oram_touches = ref 0 in
     let bin_retrieved = ref 0 in
+    (* Storage-integrity gate: the planned leaves must exist and be
+       structurally sound (dropped or truncated leaves are corruption,
+       not planner errors — the plan was built from the representation). *)
+    Enc_relation.check_shape enc;
     let leaves =
-      List.map (Enc_relation.find_leaf enc) plan.Planner.leaves
+      List.map
+        (fun label ->
+          match Enc_relation.find_leaf enc label with
+          | l -> l
+          | exception Not_found ->
+            Integrity.fail ~leaf:label ~where:"store"
+              "planned leaf missing from the encrypted store")
+        plan.Planner.leaves
     in
     (* Phase 1 (sequential): mint tokens and serve what the equality
        indexes can — this is where lazy index builds and cache-hit
@@ -405,18 +458,20 @@ let run ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
     List.iter (fun (_, s) -> scanned := !scanned + s) filtered;
     let result =
       match (leaves, masks) with
-      | [ leaf ], [ mask ] -> run_single ~drop_tid client q plan leaf mask
+      | [ leaf ], [ mask ] ->
+        run_single ~drop_tid client q plan leaf (List.hd compiled) mask
       | _ -> (
         match mode with
-        | `Sort_merge -> run_sort_merge ~drop_tid client q plan leaves masks stats
+        | `Sort_merge ->
+          run_sort_merge ~drop_tid client q plan leaves compiled masks stats
         | `Oram ->
           let prng = Snf_crypto.Prng.create 0x09a7 in
-          run_anchor_fetch ~drop_tid client q plan leaves masks
+          run_anchor_fetch ~drop_tid client q plan leaves compiled masks
             ~make_fetcher:(fun ~wanted leaf ->
               ignore wanted;
               oram_fetcher client q plan oram_touches prng leaf)
         | `Binning bin_size ->
-          run_anchor_fetch ~drop_tid client q plan leaves masks
+          run_anchor_fetch ~drop_tid client q plan leaves compiled masks
             ~make_fetcher:(binning_fetcher client q plan bin_size bin_retrieved))
     in
     let trace =

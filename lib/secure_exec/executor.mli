@@ -55,6 +55,14 @@ val run :
     server's equality index — §V-D "leakage as indexing"; index
     construction reveals nothing beyond the column's permissible equality
     leakage. The answer's columns follow the query's projection order; row
-    order is unspecified. *)
+    order is unspecified.
+
+    Storage corruption — dropped or truncated leaves, tampered
+    ciphertexts, stale index entries — raises the typed
+    [Integrity.Corruption] rather than returning a wrong answer: leaf
+    shapes are checked up front, index-served slots are bounds-checked and
+    their rows re-verified against the predicate after decryption, and
+    every decrypt authenticates (see [Enc_relation]). Use
+    [System.query_checked] for a result-typed wrapper. *)
 
 val pp_trace : Format.formatter -> trace -> unit

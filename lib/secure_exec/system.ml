@@ -41,6 +41,12 @@ let query ?mode ?params ?use_index ?drop_tid owner q =
   Executor.run ?mode ?params ?use_index ?drop_tid owner.client owner.enc
     owner.plan.Normalizer.representation q
 
+let query_checked ?mode ?params ?use_index ?drop_tid owner q =
+  match query ?mode ?params ?use_index ?drop_tid owner q with
+  | Ok r -> Ok r
+  | Error e -> Error (`Plan e)
+  | exception Integrity.Corruption c -> Error (`Corruption c)
+
 let reference owner q = Query.reference_answer owner.plaintext q
 
 let bag r =

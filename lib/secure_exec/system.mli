@@ -54,6 +54,22 @@ val query :
   ?use_index:bool ->
   ?drop_tid:(int -> bool) ->
   owner -> Query.t -> (Relation.t * Executor.trace, string) result
+(** [Error] is a planning failure. Detected storage corruption raises
+    [Integrity.Corruption] (see [Executor.run]); use {!query_checked} to
+    receive it as a result instead. *)
+
+val query_checked :
+  ?mode:Executor.mode ->
+  ?params:Cost_model.params ->
+  ?use_index:bool ->
+  ?drop_tid:(int -> bool) ->
+  owner -> Query.t ->
+  ( Relation.t * Executor.trace,
+    [ `Plan of string | `Corruption of Integrity.corruption ] )
+  result
+(** Like {!query}, with detected storage corruption reified as
+    [`Corruption] instead of an exception — the entry point the
+    [Snf_check] fault-injection harness drives. *)
 
 val reference : owner -> Query.t -> Relation.t
 

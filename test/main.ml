@@ -29,4 +29,10 @@ let () =
       ("cross-properties", Test_cross_properties.suite);
       ("chase-failures", Test_chase_failures.suite);
       ("explain", Test_explain.suite);
-      ("obs", Test_obs.suite) ]
+      ("obs", Test_obs.suite);
+      ("nat-edge", Test_nat_edge.suite);
+      ("ope-order", Test_ope_order.suite);
+      ("executor-edge", Test_executor_edge.suite);
+      ("check", Test_check.suite);
+      ("fault", Test_fault.suite);
+      ("cli", Test_cli.suite) ]

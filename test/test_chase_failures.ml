@@ -112,7 +112,7 @@ let test_tampered_cell_detected () =
          (Enc_relation.decrypt_cell o.System.client ~leaf:leaf.Enc_relation.label
             ~attr:"State" ~scheme:col.Enc_relation.scheme tampered);
        false
-     with Invalid_argument _ -> true)
+     with Integrity.Corruption _ -> true)
 
 let test_tampered_tid_detected () =
   let o = owner () in
@@ -123,7 +123,7 @@ let test_tampered_tid_detected () =
          (Enc_relation.decrypt_tid o.System.client ~leaf:leaf.Enc_relation.label
             (flip_byte leaf.Enc_relation.tids.(0) 3));
        false
-     with Invalid_argument _ -> true)
+     with Integrity.Corruption _ -> true)
 
 let test_wrong_key_rejected () =
   let o = owner () in
@@ -133,7 +133,7 @@ let test_wrong_key_rejected () =
     (try
        ignore (Enc_relation.decrypt_leaf impostor leaf);
        false
-     with Invalid_argument _ -> true)
+     with Integrity.Corruption _ -> true)
 
 let test_cross_column_cell_rejected () =
   (* A cell moved between columns decrypts under the wrong derived key:
@@ -152,7 +152,7 @@ let test_cross_column_cell_rejected () =
          (Enc_relation.decrypt_cell o.System.client ~leaf:leaf.Enc_relation.label
             ~attr:"Income" ~scheme:Snf_crypto.Scheme.Det zip.Enc_relation.cells.(0));
        false
-     with Invalid_argument _ -> true)
+     with Integrity.Corruption _ -> true)
 
 let suite =
   [ t "chase classics" test_chase_classics;

@@ -1,0 +1,150 @@
+(* The Snf_check harness itself: oracle correctness, generator
+   determinism and clamping, the five-representation differential runner
+   (the ≥200-query acceptance run), and the soak report plumbing. *)
+
+open Helpers
+open Snf_relational
+open Snf_check
+module Query = Snf_exec.Query
+module Json = Snf_obs.Json
+
+(* --- oracle ---------------------------------------------------------------- *)
+
+(* The oracle (row loops over Schema indexes) against the library's own
+   Algebra-based evaluator: two independent plaintext semantics. *)
+let oracle_vs_reference =
+  qtest ~count:30 "oracle agrees with the Algebra reference evaluator" Gen.spec_gen
+    (fun spec ->
+      let inst = Gen.instance spec in
+      List.for_all
+        (fun q ->
+          Oracle.agree
+            (Oracle.answer inst.Gen.relation q)
+            (Query.reference_answer inst.Gen.relation q))
+        (Gen.queries ~count:6 ~seed:spec.Gen.seed inst))
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  at 0
+
+let oracle_diff_summary () =
+  let r names rows = relation_of_int_rows names rows in
+  let expected = r [ "x" ] [ [ 1 ]; [ 2 ] ] and got = r [ "x" ] [ [ 2 ]; [ 9 ] ] in
+  let s = Oracle.diff_summary ~expected ~got in
+  check_bool "mentions counts" true (contains s "expected 2 rows, got 2");
+  check_bool "missing row shown" true (contains s "missing");
+  check_bool "spurious row shown" true (contains s "spurious")
+
+let oracle_group_sum () =
+  let r =
+    relation_of_int_rows [ "g"; "v" ] [ [ 1; 10 ]; [ 2; 5 ]; [ 1; 7 ]; [ 3; 0 ] ]
+  in
+  Alcotest.(check (list (pair string int)))
+    "grouped sums, sorted by group"
+    [ ("1", 17); ("2", 5); ("3", 0) ]
+    (Oracle.group_sum r ~group_by:"g" ~sum:"v"
+    |> List.map (fun (v, s) -> (Value.to_string v, s)))
+
+(* --- generator ------------------------------------------------------------- *)
+
+let normalize_clamps () =
+  let s =
+    Gen.normalize
+      { Gen.seed = -5; rows = 1000; clusters = [ 9; 1; 9; 9; 9 ]; singles = 0 }
+  in
+  check_int "seed abs" 5 s.Gen.seed;
+  check_int "rows capped" 64 s.Gen.rows;
+  Alcotest.(check (list int)) "clusters capped" [ 5; 2; 5 ] s.Gen.clusters;
+  check_int "singles floored" 2 s.Gen.singles
+
+let instance_deterministic () =
+  let spec = { Gen.seed = 77; rows = 13; clusters = [ 3; 2 ]; singles = 4 } in
+  let a = Gen.instance spec and b = Gen.instance spec in
+  check_same_bag "same relation from same spec" a.Gen.relation b.Gen.relation;
+  check_bool "same workload from same spec" true
+    (Gen.queries ~count:10 ~seed:3 a = Gen.queries ~count:10 ~seed:3 b);
+  check_bool "planted FDs present" true (Snf_deps.Dep_graph.fds a.Gen.graph <> [])
+
+let planted_fd_holds () =
+  (* Member columns really are functions of their cluster root. *)
+  let inst = Gen.instance { Gen.seed = 9; rows = 40; clusters = [ 4 ]; singles = 2 } in
+  let root = Relation.column inst.Gen.relation "c0r" in
+  List.iter
+    (fun m ->
+      let col = Relation.column inst.Gen.relation m in
+      let seen = Hashtbl.create 8 in
+      Array.iteri
+        (fun i v ->
+          let k = Value.encode root.(i) in
+          match Hashtbl.find_opt seen k with
+          | None -> Hashtbl.add seen k v
+          | Some v' ->
+            check_bool (Printf.sprintf "%s determined by c0r at row %d" m i) true
+              (Value.equal v v'))
+        col)
+    [ "c0m0"; "c0m1"; "c0m2" ]
+
+(* --- differential runner --------------------------------------------------- *)
+
+let five_representations () =
+  let inst = Gen.instance { Gen.seed = 5; rows = 10; clusters = [ 3 ]; singles = 3 } in
+  let reps = Differential.representations inst.Gen.graph inst.Gen.policy in
+  Alcotest.(check (list string))
+    "labels"
+    [ "universal"; "atomic"; "snf"; "max-repeating"; "workload-aware" ]
+    (List.map fst reps);
+  List.iter
+    (fun (label, rep) ->
+      match Snf_core.Partition.validate inst.Gen.policy rep with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: invalid representation: %s" label e)
+    reps
+
+let differential_conformance =
+  (* Random specs through the full runner; QCheck2 shrinks any failing
+     spec toward the minimal reproducing schema. *)
+  qtest ~count:10 "random spec passes the differential runner" Gen.spec_gen
+    (fun spec ->
+      let o = Differential.run_spec ~queries:5 spec in
+      match o.Differential.failures with
+      | [] -> true
+      | f :: _ ->
+        QCheck2.Test.fail_report (Differential.failure_to_string f))
+
+let acceptance_soak () =
+  (* The headline acceptance criterion: at least 200 generated queries,
+     every representation agreeing with the oracle and each other. *)
+  let r = Differential.soak ~with_faults:false ~seed:20240 ~queries:200 () in
+  check_bool "≥200 distinct queries" true (r.Differential.queries_run >= 200);
+  check_bool "each query ran in all five representations" true
+    (r.Differential.executions >= 5 * r.Differential.queries_run);
+  List.iter
+    (fun f -> Alcotest.failf "conformance: %s" (Differential.failure_to_string f))
+    r.Differential.failures;
+  check_bool "soak verdict" true (Differential.passed r)
+
+let soak_report_json () =
+  let r = Differential.soak ~with_faults:true ~seed:31337 ~queries:25 () in
+  check_bool "faults ran" true (r.Differential.fault_applicable > 0);
+  let json = Differential.report_to_json r in
+  match Json.of_string (Json.to_string json) with
+  | Error e -> Alcotest.failf "report JSON does not parse back: %s" e
+  | Ok parsed ->
+    check_bool "round-trips" true (Json.equal json parsed);
+    check_bool "carries the seed" true
+      (Json.member "seed" parsed = Some (Json.Int 31337));
+    check_bool "carries the verdict" true
+      (Json.member "passed" parsed = Some (Json.Bool (Differential.passed r)))
+
+let suite =
+  [ oracle_vs_reference;
+    Alcotest.test_case "oracle diff summary" `Quick oracle_diff_summary;
+    Alcotest.test_case "oracle group-sum" `Quick oracle_group_sum;
+    Alcotest.test_case "normalize clamps specs" `Quick normalize_clamps;
+    Alcotest.test_case "instances are deterministic" `Quick instance_deterministic;
+    Alcotest.test_case "planted FDs hold in the data" `Quick planted_fd_holds;
+    Alcotest.test_case "five valid representations" `Quick five_representations;
+    differential_conformance;
+    Alcotest.test_case "acceptance: 200-query differential soak" `Slow acceptance_soak;
+    Alcotest.test_case "soak report JSON round-trips" `Quick soak_report_json ]

@@ -1,0 +1,83 @@
+(* Drive the installed snf_cli binary: exit code 0 on success, 1 on
+   conformance failure, 2 on command-line misuse with a pointed message.
+   The binary is a declared dune dependency of this test, reachable
+   relative to the test's build directory. *)
+
+open Helpers
+
+let cli = Filename.concat (Filename.concat ".." "bin") "snf_cli.exe"
+
+let run ?(capture_stderr = false) args =
+  let err = Filename.temp_file "snf_cli_test" ".err" in
+  let cmd =
+    Filename.quote_command cli args ~stdout:Filename.null ~stderr:err
+  in
+  let code = Sys.command cmd in
+  let stderr_text =
+    if capture_stderr then (
+      let ic = open_in_bin err in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic)))
+    else ""
+  in
+  Sys.remove err;
+  (code, stderr_text)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  at 0
+
+let binary_present () =
+  check_bool (cli ^ " exists (dune dep)") true (Sys.file_exists cli)
+
+let help_ok () =
+  check_int "--help exits 0" 0 (fst (run [ "--help" ]));
+  check_int "--version exits 0" 0 (fst (run [ "--version" ]));
+  check_int "subcommand --help exits 0" 0 (fst (run [ "check"; "--help" ]))
+
+let unknown_subcommand () =
+  let code, err = run ~capture_stderr:true [ "frobnicate" ] in
+  check_int "unknown subcommand exits 2" 2 code;
+  check_bool "names the failure" true (contains err "unknown");
+  check_bool "points at --help" true (contains err "--help")
+
+let unknown_flag () =
+  let code, err = run ~capture_stderr:true [ "check"; "--no-such-flag" ] in
+  check_int "unknown flag exits 2" 2 code;
+  check_bool "points at --help" true (contains err "--help")
+
+let malformed_value () =
+  check_int "non-integer --queries exits 2" 2
+    (fst (run [ "check"; "--queries"; "twelve" ]));
+  check_int "missing required --csv exits 2" 2 (fst (run [ "analyze" ]))
+
+let check_soak_passes () =
+  let out = Filename.temp_file "snf_cli_test" ".json" in
+  let code, _ =
+    run [ "check"; "--seed"; "5"; "--queries"; "25"; "--rows"; "8"; "--out"; out ]
+  in
+  check_int "soak exits 0" 0 code;
+  let ic = open_in_bin out in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Sys.remove out;
+  (match Snf_obs.Json.of_string text with
+   | Error e -> Alcotest.failf "report is not JSON: %s" e
+   | Ok json ->
+     check_bool "report records the seed" true
+       (Snf_obs.Json.member "seed" json = Some (Snf_obs.Json.Int 5));
+     check_bool "report records a pass" true
+       (Snf_obs.Json.member "passed" json = Some (Snf_obs.Json.Bool true)))
+
+let suite =
+  [ Alcotest.test_case "binary present" `Quick binary_present;
+    Alcotest.test_case "help and version exit 0" `Quick help_ok;
+    Alcotest.test_case "unknown subcommand exits 2" `Quick unknown_subcommand;
+    Alcotest.test_case "unknown flag exits 2" `Quick unknown_flag;
+    Alcotest.test_case "malformed values exit 2" `Quick malformed_value;
+    Alcotest.test_case "check soak exits 0 and writes JSON" `Slow check_soak_passes ]

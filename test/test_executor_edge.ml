@@ -1,0 +1,139 @@
+(* Executor edge cases: the empty relation, predicates matching zero rows
+   and all rows, across every reconstruction mode — with the returned
+   trace checked against the process-wide exec.query.* counters. *)
+
+open Helpers
+open Snf_relational
+open Snf_exec
+module Scheme = Snf_crypto.Scheme
+module Metrics = Snf_obs.Metrics
+
+let names = [ "A"; "B"; "C" ]
+
+let policy () =
+  Snf_core.Policy.create
+    [ ("A", Scheme.Det); ("B", Scheme.Ope); ("C", Scheme.Ndet) ]
+
+let graph () =
+  let g = ref (Snf_deps.Dep_graph.create names) in
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b -> if i < j then g := Snf_deps.Dep_graph.declare_independent !g a b)
+        names)
+    names;
+  !g
+
+let outsource ?(name = "edge") rows =
+  System.outsource ~name ~graph:(graph ()) (relation_of_int_rows names rows) (policy ())
+
+let modes = [ (`Sort_merge, "sort-merge"); (`Oram, "oram"); (`Binning 4, "binning") ]
+
+(* The counter deltas one query moved must equal its returned trace. *)
+let query_with_counter_check ?use_index owner ~mode ~tag q =
+  let before = Metrics.snapshot () in
+  match System.query ~mode ?use_index owner q with
+  | Error e -> Alcotest.failf "%s: %s" tag e
+  | Ok (ans, trace) ->
+    let deltas = Metrics.counter_diff before (Metrics.snapshot ()) in
+    let d name = Option.value (List.assoc_opt name deltas) ~default:0 in
+    List.iter
+      (fun (counter, want) ->
+        check_int (Printf.sprintf "%s: %s" tag counter) want (d counter))
+      [ ("exec.query.count", 1);
+        ("exec.query.scanned_cells", trace.Executor.scanned_cells);
+        ("exec.query.index_probes", trace.Executor.index_probes);
+        ("exec.query.comparisons", trace.Executor.comparisons);
+        ("exec.query.rows_processed", trace.Executor.rows_processed);
+        ("exec.query.result_rows", trace.Executor.result_rows) ];
+    check_int (Printf.sprintf "%s: trace.result_rows is the answer size" tag)
+      (Relation.cardinality ans) trace.Executor.result_rows;
+    ans
+
+let empty_relation () =
+  let owner = outsource ~name:"edge-empty" [] in
+  List.iter
+    (fun (mode, tag) ->
+      let scan =
+        query_with_counter_check owner ~mode ~tag:(tag ^ " scan")
+          { Query.select = [ "A"; "B"; "C" ]; where = [] }
+      in
+      check_int (tag ^ ": empty scan") 0 (Relation.cardinality scan);
+      let point =
+        query_with_counter_check owner ~mode ~tag:(tag ^ " point")
+          (Query.point ~select:[ "B" ] [ ("A", Value.Int 1) ])
+      in
+      check_int (tag ^ ": empty point") 0 (Relation.cardinality point))
+    modes
+
+let rows = [ [ 1; 10; 7 ]; [ 1; 20; 7 ]; [ 2; 30; 7 ]; [ 3; 40; 7 ]; [ 1; 50; 7 ] ]
+
+let zero_row_match () =
+  let owner = outsource ~name:"edge-zero" rows in
+  List.iter
+    (fun (mode, tag) ->
+      List.iter
+        (fun use_index ->
+          let ans =
+            query_with_counter_check ~use_index owner ~mode
+              ~tag:(Printf.sprintf "%s idx=%b" tag use_index)
+              (Query.point ~select:[ "A"; "B" ] [ ("A", Value.Int 99) ])
+          in
+          check_int (tag ^ ": no row matches") 0 (Relation.cardinality ans))
+        [ false; true ])
+    modes
+
+let all_rows_match () =
+  let owner = outsource ~name:"edge-all" rows in
+  List.iter
+    (fun (mode, tag) ->
+      let ans =
+        query_with_counter_check owner ~mode ~tag
+          { Query.select = [ "A"; "B"; "C" ];
+            where = [ Query.Range ("B", Value.Int 0, Value.Int 1000) ] }
+      in
+      check_int (tag ^ ": every row matches") (List.length rows)
+        (Relation.cardinality ans);
+      check_same_bag (tag ^ ": matches reference") (System.reference owner
+        { Query.select = [ "A"; "B"; "C" ];
+          where = [ Query.Range ("B", Value.Int 0, Value.Int 1000) ] })
+        ans)
+    modes
+
+let single_row_relation () =
+  let owner = outsource ~name:"edge-one" [ [ 5; 6; 7 ] ] in
+  List.iter
+    (fun (mode, tag) ->
+      let ans =
+        query_with_counter_check owner ~mode ~tag
+          (Query.point ~select:[ "C" ] [ ("A", Value.Int 5) ])
+      in
+      check_int (tag ^ ": singleton hit") 1 (Relation.cardinality ans))
+    modes
+
+let spans_cover_phases () =
+  (* With spans on, one query must record the executor's phase spans; the
+     recorder is global state, so snapshot-and-restore around the test. *)
+  Snf_obs.Span.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Snf_obs.Span.set_enabled false)
+    (fun () ->
+      let owner = outsource ~name:"edge-span" rows in
+      (match System.query owner (Query.point ~select:[ "B" ] [ ("A", Value.Int 1) ]) with
+       | Ok _ -> ()
+       | Error e -> Alcotest.fail e);
+      Snf_obs.flush ();
+      let events = Snf_obs.Span.events () in
+      let seen name =
+        List.exists (fun (e : Snf_obs.Span.event) -> e.Snf_obs.Span.name = name) events
+      in
+      List.iter
+        (fun phase -> check_bool ("span " ^ phase) true (seen phase))
+        [ "query"; "query.mint_tokens"; "query.server_filter"; "query.client_decrypt" ])
+
+let suite =
+  [ Alcotest.test_case "empty relation, all modes" `Quick empty_relation;
+    Alcotest.test_case "zero-row match, all modes" `Quick zero_row_match;
+    Alcotest.test_case "all-rows match, all modes" `Quick all_rows_match;
+    Alcotest.test_case "single-row relation" `Quick single_row_relation;
+    Alcotest.test_case "spans cover the executor phases" `Quick spans_cover_phases ]

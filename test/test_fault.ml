@@ -1,0 +1,165 @@
+(* Fault injection: every class of storage corruption must surface as the
+   typed Integrity.Corruption — never as a silently wrong answer. *)
+
+open Helpers
+open Snf_relational
+open Snf_exec
+open Snf_check
+module Scheme = Snf_crypto.Scheme
+
+let specs =
+  [ { Gen.seed = 11; rows = 12; clusters = [ 3 ]; singles = 3 };
+    { Gen.seed = 23; rows = 8; clusters = [ 2; 2 ]; singles = 4 };
+    { Gen.seed = 5077; rows = 20; clusters = []; singles = 5 } ]
+
+let campaign_detects_everything () =
+  List.iter
+    (fun spec ->
+      let inst = Gen.instance spec in
+      let outcomes = Fault.campaign ~seed:spec.Gen.seed inst in
+      check_int
+        (Printf.sprintf "%s: all classes attempted" (Gen.spec_to_string spec))
+        (List.length Fault.all) (List.length outcomes);
+      List.iter
+        (fun (o : Fault.outcome) ->
+          if o.Fault.applicable && not o.Fault.detected then
+            Alcotest.failf "%s: %s NOT detected — %s" (Gen.spec_to_string spec)
+              (Fault.name o.Fault.kind) o.Fault.detail)
+        outcomes)
+    specs;
+  (* The campaign must really exercise every class somewhere. *)
+  let applicable =
+    List.concat_map
+      (fun spec -> Fault.campaign ~seed:spec.Gen.seed (Gen.instance spec))
+      specs
+    |> List.filter (fun (o : Fault.outcome) -> o.Fault.applicable)
+    |> List.map (fun (o : Fault.outcome) -> Fault.name o.Fault.kind)
+    |> List.sort_uniq String.compare
+  in
+  Alcotest.(check (list string))
+    "every fault class applicable in some instance"
+    (List.sort_uniq String.compare (List.map Fault.name Fault.all))
+    applicable
+
+(* A small deterministic system for targeted, per-where assertions. *)
+let det_system name =
+  let r = relation_of_int_rows [ "A"; "B" ] [ [ 1; 10 ]; [ 2; 20 ]; [ 1; 30 ] ] in
+  let policy =
+    Snf_core.Policy.create [ ("A", Scheme.Det); ("B", Scheme.Ndet) ]
+  in
+  let g = Snf_deps.Dep_graph.create [ "A"; "B" ] in
+  let g = Snf_deps.Dep_graph.declare_independent g "A" "B" in
+  System.outsource_prepared ~name ~graph:g
+    ~representation:
+      [ Snf_core.Partition.leaf "l0" [ ("A", Scheme.Det) ];
+        Snf_core.Partition.leaf "l1" [ ("B", Scheme.Ndet) ] ]
+    r policy
+
+let expect_corruption ~where ?use_index owner q =
+  match System.query_checked ?use_index owner q with
+  | Error (`Corruption c) ->
+    check_string "corruption site" where c.Integrity.where;
+    check_bool "printable" true (String.length (Integrity.to_string c) > 0)
+  | Error (`Plan e) -> Alcotest.failf "planner error, not detection: %s" e
+  | Ok (ans, _) ->
+    Alcotest.failf "undetected: got %d rows from a damaged store"
+      (Relation.cardinality ans)
+
+let scan = { Query.select = [ "A"; "B" ]; where = [] }
+
+let flipped_cell_where () =
+  let owner = det_system "fault-cell" in
+  let enc, _ = Fault.flip_cell ~seed:4 owner.System.enc ~leaf:"l0" ~attr:"A" in
+  expect_corruption ~where:"cell" { owner with System.enc } scan
+
+let flipped_tid_where () =
+  let owner = det_system "fault-tid" in
+  let enc, _ = Fault.flip_tid ~seed:4 owner.System.enc ~leaf:"l0" in
+  expect_corruption ~where:"tid" { owner with System.enc } scan
+
+let truncated_leaf_where () =
+  let owner = det_system "fault-trunc" in
+  let enc = Fault.truncate_leaf owner.System.enc ~leaf:"l1" in
+  expect_corruption ~where:"leaf" { owner with System.enc } scan
+
+let dropped_leaf_where () =
+  let owner = det_system "fault-drop" in
+  let enc = Fault.drop_leaf owner.System.enc ~leaf:"l1" in
+  expect_corruption ~where:"store" { owner with System.enc } scan
+
+let stale_index_where () =
+  let owner = det_system "fault-stale" in
+  let key v =
+    match
+      Enc_relation.eq_token owner.System.client ~leaf:"l0" ~attr:"A"
+        ~scheme:Scheme.Det (Value.Int v)
+    with
+    | Some tok -> Option.get (Enc_relation.index_key_of_token tok)
+    | None -> Alcotest.fail "no token for a DET column"
+  in
+  check_bool "index poisoned" true
+    (Fault.poison_index owner.System.enc ~leaf:"l0" ~attr:"A" ~key_a:(key 1)
+       ~key_b:(key 2));
+  expect_corruption ~where:"index" ~use_index:true owner
+    (Query.point ~select:[ "A" ] [ ("A", Value.Int 1) ])
+
+let key_mismatch_where () =
+  let owner = det_system "fault-key" in
+  let impostor = Fault.mismatched_client ~name:"fault-key" in
+  (* A single-leaf projection: the first decrypt under the wrong key is a
+     cell (the two-leaf join path would already die at a tid decrypt). *)
+  expect_corruption ~where:"cell" { owner with System.client = impostor }
+    { Query.select = [ "A" ]; where = [] }
+
+let honest_store_unflagged () =
+  (* The detection machinery must not fire on an intact store. *)
+  let owner = det_system "fault-honest" in
+  List.iter
+    (fun use_index ->
+      match System.query_checked ~use_index owner scan with
+      | Ok (ans, _) -> check_int "full answer" 3 (Relation.cardinality ans)
+      | Error (`Plan e) -> Alcotest.fail e
+      | Error (`Corruption c) ->
+        Alcotest.failf "false positive: %s" (Integrity.to_string c))
+    [ false; true ]
+
+let plain_flip_is_inert () =
+  (* PLAIN carries no cryptographic protection, so corrupt_cell leaves it
+     alone (and the campaign never picks PLAIN/PHE as flip targets): a
+     "flip" on a PLAIN column must change nothing — the documented
+     exclusion, not a silent wrong answer. *)
+  let r = relation_of_int_rows [ "A"; "P" ] [ [ 1; 10 ]; [ 2; 20 ] ] in
+  let policy =
+    Snf_core.Policy.create [ ("A", Scheme.Det); ("P", Scheme.Plain) ]
+  in
+  let g = Snf_deps.Dep_graph.declare_independent
+      (Snf_deps.Dep_graph.create [ "A"; "P" ]) "A" "P"
+  in
+  let owner =
+    System.outsource_prepared ~name:"fault-plain" ~graph:g
+      ~representation:
+        [ Snf_core.Partition.leaf "l0" [ ("A", Scheme.Det); ("P", Scheme.Plain) ] ]
+      r policy
+  in
+  let enc, _ = Fault.flip_cell ~seed:8 owner.System.enc ~leaf:"l0" ~attr:"P" in
+  match System.query_checked { owner with System.enc }
+          { Query.select = [ "A"; "P" ]; where = [] }
+  with
+  | Ok (ans, _) ->
+    check_same_bag "PLAIN column untouched by the injector" r ans
+  | Error (`Plan e) -> Alcotest.fail e
+  | Error (`Corruption c) ->
+    Alcotest.failf "PLAIN flip should be inert: %s" (Integrity.to_string c)
+
+let suite =
+  [ Alcotest.test_case "campaign: applicable ⇒ detected" `Slow
+      campaign_detects_everything;
+    Alcotest.test_case "flipped cell → where=cell" `Quick flipped_cell_where;
+    Alcotest.test_case "flipped tid → where=tid" `Quick flipped_tid_where;
+    Alcotest.test_case "truncated leaf → where=leaf" `Quick truncated_leaf_where;
+    Alcotest.test_case "dropped leaf → where=store" `Quick dropped_leaf_where;
+    Alcotest.test_case "stale index → where=index" `Quick stale_index_where;
+    Alcotest.test_case "key mismatch → where=cell" `Quick key_mismatch_where;
+    Alcotest.test_case "honest store never flagged" `Quick honest_store_unflagged;
+    Alcotest.test_case "PLAIN flip is inert (documented exclusion)" `Quick
+      plain_flip_is_inert ]

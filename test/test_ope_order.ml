@@ -1,0 +1,115 @@
+(* Order-consistency properties of the two order-revealing primitives:
+   ciphertext comparison must equal plaintext comparison for every pair —
+   including adjacent values, duplicates and the domain endpoints — and
+   under every key. *)
+
+open Helpers
+module Prf = Snf_crypto.Prf
+module Ope = Snf_crypto.Ope
+module Ore = Snf_crypto.Ore
+
+let key i = Prf.key_of_string (Printf.sprintf "ope-order-test-%d" i)
+
+let cmp3 c = if c < 0 then -1 else if c > 0 then 1 else 0
+
+(* (key index, domain bits, x, y) with x, y anywhere in the domain. *)
+let pair_gen =
+  let open QCheck2.Gen in
+  let* k = 0 -- 7 in
+  let* bits = 1 -- 16 in
+  let dom = (1 lsl bits) - 1 in
+  let* x = 0 -- dom in
+  let+ y = 0 -- dom in
+  (k, bits, x, y)
+
+let ope_order =
+  qtest ~count:400 "OPE: ciphertext order = plaintext order (any key)" pair_gen
+    (fun (k, bits, x, y) ->
+      let t = Ope.create ~key:(key k) ~domain_bits:bits () in
+      cmp3 (Ope.compare_ciphertexts (Ope.encrypt t x) (Ope.encrypt t y))
+      = cmp3 (compare x y))
+
+let ope_roundtrip =
+  qtest ~count:300 "OPE: decrypt (encrypt x) = x" pair_gen (fun (k, bits, x, _) ->
+      let t = Ope.create ~key:(key k) ~domain_bits:bits () in
+      Ope.decrypt t (Ope.encrypt t x) = x)
+
+let ore_order =
+  qtest ~count:400 "ORE: ciphertext order = plaintext order (any key)" pair_gen
+    (fun (k, bits, x, y) ->
+      let t = Ore.create ~key:(key k) ~bits in
+      cmp3 (Ore.compare_ciphertexts (Ore.encrypt t x) (Ore.encrypt t y))
+      = cmp3 (compare x y))
+
+let ore_symbols_roundtrip =
+  qtest ~count:200 "ORE: of_symbols (symbols c) compares like c" pair_gen
+    (fun (k, bits, x, y) ->
+      let t = Ore.create ~key:(key k) ~bits in
+      let cx = Ore.encrypt t x and cy = Ore.encrypt t y in
+      Ore.compare_ciphertexts (Ore.of_symbols (Ore.symbols cx)) cy
+      = Ore.compare_ciphertexts cx cy)
+
+let adjacent_and_duplicates () =
+  let bits = 10 in
+  let dom = 1 lsl bits in
+  List.iter
+    (fun k ->
+      let ope = Ope.create ~key:(key k) ~domain_bits:bits () in
+      let ore = Ore.create ~key:(key k) ~bits in
+      for x = 0 to dom - 2 do
+        (* strictly increasing on every adjacent pair: the tightest order check *)
+        if not (Ope.encrypt ope x < Ope.encrypt ope (x + 1)) then
+          Alcotest.failf "key %d: OPE not increasing at %d" k x;
+        if not (Ore.compare_ciphertexts (Ore.encrypt ore x) (Ore.encrypt ore (x + 1)) < 0)
+        then Alcotest.failf "key %d: ORE not increasing at %d" k x
+      done;
+      (* duplicates: deterministic, equality-revealing *)
+      check_int "OPE duplicate" (Ope.encrypt ope 137) (Ope.encrypt ope 137);
+      check_int "ORE duplicate compares equal" 0
+        (Ore.compare_ciphertexts (Ore.encrypt ore 137) (Ore.encrypt ore 137));
+      check_bool "ORE duplicate has no diff index" true
+        (Ore.first_diff_index (Ore.encrypt ore 137) (Ore.encrypt ore 137) = None))
+    [ 0; 1; 2 ]
+
+let domain_endpoints () =
+  List.iter
+    (fun bits ->
+      let dom_max = (1 lsl bits) - 1 in
+      let ope = Ope.create ~key:(key 9) ~domain_bits:bits () in
+      check_int "min round-trips" 0 (Ope.decrypt ope (Ope.encrypt ope 0));
+      check_int "max round-trips" dom_max (Ope.decrypt ope (Ope.encrypt ope dom_max));
+      check_bool "min < max ciphertext" true
+        (bits = 0 || Ope.encrypt ope 0 <= Ope.encrypt ope dom_max);
+      check_bool "ciphertext below 2^range_bits" true
+        (Ope.encrypt ope dom_max < 1 lsl Ope.range_bits ope);
+      check_bool "out-of-domain rejected" true
+        (match Ope.encrypt ope (dom_max + 1) with
+         | exception Invalid_argument _ -> true
+         | _ -> false);
+      let ore = Ore.create ~key:(key 9) ~bits in
+      check_bool "ORE min < max" true
+        (bits >= 1
+         && Ore.compare_ciphertexts (Ore.encrypt ore 0) (Ore.encrypt ore dom_max) < 0
+            || dom_max = 0))
+    [ 1; 4; 12; 20 ]
+
+let keys_differ () =
+  (* Different keys give different curves (overwhelmingly), while each
+     stays order-consistent — the property the onion check relies on. *)
+  let bits = 12 in
+  let t0 = Ope.create ~key:(key 0) ~domain_bits:bits ()
+  and t1 = Ope.create ~key:(key 1) ~domain_bits:bits () in
+  let differs = ref false in
+  for x = 0 to 255 do
+    if Ope.encrypt t0 x <> Ope.encrypt t1 x then differs := true
+  done;
+  check_bool "distinct keys produce distinct OPE curves" true !differs
+
+let suite =
+  [ ope_order;
+    ope_roundtrip;
+    ore_order;
+    ore_symbols_roundtrip;
+    Alcotest.test_case "adjacent values and duplicates" `Quick adjacent_and_duplicates;
+    Alcotest.test_case "domain endpoints" `Quick domain_endpoints;
+    Alcotest.test_case "keys give distinct curves" `Quick keys_differ ]
