@@ -17,6 +17,11 @@
                                              reconstruction modes and
                                              write trace.json (Chrome
                                              trace_event format).
+   `dune exec bench/main.exe -- micro-join`
+                                           — packed k-way join vs the
+                                             pairwise cascade, tid-decrypt
+                                             cache on/off, domains 1/4;
+                                             writes BENCH_figure3.json.
    Other targets: figure3, attack, ablation-semantics, ablation-horizontal,
    ablation-workload, ablation-modes, micro. *)
 
@@ -469,6 +474,222 @@ let run_micro_paillier () =
          ("metrics", Report.of_obs_metrics (Snf_obs.Metrics.snapshot ())) ]);
   Printf.printf "wrote BENCH_paillier.json\n"
 
+(* Join hot-path benchmark: the packed single-pass k-way join (with and
+   without the tid-decrypt cache, under 1 and 4 domains) against the
+   pairwise cascade it replaced, which is kept as the in-tree baseline
+   (`Oblivious_join.join_many_cascade`). Also runs a correctness grid
+   (five representations x three reconstruction modes x cache x domains,
+   every answer bag-checked against the plaintext oracle) and four
+   differential soaks, then writes BENCH_figure3.json. *)
+let run_micro_join () =
+  section "Micro: oblivious join hot path (packed k-way vs cascade)";
+  let rows = arg_value "rows" 10_000 in
+  let iters = max 1 (arg_value "iters" 2) in
+  let make_relation n =
+    Snf_relational.Relation.create
+      (Snf_relational.Schema.of_attributes
+         Snf_relational.[ Attribute.int "a"; Attribute.int "b"; Attribute.int "c" ])
+      (List.init n (fun i ->
+           Snf_relational.
+             [| Value.Int (i mod 11); Value.Int (i * 13); Value.Int (i mod 7) |]))
+  in
+  let policy =
+    Snf_core.Policy.create
+      [ ("a", Snf_crypto.Scheme.Det);
+        ("b", Snf_crypto.Scheme.Ndet);
+        ("c", Snf_crypto.Scheme.Det) ]
+  in
+  let graph =
+    let g = Snf_deps.Dep_graph.create [ "a"; "b"; "c" ] in
+    let g = Snf_deps.Dep_graph.declare_dependent g "a" "b" in
+    Snf_deps.Dep_graph.declare_dependent g "b" "c"
+  in
+  let r = make_relation rows in
+  let owner = Snf_exec.System.outsource ~name:"microjoin" ~graph r policy in
+  let client = owner.Snf_exec.System.client in
+  let leaves = owner.Snf_exec.System.enc.Snf_exec.Enc_relation.leaves in
+  let masks =
+    List.map
+      (fun (l : Snf_exec.Enc_relation.enc_leaf) ->
+        (l, Array.make l.Snf_exec.Enc_relation.row_count true))
+      leaves
+  in
+  let total_rows = rows * List.length leaves in
+  (* Milliseconds per whole-join, best of [iters]; each run under an
+     explicit domain count. *)
+  let ms_of ~domains f =
+    with_domains domains (fun () ->
+        ignore (f ());
+        let best = ref infinity in
+        for _ = 1 to iters do
+          let _, dt = time f in
+          if dt < !best then best := dt
+        done;
+        !best *. 1e3)
+  in
+  let cascade () =
+    let stats = Snf_exec.Oblivious_join.fresh_stats () in
+    Snf_exec.Oblivious_join.join_many_cascade ~masks stats client
+  in
+  let kway ~cached () =
+    let stats = Snf_exec.Oblivious_join.fresh_stats () in
+    let tids_for =
+      if cached then Some (Snf_exec.Enc_relation.decrypt_tids_cached client)
+      else None
+    in
+    Snf_exec.Oblivious_join.join_many ?tids_for ~masks stats client
+  in
+  (* Answers must be bit-identical before any timing matters. *)
+  let reference = cascade () in
+  let identical =
+    reference = kway ~cached:false () && reference = kway ~cached:true ()
+  in
+  if not identical then failwith "micro-join: k-way join disagrees with the cascade";
+  let m_hits = Snf_obs.Metrics.counter "exec.join.tid_cache.hits" in
+  let m_misses = Snf_obs.Metrics.counter "exec.join.tid_cache.misses" in
+  let hits0 = Snf_obs.Metrics.value m_hits in
+  let misses0 = Snf_obs.Metrics.value m_misses in
+  let cascade_d1 = ms_of ~domains:1 cascade in
+  let cascade_d4 = ms_of ~domains:4 cascade in
+  let baseline_ms = min cascade_d1 cascade_d4 in
+  let nocache_d1 = ms_of ~domains:1 (kway ~cached:false) in
+  let nocache_d4 = ms_of ~domains:4 (kway ~cached:false) in
+  let cached_d1 = ms_of ~domains:1 (kway ~cached:true) in
+  let cached_d4 = ms_of ~domains:4 (kway ~cached:true) in
+  let best_ms = min cached_d1 cached_d4 in
+  let tput ms = float_of_int total_rows /. (ms /. 1e3) in
+  let speedup ms = baseline_ms /. ms in
+  let cache_hits = Snf_obs.Metrics.value m_hits - hits0 in
+  let cache_misses = Snf_obs.Metrics.value m_misses - misses0 in
+  Printf.printf "  %d rows x %d leaves, best of %d iteration(s)\n" rows
+    (List.length leaves) iters;
+  Printf.printf "  cascade (baseline)   d1 %8.1f ms   d4 %8.1f ms\n" cascade_d1
+    cascade_d4;
+  Printf.printf "  k-way, cache off     d1 %8.1f ms   d4 %8.1f ms  (%.1fx)\n"
+    nocache_d1 nocache_d4
+    (speedup (min nocache_d1 nocache_d4));
+  Printf.printf "  k-way, cache on      d1 %8.1f ms   d4 %8.1f ms  (%.1fx)\n" cached_d1
+    cached_d4 (speedup best_ms);
+  Printf.printf "  throughput: %.0f rows/s baseline -> %.0f rows/s best\n"
+    (tput baseline_ms) (tput best_ms);
+  Printf.printf "  tid cache during timing: %d hits, %d misses\n" cache_hits
+    cache_misses;
+  Printf.printf "  answers identical across variants: %b\n" identical;
+  (* Correctness grid: five representations x reconstruction modes x cache
+     x domains at reduced scale, every cell bag-checked against the
+     plaintext oracle. *)
+  let grid_rows = arg_value "grid_rows" 600 in
+  let gr = make_relation grid_rows in
+  let q =
+    Snf_exec.Query.point ~select:[ "b" ]
+      [ ("a", Snf_relational.Value.Int 5); ("c", Snf_relational.Value.Int 3) ]
+  in
+  let oracle_ans = Snf_check.Oracle.answer gr q in
+  let grid = ref [] in
+  let grid_ok = ref true in
+  List.iter
+    (fun (label, rep) ->
+      let gowner =
+        Snf_exec.System.outsource_prepared ~name:("microjoin.grid." ^ label)
+          ~graph ~representation:rep gr policy
+      in
+      List.iter
+        (fun (mode, mode_name) ->
+          List.iter
+            (fun use_tid_cache ->
+              List.iter
+                (fun domains ->
+                  let run () =
+                    match
+                      with_domains domains (fun () ->
+                          Snf_exec.System.query ~mode ~use_tid_cache gowner q)
+                    with
+                    | Ok (ans, _) -> ans
+                    | Error e ->
+                      failwith (Printf.sprintf "micro-join grid %s/%s: %s" label mode_name e)
+                  in
+                  let ans = run () in
+                  let agrees = Snf_check.Oracle.agree oracle_ans ans in
+                  if not agrees then grid_ok := false;
+                  let _, dt = time run in
+                  grid :=
+                    Report.J_obj
+                      [ ("rep", Report.J_string label);
+                        ("mode", Report.J_string mode_name);
+                        ("tid_cache", Report.J_bool use_tid_cache);
+                        ("domains", Report.J_int domains);
+                        ("ms", Report.J_float (dt *. 1e3));
+                        ("bag_matches_oracle", Report.J_bool agrees) ]
+                    :: !grid)
+                [ 1; 4 ])
+            [ true; false ])
+        [ (`Sort_merge, "sort-merge"); (`Oram, "oram"); (`Binning 4, "binning-4") ])
+    (Snf_check.Differential.representations graph policy);
+  Printf.printf "  grid: %d cells (%d rows), all bags match the oracle: %b\n"
+    (List.length !grid) grid_rows !grid_ok;
+  (* Differential soaks: cache pinned on/off under 1 and 4 domains must
+     all pass — the cache and the domain count are invisible in answers. *)
+  let soak_queries = arg_value "soak_queries" 40 in
+  let diff = ref [] in
+  let diff_ok = ref true in
+  List.iter
+    (fun domains ->
+      List.iter
+        (fun (tid_cache, tc_name) ->
+          let report =
+            with_domains domains (fun () ->
+                Snf_check.Differential.soak ~with_faults:false ~tid_cache
+                  ~seed:7 ~queries:soak_queries ())
+          in
+          let ok = Snf_check.Differential.passed report in
+          if not ok then diff_ok := false;
+          Printf.printf "  differential domains=%d tid-cache=%s: %s (%d queries)\n"
+            domains tc_name
+            (if ok then "PASS" else "FAIL")
+            report.Snf_check.Differential.queries_run;
+          diff :=
+            Report.J_obj
+              [ ("domains", Report.J_int domains);
+                ("tid_cache", Report.J_string tc_name);
+                ("queries", Report.J_int report.Snf_check.Differential.queries_run);
+                ("passed", Report.J_bool ok) ]
+            :: !diff)
+        [ (`On, "on"); (`Off, "off") ])
+    [ 1; 4 ];
+  if not (!grid_ok && !diff_ok) then
+    failwith "micro-join: some answer disagreed with the oracle";
+  Printf.printf "  speedup vs cascade baseline: %.1fx (acceptance >= 2.0x)\n"
+    (speedup best_ms);
+  Report.write_json "BENCH_figure3.json"
+    (Report.J_obj
+       [ ("experiment", Report.J_string "figure3-join-throughput");
+         ("rows", Report.J_int rows);
+         ("leaves", Report.J_int (List.length leaves));
+         ("iters", Report.J_int iters);
+         ( "kernel",
+           Report.J_obj
+             [ ("cascade_baseline_ms_domains1", Report.J_float cascade_d1);
+               ("cascade_baseline_ms_domains4", Report.J_float cascade_d4);
+               ("cascade_baseline_ms", Report.J_float baseline_ms);
+               ("kway_nocache_ms_domains1", Report.J_float nocache_d1);
+               ("kway_nocache_ms_domains4", Report.J_float nocache_d4);
+               ("kway_cached_ms_domains1", Report.J_float cached_d1);
+               ("kway_cached_ms_domains4", Report.J_float cached_d4);
+               ("baseline_rows_per_s", Report.J_float (tput baseline_ms));
+               ("best_rows_per_s", Report.J_float (tput best_ms));
+               ( "speedup_kway_nocache",
+                 Report.J_float (speedup (min nocache_d1 nocache_d4)) );
+               ("speedup_kway_cached", Report.J_float (speedup best_ms));
+               ("tid_cache_hits", Report.J_int cache_hits);
+               ("tid_cache_misses", Report.J_int cache_misses);
+               ("answers_identical", Report.J_bool identical) ] );
+         ("grid_rows", Report.J_int grid_rows);
+         ("grid_all_match_oracle", Report.J_bool !grid_ok);
+         ("grid", Report.J_list (List.rev !grid));
+         ("differential", Report.J_list (List.rev !diff));
+         ("metrics", Report.of_obs_metrics (Snf_obs.Metrics.snapshot ())) ]);
+  Printf.printf "wrote BENCH_figure3.json\n"
+
 (* Span-tracer demo: outsource a small three-leaf relation, run one query
    per reconstruction mode with spans on, and write a Chrome trace_event
    file (CI uploads it as an artifact). *)
@@ -520,5 +741,6 @@ let () =
   if wants "micro" then run_micro ();
   if wants "micro-modexp" then run_micro_modexp ();
   if wants "micro-paillier" then run_micro_paillier ();
+  if wants "micro-join" then run_micro_join ();
   if wants "trace-demo" then run_trace_demo ();
   Printf.printf "\nbench: done\n"

@@ -341,9 +341,18 @@ let check_cmd =
            ~doc:"Write the JSON soak report here (what the nightly job \
                  uploads on failure).")
   in
-  let run seed queries rows faults out =
+  let tid_cache_arg =
+    Arg.(value
+         & opt (enum [ ("rotate", `Rotate); ("on", `On); ("off", `Off) ]) `Rotate
+         & info [ "tid-cache" ] ~docv:"rotate|on|off"
+             ~doc:"Join tid-decrypt cache during the soak: 'rotate' \
+                   (default) alternates it per query, 'on'/'off' pin it. \
+                   Answers must be identical in every setting.")
+  in
+  let run seed queries rows faults tid_cache out =
     let report =
-      Snf_check.Differential.soak ~rows ~with_faults:faults ~seed ~queries ()
+      Snf_check.Differential.soak ~rows ~with_faults:faults ~tid_cache ~seed
+        ~queries ()
     in
     Format.printf "%a@." Snf_check.Differential.pp_report report;
     (match out with
@@ -362,7 +371,8 @@ let check_cmd =
        ~doc:"Conformance soak: random schemas and workloads through all five \
              representations against the plaintext oracle, plus fault injection. \
              Exit 0 on pass, 1 on any conformance failure.")
-    Term.(const run $ seed_arg $ queries_arg $ check_rows_arg $ faults_arg $ out_arg)
+    Term.(const run $ seed_arg $ queries_arg $ check_rows_arg $ faults_arg
+          $ tid_cache_arg $ out_arg)
 
 let main =
   Cmd.group

@@ -96,7 +96,7 @@ let most_frequent col =
   |> Option.map fst
 
 let run_instance ?(queries = 25) ?(check_ledger = true) ?(check_horizontal = true)
-    ?(check_group_sum = true) (inst : Gen.instance) =
+    ?(check_group_sum = true) ?(tid_cache = `Rotate) (inst : Gen.instance) =
   let qs = Gen.queries ~count:queries ~seed:inst.Gen.spec.Gen.seed inst in
   let reps = representations ~workload:qs inst.Gen.graph inst.Gen.policy in
   let owners =
@@ -121,13 +121,24 @@ let run_instance ?(queries = 25) ?(check_ledger = true) ?(check_horizontal = tru
       let oracle_ans = Oracle.answer inst.Gen.relation q in
       let mode = modes.(i mod Array.length modes) in
       let use_index = i land 1 = 0 in
-      let mstr = mode_name mode ^ if use_index then "+index" else "" in
+      (* The tid-decrypt cache must be invisible in the answers; rotating
+         it per query makes every soak cover both paths (and the
+         cross-representation bag check compares them against the same
+         oracle). *)
+      let use_tid_cache =
+        match tid_cache with `On -> true | `Off -> false | `Rotate -> i land 2 = 0
+      in
+      let mstr =
+        mode_name mode
+        ^ (if use_index then "+index" else "")
+        ^ if use_tid_cache then "" else "-nocache"
+      in
       let bags =
         List.filter_map
           (fun (label, owner) ->
             incr executions;
             let before = Metrics.snapshot () in
-            match System.query_checked ~mode ~use_index owner q with
+            match System.query_checked ~mode ~use_index ~use_tid_cache owner q with
             | Error (`Plan e) ->
               fail ~query:q ~rep:label ~mode:mstr ~kind:"plan" e;
               None
@@ -259,7 +270,8 @@ let run_instance ?(queries = 25) ?(check_ledger = true) ?(check_horizontal = tru
   end;
   { queries_run = List.length qs; executions = !executions; failures = List.rev !failures }
 
-let run_spec ?queries spec = run_instance ?queries (Gen.instance spec)
+let run_spec ?queries ?tid_cache spec =
+  run_instance ?queries ?tid_cache (Gen.instance spec)
 
 (* --- soak ------------------------------------------------------------------- *)
 
@@ -276,8 +288,8 @@ type report = {
 
 let max_kept_failures = 25
 
-let soak ?(rows = 16) ?(queries_per_instance = 25) ?(with_faults = true) ~seed
-    ~queries () =
+let soak ?(rows = 16) ?(queries_per_instance = 25) ?(with_faults = true)
+    ?tid_cache ~seed ~queries () =
   let rows = max 1 rows in
   let prng = Prng.create ((seed * 1103515245) + 12345) in
   let acc =
@@ -301,7 +313,7 @@ let soak ?(rows = 16) ?(queries_per_instance = 25) ?(with_faults = true) ~seed
           singles = 2 + Prng.int prng 3 }
     in
     let inst = Gen.instance spec in
-    let o = run_instance ~queries:queries_per_instance inst in
+    let o = run_instance ~queries:queries_per_instance ?tid_cache inst in
     let fault_failures, applicable, undetected =
       if not with_faults then ([], 0, 0)
       else begin

@@ -57,12 +57,18 @@ val run_instance :
   ?check_ledger:bool ->
   ?check_horizontal:bool ->
   ?check_group_sum:bool ->
+  ?tid_cache:[ `Rotate | `On | `Off ] ->
   Gen.instance ->
   outcome
 (** Default [queries] 25; all checks on. An empty [failures] list is
-    the conformance verdict. *)
+    the conformance verdict. [tid_cache] controls the join tid-decrypt
+    cache ({!Snf_exec.Executor.run}'s [use_tid_cache]): [`Rotate]
+    (default) alternates it per query so every run covers both paths —
+    answers must be identical either way; [`On] / [`Off] pin it. A
+    disabled-cache execution is tagged ["-nocache"] in failure modes. *)
 
-val run_spec : ?queries:int -> Gen.spec -> outcome
+val run_spec :
+  ?queries:int -> ?tid_cache:[ `Rotate | `On | `Off ] -> Gen.spec -> outcome
 (** [run_instance (Gen.instance spec)]. *)
 
 (** {1 Soak} *)
@@ -82,6 +88,7 @@ val soak :
   ?rows:int ->
   ?queries_per_instance:int ->
   ?with_faults:bool ->
+  ?tid_cache:[ `Rotate | `On | `Off ] ->
   seed:int ->
   queries:int ->
   unit ->
@@ -89,7 +96,8 @@ val soak :
 (** Keep generating fresh instances (at most [rows] rows each, default
     16) and running {!run_instance} ([queries_per_instance], default 25,
     queries each) until [queries] distinct queries have executed, with
-    the {!Fault} campaign per instance unless [with_faults:false]. *)
+    the {!Fault} campaign per instance unless [with_faults:false].
+    [tid_cache] is passed to every {!run_instance} (default [`Rotate]). *)
 
 val passed : report -> bool
 (** No differential failures and no applicable-but-undetected fault. *)

@@ -1,16 +1,32 @@
 let m_comparators = Snf_obs.Metrics.counter "exec.bitonic.comparators"
 
+(* Largest power of two representable in a native int: 2^62 overflows to
+   [min_int] on 64-bit OCaml, so the doubling loop must stop at 2^61. *)
+let max_pow2 = 1 lsl 61
+
 let next_pow2 n =
+  if n < 0 then invalid_arg "Bitonic.next_pow2: negative length";
+  if n > max_pow2 then
+    invalid_arg "Bitonic.next_pow2: length exceeds the largest representable power of two";
   let rec go m = if m >= n then m else go (m * 2) in
   go 1
 
 let comparator_count n =
-  let m = next_pow2 n in
-  let k =
-    let rec bits x = if x <= 1 then 0 else 1 + bits (x / 2) in
-    bits m
-  in
-  m / 2 * (k * (k + 1) / 2)
+  if n <= 1 then 0
+  else begin
+    let m = next_pow2 n in
+    let k =
+      let rec bits x = if x <= 1 then 0 else 1 + bits (x / 2) in
+      bits m
+    in
+    (* m/2 * k*(k+1)/2 with the divisions applied before the product; the
+       product itself can still exceed max_int for astronomically large m
+       (2^60 * 1891 at m = 2^61), so refuse instead of silently wrapping. *)
+    let half = m / 2 and per_stage = k * (k + 1) / 2 in
+    if per_stage > 0 && half > max_int / per_stage then
+      invalid_arg "Bitonic.comparator_count: count exceeds max_int";
+    half * per_stage
+  end
 
 (* Standard iterative bitonic network over a padded option array; [None]
    acts as +infinity so real elements bubble to the front. *)
@@ -60,6 +76,143 @@ let sort ?counter ~cmp arr =
     done;
     Snf_obs.Metrics.add m_comparators !ticks;
     match counter with Some c -> c := !c + !ticks | None -> ()
+  end
+
+(* --- monomorphic int network --------------------------------------------- *)
+
+(* [max_int] is the padding sentinel of [sort_ints]; under plain integer
+   comparison it behaves exactly like the [None] of the generic network
+   (always swapped toward the high positions, never counted), so the two
+   networks move elements — and tick counters — identically. *)
+
+(* Run the substages [j_hi, j_hi/2, ..., j_lo] of stage [k] over the index
+   window [lo, hi). The compare-exchange schedule is data-independent;
+   ticks count pairs where both operands are real (non-sentinel), matching
+   the generic network's Some/Some accounting. *)
+let run_substages work ~k ~j_hi ~j_lo ~lo ~hi =
+  let ticks = ref 0 in
+  let j = ref j_hi in
+  while !j >= j_lo do
+    let jj = !j in
+    for i = lo to hi - 1 do
+      let l = i lxor jj in
+      if l > i then begin
+        let a = work.(i) and b = work.(l) in
+        if i land k = 0 then begin
+          if a > b then begin
+            work.(i) <- b;
+            work.(l) <- a
+          end
+        end
+        else if a < b then begin
+          work.(i) <- b;
+          work.(l) <- a
+        end;
+        if a <> max_int && b <> max_int then incr ticks
+      end
+    done;
+    j := jj / 2
+  done;
+  !ticks
+
+let sum_ticks = Array.fold_left ( + ) 0
+
+(* Below this padded size the per-substage Domain.spawn overhead outweighs
+   the sort itself. *)
+let min_parallel_size = 1 lsl 14
+
+(* Largest power of two <= d, capped so each block keeps >= 4096 slots. *)
+let block_count_for ~m ~domains =
+  let rec down b = if b <= domains && m / b >= 4096 then b else down (b / 2) in
+  down 8 |> max 1
+
+let sort_padded work m =
+  let domains = Parallel.domain_count () in
+  if domains = 1 || m < min_parallel_size then
+    (* Sequential: the whole network in one pass. *)
+    let ticks = ref 0 in
+    let k = ref 2 in
+    let () =
+      while !k <= m do
+        ticks := !ticks + run_substages work ~k:!k ~j_hi:(!k / 2) ~j_lo:1 ~lo:0 ~hi:m;
+        k := !k * 2
+      done
+    in
+    !ticks
+  else begin
+    let bc = block_count_for ~m ~domains in
+    if bc = 1 then
+      let ticks = ref 0 in
+      let k = ref 2 in
+      let () =
+        while !k <= m do
+          ticks := !ticks + run_substages work ~k:!k ~j_hi:(!k / 2) ~j_lo:1 ~lo:0 ~hi:m;
+          k := !k * 2
+        done
+      in
+      !ticks
+    else begin
+      let block = m / bc in
+      let ticks = ref 0 in
+      (* Phase 1: every stage k <= block only ever pairs indices within one
+         aligned block, so the bc sub-networks are independent — one domain
+         each. Per-block tick counts come back as values and are summed in
+         block order, keeping the counter deterministic. *)
+      ticks :=
+        !ticks
+        + sum_ticks
+            (Parallel.tabulate ~domains:bc bc (fun b ->
+                 let lo = b * block in
+                 let t = ref 0 in
+                 let k = ref 2 in
+                 while !k <= block do
+                   t := !t + run_substages work ~k:!k ~j_hi:(!k / 2) ~j_lo:1 ~lo
+                             ~hi:(lo + block);
+                   k := !k * 2
+                 done;
+                 !t));
+      (* Phase 2: stages k > block. Substages with j >= block cross block
+         boundaries, but for a fixed j the indices split into disjoint
+         {i, i lxor j} pairs, each handled exactly once by the domain owning
+         the lower index — so a chunked parallel-for per substage is race
+         free. Once j drops below block the remaining substages of the
+         stage are block-local again and fuse into one parallel pass. *)
+      let k = ref (block * 2) in
+      while !k <= m do
+        let kk = !k in
+        let j = ref (kk / 2) in
+        while !j >= block do
+          let jj = !j in
+          ticks :=
+            !ticks
+            + sum_ticks
+                (Parallel.tabulate ~domains:bc bc (fun b ->
+                     run_substages work ~k:kk ~j_hi:jj ~j_lo:jj ~lo:(b * block)
+                       ~hi:((b + 1) * block)));
+          j := jj / 2
+        done;
+        ticks :=
+          !ticks
+          + sum_ticks
+              (Parallel.tabulate ~domains:bc bc (fun b ->
+                   run_substages work ~k:kk ~j_hi:(block / 2) ~j_lo:1 ~lo:(b * block)
+                     ~hi:((b + 1) * block)));
+        k := kk * 2
+      done;
+      !ticks
+    end
+  end
+
+let sort_ints ?counter arr =
+  let n = Array.length arr in
+  if n > 1 then begin
+    let m = next_pow2 n in
+    let work = Array.make m max_int in
+    Array.blit arr 0 work 0 n;
+    let ticks = sort_padded work m in
+    Array.blit work 0 arr 0 n;
+    Snf_obs.Metrics.add m_comparators ticks;
+    match counter with Some c -> c := !c + ticks | None -> ()
   end
 
 let is_sorted ~cmp arr =

@@ -7,9 +7,16 @@
     Arbitrary lengths are handled by padding to the next power of two with
     virtual [+∞] sentinels. *)
 
+val next_pow2 : int -> int
+(** Smallest power of two [>= n]; [next_pow2 0 = 1].
+    @raise Invalid_argument on negative [n] or when the result would
+    exceed [2^61], the largest power of two a native int can hold. *)
+
 val comparator_count : int -> int
 (** Exact number of compare-exchanges the network performs for an input of
-    length [n] (after padding): [m/2 * k*(k+1)/2] for [m = 2^k >= n]. *)
+    length [n] (after padding): [m/2 * k*(k+1)/2] for [m = 2^k >= n], and
+    [0] for [n <= 1] (a sort of nothing runs no network).
+    @raise Invalid_argument as {!next_pow2}. *)
 
 val sort : ?counter:int ref -> cmp:('a -> 'a -> int) -> 'a array -> unit
 (** In-place oblivious sort. [counter], when given, is incremented once
@@ -17,5 +24,15 @@ val sort : ?counter:int ref -> cmp:('a -> 'a -> int) -> 'a array -> unit
     minus the exchanges short-circuited by sentinel padding — sentinels
     are tracked separately, so data comparisons are still counted
     exactly). Stability is not guaranteed. *)
+
+val sort_ints : ?counter:int ref -> int array -> unit
+(** Monomorphic ascending in-place sort over the same network: packed keys
+    compare as plain ints, so the compare-exchange is branch-cheap and
+    allocation-free. Elements must be [< max_int] — [max_int] is the
+    padding sentinel (the int-level twin of the generic network's [None]).
+    On large inputs the outer stages fan out across [Parallel] domains
+    once the sub-networks are independent; the schedule, the resulting
+    order and the [counter] value are identical for every domain count
+    (and equal to what {!sort} with [Int.compare] would report). *)
 
 val is_sorted : cmp:('a -> 'a -> int) -> 'a array -> bool

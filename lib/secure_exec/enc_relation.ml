@@ -19,6 +19,8 @@ module Span = Snf_obs.Span
    same counter pair. *)
 let m_idx_hits = Metrics.counter "exec.eq_index.hits"
 let m_idx_builds = Metrics.counter "exec.eq_index.builds"
+let m_tid_cache_hits = Metrics.counter "exec.join.tid_cache.hits"
+let m_tid_cache_misses = Metrics.counter "exec.join.tid_cache.misses"
 let m_cells = Metrics.counter "enc.cells_encrypted"
 let m_tids = Metrics.counter "enc.tids_encrypted"
 let m_pooled = Metrics.counter "crypto.paillier.encrypt_pooled"
@@ -51,6 +53,14 @@ type client = {
   paillier : Paillier.keypair;
   name : string;
   prng : Prng.t;
+  (* Tid-decrypt memo for the join hot path: a leaf's tid ciphertexts are
+     static between (re-)encryptions, so the decrypted int array is cached
+     per (leaf label, key epoch). Entries also retain the source ciphertext
+     array and are only served when it is physically the same one — a
+     corrupted or foreign copy of a leaf (same label, same epoch) misses
+     and goes through the authenticated decrypt path. *)
+  mutable key_epoch : int;
+  tid_cache : (string * int, string array * int array) Hashtbl.t;
 }
 
 let make_client ?(seed = 0x0c11e47) ?(paillier_prime_bits = 48) ~relation_name ~master () =
@@ -58,7 +68,15 @@ let make_client ?(seed = 0x0c11e47) ?(paillier_prime_bits = 48) ~relation_name ~
   { keyring = Keyring.create ~master;
     paillier = Paillier.key_gen ~prime_bits:paillier_prime_bits prng;
     name = relation_name;
-    prng }
+    prng;
+    key_epoch = 0;
+    tid_cache = Hashtbl.create 8 }
+
+let key_epoch c = c.key_epoch
+
+let bump_key_epoch c =
+  c.key_epoch <- c.key_epoch + 1;
+  Hashtbl.reset c.tid_cache
 
 let client_paillier c = c.paillier
 
@@ -121,6 +139,9 @@ let encrypt_cell c ~leaf ~attr ?pool ~slot ~rng scheme v =
      | None -> C_nat (Paillier.encrypt rng c.paillier.Paillier.public m))
 
 let encrypt client r rep =
+  (* Re-encryption invalidates every cached tid decrypt: the new store's
+     leaves may reuse labels with fresh contents. *)
+  bump_key_epoch client;
   let leaves =
     Span.with_ ~name:"enc.encrypt" ~attrs:[ ("relation", client.name) ] @@ fun () ->
     List.map
@@ -243,6 +264,23 @@ let decrypt_column c ~leaf (col : enc_column) =
 let decrypt_tid c ~leaf ct =
   try Value.to_int_exn (Value.decode (Ndet.decrypt (tid_key c ~leaf) ct))
   with Invalid_argument msg -> Integrity.fail ~leaf ~where:"tid" msg
+
+(* Bulk tid decryption is pure per ciphertext, so it fans out over
+   domains — the per-row crypto cost of a join's enclave side. *)
+let decrypt_tids c (l : enc_leaf) =
+  Parallel.tabulate (Array.length l.tids) (fun i -> decrypt_tid c ~leaf:l.label l.tids.(i))
+
+let decrypt_tids_cached c (l : enc_leaf) =
+  let key = (l.label, c.key_epoch) in
+  match Hashtbl.find_opt c.tid_cache key with
+  | Some (src, tids) when src == l.tids ->
+    Metrics.incr m_tid_cache_hits;
+    tids
+  | _ ->
+    Metrics.incr m_tid_cache_misses;
+    let tids = decrypt_tids c l in
+    Hashtbl.replace c.tid_cache key (l.tids, tids);
+    tids
 
 let check_shape t =
   List.iter

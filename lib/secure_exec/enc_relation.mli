@@ -82,6 +82,33 @@ val decrypt_tid : client -> leaf:string -> string -> int
 (** @raise Integrity.Corruption on authentication failure (bit-flipped or
     foreign-key tid ciphertexts). *)
 
+val decrypt_tids : client -> enc_leaf -> int array
+(** Bulk {!decrypt_tid} over a leaf's whole tid column, fanned out over
+    [Parallel] domains. @raise Integrity.Corruption as {!decrypt_tid}. *)
+
+val decrypt_tids_cached : client -> enc_leaf -> int array
+(** {!decrypt_tids} memoized per (leaf label, {!key_epoch}): a leaf's tid
+    ciphertexts are static between re-encryptions, so the join hot path
+    pays the NDET decrypts once per leaf per epoch. A cached entry is only
+    served when the leaf's [tids] array is {e physically} the one it was
+    built from — a corrupted or foreign copy with the same label misses
+    and re-decrypts (where authentication fails as usual), so the cache
+    never masks storage corruption. Hits and misses are accounted in the
+    process-wide counters ["exec.join.tid_cache.hits"] /
+    ["exec.join.tid_cache.misses"] (shared with [Ledger], which reports
+    deltas). The returned array is shared with the cache: callers must not
+    mutate it. *)
+
+val key_epoch : client -> int
+(** Current key epoch; starts at 0 and moves on every {!encrypt} and
+    {!bump_key_epoch}. *)
+
+val bump_key_epoch : client -> unit
+(** Explicit invalidation of the tid-decrypt cache (e.g. after rotating
+    key material or mutating a store in place): advances the epoch and
+    drops every cached entry. [encrypt] calls this itself, so
+    re-encryption never serves stale tids. *)
+
 val check_shape : t -> unit
 (** Structural integrity of the stored leaves: every leaf's tid column and
     attribute columns must hold exactly [row_count] entries.

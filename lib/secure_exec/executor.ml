@@ -229,10 +229,10 @@ let run_single ~drop_tid client q plan (leaf : Enc_relation.enc_leaf) compiled m
 
 (* --- sort-merge reconstruction ------------------------------------------ *)
 
-let run_sort_merge ~drop_tid client q plan leaves compiled masks stats =
+let run_sort_merge ~drop_tid ?tids_for client q plan leaves compiled masks stats =
   let matched =
     Span.with_ ~name:"query.reconstruct" ~attrs:[ ("path", "sort_merge") ] @@ fun () ->
-    Oblivious_join.join_many ~masks:(List.combine leaves masks) stats client
+    Oblivious_join.join_many ?tids_for ~masks:(List.combine leaves masks) stats client
     |> Array.to_seq
     |> Seq.filter (fun (tid, _) -> not (drop_tid tid))
     |> Array.of_seq
@@ -402,7 +402,8 @@ let run_anchor_fetch ~drop_tid client q plan leaves compiled masks ~make_fetcher
 (* ------------------------------------------------------------------------ *)
 
 let run ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
-    ?(use_index = false) ?(drop_tid = fun _ -> false) client enc rep q =
+    ?(use_index = false) ?(use_tid_cache = true) ?(drop_tid = fun _ -> false) client enc
+    rep q =
   match Planner.plan ?selector rep q with
   | Error e -> Error e
   | Ok plan ->
@@ -463,7 +464,15 @@ let run ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
       | _ -> (
         match mode with
         | `Sort_merge ->
-          run_sort_merge ~drop_tid client q plan leaves compiled masks stats
+          (* The join's tid decrypts are memoized per (leaf, key epoch)
+             when the cache is on; the cached path still authenticates on
+             every miss, and corrupted leaf copies always miss (see
+             [Enc_relation.decrypt_tids_cached]). *)
+          let tids_for =
+            if use_tid_cache then Some (Enc_relation.decrypt_tids_cached client)
+            else None
+          in
+          run_sort_merge ~drop_tid ?tids_for client q plan leaves compiled masks stats
         | `Oram ->
           let prng = Snf_crypto.Prng.create 0x09a7 in
           run_anchor_fetch ~drop_tid client q plan leaves compiled masks

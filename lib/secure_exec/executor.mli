@@ -41,13 +41,19 @@ val run :
   ?params:Cost_model.params ->
   ?selector:[ `Greedy | `Optimal of (Planner.plan -> float) ] ->
   ?use_index:bool ->
+  ?use_tid_cache:bool ->
   ?drop_tid:(int -> bool) ->
   Enc_relation.client ->
   Enc_relation.t ->
   Snf_core.Partition.t ->
   Query.t ->
   (Relation.t * trace, string) result
-(** Default mode [`Sort_merge]. [drop_tid] is the enclave-side tombstone
+(** Default mode [`Sort_merge]. [use_tid_cache] (default true) memoizes
+    the sort-merge join's per-leaf tid decrypts through
+    [Enc_relation.decrypt_tids_cached]; answers are identical either way —
+    the cache is keyed by (leaf, key epoch) and validated by physical
+    identity of the ciphertext column, so re-encryption and corrupted
+    copies always miss. [drop_tid] is the enclave-side tombstone
     filter: rows whose tid it selects are removed from every answer (how
     deletions work without re-encryption — see [Dynamic.delete]). With
     [use_index] (default false), point

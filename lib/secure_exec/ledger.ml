@@ -7,6 +7,8 @@ module Json = Snf_obs.Json
    with the index ablation and the executor. *)
 let m_idx_hits = Metrics.counter "exec.eq_index.hits"
 let m_idx_builds = Metrics.counter "exec.eq_index.builds"
+let m_tid_hits = Metrics.counter "exec.join.tid_cache.hits"
+let m_tid_misses = Metrics.counter "exec.join.tid_cache.misses"
 
 type t = {
   owner : System.owner;
@@ -20,6 +22,8 @@ type t = {
      creation. *)
   idx_hits0 : int;
   idx_builds0 : int;
+  tid_hits0 : int;
+  tid_misses0 : int;
   mutable query_metrics : (string * int) list list; (* newest first *)
 }
 
@@ -32,6 +36,8 @@ let create owner =
     reconstruction_rows = 0;
     idx_hits0 = Metrics.value m_idx_hits;
     idx_builds0 = Metrics.value m_idx_builds;
+    tid_hits0 = Metrics.value m_tid_hits;
+    tid_misses0 = Metrics.value m_tid_misses;
     query_metrics = [] }
 
 let owner t = t.owner
@@ -63,9 +69,9 @@ let record_plan t (trace : Executor.trace) =
   in
   pairs leaves
 
-let query ?mode ?use_index t q =
+let query ?mode ?use_index ?use_tid_cache t q =
   let before = Metrics.snapshot () in
-  match System.query ?mode ?use_index t.owner q with
+  match System.query ?mode ?use_index ?use_tid_cache t.owner q with
   | Error _ as e -> e
   | Ok (ans, trace) ->
     t.queries <- t.queries + 1;
@@ -92,6 +98,8 @@ type report = {
   total_reconstruction_rows : int;
   index_hits : int;
   index_misses : int;
+  tid_cache_hits : int;
+  tid_cache_misses : int;
   query_metrics : (string * int) list list;
 }
 
@@ -123,6 +131,8 @@ let report t =
     total_reconstruction_rows = t.reconstruction_rows;
     index_hits = Metrics.value m_idx_hits - t.idx_hits0;
     index_misses = Metrics.value m_idx_builds - t.idx_builds0;
+    tid_cache_hits = Metrics.value m_tid_hits - t.tid_hits0;
+    tid_cache_misses = Metrics.value m_tid_misses - t.tid_misses0;
     query_metrics = List.rev t.query_metrics }
 
 let report_to_json (r : report) : Json.t =
@@ -150,6 +160,8 @@ let report_to_json (r : report) : Json.t =
       ("total_reconstruction_rows", Json.Int r.total_reconstruction_rows);
       ("index_hits", Json.Int r.index_hits);
       ("index_misses", Json.Int r.index_misses);
+      ("tid_cache_hits", Json.Int r.tid_cache_hits);
+      ("tid_cache_misses", Json.Int r.tid_cache_misses);
       ( "query_metrics",
         Json.List
           (List.map
@@ -215,6 +227,8 @@ let report_of_json (j : Json.t) : (report, string) result =
   let* total_reconstruction_rows = int_field j "total_reconstruction_rows" in
   let* index_hits = int_field j "index_hits" in
   let* index_misses = int_field j "index_misses" in
+  let* tid_cache_hits = int_field j "tid_cache_hits" in
+  let* tid_cache_misses = int_field j "tid_cache_misses" in
   let* qm_json = field "query_metrics" Json.to_list_opt in
   let* query_metrics =
     map_m
@@ -237,6 +251,8 @@ let report_of_json (j : Json.t) : (report, string) result =
       total_reconstruction_rows;
       index_hits;
       index_misses;
+      tid_cache_hits;
+      tid_cache_misses;
       query_metrics }
 
 let pp_report fmt r =
@@ -253,4 +269,7 @@ let pp_report fmt r =
   if r.index_hits + r.index_misses > 0 then
     Format.fprintf fmt "  eq-index cache: %d hits, %d builds@," r.index_hits
       r.index_misses;
+  if r.tid_cache_hits + r.tid_cache_misses > 0 then
+    Format.fprintf fmt "  tid-decrypt cache: %d hits, %d misses@," r.tid_cache_hits
+      r.tid_cache_misses;
   Format.fprintf fmt "@]"

@@ -22,7 +22,7 @@ val create : System.owner -> t
 val owner : t -> System.owner
 
 val query :
-  ?mode:Executor.mode -> ?use_index:bool ->
+  ?mode:Executor.mode -> ?use_index:bool -> ?use_tid_cache:bool ->
   t -> Query.t -> (Snf_relational.Relation.t * Executor.trace, string) result
 (** Execute and record. Failed (unplannable) queries are not recorded. *)
 
@@ -48,6 +48,12 @@ type report = {
         ["exec.eq_index.hits"] counter (the same one [Enc_relation] bumps
         and the index ablation reads) *)
   index_misses : int;                  (** lazy equality-index builds *)
+  tid_cache_hits : int;
+    (** join tid-decrypt cache hits since [create] — delta of the
+        process-wide ["exec.join.tid_cache.hits"] counter
+        [Enc_relation.decrypt_tids_cached] bumps *)
+  tid_cache_misses : int;              (** tid-decrypt cache misses (bulk
+                                           decrypts actually performed) *)
   query_metrics : (string * int) list list;
     (** per query, in execution order: every [Snf_obs] counter the query
         moved, with its delta (crypto ops, scans, comparisons, ...) *)

@@ -1,41 +1,93 @@
-(** Oblivious tid-join between two encrypted leaves.
+(** Oblivious tid-join across encrypted leaves.
 
     Models the enclave-assisted reconstruction of §III-B: the enclave
-    (which holds the client's keys) decrypts the tid columns of both
+    (which holds the client's keys) decrypts the tid columns of the
     leaves internally, then runs a {e sort-merge join over a bitonic
     network} — concatenate tagged entries, obliviously sort by
-    (tid, side), scan adjacent pairs. The server observes only the public
+    (tid, side), scan adjacent runs. The server observes only the public
     leaf sizes and the data-independent network schedule; in particular it
-    never learns which tid of one leaf matched which row of the other
+    never learns which tid of one leaf matched which row of another
     (sub-relation unlinkability during execution).
 
     Selection masks are applied {e inside} the enclave after the oblivious
     sort, so the network always processes the full leaves — selectivity is
     not leaked through the join's trace. The comparison counter reports
     the real number of compare-exchanges executed, which the cost model
-    converts to estimated wall-clock time (Figure 3). *)
+    converts to estimated wall-clock time (Figure 3).
+
+    The hot path packs each (tid, side, row, selected) entry into a single
+    immediate int ({!Packed}) and sorts {e all} leaves' entries in one
+    {!Bitonic.sort_ints} pass — a true k-way join — instead of cascading
+    pairwise joins. The cascade survives as {!join_many_cascade}, the
+    reference baseline/oracle the equivalence tests and the [micro-join]
+    bench compare against. Tid decryption is injectable via [?tids_for]
+    so the executor can plug in [Enc_relation.decrypt_tids_cached]. *)
 
 type stats = {
   mutable comparisons : int;  (** compare-exchanges inside bitonic sorts *)
-  mutable rows_processed : int; (** total (padded) entries fed to networks *)
-  mutable joins : int;          (** number of pairwise oblivious joins *)
+  mutable rows_processed : int; (** total entries fed to sort networks *)
+  mutable joins : int;          (** oblivious join passes: the k-way path
+                                    charges ONE join per query over the
+                                    summed entry count, where the cascade
+                                    charged [k - 1] pairwise joins *)
 }
 
 val fresh_stats : unit -> stats
 
+(** Packed sort key: MSB..LSB = tid(27) | side(6) | selected(1) | row(27),
+    61 bits — every encodable key is [< max_int], leaving [max_int] free
+    as the {!Bitonic.sort_ints} padding sentinel. Plain integer order on
+    packed keys is exactly (tid, side) order. *)
+module Packed : sig
+  val max_tid : int
+  (** [2^27 - 1] *)
+
+  val max_side : int
+  (** [2^6 - 1] — at most 64 leaves per k-way pass *)
+
+  val max_row : int
+  (** [2^27 - 1] *)
+
+  val encode : tid:int -> side:int -> row:int -> selected:bool -> int
+  (** @raise Invalid_argument when any field is negative or above its
+      bound. *)
+
+  val tid : int -> int
+  val side : int -> int
+  val selected : int -> bool
+  val row : int -> int
+end
+
 val join_indices :
+  ?tids_for:(Enc_relation.enc_leaf -> int array) ->
   ?mask_a:bool array -> ?mask_b:bool array ->
   stats -> Enc_relation.client ->
   Enc_relation.enc_leaf -> Enc_relation.enc_leaf ->
   (int * int * int) array
 (** [(tid, row_a, row_b)] for every tid present (and mask-selected) on both
     sides, in ascending tid order. Masks default to all-true and must
-    match the leaf lengths. *)
+    match the leaf lengths. [tids_for] overrides per-leaf tid decryption
+    (default: [Enc_relation.decrypt_tids client]). *)
 
 val join_many :
+  ?tids_for:(Enc_relation.enc_leaf -> int array) ->
   masks:(Enc_relation.enc_leaf * bool array) list ->
   stats -> Enc_relation.client ->
   (int * int list) array
-(** Chain of pairwise joins across [k] leaves: [(tid, row index per leaf)]
-    for tids selected in every leaf; [k - 1] joins are charged to [stats].
+(** Single k-way oblivious pass across the leaves: [(tid, row index per
+    leaf)] for tids selected in every leaf, ascending by tid. Equals
+    {!join_many_cascade} on the answer; [stats] counts one join over the
+    summed entry count rather than [k - 1] cascade steps. Inputs outside
+    the {!Packed} bounds (more than 64 leaves, tids or row counts beyond
+    [2^27]) fall back to the cascade transparently.
+    @raise Invalid_argument on an empty list. *)
+
+val join_many_cascade :
+  ?tids_for:(Enc_relation.enc_leaf -> int array) ->
+  masks:(Enc_relation.enc_leaf * bool array) list ->
+  stats -> Enc_relation.client ->
+  (int * int list) array
+(** The pre-packing pairwise cascade, kept as the reference baseline and
+    differential oracle for {!join_many} (same answers; [k - 1] joins
+    charged to [stats], generic boxed sorts inside).
     @raise Invalid_argument on an empty list. *)

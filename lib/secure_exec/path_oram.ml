@@ -3,16 +3,23 @@ module Prng = Snf_crypto.Prng
 let m_accesses = Snf_obs.Metrics.counter "exec.oram.accesses"
 let m_bucket_touches = Snf_obs.Metrics.counter "exec.oram.bucket_touches"
 
-type block = { id : int; data : string }
-
+(* Buckets are fixed capacity (Z slots), so the tree is two flat arrays
+   indexed by [heap_index * Z + slot]: block ids (-1 = empty slot) and the
+   block payloads. Compared with a [block list array] this allocates
+   nothing per access — path read-in and greedy write-back only move
+   entries between the arrays, the stash and a reused scratch buffer. *)
 type t = {
   bucket_size : int;
   num_blocks : int;
   block_size : int;
   depth : int;                          (* levels 0..depth; leaves at depth *)
-  buckets : block list array;           (* heap-indexed complete binary tree *)
+  bucket_ids : int array;               (* num_buckets * bucket_size; -1 empty *)
+  bucket_data : string array;           (* payload for each occupied slot *)
   position : int array;                 (* block id -> leaf index in [0, 2^depth) *)
   stash : (int, string) Hashtbl.t;
+  (* Write-back scratch, reused across accesses (capacity bucket_size). *)
+  scratch_ids : int array;
+  scratch_data : string array;
   prng : Prng.t;
   mutable accesses : int;
   mutable touches : int;
@@ -30,9 +37,12 @@ let create ?(bucket_size = 4) ~num_blocks ~block_size prng =
     num_blocks;
     block_size;
     depth;
-    buckets = Array.make num_buckets [];
+    bucket_ids = Array.make (num_buckets * bucket_size) (-1);
+    bucket_data = Array.make (num_buckets * bucket_size) "";
     position = Array.init num_blocks (fun _ -> Prng.int prng num_leaves);
     stash = Hashtbl.create 64;
+    scratch_ids = Array.make bucket_size (-1);
+    scratch_data = Array.make bucket_size "";
     prng;
     accesses = 0;
     touches = 0;
@@ -70,8 +80,15 @@ let access t id write_data =
   for level = 0 to t.depth do
     let bi = bucket_index t ~leaf:x ~level in
     t.touches <- t.touches + 1;
-    List.iter (fun b -> Hashtbl.replace t.stash b.id b.data) t.buckets.(bi);
-    t.buckets.(bi) <- []
+    let base = bi * t.bucket_size in
+    for s = 0 to t.bucket_size - 1 do
+      let bid = t.bucket_ids.(base + s) in
+      if bid >= 0 then begin
+        Hashtbl.replace t.stash bid t.bucket_data.(base + s);
+        t.bucket_ids.(base + s) <- -1;
+        t.bucket_data.(base + s) <- ""
+      end
+    done
   done;
   let result =
     match Hashtbl.find_opt t.stash id with
@@ -81,23 +98,35 @@ let access t id write_data =
   (match write_data with
    | Some d -> Hashtbl.replace t.stash id d
    | None -> Hashtbl.replace t.stash id result);
-  (* Write back greedily, deepest level first. *)
+  (* Write back greedily, deepest level first. Up to Z eligible stash
+     blocks are staged in the scratch buffer, then moved into the bucket's
+     slots — no per-level list allocation. *)
   for level = t.depth downto 0 do
     let bi = bucket_index t ~leaf:x ~level in
     t.touches <- t.touches + 1;
-    let eligible =
-      Hashtbl.fold
-        (fun bid data acc ->
-          if path_intersects t ~leaf:t.position.(bid) ~leaf':x ~level then
-            (bid, data) :: acc
-          else acc)
-        t.stash []
-    in
-    let chosen =
-      List.filteri (fun i _ -> i < t.bucket_size) eligible
-    in
-    List.iter (fun (bid, _) -> Hashtbl.remove t.stash bid) chosen;
-    t.buckets.(bi) <- List.map (fun (bid, data) -> { id = bid; data }) chosen
+    let n = ref 0 in
+    Hashtbl.iter
+      (fun bid data ->
+        if !n < t.bucket_size
+           && path_intersects t ~leaf:t.position.(bid) ~leaf':x ~level
+        then begin
+          t.scratch_ids.(!n) <- bid;
+          t.scratch_data.(!n) <- data;
+          incr n
+        end)
+      t.stash;
+    let base = bi * t.bucket_size in
+    for s = 0 to t.bucket_size - 1 do
+      if s < !n then begin
+        Hashtbl.remove t.stash t.scratch_ids.(s);
+        t.bucket_ids.(base + s) <- t.scratch_ids.(s);
+        t.bucket_data.(base + s) <- t.scratch_data.(s)
+      end
+      else begin
+        t.bucket_ids.(base + s) <- -1;
+        t.bucket_data.(base + s) <- ""
+      end
+    done
   done;
   Snf_obs.Metrics.add m_bucket_touches (t.touches - touches0);
   result

@@ -27,8 +27,19 @@ let covers (leaf : Partition.leaf) = function
 let items_of_query (q : Query.t) =
   List.map (fun a -> Proj a) q.Query.select @ List.map (fun p -> Pred p) q.Query.where
 
-let assemble rep q chosen =
-  let leaf_of label = List.find (fun (l : Partition.leaf) -> l.label = label) rep in
+(* label -> leaf lookup table, built once per planning call so [assemble]
+   and [feasible] stop paying O(leaves) List.find per item. First
+   occurrence wins, matching the List.find behaviour on duplicate labels. *)
+let leaf_table rep =
+  let tbl = Hashtbl.create (2 * List.length rep) in
+  List.iter
+    (fun (l : Partition.leaf) ->
+      if not (Hashtbl.mem tbl l.Partition.label) then Hashtbl.add tbl l.Partition.label l)
+    rep;
+  tbl
+
+let assemble ~tbl q chosen =
+  let leaf_of label = Hashtbl.find tbl label in
   let home_for item =
     List.find_opt (fun label -> covers (leaf_of label) item) chosen
   in
@@ -47,8 +58,8 @@ let assemble rep q chosen =
     pred_home;
     proj_home }
 
-let feasible rep q chosen =
-  let leaf_of label = List.find (fun (l : Partition.leaf) -> l.label = label) rep in
+let feasible ~tbl q chosen =
+  let leaf_of label = Hashtbl.find tbl label in
   List.for_all
     (fun item -> List.exists (fun label -> covers (leaf_of label) item) chosen)
     (items_of_query q)
@@ -107,7 +118,7 @@ let rec subsets_upto k = function
     in
     with_x @ List.filter (fun s -> List.length s <= k) without
 
-let optimal cost rep q =
+let optimal ~tbl cost rep q =
   let relevant =
     List.filter
       (fun (l : Partition.leaf) -> List.exists (covers l) (items_of_query q))
@@ -116,7 +127,7 @@ let optimal cost rep q =
   in
   let candidates =
     subsets_upto 6 relevant
-    |> List.filter (fun s -> s <> [] && feasible rep q s)
+    |> List.filter (fun s -> s <> [] && feasible ~tbl q s)
   in
   match candidates with
   | [] -> Error "no feasible cover within the size bound"
@@ -124,7 +135,7 @@ let optimal cost rep q =
     let best =
       List.fold_left
         (fun acc chosen ->
-          let p = assemble rep q chosen in
+          let p = assemble ~tbl q chosen in
           let c = cost p in
           match acc with
           | Some (c0, _) when c0 <= c -> acc
@@ -133,13 +144,111 @@ let optimal cost rep q =
     in
     (match best with Some (_, p) -> Ok p | None -> Error "unreachable")
 
-let plan ?(selector = `Greedy) rep q =
+(* --- plan memoization ------------------------------------------------------ *)
+
+(* A greedy plan depends only on the representation and the query's
+   SHAPE — the projection list plus, per predicate, its attribute and
+   kind (point vs range); the searched constants influence nothing
+   ([covers] only looks at schemes). Plans are therefore memoized per
+   (representation digest, query shape). The memo is per-domain
+   ([Domain.DLS]): [plan] runs inside [Parallel] workers (the experiment
+   planning loops), and a shared table would race. *)
+
+type memo_plan = {
+  m_leaves : string list;
+  m_joins : int;
+  m_pred_labels : string option list; (* one per [q.where] position *)
+  m_proj_home : (string * string) list;
+}
+
+type memo_state = {
+  (* Representation digests keyed by physical identity — the experiment
+     loops plan thousands of queries against a handful of long-lived
+     representation values, so digesting once per value is enough. *)
+  mutable digests : (Partition.t * string) list;
+  plans : (string * string, (memo_plan, string) result) Hashtbl.t;
+}
+
+let max_digest_entries = 16
+let max_plan_entries = 1024
+
+let memo_key : memo_state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { digests = []; plans = Hashtbl.create 64 })
+
+let rep_digest st rep =
+  match List.find_opt (fun (r, _) -> r == rep) st.digests with
+  | Some (_, d) -> d
+  | None ->
+    let d = Digest.string (Marshal.to_string rep []) in
+    st.digests <-
+      (rep, d)
+      :: (if List.length st.digests >= max_digest_entries then
+            List.filteri (fun i _ -> i < max_digest_entries - 1) st.digests
+          else st.digests);
+    d
+
+let shape_key (q : Query.t) =
+  let b = Buffer.create 64 in
+  List.iter
+    (fun a ->
+      Buffer.add_string b a;
+      Buffer.add_char b '\x00')
+    q.Query.select;
+  Buffer.add_char b '\x01';
+  List.iter
+    (fun p ->
+      Buffer.add_char b (match p with Query.Point _ -> 'P' | Query.Range _ -> 'R');
+      Buffer.add_string b (Query.pred_attr p);
+      Buffer.add_char b '\x00')
+    q.Query.where;
+  Buffer.contents b
+
+let to_memo (p : plan) (q : Query.t) =
+  { m_leaves = p.leaves;
+    m_joins = p.joins;
+    (* Record, per where-position, the home label (or None for a dropped
+       predicate) so the plan can be rebuilt around the actual constants
+       of a same-shape query. *)
+    m_pred_labels =
+      List.map (fun p0 -> List.assoc_opt p0 p.pred_home) q.Query.where;
+    m_proj_home = p.proj_home }
+
+let of_memo (m : memo_plan) (q : Query.t) =
+  { leaves = m.m_leaves;
+    joins = m.m_joins;
+    pred_home =
+      List.concat
+        (List.map2
+           (fun p -> function Some l -> [ (p, l) ] | None -> [])
+           q.Query.where m.m_pred_labels);
+    proj_home = m.m_proj_home }
+
+let plan_uncached ?(selector = `Greedy) rep q =
   match check_items_coverable rep q with
   | Error e -> Error e
-  | Ok () -> (
-    match selector with
-    | `Greedy -> Result.map (assemble rep q) (greedy rep q)
-    | `Optimal cost -> optimal cost rep q)
+  | Ok () ->
+    let tbl = leaf_table rep in
+    (match selector with
+     | `Greedy -> Result.map (assemble ~tbl q) (greedy rep q)
+     | `Optimal cost -> optimal ~tbl cost rep q)
+
+let plan ?(selector = `Greedy) rep q =
+  match selector with
+  | `Optimal _ ->
+    (* Cost functions are arbitrary closures (and may inspect the
+       constants through pred_home), so only the greedy path memoizes. *)
+    plan_uncached ~selector rep q
+  | `Greedy ->
+    let st = Domain.DLS.get memo_key in
+    let key = (rep_digest st rep, shape_key q) in
+    (match Hashtbl.find_opt st.plans key with
+     | Some (Ok m) -> Ok (of_memo m q)
+     | Some (Error e) -> Error e
+     | None ->
+       let result = plan_uncached ~selector:`Greedy rep q in
+       if Hashtbl.length st.plans >= max_plan_entries then Hashtbl.reset st.plans;
+       Hashtbl.replace st.plans key (Result.map (fun p -> to_memo p q) result);
+       result)
 
 let single_leaf p = List.length p.leaves <= 1
 

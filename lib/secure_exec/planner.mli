@@ -31,7 +31,17 @@ val plan :
 (** [`Greedy] (default) minimizes leaf count heuristically; [`Optimal f]
     enumerates covers (capped at 6 leaves) and returns the [f]-cheapest.
     Errors when some attribute is stored nowhere, or some predicate has no
-    leaf whose copy of the attribute supports it. *)
+    leaf whose copy of the attribute supports it.
+
+    Internally, label lookups go through a per-call label->leaf hash table
+    (no O(leaves) scan per item), and [`Greedy] results are memoized per
+    (representation digest, query shape) — the shape being the projection
+    list plus each predicate's attribute and point/range kind; searched
+    constants do not influence the cover. The memo lives in domain-local
+    storage, so concurrent planning from [Parallel] workers never races,
+    and memoized answers are bit-identical to uncached planning.
+    [`Optimal] never memoizes (its cost function is an arbitrary
+    closure). *)
 
 val single_leaf : plan -> bool
 

@@ -37,12 +37,12 @@ let outsource_prepared ?(seed = 0x5eed) ?master ~name ~graph ~representation r p
   let enc = Enc_relation.encrypt client r representation in
   { client; policy; plan; enc; plaintext = r }
 
-let query ?mode ?params ?use_index ?drop_tid owner q =
-  Executor.run ?mode ?params ?use_index ?drop_tid owner.client owner.enc
+let query ?mode ?params ?use_index ?use_tid_cache ?drop_tid owner q =
+  Executor.run ?mode ?params ?use_index ?use_tid_cache ?drop_tid owner.client owner.enc
     owner.plan.Normalizer.representation q
 
-let query_checked ?mode ?params ?use_index ?drop_tid owner q =
-  match query ?mode ?params ?use_index ?drop_tid owner q with
+let query_checked ?mode ?params ?use_index ?use_tid_cache ?drop_tid owner q =
+  match query ?mode ?params ?use_index ?use_tid_cache ?drop_tid owner q with
   | Ok r -> Ok r
   | Error e -> Error (`Plan e)
   | exception Integrity.Corruption c -> Error (`Corruption c)

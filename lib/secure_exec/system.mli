@@ -52,16 +52,19 @@ val query :
   ?mode:Executor.mode ->
   ?params:Cost_model.params ->
   ?use_index:bool ->
+  ?use_tid_cache:bool ->
   ?drop_tid:(int -> bool) ->
   owner -> Query.t -> (Relation.t * Executor.trace, string) result
 (** [Error] is a planning failure. Detected storage corruption raises
     [Integrity.Corruption] (see [Executor.run]); use {!query_checked} to
-    receive it as a result instead. *)
+    receive it as a result instead. [use_tid_cache] (default true) is
+    passed through to [Executor.run] — identical answers either way. *)
 
 val query_checked :
   ?mode:Executor.mode ->
   ?params:Cost_model.params ->
   ?use_index:bool ->
+  ?use_tid_cache:bool ->
   ?drop_tid:(int -> bool) ->
   owner -> Query.t ->
   ( Relation.t * Executor.trace,

@@ -1,0 +1,324 @@
+(* The PR-4 join hot path: the monomorphic parallel bitonic network, the
+   packed sort keys, the per-leaf tid-decrypt cache and the single-pass
+   k-way join — each checked against its reference implementation. *)
+
+open Snf_exec
+module Metrics = Snf_obs.Metrics
+module H = Helpers
+
+let m_hits = Metrics.counter "exec.join.tid_cache.hits"
+let m_misses = Metrics.counter "exec.join.tid_cache.misses"
+
+(* --- sort_ints vs the generic network ------------------------------------- *)
+
+let sorted_by_list arr =
+  List.sort Int.compare (Array.to_list arr) = Array.to_list arr
+
+let test_sort_ints_matches_list_sort =
+  H.qtest ~count:300 "sort_ints agrees with List.sort"
+    QCheck2.Gen.(list_size (int_range 0 300) (int_range (-50) 50))
+    (fun l ->
+      let arr = Array.of_list l in
+      Bitonic.sort_ints arr;
+      arr = Array.of_list (List.sort Int.compare l))
+
+let test_sort_ints_counter_matches_generic =
+  H.qtest ~count:100 "sort_ints ticks = generic network ticks"
+    QCheck2.Gen.(list_size (int_range 0 200) (int_range (-1000) 1000))
+    (fun l ->
+      let a1 = Array.of_list l and a2 = Array.of_list l in
+      let c1 = ref 0 and c2 = ref 0 in
+      Bitonic.sort_ints ~counter:c1 a1;
+      Bitonic.sort ~counter:c2 ~cmp:Int.compare a2;
+      a1 = a2 && !c1 = !c2)
+
+let test_sort_ints_fixed () =
+  let check_case name input =
+    let arr = Array.of_list input in
+    Bitonic.sort_ints arr;
+    Alcotest.(check (list int)) name (List.sort Int.compare input) (Array.to_list arr)
+  in
+  check_case "empty" [];
+  check_case "singleton" [ 42 ];
+  check_case "pair" [ 2; 1 ];
+  check_case "already sorted" (List.init 100 Fun.id);
+  check_case "reverse" (List.init 100 (fun i -> 99 - i));
+  check_case "all duplicates" (List.init 37 (fun _ -> 7));
+  check_case "non-power-of-two" (List.init 1000 (fun i -> (i * 7919) mod 211));
+  check_case "negatives" [ 3; -1; 0; -7; 5; -7 ]
+
+let test_sort_ints_counter_at_pow2 () =
+  (* Without padding every comparator fires on two real elements, so the
+     observed tick count is the closed form. *)
+  let n = 256 in
+  let arr = Array.init n (fun i -> (i * 31) mod 97) in
+  let c = ref 0 in
+  Bitonic.sort_ints ~counter:c arr;
+  H.check_int "ticks = comparator_count at power-of-two size"
+    (Bitonic.comparator_count n) !c
+
+let test_next_pow2_edges () =
+  H.check_int "next_pow2 0" 1 (Bitonic.next_pow2 0);
+  H.check_int "next_pow2 1" 1 (Bitonic.next_pow2 1);
+  H.check_int "next_pow2 3" 4 (Bitonic.next_pow2 3);
+  H.check_int "next_pow2 4" 4 (Bitonic.next_pow2 4);
+  H.check_int "next_pow2 at the cap" (1 lsl 61) (Bitonic.next_pow2 (1 lsl 61));
+  Alcotest.check_raises "negative length" (Invalid_argument "Bitonic.next_pow2: negative length")
+    (fun () -> ignore (Bitonic.next_pow2 (-1)));
+  (try
+     ignore (Bitonic.next_pow2 ((1 lsl 61) + 1));
+     Alcotest.fail "next_pow2 above the cap must raise"
+   with Invalid_argument _ -> ())
+
+let test_comparator_count_edges () =
+  H.check_int "count 0" 0 (Bitonic.comparator_count 0);
+  H.check_int "count 1" 0 (Bitonic.comparator_count 1);
+  H.check_int "count 2" 1 (Bitonic.comparator_count 2);
+  H.check_int "count 4" 6 (Bitonic.comparator_count 4);
+  H.check_int "count 3 (padded to 4)" 6 (Bitonic.comparator_count 3);
+  H.check_int "count 8" 24 (Bitonic.comparator_count 8);
+  (* Large m would overflow the closed form; it must refuse, not wrap. *)
+  (try
+     ignore (Bitonic.comparator_count (1 lsl 61));
+     Alcotest.fail "comparator_count at 2^61 must raise"
+   with Invalid_argument _ -> ())
+
+(* --- packed keys ----------------------------------------------------------- *)
+
+let test_packed_roundtrip =
+  H.qtest ~count:300 "packed key round-trip"
+    QCheck2.Gen.(
+      tup4
+        (int_range 0 Oblivious_join.Packed.max_tid)
+        (int_range 0 Oblivious_join.Packed.max_side)
+        (int_range 0 Oblivious_join.Packed.max_row)
+        bool)
+    (fun (tid, side, row, selected) ->
+      let e = Oblivious_join.Packed.encode ~tid ~side ~row ~selected in
+      Oblivious_join.Packed.tid e = tid
+      && Oblivious_join.Packed.side e = side
+      && Oblivious_join.Packed.row e = row
+      && Oblivious_join.Packed.selected e = selected
+      && e < max_int)
+
+let test_packed_order =
+  (* Plain int order on packed keys must be (tid, side) order. *)
+  H.qtest ~count:300 "packed keys sort like (tid, side)"
+    QCheck2.Gen.(
+      tup2
+        (tup3 (int_range 0 1000) (int_range 0 3) (int_range 0 1000))
+        (tup3 (int_range 0 1000) (int_range 0 3) (int_range 0 1000)))
+    (fun ((t1, s1, r1), (t2, s2, r2)) ->
+      let e1 = Oblivious_join.Packed.encode ~tid:t1 ~side:s1 ~row:r1 ~selected:true in
+      let e2 = Oblivious_join.Packed.encode ~tid:t2 ~side:s2 ~row:r2 ~selected:true in
+      let key_order = compare (t1, s1) (t2, s2) in
+      if key_order < 0 then e1 < e2
+      else if key_order > 0 then e1 > e2
+      else true)
+
+let test_packed_bounds () =
+  let open Oblivious_join.Packed in
+  let e = encode ~tid:max_tid ~side:max_side ~row:max_row ~selected:true in
+  H.check_bool "max fields stay below the sentinel" true (e < max_int);
+  H.check_int "max tid survives" max_tid (tid e);
+  H.check_int "max side survives" max_side (side e);
+  H.check_int "max row survives" max_row (row e);
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  H.check_bool "tid above bound" true
+    (raises (fun () -> encode ~tid:(max_tid + 1) ~side:0 ~row:0 ~selected:true));
+  H.check_bool "negative tid" true
+    (raises (fun () -> encode ~tid:(-1) ~side:0 ~row:0 ~selected:true));
+  H.check_bool "side above bound" true
+    (raises (fun () -> encode ~tid:0 ~side:(max_side + 1) ~row:0 ~selected:true));
+  H.check_bool "row above bound" true
+    (raises (fun () -> encode ~tid:0 ~side:0 ~row:(max_row + 1) ~selected:true))
+
+(* --- a small encrypted instance -------------------------------------------- *)
+
+let make_owner ?(rows = 60) ?(name = "joinfast") () =
+  let r =
+    H.relation_of_int_rows [ "a"; "b"; "c" ]
+      (List.init rows (fun i -> [ i mod 11; i * 13; i mod 7 ]))
+  in
+  let policy =
+    Snf_core.Policy.create
+      [ ("a", Snf_crypto.Scheme.Det);
+        ("b", Snf_crypto.Scheme.Ndet);
+        ("c", Snf_crypto.Scheme.Det) ]
+  in
+  let g = Snf_deps.Dep_graph.create [ "a"; "b"; "c" ] in
+  let g = Snf_deps.Dep_graph.declare_dependent g "a" "b" in
+  let g = Snf_deps.Dep_graph.declare_dependent g "b" "c" in
+  (System.outsource ~name ~graph:g r policy, r)
+
+(* --- tid-decrypt cache ------------------------------------------------------ *)
+
+let test_tid_cache_hits_and_misses () =
+  let owner, _ = make_owner () in
+  let client = owner.System.client in
+  let leaf = List.hd owner.System.enc.Enc_relation.leaves in
+  let h0 = Metrics.value m_hits and m0 = Metrics.value m_misses in
+  let d1 = Enc_relation.decrypt_tids_cached client leaf in
+  H.check_int "first lookup misses" (m0 + 1) (Metrics.value m_misses);
+  let d2 = Enc_relation.decrypt_tids_cached client leaf in
+  H.check_int "second lookup hits" (h0 + 1) (Metrics.value m_hits);
+  H.check_bool "hit returns the same array" true (d1 == d2);
+  H.check_bool "cached tids equal uncached decrypt" true
+    (d1 = Enc_relation.decrypt_tids client leaf)
+
+let test_tid_cache_epoch_invalidation () =
+  let owner, _ = make_owner ~name:"joinfast.epoch" () in
+  let client = owner.System.client in
+  let leaf = List.hd owner.System.enc.Enc_relation.leaves in
+  ignore (Enc_relation.decrypt_tids_cached client leaf);
+  ignore (Enc_relation.decrypt_tids_cached client leaf);
+  let epoch0 = Enc_relation.key_epoch client in
+  Enc_relation.bump_key_epoch client;
+  H.check_int "epoch bumped" (epoch0 + 1) (Enc_relation.key_epoch client);
+  let m0 = Metrics.value m_misses in
+  ignore (Enc_relation.decrypt_tids_cached client leaf);
+  H.check_int "post-bump lookup misses again" (m0 + 1) (Metrics.value m_misses)
+
+let test_tid_cache_reencrypt_invalidation () =
+  let owner, r = make_owner ~name:"joinfast.reenc" () in
+  let client = owner.System.client in
+  let leaf = List.hd owner.System.enc.Enc_relation.leaves in
+  ignore (Enc_relation.decrypt_tids_cached client leaf);
+  let epoch0 = Enc_relation.key_epoch client in
+  let rep = owner.System.plan.Snf_core.Normalizer.representation in
+  ignore (Enc_relation.encrypt client r rep);
+  H.check_bool "encrypt bumps the key epoch" true
+    (Enc_relation.key_epoch client > epoch0);
+  let m0 = Metrics.value m_misses in
+  ignore (Enc_relation.decrypt_tids_cached client leaf);
+  H.check_int "post-encrypt lookup misses" (m0 + 1) (Metrics.value m_misses)
+
+let test_tid_cache_physical_identity () =
+  (* A copied leaf (what fault injection and wire round-trips produce) has
+     equal contents but a different tids array — it must MISS, so a
+     corrupted store is still decrypted and authenticated afresh. *)
+  let owner, _ = make_owner ~name:"joinfast.phys" () in
+  let client = owner.System.client in
+  let leaf = List.hd owner.System.enc.Enc_relation.leaves in
+  ignore (Enc_relation.decrypt_tids_cached client leaf);
+  let copy = { leaf with Enc_relation.tids = Array.copy leaf.Enc_relation.tids } in
+  let m0 = Metrics.value m_misses in
+  ignore (Enc_relation.decrypt_tids_cached client copy);
+  H.check_int "copied leaf misses despite equal label+epoch" (m0 + 1)
+    (Metrics.value m_misses)
+
+(* --- k-way join vs the cascade --------------------------------------------- *)
+
+let join_results_equal owner masks =
+  let client = owner.System.client in
+  let s1 = Oblivious_join.fresh_stats () in
+  let s2 = Oblivious_join.fresh_stats () in
+  let kway = Oblivious_join.join_many ~masks s1 client in
+  let cascade = Oblivious_join.join_many_cascade ~masks s2 client in
+  kway = cascade
+
+let test_kway_matches_cascade_all_true () =
+  let owner, _ = make_owner () in
+  let masks =
+    List.map
+      (fun (l : Enc_relation.enc_leaf) -> (l, Array.make l.Enc_relation.row_count true))
+      owner.System.enc.Enc_relation.leaves
+  in
+  H.check_bool "k-way = cascade (all rows selected)" true
+    (join_results_equal owner masks)
+
+let test_kway_matches_cascade_random_masks =
+  H.qtest ~count:30 "k-way = cascade under random masks"
+    QCheck2.Gen.(int_range 0 1000)
+    (fun seed ->
+      let owner, _ = make_owner ~rows:40 ~name:(Printf.sprintf "joinfast.m%d" seed) () in
+      let prng = Snf_crypto.Prng.create seed in
+      let masks =
+        List.map
+          (fun (l : Enc_relation.enc_leaf) ->
+            ( l,
+              Array.init l.Enc_relation.row_count (fun _ ->
+                  Snf_crypto.Prng.int prng 4 > 0) ))
+          owner.System.enc.Enc_relation.leaves
+      in
+      join_results_equal owner masks)
+
+let test_kway_stats_single_pass () =
+  (* The k-way pass is charged as ONE join over the summed entries, where
+     the cascade charged k-1 pairwise joins. *)
+  let owner, _ = make_owner () in
+  let leaves = owner.System.enc.Enc_relation.leaves in
+  let k = List.length leaves in
+  if k >= 2 then begin
+    let masks =
+      List.map
+        (fun (l : Enc_relation.enc_leaf) ->
+          (l, Array.make l.Enc_relation.row_count true))
+        leaves
+    in
+    let s1 = Oblivious_join.fresh_stats () in
+    ignore (Oblivious_join.join_many ~masks s1 owner.System.client);
+    H.check_int "one join per k-way pass" 1 s1.Oblivious_join.joins;
+    let s2 = Oblivious_join.fresh_stats () in
+    ignore (Oblivious_join.join_many_cascade ~masks s2 owner.System.client);
+    H.check_int "cascade charges k-1 joins" (k - 1) s2.Oblivious_join.joins
+  end
+
+(* --- end-to-end: cache and domain count are invisible ----------------------- *)
+
+let with_domains domains f =
+  let saved = Parallel.domain_count () in
+  Parallel.set_domain_count domains;
+  Fun.protect ~finally:(fun () -> Parallel.set_domain_count saved) f
+
+let test_query_cache_and_domains_invisible () =
+  let owner, _ = make_owner ~rows:120 ~name:"joinfast.e2e" () in
+  let q =
+    Query.point ~select:[ "b" ]
+      [ ("a", Snf_relational.Value.Int 5); ("c", Snf_relational.Value.Int 3) ]
+  in
+  let run ~domains ~use_tid_cache mode =
+    with_domains domains (fun () ->
+        match System.query ~mode ~use_tid_cache owner q with
+        | Ok (ans, _) -> H.bag ans
+        | Error e -> Alcotest.fail ("query failed: " ^ e))
+  in
+  List.iter
+    (fun mode ->
+      let want = run ~domains:1 ~use_tid_cache:false mode in
+      List.iter
+        (fun (domains, use_tid_cache) ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "identical bag (domains=%d cache=%b)" domains
+               use_tid_cache)
+            want
+            (run ~domains ~use_tid_cache mode))
+        [ (1, true); (4, false); (4, true) ])
+    [ `Sort_merge; `Oram ];
+  (* The cache actually engaged: the cached runs above must have hit. *)
+  H.check_bool "cache registered hits" true (Metrics.value m_hits > 0)
+
+let suite =
+  [ test_sort_ints_matches_list_sort;
+    test_sort_ints_counter_matches_generic;
+    Alcotest.test_case "sort_ints fixed cases" `Quick test_sort_ints_fixed;
+    Alcotest.test_case "sort_ints counter closed form" `Quick
+      test_sort_ints_counter_at_pow2;
+    Alcotest.test_case "next_pow2 edges" `Quick test_next_pow2_edges;
+    Alcotest.test_case "comparator_count edges" `Quick test_comparator_count_edges;
+    test_packed_roundtrip;
+    test_packed_order;
+    Alcotest.test_case "packed bounds" `Quick test_packed_bounds;
+    Alcotest.test_case "tid cache hits and misses" `Quick test_tid_cache_hits_and_misses;
+    Alcotest.test_case "tid cache epoch invalidation" `Quick
+      test_tid_cache_epoch_invalidation;
+    Alcotest.test_case "tid cache re-encrypt invalidation" `Quick
+      test_tid_cache_reencrypt_invalidation;
+    Alcotest.test_case "tid cache physical identity" `Quick
+      test_tid_cache_physical_identity;
+    Alcotest.test_case "k-way = cascade (all true)" `Quick
+      test_kway_matches_cascade_all_true;
+    test_kway_matches_cascade_random_masks;
+    Alcotest.test_case "k-way stats: single pass" `Quick test_kway_stats_single_pass;
+    Alcotest.test_case "query: cache and domains invisible" `Quick
+      test_query_cache_and_domains_invisible ]
