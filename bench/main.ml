@@ -77,7 +77,62 @@ let with_domains domains f =
   Snf_exec.Parallel.set_domain_count domains;
   Fun.protect ~finally:(fun () -> Snf_exec.Parallel.set_domain_count saved) f
 
-let table1_json (result : Table1.result) ~deterministic =
+(* Communication profile of the five representations: outsource a small
+   instance on the disk backend (so the Install image crosses the wire
+   too) and run a fixed point-query workload, charging per-representation
+   wire traffic from the connection's stats. Storage cost (Table I) and
+   traffic cost pull in opposite directions as repetition grows — this
+   records both sides. *)
+let communication_profile () =
+  let rows = 600 in
+  let r =
+    Snf_relational.Relation.create
+      (Snf_relational.Schema.of_attributes
+         Snf_relational.[ Attribute.int "a"; Attribute.int "b"; Attribute.int "c" ])
+      (List.init rows (fun i ->
+           Snf_relational.
+             [| Value.Int (i mod 11); Value.Int (i * 13); Value.Int (i mod 7) |]))
+  in
+  let policy =
+    Snf_core.Policy.create
+      [ ("a", Snf_crypto.Scheme.Det);
+        ("b", Snf_crypto.Scheme.Ndet);
+        ("c", Snf_crypto.Scheme.Det) ]
+  in
+  let graph =
+    let g = Snf_deps.Dep_graph.create [ "a"; "b"; "c" ] in
+    let g = Snf_deps.Dep_graph.declare_dependent g "a" "b" in
+    Snf_deps.Dep_graph.declare_dependent g "b" "c"
+  in
+  let queries =
+    [ Snf_exec.Query.point ~select:[ "b" ] [ ("a", Snf_relational.Value.Int 5) ];
+      Snf_exec.Query.point ~select:[ "b"; "c" ] [ ("a", Snf_relational.Value.Int 3) ];
+      Snf_exec.Query.point ~select:[ "a"; "b" ]
+        [ ("a", Snf_relational.Value.Int 7); ("c", Snf_relational.Value.Int 2) ] ]
+  in
+  List.map
+    (fun (label, rep) ->
+      let owner =
+        Snf_exec.System.outsource_prepared ~backend:`Disk
+          ~name:("table1.comm." ^ label) ~graph ~representation:rep r policy
+      in
+      Fun.protect ~finally:(fun () -> Snf_exec.System.release owner) @@ fun () ->
+      let install = Snf_exec.System.wire_stats owner in
+      List.iter
+        (fun q ->
+          match Snf_exec.System.query owner q with
+          | Ok _ -> ()
+          | Error e -> failwith (Printf.sprintf "table1 communication %s: %s" label e))
+        queries;
+      let total = Snf_exec.System.wire_stats owner in
+      ( label,
+        install.Snf_exec.Server_api.bytes_up,
+        total.Snf_exec.Server_api.requests - install.Snf_exec.Server_api.requests,
+        total.Snf_exec.Server_api.bytes_up - install.Snf_exec.Server_api.bytes_up,
+        total.Snf_exec.Server_api.bytes_down - install.Snf_exec.Server_api.bytes_down ))
+    (Snf_check.Differential.representations graph policy)
+
+let table1_json (result : Table1.result) ~deterministic ~communication =
   Report.J_obj
     [ ("experiment", Report.J_string "table1");
       ("rows", Report.J_int result.Table1.rows_used);
@@ -96,6 +151,17 @@ let table1_json (result : Table1.result) ~deterministic =
                    ("snf", Report.J_bool row.Table1.snf);
                    ("plan_seconds", Report.J_float row.Table1.plan_seconds) ])
              result.Table1.table) );
+      ( "communication",
+        Report.J_list
+          (List.map
+             (fun (label, install_up, reqs, up, down) ->
+               Report.J_obj
+                 [ ("method", Report.J_string label);
+                   ("install_bytes_up", Report.J_int install_up);
+                   ("query_requests", Report.J_int reqs);
+                   ("query_bytes_up", Report.J_int up);
+                   ("query_bytes_down", Report.J_int down) ])
+             communication) );
       ("deterministic_across_domains", Report.J_bool deterministic);
       ("metrics", Report.of_obs_metrics (Snf_obs.Metrics.snapshot ())) ]
 
@@ -123,7 +189,15 @@ let run_table1 () =
   let deterministic = fp 1 = fp 3 in
   Printf.printf "deterministic across 1 vs 3 domains (rows=%d): %b\n"
     det_config.Table1.rows deterministic;
-  Report.write_json "BENCH_table1.json" (table1_json result ~deterministic);
+  let communication = communication_profile () in
+  Printf.printf "\ncommunication (disk backend, 600 rows, 3 point queries):\n";
+  Printf.printf "  %-16s %12s %8s %12s %12s\n" "method" "install B" "requests"
+    "query B up" "query B down";
+  List.iter
+    (fun (label, install_up, reqs, up, down) ->
+      Printf.printf "  %-16s %12d %8d %12d %12d\n" label install_up reqs up down)
+    communication;
+  Report.write_json "BENCH_table1.json" (table1_json result ~deterministic ~communication);
   Printf.printf "wrote BENCH_table1.json\n"
 
 let run_figure3 () =

@@ -226,7 +226,15 @@ let query_cmd =
                  (view in chrome://tracing or Perfetto) with the metrics \
                  snapshot embedded.")
   in
-  let run csv enc default select where mode trace_out =
+  let backend_arg =
+    Arg.(value & opt (enum [ ("mem", `Mem); ("disk", `Disk) ]) `Mem
+         & info [ "backend" ] ~docv:"mem|disk"
+             ~doc:"Server backend: 'mem' (default) serves the store \
+                   in-process; 'disk' pages it from a private temp \
+                   directory, removed on exit. Answers and traces are \
+                   identical either way.")
+  in
+  let run csv enc default select where mode trace_out backend =
     let r = load_csv csv in
     let policy = policy_of ~enc ~default r in
     let schema = Relation.schema r in
@@ -240,11 +248,16 @@ let query_cmd =
     let preds = parse_preds where parse_value in
     let select = String.split_on_char ',' select |> List.filter (( <> ) "") in
     if trace_out <> None then Snf_obs.Span.set_enabled true;
-    let owner = Snf_exec.System.outsource ~name:"cli" r policy in
+    let owner = Snf_exec.System.outsource ~backend ~name:"cli" r policy in
+    (* Release drops the server connection — for the disk backend, that
+       removes its temp directory. *)
+    Fun.protect ~finally:(fun () -> Snf_exec.System.release owner) @@ fun () ->
     let q = Snf_exec.Query.point ~select preds in
     match Snf_exec.System.query ~mode owner q with
     | Ok (ans, trace) ->
       Format.printf "%a@." (Relation.pp ~max_rows:50) ans;
+      Format.printf "-- backend: %s@."
+        (Snf_exec.System.backend_kind_name (Snf_exec.System.backend owner));
       Format.printf "-- %a@." Snf_exec.Executor.pp_trace trace;
       (* Export before [verify] re-runs the query, so the embedded
          exec.query.* totals equal the printed trace exactly. *)
@@ -261,7 +274,7 @@ let query_cmd =
   in
   Cmd.v (Cmd.info "query" ~doc:"Outsource a CSV and run a point query securely.")
     Term.(const run $ csv_arg $ enc_arg $ default_scheme_arg $ select_arg $ where_arg
-          $ mode_arg $ trace_out_arg)
+          $ mode_arg $ trace_out_arg $ backend_arg)
 
 (* --- visualize ---------------------------------------------------------------------- *)
 
@@ -349,20 +362,46 @@ let check_cmd =
                    (default) alternates it per query, 'on'/'off' pin it. \
                    Answers must be identical in every setting.")
   in
-  let run seed queries rows faults tid_cache out =
+  let backend_arg =
+    Arg.(value
+         & opt (enum [ ("mem", `Mem); ("disk", `Disk); ("rotate", `Rotate) ]) `Mem
+         & info [ "backend" ] ~docv:"mem|disk|rotate"
+             ~doc:"Server backend for the soak: 'mem' (default) or 'disk' \
+                   run every representation on that backend; 'rotate' \
+                   additionally re-executes each query on a disk-backed \
+                   twin of the SNF representation and fails on any \
+                   mem/disk disagreement (answers, counters, wire bytes).")
+  in
+  let metrics_out_arg =
+    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"After the soak, write the full metrics snapshot (every \
+                 counter, gauge and histogram — including the \
+                 exec.wire.* traffic counters) as JSON.")
+  in
+  let run seed queries rows faults tid_cache backend out metrics_out =
     let report =
-      Snf_check.Differential.soak ~rows ~with_faults:faults ~tid_cache ~seed
-        ~queries ()
+      Snf_check.Differential.soak ~rows ~with_faults:faults ~tid_cache ~backend
+        ~seed ~queries ()
     in
     Format.printf "%a@." Snf_check.Differential.pp_report report;
+    let write_file path content =
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+          output_string oc content;
+          output_char oc '\n')
+    in
     (match out with
      | None -> ()
      | Some path ->
-       let oc = open_out path in
-       Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-           output_string oc
-             (Snf_obs.Json.to_string (Snf_check.Differential.report_to_json report));
-           output_char oc '\n');
+       write_file path
+         (Snf_obs.Json.to_string (Snf_check.Differential.report_to_json report));
+       Printf.printf "-- wrote %s\n" path);
+    (match metrics_out with
+     | None -> ()
+     | Some path ->
+       write_file path
+         (Snf_obs.Json.to_string
+            (Snf_obs.Export.metrics_json (Snf_obs.Metrics.snapshot ())));
        Printf.printf "-- wrote %s\n" path);
     if not (Snf_check.Differential.passed report) then exit 1
   in
@@ -372,7 +411,7 @@ let check_cmd =
              representations against the plaintext oracle, plus fault injection. \
              Exit 0 on pass, 1 on any conformance failure.")
     Term.(const run $ seed_arg $ queries_arg $ check_rows_arg $ faults_arg
-          $ tid_cache_arg $ out_arg)
+          $ tid_cache_arg $ backend_arg $ out_arg $ metrics_out_arg)
 
 let main =
   Cmd.group

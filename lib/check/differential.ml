@@ -72,7 +72,10 @@ let counter_mismatches (trace : Executor.trace) deltas =
     ("exec.query.index_probes", trace.Executor.index_probes);
     ("exec.query.comparisons", trace.Executor.comparisons);
     ("exec.query.rows_processed", trace.Executor.rows_processed);
-    ("exec.query.result_rows", trace.Executor.result_rows) ]
+    ("exec.query.result_rows", trace.Executor.result_rows);
+    ("exec.wire.requests", trace.Executor.wire_requests);
+    ("exec.wire.bytes_up", trace.Executor.wire_bytes_up);
+    ("exec.wire.bytes_down", trace.Executor.wire_bytes_down) ]
   |> List.filter_map (fun (n, want) ->
          if d n = want then None
          else Some (Printf.sprintf "%s: trace says %d, counter moved %d" n want (d n)))
@@ -96,7 +99,8 @@ let most_frequent col =
   |> Option.map fst
 
 let run_instance ?(queries = 25) ?(check_ledger = true) ?(check_horizontal = true)
-    ?(check_group_sum = true) ?(tid_cache = `Rotate) (inst : Gen.instance) =
+    ?(check_group_sum = true) ?(tid_cache = `Rotate) ?(backend = `Mem)
+    (inst : Gen.instance) =
   let qs = Gen.queries ~count:queries ~seed:inst.Gen.spec.Gen.seed inst in
   let reps = representations ~workload:qs inst.Gen.graph inst.Gen.policy in
   let owners =
@@ -104,11 +108,27 @@ let run_instance ?(queries = 25) ?(check_ledger = true) ?(check_horizontal = tru
       (fun (label, rep) ->
         ( label,
           System.outsource_prepared
+            ?backend:(match backend with `Disk -> Some `Disk | _ -> None)
             ~name:(inst.Gen.name ^ "." ^ label)
             ~graph:inst.Gen.graph ~representation:rep inst.Gen.relation
             inst.Gen.policy ))
       reps
   in
+  (* Under [`Rotate], every query also executes on a disk-backed twin of
+     the SNF representation — same keys, same store image, different
+     server backend — and the two executions must agree on the answer
+     bag, the [exec.query.*] counters, and the wire-traffic shape: the
+     backend must be invisible above the message protocol. *)
+  let disk_twin =
+    match backend with
+    | `Rotate -> Some (System.with_backend (List.assoc "snf" owners) `Disk)
+    | _ -> None
+  in
+  let cleanup () =
+    Option.iter System.release disk_twin;
+    List.iter (fun (_, o) -> System.release o) owners
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
   let failures = ref [] and executions = ref 0 in
   let fail ?query ~rep ~mode ~kind detail =
     failures := { spec = inst.Gen.spec; rep; mode; query; kind; detail } :: !failures
@@ -133,6 +153,7 @@ let run_instance ?(queries = 25) ?(check_ledger = true) ?(check_horizontal = tru
         ^ (if use_index then "+index" else "")
         ^ if use_tid_cache then "" else "-nocache"
       in
+      let snf_exec = ref None in
       let bags =
         List.filter_map
           (fun (label, owner) ->
@@ -148,17 +169,62 @@ let run_instance ?(queries = 25) ?(check_ledger = true) ?(check_horizontal = tru
               None
             | Ok (ans, trace) ->
               let after = Metrics.snapshot () in
+              let deltas = Metrics.counter_diff before after in
               if not (Oracle.agree oracle_ans ans) then
                 fail ~query:q ~rep:label ~mode:mstr ~kind:"oracle"
                   (Oracle.diff_summary ~expected:oracle_ans ~got:ans);
-              (match counter_mismatches trace (Metrics.counter_diff before after) with
+              (match counter_mismatches trace deltas with
                | [] -> ()
                | errs ->
                  fail ~query:q ~rep:label ~mode:mstr ~kind:"counters"
                    (String.concat "; " errs));
+              if label = "snf" then snf_exec := Some (Oracle.bag ans, trace, deltas);
               Some (label, Oracle.bag ans))
           owners
       in
+      (match (disk_twin, !snf_exec) with
+       | Some twin, Some (mem_bag, mem_trace, mem_deltas) ->
+         incr executions;
+         let before = Metrics.snapshot () in
+         (match System.query_checked ~mode ~use_index ~use_tid_cache twin q with
+          | Error (`Plan e) ->
+            fail ~query:q ~rep:"snf-disk" ~mode:mstr ~kind:"backend"
+              ("disk backend failed to plan: " ^ e)
+          | Error (`Corruption c) ->
+            fail ~query:q ~rep:"snf-disk" ~mode:mstr ~kind:"backend"
+              ("disk backend flagged corruption: " ^ Integrity.to_string c)
+          | Ok (ans, trace) ->
+            let deltas = Metrics.counter_diff before (Metrics.snapshot ()) in
+            if Oracle.bag ans <> mem_bag then
+              fail ~query:q ~rep:"snf-disk" ~mode:mstr ~kind:"backend"
+                "mem and disk backends disagree on the answer bag";
+            let d l n = Option.value (List.assoc_opt n l) ~default:0 in
+            List.iter
+              (fun n ->
+                if d mem_deltas n <> d deltas n then
+                  fail ~query:q ~rep:"snf-disk" ~mode:mstr ~kind:"backend"
+                    (Printf.sprintf "%s: mem moved %d, disk moved %d" n
+                       (d mem_deltas n) (d deltas n)))
+              [ "exec.query.scanned_cells";
+                "exec.query.index_probes";
+                "exec.query.comparisons";
+                "exec.query.rows_processed";
+                "exec.query.result_rows" ];
+            if
+              ( trace.Executor.wire_requests,
+                trace.Executor.wire_bytes_up,
+                trace.Executor.wire_bytes_down )
+              <> ( mem_trace.Executor.wire_requests,
+                   mem_trace.Executor.wire_bytes_up,
+                   mem_trace.Executor.wire_bytes_down )
+            then
+              fail ~query:q ~rep:"snf-disk" ~mode:mstr ~kind:"backend"
+                (Printf.sprintf
+                   "wire traffic differs: mem %d req %d/%d B, disk %d req %d/%d B"
+                   mem_trace.Executor.wire_requests mem_trace.Executor.wire_bytes_up
+                   mem_trace.Executor.wire_bytes_down trace.Executor.wire_requests
+                   trace.Executor.wire_bytes_up trace.Executor.wire_bytes_down))
+       | _ -> ());
       match bags with
       | [] -> ()
       | (l0, b0) :: rest ->
@@ -270,8 +336,8 @@ let run_instance ?(queries = 25) ?(check_ledger = true) ?(check_horizontal = tru
   end;
   { queries_run = List.length qs; executions = !executions; failures = List.rev !failures }
 
-let run_spec ?queries ?tid_cache spec =
-  run_instance ?queries ?tid_cache (Gen.instance spec)
+let run_spec ?queries ?tid_cache ?backend spec =
+  run_instance ?queries ?tid_cache ?backend (Gen.instance spec)
 
 (* --- soak ------------------------------------------------------------------- *)
 
@@ -289,7 +355,7 @@ type report = {
 let max_kept_failures = 25
 
 let soak ?(rows = 16) ?(queries_per_instance = 25) ?(with_faults = true)
-    ?tid_cache ~seed ~queries () =
+    ?tid_cache ?backend ~seed ~queries () =
   let rows = max 1 rows in
   let prng = Prng.create ((seed * 1103515245) + 12345) in
   let acc =
@@ -313,7 +379,7 @@ let soak ?(rows = 16) ?(queries_per_instance = 25) ?(with_faults = true)
           singles = 2 + Prng.int prng 3 }
     in
     let inst = Gen.instance spec in
-    let o = run_instance ~queries:queries_per_instance ?tid_cache inst in
+    let o = run_instance ~queries:queries_per_instance ?tid_cache ?backend inst in
     let fault_failures, applicable, undetected =
       if not with_faults then ([], 0, 0)
       else begin

@@ -30,8 +30,8 @@ type failure = {
   query : Query.t option;
   kind : string;
       (** ["oracle"] | ["cross-rep"] | ["plan"] | ["corruption"] |
-          ["counters"] | ["ledger"] | ["group-sum"] | ["horizontal"] |
-          ["fault-undetected"] *)
+          ["counters"] | ["backend"] | ["ledger"] | ["group-sum"] |
+          ["horizontal"] | ["fault-undetected"] *)
   detail : string;
 }
 
@@ -58,6 +58,7 @@ val run_instance :
   ?check_horizontal:bool ->
   ?check_group_sum:bool ->
   ?tid_cache:[ `Rotate | `On | `Off ] ->
+  ?backend:[ `Mem | `Disk | `Rotate ] ->
   Gen.instance ->
   outcome
 (** Default [queries] 25; all checks on. An empty [failures] list is
@@ -65,10 +66,23 @@ val run_instance :
     cache ({!Snf_exec.Executor.run}'s [use_tid_cache]): [`Rotate]
     (default) alternates it per query so every run covers both paths —
     answers must be identical either way; [`On] / [`Off] pin it. A
-    disabled-cache execution is tagged ["-nocache"] in failure modes. *)
+    disabled-cache execution is tagged ["-nocache"] in failure modes.
+
+    [backend] (default [`Mem]) picks the server backend behind every
+    owner. [`Disk] runs all five representations file-backed. [`Rotate]
+    keeps the five on memory and additionally executes every query on a
+    disk-backed twin of the SNF representation, checking backend
+    invisibility per execution: equal answer bags, identical
+    [exec.query.*] counter movement, and byte-identical wire traffic —
+    disagreements are tagged ["backend"]. Disk stores live in private
+    temp directories, removed before returning. *)
 
 val run_spec :
-  ?queries:int -> ?tid_cache:[ `Rotate | `On | `Off ] -> Gen.spec -> outcome
+  ?queries:int ->
+  ?tid_cache:[ `Rotate | `On | `Off ] ->
+  ?backend:[ `Mem | `Disk | `Rotate ] ->
+  Gen.spec ->
+  outcome
 (** [run_instance (Gen.instance spec)]. *)
 
 (** {1 Soak} *)
@@ -89,6 +103,7 @@ val soak :
   ?queries_per_instance:int ->
   ?with_faults:bool ->
   ?tid_cache:[ `Rotate | `On | `Off ] ->
+  ?backend:[ `Mem | `Disk | `Rotate ] ->
   seed:int ->
   queries:int ->
   unit ->
@@ -97,7 +112,8 @@ val soak :
     16) and running {!run_instance} ([queries_per_instance], default 25,
     queries each) until [queries] distinct queries have executed, with
     the {!Fault} campaign per instance unless [with_faults:false].
-    [tid_cache] is passed to every {!run_instance} (default [`Rotate]). *)
+    [tid_cache] and [backend] are passed to every {!run_instance}
+    (defaults [`Rotate] and [`Mem]). *)
 
 val passed : report -> bool
 (** No differential failures and no applicable-but-undetected fault. *)

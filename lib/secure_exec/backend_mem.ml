@@ -1,0 +1,27 @@
+type t = { mutable store : Enc_relation.t option }
+
+let name = "mem"
+let of_store store = { store = Some store }
+let empty () = { store = None }
+
+let store t =
+  match t.store with
+  | Some s -> s
+  | None -> invalid_arg "Backend_mem: no store installed"
+
+let view t =
+  { Server_api.describe =
+      (fun () ->
+        let s = store t in
+        ( s.Enc_relation.relation_name,
+          List.map
+            (fun (l : Enc_relation.enc_leaf) ->
+              (l.Enc_relation.label, l.Enc_relation.row_count))
+            s.Enc_relation.leaves ));
+    check_shape = (fun () -> Enc_relation.check_shape (store t));
+    install = (fun image -> t.store <- Some (Wire.of_string image));
+    leaf = (fun label -> Enc_relation.find_leaf (store t) label);
+    eq_index = (fun ~leaf ~attr -> Enc_relation.eq_index (store t) ~leaf ~attr);
+    paillier = (fun () -> (store t).Enc_relation.paillier_public) }
+
+let close _ = ()

@@ -1,0 +1,18 @@
+(** In-process server backend: the pre-split arrays, behind the
+    [Server_api] boundary.
+
+    [of_store] {e adopts} the given store — in particular its
+    [index_cache] — so index state and accounting are exactly what they
+    were before the split (and the conformance harness can still poison
+    the index in place through the adopted store). *)
+
+type t
+
+val name : string
+
+val of_store : Enc_relation.t -> t
+val empty : unit -> t
+(** A backend with no store; serves [Invalid_argument] until [Install]. *)
+
+val view : t -> Server_api.store_view
+val close : t -> unit

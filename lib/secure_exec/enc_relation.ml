@@ -106,6 +106,22 @@ let tid_at c ~leaf ~rows slot =
 
 let binning_key c ~leaf = Keyring.derive c.keyring [ c.name; leaf; "__binning" ]
 
+(* ORAM blocks travel to the server sealed: the server stores and serves
+   opaque authenticated ciphertexts, so block contents leak nothing beyond
+   their (padded, uniform) length and the access pattern the ORAM already
+   hides. Sealing randomness is slot-derived so the blocks are
+   bit-identical for any domain count, like every other ciphertext. *)
+let oram_key c ~leaf = Keyring.ndet_key c.keyring [ c.name; leaf; "__oramseal" ]
+let oram_rng_key c ~leaf = Keyring.derive c.keyring [ c.name; leaf; "__oramrng" ]
+
+let oram_seal c ~leaf ~slot payload =
+  let rng = Parallel.item_prng ~key:(oram_rng_key c ~leaf) slot in
+  Ndet.encrypt ~rng (oram_key c ~leaf) payload
+
+let oram_open c ~leaf block =
+  try Ndet.decrypt (oram_key c ~leaf) block
+  with Invalid_argument msg -> Integrity.fail ~leaf ~where:"oram" msg
+
 (* Randomness discipline for bulk encryption: every randomized cell draws
    from a private stream derived from (keyring, leaf, attr, slot), never
    from the shared client PRNG. Ciphertexts therefore depend only on the
@@ -282,21 +298,20 @@ let decrypt_tids_cached c (l : enc_leaf) =
     Hashtbl.replace c.tid_cache key (l.tids, tids);
     tids
 
-let check_shape t =
+let check_leaf l =
+  if Array.length l.tids <> l.row_count then
+    Integrity.fail ~leaf:l.label ~where:"leaf"
+      (Printf.sprintf "tid column holds %d ciphertexts for a declared row_count of %d"
+         (Array.length l.tids) l.row_count);
   List.iter
-    (fun l ->
-      if Array.length l.tids <> l.row_count then
-        Integrity.fail ~leaf:l.label ~where:"leaf"
-          (Printf.sprintf "tid column holds %d ciphertexts for a declared row_count of %d"
-             (Array.length l.tids) l.row_count);
-      List.iter
-        (fun col ->
-          if Array.length col.cells <> l.row_count then
-            Integrity.fail ~leaf:l.label ~attr:col.attr ~where:"leaf"
-              (Printf.sprintf "column holds %d cells for a declared row_count of %d"
-                 (Array.length col.cells) l.row_count))
-        l.columns)
-    t.leaves
+    (fun col ->
+      if Array.length col.cells <> l.row_count then
+        Integrity.fail ~leaf:l.label ~attr:col.attr ~where:"leaf"
+          (Printf.sprintf "column holds %d cells for a declared row_count of %d"
+             (Array.length col.cells) l.row_count))
+    l.columns
+
+let check_shape t = List.iter check_leaf t.leaves
 
 let decrypt_leaf c (l : enc_leaf) =
   let tid_col = Array.map (fun ct -> Value.Int (decrypt_tid c ~leaf:l.label ct)) l.tids in

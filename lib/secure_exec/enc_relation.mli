@@ -114,6 +114,10 @@ val check_shape : t -> unit
     attribute columns must hold exactly [row_count] entries.
     @raise Integrity.Corruption on truncated or padded leaves. *)
 
+val check_leaf : enc_leaf -> unit
+(** {!check_shape} for a single leaf — what the disk backend runs when it
+    pages a leaf in. @raise Integrity.Corruption as {!check_shape}. *)
+
 val row_position : client -> leaf:string -> rows:int -> int -> int
 (** Slot at which a tid's row is stored inside the leaf. Each leaf shuffles
     its rows under an independent keyed permutation — without this, row
@@ -126,14 +130,37 @@ val binning_key : client -> leaf:string -> Snf_crypto.Prf.key
 (** Key for the per-leaf binning permutation ([Binning.schedule]); derived
     from the keyring so client and enclave agree without communication. *)
 
+val oram_seal : client -> leaf:string -> slot:int -> string -> string
+(** Authenticated (NDET) sealing of an ORAM block before it is installed
+    on the server: the server stores opaque uniform-length ciphertexts.
+    Randomness is derived from (leaf, slot), so sealed blocks are
+    bit-identical for any domain count. *)
+
+val oram_open : client -> leaf:string -> string -> string
+(** Unseal a block fetched from the server.
+    @raise Integrity.Corruption on authentication failure. *)
+
 val decrypt_leaf : client -> enc_leaf -> Relation.t
 (** Rows in stored order, tid first (attribute [Snf_core.Partition.tid_name]),
     with original value types. *)
 
-(** {1 Server-evaluable predicates} *)
+(** {1 Server-evaluable predicates}
 
-type eq_token
-type range_token
+    Token constructors are exposed: a token is exactly what the client
+    hands the untrusted server, so by definition it carries no key
+    material — only ciphertext fragments the server compares against
+    stored cells. [Wire] serializes them into [Filter] messages. *)
+
+type eq_token =
+  | Eq_plain of Value.t
+  | Eq_det of string
+  | Eq_ord of int
+  | Eq_ore of Snf_crypto.Ore.ciphertext
+
+type range_token =
+  | Rng_plain of Value.t * Value.t
+  | Rng_ord of int * int
+  | Rng_ore of Snf_crypto.Ore.ciphertext * Snf_crypto.Ore.ciphertext
 
 val eq_token : client -> leaf:string -> attr:string -> scheme:Scheme.kind ->
   Value.t -> eq_token option

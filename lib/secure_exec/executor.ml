@@ -1,6 +1,8 @@
 open Snf_relational
 module Metrics = Snf_obs.Metrics
 module Span = Snf_obs.Span
+module Partition = Snf_core.Partition
+module Ndet = Snf_crypto.Ndet
 
 (* Query-level totals, published once per [run] from the same values that
    land in [trace] — the Snf_obs totals therefore match the trace exactly. *)
@@ -30,6 +32,9 @@ type trace = {
   oram_bucket_touches : int;
   binning_retrieved : int;
   result_rows : int;
+  wire_requests : int;
+  wire_bytes_up : int;
+  wire_bytes_down : int;
   estimated_seconds : float;
 }
 
@@ -38,117 +43,146 @@ let pred_holds (p : Query.pred) v =
   | Query.Point (_, want) -> Value.equal v want
   | Query.Range (_, lo, hi) -> Value.compare lo v <= 0 && Value.compare v hi <= 0
 
+(* The client's view of a planned leaf: label and row count, as reported
+   by the server's Describe response. Everything else — ciphertexts,
+   masks, index slots — arrives through further messages. *)
+type leaf_view = { lv_label : string; lv_rows : int }
+
+(* Column schemes come from the representation — client knowledge — never
+   from server metadata: a lying scheme tag could otherwise redirect
+   decryption. *)
+let scheme_table (rep : Partition.t) =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (l : Partition.leaf) ->
+      List.iter
+        (fun (cs : Partition.column_spec) ->
+          Hashtbl.replace tbl (l.Partition.label, cs.Partition.name) cs.Partition.scheme)
+        l.Partition.columns)
+    rep;
+  fun label attr ->
+    match Hashtbl.find_opt tbl (label, attr) with
+    | Some s -> s
+    | None -> raise Not_found
+
 (* A predicate after the minting phase: either an equality index already
    served its slot list (§V-D "leakage as indexing"), or the server must
-   scan the column with a minted ciphertext test. Indexed predicates keep
-   the source predicate so the client can re-verify fetched rows against
-   it — the index is server state and may be stale. *)
+   scan the column under a minted token shipped in the Filter message.
+   Indexed predicates keep the source predicate so the client can
+   re-verify fetched rows against it — the index is server state and may
+   be stale. *)
 type compiled_pred =
   | Indexed of Query.pred * int list
-  | Scan of Enc_relation.enc_column * (Enc_relation.cell -> bool)
+  | Scan of Wire.filter_op
 
-(* Client role: mint the token for one predicate, then close it over the
-   ciphertext comparison the server will run. Index lookups also happen
-   here, sequentially — [Enc_relation.eq_index] lazily builds and memoizes
-   indexes (a cache write), which must not race with the concurrent cache
-   reads of parallel filters. *)
-let compile_pred ~use_index client enc (leaf : Enc_relation.enc_leaf) index_probes
+(* Client role: mint the token for one predicate. Under [use_index],
+   point predicates are first offered to the server's equality index with
+   an Index_probe message — sent (and answered by an index lookup) even
+   when the token yields no canonical key, so index accounting does not
+   depend on the token's shape. Probing happens sequentially, here —
+   lazy index builds are a server-side cache write which must not race
+   with the parallel filter phase. *)
+let compile_pred ~use_index client conn ~scheme_of (lv : leaf_view) index_probes
     (p : Query.pred) =
   let attr = Query.pred_attr p in
-  let col = Enc_relation.column leaf attr in
+  let label = lv.lv_label in
+  let scheme = scheme_of label attr in
   let indexed =
     if not use_index then None
     else
       match p with
       | Query.Point (_, v) -> (
-        match
-          ( Enc_relation.eq_index enc ~leaf:leaf.Enc_relation.label ~attr,
-            Enc_relation.eq_token client ~leaf:leaf.Enc_relation.label ~attr
-              ~scheme:col.Enc_relation.scheme v )
-        with
-        | Some idx, Some tok -> (
-          match Enc_relation.index_key_of_token tok with
-          | Some key ->
-            let slots = Option.value (Hashtbl.find_opt idx key) ~default:[] in
-            List.iter
-              (fun s ->
-                if s < 0 || s >= leaf.Enc_relation.row_count then
-                  Integrity.fail ~leaf:leaf.Enc_relation.label ~attr ~where:"index"
-                    (Printf.sprintf "equality-index slot %d outside [0, %d)" s
-                       leaf.Enc_relation.row_count))
-              slots;
-            index_probes := !index_probes + 1 + List.length slots;
-            Some slots
-          | None -> None)
-        | _ -> None)
+        let key =
+          Option.bind
+            (Enc_relation.eq_token client ~leaf:label ~attr ~scheme v)
+            Enc_relation.index_key_of_token
+        in
+        match Server_api.index_probe conn ~leaf:label ~attr ~key with
+        | Some slots ->
+          List.iter
+            (fun s ->
+              if s < 0 || s >= lv.lv_rows then
+                Integrity.fail ~leaf:label ~attr ~where:"index"
+                  (Printf.sprintf "equality-index slot %d outside [0, %d)" s lv.lv_rows))
+            slots;
+          index_probes := !index_probes + 1 + List.length slots;
+          Some slots
+        | None -> None)
       | _ -> None
   in
   match indexed with
   | Some slots -> Indexed (p, slots)
   | None ->
     Metrics.incr m_tokens;
-    let test =
+    let op =
       match p with
       | Query.Point (_, v) -> (
-        match
-          Enc_relation.eq_token client ~leaf:leaf.Enc_relation.label ~attr
-            ~scheme:col.Enc_relation.scheme v
-        with
-        | Some tok -> fun cell -> Enc_relation.cell_matches_eq tok cell
+        match Enc_relation.eq_token client ~leaf:label ~attr ~scheme v with
+        | Some tok -> Wire.F_eq (attr, tok)
         | None -> invalid_arg "Executor: planner homed an unsupported point predicate")
       | Query.Range (_, lo, hi) -> (
-        match
-          Enc_relation.range_token client ~leaf:leaf.Enc_relation.label ~attr
-            ~scheme:col.Enc_relation.scheme ~lo ~hi
-        with
-        | Some tok -> fun cell -> Enc_relation.cell_in_range tok cell
+        match Enc_relation.range_token client ~leaf:label ~attr ~scheme ~lo ~hi with
+        | Some tok -> Wire.F_range (attr, tok)
         | None -> invalid_arg "Executor: planner homed an unsupported range predicate")
     in
-    Scan (col, test)
+    Scan op
 
-(* Server role: evaluate the compiled predicates homed at this leaf over
-   its ciphertext columns, returning the selection mask and the number of
-   cells scanned. Pure — all key-dependent work happened in [compile_pred]
-   — precisely so this function can run on any domain. *)
-let server_filter (leaf : Enc_relation.enc_leaf) compiled =
-  let mask = Array.make leaf.Enc_relation.row_count true in
-  let scanned = ref 0 in
-  let apply_slots slots =
-    let keep = Array.make leaf.Enc_relation.row_count false in
-    List.iter (fun s -> keep.(s) <- true) slots;
-    Array.iteri (fun i m -> if m && not keep.(i) then mask.(i) <- false) mask
-  in
-  List.iter
-    (function
-      | Indexed (_, slots) -> apply_slots slots
-      | Scan (col, test) ->
-        scanned := !scanned + leaf.Enc_relation.row_count;
-        Array.iteri
-          (fun i cell -> if mask.(i) && not (test cell) then mask.(i) <- false)
-          col.Enc_relation.cells)
-    compiled;
-  (mask, !scanned)
+let filter_ops compiled =
+  List.map (function Indexed (_, slots) -> Wire.F_slots slots | Scan op -> op) compiled
 
-let decrypt_at client (leaf : Enc_relation.enc_leaf) attr slot =
-  let col = Enc_relation.column leaf attr in
-  Enc_relation.decrypt_cell client ~leaf:leaf.Enc_relation.label ~attr
-    ~scheme:col.Enc_relation.scheme
-    col.Enc_relation.cells.(slot)
+(* Fetch a window of ciphertext cells — (attrs × slots) of one leaf — in
+   a single message and expose it as a decrypt-on-demand lookup. Nothing
+   is decrypted until asked for, so over-fetching (ORAM columns, binning
+   decoys) costs wire bytes, not decrypt work. *)
+let fetch_window client conn ~scheme_of ~label ~attrs ~slots =
+  let pos = Hashtbl.create 16 in
+  List.iteri (fun j s -> if not (Hashtbl.mem pos s) then Hashtbl.add pos s j) slots;
+  let cols = Server_api.fetch_rows conn ~leaf:label ~attrs ~slots in
+  if Array.length cols <> List.length attrs then
+    invalid_arg "Executor: row fetch returned a wrong number of columns";
+  let col_of = Hashtbl.create 8 in
+  List.iteri (fun i a -> Hashtbl.replace col_of a cols.(i)) attrs;
+  fun attr slot ->
+    let cells =
+      match Hashtbl.find_opt col_of attr with
+      | Some cells -> cells
+      | None -> raise Not_found
+    in
+    let j =
+      match Hashtbl.find_opt pos slot with
+      | Some j -> j
+      | None -> invalid_arg "Executor: slot outside the fetched window"
+    in
+    if j >= Array.length cells then
+      invalid_arg "Executor: row fetch returned a short column";
+    Enc_relation.decrypt_cell client ~leaf:label ~attr ~scheme:(scheme_of label attr)
+      cells.(j)
+
+let no_window _attr _slot = invalid_arg "Executor: no attributes were fetched"
+
+let window client conn ~scheme_of ~label ~attrs ~slots =
+  if attrs = [] then no_window
+  else fetch_window client conn ~scheme_of ~label ~attrs ~slots
 
 (* Client-side re-verification of index-served predicates: the equality
    index is mutable server state, so a row it returned must still satisfy
    the predicate once decrypted — a stale entry surfaces as detected
    corruption, never as a wrong answer. Scanned predicates need no check:
    their ciphertext test ran on the authenticated cells themselves. *)
-let verify_indexed client (leaf : Enc_relation.enc_leaf) compiled slot =
+let verify_indexed value_at label compiled slot =
   List.iter
     (function
       | Indexed (p, _) ->
         let attr = Query.pred_attr p in
-        if not (pred_holds p (decrypt_at client leaf attr slot)) then
-          Integrity.fail ~leaf:leaf.Enc_relation.label ~attr ~where:"index"
+        if not (pred_holds p (value_at attr slot)) then
+          Integrity.fail ~leaf:label ~attr ~where:"index"
             "stale equality-index entry: fetched row does not satisfy its predicate"
       | Scan _ -> ())
+    compiled
+
+let indexed_attrs compiled =
+  List.filter_map
+    (function Indexed (p, _) -> Some (Query.pred_attr p) | Scan _ -> None)
     compiled
 
 let build_result (q : Query.t) rows =
@@ -177,15 +211,13 @@ let proj_leaf (plan : Planner.plan) attr =
 (* The anchor drives the per-row fetches of the ORAM/binning paths, so the
    best anchor is the most selective one: fewest mask survivors, ties
    broken toward more homed predicates, then plan order. *)
-let anchor_label (plan : Planner.plan) leaves masks =
+let anchor_label (plan : Planner.plan) lvs masks =
   let popcount m = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 m in
   let scored =
     List.map2
-      (fun (l : Enc_relation.enc_leaf) mask ->
-        ( popcount mask,
-          -List.length (preds_at plan l.Enc_relation.label),
-          l.Enc_relation.label ))
-      leaves masks
+      (fun lv mask ->
+        (popcount mask, -List.length (preds_at plan lv.lv_label), lv.lv_label))
+      lvs masks
   in
   match List.stable_sort compare scored with
   | (_, _, label) :: _ -> label
@@ -196,6 +228,13 @@ let needed_attrs_of_leaf (q : Query.t) plan label =
   let preds = List.map Query.pred_attr (preds_at plan label) in
   List.sort_uniq String.compare (projs @ preds)
 
+(* Attributes the client must fetch from a leaf for verification and
+   projection: the select attributes homed there plus the predicates an
+   index answered (those need re-verification). *)
+let fetched_attrs (q : Query.t) plan label compiled =
+  let projs = List.filter (fun a -> proj_leaf plan a = label) q.Query.select in
+  List.sort_uniq String.compare (projs @ indexed_attrs compiled)
+
 (* Assemble the output rows given, per output tid, a function giving the
    decrypted value of (leaf label, attr). *)
 let project_rows (q : Query.t) plan matches value_of =
@@ -205,53 +244,80 @@ let project_rows (q : Query.t) plan matches value_of =
 
 (* --- single leaf -------------------------------------------------------- *)
 
-let run_single ~drop_tid client q plan (leaf : Enc_relation.enc_leaf) compiled mask =
+let run_single ~drop_tid client conn ~scheme_of q plan (lv : leaf_view) compiled mask =
+  let label = lv.lv_label in
   let matches =
     Span.with_ ~name:"query.reconstruct" ~attrs:[ ("path", "single") ] @@ fun () ->
-    let n = leaf.Enc_relation.row_count in
+    let n = lv.lv_rows in
     let slots = ref [] in
     Array.iteri
       (fun i keep ->
-        if keep
-           && not
-                (drop_tid
-                   (Enc_relation.tid_at client ~leaf:leaf.Enc_relation.label ~rows:n i))
-        then slots := i :: !slots)
+        if keep && not (drop_tid (Enc_relation.tid_at client ~leaf:label ~rows:n i)) then
+          slots := i :: !slots)
       mask;
     List.rev !slots
   in
   Span.with_ ~name:"query.client_decrypt" @@ fun () ->
-  List.iter (verify_indexed client leaf compiled) matches;
+  let attrs = fetched_attrs q plan label compiled in
+  let value_at = window client conn ~scheme_of ~label ~attrs ~slots:matches in
+  List.iter (verify_indexed value_at label compiled) matches;
   let rows =
-    project_rows q plan matches (fun slot _label attr -> decrypt_at client leaf attr slot)
+    project_rows q plan matches (fun slot _label attr -> value_at attr slot)
   in
   build_result q rows
 
 (* --- sort-merge reconstruction ------------------------------------------ *)
 
-let run_sort_merge ~drop_tid ?tids_for client q plan leaves compiled masks stats =
+(* The join works on tid ciphertext columns; fetch each planned leaf's
+   column and rebuild a minimal [enc_leaf] around it. [Server_api]
+   returns the same physical array while the server's bytes are
+   unchanged, so [Enc_relation.decrypt_tids_cached] still recognizes a
+   stable leaf across queries on one connection. *)
+let synthetic_leaf conn (lv : leaf_view) =
+  let tids = Server_api.fetch_tids conn ~leaf:lv.lv_label in
+  if Array.length tids <> lv.lv_rows then
+    Integrity.fail ~leaf:lv.lv_label ~where:"store"
+      "tid column length disagrees with the described row count";
+  { Enc_relation.label = lv.lv_label; row_count = lv.lv_rows; tids; columns = [] }
+
+let run_sort_merge ~drop_tid ?tids_for client conn ~scheme_of q plan lvs compiled masks
+    stats =
   let matched =
     Span.with_ ~name:"query.reconstruct" ~attrs:[ ("path", "sort_merge") ] @@ fun () ->
-    Oblivious_join.join_many ?tids_for ~masks:(List.combine leaves masks) stats client
+    let enc_leaves = List.map (synthetic_leaf conn) lvs in
+    Oblivious_join.join_many ?tids_for ~masks:(List.combine enc_leaves masks) stats client
     |> Array.to_seq
     |> Seq.filter (fun (tid, _) -> not (drop_tid tid))
     |> Array.of_seq
   in
   Span.with_ ~name:"query.client_decrypt" @@ fun () ->
+  let windows =
+    List.mapi
+      (fun i lv ->
+        let attrs = fetched_attrs q plan lv.lv_label (List.nth compiled i) in
+        let slots =
+          Array.to_seq matched
+          |> Seq.map (fun (_, slots) -> List.nth slots i)
+          |> List.of_seq
+          |> List.sort_uniq compare
+        in
+        (lv.lv_label, window client conn ~scheme_of ~label:lv.lv_label ~attrs ~slots))
+      lvs
+  in
+  let value_in label = List.assoc label windows in
   Array.iter
     (fun (_, slots) ->
       List.iteri
-        (fun i leaf -> verify_indexed client leaf (List.nth compiled i) (List.nth slots i))
-        leaves)
+        (fun i lv ->
+          verify_indexed (value_in lv.lv_label) lv.lv_label (List.nth compiled i)
+            (List.nth slots i))
+        lvs)
     matched;
-  let label_index =
-    List.mapi (fun i (l : Enc_relation.enc_leaf) -> (l.Enc_relation.label, i)) leaves
-  in
-  let leaf_arr = Array.of_list leaves in
+  let label_index = List.mapi (fun i lv -> (lv.lv_label, i)) lvs in
   let rows =
     project_rows q plan (Array.to_list matched) (fun (_, slots) label attr ->
         let i = List.assoc label label_index in
-        decrypt_at client leaf_arr.(i) attr (List.nth slots i))
+        (value_in label) attr (List.nth slots i))
   in
   build_result q rows
 
@@ -265,12 +331,21 @@ type fetcher = {
   leaf_label : string;
 }
 
-let oram_fetcher client q plan oram_touches prng (leaf : Enc_relation.enc_leaf) =
-  let label = leaf.Enc_relation.label in
+(* ORAM partner access over the boundary: fetch the partner's needed
+   ciphertexts once, decrypt and seal them into uniform blocks, install
+   the blocks into a server-side per-connection Path ORAM, then read one
+   sealed block per anchor survivor. The server observes the install, the
+   root-to-leaf bucket paths and nothing else. *)
+let oram_fetcher client conn ~scheme_of q plan oram_touches ~seed (lv : leaf_view) =
+  let label = lv.lv_label in
   let needed = needed_attrs_of_leaf q plan label in
-  let n = leaf.Enc_relation.row_count in
+  let n = lv.lv_rows in
+  let value_at =
+    if n = 0 then no_window
+    else window client conn ~scheme_of ~label ~attrs:needed ~slots:(List.init n Fun.id)
+  in
   let payload slot =
-    Marshal.to_string (List.map (fun a -> (a, decrypt_at client leaf a slot)) needed) []
+    Marshal.to_string (List.map (fun a -> (a, value_at a slot)) needed) []
   in
   let block_size =
     let m = ref 1 in
@@ -280,26 +355,29 @@ let oram_fetcher client q plan oram_touches prng (leaf : Enc_relation.enc_leaf) 
     !m
   in
   let pad s = s ^ String.make (block_size - String.length s) '\x00' in
-  let oram = Path_oram.create ~num_blocks:(max n 1) ~block_size prng in
-  for slot = 0 to n - 1 do
-    Path_oram.write oram slot (pad (payload slot))
-  done;
-  let setup_touches = Path_oram.bucket_touches oram in
+  let blocks =
+    Array.init n (fun slot -> Enc_relation.oram_seal client ~leaf:label ~slot (pad (payload slot)))
+  in
+  let setup_touches =
+    Server_api.oram_init conn ~leaf:label ~seed
+      ~block_size:(Ndet.ciphertext_length block_size) ~blocks
+  in
   let counted = ref setup_touches in
   { leaf_label = label;
     fetch =
       (fun tid ->
         let slot = Enc_relation.row_position client ~leaf:label ~rows:n tid in
-        let data = Path_oram.read oram slot in
-        oram_touches := !oram_touches + (Path_oram.bucket_touches oram - !counted);
-        counted := Path_oram.bucket_touches oram;
+        let block, touches = Server_api.oram_read conn ~leaf:label ~slot in
+        oram_touches := !oram_touches + (touches - !counted);
+        counted := touches;
+        let data = Enc_relation.oram_open client ~leaf:label block in
         (Marshal.from_string data 0 : (string * Value.t) list)) }
 
-let binning_fetcher client q plan bin_size bin_retrieved ~wanted
-    (leaf : Enc_relation.enc_leaf) =
-  let label = leaf.Enc_relation.label in
+let binning_fetcher client conn ~scheme_of q plan bin_size bin_retrieved ~wanted
+    (lv : leaf_view) =
+  let label = lv.lv_label in
   let needed = needed_attrs_of_leaf q plan label in
-  let n = leaf.Enc_relation.row_count in
+  let n = lv.lv_rows in
   (* PANDA-style: one schedule of fixed-size keyed bins covering every
      wanted slot; the server ships whole bins, so it learns only which bins
      were touched. The enclave keeps the wanted rows. *)
@@ -317,6 +395,17 @@ let binning_fetcher client q plan bin_size bin_retrieved ~wanted
   (match schedule with
    | Some s -> bin_retrieved := !bin_retrieved + s.Binning.retrieved
    | None -> ());
+  (* The whole bins cross the wire — decoy ciphertexts included, which is
+     the point — but only wanted rows are ever decrypted. *)
+  let bin_slots =
+    match schedule with
+    | Some s -> List.sort_uniq compare (List.concat s.Binning.bins)
+    | None -> []
+  in
+  let value_at =
+    if bin_slots = [] then no_window
+    else window client conn ~scheme_of ~label ~attrs:needed ~slots:bin_slots
+  in
   { leaf_label = label;
     fetch =
       (fun tid ->
@@ -326,30 +415,24 @@ let binning_fetcher client q plan bin_size bin_retrieved ~wanted
            (* the slot must be inside a requested bin *)
            assert (List.exists (List.mem slot) s.Binning.bins)
          | None -> ());
-        List.map (fun a -> (a, decrypt_at client leaf a slot)) needed) }
+        List.map (fun a -> (a, value_at a slot)) needed) }
 
-let run_anchor_fetch ~drop_tid client q plan leaves compiled masks ~make_fetcher =
-  let anchor = anchor_label plan leaves masks in
-  let anchor_leaf, anchor_mask =
-    List.combine leaves masks
-    |> List.find (fun ((l : Enc_relation.enc_leaf), _) -> l.Enc_relation.label = anchor)
+let run_anchor_fetch ~drop_tid client conn ~scheme_of q plan lvs compiled masks
+    ~make_fetcher =
+  let anchor = anchor_label plan lvs masks in
+  let anchor_lv, anchor_mask =
+    List.combine lvs masks |> List.find (fun (lv, _) -> lv.lv_label = anchor)
   in
   let anchor_compiled =
-    List.combine leaves compiled
-    |> List.find (fun ((l : Enc_relation.enc_leaf), _) -> l.Enc_relation.label = anchor)
-    |> snd
+    List.combine lvs compiled |> List.find (fun (lv, _) -> lv.lv_label = anchor) |> snd
   in
-  let n = anchor_leaf.Enc_relation.row_count in
+  let n = anchor_lv.lv_rows in
   (* Reconstruction: anchor selection, partner fetches, and the enclave's
      post-filter — everything that decides which tids survive. *)
   let matches =
     Span.with_ ~name:"query.reconstruct" ~attrs:[ ("path", "anchor_fetch") ]
     @@ fun () ->
-    let partners =
-      List.filter
-        (fun (l : Enc_relation.enc_leaf) -> l.Enc_relation.label <> anchor)
-        leaves
-    in
+    let partners = List.filter (fun lv -> lv.lv_label <> anchor) lvs in
     let selected_tids = ref [] in
     Array.iteri
       (fun slot keep ->
@@ -380,9 +463,19 @@ let run_anchor_fetch ~drop_tid client q plan leaves compiled masks ~make_fetcher
       (List.rev !selected_tids)
   in
   Span.with_ ~name:"query.client_decrypt" @@ fun () ->
+  let anchor_slots =
+    List.map
+      (fun (tid, _) -> Enc_relation.row_position client ~leaf:anchor ~rows:n tid)
+      matches
+    |> List.sort_uniq compare
+  in
+  let anchor_attrs = fetched_attrs q plan anchor anchor_compiled in
+  let value_at =
+    window client conn ~scheme_of ~label:anchor ~attrs:anchor_attrs ~slots:anchor_slots
+  in
   List.iter
     (fun (tid, _) ->
-      verify_indexed client anchor_leaf anchor_compiled
+      verify_indexed value_at anchor anchor_compiled
         (Enc_relation.row_position client ~leaf:anchor ~rows:n tid))
     matches;
   let rows =
@@ -390,8 +483,7 @@ let run_anchor_fetch ~drop_tid client q plan leaves compiled masks ~make_fetcher
       (fun (tid, partner_values) ->
         let value_of label attr =
           if label = anchor then
-            let slot = Enc_relation.row_position client ~leaf:anchor ~rows:n tid in
-            decrypt_at client anchor_leaf attr slot
+            value_at attr (Enc_relation.row_position client ~leaf:anchor ~rows:n tid)
           else List.assoc attr (List.assoc label partner_values)
         in
         List.map (fun attr -> value_of (proj_leaf plan attr) attr) q.Query.select)
@@ -401,16 +493,20 @@ let run_anchor_fetch ~drop_tid client q plan leaves compiled masks ~make_fetcher
 
 (* ------------------------------------------------------------------------ *)
 
-let run ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
-    ?(use_index = false) ?(use_tid_cache = true) ?(drop_tid = fun _ -> false) client enc
+let run_conn ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
+    ?(use_index = false) ?(use_tid_cache = true) ?(drop_tid = fun _ -> false) client conn
     rep q =
   match Planner.plan ?selector rep q with
   | Error e -> Error e
   | Ok plan ->
+    let scheme_of = scheme_table rep in
+    let wire0 = Server_api.stats conn in
+    let relation_name, leaf_dir = Server_api.describe conn in
     Span.with_ ~name:"query"
       ~attrs:
         [ ("mode", mode_name mode);
-          ("relation", enc.Enc_relation.relation_name);
+          ("relation", relation_name);
+          ("backend", Server_api.backend_name conn);
           ("leaves", string_of_int (List.length plan.Planner.leaves)) ]
     @@ fun () ->
     let scanned = ref 0 in
@@ -421,46 +517,52 @@ let run ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
     (* Storage-integrity gate: the planned leaves must exist and be
        structurally sound (dropped or truncated leaves are corruption,
        not planner errors — the plan was built from the representation). *)
-    Enc_relation.check_shape enc;
-    let leaves =
+    Server_api.check_shape conn;
+    let lvs =
       List.map
         (fun label ->
-          match Enc_relation.find_leaf enc label with
-          | l -> l
-          | exception Not_found ->
+          match List.assoc_opt label leaf_dir with
+          | Some rows -> { lv_label = label; lv_rows = rows }
+          | None ->
             Integrity.fail ~leaf:label ~where:"store"
               "planned leaf missing from the encrypted store")
         plan.Planner.leaves
     in
-    (* Phase 1 (sequential): mint tokens and serve what the equality
-       indexes can — this is where lazy index builds and cache-hit
-       accounting happen. Phase 2 (parallel): the per-leaf ciphertext
-       scans are pure, so they fan out one leaf per domain. *)
+    (* Phase 1 (sequential): mint tokens and probe the server's equality
+       indexes — lazy index builds are a server-side cache write which
+       must not race. Phase 2 (parallel): the per-leaf Filter round trips
+       are independent, so they fan out one leaf per domain. *)
     let compiled =
       Span.with_ ~name:"query.mint_tokens" @@ fun () ->
       List.map
-        (fun (l : Enc_relation.enc_leaf) ->
+        (fun lv ->
           List.map
-            (fun p -> compile_pred ~use_index client enc l index_probes p)
-            (preds_at plan l.Enc_relation.label))
-        leaves
+            (fun p -> compile_pred ~use_index client conn ~scheme_of lv index_probes p)
+            (preds_at plan lv.lv_label))
+        lvs
     in
     let filtered =
       Span.with_ ~name:"query.server_filter" @@ fun () ->
       Parallel.map_list
         ~domains:(Parallel.domain_count ())
-        (fun (l, preds) ->
-          Span.with_ ~name:"query.filter_leaf"
-            ~attrs:[ ("leaf", l.Enc_relation.label) ]
-          @@ fun () -> server_filter l preds)
-        (List.combine leaves compiled)
+        (fun (lv, compiled) ->
+          Span.with_ ~name:"query.filter_leaf" ~attrs:[ ("leaf", lv.lv_label) ]
+          @@ fun () ->
+          let mask, leaf_scanned =
+            Server_api.filter conn ~leaf:lv.lv_label ~ops:(filter_ops compiled)
+          in
+          if Array.length mask <> lv.lv_rows then
+            Integrity.fail ~leaf:lv.lv_label ~where:"store"
+              "filter mask length disagrees with the described row count";
+          (mask, leaf_scanned))
+        (List.combine lvs compiled)
     in
     let masks = List.map fst filtered in
     List.iter (fun (_, s) -> scanned := !scanned + s) filtered;
     let result =
-      match (leaves, masks) with
-      | [ leaf ], [ mask ] ->
-        run_single ~drop_tid client q plan leaf (List.hd compiled) mask
+      match (lvs, masks) with
+      | [ lv ], [ mask ] ->
+        run_single ~drop_tid client conn ~scheme_of q plan lv (List.hd compiled) mask
       | _ -> (
         match mode with
         | `Sort_merge ->
@@ -472,17 +574,25 @@ let run ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
             if use_tid_cache then Some (Enc_relation.decrypt_tids_cached client)
             else None
           in
-          run_sort_merge ~drop_tid ?tids_for client q plan leaves compiled masks stats
+          run_sort_merge ~drop_tid ?tids_for client conn ~scheme_of q plan lvs compiled
+            masks stats
         | `Oram ->
-          let prng = Snf_crypto.Prng.create 0x09a7 in
-          run_anchor_fetch ~drop_tid client q plan leaves compiled masks
-            ~make_fetcher:(fun ~wanted leaf ->
+          (* Per-partner server-side ORAM sessions; seeds are fixed by
+             partner order, so the bucket-touch trace is deterministic
+             and backend-independent. *)
+          let next_seed = ref 0x09a7 in
+          run_anchor_fetch ~drop_tid client conn ~scheme_of q plan lvs compiled masks
+            ~make_fetcher:(fun ~wanted lv ->
               ignore wanted;
-              oram_fetcher client q plan oram_touches prng leaf)
+              let seed = !next_seed in
+              incr next_seed;
+              oram_fetcher client conn ~scheme_of q plan oram_touches ~seed lv)
         | `Binning bin_size ->
-          run_anchor_fetch ~drop_tid client q plan leaves compiled masks
-            ~make_fetcher:(binning_fetcher client q plan bin_size bin_retrieved))
+          run_anchor_fetch ~drop_tid client conn ~scheme_of q plan lvs compiled masks
+            ~make_fetcher:(binning_fetcher client conn ~scheme_of q plan bin_size
+                             bin_retrieved))
     in
+    let wire1 = Server_api.stats conn in
     let trace =
       { plan;
         mode;
@@ -493,6 +603,9 @@ let run ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
         oram_bucket_touches = !oram_touches;
         binning_retrieved = !bin_retrieved;
         result_rows = Relation.cardinality result;
+        wire_requests = wire1.Server_api.requests - wire0.Server_api.requests;
+        wire_bytes_up = wire1.Server_api.bytes_up - wire0.Server_api.bytes_up;
+        wire_bytes_down = wire1.Server_api.bytes_down - wire0.Server_api.bytes_down;
         estimated_seconds =
           Cost_model.trace_seconds params ~comparisons:stats.Oblivious_join.comparisons
             ~rows_processed:stats.Oblivious_join.rows_processed ~scanned_cells:!scanned
@@ -507,10 +620,22 @@ let run ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
     Metrics.observe h_result_rows trace.result_rows;
     Ok (result, trace)
 
+let run ?mode ?params ?selector ?use_index ?use_tid_cache ?drop_tid client enc rep q =
+  (* Compatibility entry point: a transient in-process connection over the
+     given store. [System] holds a persistent connection instead. *)
+  let conn = Server_api.connect (module Backend_mem) (Backend_mem.of_store enc) in
+  Fun.protect
+    ~finally:(fun () -> Server_api.close conn)
+    (fun () ->
+      run_conn ?mode ?params ?selector ?use_index ?use_tid_cache ?drop_tid client conn
+        rep q)
+
 let pp_trace fmt t =
   Format.fprintf fmt
     "@[<v>plan: %a (%s)@,scanned cells: %d (+%d via index); comparisons: %d; \
      rows through networks: %d@,oram bucket touches: %d; binning retrieved: %d@,\
+     wire: %d requests, %d B up, %d B down@,\
      result rows: %d; est. %.4f s@]"
-    Planner.pp t.plan (mode_name t.mode) t.scanned_cells t.index_probes t.comparisons t.rows_processed t.oram_bucket_touches
-    t.binning_retrieved t.result_rows t.estimated_seconds
+    Planner.pp t.plan (mode_name t.mode) t.scanned_cells t.index_probes t.comparisons
+    t.rows_processed t.oram_bucket_touches t.binning_retrieved t.wire_requests
+    t.wire_bytes_up t.wire_bytes_down t.result_rows t.estimated_seconds

@@ -33,8 +33,35 @@ type trace = {
   oram_bucket_touches : int;
   binning_retrieved : int;      (** rows fetched incl. decoys *)
   result_rows : int;
+  wire_requests : int;          (** client→server messages this query *)
+  wire_bytes_up : int;          (** serialized request bytes this query *)
+  wire_bytes_down : int;        (** serialized response bytes this query *)
   estimated_seconds : float;    (** via [Cost_model.trace_seconds] *)
 }
+
+val run_conn :
+  ?mode:mode ->
+  ?params:Cost_model.params ->
+  ?selector:[ `Greedy | `Optimal of (Planner.plan -> float) ] ->
+  ?use_index:bool ->
+  ?use_tid_cache:bool ->
+  ?drop_tid:(int -> bool) ->
+  Enc_relation.client ->
+  Server_api.conn ->
+  Snf_core.Partition.t ->
+  Query.t ->
+  (Relation.t * trace, string) result
+(** Execute against a server connection. This is the split-trust entry
+    point: the client half (this function) holds the keys, mints tokens,
+    and decrypts; everything the server does is reachable only through
+    the serialized [Wire] messages carried by the connection. Column
+    schemes are resolved from the representation, never from server
+    metadata. The trace's [wire_*] fields are the connection's traffic
+    delta across the query (Describe through the last fetch).
+
+    On a persistent connection the sort-merge tid cache keeps working
+    across queries: [Server_api.fetch_tids] returns a physically stable
+    array while the server's tid bytes are unchanged. *)
 
 val run :
   ?mode:mode ->
@@ -69,6 +96,10 @@ val run :
     shapes are checked up front, index-served slots are bounds-checked and
     their rows re-verified against the predicate after decryption, and
     every decrypt authenticates (see [Enc_relation]). Use
-    [System.query_checked] for a result-typed wrapper. *)
+    [System.query_checked] for a result-typed wrapper.
+
+    Equivalent to {!run_conn} over a transient in-process
+    ([Backend_mem]) connection adopting [enc]; the wire counters still
+    tick — the messages are real, the transport is a function call. *)
 
 val pp_trace : Format.formatter -> trace -> unit

@@ -18,6 +18,9 @@ type t = {
   mutable volumes : int list; (* newest first *)
   mutable queries : int;
   mutable reconstruction_rows : int;
+  mutable wire_requests : int;
+  mutable wire_bytes_up : int;
+  mutable wire_bytes_down : int;
   (* Process counters are cumulative; the ledger reports deltas from its
      creation. *)
   idx_hits0 : int;
@@ -34,6 +37,9 @@ let create owner =
     volumes = [];
     queries = 0;
     reconstruction_rows = 0;
+    wire_requests = 0;
+    wire_bytes_up = 0;
+    wire_bytes_down = 0;
     idx_hits0 = Metrics.value m_idx_hits;
     idx_builds0 = Metrics.value m_idx_builds;
     tid_hits0 = Metrics.value m_tid_hits;
@@ -81,6 +87,9 @@ let query ?mode ?use_index ?use_tid_cache t q =
     t.reconstruction_rows <-
       t.reconstruction_rows + trace.Executor.rows_processed
       + trace.Executor.binning_retrieved;
+    t.wire_requests <- t.wire_requests + trace.Executor.wire_requests;
+    t.wire_bytes_up <- t.wire_bytes_up + trace.Executor.wire_bytes_up;
+    t.wire_bytes_down <- t.wire_bytes_down + trace.Executor.wire_bytes_down;
     t.query_metrics <- Metrics.counter_diff before (Metrics.snapshot ()) :: t.query_metrics;
     Ok (ans, trace)
 
@@ -96,6 +105,9 @@ type report = {
   co_access : ((string * string) * int) list;
   result_volumes : int list;
   total_reconstruction_rows : int;
+  wire_requests : int;
+  wire_bytes_up : int;
+  wire_bytes_down : int;
   index_hits : int;
   index_misses : int;
   tid_cache_hits : int;
@@ -129,6 +141,9 @@ let report t =
       |> List.sort (fun ((_, _), n1) ((_, _), n2) -> Int.compare n2 n1);
     result_volumes = List.rev t.volumes;
     total_reconstruction_rows = t.reconstruction_rows;
+    wire_requests = t.wire_requests;
+    wire_bytes_up = t.wire_bytes_up;
+    wire_bytes_down = t.wire_bytes_down;
     index_hits = Metrics.value m_idx_hits - t.idx_hits0;
     index_misses = Metrics.value m_idx_builds - t.idx_builds0;
     tid_cache_hits = Metrics.value m_tid_hits - t.tid_hits0;
@@ -158,6 +173,9 @@ let report_to_json (r : report) : Json.t =
              r.co_access) );
       ("result_volumes", Json.List (List.map (fun v -> Json.Int v) r.result_volumes));
       ("total_reconstruction_rows", Json.Int r.total_reconstruction_rows);
+      ("wire_requests", Json.Int r.wire_requests);
+      ("wire_bytes_up", Json.Int r.wire_bytes_up);
+      ("wire_bytes_down", Json.Int r.wire_bytes_down);
       ("index_hits", Json.Int r.index_hits);
       ("index_misses", Json.Int r.index_misses);
       ("tid_cache_hits", Json.Int r.tid_cache_hits);
@@ -225,6 +243,9 @@ let report_of_json (j : Json.t) : (report, string) result =
       vol_json
   in
   let* total_reconstruction_rows = int_field j "total_reconstruction_rows" in
+  let* wire_requests = int_field j "wire_requests" in
+  let* wire_bytes_up = int_field j "wire_bytes_up" in
+  let* wire_bytes_down = int_field j "wire_bytes_down" in
   let* index_hits = int_field j "index_hits" in
   let* index_misses = int_field j "index_misses" in
   let* tid_cache_hits = int_field j "tid_cache_hits" in
@@ -249,6 +270,9 @@ let report_of_json (j : Json.t) : (report, string) result =
       co_access;
       result_volumes;
       total_reconstruction_rows;
+      wire_requests;
+      wire_bytes_up;
+      wire_bytes_down;
       index_hits;
       index_misses;
       tid_cache_hits;
@@ -266,6 +290,9 @@ let pp_report fmt r =
   List.iter
     (fun ((l1, l2), n) -> Format.fprintf fmt "  co-accessed %s + %s: %d times@," l1 l2 n)
     r.co_access;
+  if r.wire_requests > 0 then
+    Format.fprintf fmt "  wire: %d requests, %d B up, %d B down@," r.wire_requests
+      r.wire_bytes_up r.wire_bytes_down;
   if r.index_hits + r.index_misses > 0 then
     Format.fprintf fmt "  eq-index cache: %d hits, %d builds@," r.index_hits
       r.index_misses;

@@ -42,6 +42,12 @@ type report = {
         structure the workload reveals *)
   result_volumes : int list;           (** per query, in execution order *)
   total_reconstruction_rows : int;     (** rows through oblivious machinery *)
+  wire_requests : int;
+    (** client→server messages issued by the recorded queries — the
+        session's traffic-shape leakage, summed from per-query traces
+        (excludes outsourcing/Install traffic) *)
+  wire_bytes_up : int;                 (** serialized request bytes *)
+  wire_bytes_down : int;               (** serialized response bytes *)
   index_hits : int;
     (** equality-index lookups served from the server's memo cache, since
         [create] — read as a delta of the process-wide

@@ -1,0 +1,274 @@
+module Metrics = Snf_obs.Metrics
+module Prng = Snf_crypto.Prng
+module Paillier = Snf_crypto.Paillier
+
+(* Client-side accounting of the boundary traffic: the serialized bytes
+   crossing the connection ARE the access-pattern leakage, so they are
+   counted where the client observes them — globally and per phase. The
+   counters are domain-sharded ([Metrics]), so parallel filter fan-out
+   still yields deterministic totals. *)
+let m_requests = Metrics.counter "exec.wire.requests"
+let m_bytes_up = Metrics.counter "exec.wire.bytes_up"
+let m_bytes_down = Metrics.counter "exec.wire.bytes_down"
+
+type phase_counters = {
+  p_requests : Metrics.counter;
+  p_bytes_up : Metrics.counter;
+  p_bytes_down : Metrics.counter;
+}
+
+let phase_counters name =
+  { p_requests = Metrics.counter (Printf.sprintf "exec.wire.%s.requests" name);
+    p_bytes_up = Metrics.counter (Printf.sprintf "exec.wire.%s.bytes_up" name);
+    p_bytes_down = Metrics.counter (Printf.sprintf "exec.wire.%s.bytes_down" name) }
+
+let ph_admin = phase_counters "admin"
+let ph_probe = phase_counters "probe"
+let ph_filter = phase_counters "filter"
+let ph_fetch = phase_counters "fetch"
+let ph_oram = phase_counters "oram"
+let ph_phe = phase_counters "phe"
+
+(* --- the server side ------------------------------------------------------ *)
+
+type store_view = {
+  describe : unit -> string * (string * int) list;
+  check_shape : unit -> unit;
+  install : string -> unit;
+  leaf : string -> Enc_relation.enc_leaf;
+  eq_index : leaf:string -> attr:string -> (string, int list) Hashtbl.t option;
+  paillier : unit -> Paillier.public_key;
+}
+
+module type BACKEND = sig
+  type t
+
+  val name : string
+  val view : t -> store_view
+  val close : t -> unit
+end
+
+(* PHE aggregation reuses [Enc_relation]'s server-side kernels, which take
+   a whole store; give them a single-leaf shim sharing nothing mutable. *)
+let singleton_store view l =
+  { Enc_relation.relation_name = fst (view.describe ());
+    leaves = [ l ];
+    paillier_public = view.paillier ();
+    index_cache = Hashtbl.create 1 }
+
+(* Mirrors the pre-split [Executor.server_filter]: pure ciphertext work,
+   same scan accounting ([row_count] cells per scan op). *)
+let eval_filter (l : Enc_relation.enc_leaf) ops =
+  let n = l.Enc_relation.row_count in
+  let mask = Array.make n true in
+  let scanned = ref 0 in
+  let apply_slots slots =
+    let keep = Array.make n false in
+    List.iter (fun s -> keep.(s) <- true) slots;
+    Array.iteri (fun i m -> if m && not keep.(i) then mask.(i) <- false) mask
+  in
+  let scan col test =
+    scanned := !scanned + n;
+    Array.iteri
+      (fun i cell -> if mask.(i) && not (test cell) then mask.(i) <- false)
+      col.Enc_relation.cells
+  in
+  List.iter
+    (function
+      | Wire.F_slots slots -> apply_slots slots
+      | Wire.F_eq (attr, tok) ->
+        scan (Enc_relation.column l attr) (Enc_relation.cell_matches_eq tok)
+      | Wire.F_range (attr, tok) ->
+        scan (Enc_relation.column l attr) (Enc_relation.cell_in_range tok))
+    ops;
+  (mask, !scanned)
+
+let dispatch view orams (req : Wire.request) : Wire.response =
+  match req with
+  | Wire.Describe ->
+    let relation_name, leaves = view.describe () in
+    Wire.R_described { relation_name; leaves }
+  | Wire.Check_shape ->
+    view.check_shape ();
+    Wire.R_unit
+  | Wire.Install image ->
+    view.install image;
+    Wire.R_unit
+  | Wire.Index_probe { leaf; attr; key } -> (
+    (* The index lookup (and its lazy build / cache-hit accounting) runs
+       unconditionally, exactly like the pre-split executor did, so the
+       exec.eq_index.* counters are backend- and key-independent. *)
+    let idx = view.eq_index ~leaf ~attr in
+    match (idx, key) with
+    | Some idx, Some key ->
+      Wire.R_slots (Some (Option.value (Hashtbl.find_opt idx key) ~default:[]))
+    | _ -> Wire.R_slots None)
+  | Wire.Filter { leaf; ops } ->
+    let mask, scanned = eval_filter (view.leaf leaf) ops in
+    Wire.R_mask { mask; scanned }
+  | Wire.Fetch_rows { leaf; attrs; slots } ->
+    let l = view.leaf leaf in
+    let cols =
+      List.map
+        (fun attr ->
+          let col = Enc_relation.column l attr in
+          Array.of_list (List.map (fun s -> col.Enc_relation.cells.(s)) slots))
+        attrs
+    in
+    Wire.R_rows (Array.of_list cols)
+  | Wire.Fetch_tids { leaf } -> Wire.R_tids (view.leaf leaf).Enc_relation.tids
+  | Wire.Oram_init { leaf; seed; block_size; blocks } ->
+    let oram =
+      Path_oram.create ~num_blocks:(max (Array.length blocks) 1) ~block_size
+        (Prng.create seed)
+    in
+    Array.iteri (fun i b -> Path_oram.write oram i b) blocks;
+    Hashtbl.replace orams leaf oram;
+    Wire.R_oram { block = None; touches = Path_oram.bucket_touches oram }
+  | Wire.Oram_read { leaf; slot } -> (
+    match Hashtbl.find_opt orams leaf with
+    | None -> Wire.R_error { not_found = true; msg = "no ORAM session for this leaf" }
+    | Some oram ->
+      let block = Path_oram.read oram slot in
+      Wire.R_oram { block = Some block; touches = Path_oram.bucket_touches oram })
+  | Wire.Phe_sum { leaf; attr } ->
+    let l = view.leaf leaf in
+    Wire.R_nat (Enc_relation.phe_sum (singleton_store view l) l attr)
+  | Wire.Group_sum { leaf; group_by; sum } ->
+    let l = view.leaf leaf in
+    Wire.R_groups (Enc_relation.phe_group_sum (singleton_store view l) l ~group_by ~sum)
+
+let serve view orams request_bytes =
+  let resp =
+    match dispatch view orams (Wire.request_of_string request_bytes) with
+    | resp -> resp
+    | exception Integrity.Corruption c -> Wire.R_corrupt c
+    | exception Not_found ->
+      Wire.R_error { not_found = true; msg = "unknown leaf or attribute" }
+    | exception Invalid_argument msg -> Wire.R_error { not_found = false; msg }
+  in
+  Wire.response_to_string resp
+
+(* --- the connection -------------------------------------------------------- *)
+
+type wire_stats = { requests : int; bytes_up : int; bytes_down : int }
+
+type conn = {
+  backend_name : string;
+  handle : string -> string;
+  close_backend : unit -> unit;
+  c_requests : int Atomic.t;
+  c_bytes_up : int Atomic.t;
+  c_bytes_down : int Atomic.t;
+  (* Decoded-tid memo: the server is still asked on every call (the
+     traffic is real and counted), but when the response bytes are
+     unchanged the previously decoded array is returned {e physically}
+     unchanged — which is what lets [Enc_relation.decrypt_tids_cached]
+     recognize a stable leaf across queries on a connection. *)
+  tid_memo : (string, string array) Hashtbl.t;
+  memo_mutex : Mutex.t;
+}
+
+let connect (type a) (module B : BACKEND with type t = a) (backend : a) =
+  let view = B.view backend in
+  let orams = Hashtbl.create 4 in
+  { backend_name = B.name;
+    handle = serve view orams;
+    close_backend = (fun () -> B.close backend);
+    c_requests = Atomic.make 0;
+    c_bytes_up = Atomic.make 0;
+    c_bytes_down = Atomic.make 0;
+    tid_memo = Hashtbl.create 4;
+    memo_mutex = Mutex.create () }
+
+let backend_name conn = conn.backend_name
+let close conn = conn.close_backend ()
+
+let stats conn =
+  { requests = Atomic.get conn.c_requests;
+    bytes_up = Atomic.get conn.c_bytes_up;
+    bytes_down = Atomic.get conn.c_bytes_down }
+
+(* One round trip: serialize, count, send, count, decode, and re-raise
+   server-reported failures as the typed exceptions the pre-split code
+   threw from the same situations. *)
+let call conn ph req =
+  let up = Wire.request_to_string req in
+  let down = conn.handle up in
+  Atomic.incr conn.c_requests;
+  ignore (Atomic.fetch_and_add conn.c_bytes_up (String.length up));
+  ignore (Atomic.fetch_and_add conn.c_bytes_down (String.length down));
+  Metrics.incr m_requests;
+  Metrics.add m_bytes_up (String.length up);
+  Metrics.add m_bytes_down (String.length down);
+  Metrics.incr ph.p_requests;
+  Metrics.add ph.p_bytes_up (String.length up);
+  Metrics.add ph.p_bytes_down (String.length down);
+  match Wire.response_of_string down with
+  | Wire.R_corrupt c -> raise (Integrity.Corruption c)
+  | Wire.R_error { not_found = true; _ } -> raise Not_found
+  | Wire.R_error { not_found = false; msg } -> invalid_arg msg
+  | resp -> resp
+
+let protocol_error what = invalid_arg ("Server_api: unexpected response to " ^ what)
+
+let describe conn =
+  match call conn ph_admin Wire.Describe with
+  | Wire.R_described { relation_name; leaves } -> (relation_name, leaves)
+  | _ -> protocol_error "Describe"
+
+let check_shape conn =
+  match call conn ph_admin Wire.Check_shape with
+  | Wire.R_unit -> ()
+  | _ -> protocol_error "Check_shape"
+
+let install conn image =
+  match call conn ph_admin (Wire.Install image) with
+  | Wire.R_unit -> ()
+  | _ -> protocol_error "Install"
+
+let index_probe conn ~leaf ~attr ~key =
+  match call conn ph_probe (Wire.Index_probe { leaf; attr; key }) with
+  | Wire.R_slots slots -> slots
+  | _ -> protocol_error "Index_probe"
+
+let filter conn ~leaf ~ops =
+  match call conn ph_filter (Wire.Filter { leaf; ops }) with
+  | Wire.R_mask { mask; scanned } -> (mask, scanned)
+  | _ -> protocol_error "Filter"
+
+let fetch_rows conn ~leaf ~attrs ~slots =
+  match call conn ph_fetch (Wire.Fetch_rows { leaf; attrs; slots }) with
+  | Wire.R_rows rows -> rows
+  | _ -> protocol_error "Fetch_rows"
+
+let fetch_tids conn ~leaf =
+  match call conn ph_fetch (Wire.Fetch_tids { leaf }) with
+  | Wire.R_tids tids ->
+    Mutex.protect conn.memo_mutex (fun () ->
+        match Hashtbl.find_opt conn.tid_memo leaf with
+        | Some memo when memo = tids -> memo
+        | _ ->
+          Hashtbl.replace conn.tid_memo leaf tids;
+          tids)
+  | _ -> protocol_error "Fetch_tids"
+
+let oram_init conn ~leaf ~seed ~block_size ~blocks =
+  match call conn ph_oram (Wire.Oram_init { leaf; seed; block_size; blocks }) with
+  | Wire.R_oram { block = None; touches } -> touches
+  | _ -> protocol_error "Oram_init"
+
+let oram_read conn ~leaf ~slot =
+  match call conn ph_oram (Wire.Oram_read { leaf; slot }) with
+  | Wire.R_oram { block = Some block; touches } -> (block, touches)
+  | _ -> protocol_error "Oram_read"
+
+let phe_sum conn ~leaf ~attr =
+  match call conn ph_phe (Wire.Phe_sum { leaf; attr }) with
+  | Wire.R_nat n -> n
+  | _ -> protocol_error "Phe_sum"
+
+let group_sum conn ~leaf ~group_by ~sum =
+  match call conn ph_phe (Wire.Group_sum { leaf; group_by; sum }) with
+  | Wire.R_groups groups -> groups
+  | _ -> protocol_error "Group_sum"

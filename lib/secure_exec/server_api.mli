@@ -1,0 +1,110 @@
+(** The trust boundary, reified: every server-side operation of the
+    execution stack crosses this interface as a serialized [Wire] message.
+
+    The split enforces the paper's threat model structurally. The client
+    half ([Executor], [System]) holds the keys and sees only
+    {!wire_stats}-accountable byte strings; the server half is a
+    {!store_view} over some storage {!BACKEND} (in-process arrays, files
+    on disk, eventually a socket) and sees only ciphertexts, tokens and
+    structural metadata — a backend implementor {e cannot} reach key
+    material because nothing in this signature carries any.
+
+    A {!conn} is one client/server session: a request serializer, the
+    backend's dispatch loop, byte/request accounting (global and
+    per-phase [exec.wire.*] counters plus per-connection {!stats}), and
+    the per-connection server state (ORAM sessions). Answers are
+    backend-invisible by construction: both ends of every exchange are
+    the same serialized bytes regardless of how the backend stores its
+    leaves. *)
+
+(** What a backend must expose — the full server-side capability set.
+    [leaf] may page from disk and must validate what it loads
+    (raising [Integrity.Corruption]); [eq_index] must account through
+    [Enc_relation.eq_index] so index hit/build counters stay
+    backend-independent; [describe]/[leaf] raise [Not_found] or
+    [Invalid_argument] on unknown names / empty stores. *)
+type store_view = {
+  describe : unit -> string * (string * int) list;
+      (** relation name and (leaf label, row count) in stored order *)
+  check_shape : unit -> unit;
+  install : string -> unit;  (** parse and adopt a [Wire] store image *)
+  leaf : string -> Enc_relation.enc_leaf;
+  eq_index : leaf:string -> attr:string -> (string, int list) Hashtbl.t option;
+  paillier : unit -> Snf_crypto.Paillier.public_key;
+}
+
+module type BACKEND = sig
+  type t
+
+  val name : string
+  val view : t -> store_view
+  val close : t -> unit
+end
+
+type conn
+
+type wire_stats = { requests : int; bytes_up : int; bytes_down : int }
+
+val connect : (module BACKEND with type t = 'a) -> 'a -> conn
+(** Open a session over a backend instance. Each connection gets its own
+    server-side ORAM session table; none of the client-side state
+    (counters, decoded-tid memo) is visible to the backend. *)
+
+val backend_name : conn -> string
+
+val close : conn -> unit
+(** Close the backend (the disk backend removes an owned temp dir). *)
+
+val stats : conn -> wire_stats
+(** Cumulative traffic on this connection. The same quantities are also
+    accumulated in the process-wide counters [exec.wire.requests] /
+    [exec.wire.bytes_up] / [exec.wire.bytes_down] and per-phase
+    [exec.wire.{admin,probe,filter,fetch,oram,phe}.*]. *)
+
+(** {1 Typed stubs}
+
+    One round trip each: serialize the request, hand the bytes to the
+    backend's dispatcher, decode the response. Server-side failures come
+    back typed and are re-raised as the exceptions the pre-split executor
+    threw from the same situations: [R_corrupt] as
+    [Integrity.Corruption], [R_error] as [Not_found] /
+    [Invalid_argument]. *)
+
+val describe : conn -> string * (string * int) list
+val check_shape : conn -> unit
+val install : conn -> string -> unit
+
+val index_probe :
+  conn -> leaf:string -> attr:string -> key:string option -> int list option
+(** Always sent (and the server always consults [Enc_relation.eq_index]),
+    even with [key = None] — index accounting must not depend on the
+    token's shape. [None] result: the column has no canonical index. *)
+
+val filter : conn -> leaf:string -> ops:Wire.filter_op list -> bool array * int
+(** Selection mask over the leaf's slots plus cells scanned. *)
+
+val fetch_rows :
+  conn -> leaf:string -> attrs:string list -> slots:int list ->
+  Enc_relation.cell array array
+(** Ciphertext cells, one inner array per requested attribute (request
+    order), each in [slots] order. *)
+
+val fetch_tids : conn -> leaf:string -> string array
+(** The leaf's tid ciphertext column. The server is asked on every call
+    (the traffic is real); when the bytes are unchanged since the last
+    call on this connection the same physical array is returned, so
+    [Enc_relation.decrypt_tids_cached] can recognize a stable leaf. *)
+
+val oram_init :
+  conn -> leaf:string -> seed:int -> block_size:int -> blocks:string array -> int
+(** Install sealed blocks into a fresh per-connection Path ORAM for the
+    leaf; returns the ORAM's cumulative bucket touches after setup. *)
+
+val oram_read : conn -> leaf:string -> slot:int -> string * int
+(** Oblivious block fetch: (sealed block, cumulative bucket touches). *)
+
+val phe_sum : conn -> leaf:string -> attr:string -> Snf_bignum.Nat.t
+
+val group_sum :
+  conn -> leaf:string -> group_by:string -> sum:string ->
+  (Enc_relation.cell * Snf_bignum.Nat.t) list

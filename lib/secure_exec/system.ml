@@ -1,7 +1,16 @@
 open Snf_relational
 module Normalizer = Snf_core.Normalizer
+module Partition = Snf_core.Partition
 module Paillier = Snf_crypto.Paillier
 module Nat = Snf_bignum.Nat
+
+type backend_kind = [ `Mem | `Disk ]
+
+let backend_kind_name = function `Mem -> "mem" | `Disk -> "disk"
+
+type binding = { for_enc : Enc_relation.t; conn : Server_api.conn }
+
+type server_binding = { sb_backend : backend_kind; mutable sb : binding option }
 
 type owner = {
   client : Enc_relation.client;
@@ -9,9 +18,63 @@ type owner = {
   plan : Normalizer.plan;
   enc : Enc_relation.t;
   plaintext : Relation.t;
+  server : server_binding;
 }
 
-let outsource ?semantics ?strategy ?graph ?mode ?(seed = 0x5eed) ?master ~name r policy =
+(* A memory binding adopts the store in place — no Install message, and
+   shared index state, which the fault harness relies on. A disk binding
+   ships the full image through Install into a private temp directory;
+   that traffic is charged when the binding is made (outsourcing), not to
+   any query window. *)
+let bind kind enc =
+  match kind with
+  | `Mem -> Server_api.connect (module Backend_mem) (Backend_mem.of_store enc)
+  | `Disk ->
+    let be = Backend_disk.create_temp () in
+    let conn = Server_api.connect (module Backend_disk) be in
+    (try Server_api.install conn (Wire.to_string enc)
+     with e ->
+       Server_api.close conn;
+       raise e);
+    conn
+
+(* The binding follows [owner.enc] by physical identity: harness twins
+   that swap in a tampered store ([{ owner with enc }]) transparently
+   rebind, so the server always serves exactly the store the handle
+   claims. *)
+let conn_of owner =
+  let b = owner.server in
+  match b.sb with
+  | Some { for_enc; conn } when for_enc == owner.enc -> conn
+  | prev ->
+    (match prev with Some { conn; _ } -> Server_api.close conn | None -> ());
+    let conn = bind b.sb_backend owner.enc in
+    b.sb <- Some { for_enc = owner.enc; conn };
+    conn
+
+let backend owner = owner.server.sb_backend
+
+let release owner =
+  match owner.server.sb with
+  | None -> ()
+  | Some { conn; _ } ->
+    owner.server.sb <- None;
+    Server_api.close conn
+
+let with_backend owner kind =
+  let owner = { owner with server = { sb_backend = kind; sb = None } } in
+  ignore (conn_of owner);
+  owner
+
+let wire_stats owner = Server_api.stats (conn_of owner)
+
+let finish ?(backend = `Mem) owner_sans_server =
+  let owner = { owner_sans_server with server = { sb_backend = backend; sb = None } } in
+  ignore (conn_of owner);
+  owner
+
+let outsource ?semantics ?strategy ?graph ?mode ?(seed = 0x5eed) ?master ?backend ~name r
+    policy =
   let graph =
     match graph with
     | Some g -> g
@@ -21,9 +84,11 @@ let outsource ?semantics ?strategy ?graph ?mode ?(seed = 0x5eed) ?master ~name r
   let master = Option.value master ~default:("master:" ^ name) in
   let client = Enc_relation.make_client ~seed ~relation_name:name ~master () in
   let enc = Enc_relation.encrypt client r plan.Normalizer.representation in
-  { client; policy; plan; enc; plaintext = r }
+  finish ?backend
+    { client; policy; plan; enc; plaintext = r; server = { sb_backend = `Mem; sb = None } }
 
-let outsource_prepared ?(seed = 0x5eed) ?master ~name ~graph ~representation r policy =
+let outsource_prepared ?(seed = 0x5eed) ?master ?backend ~name ~graph ~representation r
+    policy =
   let plan =
     { Normalizer.policy;
       graph;
@@ -35,11 +100,12 @@ let outsource_prepared ?(seed = 0x5eed) ?master ~name ~graph ~representation r p
   let master = Option.value master ~default:("master:" ^ name) in
   let client = Enc_relation.make_client ~seed ~relation_name:name ~master () in
   let enc = Enc_relation.encrypt client r representation in
-  { client; policy; plan; enc; plaintext = r }
+  finish ?backend
+    { client; policy; plan; enc; plaintext = r; server = { sb_backend = `Mem; sb = None } }
 
 let query ?mode ?params ?use_index ?use_tid_cache ?drop_tid owner q =
-  Executor.run ?mode ?params ?use_index ?use_tid_cache ?drop_tid owner.client owner.enc
-    owner.plan.Normalizer.representation q
+  Executor.run_conn ?mode ?params ?use_index ?use_tid_cache ?drop_tid owner.client
+    (conn_of owner) owner.plan.Normalizer.representation q
 
 let query_checked ?mode ?params ?use_index ?use_tid_cache ?drop_tid owner q =
   match query ?mode ?params ?use_index ?use_tid_cache ?drop_tid owner q with
@@ -64,19 +130,30 @@ let storage_bytes profile owner =
   Storage_model.representation_bytes profile owner.plaintext
     owner.plan.Normalizer.representation
 
+(* Aggregation column schemes come from the representation, like every
+   other decryption the client performs. *)
+let rep_scheme owner ~leaf ~attr =
+  let rep = owner.plan.Normalizer.representation in
+  match List.find_opt (fun (l : Partition.leaf) -> l.Partition.label = leaf) rep with
+  | None -> raise Not_found
+  | Some l -> (
+    match Partition.scheme_in_leaf l attr with
+    | Some s -> s
+    | None -> raise Not_found)
+
 let group_sum owner ~leaf ~group_by ~sum =
-  let l = Enc_relation.find_leaf owner.enc leaf in
-  let gcol = Enc_relation.column l group_by in
+  let conn = conn_of owner in
+  let gscheme = rep_scheme owner ~leaf ~attr:group_by in
   let kp = Enc_relation.client_paillier owner.client in
-  Enc_relation.phe_group_sum owner.enc l ~group_by ~sum
-  |> List.map (fun (rep, acc) ->
-         ( Enc_relation.decrypt_cell owner.client ~leaf ~attr:group_by
-             ~scheme:gcol.Enc_relation.scheme rep,
+  Server_api.group_sum conn ~leaf ~group_by ~sum
+  |> List.map (fun (rep_cell, acc) ->
+         ( Enc_relation.decrypt_cell owner.client ~leaf ~attr:group_by ~scheme:gscheme
+             rep_cell,
            Nat.to_int_exn (Paillier.decrypt kp acc) ))
   |> List.sort (fun (v1, _) (v2, _) -> Value.compare v1 v2)
 
 let sum owner ~leaf ~attr =
-  let l = Enc_relation.find_leaf owner.enc leaf in
-  let c = Enc_relation.phe_sum owner.enc l attr in
+  let conn = conn_of owner in
+  let c = Server_api.phe_sum conn ~leaf ~attr in
   let kp = Enc_relation.client_paillier owner.client in
   Nat.to_int_exn (Paillier.decrypt kp c)

@@ -10,12 +10,25 @@
 
 open Snf_relational
 
+type backend_kind = [ `Mem | `Disk ]
+(** Which server backend the owner's connection binds: [`Mem] adopts the
+    in-process store behind the [Server_api] boundary; [`Disk] explodes
+    the store image into a private temp directory ([Backend_disk]) and
+    serves it paged from files. Answers are bit-identical either way —
+    the backend is invisible above the message protocol. *)
+
+val backend_kind_name : backend_kind -> string
+
+type server_binding
+(** The owner's (mutable) connection to its server backend. *)
+
 type owner = {
   client : Enc_relation.client;
   policy : Snf_core.Policy.t;
   plan : Snf_core.Normalizer.plan;
   enc : Enc_relation.t;   (** what the cloud stores *)
   plaintext : Relation.t; (** retained at the owner *)
+  server : server_binding;
 }
 
 val outsource :
@@ -25,6 +38,7 @@ val outsource :
   ?mode:Snf_deps.Dep_graph.mode ->
   ?seed:int ->
   ?master:string ->
+  ?backend:backend_kind ->
   name:string ->
   Relation.t ->
   Snf_core.Policy.t ->
@@ -32,11 +46,14 @@ val outsource :
 (** When [graph] is omitted it is mined from the data
     ([Dep_graph.of_relation] with defaults and the given [mode]). Default
     strategy [`Non_repeating], master secret derived from [name] unless
-    given. *)
+    given. The server connection binds eagerly (default backend [`Mem]),
+    so a [`Disk] owner's Install traffic is charged here, outside any
+    query window. *)
 
 val outsource_prepared :
   ?seed:int ->
   ?master:string ->
+  ?backend:backend_kind ->
   name:string ->
   graph:Snf_deps.Dep_graph.t ->
   representation:Snf_core.Partition.t ->
@@ -47,6 +64,23 @@ val outsource_prepared :
     a horizontal plan) instead of re-running a strategy. The plan records
     the given representation verbatim; its [snf] verdict is computed
     against [graph] with default semantics. *)
+
+val with_backend : owner -> backend_kind -> owner
+(** The same owner (keys, plan, store, plaintext) bound to a fresh
+    connection over the given backend — eagerly, as in [outsource]. The
+    original owner's binding is untouched; each handle releases its own
+    connection. Used by the differential harness to compare backends on
+    identical stores. *)
+
+val release : owner -> unit
+(** Close the owner's server connection (for [`Disk], removes its temp
+    directory). Idempotent; the next query transparently rebinds. *)
+
+val backend : owner -> backend_kind
+
+val wire_stats : owner -> Server_api.wire_stats
+(** Cumulative traffic on the owner's connection — includes the Install
+    message for [`Disk] bindings, which per-query traces exclude. *)
 
 val query :
   ?mode:Executor.mode ->

@@ -50,6 +50,66 @@ let r_string c =
   c.pos <- c.pos + n;
   s
 
+(* Element count for a list/array about to be read. Every serialized
+   element occupies at least one byte, so a count larger than the bytes
+   left is malformed — reject it before allocating, keeping garbled
+   lengths a typed error instead of a giant allocation. *)
+let r_count c =
+  let n = r_int c in
+  if n > String.length c.data - c.pos then fail "count exceeds input";
+  n
+
+let w_option w buf = function
+  | None -> w_u8 buf 0
+  | Some x ->
+    w_u8 buf 1;
+    w buf x
+
+let r_option r c =
+  match r_u8 c with
+  | 0 -> None
+  | 1 -> Some (r c)
+  | n -> fail (Printf.sprintf "bad option tag %d" n)
+
+let w_list w buf xs =
+  w_int buf (List.length xs);
+  List.iter (w buf) xs
+
+let r_list r c =
+  let n = r_count c in
+  List.init n (fun _ -> r c)
+
+let w_array w buf xs =
+  w_int buf (Array.length xs);
+  Array.iter (w buf) xs
+
+let r_array r c =
+  let n = r_count c in
+  Array.init n (fun _ -> r c)
+
+(* Bit-packed bool array: the on-wire form of a filter mask, one bit per
+   stored slot. *)
+let w_bools buf a =
+  let n = Array.length a in
+  w_int buf n;
+  let nbytes = (n + 7) / 8 in
+  for i = 0 to nbytes - 1 do
+    let b = ref 0 in
+    for j = 0 to 7 do
+      let k = (i * 8) + j in
+      if k < n && a.(k) then b := !b lor (1 lsl j)
+    done;
+    w_u8 buf !b
+  done
+
+let r_bools c =
+  let n = r_int c in
+  let nbytes = (n + 7) / 8 in
+  if n < 0 || c.pos + nbytes > String.length c.data then fail "truncated mask";
+  let a = Array.init n (fun k -> Char.code c.data.[c.pos + (k / 8)] lsr (k mod 8) land 1 = 1) in
+  c.pos <- c.pos + nbytes;
+  a
+
 (* --- scheme and cell codecs -------------------------------------------------- *)
 
 let scheme_tag = function
@@ -99,11 +159,51 @@ let r_cell c : Enc_relation.cell =
     let ord = r_int c in
     Enc_relation.C_ord { ord; payload = r_string c }
   | 3 ->
-    let n = r_int c in
+    let n = r_count c in
     let syms = Array.init n (fun _ -> r_u8 c) in
     Enc_relation.C_ore { ore = Ore.of_symbols syms; payload = r_string c }
   | 4 -> Enc_relation.C_nat (Nat.of_bytes_be (r_string c))
   | n -> fail (Printf.sprintf "unknown cell tag %d" n)
+
+(* --- leaf codec ----------------------------------------------------------------- *)
+
+let w_leaf buf (l : Enc_relation.enc_leaf) =
+  w_string buf l.Enc_relation.label;
+  w_int buf l.Enc_relation.row_count;
+  Array.iter (w_string buf) l.Enc_relation.tids;
+  w_int buf (List.length l.Enc_relation.columns);
+  List.iter
+    (fun (col : Enc_relation.enc_column) ->
+      w_string buf col.Enc_relation.attr;
+      w_u8 buf (scheme_tag col.Enc_relation.scheme);
+      Array.iter (w_cell buf) col.Enc_relation.cells)
+    l.Enc_relation.columns
+
+let r_leaf c : Enc_relation.enc_leaf =
+  let label = r_string c in
+  let row_count = r_int c in
+  if row_count > String.length c.data - c.pos then fail "row count exceeds input";
+  let tids = Array.init row_count (fun _ -> r_string c) in
+  let col_count = r_count c in
+  let columns =
+    List.init col_count (fun _ ->
+        let attr = r_string c in
+        let scheme = scheme_of_tag (r_u8 c) in
+        let cells = Array.init row_count (fun _ -> r_cell c) in
+        { Enc_relation.attr; scheme; cells })
+  in
+  { Enc_relation.label; row_count; tids; columns }
+
+let leaf_to_string l =
+  let buf = Buffer.create 1024 in
+  w_leaf buf l;
+  Buffer.contents buf
+
+let leaf_of_string data =
+  let c = { data; pos = 0 } in
+  let l = r_leaf c in
+  if c.pos <> String.length data then fail "trailing bytes";
+  l
 
 (* --- top level ----------------------------------------------------------------- *)
 
@@ -114,19 +214,7 @@ let to_string (t : Enc_relation.t) =
   w_string buf t.Enc_relation.relation_name;
   w_string buf (Nat.to_bytes_be t.Enc_relation.paillier_public.Snf_crypto.Paillier.n);
   w_int buf (List.length t.Enc_relation.leaves);
-  List.iter
-    (fun (l : Enc_relation.enc_leaf) ->
-      w_string buf l.Enc_relation.label;
-      w_int buf l.Enc_relation.row_count;
-      Array.iter (w_string buf) l.Enc_relation.tids;
-      w_int buf (List.length l.Enc_relation.columns);
-      List.iter
-        (fun (col : Enc_relation.enc_column) ->
-          w_string buf col.Enc_relation.attr;
-          w_u8 buf (scheme_tag col.Enc_relation.scheme);
-          Array.iter (w_cell buf) col.Enc_relation.cells)
-        l.Enc_relation.columns)
-    t.Enc_relation.leaves;
+  List.iter (w_leaf buf) t.Enc_relation.leaves;
   Buffer.contents buf
 
 let of_string data =
@@ -138,22 +226,8 @@ let of_string data =
   let relation_name = r_string c in
   let n = Nat.of_bytes_be (r_string c) in
   let paillier_public = Snf_crypto.Paillier.public_of_n n in
-  let leaf_count = r_int c in
-  let leaves =
-    List.init leaf_count (fun _ ->
-        let label = r_string c in
-        let row_count = r_int c in
-        let tids = Array.init row_count (fun _ -> r_string c) in
-        let col_count = r_int c in
-        let columns =
-          List.init col_count (fun _ ->
-              let attr = r_string c in
-              let scheme = scheme_of_tag (r_u8 c) in
-              let cells = Array.init row_count (fun _ -> r_cell c) in
-              { Enc_relation.attr; scheme; cells })
-        in
-        { Enc_relation.label; row_count; tids; columns })
-  in
+  let leaf_count = r_count c in
+  let leaves = List.init leaf_count (fun _ -> r_leaf c) in
   if c.pos <> String.length data then fail "trailing bytes";
   { Enc_relation.relation_name;
     leaves;
@@ -169,3 +243,345 @@ let load path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+(* --- message codec --------------------------------------------------------------- *)
+
+(* The request/response grammar of the client/server boundary
+   ([Server_api]). Same primitive discipline as the store image, separate
+   magic so a message can never be confused with a database image. *)
+
+let msg_magic = "SNFM"
+let msg_version = 1
+
+type filter_op =
+  | F_slots of int list
+  | F_eq of string * Enc_relation.eq_token
+  | F_range of string * Enc_relation.range_token
+
+type request =
+  | Describe
+  | Check_shape
+  | Install of string
+  | Index_probe of { leaf : string; attr : string; key : string option }
+  | Filter of { leaf : string; ops : filter_op list }
+  | Fetch_rows of { leaf : string; attrs : string list; slots : int list }
+  | Fetch_tids of { leaf : string }
+  | Oram_init of { leaf : string; seed : int; block_size : int; blocks : string array }
+  | Oram_read of { leaf : string; slot : int }
+  | Phe_sum of { leaf : string; attr : string }
+  | Group_sum of { leaf : string; group_by : string; sum : string }
+
+type response =
+  | R_unit
+  | R_described of { relation_name : string; leaves : (string * int) list }
+  | R_slots of int list option
+  | R_mask of { mask : bool array; scanned : int }
+  | R_rows of Enc_relation.cell array array
+  | R_tids of string array
+  | R_oram of { block : string option; touches : int }
+  | R_nat of Nat.t
+  | R_groups of (Enc_relation.cell * Nat.t) list
+  | R_error of { not_found : bool; msg : string }
+  | R_corrupt of Integrity.corruption
+
+let w_eq_token buf (tok : Enc_relation.eq_token) =
+  match tok with
+  | Enc_relation.Eq_plain v ->
+    w_u8 buf 0;
+    w_string buf (Value.encode v)
+  | Enc_relation.Eq_det b ->
+    w_u8 buf 1;
+    w_string buf b
+  | Enc_relation.Eq_ord o ->
+    w_u8 buf 2;
+    w_int buf o
+  | Enc_relation.Eq_ore o ->
+    w_u8 buf 3;
+    let syms = Ore.symbols o in
+    w_int buf (Array.length syms);
+    Array.iter (fun s -> w_u8 buf s) syms
+
+let r_eq_token c : Enc_relation.eq_token =
+  match r_u8 c with
+  | 0 -> Enc_relation.Eq_plain (Value.decode (r_string c))
+  | 1 -> Enc_relation.Eq_det (r_string c)
+  | 2 -> Enc_relation.Eq_ord (r_int c)
+  | 3 ->
+    let n = r_count c in
+    Enc_relation.Eq_ore (Ore.of_symbols (Array.init n (fun _ -> r_u8 c)))
+  | n -> fail (Printf.sprintf "unknown eq-token tag %d" n)
+
+let w_range_token buf (tok : Enc_relation.range_token) =
+  match tok with
+  | Enc_relation.Rng_plain (lo, hi) ->
+    w_u8 buf 0;
+    w_string buf (Value.encode lo);
+    w_string buf (Value.encode hi)
+  | Enc_relation.Rng_ord (lo, hi) ->
+    w_u8 buf 1;
+    w_int buf lo;
+    w_int buf hi
+  | Enc_relation.Rng_ore (lo, hi) ->
+    w_u8 buf 2;
+    List.iter
+      (fun o ->
+        let syms = Ore.symbols o in
+        w_int buf (Array.length syms);
+        Array.iter (fun s -> w_u8 buf s) syms)
+      [ lo; hi ]
+
+let r_range_token c : Enc_relation.range_token =
+  match r_u8 c with
+  | 0 ->
+    let lo = Value.decode (r_string c) in
+    Enc_relation.Rng_plain (lo, Value.decode (r_string c))
+  | 1 ->
+    let lo = r_int c in
+    Enc_relation.Rng_ord (lo, r_int c)
+  | 2 ->
+    let symbols () =
+      let n = r_count c in
+      Ore.of_symbols (Array.init n (fun _ -> r_u8 c))
+    in
+    let lo = symbols () in
+    Enc_relation.Rng_ore (lo, symbols ())
+  | n -> fail (Printf.sprintf "unknown range-token tag %d" n)
+
+let w_filter_op buf = function
+  | F_slots slots ->
+    w_u8 buf 0;
+    w_list w_int buf slots
+  | F_eq (attr, tok) ->
+    w_u8 buf 1;
+    w_string buf attr;
+    w_eq_token buf tok
+  | F_range (attr, tok) ->
+    w_u8 buf 2;
+    w_string buf attr;
+    w_range_token buf tok
+
+let r_filter_op c =
+  match r_u8 c with
+  | 0 -> F_slots (r_list r_int c)
+  | 1 ->
+    let attr = r_string c in
+    F_eq (attr, r_eq_token c)
+  | 2 ->
+    let attr = r_string c in
+    F_range (attr, r_range_token c)
+  | n -> fail (Printf.sprintf "unknown filter-op tag %d" n)
+
+let w_request buf = function
+  | Describe -> w_u8 buf 0
+  | Check_shape -> w_u8 buf 1
+  | Install image ->
+    w_u8 buf 2;
+    w_string buf image
+  | Index_probe { leaf; attr; key } ->
+    w_u8 buf 3;
+    w_string buf leaf;
+    w_string buf attr;
+    w_option w_string buf key
+  | Filter { leaf; ops } ->
+    w_u8 buf 4;
+    w_string buf leaf;
+    w_list w_filter_op buf ops
+  | Fetch_rows { leaf; attrs; slots } ->
+    w_u8 buf 5;
+    w_string buf leaf;
+    w_list w_string buf attrs;
+    w_list w_int buf slots
+  | Fetch_tids { leaf } ->
+    w_u8 buf 6;
+    w_string buf leaf
+  | Oram_init { leaf; seed; block_size; blocks } ->
+    w_u8 buf 7;
+    w_string buf leaf;
+    w_int buf seed;
+    w_int buf block_size;
+    w_array w_string buf blocks
+  | Oram_read { leaf; slot } ->
+    w_u8 buf 8;
+    w_string buf leaf;
+    w_int buf slot
+  | Phe_sum { leaf; attr } ->
+    w_u8 buf 9;
+    w_string buf leaf;
+    w_string buf attr
+  | Group_sum { leaf; group_by; sum } ->
+    w_u8 buf 10;
+    w_string buf leaf;
+    w_string buf group_by;
+    w_string buf sum
+
+let r_request c =
+  match r_u8 c with
+  | 0 -> Describe
+  | 1 -> Check_shape
+  | 2 -> Install (r_string c)
+  | 3 ->
+    let leaf = r_string c in
+    let attr = r_string c in
+    Index_probe { leaf; attr; key = r_option r_string c }
+  | 4 ->
+    let leaf = r_string c in
+    Filter { leaf; ops = r_list r_filter_op c }
+  | 5 ->
+    let leaf = r_string c in
+    let attrs = r_list r_string c in
+    Fetch_rows { leaf; attrs; slots = r_list r_int c }
+  | 6 -> Fetch_tids { leaf = r_string c }
+  | 7 ->
+    let leaf = r_string c in
+    let seed = r_int c in
+    let block_size = r_int c in
+    Oram_init { leaf; seed; block_size; blocks = r_array r_string c }
+  | 8 ->
+    let leaf = r_string c in
+    Oram_read { leaf; slot = r_int c }
+  | 9 ->
+    let leaf = r_string c in
+    Phe_sum { leaf; attr = r_string c }
+  | 10 ->
+    let leaf = r_string c in
+    let group_by = r_string c in
+    Group_sum { leaf; group_by; sum = r_string c }
+  | n -> fail (Printf.sprintf "unknown request tag %d" n)
+
+let w_corruption buf (c : Integrity.corruption) =
+  w_string buf c.Integrity.where;
+  w_option w_string buf c.Integrity.leaf;
+  w_option w_string buf c.Integrity.attr;
+  w_string buf c.Integrity.detail
+
+let r_corruption c : Integrity.corruption =
+  let where = r_string c in
+  let leaf = r_option r_string c in
+  let attr = r_option r_string c in
+  { Integrity.where; leaf; attr; detail = r_string c }
+
+let w_nat buf n = w_string buf (Nat.to_bytes_be n)
+let r_nat c = Nat.of_bytes_be (r_string c)
+
+let w_response buf = function
+  | R_unit -> w_u8 buf 0
+  | R_described { relation_name; leaves } ->
+    w_u8 buf 1;
+    w_string buf relation_name;
+    w_list
+      (fun buf (label, rows) ->
+        w_string buf label;
+        w_int buf rows)
+      buf leaves
+  | R_slots slots ->
+    w_u8 buf 2;
+    w_option (w_list w_int) buf slots
+  | R_mask { mask; scanned } ->
+    w_u8 buf 3;
+    w_bools buf mask;
+    w_int buf scanned
+  | R_rows cols ->
+    w_u8 buf 4;
+    w_array (w_array w_cell) buf cols
+  | R_tids tids ->
+    w_u8 buf 5;
+    w_array w_string buf tids
+  | R_oram { block; touches } ->
+    w_u8 buf 6;
+    w_option w_string buf block;
+    w_int buf touches
+  | R_nat n ->
+    w_u8 buf 7;
+    w_nat buf n
+  | R_groups groups ->
+    w_u8 buf 8;
+    w_list
+      (fun buf (cell, n) ->
+        w_cell buf cell;
+        w_nat buf n)
+      buf groups
+  | R_error { not_found; msg } ->
+    w_u8 buf 9;
+    w_u8 buf (if not_found then 1 else 0);
+    w_string buf msg
+  | R_corrupt c ->
+    w_u8 buf 10;
+    w_corruption buf c
+
+let r_response c =
+  match r_u8 c with
+  | 0 -> R_unit
+  | 1 ->
+    let relation_name = r_string c in
+    let leaves =
+      r_list
+        (fun c ->
+          let label = r_string c in
+          (label, r_int c))
+        c
+    in
+    R_described { relation_name; leaves }
+  | 2 -> R_slots (r_option (r_list r_int) c)
+  | 3 ->
+    let mask = r_bools c in
+    R_mask { mask; scanned = r_int c }
+  | 4 -> R_rows (r_array (r_array r_cell) c)
+  | 5 -> R_tids (r_array r_string c)
+  | 6 ->
+    let block = r_option r_string c in
+    R_oram { block; touches = r_int c }
+  | 7 -> R_nat (r_nat c)
+  | 8 ->
+    R_groups
+      (r_list
+         (fun c ->
+           let cell = r_cell c in
+           (cell, r_nat c))
+         c)
+  | 9 ->
+    let not_found = r_u8 c = 1 in
+    R_error { not_found; msg = r_string c }
+  | 10 -> R_corrupt (r_corruption c)
+  | n -> fail (Printf.sprintf "unknown response tag %d" n)
+
+let msg_to_string w x =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf msg_magic;
+  w_u8 buf msg_version;
+  w buf x;
+  Buffer.contents buf
+
+let msg_of_string r data =
+  let c = { data; pos = 0 } in
+  if String.length data < 5 || String.sub data 0 4 <> msg_magic then fail "bad message magic";
+  c.pos <- 4;
+  let v = r_u8 c in
+  if v <> msg_version then fail (Printf.sprintf "unsupported message version %d" v);
+  let x = r c in
+  if c.pos <> String.length data then fail "trailing bytes";
+  x
+
+let request_to_string r = msg_to_string w_request r
+let request_of_string s = msg_of_string r_request s
+let response_to_string r = msg_to_string w_response r
+let response_of_string s = msg_of_string r_response s
+
+(* --- manifest primitives ---------------------------------------------------------- *)
+
+module Prim = struct
+  type nonrec cursor = cursor
+
+  let w_u8 = w_u8
+  let w_int = w_int
+  let w_string = w_string
+  let w_nat = w_nat
+  let cursor data = { data; pos = 0 }
+  let r_u8 = r_u8
+  let r_int = r_int
+  let r_string = r_string
+  let r_nat = r_nat
+  let r_count = r_count
+
+  let expect_end c =
+    if c.pos <> String.length c.data then fail "trailing bytes"
+end

@@ -1,16 +1,26 @@
-(** Binary serialization of the outsourced (server-side) database.
+(** Binary serialization of the outsourced (server-side) database and of
+    the client/server message protocol.
 
-    The artifact the owner actually ships to the cloud: a self-describing,
-    versioned binary image of [Enc_relation.t]. Contains only ciphertexts,
-    public parameters and structural metadata — no key material — so
-    saving/loading is safe on the server side. The lazily built equality
-    indexes are not serialized (the server can always rebuild them from
-    what the image already reveals).
+    Two artifacts share the primitive discipline (little-endian 63-bit
+    non-negative integers, length-prefixed strings, tagged unions,
+    trailing-bytes check):
 
-    Format (all integers little-endian, strings length-prefixed):
-    magic ["SNFE"], version byte, relation name, Paillier modulus [n],
-    leaf count, then per leaf: label, row count, tid ciphertexts, columns
-    (attribute, scheme tag, tagged cells). *)
+    {ul
+    {- the {e store image} (magic ["SNFE"]): a self-describing, versioned
+       binary image of [Enc_relation.t] — the artifact the owner actually
+       ships to the cloud. Contains only ciphertexts, public parameters
+       and structural metadata, no key material. The lazily built
+       equality indexes are not serialized; the server can always rebuild
+       them from what the image already reveals (the disk backend proves
+       this claim).}
+    {- the {e message codec} (magic ["SNFM"]): every request/response
+       crossing the [Server_api] trust boundary. The serialized bytes ARE
+       the access-pattern leakage the paper reasons about — what a
+       network observer (or the honest-but-curious server) sees.}}
+
+    All decoders reject malformed input with a typed [Invalid_argument]
+    (message ["Wire: ..."]) — never a crash, never a silently wrong
+    value. *)
 
 val to_string : Enc_relation.t -> string
 
@@ -20,3 +30,93 @@ val of_string : string -> Enc_relation.t
 
 val save : string -> Enc_relation.t -> unit
 val load : string -> Enc_relation.t
+
+val leaf_to_string : Enc_relation.enc_leaf -> string
+(** One leaf in store-image framing (no magic) — the per-leaf file unit
+    of the disk backend, so leaves page in independently. *)
+
+val leaf_of_string : string -> Enc_relation.enc_leaf
+(** @raise Invalid_argument on truncated / malformed input. *)
+
+(** {1 Message protocol}
+
+    The typed grammar of the client/server boundary; see [Server_api] for
+    the operational semantics and DESIGN.md §Server boundary for the
+    per-message leakage account. *)
+
+type filter_op =
+  | F_slots of int list
+      (** restrict to these slots (an index-probe result); leaks the
+          matching row set, exactly like the probe already did *)
+  | F_eq of string * Enc_relation.eq_token
+  | F_range of string * Enc_relation.range_token
+
+type request =
+  | Describe  (** structural metadata: leaf labels and row counts *)
+  | Check_shape  (** ask the server to validate stored shapes *)
+  | Install of string  (** ship a store image ({!to_string}) *)
+  | Index_probe of { leaf : string; attr : string; key : string option }
+      (** probe the lazily built equality index; [key = None] still forces
+          the build attempt, keeping index accounting backend-independent *)
+  | Filter of { leaf : string; ops : filter_op list }
+  | Fetch_rows of { leaf : string; attrs : string list; slots : int list }
+  | Fetch_tids of { leaf : string }
+  | Oram_init of { leaf : string; seed : int; block_size : int; blocks : string array }
+      (** install sealed blocks into a fresh per-connection Path ORAM *)
+  | Oram_read of { leaf : string; slot : int }
+  | Phe_sum of { leaf : string; attr : string }
+  | Group_sum of { leaf : string; group_by : string; sum : string }
+
+type response =
+  | R_unit
+  | R_described of { relation_name : string; leaves : (string * int) list }
+  | R_slots of int list option
+      (** [None]: no canonical index exists for that column *)
+  | R_mask of { mask : bool array; scanned : int }
+      (** bit-packed on the wire; [scanned] = cells the server touched *)
+  | R_rows of Enc_relation.cell array array
+      (** one inner array per requested attribute, in request order *)
+  | R_tids of string array
+  | R_oram of { block : string option; touches : int }
+      (** [touches] is the ORAM's cumulative bucket-touch count *)
+  | R_nat of Snf_bignum.Nat.t
+  | R_groups of (Enc_relation.cell * Snf_bignum.Nat.t) list
+  | R_error of { not_found : bool; msg : string }
+      (** surfaced client-side as [Not_found] / [Invalid_argument] *)
+  | R_corrupt of Integrity.corruption
+      (** surfaced client-side as [Integrity.Corruption] *)
+
+val request_to_string : request -> string
+
+val request_of_string : string -> request
+(** @raise Invalid_argument on bad magic, unknown version or truncated /
+    malformed input. *)
+
+val response_to_string : response -> string
+
+val response_of_string : string -> response
+(** @raise Invalid_argument as {!request_of_string}. *)
+
+(** Low-level primitives, shared with the disk backend's manifest codec.
+    Same conventions as the store image; readers raise [Invalid_argument]
+    on malformed input. *)
+module Prim : sig
+  val w_u8 : Buffer.t -> int -> unit
+  val w_int : Buffer.t -> int -> unit
+  val w_string : Buffer.t -> string -> unit
+  val w_nat : Buffer.t -> Snf_bignum.Nat.t -> unit
+
+  type cursor
+
+  val cursor : string -> cursor
+  val r_u8 : cursor -> int
+  val r_int : cursor -> int
+  val r_string : cursor -> string
+  val r_nat : cursor -> Snf_bignum.Nat.t
+
+  val r_count : cursor -> int
+  (** Like {!r_int} but additionally bounded by the bytes remaining —
+      the safe way to read an element count before allocating. *)
+
+  val expect_end : cursor -> unit
+end

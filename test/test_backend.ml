@@ -1,0 +1,218 @@
+(* Backend invisibility, pinned end to end: the in-memory and disk
+   backends must be indistinguishable through the trust boundary — same
+   answer bags, same exec.query.* accounting, byte-identical wire traffic
+   — and the disk backend's lifecycle (temp dir, demand paging, cleanup)
+   must leave no residue. *)
+
+open Snf_relational
+open Snf_exec
+module Scheme = Snf_crypto.Scheme
+module Metrics = Snf_obs.Metrics
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* Every scheme, several leaves: point predicates over DET/OPE columns,
+   projections that force cross-leaf reconstruction. *)
+let owner ?backend () =
+  let r =
+    Relation.create
+      (Schema.of_attributes
+         [ Attribute.int "id"; Attribute.text "note"; Attribute.text "code";
+           Attribute.int "score"; Attribute.int "level"; Attribute.int "amount" ])
+      (List.init 12 (fun i ->
+           [| Value.Int i; Value.Text (Printf.sprintf "n%d" i);
+              Value.Text (Printf.sprintf "c%d" (i mod 3));
+              Value.Int (i * 7 mod 13); Value.Int (i mod 4); Value.Int (i * 10) |]))
+  in
+  let policy =
+    Snf_core.Policy.create
+      [ ("id", Scheme.Plain); ("note", Scheme.Ndet); ("code", Scheme.Det);
+        ("score", Scheme.Ope); ("level", Scheme.Ore); ("amount", Scheme.Phe) ]
+  in
+  let g = Snf_deps.Dep_graph.create (Snf_core.Policy.attrs policy) in
+  System.outsource ?backend ~name:"backend" ~graph:g r policy
+
+let queries =
+  [ Query.point ~select:[ "note" ] [ ("code", Value.Text "c1") ];
+    Query.point ~select:[ "note"; "score" ] [ ("code", Value.Text "c0") ];
+    Query.point ~select:[ "id"; "note" ] [ ("code", Value.Text "c2") ];
+    Query.point ~select:[ "note" ] [ ("code", Value.Text "nowhere") ] ]
+
+let run_q ?mode ?use_index o q =
+  match System.query ?mode ?use_index o q with
+  | Ok (ans, tr) -> (Helpers.bag ans, tr)
+  | Error e -> Alcotest.fail e
+
+(* The heart of the tentpole's acceptance: mem and disk twins of one store
+   agree on answers, counters and traffic for every reconstruction mode,
+   with and without the equality index. *)
+let test_mem_disk_parity () =
+  let mem = owner () in
+  let disk = System.with_backend mem `Disk in
+  Fun.protect
+    ~finally:(fun () -> System.release disk; System.release mem)
+  @@ fun () ->
+  Alcotest.(check string) "twin is disk-bound" "disk"
+    (System.backend_kind_name (System.backend disk));
+  List.iter
+    (fun (mode, use_index, tag) ->
+      List.iteri
+        (fun i q ->
+          let name fmt = Printf.sprintf "%s q%d: %s" tag i fmt in
+          let b0, t0 = run_q ~mode ~use_index mem q in
+          let b1, t1 = run_q ~mode ~use_index disk q in
+          Alcotest.(check bool) (name "same answer bag") true (b0 = b1);
+          Alcotest.(check bool) (name "matches the plaintext reference") true
+            (b0 = Helpers.bag (System.reference mem q));
+          List.iter
+            (fun (what, a, b) -> Alcotest.(check int) (name what) a b)
+            [ ("scanned cells", t0.Executor.scanned_cells, t1.Executor.scanned_cells);
+              ("index probes", t0.Executor.index_probes, t1.Executor.index_probes);
+              ("comparisons", t0.Executor.comparisons, t1.Executor.comparisons);
+              ("rows processed", t0.Executor.rows_processed, t1.Executor.rows_processed);
+              ("result rows", t0.Executor.result_rows, t1.Executor.result_rows);
+              ("wire requests", t0.Executor.wire_requests, t1.Executor.wire_requests);
+              ("wire bytes up", t0.Executor.wire_bytes_up, t1.Executor.wire_bytes_up);
+              ("wire bytes down", t0.Executor.wire_bytes_down, t1.Executor.wire_bytes_down) ])
+        queries)
+    [ (`Sort_merge, false, "sort-merge");
+      (`Sort_merge, true, "sort-merge+index");
+      (`Oram, false, "oram");
+      (`Binning 4, false, "binning") ]
+
+(* Homomorphic aggregation crosses the same boundary: identical sums and
+   grouped sums from both backends. *)
+let test_aggregation_parity () =
+  let r =
+    Relation.create
+      (Schema.of_attributes
+         [ Attribute.text "dept"; Attribute.int "salary"; Attribute.text "name" ])
+      [ [| Value.Text "eng"; Value.Int 100; Value.Text "a" |];
+        [| Value.Text "eng"; Value.Int 150; Value.Text "b" |];
+        [| Value.Text "hr"; Value.Int 90; Value.Text "c" |];
+        [| Value.Text "ops"; Value.Int 75; Value.Text "d" |] ]
+  in
+  let policy =
+    Snf_core.Policy.create
+      [ ("dept", Scheme.Det); ("salary", Scheme.Phe); ("name", Scheme.Ndet) ]
+  in
+  let g = Snf_deps.Dep_graph.create [ "dept"; "salary"; "name" ] in
+  let mem = System.outsource ~name:"backend-agg" ~graph:g r policy in
+  let disk = System.with_backend mem `Disk in
+  Fun.protect
+    ~finally:(fun () -> System.release disk; System.release mem)
+  @@ fun () ->
+  let leaf =
+    (List.find
+       (fun (l : Snf_core.Partition.leaf) -> Snf_core.Partition.mem_leaf l "salary")
+       mem.System.plan.Snf_core.Normalizer.representation)
+      .Snf_core.Partition.label
+  in
+  Alcotest.(check int) "sum agrees across backends"
+    (System.sum mem ~leaf ~attr:"salary")
+    (System.sum disk ~leaf ~attr:"salary");
+  Alcotest.(check int) "sum is the plaintext total" 415
+    (System.sum disk ~leaf ~attr:"salary");
+  let gs o =
+    System.group_sum o ~leaf ~group_by:"dept" ~sum:"salary"
+    |> List.map (fun (v, s) -> (Value.to_string v, s))
+  in
+  Alcotest.(check (list (pair string int))) "group sums agree across backends"
+    (gs mem) (gs disk);
+  Alcotest.(check (list (pair string int))) "group sums are correct"
+    [ ("eng", 250); ("hr", 90); ("ops", 75) ] (gs disk)
+
+(* Per-query trace wire fields are exactly the delta of the process-wide
+   exec.wire.* counters — the two accountings cannot drift apart. *)
+let test_trace_matches_global_counters () =
+  let o = owner ~backend:`Disk () in
+  Fun.protect ~finally:(fun () -> System.release o) @@ fun () ->
+  let read () =
+    ( Metrics.value (Metrics.counter "exec.wire.requests"),
+      Metrics.value (Metrics.counter "exec.wire.bytes_up"),
+      Metrics.value (Metrics.counter "exec.wire.bytes_down") )
+  in
+  List.iter
+    (fun q ->
+      let r0, u0, d0 = read () in
+      let _, tr = run_q o q in
+      let r1, u1, d1 = read () in
+      Alcotest.(check int) "trace requests = counter delta"
+        tr.Executor.wire_requests (r1 - r0);
+      Alcotest.(check int) "trace bytes up = counter delta"
+        tr.Executor.wire_bytes_up (u1 - u0);
+      Alcotest.(check int) "trace bytes down = counter delta"
+        tr.Executor.wire_bytes_down (d1 - d0);
+      Alcotest.(check bool) "a query is never free" true
+        (tr.Executor.wire_requests > 0 && tr.Executor.wire_bytes_down > 0))
+    queries
+
+(* Disk backend lifecycle: fresh temp dir, install resets residency,
+   leaves page in on demand, close removes everything. *)
+let test_disk_lifecycle () =
+  let o = owner () in
+  let b = Backend_disk.create_temp () in
+  let dir = Backend_disk.dir b in
+  Alcotest.(check bool) "temp dir exists" true
+    (Sys.file_exists dir && Sys.is_directory dir);
+  let conn = Server_api.connect (module Backend_disk) b in
+  Server_api.install conn (Wire.to_string o.System.enc);
+  Alcotest.(check (list string)) "install leaves nothing resident" []
+    (Backend_disk.resident_labels b);
+  let _, leaves = Server_api.describe conn in
+  Alcotest.(check bool) "describe needs no paging" true
+    (Backend_disk.resident_labels b = [] && leaves <> []);
+  let first = fst (List.hd leaves) in
+  ignore (Server_api.fetch_tids conn ~leaf:first);
+  Alcotest.(check (list string)) "exactly the touched leaf is resident"
+    [ first ] (Backend_disk.resident_labels b);
+  Alcotest.(check bool) "store files landed on disk" true
+    (Array.length (Sys.readdir dir) > 1);
+  Server_api.close conn;
+  Alcotest.(check bool) "close removes the owned temp dir" false
+    (Sys.file_exists dir)
+
+(* Release is idempotent and the next query transparently rebinds —
+   an owner handle survives its connection. *)
+let test_release_and_rebind () =
+  let o = owner ~backend:`Disk () in
+  let q = List.hd queries in
+  let b0, _ = run_q o q in
+  System.release o;
+  System.release o;
+  let b1, _ = run_q o q in
+  Alcotest.(check bool) "same answers after rebind" true (b0 = b1);
+  Alcotest.(check bool) "rebound connection carries traffic" true
+    ((System.wire_stats o).Server_api.requests > 0);
+  System.release o
+
+(* Ciphertexts (and so the serialized traffic) are independent of the
+   domain fan-out — the wire is deterministic under parallelism. *)
+let test_wire_deterministic_across_domains () =
+  let saved = Parallel.domain_count () in
+  Fun.protect ~finally:(fun () -> Parallel.set_domain_count saved)
+  @@ fun () ->
+  let profile domains =
+    Parallel.set_domain_count domains;
+    let o = owner ~backend:`Disk () in
+    Fun.protect ~finally:(fun () -> System.release o) @@ fun () ->
+    let install = System.wire_stats o in
+    List.map
+      (fun q ->
+        let bag, tr = run_q o q in
+        (bag, tr.Executor.wire_requests, tr.Executor.wire_bytes_up,
+         tr.Executor.wire_bytes_down))
+      queries
+    |> fun per_query -> (install.Server_api.bytes_up, per_query)
+  in
+  let p1 = profile 1 and p4 = profile 4 in
+  Alcotest.(check bool) "install bytes and per-query traffic identical" true
+    (p1 = p4)
+
+let suite =
+  [ t "mem/disk parity: bags, counters, wire traffic" test_mem_disk_parity;
+    t "mem/disk parity: homomorphic aggregation" test_aggregation_parity;
+    t "trace wire fields equal global counter deltas" test_trace_matches_global_counters;
+    t "disk lifecycle: paging and temp-dir cleanup" test_disk_lifecycle;
+    t "release idempotent, queries rebind" test_release_and_rebind;
+    t "wire deterministic across domain counts" test_wire_deterministic_across_domains ]

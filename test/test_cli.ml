@@ -74,10 +74,65 @@ let check_soak_passes () =
      check_bool "report records a pass" true
        (Snf_obs.Json.member "passed" json = Some (Snf_obs.Json.Bool true)))
 
+let with_csv f =
+  let path = Filename.temp_file "snf_cli_test" ".csv" in
+  let oc = open_out_bin path in
+  output_string oc "id:int,code:text\n0,c0\n1,c1\n2,c0\n3,c1\n4,c1\n";
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let query_backend_selection () =
+  with_csv @@ fun csv ->
+  let query backend =
+    fst
+      (run
+         [ "query"; "--csv"; csv; "--enc"; "code=DET"; "--select"; "id";
+           "--where"; "code=c1"; "--backend"; backend ])
+  in
+  check_int "query --backend mem exits 0" 0 (query "mem");
+  check_int "query --backend disk exits 0" 0 (query "disk");
+  let code, err = run ~capture_stderr:true
+      [ "query"; "--csv"; csv; "--select"; "id"; "--backend"; "floppy" ]
+  in
+  check_int "unknown backend exits 2" 2 code;
+  check_bool "rejection names the flag" true (contains err "backend")
+
+let check_rotate_with_metrics () =
+  let out = Filename.temp_file "snf_cli_test" ".json" in
+  let metrics = Filename.temp_file "snf_cli_test" ".metrics.json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove out; Sys.remove metrics)
+    (fun () ->
+      let code, _ =
+        run
+          [ "check"; "--seed"; "11"; "--queries"; "20"; "--rows"; "8";
+            "--backend"; "rotate"; "--out"; out; "--metrics-out"; metrics ]
+      in
+      check_int "rotating soak exits 0" 0 code;
+      let ic = open_in_bin metrics in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (match Snf_obs.Json.of_string text with
+       | Error e -> Alcotest.failf "metrics snapshot is not JSON: %s" e
+       | Ok _ -> ());
+      check_bool "snapshot carries the wire traffic counters" true
+        (contains text "exec.wire.requests");
+      check_bool "snapshot carries the per-phase wire counters" true
+        (contains text "exec.wire.probe.requests"));
+  check_int "unknown check backend exits 2" 2
+    (fst (run [ "check"; "--backend"; "floppy" ]))
+
 let suite =
   [ Alcotest.test_case "binary present" `Quick binary_present;
     Alcotest.test_case "help and version exit 0" `Quick help_ok;
     Alcotest.test_case "unknown subcommand exits 2" `Quick unknown_subcommand;
     Alcotest.test_case "unknown flag exits 2" `Quick unknown_flag;
     Alcotest.test_case "malformed values exit 2" `Quick malformed_value;
-    Alcotest.test_case "check soak exits 0 and writes JSON" `Slow check_soak_passes ]
+    Alcotest.test_case "check soak exits 0 and writes JSON" `Slow check_soak_passes;
+    Alcotest.test_case "query --backend mem|disk, exit 2 on unknown" `Slow
+      query_backend_selection;
+    Alcotest.test_case "check --backend rotate writes wire metrics" `Slow
+      check_rotate_with_metrics ]

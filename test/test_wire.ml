@@ -105,6 +105,44 @@ let test_corruption_detected () =
   Alcotest.(check bool) "unknown version" true (reject (Bytes.to_string tampered));
   Alcotest.(check bool) "empty" true (reject "")
 
+(* The satellite fix this pins: a store rebuilt from its wire image has an
+   empty equality-index cache, yet an indexed query must behave identically
+   — same answers, same index-probe accounting, same wire traffic — because
+   the index is rebuilt lazily from what the image already carries. *)
+let test_loaded_store_indexed_differential () =
+  let o = owner () in
+  let rep = o.System.plan.Snf_core.Normalizer.representation in
+  let queries =
+    [ Query.point ~select:[ "note" ] [ ("code", Value.Text "c1") ];
+      Query.point ~select:[ "note"; "score" ] [ ("code", Value.Text "c0") ];
+      Query.point ~select:[ "id" ] [ ("code", Value.Text "missing") ] ]
+  in
+  let run enc q =
+    match Executor.run ~use_index:true o.System.client enc rep q with
+    | Ok (ans, tr) -> (Helpers.bag ans, tr)
+    | Error e -> Alcotest.fail e
+  in
+  let enc' = Wire.of_string (Wire.to_string o.System.enc) in
+  List.iteri
+    (fun i q ->
+      let name fmt = Printf.sprintf "q%d: %s" i fmt in
+      let bag0, tr0 = run o.System.enc q in
+      let bag1, tr1 = run enc' q in
+      Alcotest.(check bool) (name "same answer bag") true (bag0 = bag1);
+      Alcotest.(check bool) (name "index served the probe") true
+        (tr0.Executor.index_probes > 0);
+      Alcotest.(check int) (name "index probes") tr0.Executor.index_probes
+        tr1.Executor.index_probes;
+      Alcotest.(check int) (name "scanned cells") tr0.Executor.scanned_cells
+        tr1.Executor.scanned_cells;
+      Alcotest.(check int) (name "wire requests") tr0.Executor.wire_requests
+        tr1.Executor.wire_requests;
+      Alcotest.(check int) (name "wire bytes up") tr0.Executor.wire_bytes_up
+        tr1.Executor.wire_bytes_up;
+      Alcotest.(check int) (name "wire bytes down") tr0.Executor.wire_bytes_down
+        tr1.Executor.wire_bytes_down)
+    queries
+
 let test_save_load_file () =
   let o = owner () in
   let path = Filename.temp_file "snf_wire" ".bin" in
@@ -122,4 +160,5 @@ let suite =
     t "loaded store queryable" test_loaded_store_is_queryable;
     t "loaded phe sum" test_loaded_phe_sum;
     t "corruption detected" test_corruption_detected;
+    t "loaded store indexed differential" test_loaded_store_indexed_differential;
     t "save/load file" test_save_load_file ]

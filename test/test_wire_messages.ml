@@ -1,0 +1,286 @@
+(* The message codec is the trust boundary's syntax: every request and
+   response constructor must survive a byte round trip, and no byte-level
+   damage — truncation, bit flips, random garbage — may crash the decoder
+   or make it allocate unboundedly. Tokens and cells carry abstract
+   ciphertexts without structural equality, so round trips are checked on
+   re-serialized bytes: [to_string (of_string s) = s]. *)
+
+open Snf_relational
+open Snf_exec
+module Gen = QCheck2.Gen
+module Nat = Snf_bignum.Nat
+module Ore = Snf_crypto.Ore
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* {1 Generators over the message grammar} *)
+
+let gen_label = Gen.oneofl [ "R"; "R.a~b"; "wire"; "t0"; "leaf-x" ]
+let gen_attr = Gen.oneofl [ "a"; "b"; "code"; "score"; "amount" ]
+let gen_blob = Gen.string_size (Gen.int_bound 16)
+let gen_slot = Gen.int_bound 1000
+let gen_slots = Gen.list_size (Gen.int_bound 8) gen_slot
+
+let gen_value =
+  Gen.oneof
+    [ Gen.return Value.Null;
+      Gen.map (fun b -> Value.Bool b) Gen.bool;
+      Gen.map (fun i -> Value.Int i) Gen.int;
+      Gen.map (fun f -> Value.Float f) Gen.float;
+      Gen.map (fun s -> Value.Text s) gen_blob ]
+
+let gen_ore =
+  Gen.map
+    (fun syms -> Ore.of_symbols (Array.of_list syms))
+    (Gen.list_size (Gen.int_range 1 12) (Gen.int_bound 2))
+
+let gen_nat = Gen.map Nat.of_int Gen.nat
+
+let gen_eq_token =
+  Gen.oneof
+    [ Gen.map (fun v -> Enc_relation.Eq_plain v) gen_value;
+      Gen.map (fun s -> Enc_relation.Eq_det s) gen_blob;
+      Gen.map (fun o -> Enc_relation.Eq_ord o) Gen.nat;
+      Gen.map (fun c -> Enc_relation.Eq_ore c) gen_ore ]
+
+let gen_range_token =
+  Gen.oneof
+    [ Gen.map2 (fun a b -> Enc_relation.Rng_plain (a, b)) gen_value gen_value;
+      Gen.map2 (fun a b -> Enc_relation.Rng_ord (a, b)) Gen.nat Gen.nat;
+      Gen.map2 (fun a b -> Enc_relation.Rng_ore (a, b)) gen_ore gen_ore ]
+
+let gen_filter_op =
+  Gen.oneof
+    [ Gen.map (fun s -> Wire.F_slots s) gen_slots;
+      Gen.map2 (fun a tk -> Wire.F_eq (a, tk)) gen_attr gen_eq_token;
+      Gen.map2 (fun a tk -> Wire.F_range (a, tk)) gen_attr gen_range_token ]
+
+let gen_cell =
+  Gen.oneof
+    [ Gen.map (fun v -> Enc_relation.C_plain v) gen_value;
+      Gen.map (fun s -> Enc_relation.C_bytes s) gen_blob;
+      Gen.map2
+        (fun ord payload -> Enc_relation.C_ord { ord; payload })
+        Gen.nat gen_blob;
+      Gen.map2
+        (fun ore payload -> Enc_relation.C_ore { ore; payload })
+        gen_ore gen_blob;
+      Gen.map (fun n -> Enc_relation.C_nat n) gen_nat ]
+
+let gen_request =
+  Gen.oneof
+    [ Gen.return Wire.Describe;
+      Gen.return Wire.Check_shape;
+      Gen.map (fun s -> Wire.Install s) gen_blob;
+      Gen.map2
+        (fun (leaf, attr) key -> Wire.Index_probe { leaf; attr; key })
+        (Gen.pair gen_label gen_attr)
+        (Gen.option gen_blob);
+      Gen.map2
+        (fun leaf ops -> Wire.Filter { leaf; ops })
+        gen_label
+        (Gen.list_size (Gen.int_bound 4) gen_filter_op);
+      Gen.map2
+        (fun (leaf, attrs) slots -> Wire.Fetch_rows { leaf; attrs; slots })
+        (Gen.pair gen_label (Gen.list_size (Gen.int_bound 4) gen_attr))
+        gen_slots;
+      Gen.map (fun leaf -> Wire.Fetch_tids { leaf }) gen_label;
+      Gen.map2
+        (fun (leaf, seed) (block_size, blocks) ->
+          Wire.Oram_init { leaf; seed; block_size; blocks })
+        (Gen.pair gen_label Gen.nat)
+        (Gen.pair (Gen.int_range 1 64)
+           (Gen.map Array.of_list (Gen.list_size (Gen.int_bound 6) gen_blob)));
+      Gen.map2 (fun leaf slot -> Wire.Oram_read { leaf; slot }) gen_label gen_slot;
+      Gen.map2 (fun leaf attr -> Wire.Phe_sum { leaf; attr }) gen_label gen_attr;
+      Gen.map2
+        (fun leaf (group_by, sum) -> Wire.Group_sum { leaf; group_by; sum })
+        gen_label (Gen.pair gen_attr gen_attr) ]
+
+let gen_corruption =
+  Gen.map2
+    (fun (where, detail) (leaf, attr) ->
+      { Integrity.where; leaf; attr; detail })
+    (Gen.pair (Gen.oneofl [ "tid"; "cell"; "leaf"; "index"; "store" ]) gen_blob)
+    (Gen.pair (Gen.option gen_label) (Gen.option gen_attr))
+
+let gen_response =
+  Gen.oneof
+    [ Gen.return Wire.R_unit;
+      Gen.map2
+        (fun relation_name leaves -> Wire.R_described { relation_name; leaves })
+        gen_blob
+        (Gen.list_size (Gen.int_bound 4) (Gen.pair gen_label Gen.nat));
+      Gen.map (fun s -> Wire.R_slots s) (Gen.option gen_slots);
+      Gen.map2
+        (fun mask scanned -> Wire.R_mask { mask = Array.of_list mask; scanned })
+        (Gen.list_size (Gen.int_bound 40) Gen.bool)
+        Gen.nat;
+      Gen.map
+        (fun cols ->
+          Wire.R_rows (Array.of_list (List.map Array.of_list cols)))
+        (Gen.list_size (Gen.int_bound 3)
+           (Gen.list_size (Gen.int_bound 5) gen_cell));
+      Gen.map
+        (fun tids -> Wire.R_tids (Array.of_list tids))
+        (Gen.list_size (Gen.int_bound 6) gen_blob);
+      Gen.map2
+        (fun block touches -> Wire.R_oram { block; touches })
+        (Gen.option gen_blob) Gen.nat;
+      Gen.map (fun n -> Wire.R_nat n) gen_nat;
+      Gen.map
+        (fun gs -> Wire.R_groups gs)
+        (Gen.list_size (Gen.int_bound 4) (Gen.pair gen_cell gen_nat));
+      Gen.map2
+        (fun not_found msg -> Wire.R_error { not_found; msg })
+        Gen.bool gen_blob;
+      Gen.map (fun c -> Wire.R_corrupt c) gen_corruption ]
+
+(* {1 Round trips} *)
+
+let req_roundtrips req =
+  let s = Wire.request_to_string req in
+  String.equal (Wire.request_to_string (Wire.request_of_string s)) s
+
+let resp_roundtrips resp =
+  let s = Wire.response_to_string resp in
+  String.equal (Wire.response_to_string (Wire.response_of_string s)) s
+
+(* One instance of every constructor, so coverage of the grammar does not
+   depend on generator luck. *)
+let sample_requests =
+  let ore = Ore.of_symbols [| 0; 1; 2 |] in
+  [ Wire.Describe; Wire.Check_shape; Wire.Install "not-a-real-image";
+    Wire.Index_probe { leaf = "R"; attr = "a"; key = None };
+    Wire.Index_probe { leaf = "R"; attr = "a"; key = Some "k\x00k" };
+    Wire.Filter
+      { leaf = "R";
+        ops =
+          [ Wire.F_slots [ 0; 2; 5 ];
+            Wire.F_eq ("a", Enc_relation.Eq_plain (Value.Int 3));
+            Wire.F_eq ("a", Enc_relation.Eq_det "det-bytes");
+            Wire.F_eq ("a", Enc_relation.Eq_ord 17);
+            Wire.F_eq ("a", Enc_relation.Eq_ore ore);
+            Wire.F_range ("b", Enc_relation.Rng_plain (Value.Int 1, Value.Int 9));
+            Wire.F_range ("b", Enc_relation.Rng_ord (2, 4));
+            Wire.F_range ("b", Enc_relation.Rng_ore (ore, ore)) ] };
+    Wire.Fetch_rows { leaf = "R"; attrs = [ "a"; "b" ]; slots = [ 1; 3 ] };
+    Wire.Fetch_tids { leaf = "R" };
+    Wire.Oram_init
+      { leaf = "R"; seed = 0x09a7; block_size = 8;
+        blocks = [| "blk0\x00\x00\x00\x00"; "blk1\x01\x01\x01\x01" |] };
+    Wire.Oram_read { leaf = "R"; slot = 4 };
+    Wire.Phe_sum { leaf = "R"; attr = "amount" };
+    Wire.Group_sum { leaf = "R"; group_by = "a"; sum = "amount" } ]
+
+let sample_responses =
+  [ Wire.R_unit;
+    Wire.R_described
+      { relation_name = "r"; leaves = [ ("R.a", 4); ("R.b", 4) ] };
+    Wire.R_slots None; Wire.R_slots (Some [ 0; 7 ]);
+    Wire.R_mask { mask = [| true; false; true; true; false |]; scanned = 5 };
+    Wire.R_rows
+      [| [| Enc_relation.C_plain (Value.Text "x");
+            Enc_relation.C_bytes "\x00\xffraw" |];
+         [| Enc_relation.C_ord { ord = 9; payload = "p" };
+            Enc_relation.C_ore
+              { ore = Ore.of_symbols [| 1; 0; 2; 2 |]; payload = "q" } |];
+         [| Enc_relation.C_nat (Nat.of_int 12345); Enc_relation.C_plain Value.Null |] |];
+    Wire.R_tids [| "t0"; "t1\x00" |];
+    Wire.R_oram { block = None; touches = 0 };
+    Wire.R_oram { block = Some "sealed"; touches = 42 };
+    Wire.R_nat (Nat.of_int 99991);
+    Wire.R_groups
+      [ (Enc_relation.C_bytes "g1", Nat.of_int 10);
+        (Enc_relation.C_plain (Value.Int 2), Nat.of_int 0) ];
+    Wire.R_error { not_found = true; msg = "no such leaf" };
+    Wire.R_error { not_found = false; msg = "bad request" };
+    Wire.R_corrupt
+      { Integrity.where = "leaf"; leaf = Some "R"; attr = None;
+        detail = "row count mismatch" } ]
+
+let test_every_constructor_roundtrips () =
+  List.iteri
+    (fun i req ->
+      Alcotest.(check bool)
+        (Printf.sprintf "request %d survives the codec" i)
+        true (req_roundtrips req))
+    sample_requests;
+  List.iteri
+    (fun i resp ->
+      Alcotest.(check bool)
+        (Printf.sprintf "response %d survives the codec" i)
+        true (resp_roundtrips resp))
+    sample_responses
+
+(* {1 Malformed input: typed rejection, never a crash} *)
+
+(* A decoder outcome we accept on damaged bytes: a decoded value (the
+   damage happened to form a valid message) or the documented typed
+   failures. Anything else — Stack_overflow, Out_of_memory, a match
+   failure — fails the property. *)
+let decodes_safely decode s =
+  match decode s with
+  | _ -> true
+  | exception Invalid_argument _ -> true
+  | exception Integrity.Corruption _ -> true
+
+let rejects decode s =
+  match decode s with
+  | _ -> false
+  | exception Invalid_argument _ -> true
+
+let test_every_prefix_rejected () =
+  let strict_prefixes s =
+    List.init (String.length s) (fun n -> String.sub s 0 n)
+  in
+  List.iter
+    (fun req ->
+      List.iter
+        (fun p ->
+          if not (rejects Wire.request_of_string p) then
+            Alcotest.failf "truncated request accepted at %d bytes"
+              (String.length p))
+        (strict_prefixes (Wire.request_to_string req)))
+    sample_requests;
+  List.iter
+    (fun resp ->
+      List.iter
+        (fun p ->
+          if not (rejects Wire.response_of_string p) then
+            Alcotest.failf "truncated response accepted at %d bytes"
+              (String.length p))
+        (strict_prefixes (Wire.response_to_string resp)))
+    sample_responses
+
+let flip s pos byte =
+  let b = Bytes.of_string s in
+  let pos = pos mod Bytes.length b in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 + (byte mod 255))));
+  Bytes.to_string b
+
+let suite =
+  [ t "every constructor roundtrips" test_every_constructor_roundtrips;
+    t "every strict prefix rejected" test_every_prefix_rejected;
+    Helpers.qtest ~count:300 "random requests roundtrip" gen_request
+      req_roundtrips;
+    Helpers.qtest ~count:300 "random responses roundtrip" gen_response
+      resp_roundtrips;
+    Helpers.qtest ~count:300 "flipped request bytes decode safely"
+      (Gen.triple gen_request Gen.nat Gen.nat)
+      (fun (req, pos, byte) ->
+        decodes_safely Wire.request_of_string
+          (flip (Wire.request_to_string req) pos byte));
+    Helpers.qtest ~count:300 "flipped response bytes decode safely"
+      (Gen.triple gen_response Gen.nat Gen.nat)
+      (fun (resp, pos, byte) ->
+        decodes_safely Wire.response_of_string
+          (flip (Wire.response_to_string resp) pos byte));
+    Helpers.qtest ~count:300 "random garbage rejected, never a crash"
+      (Gen.string_size (Gen.int_bound 64))
+      (fun s ->
+        decodes_safely Wire.request_of_string s
+        && decodes_safely Wire.response_of_string s
+        (* no valid message is shorter than the magic+version header,
+           so short strings must be rejected outright *)
+        && (String.length s >= 5 || rejects Wire.request_of_string s)) ]
