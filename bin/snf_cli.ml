@@ -195,8 +195,18 @@ let normalize_cmd =
 
 let query_cmd =
   let select_arg =
-    Arg.(required & opt (some string) None & info [ "select" ] ~docv:"ATTRS"
-           ~doc:"Comma-separated projection attributes.")
+    Arg.(value & opt (some string) None & info [ "select" ] ~docv:"ATTRS"
+           ~doc:"Comma-separated projection attributes (required unless \
+                 $(b,--batch) is given).")
+  in
+  let batch_arg =
+    Arg.(value & opt (some file) None & info [ "batch" ] ~docv:"FILE"
+           ~doc:"Run a whole batch of queries in one shared pass instead \
+                 of a single query: one query per line in the form \
+                 'sel1,sel2 : attr=val,attr2=lo..hi' (point and inclusive \
+                 range predicates; blank lines and #-comments skipped). \
+                 All queries ship in one wire round trip and share the \
+                 oblivious reconstruction. Malformed lines exit 2.")
   in
   let where_arg =
     Arg.(value & opt string "" & info [ "where" ] ~docv:"PREDS"
@@ -234,7 +244,77 @@ let query_cmd =
                    directory, removed on exit. Answers and traces are \
                    identical either way.")
   in
-  let run csv enc default select where mode trace_out backend =
+  (* Batch-file grammar, one query per line:
+       sel1,sel2 : attr=val,attr2=lo..hi
+     Any malformed line is CLI misuse — report it and exit 2 (the same
+     code cmdliner uses for unparseable flags), never 3. *)
+  let split_once sep s =
+    let n = String.length sep in
+    let rec find i =
+      if i + n > String.length s then None
+      else if String.sub s i n = sep then
+        Some (String.sub s 0 i, String.sub s (i + n) (String.length s - i - n))
+      else find (i + 1)
+    in
+    find 0
+  in
+  let parse_batch_file path parse_value =
+    let ic = open_in path in
+    let lines =
+      Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+      let rec go acc n =
+        match input_line ic with
+        | line -> go ((n, line) :: acc) (n + 1)
+        | exception End_of_file -> List.rev acc
+      in
+      go [] 1
+    in
+    let malformed n msg =
+      Printf.eprintf "snf_cli: %s line %d: %s\n" path n msg;
+      exit 2
+    in
+    lines
+    |> List.filter (fun (_, line) ->
+           let line = String.trim line in
+           line <> "" && line.[0] <> '#')
+    |> List.map (fun (n, line) ->
+           match String.index_opt line ':' with
+           | None -> malformed n "expected 'select-attrs : predicates'"
+           | Some i ->
+             let select =
+               String.sub line 0 i |> String.split_on_char ','
+               |> List.map String.trim |> List.filter (( <> ) "")
+             in
+             if select = [] then malformed n "empty projection";
+             let preds =
+               String.sub line (i + 1) (String.length line - i - 1)
+               |> String.split_on_char ',' |> List.map String.trim
+               |> List.filter (( <> ) "")
+               |> List.map (fun pair ->
+                      match String.index_opt pair '=' with
+                      | None ->
+                        malformed n (Printf.sprintf "bad predicate %S" pair)
+                      | Some j ->
+                        let attr = String.trim (String.sub pair 0 j) in
+                        let raw =
+                          String.sub pair (j + 1) (String.length pair - j - 1)
+                        in
+                        let value v =
+                          try parse_value attr v with
+                          | Failure msg | Invalid_argument msg ->
+                            malformed n
+                              (Printf.sprintf "bad value %S for %s: %s" v attr msg)
+                          | Not_found ->
+                            malformed n (Printf.sprintf "unknown attribute %S" attr)
+                        in
+                        (match split_once ".." raw with
+                         | Some (lo, hi) ->
+                           Snf_exec.Query.Range (attr, value lo, value hi)
+                         | None -> Snf_exec.Query.Point (attr, value raw)))
+             in
+             { Snf_exec.Query.select; where = preds })
+  in
+  let run csv enc default select where mode trace_out backend batch =
     let r = load_csv csv in
     let policy = policy_of ~enc ~default r in
     let schema = Relation.schema r in
@@ -245,36 +325,75 @@ let query_cmd =
       | Value.TBool -> Value.Bool (bool_of_string raw)
       | Value.TText -> Value.Text raw
     in
-    let preds = parse_preds where parse_value in
-    let select = String.split_on_char ',' select |> List.filter (( <> ) "") in
     if trace_out <> None then Snf_obs.Span.set_enabled true;
-    let owner = Snf_exec.System.outsource ~backend ~name:"cli" r policy in
-    (* Release drops the server connection — for the disk backend, that
-       removes its temp directory. *)
-    Fun.protect ~finally:(fun () -> Snf_exec.System.release owner) @@ fun () ->
-    let q = Snf_exec.Query.point ~select preds in
-    match Snf_exec.System.query ~mode owner q with
-    | Ok (ans, trace) ->
-      Format.printf "%a@." (Relation.pp ~max_rows:50) ans;
-      Format.printf "-- backend: %s@."
+    match batch with
+    | Some path ->
+      let qs = parse_batch_file path parse_value in
+      if qs = [] then begin
+        Printf.eprintf "snf_cli: %s: no queries\n" path;
+        exit 2
+      end;
+      let owner = Snf_exec.System.outsource ~backend ~name:"cli" r policy in
+      Fun.protect ~finally:(fun () -> Snf_exec.System.release owner) @@ fun () ->
+      let results = Snf_exec.System.query_batch ~mode owner qs in
+      List.iteri
+        (fun i (q, result) ->
+          Format.printf "== query %d: %a@." i Snf_exec.Query.pp q;
+          match result with
+          | Error e -> Printf.printf "query %d failed: %s\n" i e
+          | Ok (ans, trace) ->
+            Format.printf "%a@." (Relation.pp ~max_rows:50) ans;
+            Format.printf "-- %a@." Snf_exec.Executor.pp_trace trace)
+        (List.combine qs results);
+      Printf.printf "-- batch of %d queries in one shared pass (backend: %s)\n"
+        (List.length qs)
         (Snf_exec.System.backend_kind_name (Snf_exec.System.backend owner));
-      Format.printf "-- %a@." Snf_exec.Executor.pp_trace trace;
-      (* Export before [verify] re-runs the query, so the embedded
-         exec.query.* totals equal the printed trace exactly. *)
       (match trace_out with
        | Some path ->
          Snf_obs.Export.write ~path
            (Snf_obs.Export.chrome_trace ~metrics:(Snf_obs.Metrics.snapshot ())
               (Snf_obs.Span.events ()));
          Printf.printf "-- wrote %s (open in chrome://tracing or Perfetto)\n" path
-       | None -> ());
-      Printf.printf "-- verified against plaintext reference: %b\n"
-        (Snf_exec.System.verify ~mode owner q)
-    | Error e -> Printf.printf "query failed: %s\n" e
+       | None -> ())
+    | None ->
+      let select =
+        match select with
+        | Some s -> String.split_on_char ',' s |> List.filter (( <> ) "")
+        | None ->
+          prerr_endline "snf_cli: query needs --select ATTRS (or --batch FILE)";
+          exit 2
+      in
+      let preds = parse_preds where parse_value in
+      let owner = Snf_exec.System.outsource ~backend ~name:"cli" r policy in
+      (* Release drops the server connection — for the disk backend, that
+         removes its temp directory. *)
+      Fun.protect ~finally:(fun () -> Snf_exec.System.release owner) @@ fun () ->
+      let q = Snf_exec.Query.point ~select preds in
+      (match Snf_exec.System.query ~mode owner q with
+       | Ok (ans, trace) ->
+         Format.printf "%a@." (Relation.pp ~max_rows:50) ans;
+         Format.printf "-- backend: %s@."
+           (Snf_exec.System.backend_kind_name (Snf_exec.System.backend owner));
+         Format.printf "-- %a@." Snf_exec.Executor.pp_trace trace;
+         (* Export before [verify] re-runs the query, so the embedded
+            exec.query.* totals equal the printed trace exactly. *)
+         (match trace_out with
+          | Some path ->
+            Snf_obs.Export.write ~path
+              (Snf_obs.Export.chrome_trace ~metrics:(Snf_obs.Metrics.snapshot ())
+                 (Snf_obs.Span.events ()));
+            Printf.printf "-- wrote %s (open in chrome://tracing or Perfetto)\n" path
+          | None -> ());
+         Printf.printf "-- verified against plaintext reference: %b\n"
+           (Snf_exec.System.verify ~mode owner q)
+       | Error e -> Printf.printf "query failed: %s\n" e)
   in
-  Cmd.v (Cmd.info "query" ~doc:"Outsource a CSV and run a point query securely.")
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Outsource a CSV and run a point query — or a whole batch of \
+             queries in one shared pass — securely.")
     Term.(const run $ csv_arg $ enc_arg $ default_scheme_arg $ select_arg $ where_arg
-          $ mode_arg $ trace_out_arg $ backend_arg)
+          $ mode_arg $ trace_out_arg $ backend_arg $ batch_arg)
 
 (* --- visualize ---------------------------------------------------------------------- *)
 
@@ -378,10 +497,20 @@ let check_cmd =
                  counter, gauge and histogram — including the \
                  exec.wire.* traffic counters) as JSON.")
   in
-  let run seed queries rows faults tid_cache backend out metrics_out =
+  let batch_arg =
+    Arg.(value
+         & opt (some (enum [ ("1", 1); ("8", 8); ("64", 64) ])) None
+         & info [ "batch" ] ~docv:"1|8|64"
+             ~doc:"Pin the batched pass to one batch size. By default the \
+                   pass rotates sizes 1, 8 and the whole workload; batched \
+                   answers must stay bag-identical to one-at-a-time \
+                   execution and reconcile with the counters either way.")
+  in
+  let run seed queries rows faults tid_cache backend batch out metrics_out =
+    let batch = match batch with None -> `Rotate | Some n -> `Size n in
     let report =
       Snf_check.Differential.soak ~rows ~with_faults:faults ~tid_cache ~backend
-        ~seed ~queries ()
+        ~batch ~seed ~queries ()
     in
     Format.printf "%a@." Snf_check.Differential.pp_report report;
     let write_file path content =
@@ -411,7 +540,7 @@ let check_cmd =
              representations against the plaintext oracle, plus fault injection. \
              Exit 0 on pass, 1 on any conformance failure.")
     Term.(const run $ seed_arg $ queries_arg $ check_rows_arg $ faults_arg
-          $ tid_cache_arg $ backend_arg $ out_arg $ metrics_out_arg)
+          $ tid_cache_arg $ backend_arg $ batch_arg $ out_arg $ metrics_out_arg)
 
 let main =
   Cmd.group

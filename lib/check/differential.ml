@@ -80,6 +80,38 @@ let counter_mismatches (trace : Executor.trace) deltas =
          if d n = want then None
          else Some (Printf.sprintf "%s: trace says %d, counter moved %d" n want (d n)))
 
+(* The batched variant of the same invariant: a batch publishes per-query
+   counters from its traces, so the traces of the answered queries must
+   sum to exactly the global deltas the batch moved. *)
+let batch_counter_mismatches traces deltas =
+  let d name = Option.value (List.assoc_opt name deltas) ~default:0 in
+  let sum f = List.fold_left (fun acc t -> acc + f t) 0 traces in
+  [ ("exec.query.count", List.length traces);
+    ("exec.query.scanned_cells", sum (fun t -> t.Executor.scanned_cells));
+    ("exec.query.index_probes", sum (fun t -> t.Executor.index_probes));
+    ("exec.query.comparisons", sum (fun t -> t.Executor.comparisons));
+    ("exec.query.rows_processed", sum (fun t -> t.Executor.rows_processed));
+    ("exec.query.result_rows", sum (fun t -> t.Executor.result_rows));
+    ("exec.wire.requests", sum (fun t -> t.Executor.wire_requests));
+    ("exec.wire.bytes_up", sum (fun t -> t.Executor.wire_bytes_up));
+    ("exec.wire.bytes_down", sum (fun t -> t.Executor.wire_bytes_down)) ]
+  |> List.filter_map (fun (n, want) ->
+         if d n = want then None
+         else
+           Some
+             (Printf.sprintf "%s: traces sum to %d, counter moved %d" n want (d n)))
+
+let chunks n l =
+  let n = max 1 n in
+  let cur, acc =
+    List.fold_left
+      (fun (cur, acc) x ->
+        if List.length cur = n then ([ x ], List.rev cur :: acc)
+        else (x :: cur, acc))
+      ([], []) l
+  in
+  List.rev (if cur = [] then acc else List.rev cur :: acc)
+
 (* --- per-instance passes ---------------------------------------------------- *)
 
 let most_frequent col =
@@ -100,7 +132,7 @@ let most_frequent col =
 
 let run_instance ?(queries = 25) ?(check_ledger = true) ?(check_horizontal = true)
     ?(check_group_sum = true) ?(tid_cache = `Rotate) ?(backend = `Mem)
-    (inst : Gen.instance) =
+    ?(batch = `Rotate) (inst : Gen.instance) =
   let qs = Gen.queries ~count:queries ~seed:inst.Gen.spec.Gen.seed inst in
   let reps = representations ~workload:qs inst.Gen.graph inst.Gen.policy in
   let owners =
@@ -236,6 +268,84 @@ let run_instance ?(queries = 25) ?(check_ledger = true) ?(check_horizontal = tru
                    (List.length b0) (List.length b)))
           rest)
     qs;
+  (* Batched pass: the same workload again through [System.query_batch],
+     per representation, sliced into batches of rotating sizes (1 — the
+     degenerate batch, 8, and the whole workload at once), with the
+     reconstruction mode rotating per size. Checked per query: oracle
+     agreement and cross-representation agreement of the batched answers;
+     per batch: the summed per-query traces must reconcile exactly with
+     the global counter deltas the batch moved. *)
+  let batch_sizes =
+    match batch with
+    | `Off -> []
+    | `Size n -> [ max 1 n ]
+    | `Rotate -> [ 1; 8; List.length qs ]
+  in
+  if qs <> [] then
+    List.iteri
+      (fun si size ->
+        let mode = modes.(si mod Array.length modes) in
+        let mstr = Printf.sprintf "%s+batch%d" (mode_name mode) size in
+        List.iter
+          (fun chunk ->
+            let bags_by_rep =
+              List.filter_map
+                (fun (label, owner) ->
+                  let before = Metrics.snapshot () in
+                  match System.query_batch ~mode owner chunk with
+                  | exception Integrity.Corruption c ->
+                    fail ~rep:label ~mode:mstr ~kind:"batch"
+                      ("batch flagged corruption: " ^ Integrity.to_string c);
+                    None
+                  | results ->
+                    let deltas = Metrics.counter_diff before (Metrics.snapshot ()) in
+                    let traces =
+                      List.filter_map
+                        (function Ok (_, t) -> Some t | Error _ -> None)
+                        results
+                    in
+                    (match batch_counter_mismatches traces deltas with
+                     | [] -> ()
+                     | errs ->
+                       fail ~rep:label ~mode:mstr ~kind:"batch"
+                         (String.concat "; " errs));
+                    let bags =
+                      List.map2
+                        (fun q result ->
+                          incr executions;
+                          match result with
+                          | Error e ->
+                            fail ~query:q ~rep:label ~mode:mstr ~kind:"batch"
+                              ("batched plan failure: " ^ e);
+                            None
+                          | Ok (ans, _) ->
+                            let oracle_ans = Oracle.answer inst.Gen.relation q in
+                            if not (Oracle.agree oracle_ans ans) then
+                              fail ~query:q ~rep:label ~mode:mstr ~kind:"batch"
+                                (Oracle.diff_summary ~expected:oracle_ans ~got:ans);
+                            Some (Oracle.bag ans))
+                        chunk results
+                    in
+                    Some (label, bags))
+                owners
+            in
+            match bags_by_rep with
+            | [] -> ()
+            | (l0, b0) :: rest ->
+              List.iter
+                (fun (l, b) ->
+                  List.iteri
+                    (fun qi bq ->
+                      match (List.nth b0 qi, bq) with
+                      | Some x, Some y when x <> y ->
+                        fail ~query:(List.nth chunk qi) ~rep:(l0 ^ " vs " ^ l)
+                          ~mode:mstr ~kind:"batch"
+                          "batched representations disagree on the answer bag"
+                      | _ -> ())
+                    b)
+                rest)
+          (chunks size qs))
+      batch_sizes;
   (* Ledger pass over the SNF representation: the report must recount
      exactly the answers it just recorded. *)
   if check_ledger then begin
@@ -336,8 +446,8 @@ let run_instance ?(queries = 25) ?(check_ledger = true) ?(check_horizontal = tru
   end;
   { queries_run = List.length qs; executions = !executions; failures = List.rev !failures }
 
-let run_spec ?queries ?tid_cache ?backend spec =
-  run_instance ?queries ?tid_cache ?backend (Gen.instance spec)
+let run_spec ?queries ?tid_cache ?backend ?batch spec =
+  run_instance ?queries ?tid_cache ?backend ?batch (Gen.instance spec)
 
 (* --- soak ------------------------------------------------------------------- *)
 
@@ -355,7 +465,7 @@ type report = {
 let max_kept_failures = 25
 
 let soak ?(rows = 16) ?(queries_per_instance = 25) ?(with_faults = true)
-    ?tid_cache ?backend ~seed ~queries () =
+    ?tid_cache ?backend ?batch ~seed ~queries () =
   let rows = max 1 rows in
   let prng = Prng.create ((seed * 1103515245) + 12345) in
   let acc =
@@ -379,7 +489,7 @@ let soak ?(rows = 16) ?(queries_per_instance = 25) ?(with_faults = true)
           singles = 2 + Prng.int prng 3 }
     in
     let inst = Gen.instance spec in
-    let o = run_instance ~queries:queries_per_instance ?tid_cache ?backend inst in
+    let o = run_instance ~queries:queries_per_instance ?tid_cache ?backend ?batch inst in
     let fault_failures, applicable, undetected =
       if not with_faults then ([], 0, 0)
       else begin

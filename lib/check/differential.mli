@@ -30,8 +30,8 @@ type failure = {
   query : Query.t option;
   kind : string;
       (** ["oracle"] | ["cross-rep"] | ["plan"] | ["corruption"] |
-          ["counters"] | ["backend"] | ["ledger"] | ["group-sum"] |
-          ["horizontal"] | ["fault-undetected"] *)
+          ["counters"] | ["backend"] | ["batch"] | ["ledger"] |
+          ["group-sum"] | ["horizontal"] | ["fault-undetected"] *)
   detail : string;
 }
 
@@ -59,6 +59,7 @@ val run_instance :
   ?check_group_sum:bool ->
   ?tid_cache:[ `Rotate | `On | `Off ] ->
   ?backend:[ `Mem | `Disk | `Rotate ] ->
+  ?batch:[ `Rotate | `Off | `Size of int ] ->
   Gen.instance ->
   outcome
 (** Default [queries] 25; all checks on. An empty [failures] list is
@@ -75,12 +76,22 @@ val run_instance :
     invisibility per execution: equal answer bags, identical
     [exec.query.*] counter movement, and byte-identical wire traffic —
     disagreements are tagged ["backend"]. Disk stores live in private
-    temp directories, removed before returning. *)
+    temp directories, removed before returning.
+
+    [batch] (default [`Rotate]) re-runs the whole workload through
+    [System.query_batch] on every representation, sliced into batches of
+    size 1, 8 and the whole workload (reconstruction mode rotating per
+    size); [`Size n] pins a single batch size, [`Off] skips the pass.
+    Checked: batched answers agree with the oracle and across
+    representations, and each batch's summed per-query traces reconcile
+    exactly with the [exec.query.*] / [exec.wire.*] counter deltas it
+    moved — disagreements are tagged ["batch"]. *)
 
 val run_spec :
   ?queries:int ->
   ?tid_cache:[ `Rotate | `On | `Off ] ->
   ?backend:[ `Mem | `Disk | `Rotate ] ->
+  ?batch:[ `Rotate | `Off | `Size of int ] ->
   Gen.spec ->
   outcome
 (** [run_instance (Gen.instance spec)]. *)
@@ -104,6 +115,7 @@ val soak :
   ?with_faults:bool ->
   ?tid_cache:[ `Rotate | `On | `Off ] ->
   ?backend:[ `Mem | `Disk | `Rotate ] ->
+  ?batch:[ `Rotate | `Off | `Size of int ] ->
   seed:int ->
   queries:int ->
   unit ->
@@ -112,8 +124,8 @@ val soak :
     16) and running {!run_instance} ([queries_per_instance], default 25,
     queries each) until [queries] distinct queries have executed, with
     the {!Fault} campaign per instance unless [with_faults:false].
-    [tid_cache] and [backend] are passed to every {!run_instance}
-    (defaults [`Rotate] and [`Mem]). *)
+    [tid_cache], [backend] and [batch] are passed to every
+    {!run_instance} (defaults [`Rotate], [`Mem], [`Rotate]). *)
 
 val passed : report -> bool
 (** No differential failures and no applicable-but-undetected fault. *)

@@ -21,6 +21,8 @@ let m_idx_hits = Metrics.counter "exec.eq_index.hits"
 let m_idx_builds = Metrics.counter "exec.eq_index.builds"
 let m_tid_cache_hits = Metrics.counter "exec.join.tid_cache.hits"
 let m_tid_cache_misses = Metrics.counter "exec.join.tid_cache.misses"
+let m_map_hits = Metrics.counter "exec.mapping_cache.hits"
+let m_map_misses = Metrics.counter "exec.mapping_cache.misses"
 let m_cells = Metrics.counter "enc.cells_encrypted"
 let m_tids = Metrics.counter "enc.tids_encrypted"
 let m_pooled = Metrics.counter "crypto.paillier.encrypt_pooled"
@@ -48,6 +50,30 @@ type t = {
   index_cache : (string * string, (string, int list) Hashtbl.t) Hashtbl.t;
 }
 
+(* Predicate token types are declared up front (their constructors live in
+   the "predicate tokens" section below) because the client's crypto-free
+   mapping cache memoizes them. *)
+type eq_token =
+  | Eq_plain of Value.t
+  | Eq_det of string
+  | Eq_ord of int
+  | Eq_ore of Ore.ciphertext
+
+type range_token =
+  | Rng_plain of Value.t * Value.t
+  | Rng_ord of int * int
+  | Rng_ore of Ore.ciphertext * Ore.ciphertext
+
+(* A memoized crypto-free mapping: the decoded form of one deterministic
+   client-side crypto operation. *)
+type mapping_entry =
+  | M_eq of eq_token option
+  | M_rng of range_token option
+  | M_val of Value.t
+
+(* (operation kind, leaf, attr, key epoch, scheme code, input identity) *)
+type mapping_key = string * string * string * int * int * string
+
 type client = {
   keyring : Keyring.t;
   paillier : Paillier.keypair;
@@ -61,6 +87,11 @@ type client = {
      and goes through the authenticated decrypt path. *)
   mutable key_epoch : int;
   tid_cache : (string * int, string array * int array) Hashtbl.t;
+  (* The tid memo generalized (see the mapping-cache section below):
+     epoch-keyed decoded sort keys, eq/range tokens and cell plaintexts,
+     so repeated queries skip Paillier/OPE/ORE work entirely. *)
+  mapping_cache : (mapping_key, mapping_entry) Hashtbl.t;
+  mapping_mutex : Mutex.t;
 }
 
 let make_client ?(seed = 0x0c11e47) ?(paillier_prime_bits = 48) ~relation_name ~master () =
@@ -70,13 +101,66 @@ let make_client ?(seed = 0x0c11e47) ?(paillier_prime_bits = 48) ~relation_name ~
     name = relation_name;
     prng;
     key_epoch = 0;
-    tid_cache = Hashtbl.create 8 }
+    tid_cache = Hashtbl.create 8;
+    mapping_cache = Hashtbl.create 64;
+    mapping_mutex = Mutex.create () }
 
 let key_epoch c = c.key_epoch
 
 let bump_key_epoch c =
   c.key_epoch <- c.key_epoch + 1;
-  Hashtbl.reset c.tid_cache
+  Hashtbl.reset c.tid_cache;
+  Mutex.protect c.mapping_mutex (fun () -> Hashtbl.reset c.mapping_cache)
+
+(* --- crypto-free mapping cache ------------------------------------------- *)
+
+(* Generalizes the tid-decrypt memo: an epoch-keyed map from (operation
+   kind, leaf, attr, scheme, input identity) to the decoded result, so
+   repeated queries — and queries after the first in a batch — skip
+   Paillier/OPE/ORE work entirely. Safety rests on byte identity: every
+   cached operation is a deterministic function of key material and its
+   input bytes, so byte-identical inputs decode identically, and a
+   tampered cell differs in bytes, misses, and goes through the
+   authenticated decrypt path as if the cache did not exist. Only
+   successful decodes are stored (a raise memoizes nothing), so the cache
+   can never mask corruption. Invalidated by [bump_key_epoch] exactly
+   like the tid cache. *)
+
+let scheme_code = function
+  | Scheme.Plain -> 0
+  | Scheme.Ndet -> 1
+  | Scheme.Det -> 2
+  | Scheme.Ope -> 3
+  | Scheme.Ore -> 4
+  | Scheme.Phe -> 5
+
+(* Byte-level identity of a cell; constructor prefix plus length framing
+   keep distinct cells distinct. *)
+let cell_fingerprint = function
+  | C_plain v -> "p" ^ Value.encode v
+  | C_bytes b -> "b" ^ b
+  | C_ord { ord; payload } -> Printf.sprintf "o%d:%s" ord payload
+  | C_ore { ore; payload } ->
+    let syms = Ore.symbols ore in
+    let b = Buffer.create (8 + Array.length syms + String.length payload) in
+    Buffer.add_string b (Printf.sprintf "r%d:" (Array.length syms));
+    Array.iter (fun s -> Buffer.add_char b (Char.chr (s land 0xff))) syms;
+    Buffer.add_string b payload;
+    Buffer.contents b
+  | C_nat n -> "n" ^ Nat.to_bytes_be n
+
+let mapping_memo c key compute =
+  match
+    Mutex.protect c.mapping_mutex (fun () -> Hashtbl.find_opt c.mapping_cache key)
+  with
+  | Some e ->
+    Metrics.incr m_map_hits;
+    e
+  | None ->
+    Metrics.incr m_map_misses;
+    let e = compute () in
+    Mutex.protect c.mapping_mutex (fun () -> Hashtbl.replace c.mapping_cache key e);
+    e
 
 let client_paillier c = c.paillier
 
@@ -230,7 +314,7 @@ let column leaf attr =
    client's answer: every authentication failure (and every onion whose
    order part disagrees with its payload) must surface as a typed
    [Integrity.Corruption], never as a wrong value. *)
-let decrypt_cell c ~leaf ~attr ~scheme cell =
+let decrypt_cell_nocache c ~leaf ~attr ~scheme cell =
   let authenticated f =
     try f () with Invalid_argument msg -> Integrity.fail ~leaf ~attr ~where:"cell" msg
   in
@@ -273,6 +357,19 @@ let decrypt_cell c ~leaf ~attr ~scheme cell =
   | _ ->
     Integrity.fail ~leaf ~attr ~where:"cell"
       "scheme/cell shape mismatch (cell constructor does not fit the annotated scheme)"
+
+let decrypt_cell ?(cache = false) c ~leaf ~attr ~scheme cell =
+  if not cache then decrypt_cell_nocache c ~leaf ~attr ~scheme cell
+  else
+    let key =
+      ("val", leaf, attr, c.key_epoch, scheme_code scheme, cell_fingerprint cell)
+    in
+    match
+      mapping_memo c key (fun () ->
+          M_val (decrypt_cell_nocache c ~leaf ~attr ~scheme cell))
+    with
+    | M_val v -> v
+    | _ -> assert false
 
 let decrypt_column c ~leaf (col : enc_column) =
   Array.map (decrypt_cell c ~leaf ~attr:col.attr ~scheme:col.scheme) col.cells
@@ -342,18 +439,10 @@ let decrypt_leaf c (l : enc_leaf) =
 
 (* --- predicate tokens --------------------------------------------------- *)
 
-type eq_token =
-  | Eq_plain of Value.t
-  | Eq_det of string
-  | Eq_ord of int
-  | Eq_ore of Ore.ciphertext
+(* The [eq_token] / [range_token] type declarations live next to [client]
+   above; only the minting functions are here. *)
 
-type range_token =
-  | Rng_plain of Value.t * Value.t
-  | Rng_ord of int * int
-  | Rng_ore of Ore.ciphertext * Ore.ciphertext
-
-let eq_token c ~leaf ~attr ~scheme v =
+let mint_eq_token c ~leaf ~attr ~scheme v =
   match (scheme : Scheme.kind) with
   | Scheme.Plain -> Some (Eq_plain v)
   | Scheme.Det -> Some (Eq_det (Det.encrypt (det_key c ~leaf ~attr) (Value.encode v)))
@@ -361,7 +450,15 @@ let eq_token c ~leaf ~attr ~scheme v =
   | Scheme.Ore -> Some (Eq_ore (Ore.encrypt (ore_of c ~leaf ~attr) (Codec.to_ordinal v)))
   | Scheme.Ndet | Scheme.Phe -> None
 
-let range_token c ~leaf ~attr ~scheme ~lo ~hi =
+let eq_token ?(cache = false) c ~leaf ~attr ~scheme v =
+  if not cache then mint_eq_token c ~leaf ~attr ~scheme v
+  else
+    let key = ("eq", leaf, attr, c.key_epoch, scheme_code scheme, Value.encode v) in
+    match mapping_memo c key (fun () -> M_eq (mint_eq_token c ~leaf ~attr ~scheme v)) with
+    | M_eq t -> t
+    | _ -> assert false
+
+let mint_range_token c ~leaf ~attr ~scheme ~lo ~hi =
   match (scheme : Scheme.kind) with
   | Scheme.Plain -> Some (Rng_plain (lo, hi))
   | Scheme.Ope ->
@@ -371,6 +468,18 @@ let range_token c ~leaf ~attr ~scheme ~lo ~hi =
     let e = Ore.encrypt (ore_of c ~leaf ~attr) in
     Some (Rng_ore (e (Codec.to_ordinal lo), e (Codec.to_ordinal hi)))
   | Scheme.Det | Scheme.Ndet | Scheme.Phe -> None
+
+let range_token ?(cache = false) c ~leaf ~attr ~scheme ~lo ~hi =
+  if not cache then mint_range_token c ~leaf ~attr ~scheme ~lo ~hi
+  else
+    let lo_s = Value.encode lo in
+    let input = Printf.sprintf "%d:%s%s" (String.length lo_s) lo_s (Value.encode hi) in
+    let key = ("rng", leaf, attr, c.key_epoch, scheme_code scheme, input) in
+    match
+      mapping_memo c key (fun () -> M_rng (mint_range_token c ~leaf ~attr ~scheme ~lo ~hi))
+    with
+    | M_rng t -> t
+    | _ -> assert false
 
 let cell_matches_eq tok cell =
   match (tok, cell) with

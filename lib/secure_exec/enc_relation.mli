@@ -72,9 +72,22 @@ val column : enc_leaf -> string -> enc_column
     (see DESIGN.md §Testing & Conformance). *)
 
 val decrypt_cell :
+  ?cache:bool ->
   client -> leaf:string -> attr:string -> scheme:Scheme.kind -> cell -> Value.t
 (** @raise Integrity.Corruption on authentication failure, onion
-    order/payload disagreement, or scheme/cell shape mismatch. *)
+    order/payload disagreement, or scheme/cell shape mismatch.
+
+    [~cache:true] consults the client's {e crypto-free mapping cache}: an
+    epoch-keyed memo from (leaf, attr, scheme, cell bytes) to the decoded
+    plaintext, generalizing {!decrypt_tids_cached} so repeated queries —
+    and queries after the first in a batch — skip Paillier/OPE/ORE work
+    entirely. Safe because every cached operation is deterministic in its
+    input bytes: a tampered cell differs in bytes, misses, and goes
+    through the authenticated path (only successful decodes are stored,
+    so the cache never masks corruption). Invalidated by
+    {!bump_key_epoch} / [encrypt] exactly like the tid cache. Hits and
+    misses are accounted in ["exec.mapping_cache.hits"] /
+    ["exec.mapping_cache.misses"]. *)
 
 val decrypt_column : client -> leaf:string -> enc_column -> Value.t array
 
@@ -104,10 +117,10 @@ val key_epoch : client -> int
     {!bump_key_epoch}. *)
 
 val bump_key_epoch : client -> unit
-(** Explicit invalidation of the tid-decrypt cache (e.g. after rotating
-    key material or mutating a store in place): advances the epoch and
-    drops every cached entry. [encrypt] calls this itself, so
-    re-encryption never serves stale tids. *)
+(** Explicit invalidation of the tid-decrypt cache {e and} the crypto-free
+    mapping cache (e.g. after rotating key material or mutating a store in
+    place): advances the epoch and drops every cached entry. [encrypt]
+    calls this itself, so re-encryption never serves stale decodes. *)
 
 val check_shape : t -> unit
 (** Structural integrity of the stored leaves: every leaf's tid column and
@@ -162,14 +175,20 @@ type range_token =
   | Rng_ord of int * int
   | Rng_ore of Snf_crypto.Ore.ciphertext * Snf_crypto.Ore.ciphertext
 
-val eq_token : client -> leaf:string -> attr:string -> scheme:Scheme.kind ->
+val eq_token : ?cache:bool ->
+  client -> leaf:string -> attr:string -> scheme:Scheme.kind ->
   Value.t -> eq_token option
 (** [None] when the scheme does not support server-side equality
-    (NDET/PHE). *)
+    (NDET/PHE). [~cache:true] memoizes the token per (leaf, attr, scheme,
+    value, key epoch) in the crypto-free mapping cache — token minting is
+    deterministic, so repeated predicates skip the OPE/ORE encryptions
+    (see {!decrypt_cell}). *)
 
-val range_token : client -> leaf:string -> attr:string -> scheme:Scheme.kind ->
+val range_token : ?cache:bool ->
+  client -> leaf:string -> attr:string -> scheme:Scheme.kind ->
   lo:Value.t -> hi:Value.t -> range_token option
-(** Inclusive bounds; [None] unless the scheme reveals order. *)
+(** Inclusive bounds; [None] unless the scheme reveals order. [~cache]
+    as {!eq_token}. *)
 
 val cell_matches_eq : eq_token -> cell -> bool
 (** Pure ciphertext comparison — what the semi-honest server computes. *)

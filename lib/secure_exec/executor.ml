@@ -15,6 +15,14 @@ let m_result_rows = Metrics.counter "exec.query.result_rows"
 let m_tokens = Metrics.counter "exec.query.tokens_minted"
 let h_result_rows = Metrics.histogram "exec.query.result_rows_hist"
 
+(* Batch-level totals: how many [run_batch] passes ran, how many queries
+   they carried, and how often the shared oblivious alignment was built
+   vs. reused within a batch. *)
+let m_batches = Metrics.counter "exec.batch.count"
+let m_batch_queries = Metrics.counter "exec.batch.queries"
+let m_shared_joins = Metrics.counter "exec.batch.shared_joins"
+let m_join_reuses = Metrics.counter "exec.batch.join_reuses"
+
 type mode = [ `Sort_merge | `Oram | `Binning of int ]
 
 let mode_name = function
@@ -82,7 +90,7 @@ type compiled_pred =
    depend on the token's shape. Probing happens sequentially, here —
    lazy index builds are a server-side cache write which must not race
    with the parallel filter phase. *)
-let compile_pred ~use_index client conn ~scheme_of (lv : leaf_view) index_probes
+let compile_pred ~use_index ~cache client conn ~scheme_of (lv : leaf_view) index_probes
     (p : Query.pred) =
   let attr = Query.pred_attr p in
   let label = lv.lv_label in
@@ -94,7 +102,7 @@ let compile_pred ~use_index client conn ~scheme_of (lv : leaf_view) index_probes
       | Query.Point (_, v) -> (
         let key =
           Option.bind
-            (Enc_relation.eq_token client ~leaf:label ~attr ~scheme v)
+            (Enc_relation.eq_token ~cache client ~leaf:label ~attr ~scheme v)
             Enc_relation.index_key_of_token
         in
         match Server_api.index_probe conn ~leaf:label ~attr ~key with
@@ -117,11 +125,11 @@ let compile_pred ~use_index client conn ~scheme_of (lv : leaf_view) index_probes
     let op =
       match p with
       | Query.Point (_, v) -> (
-        match Enc_relation.eq_token client ~leaf:label ~attr ~scheme v with
+        match Enc_relation.eq_token ~cache client ~leaf:label ~attr ~scheme v with
         | Some tok -> Wire.F_eq (attr, tok)
         | None -> invalid_arg "Executor: planner homed an unsupported point predicate")
       | Query.Range (_, lo, hi) -> (
-        match Enc_relation.range_token client ~leaf:label ~attr ~scheme ~lo ~hi with
+        match Enc_relation.range_token ~cache client ~leaf:label ~attr ~scheme ~lo ~hi with
         | Some tok -> Wire.F_range (attr, tok)
         | None -> invalid_arg "Executor: planner homed an unsupported range predicate")
     in
@@ -134,7 +142,7 @@ let filter_ops compiled =
    a single message and expose it as a decrypt-on-demand lookup. Nothing
    is decrypted until asked for, so over-fetching (ORAM columns, binning
    decoys) costs wire bytes, not decrypt work. *)
-let fetch_window client conn ~scheme_of ~label ~attrs ~slots =
+let fetch_window ~cache client conn ~scheme_of ~label ~attrs ~slots =
   let pos = Hashtbl.create 16 in
   List.iteri (fun j s -> if not (Hashtbl.mem pos s) then Hashtbl.add pos s j) slots;
   let cols = Server_api.fetch_rows conn ~leaf:label ~attrs ~slots in
@@ -155,14 +163,14 @@ let fetch_window client conn ~scheme_of ~label ~attrs ~slots =
     in
     if j >= Array.length cells then
       invalid_arg "Executor: row fetch returned a short column";
-    Enc_relation.decrypt_cell client ~leaf:label ~attr ~scheme:(scheme_of label attr)
-      cells.(j)
+    Enc_relation.decrypt_cell ~cache client ~leaf:label ~attr
+      ~scheme:(scheme_of label attr) cells.(j)
 
 let no_window _attr _slot = invalid_arg "Executor: no attributes were fetched"
 
-let window client conn ~scheme_of ~label ~attrs ~slots =
+let window ~cache client conn ~scheme_of ~label ~attrs ~slots =
   if attrs = [] then no_window
-  else fetch_window client conn ~scheme_of ~label ~attrs ~slots
+  else fetch_window ~cache client conn ~scheme_of ~label ~attrs ~slots
 
 (* Client-side re-verification of index-served predicates: the equality
    index is mutable server state, so a row it returned must still satisfy
@@ -244,7 +252,8 @@ let project_rows (q : Query.t) plan matches value_of =
 
 (* --- single leaf -------------------------------------------------------- *)
 
-let run_single ~drop_tid client conn ~scheme_of q plan (lv : leaf_view) compiled mask =
+let run_single ~drop_tid ~cache client conn ~scheme_of q plan (lv : leaf_view) compiled
+    mask =
   let label = lv.lv_label in
   let matches =
     Span.with_ ~name:"query.reconstruct" ~attrs:[ ("path", "single") ] @@ fun () ->
@@ -259,7 +268,7 @@ let run_single ~drop_tid client conn ~scheme_of q plan (lv : leaf_view) compiled
   in
   Span.with_ ~name:"query.client_decrypt" @@ fun () ->
   let attrs = fetched_attrs q plan label compiled in
-  let value_at = window client conn ~scheme_of ~label ~attrs ~slots:matches in
+  let value_at = window ~cache client conn ~scheme_of ~label ~attrs ~slots:matches in
   List.iter (verify_indexed value_at label compiled) matches;
   let rows =
     project_rows q plan matches (fun slot _label attr -> value_at attr slot)
@@ -280,16 +289,11 @@ let synthetic_leaf conn (lv : leaf_view) =
       "tid column length disagrees with the described row count";
   { Enc_relation.label = lv.lv_label; row_count = lv.lv_rows; tids; columns = [] }
 
-let run_sort_merge ~drop_tid ?tids_for client conn ~scheme_of q plan lvs compiled masks
-    stats =
-  let matched =
-    Span.with_ ~name:"query.reconstruct" ~attrs:[ ("path", "sort_merge") ] @@ fun () ->
-    let enc_leaves = List.map (synthetic_leaf conn) lvs in
-    Oblivious_join.join_many ?tids_for ~masks:(List.combine enc_leaves masks) stats client
-    |> Array.to_seq
-    |> Seq.filter (fun (tid, _) -> not (drop_tid tid))
-    |> Array.of_seq
-  in
+(* Second half of the sort-merge path, from an aligned [matched] array
+   ((tid, one slot per leaf in [lvs] order) for every surviving tid) to
+   the decrypted result. Shared verbatim between [run_sort_merge] and the
+   batched path, which computes [matched] from a shared alignment. *)
+let sort_merge_decrypt ~cache client conn ~scheme_of q plan lvs compiled matched =
   Span.with_ ~name:"query.client_decrypt" @@ fun () ->
   let windows =
     List.mapi
@@ -301,7 +305,8 @@ let run_sort_merge ~drop_tid ?tids_for client conn ~scheme_of q plan lvs compile
           |> List.of_seq
           |> List.sort_uniq compare
         in
-        (lv.lv_label, window client conn ~scheme_of ~label:lv.lv_label ~attrs ~slots))
+        ( lv.lv_label,
+          window ~cache client conn ~scheme_of ~label:lv.lv_label ~attrs ~slots ))
       lvs
   in
   let value_in label = List.assoc label windows in
@@ -321,6 +326,18 @@ let run_sort_merge ~drop_tid ?tids_for client conn ~scheme_of q plan lvs compile
   in
   build_result q rows
 
+let run_sort_merge ~drop_tid ~cache ?tids_for client conn ~scheme_of q plan lvs compiled
+    masks stats =
+  let matched =
+    Span.with_ ~name:"query.reconstruct" ~attrs:[ ("path", "sort_merge") ] @@ fun () ->
+    let enc_leaves = List.map (synthetic_leaf conn) lvs in
+    Oblivious_join.join_many ?tids_for ~masks:(List.combine enc_leaves masks) stats client
+    |> Array.to_seq
+    |> Seq.filter (fun (tid, _) -> not (drop_tid tid))
+    |> Array.of_seq
+  in
+  sort_merge_decrypt ~cache client conn ~scheme_of q plan lvs compiled matched
+
 (* --- anchor + fetch reconstructions (ORAM / binning) --------------------- *)
 
 (* Partner-leaf access plumbing shared by the ORAM and binning paths: for a
@@ -336,13 +353,16 @@ type fetcher = {
    the blocks into a server-side per-connection Path ORAM, then read one
    sealed block per anchor survivor. The server observes the install, the
    root-to-leaf bucket paths and nothing else. *)
-let oram_fetcher client conn ~scheme_of q plan oram_touches ~seed (lv : leaf_view) =
+let oram_fetcher ~cache client conn ~scheme_of q plan oram_touches ~seed
+    (lv : leaf_view) =
   let label = lv.lv_label in
   let needed = needed_attrs_of_leaf q plan label in
   let n = lv.lv_rows in
   let value_at =
     if n = 0 then no_window
-    else window client conn ~scheme_of ~label ~attrs:needed ~slots:(List.init n Fun.id)
+    else
+      window ~cache client conn ~scheme_of ~label ~attrs:needed
+        ~slots:(List.init n Fun.id)
   in
   let payload slot =
     Marshal.to_string (List.map (fun a -> (a, value_at a slot)) needed) []
@@ -373,7 +393,7 @@ let oram_fetcher client conn ~scheme_of q plan oram_touches ~seed (lv : leaf_vie
         let data = Enc_relation.oram_open client ~leaf:label block in
         (Marshal.from_string data 0 : (string * Value.t) list)) }
 
-let binning_fetcher client conn ~scheme_of q plan bin_size bin_retrieved ~wanted
+let binning_fetcher ~cache client conn ~scheme_of q plan bin_size bin_retrieved ~wanted
     (lv : leaf_view) =
   let label = lv.lv_label in
   let needed = needed_attrs_of_leaf q plan label in
@@ -404,7 +424,7 @@ let binning_fetcher client conn ~scheme_of q plan bin_size bin_retrieved ~wanted
   in
   let value_at =
     if bin_slots = [] then no_window
-    else window client conn ~scheme_of ~label ~attrs:needed ~slots:bin_slots
+    else window ~cache client conn ~scheme_of ~label ~attrs:needed ~slots:bin_slots
   in
   { leaf_label = label;
     fetch =
@@ -417,7 +437,7 @@ let binning_fetcher client conn ~scheme_of q plan bin_size bin_retrieved ~wanted
          | None -> ());
         List.map (fun a -> (a, value_at a slot)) needed) }
 
-let run_anchor_fetch ~drop_tid client conn ~scheme_of q plan lvs compiled masks
+let run_anchor_fetch ~drop_tid ~cache client conn ~scheme_of q plan lvs compiled masks
     ~make_fetcher =
   let anchor = anchor_label plan lvs masks in
   let anchor_lv, anchor_mask =
@@ -471,7 +491,8 @@ let run_anchor_fetch ~drop_tid client conn ~scheme_of q plan lvs compiled masks
   in
   let anchor_attrs = fetched_attrs q plan anchor anchor_compiled in
   let value_at =
-    window client conn ~scheme_of ~label:anchor ~attrs:anchor_attrs ~slots:anchor_slots
+    window ~cache client conn ~scheme_of ~label:anchor ~attrs:anchor_attrs
+      ~slots:anchor_slots
   in
   List.iter
     (fun (tid, _) ->
@@ -494,8 +515,9 @@ let run_anchor_fetch ~drop_tid client conn ~scheme_of q plan lvs compiled masks
 (* ------------------------------------------------------------------------ *)
 
 let run_conn ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
-    ?(use_index = false) ?(use_tid_cache = true) ?(drop_tid = fun _ -> false) client conn
-    rep q =
+    ?(use_index = false) ?(use_tid_cache = true) ?(use_mapping_cache = false)
+    ?(drop_tid = fun _ -> false) client conn rep q =
+  let cache = use_mapping_cache in
   match Planner.plan ?selector rep q with
   | Error e -> Error e
   | Ok plan ->
@@ -537,7 +559,8 @@ let run_conn ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
       List.map
         (fun lv ->
           List.map
-            (fun p -> compile_pred ~use_index client conn ~scheme_of lv index_probes p)
+            (fun p ->
+              compile_pred ~use_index ~cache client conn ~scheme_of lv index_probes p)
             (preds_at plan lv.lv_label))
         lvs
     in
@@ -562,7 +585,8 @@ let run_conn ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
     let result =
       match (lvs, masks) with
       | [ lv ], [ mask ] ->
-        run_single ~drop_tid client conn ~scheme_of q plan lv (List.hd compiled) mask
+        run_single ~drop_tid ~cache client conn ~scheme_of q plan lv (List.hd compiled)
+          mask
       | _ -> (
         match mode with
         | `Sort_merge ->
@@ -574,22 +598,24 @@ let run_conn ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
             if use_tid_cache then Some (Enc_relation.decrypt_tids_cached client)
             else None
           in
-          run_sort_merge ~drop_tid ?tids_for client conn ~scheme_of q plan lvs compiled
-            masks stats
+          run_sort_merge ~drop_tid ~cache ?tids_for client conn ~scheme_of q plan lvs
+            compiled masks stats
         | `Oram ->
           (* Per-partner server-side ORAM sessions; seeds are fixed by
              partner order, so the bucket-touch trace is deterministic
              and backend-independent. *)
           let next_seed = ref 0x09a7 in
-          run_anchor_fetch ~drop_tid client conn ~scheme_of q plan lvs compiled masks
+          run_anchor_fetch ~drop_tid ~cache client conn ~scheme_of q plan lvs compiled
+            masks
             ~make_fetcher:(fun ~wanted lv ->
               ignore wanted;
               let seed = !next_seed in
               incr next_seed;
-              oram_fetcher client conn ~scheme_of q plan oram_touches ~seed lv)
+              oram_fetcher ~cache client conn ~scheme_of q plan oram_touches ~seed lv)
         | `Binning bin_size ->
-          run_anchor_fetch ~drop_tid client conn ~scheme_of q plan lvs compiled masks
-            ~make_fetcher:(binning_fetcher client conn ~scheme_of q plan bin_size
+          run_anchor_fetch ~drop_tid ~cache client conn ~scheme_of q plan lvs compiled
+            masks
+            ~make_fetcher:(binning_fetcher ~cache client conn ~scheme_of q plan bin_size
                              bin_retrieved))
     in
     let wire1 = Server_api.stats conn in
@@ -620,15 +646,279 @@ let run_conn ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
     Metrics.observe h_result_rows trace.result_rows;
     Ok (result, trace)
 
-let run ?mode ?params ?selector ?use_index ?use_tid_cache ?drop_tid client enc rep q =
+let run ?mode ?params ?selector ?use_index ?use_tid_cache ?use_mapping_cache ?drop_tid
+    client enc rep q =
   (* Compatibility entry point: a transient in-process connection over the
      given store. [System] holds a persistent connection instead. *)
   let conn = Server_api.connect (module Backend_mem) (Backend_mem.of_store enc) in
   Fun.protect
     ~finally:(fun () -> Server_api.close conn)
     (fun () ->
-      run_conn ?mode ?params ?selector ?use_index ?use_tid_cache ?drop_tid client conn
-        rep q)
+      run_conn ?mode ?params ?selector ?use_index ?use_tid_cache ?use_mapping_cache
+        ?drop_tid client conn rep q)
+
+(* --- batched execution ---------------------------------------------------- *)
+
+(* K queries, one shared pass. The wire attribution invariant: every byte
+   and request of the batch lands in exactly one query's trace — each
+   query carries its own minting and reconstruction deltas, and the
+   shared traffic (Describe/Check_shape plus the single Q_batch round
+   trip) is charged to the first executed query — so the traces still sum
+   exactly to the global [exec.wire.*] counter deltas, like K singles
+   would. Everything client-side runs on the calling domain (parallelism
+   stays inside the bitonic kernels), so counter totals are bit-identical
+   for any SNF_DOMAINS. *)
+let run_batch ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
+    ?(use_index = false) ?(use_tid_cache = true) ?(use_mapping_cache = true)
+    ?(drop_tid = fun _ -> false) client conn rep qs =
+  let cache = use_mapping_cache in
+  let scheme_of = scheme_table rep in
+  let plans = List.map (fun q -> (q, Planner.plan ?selector rep q)) qs in
+  if not (List.exists (fun (_, pl) -> Result.is_ok pl) plans) then
+    (* Nothing executable: K planner errors, no server contact, no
+       counters — the same outcome K [run_conn] calls would produce. *)
+    List.map
+      (function
+        | _, Ok _ -> assert false
+        | _, Error e -> Error e)
+      plans
+  else begin
+    Metrics.incr m_batches;
+    Metrics.add m_batch_queries (List.length qs);
+    let wire_at () = Server_api.stats conn in
+    let wire_delta a b =
+      ( b.Server_api.requests - a.Server_api.requests,
+        b.Server_api.bytes_up - a.Server_api.bytes_up,
+        b.Server_api.bytes_down - a.Server_api.bytes_down )
+    in
+    let add3 (a, b, c) (a', b', c') = (a + a', b + b', c + c') in
+    let w0 = wire_at () in
+    let relation_name, leaf_dir = Server_api.describe conn in
+    Span.with_ ~name:"query.batch"
+      ~attrs:
+        [ ("size", string_of_int (List.length qs));
+          ("mode", mode_name mode);
+          ("relation", relation_name);
+          ("backend", Server_api.backend_name conn) ]
+    @@ fun () ->
+    Server_api.check_shape conn;
+    let w_admin = wire_at () in
+    (* Phase 1 (sequential, per query): mint tokens and probe equality
+       indexes, snapshotting the connection stats around each query so
+       every trace carries its own minting traffic. *)
+    let prepped =
+      Span.with_ ~name:"query.mint_tokens" @@ fun () ->
+      List.map
+        (fun (q, pl) ->
+          match pl with
+          | Error e -> Error e
+          | Ok plan ->
+            let lvs =
+              List.map
+                (fun label ->
+                  match List.assoc_opt label leaf_dir with
+                  | Some rows -> { lv_label = label; lv_rows = rows }
+                  | None ->
+                    Integrity.fail ~leaf:label ~where:"store"
+                      "planned leaf missing from the encrypted store")
+                plan.Planner.leaves
+            in
+            let index_probes = ref 0 in
+            let wa = wire_at () in
+            let compiled =
+              List.map
+                (fun lv ->
+                  List.map
+                    (fun p ->
+                      compile_pred ~use_index ~cache client conn ~scheme_of lv
+                        index_probes p)
+                    (preds_at plan lv.lv_label))
+                lvs
+            in
+            Ok (q, plan, lvs, compiled, !index_probes, wire_delta wa (wire_at ())))
+        plans
+    in
+    (* Phase 2: ONE Q_batch round trip answers every executable query's
+       per-leaf filters; the server walks each touched leaf once. *)
+    let batch_queries =
+      List.filter_map
+        (function
+          | Error _ -> None
+          | Ok (_, _, lvs, compiled, _, _) ->
+            Some (List.map2 (fun lv ops -> (lv.lv_label, filter_ops ops)) lvs compiled))
+        prepped
+    in
+    let wf0 = wire_at () in
+    let batch_results =
+      Span.with_ ~name:"query.server_filter" ~attrs:[ ("path", "batch") ] @@ fun () ->
+      Server_api.filter_batch conn ~queries:batch_queries
+    in
+    let shared_wire = add3 (wire_delta w0 w_admin) (wire_delta wf0 (wire_at ())) in
+    (* Shared oblivious pass: one all-true alignment per distinct leaf
+       set, built on first use (charged to the query that triggers it)
+       and reused by every later query over the same leaves. Filtering
+       the full alignment by a query's masks afterwards equals joining
+       under those masks, because tids are unique per leaf. *)
+    let joint_memo : (string, string list * (int * int list) array) Hashtbl.t =
+      Hashtbl.create 4
+    in
+    let shared_alignment stats lvs =
+      let labels = List.sort String.compare (List.map (fun lv -> lv.lv_label) lvs) in
+      let key = String.concat "\x00" labels in
+      match Hashtbl.find_opt joint_memo key with
+      | Some entry ->
+        Metrics.incr m_join_reuses;
+        entry
+      | None ->
+        Metrics.incr m_shared_joins;
+        let lvs_sorted =
+          List.map (fun label -> List.find (fun lv -> lv.lv_label = label) lvs) labels
+        in
+        let enc_leaves = List.map (synthetic_leaf conn) lvs_sorted in
+        let full = List.map (fun lv -> Array.make lv.lv_rows true) lvs_sorted in
+        let tids_for =
+          if use_tid_cache then Some (Enc_relation.decrypt_tids_cached client) else None
+        in
+        let aligned =
+          Oblivious_join.join_many ?tids_for ~masks:(List.combine enc_leaves full) stats
+            client
+        in
+        let entry = (labels, aligned) in
+        Hashtbl.add joint_memo key entry;
+        entry
+    in
+    let remaining = ref batch_results in
+    let next_result () =
+      match !remaining with
+      | r :: tl ->
+        remaining := tl;
+        r
+      | [] -> invalid_arg "Executor: batch response shorter than the batch"
+    in
+    let outcomes =
+      List.map
+        (function
+          | Error e -> Error e
+          | Ok (q, plan, lvs, compiled, index_probes, mint_wire) ->
+            let per_leaf = next_result () in
+            if List.length per_leaf <> List.length lvs then
+              invalid_arg "Executor: batch response entry count disagrees with the plan";
+            let masks =
+              List.map2
+                (fun lv (mask, _) ->
+                  if Array.length mask <> lv.lv_rows then
+                    Integrity.fail ~leaf:lv.lv_label ~where:"store"
+                      "filter mask length disagrees with the described row count";
+                  mask)
+                lvs per_leaf
+            in
+            let scanned = List.fold_left (fun acc (_, s) -> acc + s) 0 per_leaf in
+            let stats = Oblivious_join.fresh_stats () in
+            let oram_touches = ref 0 in
+            let bin_retrieved = ref 0 in
+            let wr0 = wire_at () in
+            let result =
+              match (lvs, masks) with
+              | [ lv ], [ mask ] ->
+                run_single ~drop_tid ~cache client conn ~scheme_of q plan lv
+                  (List.hd compiled) mask
+              | _ -> (
+                match mode with
+                | `Sort_merge ->
+                  let matched =
+                    Span.with_ ~name:"query.reconstruct" ~attrs:[ ("path", "batch") ]
+                    @@ fun () ->
+                    let labels, aligned = shared_alignment stats lvs in
+                    let pos = List.mapi (fun i l -> (l, i)) labels in
+                    let by_label =
+                      List.map2 (fun lv mask -> (lv.lv_label, mask)) lvs masks
+                    in
+                    Array.to_seq aligned
+                    |> Seq.filter_map (fun (tid, slots) ->
+                           if drop_tid tid then None
+                           else
+                             let slot_in label =
+                               List.nth slots (List.assoc label pos)
+                             in
+                             if
+                               List.for_all
+                                 (fun (label, mask) -> mask.(slot_in label))
+                                 by_label
+                             then Some (tid, List.map (fun lv -> slot_in lv.lv_label) lvs)
+                             else None)
+                    |> Array.of_seq
+                  in
+                  sort_merge_decrypt ~cache client conn ~scheme_of q plan lvs compiled
+                    matched
+                | `Oram ->
+                  let next_seed = ref 0x09a7 in
+                  run_anchor_fetch ~drop_tid ~cache client conn ~scheme_of q plan lvs
+                    compiled masks
+                    ~make_fetcher:(fun ~wanted lv ->
+                      ignore wanted;
+                      let seed = !next_seed in
+                      incr next_seed;
+                      oram_fetcher ~cache client conn ~scheme_of q plan oram_touches
+                        ~seed lv)
+                | `Binning bin_size ->
+                  run_anchor_fetch ~drop_tid ~cache client conn ~scheme_of q plan lvs
+                    compiled masks
+                    ~make_fetcher:(binning_fetcher ~cache client conn ~scheme_of q plan
+                                     bin_size bin_retrieved))
+            in
+            let wire_requests, wire_bytes_up, wire_bytes_down =
+              add3 mint_wire (wire_delta wr0 (wire_at ()))
+            in
+            Ok
+              ( result,
+                { plan;
+                  mode;
+                  scanned_cells = scanned;
+                  index_probes;
+                  comparisons = stats.Oblivious_join.comparisons;
+                  rows_processed = stats.Oblivious_join.rows_processed;
+                  oram_bucket_touches = !oram_touches;
+                  binning_retrieved = !bin_retrieved;
+                  result_rows = Relation.cardinality result;
+                  wire_requests;
+                  wire_bytes_up;
+                  wire_bytes_down;
+                  estimated_seconds =
+                    Cost_model.trace_seconds params
+                      ~comparisons:stats.Oblivious_join.comparisons
+                      ~rows_processed:stats.Oblivious_join.rows_processed
+                      ~scanned_cells:scanned ~oram_bucket_touches:!oram_touches
+                      ~retrieved_rows:!bin_retrieved } ))
+        prepped
+    in
+    (* Charge the batch-shared traffic to the first executed query, then
+       publish each trace — the per-query counter contributions sum
+       exactly to the batch's global deltas. *)
+    let shared_left = ref (Some shared_wire) in
+    List.map
+      (function
+        | Error e -> Error e
+        | Ok (result, trace) ->
+          let trace =
+            match !shared_left with
+            | None -> trace
+            | Some (sreq, sup, sdown) ->
+              shared_left := None;
+              { trace with
+                wire_requests = trace.wire_requests + sreq;
+                wire_bytes_up = trace.wire_bytes_up + sup;
+                wire_bytes_down = trace.wire_bytes_down + sdown }
+          in
+          Metrics.incr m_queries;
+          Metrics.add m_scanned trace.scanned_cells;
+          Metrics.add m_probes trace.index_probes;
+          Metrics.add m_comparisons trace.comparisons;
+          Metrics.add m_rows_processed trace.rows_processed;
+          Metrics.add m_result_rows trace.result_rows;
+          Metrics.observe h_result_rows trace.result_rows;
+          Ok (result, trace))
+      outcomes
+  end
 
 let pp_trace fmt t =
   Format.fprintf fmt

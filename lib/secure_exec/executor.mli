@@ -45,6 +45,7 @@ val run_conn :
   ?selector:[ `Greedy | `Optimal of (Planner.plan -> float) ] ->
   ?use_index:bool ->
   ?use_tid_cache:bool ->
+  ?use_mapping_cache:bool ->
   ?drop_tid:(int -> bool) ->
   Enc_relation.client ->
   Server_api.conn ->
@@ -61,7 +62,13 @@ val run_conn :
 
     On a persistent connection the sort-merge tid cache keeps working
     across queries: [Server_api.fetch_tids] returns a physically stable
-    array while the server's tid bytes are unchanged. *)
+    array while the server's tid bytes are unchanged.
+
+    [use_mapping_cache] (default false here, true in {!run_batch})
+    additionally memoizes token minting and cell decrypts in the client's
+    crypto-free mapping cache ([Enc_relation]): answers are identical
+    either way — entries are keyed by key epoch and input bytes, so
+    re-encryption and tampered cells always miss. *)
 
 val run :
   ?mode:mode ->
@@ -69,6 +76,7 @@ val run :
   ?selector:[ `Greedy | `Optimal of (Planner.plan -> float) ] ->
   ?use_index:bool ->
   ?use_tid_cache:bool ->
+  ?use_mapping_cache:bool ->
   ?drop_tid:(int -> bool) ->
   Enc_relation.client ->
   Enc_relation.t ->
@@ -101,5 +109,55 @@ val run :
     Equivalent to {!run_conn} over a transient in-process
     ([Backend_mem]) connection adopting [enc]; the wire counters still
     tick — the messages are real, the transport is a function call. *)
+
+val run_batch :
+  ?mode:mode ->
+  ?params:Cost_model.params ->
+  ?selector:[ `Greedy | `Optimal of (Planner.plan -> float) ] ->
+  ?use_index:bool ->
+  ?use_tid_cache:bool ->
+  ?use_mapping_cache:bool ->
+  ?drop_tid:(int -> bool) ->
+  Enc_relation.client ->
+  Server_api.conn ->
+  Snf_core.Partition.t ->
+  Query.t list ->
+  (Relation.t * trace, string) result list
+(** Execute K queries as one batch, positionally: answers (and per-query
+    planner errors) come back in request order, each with a full
+    {!trace}. Answers are bag-identical to K {!run_conn} calls.
+
+    Amortization, in three layers:
+    {ul
+    {- {e one wire round trip} for all selection work: every executable
+       query's per-leaf filters ship in a single [Wire.Q_batch] message
+       and the server walks each touched leaf once for the whole batch;}
+    {- {e one shared oblivious pass} per distinct leaf set under
+       [`Sort_merge]: the bitonic alignment of the leaves is built once
+       with all-true masks and every query's selection masks are applied
+       to it inside the enclave — K queries pay one sort, not K;}
+    {- {e crypto-free mappings} ([use_mapping_cache], default true here):
+       token minting and cell decrypts are memoized per key epoch, so
+       repeated predicates and overlapping result windows — within a
+       batch and across batches — skip Paillier/OPE/ORE work entirely.}}
+
+    Trace accounting stays exact: each query's trace carries its own
+    minting and reconstruction traffic, the batch-shared traffic
+    (Describe/Check_shape and the Q_batch round trip) is charged to the
+    first executed query, and the shared alignment's comparisons are
+    charged to the query that triggered its construction (reusers report
+    zero). Per-query [exec.query.*] counters are published from these
+    trace values, so summed traces reconcile exactly with the global
+    counter deltas — bit-identical for any SNF_DOMAINS, since all
+    client-side batch work runs on the calling domain. Counters
+    [exec.batch.{count,queries,shared_joins,join_reuses}] describe the
+    batch itself.
+
+    [`Oram] / [`Binning] reconstruction runs per query (those paths are
+    anchored on per-query selections); they still share the batched
+    filter round trip and the mapping cache.
+
+    @raise Integrity.Corruption / [Invalid_argument] as {!run_conn};
+    a failure aborts the whole batch. *)
 
 val pp_trace : Format.formatter -> trace -> unit

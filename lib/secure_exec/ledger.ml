@@ -9,6 +9,8 @@ let m_idx_hits = Metrics.counter "exec.eq_index.hits"
 let m_idx_builds = Metrics.counter "exec.eq_index.builds"
 let m_tid_hits = Metrics.counter "exec.join.tid_cache.hits"
 let m_tid_misses = Metrics.counter "exec.join.tid_cache.misses"
+let m_map_hits = Metrics.counter "exec.mapping_cache.hits"
+let m_map_misses = Metrics.counter "exec.mapping_cache.misses"
 
 type t = {
   owner : System.owner;
@@ -27,6 +29,8 @@ type t = {
   idx_builds0 : int;
   tid_hits0 : int;
   tid_misses0 : int;
+  map_hits0 : int;
+  map_misses0 : int;
   mutable query_metrics : (string * int) list list; (* newest first *)
 }
 
@@ -44,6 +48,8 @@ let create owner =
     idx_builds0 = Metrics.value m_idx_builds;
     tid_hits0 = Metrics.value m_tid_hits;
     tid_misses0 = Metrics.value m_tid_misses;
+    map_hits0 = Metrics.value m_map_hits;
+    map_misses0 = Metrics.value m_map_misses;
     query_metrics = [] }
 
 let owner t = t.owner
@@ -75,23 +81,47 @@ let record_plan t (trace : Executor.trace) =
   in
   pairs leaves
 
-let query ?mode ?use_index ?use_tid_cache t q =
+let record_answered t q ans (trace : Executor.trace) =
+  t.queries <- t.queries + 1;
+  record_predicates t q;
+  record_plan t trace;
+  t.volumes <- Relation.cardinality ans :: t.volumes;
+  t.reconstruction_rows <-
+    t.reconstruction_rows + trace.Executor.rows_processed
+    + trace.Executor.binning_retrieved;
+  t.wire_requests <- t.wire_requests + trace.Executor.wire_requests;
+  t.wire_bytes_up <- t.wire_bytes_up + trace.Executor.wire_bytes_up;
+  t.wire_bytes_down <- t.wire_bytes_down + trace.Executor.wire_bytes_down
+
+let query ?mode ?use_index ?use_tid_cache ?use_mapping_cache t q =
   let before = Metrics.snapshot () in
-  match System.query ?mode ?use_index ?use_tid_cache t.owner q with
+  match System.query ?mode ?use_index ?use_tid_cache ?use_mapping_cache t.owner q with
   | Error _ as e -> e
   | Ok (ans, trace) ->
-    t.queries <- t.queries + 1;
-    record_predicates t q;
-    record_plan t trace;
-    t.volumes <- Relation.cardinality ans :: t.volumes;
-    t.reconstruction_rows <-
-      t.reconstruction_rows + trace.Executor.rows_processed
-      + trace.Executor.binning_retrieved;
-    t.wire_requests <- t.wire_requests + trace.Executor.wire_requests;
-    t.wire_bytes_up <- t.wire_bytes_up + trace.Executor.wire_bytes_up;
-    t.wire_bytes_down <- t.wire_bytes_down + trace.Executor.wire_bytes_down;
+    record_answered t q ans trace;
     t.query_metrics <- Metrics.counter_diff before (Metrics.snapshot ()) :: t.query_metrics;
     Ok (ans, trace)
+
+(* A batch moves the process counters once, for everyone: the whole delta
+   is attached to the first answered query's [query_metrics] entry (the one
+   the executor also charges the shared traffic to) and the rest get [],
+   so summing per-query entries still reconciles with the process totals. *)
+let query_batch ?mode ?use_index ?use_tid_cache ?use_mapping_cache t qs =
+  let before = Metrics.snapshot () in
+  let results =
+    System.query_batch ?mode ?use_index ?use_tid_cache ?use_mapping_cache t.owner qs
+  in
+  let batch_delta = ref (Some (Metrics.counter_diff before (Metrics.snapshot ()))) in
+  List.iter2
+    (fun q result ->
+      match result with
+      | Error _ -> ()
+      | Ok (ans, trace) ->
+        record_answered t q ans trace;
+        let entry = match !batch_delta with Some d -> batch_delta := None; d | None -> [] in
+        t.query_metrics <- entry :: t.query_metrics)
+    qs results;
+  results
 
 type attr_report = {
   attr : string;
@@ -112,6 +142,8 @@ type report = {
   index_misses : int;
   tid_cache_hits : int;
   tid_cache_misses : int;
+  mapping_cache_hits : int;
+  mapping_cache_misses : int;
   query_metrics : (string * int) list list;
 }
 
@@ -148,6 +180,8 @@ let report t =
     index_misses = Metrics.value m_idx_builds - t.idx_builds0;
     tid_cache_hits = Metrics.value m_tid_hits - t.tid_hits0;
     tid_cache_misses = Metrics.value m_tid_misses - t.tid_misses0;
+    mapping_cache_hits = Metrics.value m_map_hits - t.map_hits0;
+    mapping_cache_misses = Metrics.value m_map_misses - t.map_misses0;
     query_metrics = List.rev t.query_metrics }
 
 let report_to_json (r : report) : Json.t =
@@ -180,6 +214,8 @@ let report_to_json (r : report) : Json.t =
       ("index_misses", Json.Int r.index_misses);
       ("tid_cache_hits", Json.Int r.tid_cache_hits);
       ("tid_cache_misses", Json.Int r.tid_cache_misses);
+      ("mapping_cache_hits", Json.Int r.mapping_cache_hits);
+      ("mapping_cache_misses", Json.Int r.mapping_cache_misses);
       ( "query_metrics",
         Json.List
           (List.map
@@ -250,6 +286,8 @@ let report_of_json (j : Json.t) : (report, string) result =
   let* index_misses = int_field j "index_misses" in
   let* tid_cache_hits = int_field j "tid_cache_hits" in
   let* tid_cache_misses = int_field j "tid_cache_misses" in
+  let* mapping_cache_hits = int_field j "mapping_cache_hits" in
+  let* mapping_cache_misses = int_field j "mapping_cache_misses" in
   let* qm_json = field "query_metrics" Json.to_list_opt in
   let* query_metrics =
     map_m
@@ -277,6 +315,8 @@ let report_of_json (j : Json.t) : (report, string) result =
       index_misses;
       tid_cache_hits;
       tid_cache_misses;
+      mapping_cache_hits;
+      mapping_cache_misses;
       query_metrics }
 
 let pp_report fmt r =
@@ -299,4 +339,7 @@ let pp_report fmt r =
   if r.tid_cache_hits + r.tid_cache_misses > 0 then
     Format.fprintf fmt "  tid-decrypt cache: %d hits, %d misses@," r.tid_cache_hits
       r.tid_cache_misses;
+  if r.mapping_cache_hits + r.mapping_cache_misses > 0 then
+    Format.fprintf fmt "  mapping cache: %d hits, %d misses@," r.mapping_cache_hits
+      r.mapping_cache_misses;
   Format.fprintf fmt "@]"

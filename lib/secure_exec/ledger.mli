@@ -23,8 +23,22 @@ val owner : t -> System.owner
 
 val query :
   ?mode:Executor.mode -> ?use_index:bool -> ?use_tid_cache:bool ->
+  ?use_mapping_cache:bool ->
   t -> Query.t -> (Snf_relational.Relation.t * Executor.trace, string) result
 (** Execute and record. Failed (unplannable) queries are not recorded. *)
+
+val query_batch :
+  ?mode:Executor.mode -> ?use_index:bool -> ?use_tid_cache:bool ->
+  ?use_mapping_cache:bool ->
+  t -> Query.t list ->
+  (Snf_relational.Relation.t * Executor.trace, string) result list
+(** {!System.query_batch} with recording: every answered query contributes
+    its predicates, plan co-access, volume and trace traffic exactly as
+    {!query} does. Because the batch moves the process-wide counters as
+    one unit, [query_metrics] gets the whole batch's delta on the first
+    answered query's entry and [[]] for the rest — the same convention the
+    executor uses for the batch's shared wire traffic — so per-entry sums
+    still reconcile with process totals. *)
 
 type attr_report = {
   attr : string;
@@ -60,6 +74,12 @@ type report = {
         [Enc_relation.decrypt_tids_cached] bumps *)
   tid_cache_misses : int;              (** tid-decrypt cache misses (bulk
                                            decrypts actually performed) *)
+  mapping_cache_hits : int;
+    (** crypto-free mapping cache hits since [create] — delta of the
+        process-wide ["exec.mapping_cache.hits"] counter [Enc_relation]'s
+        memoized token minting and cell decrypts bump *)
+  mapping_cache_misses : int;          (** mapping-cache misses (crypto
+                                           actually performed) *)
   query_metrics : (string * int) list list;
     (** per query, in execution order: every [Snf_obs] counter the query
         moved, with its delta (crypto ops, scans, comparisons, ...) *)

@@ -137,6 +137,27 @@ let dispatch view orams (req : Wire.request) : Wire.response =
   | Wire.Group_sum { leaf; group_by; sum } ->
     let l = view.leaf leaf in
     Wire.R_groups (Enc_relation.phe_group_sum (singleton_store view l) l ~group_by ~sum)
+  | Wire.Q_batch { queries } ->
+    (* One pass over the touched leaves: each distinct leaf is loaded
+       from the backend exactly once for the whole batch (one page-in on
+       the disk backend instead of one per query), then every query's ops
+       are evaluated against that single in-memory copy. Scan accounting
+       is per query and unchanged, so a batch reports the same scanned
+       totals K singles would. *)
+    let loaded : (string, Enc_relation.enc_leaf) Hashtbl.t = Hashtbl.create 8 in
+    let leaf_once label =
+      match Hashtbl.find_opt loaded label with
+      | Some l -> l
+      | None ->
+        let l = view.leaf label in
+        Hashtbl.add loaded label l;
+        l
+    in
+    Wire.R_batch
+      { results =
+          List.map
+            (List.map (fun (label, ops) -> eval_filter (leaf_once label) ops))
+            queries }
 
 let serve view orams request_bytes =
   let resp =
@@ -236,6 +257,14 @@ let filter conn ~leaf ~ops =
   match call conn ph_filter (Wire.Filter { leaf; ops }) with
   | Wire.R_mask { mask; scanned } -> (mask, scanned)
   | _ -> protocol_error "Filter"
+
+let filter_batch conn ~queries =
+  match call conn ph_filter (Wire.Q_batch { queries }) with
+  | Wire.R_batch { results } ->
+    if List.length results <> List.length queries then
+      protocol_error "Q_batch (result count)"
+    else results
+  | _ -> protocol_error "Q_batch"
 
 let fetch_rows conn ~leaf ~attrs ~slots =
   match call conn ph_fetch (Wire.Fetch_rows { leaf; attrs; slots }) with

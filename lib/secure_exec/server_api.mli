@@ -83,6 +83,18 @@ val index_probe :
 val filter : conn -> leaf:string -> ops:Wire.filter_op list -> bool array * int
 (** Selection mask over the leaf's slots plus cells scanned. *)
 
+val filter_batch :
+  conn ->
+  queries:(string * Wire.filter_op list) list list ->
+  (bool array * int) list list
+(** K filter workloads in ONE round trip ([Wire.Q_batch]): per query an
+    ordered [(leaf, ops)] list, answered positionally with (mask,
+    scanned) pairs. The server loads each distinct leaf once for the
+    whole batch; per-query scan accounting is unchanged. Counted under
+    the [filter] wire phase.
+    @raise Invalid_argument if the server answers a different number of
+    queries than were asked. *)
+
 val fetch_rows :
   conn -> leaf:string -> attrs:string list -> slots:int list ->
   Enc_relation.cell array array

@@ -103,15 +103,22 @@ let outsource_prepared ?(seed = 0x5eed) ?master ?backend ~name ~graph ~represent
   finish ?backend
     { client; policy; plan; enc; plaintext = r; server = { sb_backend = `Mem; sb = None } }
 
-let query ?mode ?params ?use_index ?use_tid_cache ?drop_tid owner q =
-  Executor.run_conn ?mode ?params ?use_index ?use_tid_cache ?drop_tid owner.client
-    (conn_of owner) owner.plan.Normalizer.representation q
+let query ?mode ?params ?use_index ?use_tid_cache ?use_mapping_cache ?drop_tid owner q =
+  Executor.run_conn ?mode ?params ?use_index ?use_tid_cache ?use_mapping_cache ?drop_tid
+    owner.client (conn_of owner) owner.plan.Normalizer.representation q
 
-let query_checked ?mode ?params ?use_index ?use_tid_cache ?drop_tid owner q =
-  match query ?mode ?params ?use_index ?use_tid_cache ?drop_tid owner q with
+let query_checked ?mode ?params ?use_index ?use_tid_cache ?use_mapping_cache ?drop_tid
+    owner q =
+  match query ?mode ?params ?use_index ?use_tid_cache ?use_mapping_cache ?drop_tid owner q
+  with
   | Ok r -> Ok r
   | Error e -> Error (`Plan e)
   | exception Integrity.Corruption c -> Error (`Corruption c)
+
+let query_batch ?mode ?params ?use_index ?use_tid_cache ?use_mapping_cache ?drop_tid owner
+    qs =
+  Executor.run_batch ?mode ?params ?use_index ?use_tid_cache ?use_mapping_cache ?drop_tid
+    owner.client (conn_of owner) owner.plan.Normalizer.representation qs
 
 let reference owner q = Query.reference_answer owner.plaintext q
 

@@ -87,18 +87,21 @@ val query :
   ?params:Cost_model.params ->
   ?use_index:bool ->
   ?use_tid_cache:bool ->
+  ?use_mapping_cache:bool ->
   ?drop_tid:(int -> bool) ->
   owner -> Query.t -> (Relation.t * Executor.trace, string) result
 (** [Error] is a planning failure. Detected storage corruption raises
     [Integrity.Corruption] (see [Executor.run]); use {!query_checked} to
-    receive it as a result instead. [use_tid_cache] (default true) is
-    passed through to [Executor.run] — identical answers either way. *)
+    receive it as a result instead. [use_tid_cache] (default true) and
+    [use_mapping_cache] (default false) are passed through to
+    [Executor.run_conn] — identical answers either way. *)
 
 val query_checked :
   ?mode:Executor.mode ->
   ?params:Cost_model.params ->
   ?use_index:bool ->
   ?use_tid_cache:bool ->
+  ?use_mapping_cache:bool ->
   ?drop_tid:(int -> bool) ->
   owner -> Query.t ->
   ( Relation.t * Executor.trace,
@@ -107,6 +110,20 @@ val query_checked :
 (** Like {!query}, with detected storage corruption reified as
     [`Corruption] instead of an exception — the entry point the
     [Snf_check] fault-injection harness drives. *)
+
+val query_batch :
+  ?mode:Executor.mode ->
+  ?params:Cost_model.params ->
+  ?use_index:bool ->
+  ?use_tid_cache:bool ->
+  ?use_mapping_cache:bool ->
+  ?drop_tid:(int -> bool) ->
+  owner -> Query.t list -> (Relation.t * Executor.trace, string) result list
+(** K queries through one shared pass over the owner's connection
+    ([Executor.run_batch]): one [Wire.Q_batch] round trip for all
+    filters, one shared oblivious alignment per distinct leaf set, and
+    the crypto-free mapping cache on by default. Positional results;
+    answers bag-identical to K {!query} calls. *)
 
 val reference : owner -> Query.t -> Relation.t
 

@@ -270,6 +270,7 @@ type request =
   | Oram_read of { leaf : string; slot : int }
   | Phe_sum of { leaf : string; attr : string }
   | Group_sum of { leaf : string; group_by : string; sum : string }
+  | Q_batch of { queries : (string * filter_op list) list list }
 
 type response =
   | R_unit
@@ -283,6 +284,7 @@ type response =
   | R_groups of (Enc_relation.cell * Nat.t) list
   | R_error of { not_found : bool; msg : string }
   | R_corrupt of Integrity.corruption
+  | R_batch of { results : (bool array * int) list list }
 
 let w_eq_token buf (tok : Enc_relation.eq_token) =
   match tok with
@@ -413,6 +415,13 @@ let w_request buf = function
     w_string buf leaf;
     w_string buf group_by;
     w_string buf sum
+  | Q_batch { queries } ->
+    w_u8 buf 11;
+    w_list
+      (w_list (fun buf (leaf, ops) ->
+           w_string buf leaf;
+           w_list w_filter_op buf ops))
+      buf queries
 
 let r_request c =
   match r_u8 c with
@@ -446,6 +455,14 @@ let r_request c =
     let leaf = r_string c in
     let group_by = r_string c in
     Group_sum { leaf; group_by; sum = r_string c }
+  | 11 ->
+    Q_batch
+      { queries =
+          r_list
+            (r_list (fun c ->
+                 let leaf = r_string c in
+                 (leaf, r_list r_filter_op c)))
+            c }
   | n -> fail (Printf.sprintf "unknown request tag %d" n)
 
 let w_corruption buf (c : Integrity.corruption) =
@@ -507,6 +524,13 @@ let w_response buf = function
   | R_corrupt c ->
     w_u8 buf 10;
     w_corruption buf c
+  | R_batch { results } ->
+    w_u8 buf 11;
+    w_list
+      (w_list (fun buf (mask, scanned) ->
+           w_bools buf mask;
+           w_int buf scanned))
+      buf results
 
 let r_response c =
   match r_u8 c with
@@ -542,6 +566,14 @@ let r_response c =
     let not_found = r_u8 c = 1 in
     R_error { not_found; msg = r_string c }
   | 10 -> R_corrupt (r_corruption c)
+  | 11 ->
+    R_batch
+      { results =
+          r_list
+            (r_list (fun c ->
+                 let mask = r_bools c in
+                 (mask, r_int c)))
+            c }
   | n -> fail (Printf.sprintf "unknown response tag %d" n)
 
 let msg_to_string w x =

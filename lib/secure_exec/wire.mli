@@ -66,6 +66,15 @@ type request =
   | Oram_read of { leaf : string; slot : int }
   | Phe_sum of { leaf : string; attr : string }
   | Group_sum of { leaf : string; group_by : string; sum : string }
+  | Q_batch of { queries : (string * filter_op list) list list }
+      (** K filter workloads in one round trip: the outer list has one
+          entry per query, each an ordered [(leaf, ops)] list. The server
+          answers all of them against a single pass over the touched
+          leaves; what it sees is the {e union} of K token sets under one
+          request — which queries arrived together, but not the
+          inter-query timing K singles would leak. Decoding is bounded by
+          the same remaining-bytes [r_count] discipline as every other
+          list, so a garbled count cannot force a giant allocation. *)
 
 type response =
   | R_unit
@@ -85,6 +94,11 @@ type response =
       (** surfaced client-side as [Not_found] / [Invalid_argument] *)
   | R_corrupt of Integrity.corruption
       (** surfaced client-side as [Integrity.Corruption] *)
+  | R_batch of { results : (bool array * int) list list }
+      (** positional answers to {!Q_batch}: per query, per [(leaf, ops)]
+          entry, the bit-packed match mask and the scanned-cell count —
+          the same payload K [R_mask] responses would carry, split back
+          out by the client *)
 
 val request_to_string : request -> string
 

@@ -1,0 +1,211 @@
+(* Batched execution: [Executor.run_batch] through [System.query_batch].
+
+   The batch contract under test: answers bag-identical to one-at-a-time
+   execution in every reconstruction mode and on both backends, positional
+   results (planner errors stay in their slot), per-query traces that
+   reconcile exactly with the global counter movement of the whole batch,
+   mapping-cache amortization across repeats with epoch invalidation, and
+   counter totals independent of SNF_DOMAINS. *)
+
+open Snf_relational
+module Scheme = Snf_crypto.Scheme
+module Metrics = Snf_obs.Metrics
+open Snf_exec
+
+let t name f = Alcotest.test_case name `Quick f
+
+let with_domains domains f =
+  let saved = Parallel.domain_count () in
+  Parallel.set_domain_count domains;
+  Fun.protect ~finally:(fun () -> Parallel.set_domain_count saved) f
+
+(* The multi-leaf SNF shape from the obs suite: a ~ b, b ~ c forces
+   a/b/c apart, so multi-attribute queries exercise the shared join. *)
+let owner ?backend n =
+  let r =
+    Relation.create
+      (Schema.of_attributes
+         [ Attribute.int "a"; Attribute.int "b"; Attribute.int "c" ])
+      (List.init n (fun i ->
+           [| Value.Int (i mod 13); Value.Int (i * 17); Value.Int (i mod 7) |]))
+  in
+  let policy =
+    Snf_core.Policy.create
+      [ ("a", Scheme.Det); ("b", Scheme.Ndet); ("c", Scheme.Ope) ]
+  in
+  let g = Snf_deps.Dep_graph.create [ "a"; "b"; "c" ] in
+  let g = Snf_deps.Dep_graph.declare_dependent g "a" "b" in
+  let g = Snf_deps.Dep_graph.declare_dependent g "b" "c" in
+  System.outsource ?backend ~name:"batch" ~graph:g r policy
+
+let workload =
+  [ Query.point ~select:[ "b" ] [ ("a", Value.Int 5) ];
+    Query.point ~select:[ "b"; "c" ] [ ("a", Value.Int 3); ("c", Value.Int 2) ];
+    Query.range ~select:[ "a"; "b" ] [ ("c", Value.Int 2, Value.Int 6) ];
+    Query.point ~select:[ "a" ] [ ("c", Value.Int 1) ];
+    Query.point ~select:[ "b" ] [ ("a", Value.Int 5) ];
+    (* repeat *)
+    Query.point ~select:[ "b"; "c" ] [ ("a", Value.Int 9); ("c", Value.Int 3) ] ]
+
+let ok_or_fail = function
+  | Ok (ans, trace) -> (ans, trace)
+  | Error e -> Alcotest.fail e
+
+(* --- batched == sequential, all modes -------------------------------------- *)
+
+let test_batch_matches_sequential () =
+  let o = owner 80 in
+  List.iter
+    (fun mode ->
+      let seq = List.map (fun q -> ok_or_fail (System.query ~mode o q)) workload in
+      let bat = System.query_batch ~mode o workload in
+      Alcotest.(check int) "positional results" (List.length workload)
+        (List.length bat);
+      List.iteri
+        (fun i r ->
+          let ans, _ = ok_or_fail r in
+          let want, _ = List.nth seq i in
+          Helpers.check_same_bag (Printf.sprintf "query %d answer" i) want ans)
+        bat)
+    [ `Sort_merge; `Oram; `Binning 4 ]
+
+let test_batch_backend_parity () =
+  let om = owner 40 in
+  let od = owner ~backend:`Disk 40 in
+  Fun.protect ~finally:(fun () -> System.release om; System.release od)
+  @@ fun () ->
+  let bm = System.query_batch om workload in
+  let bd = System.query_batch od workload in
+  List.iteri
+    (fun i (rm, rd) ->
+      let am, _ = ok_or_fail rm and ad, _ = ok_or_fail rd in
+      Helpers.check_same_bag (Printf.sprintf "query %d mem vs disk" i) am ad)
+    (List.combine bm bd)
+
+(* --- positional planner errors ---------------------------------------------- *)
+
+let test_batch_positional_errors () =
+  let o = owner 30 in
+  let bad = Query.point ~select:[ "zz" ] [ ("a", Value.Int 1) ] in
+  let qs = [ List.nth workload 0; bad; List.nth workload 1 ] in
+  match System.query_batch o qs with
+  | [ Ok (a0, _); Error _; Ok (a2, _) ] ->
+    let w0, _ = ok_or_fail (System.query o (List.nth workload 0)) in
+    let w2, _ = ok_or_fail (System.query o (List.nth workload 1)) in
+    Helpers.check_same_bag "slot 0 unaffected" w0 a0;
+    Helpers.check_same_bag "slot 2 unaffected" w2 a2
+  | rs ->
+    Alcotest.fail
+      (Printf.sprintf "expected [Ok; Error; Ok], got %d results (%s)"
+         (List.length rs)
+         (String.concat ","
+            (List.map (function Ok _ -> "ok" | Error _ -> "err") rs)))
+
+(* --- trace/counter reconciliation ------------------------------------------ *)
+
+let test_batch_traces_reconcile () =
+  let o = owner 100 in
+  let before = Metrics.snapshot () in
+  let results = System.query_batch o workload in
+  let deltas = Metrics.counter_diff before (Metrics.snapshot ()) in
+  let d name = Option.value (List.assoc_opt name deltas) ~default:0 in
+  let traces = List.map (fun r -> snd (ok_or_fail r)) results in
+  let sum f = List.fold_left (fun acc t -> acc + f t) 0 traces in
+  List.iter
+    (fun (name, want) -> Alcotest.(check int) name want (d name))
+    [ ("exec.query.count", List.length traces);
+      ("exec.query.scanned_cells", sum (fun t -> t.Executor.scanned_cells));
+      ("exec.query.index_probes", sum (fun t -> t.Executor.index_probes));
+      ("exec.query.comparisons", sum (fun t -> t.Executor.comparisons));
+      ("exec.query.rows_processed", sum (fun t -> t.Executor.rows_processed));
+      ("exec.query.result_rows", sum (fun t -> t.Executor.result_rows));
+      ("exec.wire.requests", sum (fun t -> t.Executor.wire_requests));
+      ("exec.wire.bytes_up", sum (fun t -> t.Executor.wire_bytes_up));
+      ("exec.wire.bytes_down", sum (fun t -> t.Executor.wire_bytes_down));
+      ("exec.batch.count", 1);
+      ("exec.batch.queries", List.length workload) ];
+  (* The workload has repeated multi-leaf shapes: the shared alignment
+     must be built at least once and reused at least once. *)
+  Alcotest.(check bool) "shared joins built" true (d "exec.batch.shared_joins" >= 1);
+  Alcotest.(check bool) "shared joins reused" true (d "exec.batch.join_reuses" >= 1)
+
+(* --- mapping cache ----------------------------------------------------------- *)
+
+let test_mapping_cache_hits_and_epoch () =
+  let o = owner 60 in
+  let hits () = Metrics.value (Metrics.counter "exec.mapping_cache.hits") in
+  let misses () = Metrics.value (Metrics.counter "exec.mapping_cache.misses") in
+  let m0 = misses () in
+  let first = System.query_batch o workload in
+  Alcotest.(check bool) "first series populates (misses move)" true (misses () > m0);
+  let h0 = hits () in
+  let second = System.query_batch o workload in
+  Alcotest.(check bool) "repeated series hits" true (hits () > h0);
+  List.iteri
+    (fun i (a, b) ->
+      let ra, _ = ok_or_fail a and rb, _ = ok_or_fail b in
+      Helpers.check_same_bag (Printf.sprintf "cached run agrees (query %d)" i) ra rb)
+    (List.combine first second);
+  (* Epoch bump drops every entry: the next run recomputes (misses move
+     again) and still answers identically. *)
+  Enc_relation.bump_key_epoch o.System.client;
+  let m1 = misses () in
+  let third = System.query_batch o workload in
+  Alcotest.(check bool) "epoch bump invalidates (misses move)" true (misses () > m1);
+  List.iteri
+    (fun i (a, b) ->
+      let ra, _ = ok_or_fail a and rb, _ = ok_or_fail b in
+      Helpers.check_same_bag (Printf.sprintf "post-bump run agrees (query %d)" i) ra rb)
+    (List.combine first third)
+
+let test_mapping_cache_off_is_silent () =
+  let o = owner 40 in
+  let hits () = Metrics.value (Metrics.counter "exec.mapping_cache.hits") in
+  let misses () = Metrics.value (Metrics.counter "exec.mapping_cache.misses") in
+  let h0 = hits () and m0 = misses () in
+  let a = System.query_batch ~use_mapping_cache:false o workload in
+  let b = System.query_batch ~use_mapping_cache:false o workload in
+  Alcotest.(check int) "no hits when disabled" h0 (hits ());
+  Alcotest.(check int) "no misses when disabled" m0 (misses ());
+  List.iteri
+    (fun i (x, y) ->
+      let rx, _ = ok_or_fail x and ry, _ = ok_or_fail y in
+      Helpers.check_same_bag (Printf.sprintf "uncached runs agree (query %d)" i) rx ry)
+    (List.combine a b)
+
+(* --- SNF_DOMAINS determinism ------------------------------------------------- *)
+
+let prop_batch_domain_independent =
+  Helpers.qtest ~count:5 "run_batch counters independent of SNF_DOMAINS"
+    QCheck2.Gen.(int_range 40 90)
+    (fun n ->
+      let counted (name, _) =
+        (* Timing-derived series vary run to run; everything else must be
+           bit-identical across domain counts. *)
+        not (String.length name >= 5 && String.sub name 0 5 = "time.")
+      in
+      let run d =
+        with_domains d (fun () ->
+            let o = owner n in
+            let before = Metrics.snapshot () in
+            let results = System.query_batch o workload in
+            let deltas = Metrics.counter_diff before (Metrics.snapshot ()) in
+            let bags =
+              List.map
+                (function Ok (ans, _) -> Helpers.bag ans | Error e -> [ e ])
+                results
+            in
+            (bags, List.filter counted deltas))
+      in
+      let b1, d1 = run 1 and b4, d4 = run 4 in
+      b1 = b4 && d1 = d4)
+
+let suite =
+  [ t "batched equals sequential (all modes)" test_batch_matches_sequential;
+    t "batched equals across backends" test_batch_backend_parity;
+    t "planner errors stay positional" test_batch_positional_errors;
+    t "summed traces reconcile with counter deltas" test_batch_traces_reconcile;
+    t "mapping cache: hits on repeats, epoch invalidation"
+      test_mapping_cache_hits_and_epoch;
+    t "mapping cache off moves no cache counters" test_mapping_cache_off_is_silent;
+    prop_batch_domain_independent ]

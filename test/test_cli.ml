@@ -125,6 +125,57 @@ let check_rotate_with_metrics () =
   check_int "unknown check backend exits 2" 2
     (fst (run [ "check"; "--backend"; "floppy" ]))
 
+let with_batch_file lines f =
+  let path = Filename.temp_file "snf_cli_test" ".batch" in
+  let oc = open_out_bin path in
+  List.iter (fun l -> output_string oc l; output_char oc '\n') lines;
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let query_batch_file () =
+  with_csv @@ fun csv ->
+  (* Good file: point, range and a comment, all in one shared pass. *)
+  with_batch_file
+    [ "# workload"; "id,code : code=c1"; "code : id=1..3"; "id : code=c0" ]
+    (fun batch ->
+      check_int "well-formed batch exits 0" 0
+        (fst
+           (run
+              [ "query"; "--csv"; csv; "--enc"; "code=DET,id=OPE"; "--batch";
+                batch ])));
+  (* Malformed lines are CLI misuse: exit 2 with a pointed message, never
+     a crash (3). *)
+  let misuse lines want =
+    with_batch_file lines (fun batch ->
+        let code, err =
+          run ~capture_stderr:true
+            [ "query"; "--csv"; csv; "--enc"; "code=DET,id=OPE"; "--batch";
+              batch ]
+        in
+        check_int (want ^ " exits 2") 2 code;
+        check_bool (want ^ " names the problem") true (contains err want))
+  in
+  misuse [ "id,code code=c1" ] "expected";
+  misuse [ "id : nonsense" ] "bad predicate";
+  misuse [ "id : id=abc" ] "bad value";
+  misuse [ "id : zz=1" ] "unknown attribute";
+  misuse [ " : code=c1" ] "empty projection";
+  misuse [ "# nothing but comments" ] "no queries";
+  (* --select and --batch are alternatives; neither is misuse too. *)
+  let code, err = run ~capture_stderr:true [ "query"; "--csv"; csv ] in
+  check_int "neither --select nor --batch exits 2" 2 code;
+  check_bool "message offers both" true (contains err "--batch")
+
+let check_batch_sizes () =
+  let code, _ =
+    run [ "check"; "--seed"; "7"; "--queries"; "15"; "--rows"; "8";
+          "--faults"; "false"; "--batch"; "8" ]
+  in
+  check_int "check --batch 8 exits 0" 0 code;
+  let code, err = run ~capture_stderr:true [ "check"; "--batch"; "7" ] in
+  check_int "check --batch 7 exits 2" 2 code;
+  check_bool "rejection names the flag" true (contains err "batch")
+
 let suite =
   [ Alcotest.test_case "binary present" `Quick binary_present;
     Alcotest.test_case "help and version exit 0" `Quick help_ok;
@@ -135,4 +186,7 @@ let suite =
     Alcotest.test_case "query --backend mem|disk, exit 2 on unknown" `Slow
       query_backend_selection;
     Alcotest.test_case "check --backend rotate writes wire metrics" `Slow
-      check_rotate_with_metrics ]
+      check_rotate_with_metrics;
+    Alcotest.test_case "query --batch FILE: shared pass, exit 2 on malformed"
+      `Slow query_batch_file;
+    Alcotest.test_case "check --batch 1|8|64" `Slow check_batch_sizes ]

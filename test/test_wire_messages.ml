@@ -95,7 +95,12 @@ let gen_request =
       Gen.map2 (fun leaf attr -> Wire.Phe_sum { leaf; attr }) gen_label gen_attr;
       Gen.map2
         (fun leaf (group_by, sum) -> Wire.Group_sum { leaf; group_by; sum })
-        gen_label (Gen.pair gen_attr gen_attr) ]
+        gen_label (Gen.pair gen_attr gen_attr);
+      Gen.map
+        (fun queries -> Wire.Q_batch { queries })
+        (Gen.list_size (Gen.int_bound 4)
+           (Gen.list_size (Gen.int_bound 3)
+              (Gen.pair gen_label (Gen.list_size (Gen.int_bound 3) gen_filter_op)))) ]
 
 let gen_corruption =
   Gen.map2
@@ -134,7 +139,17 @@ let gen_response =
       Gen.map2
         (fun not_found msg -> Wire.R_error { not_found; msg })
         Gen.bool gen_blob;
-      Gen.map (fun c -> Wire.R_corrupt c) gen_corruption ]
+      Gen.map (fun c -> Wire.R_corrupt c) gen_corruption;
+      Gen.map
+        (fun results ->
+          Wire.R_batch
+            { results =
+                List.map
+                  (List.map (fun (mask, scanned) -> (Array.of_list mask, scanned)))
+                  results })
+        (Gen.list_size (Gen.int_bound 4)
+           (Gen.list_size (Gen.int_bound 3)
+              (Gen.pair (Gen.list_size (Gen.int_bound 24) Gen.bool) Gen.nat))) ]
 
 (* {1 Round trips} *)
 
@@ -171,7 +186,14 @@ let sample_requests =
         blocks = [| "blk0\x00\x00\x00\x00"; "blk1\x01\x01\x01\x01" |] };
     Wire.Oram_read { leaf = "R"; slot = 4 };
     Wire.Phe_sum { leaf = "R"; attr = "amount" };
-    Wire.Group_sum { leaf = "R"; group_by = "a"; sum = "amount" } ]
+    Wire.Group_sum { leaf = "R"; group_by = "a"; sum = "amount" };
+    Wire.Q_batch { queries = [] };
+    Wire.Q_batch
+      { queries =
+          [ [ ("R.a", [ Wire.F_eq ("a", Enc_relation.Eq_det "tok") ]);
+              ("R.b", [ Wire.F_range ("b", Enc_relation.Rng_ord (1, 5)) ]) ];
+            [];
+            [ ("R.a", [ Wire.F_slots [ 0; 3 ] ]) ] ] } ]
 
 let sample_responses =
   [ Wire.R_unit;
@@ -197,7 +219,13 @@ let sample_responses =
     Wire.R_error { not_found = false; msg = "bad request" };
     Wire.R_corrupt
       { Integrity.where = "leaf"; leaf = Some "R"; attr = None;
-        detail = "row count mismatch" } ]
+        detail = "row count mismatch" };
+    Wire.R_batch { results = [] };
+    Wire.R_batch
+      { results =
+          [ [ ([| true; false; true |], 3); ([||], 0) ];
+            [];
+            [ ([| false |], 1) ] ] } ]
 
 let test_every_constructor_roundtrips () =
   List.iteri
