@@ -924,6 +924,219 @@ let run_micro_batch () =
          ("metrics", Report.of_obs_metrics (Snf_obs.Metrics.snapshot ())) ]);
   Printf.printf "wrote BENCH_batch.json\n"
 
+(* Trace-replay adversary scorecard: record the SNFT wire trace of one
+   fixed workload under every representation x execution arm, replay each
+   trace through [Snf_attack.Trace_adversary], and write the per-cell
+   reconstruction rates to BENCH_attack.json. The run self-gates: the SNF
+   row must reconstruct strictly less than the co-locating strawman
+   (universal) and the fully decomposed atomic representation on the
+   frequency and access-pattern attacks under sort-merge, stay at or
+   below them under every arm, and stay under pinned absolute ceilings.
+   `index=1` turns the equality index on — a deliberately leaky
+   configuration whose probe answers certify exact per-token row sets —
+   and is expected to blow the ceilings (CI runs it to prove the gate
+   can fail). *)
+let run_micro_attack () =
+  section "Micro: trace-replay adversary scorecard";
+  let rows = max 50 (arg_value "rows" 600) in
+  let queries = max 8 (arg_value "queries" 96) in
+  let use_index = arg_value "index" 0 <> 0 in
+  let zips = 24 and branches = 6 and states = 8 in
+  (* zip j covers (zips - j) slots of each triangular block, so every zip
+     has a distinct marginal frequency and volume rank-matching is
+     unambiguous when volumes are known exactly. *)
+  let tri = zips * (zips + 1) / 2 in
+  let zip_of i =
+    let r = i mod tri in
+    let rec go j acc = if acc + (zips - j) > r then j else go (j + 1) (acc + (zips - j)) in
+    go 0 0
+  in
+  let open Snf_relational in
+  let r =
+    Relation.create
+      (Schema.of_attributes
+         [ Attribute.int "zip"; Attribute.int "branch"; Attribute.int "state";
+           Attribute.int "balance" ])
+      (List.init rows (fun i ->
+           let z = zip_of i in
+           [| Value.Int z; Value.Int (i mod branches); Value.Int (z mod states);
+              Value.Int (i * 37 mod 1000) |]))
+  in
+  let policy =
+    Snf_core.Policy.create
+      [ ("zip", Snf_crypto.Scheme.Det); ("branch", Snf_crypto.Scheme.Det);
+        ("state", Snf_crypto.Scheme.Ndet); ("balance", Snf_crypto.Scheme.Ope) ]
+  in
+  let graph =
+    let g = Snf_deps.Dep_graph.create [ "zip"; "branch"; "state"; "balance" ] in
+    Snf_deps.Dep_graph.declare_dependent g "zip" "state"
+  in
+  (* Conjunction-heavy workload: most zips are only ever queried inside a
+     conjunction, so their volumes are confounded wherever zip and branch
+     are co-located; a few zips also appear solo. *)
+  let range_truth = ref [] in
+  let conj = ref 0 in
+  let workload =
+    List.init queries (fun i ->
+        match i mod 4 with
+        | 0 | 1 ->
+          (* the conjunction counter sweeps every zip value, so exact
+             volume knowledge (atomic's per-conjunct solo masks) rank-
+             matches perfectly while confounded bounds mis-rank *)
+          let c = !conj in
+          incr conj;
+          Snf_exec.Query.point ~select:[ "state" ]
+            [ ("zip", Value.Int (c mod zips)); ("branch", Value.Int (5 * c mod branches)) ]
+        | 2 ->
+          Snf_exec.Query.point ~select:[ "branch" ] [ ("zip", Value.Int (i mod 5)) ]
+        | _ ->
+          let lo = i * 53 mod 900 in
+          range_truth := ("balance", Value.Int lo, Value.Int (lo + 99)) :: !range_truth;
+          Snf_exec.Query.range ~select:[ "zip" ]
+            [ ("balance", Value.Int lo, Value.Int (lo + 99)) ])
+  in
+  let range_truth = List.rev !range_truth in
+  let aux =
+    List.map (fun a -> (a, Relation.column r a)) [ "zip"; "branch"; "state"; "balance" ]
+  in
+  let chunks k l =
+    List.rev
+      (List.fold_left
+         (fun acc x ->
+           match acc with
+           | cur :: rest when List.length cur < k -> (x :: cur) :: rest
+           | _ -> [ x ] :: acc)
+         [] l)
+    |> List.map List.rev
+  in
+  let arms =
+    [ ("sort-merge", `Mode `Sort_merge); ("oram", `Mode `Oram);
+      ("binning4", `Mode (`Binning 4)); ("batch16", `Batch 16) ]
+  in
+  let cells = ref [] in
+  let score_of = Hashtbl.create 32 in
+  let sample_written = ref false in
+  List.iter
+    (fun (rep_name, representation) ->
+      let owner =
+        Snf_exec.System.outsource_prepared ~name:("atk-" ^ rep_name) ~graph
+          ~representation r policy
+      in
+      let ground = Snf_attack.Trace_adversary.ground_of_owner owner in
+      List.iter
+        (fun (arm_name, arm) ->
+          let run_query q res =
+            match res with
+            | Ok _ -> ()
+            | Error e ->
+              failwith
+                (Format.asprintf "micro-attack: %s/%s failed on %a: %s" rep_name
+                   arm_name Snf_exec.Query.pp q e)
+          in
+          let (), trace =
+            Snf_exec.System.record_wire_trace (fun () ->
+                match arm with
+                | `Mode mode ->
+                  List.iter
+                    (fun q -> run_query q (Snf_exec.System.query ~mode ~use_index owner q))
+                    workload
+                | `Batch k ->
+                  List.iter
+                    (fun batch ->
+                      List.iter2 run_query batch
+                        (Snf_exec.System.query_batch ~mode:`Sort_merge ~use_index owner
+                           batch))
+                    (chunks k workload))
+          in
+          if rep_name = "snf" && arm_name = "sort-merge" && not !sample_written then begin
+            Snf_obs.Wiretrace.write_json ~path:"SNFT_sample.json" trace;
+            sample_written := true
+          end;
+          let views = Snf_obs.Leakage.queries trace in
+          let profile = Snf_obs.Leakage.profile trace in
+          let s =
+            Snf_attack.Trace_adversary.run ~views ~aux ~ground ~protected_attr:"state"
+              ~source_attr:"zip" ~range_truth ()
+          in
+          Hashtbl.replace score_of (rep_name, arm_name) s;
+          Printf.printf
+            "  %-15s %-10s freq %5.3f  access %5.3f (tok %5.3f res %5.3f)  sort %5.3f  inf %5.3f  linked %4d\n%!"
+            rep_name arm_name s.Snf_attack.Trace_adversary.s_frequency s.s_access
+            s.s_access_token s.s_access_result s.s_sorting s.s_inference s.s_linked_rows;
+          cells :=
+            Report.J_obj
+              [ ("representation", Report.J_string rep_name);
+                ("arm", Report.J_string arm_name);
+                ("index", Report.J_bool use_index);
+                ("queries", Report.J_int (List.length views));
+                ("eq_tokens_distinct", Report.J_int profile.Snf_obs.Leakage.p_eq_distinct);
+                ("eq_token_repeats", Report.J_int profile.p_eq_repeats);
+                ("volume_distinct", Report.J_int profile.p_volume_distinct);
+                ("rounds", Report.J_int profile.p_rounds);
+                ("scores", Report.of_obs_json (Snf_attack.Trace_adversary.scores_to_json s))
+              ]
+            :: !cells)
+        arms;
+      Snf_exec.System.release owner)
+    (Snf_check.Differential.representations ~workload graph policy);
+  (* --- the regression gate ------------------------------------------- *)
+  let s rep arm = Hashtbl.find score_of (rep, arm) in
+  let freq (x : Snf_attack.Trace_adversary.scores) = x.s_frequency in
+  let access (x : Snf_attack.Trace_adversary.scores) = x.s_access in
+  let gate = ref [] in
+  let check name ok =
+    Printf.printf "  gate %-58s %s\n%!" name (if ok then "ok" else "FAIL");
+    gate := (name, ok) :: !gate
+  in
+  List.iter
+    (fun other ->
+      check
+        (Printf.sprintf "snf.frequency < %s.frequency [sort-merge]" other)
+        (freq (s "snf" "sort-merge") < freq (s other "sort-merge"));
+      check
+        (Printf.sprintf "snf.access < %s.access [sort-merge]" other)
+        (access (s "snf" "sort-merge") < access (s other "sort-merge"));
+      List.iter
+        (fun (arm, _) ->
+          check
+            (Printf.sprintf "snf <= %s on frequency+access [%s]" other arm)
+            (freq (s "snf" arm) <= freq (s other arm)
+            && access (s "snf" arm) <= access (s other arm)))
+        arms)
+    [ "universal"; "atomic" ];
+  (* Pinned absolute ceilings for the SNF row (sort-merge). The leaky
+     index configuration certifies exact per-token row sets through probe
+     answers and must land above at least one of them. *)
+  let f_max = 0.25 and a_max = 0.55 in
+  check
+    (Printf.sprintf "snf.frequency <= %.2f [sort-merge ceiling]" f_max)
+    (freq (s "snf" "sort-merge") <= f_max);
+  check
+    (Printf.sprintf "snf.access <= %.2f [sort-merge ceiling]" a_max)
+    (access (s "snf" "sort-merge") <= a_max);
+  let gates = List.rev !gate in
+  Report.write_json "BENCH_attack.json"
+    (Report.J_obj
+       [ ("experiment", Report.J_string "trace-adversary-scorecard");
+         ("rows", Report.J_int rows);
+         ("queries", Report.J_int queries);
+         ("index", Report.J_bool use_index);
+         ("cells", Report.J_list (List.rev !cells));
+         ("gates",
+          Report.J_list
+            (List.map
+               (fun (n, ok) ->
+                 Report.J_obj [ ("gate", Report.J_string n); ("ok", Report.J_bool ok) ])
+               gates));
+         ("metrics", Report.of_obs_metrics (Snf_obs.Metrics.snapshot ())) ]);
+  Printf.printf "wrote BENCH_attack.json (and SNFT_sample.json)\n";
+  match List.filter (fun (_, ok) -> not ok) gates with
+  | [] -> ()
+  | bad ->
+    failwith
+      (Printf.sprintf "micro-attack: %d leakage gate(s) failed: %s" (List.length bad)
+         (String.concat "; " (List.map fst bad)))
+
 (* Span-tracer demo: outsource a small three-leaf relation, run one query
    per reconstruction mode with spans on, and write a Chrome trace_event
    file (CI uploads it as an artifact). *)
@@ -977,5 +1190,6 @@ let () =
   if wants "micro-paillier" then run_micro_paillier ();
   if wants "micro-join" then run_micro_join ();
   if wants "micro-batch" then run_micro_batch ();
+  if wants "micro-attack" then run_micro_attack ();
   if wants "trace-demo" then run_trace_demo ();
   Printf.printf "\nbench: done\n"

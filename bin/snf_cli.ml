@@ -80,6 +80,28 @@ let deps_arg =
                `A _|_ B | C = v`). When omitted, dependencies are mined \
                from the data.")
 
+(* File-output flags fail fast: an unwritable destination is CLI misuse
+   (exit 2, like any other bad flag value), discovered before the
+   expensive work starts — not a Sys_error escaping as exit 3 after the
+   queries already ran. The probe appends nothing and leaves existing
+   files untouched. *)
+let ensure_writable flag = function
+  | None -> ()
+  | Some path ->
+    (match open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path with
+     | oc -> close_out oc
+     | exception Sys_error msg ->
+       Printf.eprintf "snf_cli: %s: cannot write %s (%s)\n" flag path msg;
+       exit 2)
+
+(* SNFT wire traces: binary framing for .snft paths, JSON otherwise. *)
+let write_wire_trace path trace =
+  if Filename.check_suffix path ".snft" then
+    Snf_obs.Wiretrace.write_binary ~path trace
+  else Snf_obs.Wiretrace.write_json ~path trace;
+  Printf.printf "-- wrote %s (SNFT wire trace, %d events)\n" path
+    (List.length trace.Snf_obs.Wiretrace.events)
+
 let graph_of ~deps r =
   match deps with
   | None -> Snf_deps.Dep_graph.of_relation r
@@ -236,6 +258,15 @@ let query_cmd =
                  (view in chrome://tracing or Perfetto) with the metrics \
                  snapshot embedded.")
   in
+  let wire_trace_out_arg =
+    Arg.(value & opt (some string) None & info [ "wire-trace-out" ] ~docv:"FILE"
+           ~doc:"Record the SNFT wire trace — every client/server message \
+                 of the run, with sizes, tags and ciphertext-level \
+                 summaries (the honest-but-curious server's transcript) — \
+                 and write it here: binary framing if FILE ends in .snft, \
+                 JSON otherwise. Feed it to the leakage profiler or the \
+                 trace-replay adversary.")
+  in
   let backend_arg =
     Arg.(value & opt (enum [ ("mem", `Mem); ("disk", `Disk) ]) `Mem
          & info [ "backend" ] ~docv:"mem|disk"
@@ -314,7 +345,9 @@ let query_cmd =
              in
              { Snf_exec.Query.select; where = preds })
   in
-  let run csv enc default select where mode trace_out backend batch =
+  let run csv enc default select where mode trace_out wire_trace_out backend batch =
+    ensure_writable "--trace-out" trace_out;
+    ensure_writable "--wire-trace-out" wire_trace_out;
     let r = load_csv csv in
     let policy = policy_of ~enc ~default r in
     let schema = Relation.schema r in
@@ -326,6 +359,15 @@ let query_cmd =
       | Value.TText -> Value.Text raw
     in
     if trace_out <> None then Snf_obs.Span.set_enabled true;
+    let with_wire_trace f =
+      match wire_trace_out with
+      | None -> f ()
+      | Some path ->
+        let v, trace = Snf_exec.System.record_wire_trace f in
+        write_wire_trace path trace;
+        v
+    in
+    with_wire_trace @@ fun () ->
     match batch with
     | Some path ->
       let qs = parse_batch_file path parse_value in
@@ -393,7 +435,7 @@ let query_cmd =
        ~doc:"Outsource a CSV and run a point query — or a whole batch of \
              queries in one shared pass — securely.")
     Term.(const run $ csv_arg $ enc_arg $ default_scheme_arg $ select_arg $ where_arg
-          $ mode_arg $ trace_out_arg $ backend_arg $ batch_arg)
+          $ mode_arg $ trace_out_arg $ wire_trace_out_arg $ backend_arg $ batch_arg)
 
 (* --- visualize ---------------------------------------------------------------------- *)
 
@@ -506,11 +548,30 @@ let check_cmd =
                    answers must stay bag-identical to one-at-a-time \
                    execution and reconcile with the counters either way.")
   in
-  let run seed queries rows faults tid_cache backend batch out metrics_out =
+  let wire_trace_out_arg =
+    Arg.(value & opt (some string) None & info [ "wire-trace-out" ] ~docv:"FILE"
+           ~doc:"Record the SNFT wire trace of the whole soak — every \
+                 client/server message across every representation and \
+                 backend — and write it here (binary if FILE ends in \
+                 .snft, JSON otherwise).")
+  in
+  let run seed queries rows faults tid_cache backend batch out metrics_out
+      wire_trace_out =
+    ensure_writable "--out" out;
+    ensure_writable "--metrics-out" metrics_out;
+    ensure_writable "--wire-trace-out" wire_trace_out;
     let batch = match batch with None -> `Rotate | Some n -> `Size n in
-    let report =
+    let soak () =
       Snf_check.Differential.soak ~rows ~with_faults:faults ~tid_cache ~backend
         ~batch ~seed ~queries ()
+    in
+    let report =
+      match wire_trace_out with
+      | None -> soak ()
+      | Some path ->
+        let report, trace = Snf_exec.System.record_wire_trace soak in
+        write_wire_trace path trace;
+        report
     in
     Format.printf "%a@." Snf_check.Differential.pp_report report;
     let write_file path content =
@@ -540,7 +601,8 @@ let check_cmd =
              representations against the plaintext oracle, plus fault injection. \
              Exit 0 on pass, 1 on any conformance failure.")
     Term.(const run $ seed_arg $ queries_arg $ check_rows_arg $ faults_arg
-          $ tid_cache_arg $ backend_arg $ batch_arg $ out_arg $ metrics_out_arg)
+          $ tid_cache_arg $ backend_arg $ batch_arg $ out_arg $ metrics_out_arg
+          $ wire_trace_out_arg)
 
 let main =
   Cmd.group

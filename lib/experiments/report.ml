@@ -121,6 +121,19 @@ let write_json path j =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (json_to_string j))
 
+(* Embed an already-built Snf_obs.Json value (ledger reports, adversary
+   scorecards) into a BENCH_*.json document. *)
+let rec of_obs_json (j : Snf_obs.Json.t) =
+  match j with
+  | Snf_obs.Json.Null -> J_string "null"
+  | Snf_obs.Json.Bool b -> J_bool b
+  | Snf_obs.Json.Int i -> J_int i
+  | Snf_obs.Json.Float f -> J_float f
+  | Snf_obs.Json.String s -> J_string s
+  | Snf_obs.Json.List l -> J_list (List.map of_obs_json l)
+  | Snf_obs.Json.Obj fields ->
+    J_obj (List.map (fun (k, v) -> (k, of_obs_json v)) fields)
+
 (* An Snf_obs metrics snapshot as a BENCH_*.json fragment, mirroring the
    shape of [Snf_obs.Export.metrics_json]. *)
 let of_obs_metrics (s : Snf_obs.Metrics.snapshot) =

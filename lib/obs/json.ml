@@ -29,11 +29,18 @@ let escape s =
     s;
   Buffer.contents buf
 
+(* Shortest representation that parses back to the same float, so the
+   writer is a faithful inverse of the parser (SNFT traces carry exact
+   microsecond timestamps above 1e15, where %.12g already rounds). *)
 let float_repr f =
-  if Float.is_integer f && Float.abs f < 1e15 then
-    Printf.sprintf "%.0f" f
-  else if Float.is_finite f then Printf.sprintf "%.12g" f
-  else "null"
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else if not (Float.is_finite f) then "null"
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s
+    else
+      let s = Printf.sprintf "%.15g" f in
+      if float_of_string s = f then s else Printf.sprintf "%.17g" f
 
 let rec to_buf buf indent j =
   let pad n = String.make n ' ' in

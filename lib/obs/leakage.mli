@@ -1,0 +1,103 @@
+(** Leakage profiler: folds an SNFT wire trace ({!Wiretrace}) into the
+    per-query view an honest-but-curious server obtains, and into
+    aggregate leakage metrics published as [exec.leak.*] counters.
+
+    Everything here is computed from the {e canonical} trace (already
+    reordered by {!Wiretrace.stop}), so every number is bit-identical
+    for any [SNF_DOMAINS].
+
+    The summary vocabulary parsed here is produced by
+    [Server_api.call]; the grammar is documented in DESIGN.md
+    §Leakage observability. *)
+
+(** One search token as the server sees it: no plaintext, only scheme
+    and a stable identity (ciphertext fingerprint, or the ordinal
+    values themselves for order-revealing schemes). *)
+type token = {
+  t_attr : string;
+  t_kind : [ `Eq | `Range ];
+  t_scheme : string;  (** ["plain"], ["det"], ["ord"], or ["ore"] *)
+  t_key : string;
+      (** identity: hex fingerprint, ordinal text, or ["lo..hi"] *)
+}
+
+type op = Op_slots of int list | Op_token of token
+
+type mask_obs = {
+  m_leaf : string;
+  m_ops : op list;  (** the filter ops that produced this mask *)
+  m_matched : int;
+  m_scanned : int;
+  m_slots : int list;  (** set bit positions of the returned mask *)
+}
+
+type fetch_obs = { f_leaf : string; f_attrs : string list; f_slots : int list }
+
+type query_view = {
+  q_index : int;  (** position in the trace, from 0 *)
+  q_tokens : token list;  (** in wire order *)
+  q_masks : mask_obs list;
+  q_fetches : fetch_obs list;
+  q_probes : (string * string * int list option) list;
+      (** index probes: leaf, attr, returned slots (None = no index) *)
+  q_oram : (string * int) list;  (** ORAM reads: leaf, bucket touches *)
+  q_leaves : string list;  (** distinct leaves touched, sorted *)
+  q_in_batch : bool;
+}
+
+(** {2 Summary micro-grammar}
+
+    Producer helpers used by [Server_api.call] when it records a round;
+    the matching parsers live here too so the two sides cannot drift. *)
+
+val desc_slots : int list -> string
+(** [Filter] op descriptor for an explicit slot list: ["slots:1,2,3"]. *)
+
+val desc_token :
+  kind:[ `Eq | `Range ] -> scheme:string -> key:string -> attr:string -> string
+(** Token op descriptor: ["eq:det:<fp>:zip"], ["range:ord:10..20:bal"]. *)
+
+val mask_to_hex : bool array -> string
+(** Bit [k] of byte [i] is slot [8i+k]; bytes hex-encoded. *)
+
+val slots_of_hex : string -> int list
+(** Set bit positions, ascending. Inverse of {!mask_to_hex}. *)
+
+val queries : Wiretrace.trace -> query_view list
+(** Cut a trace at its [query.begin]/[query.end] marks and decode each
+    window. [Q_batch] rounds are re-attributed to the member query
+    windows by the [q] indices carried in batch summaries. Events that
+    fail to parse are skipped (the profiler is an observer, never a
+    gate). *)
+
+type profile = {
+  p_queries : int;
+  p_rounds : int;  (** request/response round trips, incl. admin *)
+  p_bytes_up : int;
+  p_bytes_down : int;
+  p_eq_total : int;  (** eq-token occurrences *)
+  p_eq_distinct : int;
+  p_eq_repeats : int;  (** occurrences beyond the first per identity *)
+  p_eq_max_run : int;  (** occurrences of the most repeated identity *)
+  p_range_total : int;
+  p_range_distinct : int;
+  p_range_repeats : int;
+  p_cooccur_pairs : int;
+      (** distinct leaf pairs touched together inside one query *)
+  p_cooccur_events : int;  (** total such pair incidences *)
+  p_volumes : (int * int) list;
+      (** result-volume distribution: (matched count, occurrences),
+          ascending *)
+  p_volume_distinct : int;
+  p_slots_fetched : int;  (** explicit slots requested via Fetch_rows *)
+  p_oram_touches : int;
+  p_batches : int;
+  p_batch_queries : int;  (** queries that travelled inside a Q_batch *)
+}
+
+val profile : Wiretrace.trace -> profile
+
+val publish : profile -> unit
+(** Bump the [exec.leak.*] counters by the profile's values. *)
+
+val profile_to_json : profile -> Json.t

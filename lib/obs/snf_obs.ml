@@ -9,6 +9,10 @@
       [trace_event] JSON via {!Export}.
     - {!Json}: the self-contained JSON used by the exporters (and by
       [Ledger.report_to_json]).
+    - {!Wiretrace}: the SNFT wire-trace recorder — a deterministic log
+      of every SNFM message as the server sees it.
+    - {!Leakage}: folds an SNFT trace into per-query leakage metrics
+      ([exec.leak.*]).
 
     Naming and usage conventions are documented in DESIGN.md
     §Observability. *)
@@ -18,6 +22,8 @@ module Metrics = Metrics
 module Span = Span
 module Json = Json
 module Export = Export
+module Wiretrace = Wiretrace
+module Leakage = Leakage
 
 let flush () =
   Metrics.flush ();

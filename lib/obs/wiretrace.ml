@@ -1,0 +1,349 @@
+(* SNFT wire-trace recorder. See wiretrace.mli for the contract.
+
+   Recording appends whole rounds (request + response, or one mark)
+   under a global mutex, stamping each round once from [Clock] inside
+   the critical section — so an injected fake clock is ticked exactly
+   once per round, in a serialized order, no matter how many domains
+   race through the filter fan-out. Canonicalisation at [stop] then
+   makes the trace independent of that arrival order. *)
+
+let version = 1
+
+type dir = Up | Down | Mark
+
+type event = {
+  seq : int;
+  round : int;
+  dir : dir;
+  phase : string;
+  tag : int;
+  bytes : int;
+  summary : (string * string) list;
+  ts_us : float;
+}
+
+type trace = { trace_version : int; events : event list }
+
+(* --- recorder state ------------------------------------------------------------- *)
+
+type raw_round = {
+  r_section : int; (* 0 = program order; >0 = unordered section id *)
+  r_phase : string;
+  r_ts : float;
+  r_entries : (dir * int * int * (string * string) list) list;
+}
+
+let enabled = Atomic.make false
+let lock = Mutex.create ()
+let buffer : raw_round list ref = ref [] (* newest first *)
+let section = Atomic.make 0
+let section_gen = Atomic.make 0
+
+let recording () = Atomic.get enabled
+
+let push_round ~phase entries =
+  Mutex.lock lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock)
+    (fun () ->
+      let r =
+        { r_section = Atomic.get section;
+          r_phase = phase;
+          r_ts = Clock.now_us ();
+          r_entries = entries }
+      in
+      buffer := r :: !buffer)
+
+let record_round ~phase ~up:(utag, ubytes, usum) ~down:(dtag, dbytes, dsum) =
+  if recording () then
+    push_round ~phase [ (Up, utag, ubytes, usum); (Down, dtag, dbytes, dsum) ]
+
+let mark ?(summary = []) label =
+  if recording () then push_round ~phase:label [ (Mark, -1, 0, summary) ]
+
+let unordered f =
+  let id = 1 + Atomic.fetch_and_add section_gen 1 in
+  Atomic.set section id;
+  Fun.protect ~finally:(fun () -> Atomic.set section 0) f
+
+let start () =
+  Mutex.lock lock;
+  buffer := [];
+  Mutex.unlock lock;
+  Atomic.set section 0;
+  Atomic.set enabled true
+
+(* --- canonicalisation ----------------------------------------------------------- *)
+
+(* Reorder each maximal run of same-section rounds by content (never by
+   timestamp), then re-deal the run's timestamps in ascending order onto
+   the reordered rounds. Concurrent filter rounds target distinct
+   leaves, so the content key is a total order in practice. *)
+let canonicalise rounds =
+  let flush_run acc run =
+    match run with
+    | [] -> acc
+    | [ r ] -> r :: acc
+    | _ ->
+      let run = List.rev run in
+      let sorted =
+        List.stable_sort
+          (fun a b -> compare (a.r_phase, a.r_entries) (b.r_phase, b.r_entries))
+          run
+      in
+      let ts = List.sort compare (List.map (fun r -> r.r_ts) run) in
+      List.rev_append (List.map2 (fun r t -> { r with r_ts = t }) sorted ts) acc
+  in
+  let acc, run =
+    List.fold_left
+      (fun (acc, run) r ->
+        match run with
+        | first :: _ when first.r_section = r.r_section && r.r_section <> 0 ->
+          (acc, r :: run)
+        | _ -> (flush_run acc run, [ r ]))
+      ([], []) rounds
+  in
+  List.rev (flush_run acc run)
+
+let stop () =
+  Atomic.set enabled false;
+  Mutex.lock lock;
+  let rounds = List.rev !buffer in
+  buffer := [];
+  Mutex.unlock lock;
+  let rounds = canonicalise rounds in
+  let events =
+    List.concat
+      (List.mapi
+         (fun round r ->
+           List.map
+             (fun (dir, tag, bytes, summary) ->
+               { seq = 0;
+                 round;
+                 dir;
+                 phase = r.r_phase;
+                 tag;
+                 bytes;
+                 summary;
+                 ts_us = r.r_ts })
+             r.r_entries)
+         rounds)
+  in
+  let events = List.mapi (fun seq e -> { e with seq }) events in
+  { trace_version = version; events }
+
+let equal (a : trace) (b : trace) = a = b
+
+(* --- JSON codec ------------------------------------------------------------------ *)
+
+let dir_to_string = function Up -> "up" | Down -> "down" | Mark -> "mark"
+
+let dir_of_string = function
+  | "up" -> Ok Up
+  | "down" -> Ok Down
+  | "mark" -> Ok Mark
+  | s -> Error (Printf.sprintf "unknown direction %S" s)
+
+let event_json e =
+  Json.Obj
+    [ ("seq", Json.Int e.seq);
+      ("round", Json.Int e.round);
+      ("dir", Json.String (dir_to_string e.dir));
+      ("phase", Json.String e.phase);
+      ("tag", Json.Int e.tag);
+      ("bytes", Json.Int e.bytes);
+      ("ts_us", Json.Float e.ts_us);
+      ( "summary",
+        Json.List
+          (List.map
+             (fun (k, v) -> Json.List [ Json.String k; Json.String v ])
+             e.summary) )
+    ]
+
+let to_json t =
+  Json.Obj
+    [ ("snft", Json.Int t.trace_version);
+      ("events", Json.List (List.map event_json t.events))
+    ]
+
+let ( let* ) = Result.bind
+
+let req what = function
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "wiretrace: missing or ill-typed %s" what)
+
+let field name conv j = req name (Option.bind (Json.member name j) conv)
+
+let map_m f l =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: tl ->
+      let* y = f x in
+      go (y :: acc) tl
+  in
+  go [] l
+
+let event_of_json j =
+  let* seq = field "seq" Json.to_int_opt j in
+  let* round = field "round" Json.to_int_opt j in
+  let* dir_s = field "dir" Json.to_string_opt j in
+  let* dir = dir_of_string dir_s in
+  let* phase = field "phase" Json.to_string_opt j in
+  let* tag = field "tag" Json.to_int_opt j in
+  let* bytes = field "bytes" Json.to_int_opt j in
+  let* ts_us = field "ts_us" Json.to_float_opt j in
+  let* sum_items = field "summary" Json.to_list_opt j in
+  let* summary =
+    map_m
+      (fun p ->
+        match Json.to_list_opt p with
+        | Some [ k; v ] ->
+          let* k = req "summary key" (Json.to_string_opt k) in
+          let* v = req "summary value" (Json.to_string_opt v) in
+          Ok (k, v)
+        | _ -> Error "wiretrace: summary entry is not a [key, value] pair")
+      sum_items
+  in
+  Ok { seq; round; dir; phase; tag; bytes; summary; ts_us }
+
+let of_json j =
+  let* v = field "snft" Json.to_int_opt j in
+  if v <> version then Error (Printf.sprintf "wiretrace: unsupported SNFT version %d" v)
+  else
+    let* items = field "events" Json.to_list_opt j in
+    let* events = map_m event_of_json items in
+    Ok { trace_version = v; events }
+
+let write_json ~path t = Export.write ~path (to_json t)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read_json ~path =
+  match read_file path with
+  | exception Sys_error msg -> Error msg
+  | s ->
+    let* j = Json.of_string s in
+    of_json j
+
+(* --- binary codec ----------------------------------------------------------------
+   Little-endian, self-contained (no dependency on the Wire store codec:
+   that would invert the library layering). Ints are full 64-bit LE so
+   [-1] mark tags and float bit patterns share one primitive. *)
+
+let magic = "SNFT"
+
+let w_i64 buf x =
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical x (8 * i)) 0xFFL)))
+  done
+
+let w_int buf n = w_i64 buf (Int64.of_int n)
+let w_f64 buf f = w_i64 buf (Int64.bits_of_float f)
+
+let w_str buf s =
+  w_int buf (String.length s);
+  Buffer.add_string buf s
+
+let w_event buf e =
+  Buffer.add_char buf
+    (match e.dir with Up -> '\000' | Down -> '\001' | Mark -> '\002');
+  w_int buf e.seq;
+  w_int buf e.round;
+  w_int buf e.tag;
+  w_int buf e.bytes;
+  w_str buf e.phase;
+  w_f64 buf e.ts_us;
+  w_int buf (List.length e.summary);
+  List.iter
+    (fun (k, v) ->
+      w_str buf k;
+      w_str buf v)
+    e.summary
+
+let to_binary_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf (Char.chr t.trace_version);
+  List.iter (w_event buf) t.events;
+  Buffer.contents buf
+
+let write_binary ~path t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      output_char oc (Char.chr t.trace_version);
+      let buf = Buffer.create 256 in
+      List.iter
+        (fun e ->
+          Buffer.clear buf;
+          w_event buf e;
+          Buffer.output_buffer oc buf)
+        t.events)
+
+exception Bin_error of string
+
+let of_binary_string s =
+  let pos = ref 0 in
+  let fail msg = raise (Bin_error msg) in
+  let take n =
+    if n < 0 || !pos + n > String.length s then fail "truncated SNFT stream";
+    let sub = String.sub s !pos n in
+    pos := !pos + n;
+    sub
+  in
+  let r_i64 () =
+    let b = take 8 in
+    let x = ref 0L in
+    for i = 7 downto 0 do
+      x := Int64.logor (Int64.shift_left !x 8) (Int64.of_int (Char.code b.[i]))
+    done;
+    !x
+  in
+  let r_int () = Int64.to_int (r_i64 ()) in
+  let r_f64 () = Int64.float_of_bits (r_i64 ()) in
+  let r_str () = take (r_int ()) in
+  let r_event () =
+    let dir =
+      match (take 1).[0] with
+      | '\000' -> Up
+      | '\001' -> Down
+      | '\002' -> Mark
+      | c -> fail (Printf.sprintf "unknown direction byte %d" (Char.code c))
+    in
+    let seq = r_int () in
+    let round = r_int () in
+    let tag = r_int () in
+    let bytes = r_int () in
+    let phase = r_str () in
+    let ts_us = r_f64 () in
+    let n = r_int () in
+    if n < 0 || n > String.length s then fail "garbled summary count";
+    let summary =
+      List.init n (fun _ ->
+          let k = r_str () in
+          (k, r_str ()))
+    in
+    { seq; round; dir; phase; tag; bytes; summary; ts_us }
+  in
+  try
+    if take 4 <> magic then fail "not an SNFT stream (bad magic)";
+    let v = Char.code (take 1).[0] in
+    if v <> version then fail (Printf.sprintf "unsupported SNFT version %d" v);
+    let events = ref [] in
+    while !pos < String.length s do
+      events := r_event () :: !events
+    done;
+    Ok { trace_version = v; events = List.rev !events }
+  with Bin_error msg -> Error msg
+
+let read_binary ~path =
+  match read_file path with
+  | exception Sys_error msg -> Error msg
+  | s -> of_binary_string s

@@ -1,0 +1,93 @@
+(** SNFT wire-trace recorder: a deterministic, versioned log of every
+    SNFM message that crosses the client/server boundary, as the server
+    sees it.
+
+    The recorder is a process-global tap. [Server_api.call] records one
+    {e round} per round trip (the request event and its response event,
+    appended atomically), and the executor brackets each query with
+    {!mark} events so a trace can be cut back into per-query windows.
+
+    {2 Determinism}
+
+    The only concurrent server calls in the system are the per-leaf
+    [Filter] fan-out inside [Executor.run_conn]; that region is wrapped
+    in {!unordered}, and at {!stop} every maximal run of rounds recorded
+    inside one unordered section is canonicalised: rounds are reordered
+    by content (phase, tags, byte lengths, summaries — never
+    timestamps), and the timestamps observed in the run are re-dealt in
+    ascending order onto the reordered rounds. With a pinned {!Clock}
+    the resulting trace is byte-identical for any [SNF_DOMAINS]; with
+    the real clock, identical up to timestamps.
+
+    {2 Formats}
+
+    SNFT version {!version} has two isomorphic encodings: a JSON
+    document [{"snft": 1, "events": [...]}] in the [Export] idiom, and a
+    streaming binary form (magic ["SNFT"], version byte, then
+    self-delimiting event frames — {!write_binary} emits frame by frame,
+    so a crashed run keeps every completed event). *)
+
+val version : int
+
+type dir =
+  | Up  (** client → server (a serialized [Wire.request]) *)
+  | Down  (** server → client (a serialized [Wire.response]) *)
+  | Mark  (** recorder annotation, e.g. a query boundary *)
+
+type event = {
+  seq : int;  (** position in the canonical trace, from 0 *)
+  round : int;  (** round-trip id; an Up/Down pair shares one *)
+  dir : dir;
+  phase : string;  (** wire phase (admin/probe/filter/fetch/oram/phe), or the mark label *)
+  tag : int;  (** SNFM message tag; [-1] for marks *)
+  bytes : int;  (** serialized message length; [0] for marks *)
+  summary : (string * string) list;
+      (** decoded structure summary — only server-visible facts *)
+  ts_us : float;  (** {!Clock.now_us} at record time *)
+}
+
+type trace = { trace_version : int; events : event list }
+
+(** {2 Recording} *)
+
+val start : unit -> unit
+(** Clear the buffer and begin recording. *)
+
+val stop : unit -> trace
+(** Stop recording and return the canonicalised trace. *)
+
+val recording : unit -> bool
+
+val record_round :
+  phase:string ->
+  up:int * int * (string * string) list ->
+  down:int * int * (string * string) list ->
+  unit
+(** Record one round trip; each side is [(tag, bytes, summary)]. The
+    two events are appended adjacently under one lock, with one shared
+    timestamp. No-op when not recording. *)
+
+val mark : ?summary:(string * string) list -> string -> unit
+(** Record a boundary annotation (e.g. ["query.begin"]). *)
+
+val unordered : (unit -> 'a) -> 'a
+(** Run [f] in an unordered section: rounds recorded inside it (from
+    any domain) are canonically reordered at {!stop}. Not reentrant. *)
+
+(** {2 Codecs} *)
+
+val to_json : trace -> Json.t
+val of_json : Json.t -> (trace, string) result
+
+val write_json : path:string -> trace -> unit
+val read_json : path:string -> (trace, string) result
+
+val to_binary_string : trace -> string
+val of_binary_string : string -> (trace, string) result
+
+val write_binary : path:string -> trace -> unit
+(** Streams one self-delimiting frame per event. *)
+
+val read_binary : path:string -> (trace, string) result
+
+val equal : trace -> trace -> bool

@@ -1,6 +1,7 @@
 open Snf_relational
 module Metrics = Snf_obs.Metrics
 module Span = Snf_obs.Span
+module Wiretrace = Snf_obs.Wiretrace
 module Partition = Snf_core.Partition
 module Ndet = Snf_crypto.Ndet
 
@@ -522,6 +523,7 @@ let run_conn ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
   | Error e -> Error e
   | Ok plan ->
     let scheme_of = scheme_table rep in
+    Wiretrace.mark "query.begin";
     let wire0 = Server_api.stats conn in
     let relation_name, leaf_dir = Server_api.describe conn in
     Span.with_ ~name:"query"
@@ -566,6 +568,10 @@ let run_conn ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
     in
     let filtered =
       Span.with_ ~name:"query.server_filter" @@ fun () ->
+      (* The per-leaf Filter round trips race across domains — the only
+         place server calls are concurrent — so the recorder is told to
+         canonicalise their order at trace finalisation. *)
+      Wiretrace.unordered @@ fun () ->
       Parallel.map_list
         ~domains:(Parallel.domain_count ())
         (fun (lv, compiled) ->
@@ -644,6 +650,7 @@ let run_conn ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
     Metrics.add m_rows_processed trace.rows_processed;
     Metrics.add m_result_rows trace.result_rows;
     Metrics.observe h_result_rows trace.result_rows;
+    Wiretrace.mark "query.end";
     Ok (result, trace)
 
 let run ?mode ?params ?selector ?use_index ?use_tid_cache ?use_mapping_cache ?drop_tid
@@ -685,6 +692,7 @@ let run_batch ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
   else begin
     Metrics.incr m_batches;
     Metrics.add m_batch_queries (List.length qs);
+    Wiretrace.mark ~summary:[ ("k", string_of_int (List.length qs)) ] "batch.begin";
     let wire_at () = Server_api.stats conn in
     let wire_delta a b =
       ( b.Server_api.requests - a.Server_api.requests,
@@ -795,11 +803,18 @@ let run_batch ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
         r
       | [] -> invalid_arg "Executor: batch response shorter than the batch"
     in
+    (* Batch-member index: positions within [batch_queries], i.e. only
+       executable queries count — the same indexing the Q_batch summary
+       groups carry, so the recorder can re-attribute the shared round
+       trip to the right query windows. *)
+    let bq_idx = ref 0 in
     let outcomes =
       List.map
         (function
           | Error e -> Error e
           | Ok (q, plan, lvs, compiled, index_probes, mint_wire) ->
+            Wiretrace.mark ~summary:[ ("q", string_of_int !bq_idx) ] "query.begin";
+            incr bq_idx;
             let per_leaf = next_result () in
             if List.length per_leaf <> List.length lvs then
               invalid_arg "Executor: batch response entry count disagrees with the plan";
@@ -869,6 +884,7 @@ let run_batch ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
             let wire_requests, wire_bytes_up, wire_bytes_down =
               add3 mint_wire (wire_delta wr0 (wire_at ()))
             in
+            Wiretrace.mark "query.end";
             Ok
               ( result,
                 { plan;
@@ -895,8 +911,9 @@ let run_batch ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
        publish each trace — the per-query counter contributions sum
        exactly to the batch's global deltas. *)
     let shared_left = ref (Some shared_wire) in
-    List.map
-      (function
+    let published =
+      List.map
+        (function
         | Error e -> Error e
         | Ok (result, trace) ->
           let trace =
@@ -917,7 +934,10 @@ let run_batch ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
           Metrics.add m_result_rows trace.result_rows;
           Metrics.observe h_result_rows trace.result_rows;
           Ok (result, trace))
-      outcomes
+        outcomes
+    in
+    Wiretrace.mark "batch.end";
+    published
   end
 
 let pp_trace fmt t =

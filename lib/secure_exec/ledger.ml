@@ -11,6 +11,10 @@ let m_tid_hits = Metrics.counter "exec.join.tid_cache.hits"
 let m_tid_misses = Metrics.counter "exec.join.tid_cache.misses"
 let m_map_hits = Metrics.counter "exec.mapping_cache.hits"
 let m_map_misses = Metrics.counter "exec.mapping_cache.misses"
+let m_batches = Metrics.counter "exec.batch.count"
+let m_batch_queries = Metrics.counter "exec.batch.queries"
+let m_shared_joins = Metrics.counter "exec.batch.shared_joins"
+let m_join_reuses = Metrics.counter "exec.batch.join_reuses"
 
 type t = {
   owner : System.owner;
@@ -31,6 +35,10 @@ type t = {
   tid_misses0 : int;
   map_hits0 : int;
   map_misses0 : int;
+  batches0 : int;
+  batch_queries0 : int;
+  shared_joins0 : int;
+  join_reuses0 : int;
   mutable query_metrics : (string * int) list list; (* newest first *)
 }
 
@@ -50,6 +58,10 @@ let create owner =
     tid_misses0 = Metrics.value m_tid_misses;
     map_hits0 = Metrics.value m_map_hits;
     map_misses0 = Metrics.value m_map_misses;
+    batches0 = Metrics.value m_batches;
+    batch_queries0 = Metrics.value m_batch_queries;
+    shared_joins0 = Metrics.value m_shared_joins;
+    join_reuses0 = Metrics.value m_join_reuses;
     query_metrics = [] }
 
 let owner t = t.owner
@@ -144,6 +156,10 @@ type report = {
   tid_cache_misses : int;
   mapping_cache_hits : int;
   mapping_cache_misses : int;
+  batches : int;
+  batch_queries : int;
+  batch_shared_joins : int;
+  batch_join_reuses : int;
   query_metrics : (string * int) list list;
 }
 
@@ -182,6 +198,10 @@ let report t =
     tid_cache_misses = Metrics.value m_tid_misses - t.tid_misses0;
     mapping_cache_hits = Metrics.value m_map_hits - t.map_hits0;
     mapping_cache_misses = Metrics.value m_map_misses - t.map_misses0;
+    batches = Metrics.value m_batches - t.batches0;
+    batch_queries = Metrics.value m_batch_queries - t.batch_queries0;
+    batch_shared_joins = Metrics.value m_shared_joins - t.shared_joins0;
+    batch_join_reuses = Metrics.value m_join_reuses - t.join_reuses0;
     query_metrics = List.rev t.query_metrics }
 
 let report_to_json (r : report) : Json.t =
@@ -216,6 +236,10 @@ let report_to_json (r : report) : Json.t =
       ("tid_cache_misses", Json.Int r.tid_cache_misses);
       ("mapping_cache_hits", Json.Int r.mapping_cache_hits);
       ("mapping_cache_misses", Json.Int r.mapping_cache_misses);
+      ("batches", Json.Int r.batches);
+      ("batch_queries", Json.Int r.batch_queries);
+      ("batch_shared_joins", Json.Int r.batch_shared_joins);
+      ("batch_join_reuses", Json.Int r.batch_join_reuses);
       ( "query_metrics",
         Json.List
           (List.map
@@ -288,6 +312,10 @@ let report_of_json (j : Json.t) : (report, string) result =
   let* tid_cache_misses = int_field j "tid_cache_misses" in
   let* mapping_cache_hits = int_field j "mapping_cache_hits" in
   let* mapping_cache_misses = int_field j "mapping_cache_misses" in
+  let* batches = int_field j "batches" in
+  let* batch_queries = int_field j "batch_queries" in
+  let* batch_shared_joins = int_field j "batch_shared_joins" in
+  let* batch_join_reuses = int_field j "batch_join_reuses" in
   let* qm_json = field "query_metrics" Json.to_list_opt in
   let* query_metrics =
     map_m
@@ -317,6 +345,10 @@ let report_of_json (j : Json.t) : (report, string) result =
       tid_cache_misses;
       mapping_cache_hits;
       mapping_cache_misses;
+      batches;
+      batch_queries;
+      batch_shared_joins;
+      batch_join_reuses;
       query_metrics }
 
 let pp_report fmt r =
@@ -342,4 +374,8 @@ let pp_report fmt r =
   if r.mapping_cache_hits + r.mapping_cache_misses > 0 then
     Format.fprintf fmt "  mapping cache: %d hits, %d misses@," r.mapping_cache_hits
       r.mapping_cache_misses;
+  if r.batches > 0 then
+    Format.fprintf fmt
+      "  batches: %d (%d queries); shared joins: %d built, %d reused@," r.batches
+      r.batch_queries r.batch_shared_joins r.batch_join_reuses;
   Format.fprintf fmt "@]"

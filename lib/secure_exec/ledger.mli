@@ -80,6 +80,12 @@ type report = {
         memoized token minting and cell decrypts bump *)
   mapping_cache_misses : int;          (** mapping-cache misses (crypto
                                            actually performed) *)
+  batches : int;
+    (** [run_batch] passes since [create] — delta of the process-wide
+        ["exec.batch.count"] counter *)
+  batch_queries : int;                 (** queries carried by those batches *)
+  batch_shared_joins : int;            (** shared oblivious alignments built *)
+  batch_join_reuses : int;             (** alignment reuses within batches *)
   query_metrics : (string * int) list list;
     (** per query, in execution order: every [Snf_obs] counter the query
         moved, with its delta (crypto ops, scans, comparisons, ...) *)

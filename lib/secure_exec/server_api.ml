@@ -1,4 +1,6 @@
 module Metrics = Snf_obs.Metrics
+module Wiretrace = Snf_obs.Wiretrace
+module Leakage = Snf_obs.Leakage
 module Prng = Snf_crypto.Prng
 module Paillier = Snf_crypto.Paillier
 
@@ -12,13 +14,15 @@ let m_bytes_up = Metrics.counter "exec.wire.bytes_up"
 let m_bytes_down = Metrics.counter "exec.wire.bytes_down"
 
 type phase_counters = {
+  p_name : string;
   p_requests : Metrics.counter;
   p_bytes_up : Metrics.counter;
   p_bytes_down : Metrics.counter;
 }
 
 let phase_counters name =
-  { p_requests = Metrics.counter (Printf.sprintf "exec.wire.%s.requests" name);
+  { p_name = name;
+    p_requests = Metrics.counter (Printf.sprintf "exec.wire.%s.requests" name);
     p_bytes_up = Metrics.counter (Printf.sprintf "exec.wire.%s.bytes_up" name);
     p_bytes_down = Metrics.counter (Printf.sprintf "exec.wire.%s.bytes_down" name) }
 
@@ -210,9 +214,119 @@ let stats conn =
     bytes_up = Atomic.get conn.c_bytes_up;
     bytes_down = Atomic.get conn.c_bytes_down }
 
+(* --- SNFT summaries ---------------------------------------------------------
+   What the recorder logs for each message: only server-visible facts.
+   Ciphertext tokens are fingerprinted (MD5 of their canonical [Wire]
+   bytes) — the trace carries token {e identity}, never token bytes;
+   order-revealing ordinals are logged as-is because their numeric order
+   IS what the server sees. The ORAM read slot is withheld: it models
+   the client-held position map, whose output the simulator's in-process
+   ORAM ships in the clear only as an artifact (the raw bytes still
+   count; the access pattern is the [touches] in the response). *)
+
+let fp s = String.sub (Digest.to_hex (Digest.string s)) 0 16
+let fp_op op = fp (Wire.filter_op_to_string op)
+let csv_int l = String.concat "," (List.map string_of_int l)
+
+let op_desc op =
+  match op with
+  | Wire.F_slots slots -> Leakage.desc_slots slots
+  | Wire.F_eq (attr, tok) ->
+    let scheme, key =
+      match tok with
+      | Enc_relation.Eq_plain _ -> ("plain", fp_op op)
+      | Enc_relation.Eq_det _ -> ("det", fp_op op)
+      | Enc_relation.Eq_ord o -> ("ord", string_of_int o)
+      | Enc_relation.Eq_ore _ -> ("ore", fp_op op)
+    in
+    Leakage.desc_token ~kind:`Eq ~scheme ~key ~attr
+  | Wire.F_range (attr, tok) ->
+    let scheme, key =
+      match tok with
+      | Enc_relation.Rng_plain _ -> ("plain", fp_op op)
+      | Enc_relation.Rng_ord (lo, hi) -> ("ord", Printf.sprintf "%d..%d" lo hi)
+      | Enc_relation.Rng_ore _ -> ("ore", fp_op op)
+    in
+    Leakage.desc_token ~kind:`Range ~scheme ~key ~attr
+
+let summarize_request (req : Wire.request) =
+  match req with
+  | Wire.Describe | Wire.Check_shape -> []
+  | Wire.Install image -> [ ("size", string_of_int (String.length image)) ]
+  | Wire.Index_probe { leaf; attr; key } ->
+    [ ("leaf", leaf);
+      ("attr", attr);
+      ("key", match key with None -> "none" | Some k -> fp k) ]
+  | Wire.Filter { leaf; ops } ->
+    ("leaf", leaf) :: List.map (fun o -> ("op", op_desc o)) ops
+  | Wire.Fetch_rows { leaf; attrs; slots } ->
+    [ ("leaf", leaf); ("attrs", String.concat "," attrs); ("slots", csv_int slots) ]
+  | Wire.Fetch_tids { leaf } -> [ ("leaf", leaf) ]
+  | Wire.Oram_init { leaf; block_size; blocks; _ } ->
+    [ ("leaf", leaf);
+      ("blocks", string_of_int (Array.length blocks));
+      ("block_size", string_of_int block_size) ]
+  | Wire.Oram_read { leaf; _ } -> [ ("leaf", leaf) ]
+  | Wire.Phe_sum { leaf; attr } -> [ ("leaf", leaf); ("attr", attr) ]
+  | Wire.Group_sum { leaf; group_by; sum } ->
+    [ ("leaf", leaf); ("group_by", group_by); ("sum", sum) ]
+  | Wire.Q_batch { queries } ->
+    ("k", string_of_int (List.length queries))
+    :: List.concat
+         (List.mapi
+            (fun i q ->
+              ("q", string_of_int i)
+              :: List.concat_map
+                   (fun (leaf, ops) ->
+                     ("leaf", leaf) :: List.map (fun o -> ("op", op_desc o)) ops)
+                   q)
+            queries)
+
+let matched mask = Array.fold_left (fun a b -> if b then a + 1 else a) 0 mask
+
+let summarize_response (resp : Wire.response) =
+  match resp with
+  | Wire.R_unit | Wire.R_nat _ -> []
+  | Wire.R_described { relation_name; leaves } ->
+    [ ("relation", relation_name);
+      ( "leaves",
+        String.concat ","
+          (List.map (fun (l, n) -> Printf.sprintf "%s=%d" l n) leaves) ) ]
+  | Wire.R_slots None -> [ ("slots", "none") ]
+  | Wire.R_slots (Some slots) ->
+    [ ("n", string_of_int (List.length slots)); ("slots", csv_int slots) ]
+  | Wire.R_mask { mask; scanned } ->
+    [ ("matched", string_of_int (matched mask));
+      ("scanned", string_of_int scanned);
+      ("mask", Leakage.mask_to_hex mask) ]
+  | Wire.R_rows cols ->
+    [ ("cols", string_of_int (Array.length cols));
+      ("rows", string_of_int (if Array.length cols = 0 then 0 else Array.length cols.(0)))
+    ]
+  | Wire.R_tids tids -> [ ("n", string_of_int (Array.length tids)) ]
+  | Wire.R_oram { touches; _ } -> [ ("touches", string_of_int touches) ]
+  | Wire.R_groups groups -> [ ("groups", string_of_int (List.length groups)) ]
+  | Wire.R_error { not_found; _ } ->
+    [ ("error", if not_found then "not_found" else "invalid") ]
+  | Wire.R_corrupt c -> [ ("error", "corrupt"); ("where", c.Integrity.where) ]
+  | Wire.R_batch { results } ->
+    List.concat
+      (List.mapi
+         (fun i rs ->
+           ("q", string_of_int i)
+           :: List.map
+                (fun (mask, scanned) ->
+                  ( "mask",
+                    Printf.sprintf "%d:%d:%s" (matched mask) scanned
+                      (Leakage.mask_to_hex mask) ))
+                rs)
+         results)
+
 (* One round trip: serialize, count, send, count, decode, and re-raise
    server-reported failures as the typed exceptions the pre-split code
-   threw from the same situations. *)
+   threw from the same situations. When the SNFT recorder is on, the
+   round is logged before error re-raising, so failed round trips leak
+   (and are recorded) exactly like successful ones. *)
 let call conn ph req =
   let up = Wire.request_to_string req in
   let down = conn.handle up in
@@ -225,7 +339,12 @@ let call conn ph req =
   Metrics.incr ph.p_requests;
   Metrics.add ph.p_bytes_up (String.length up);
   Metrics.add ph.p_bytes_down (String.length down);
-  match Wire.response_of_string down with
+  let resp = Wire.response_of_string down in
+  if Wiretrace.recording () then
+    Wiretrace.record_round ~phase:ph.p_name
+      ~up:(Wire.request_tag req, String.length up, summarize_request req)
+      ~down:(Wire.response_tag resp, String.length down, summarize_response resp);
+  match resp with
   | Wire.R_corrupt c -> raise (Integrity.Corruption c)
   | Wire.R_error { not_found = true; _ } -> raise Not_found
   | Wire.R_error { not_found = false; msg } -> invalid_arg msg

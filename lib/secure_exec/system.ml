@@ -120,6 +120,14 @@ let query_batch ?mode ?params ?use_index ?use_tid_cache ?use_mapping_cache ?drop
   Executor.run_batch ?mode ?params ?use_index ?use_tid_cache ?use_mapping_cache ?drop_tid
     owner.client (conn_of owner) owner.plan.Normalizer.representation qs
 
+let record_wire_trace f =
+  Snf_obs.Wiretrace.start ();
+  match f () with
+  | v -> (v, Snf_obs.Wiretrace.stop ())
+  | exception e ->
+    ignore (Snf_obs.Wiretrace.stop ());
+    raise e
+
 let reference owner q = Query.reference_answer owner.plaintext q
 
 let bag r =

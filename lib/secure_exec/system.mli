@@ -125,6 +125,14 @@ val query_batch :
     the crypto-free mapping cache on by default. Positional results;
     answers bag-identical to K {!query} calls. *)
 
+val record_wire_trace : (unit -> 'a) -> 'a * Snf_obs.Wiretrace.trace
+(** Run [f] with the SNFT wire-trace recorder on and return what the
+    server saw: every SNFM round trip on every connection, canonicalised
+    ([Snf_obs.Wiretrace]). The recorder is process-global — one
+    recording at a time; nesting or concurrent use interleaves into one
+    trace. Always stops the recorder, discarding the partial trace if
+    [f] raises. *)
+
 val reference : owner -> Query.t -> Relation.t
 
 val verify : ?mode:Executor.mode -> owner -> Query.t -> bool

@@ -362,6 +362,39 @@ let w_filter_op buf = function
     w_string buf attr;
     w_range_token buf tok
 
+let filter_op_to_string op =
+  let buf = Buffer.create 64 in
+  w_filter_op buf op;
+  Buffer.contents buf
+
+let request_tag = function
+  | Describe -> 0
+  | Check_shape -> 1
+  | Install _ -> 2
+  | Index_probe _ -> 3
+  | Filter _ -> 4
+  | Fetch_rows _ -> 5
+  | Fetch_tids _ -> 6
+  | Oram_init _ -> 7
+  | Oram_read _ -> 8
+  | Phe_sum _ -> 9
+  | Group_sum _ -> 10
+  | Q_batch _ -> 11
+
+let response_tag = function
+  | R_unit -> 0
+  | R_described _ -> 1
+  | R_slots _ -> 2
+  | R_mask _ -> 3
+  | R_rows _ -> 4
+  | R_tids _ -> 5
+  | R_oram _ -> 6
+  | R_nat _ -> 7
+  | R_groups _ -> 8
+  | R_error _ -> 9
+  | R_corrupt _ -> 10
+  | R_batch _ -> 11
+
 let r_filter_op c =
   match r_u8 c with
   | 0 -> F_slots (r_list r_int c)

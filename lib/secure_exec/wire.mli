@@ -111,6 +111,14 @@ val response_to_string : response -> string
 val response_of_string : string -> response
 (** @raise Invalid_argument as {!request_of_string}. *)
 
+val request_tag : request -> int
+val response_tag : response -> int
+(** The constructor's wire tag (0–11), mirrored in SNFT trace events. *)
+
+val filter_op_to_string : filter_op -> string
+(** Canonical serialized bytes of one filter op (no magic/version) — the
+    stable identity the wire-trace recorder fingerprints tokens by. *)
+
 (** Low-level primitives, shared with the disk backend's manifest codec.
     Same conventions as the store image; readers raise [Invalid_argument]
     on malformed input. *)

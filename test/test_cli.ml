@@ -166,6 +166,67 @@ let query_batch_file () =
   check_int "neither --select nor --batch exits 2" 2 code;
   check_bool "message offers both" true (contains err "--batch")
 
+let query_wire_trace () =
+  with_csv @@ fun csv ->
+  let base out =
+    [ "query"; "--csv"; csv; "--enc"; "code=DET"; "--select"; "id";
+      "--where"; "code=c1"; "--wire-trace-out"; out ]
+  in
+  (* JSON by extension: a decodable SNFT document. *)
+  let json = Filename.temp_file "snf_cli_test" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove json) (fun () ->
+      check_int "--wire-trace-out json exits 0" 0 (fst (run (base json)));
+      match Snf_obs.Wiretrace.read_json ~path:json with
+      | Error e -> Alcotest.failf "trace is not SNFT JSON: %s" e
+      | Ok trace ->
+        check_bool "trace has events" true (trace.Snf_obs.Wiretrace.events <> []));
+  (* .snft extension selects the binary frames. *)
+  let snft = Filename.temp_file "snf_cli_test" ".snft" in
+  Fun.protect ~finally:(fun () -> Sys.remove snft) (fun () ->
+      check_int "--wire-trace-out .snft exits 0" 0 (fst (run (base snft)));
+      match Snf_obs.Wiretrace.read_binary ~path:snft with
+      | Error e -> Alcotest.failf "trace is not binary SNFT: %s" e
+      | Ok trace ->
+        check_bool "binary trace has events" true
+          (trace.Snf_obs.Wiretrace.events <> []))
+
+let trace_out_unwritable () =
+  with_csv @@ fun csv ->
+  (* An unwritable output path is command-line misuse (2), caught before
+     any work runs — not an uncaught Sys_error crash (3). *)
+  let bad = Filename.concat Filename.null "trace.json" in
+  let misuse flag =
+    let code, err =
+      run ~capture_stderr:true
+        [ "query"; "--csv"; csv; "--enc"; "code=DET"; "--select"; "id";
+          "--where"; "code=c1"; flag; bad ]
+    in
+    check_int (flag ^ " unwritable exits 2") 2 code;
+    check_bool (flag ^ " message names the flag") true (contains err flag);
+    check_bool (flag ^ " message names the path") true (contains err bad)
+  in
+  misuse "--trace-out";
+  misuse "--wire-trace-out";
+  let code, err =
+    run ~capture_stderr:true
+      [ "check"; "--rows"; "8"; "--queries"; "5"; "--out"; bad ]
+  in
+  check_int "check --out unwritable exits 2" 2 code;
+  check_bool "check message names the flag" true (contains err "--out")
+
+let check_wire_trace () =
+  let out = Filename.temp_file "snf_cli_test" ".snft" in
+  Fun.protect ~finally:(fun () -> Sys.remove out) @@ fun () ->
+  let code, _ =
+    run [ "check"; "--seed"; "3"; "--queries"; "10"; "--rows"; "8";
+          "--faults"; "false"; "--wire-trace-out"; out ]
+  in
+  check_int "check --wire-trace-out exits 0" 0 code;
+  match Snf_obs.Wiretrace.read_binary ~path:out with
+  | Error e -> Alcotest.failf "soak trace is not binary SNFT: %s" e
+  | Ok trace ->
+    check_bool "soak trace has events" true (trace.Snf_obs.Wiretrace.events <> [])
+
 let check_batch_sizes () =
   let code, _ =
     run [ "check"; "--seed"; "7"; "--queries"; "15"; "--rows"; "8";
@@ -189,4 +250,8 @@ let suite =
       check_rotate_with_metrics;
     Alcotest.test_case "query --batch FILE: shared pass, exit 2 on malformed"
       `Slow query_batch_file;
+    Alcotest.test_case "query --wire-trace-out json|.snft" `Slow query_wire_trace;
+    Alcotest.test_case "unwritable output paths exit 2" `Quick trace_out_unwritable;
+    Alcotest.test_case "check --wire-trace-out records the soak" `Slow
+      check_wire_trace;
     Alcotest.test_case "check --batch 1|8|64" `Slow check_batch_sizes ]

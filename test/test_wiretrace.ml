@@ -1,0 +1,228 @@
+(* SNFT wire-trace recorder ([Snf_obs.Wiretrace]) and leakage profiler
+   ([Snf_obs.Leakage]).
+
+   The recorder contract under test: both codecs (JSON and streaming
+   binary) are lossless inverses, query marks cut the trace back into
+   exactly the executed queries, the decoded views expose the server's
+   knowledge (tokens, masks, fetches) and nothing plaintext, the profile
+   reconciles with the workload, and — the determinism pillar — a seeded
+   workload replayed under SNF_DOMAINS=1 and SNF_DOMAINS=4 produces
+   byte-identical traces once the clock is pinned. *)
+
+open Snf_relational
+module Scheme = Snf_crypto.Scheme
+module Metrics = Snf_obs.Metrics
+module Wiretrace = Snf_obs.Wiretrace
+module Leakage = Snf_obs.Leakage
+open Snf_exec
+
+let t name f = Alcotest.test_case name `Quick f
+
+let with_domains domains f =
+  let saved = Parallel.domain_count () in
+  Parallel.set_domain_count domains;
+  Fun.protect ~finally:(fun () -> Parallel.set_domain_count saved) f
+
+(* One tick per read: timestamps become the sequence 1.0, 2.0, ... so two
+   runs that issue the same rounds stamp them identically. *)
+let with_fake_clock f =
+  let ticks = ref 0.0 in
+  Snf_obs.Clock.set (fun () ->
+      ticks := !ticks +. 1.0;
+      !ticks);
+  Fun.protect ~finally:Snf_obs.Clock.use_real f
+
+(* The multi-leaf SNF shape from the obs/batch suites: a ~ b, b ~ c
+   forces a/b/c into separate leaves, so queries mix filter fan-out
+   (recorded unordered) with joins and fetches. *)
+let owner n =
+  let r =
+    Relation.create
+      (Schema.of_attributes
+         [ Attribute.int "a"; Attribute.int "b"; Attribute.int "c" ])
+      (List.init n (fun i ->
+           [| Value.Int (i mod 13); Value.Int (i * 17); Value.Int (i mod 7) |]))
+  in
+  let policy =
+    Snf_core.Policy.create
+      [ ("a", Scheme.Det); ("b", Scheme.Ndet); ("c", Scheme.Ope) ]
+  in
+  let g = Snf_deps.Dep_graph.create [ "a"; "b"; "c" ] in
+  let g = Snf_deps.Dep_graph.declare_dependent g "a" "b" in
+  let g = Snf_deps.Dep_graph.declare_dependent g "b" "c" in
+  System.outsource ~name:"wiretrace" ~graph:g r policy
+
+(* A deterministic workload drawn from a seed: point lookups (with a
+   guaranteed repeat for the token-repetition rows of the profile), a
+   conjunction, and a range. *)
+let workload seed =
+  let st = Random.State.make [| seed |] in
+  let pick bound = Random.State.int st bound in
+  let repeated = Query.point ~select:[ "b" ] [ ("a", Value.Int (pick 13)) ] in
+  [ repeated;
+    Query.point ~select:[ "b"; "c" ]
+      [ ("a", Value.Int (pick 13)); ("c", Value.Int (pick 7)) ];
+    repeated;
+    Query.range ~select:[ "a" ]
+      (let lo = pick 5 in
+       [ ("c", Value.Int lo, Value.Int (lo + 2)) ]) ]
+
+let run_all o qs =
+  List.iter
+    (fun q ->
+      match System.query o q with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e)
+    qs
+
+let record o qs = snd (System.record_wire_trace (fun () -> run_all o qs))
+
+(* --- codecs ---------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let o = owner 60 in
+  Fun.protect ~finally:(fun () -> System.release o) @@ fun () ->
+  let trace = record o (workload 7) in
+  Alcotest.(check bool) "trace non-empty" true (trace.Wiretrace.events <> []);
+  (match Wiretrace.of_json (Wiretrace.to_json trace) with
+   | Ok back -> Alcotest.(check bool) "in-memory json" true (Wiretrace.equal trace back)
+   | Error e -> Alcotest.fail ("of_json: " ^ e));
+  let path = Filename.temp_file "snft" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Wiretrace.write_json ~path trace;
+  match Wiretrace.read_json ~path with
+  | Ok back -> Alcotest.(check bool) "file json" true (Wiretrace.equal trace back)
+  | Error e -> Alcotest.fail ("read_json: " ^ e)
+
+let test_binary_roundtrip () =
+  let o = owner 60 in
+  Fun.protect ~finally:(fun () -> System.release o) @@ fun () ->
+  let trace = record o (workload 11) in
+  (match Wiretrace.of_binary_string (Wiretrace.to_binary_string trace) with
+   | Ok back -> Alcotest.(check bool) "in-memory binary" true (Wiretrace.equal trace back)
+   | Error e -> Alcotest.fail ("of_binary_string: " ^ e));
+  let path = Filename.temp_file "snft" ".snft" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Wiretrace.write_binary ~path trace;
+  match Wiretrace.read_binary ~path with
+  | Ok back -> Alcotest.(check bool) "file binary" true (Wiretrace.equal trace back)
+  | Error e -> Alcotest.fail ("read_binary: " ^ e)
+
+let test_codec_rejects_garbage () =
+  (match Wiretrace.of_binary_string "not a trace" with
+   | Ok _ -> Alcotest.fail "garbage accepted as binary SNFT"
+   | Error _ -> ());
+  match Wiretrace.of_json (Snf_obs.Json.Obj [ ("snft", Snf_obs.Json.Int 999) ]) with
+  | Ok _ -> Alcotest.fail "unknown version accepted"
+  | Error _ -> ()
+
+(* --- query windows --------------------------------------------------------- *)
+
+let test_query_windows () =
+  let o = owner 80 in
+  Fun.protect ~finally:(fun () -> System.release o) @@ fun () ->
+  let qs = workload 3 in
+  let views = Leakage.queries (record o qs) in
+  Alcotest.(check int) "one view per query" (List.length qs) (List.length views);
+  List.iteri
+    (fun i v ->
+      Alcotest.(check int) "indexed in trace order" i v.Leakage.q_index;
+      Alcotest.(check bool) "tokens observed" true (v.Leakage.q_tokens <> []);
+      Alcotest.(check bool) "masks observed" true (v.Leakage.q_masks <> []);
+      Alcotest.(check bool) "leaves sorted" true
+        (List.sort compare v.Leakage.q_leaves = v.Leakage.q_leaves);
+      Alcotest.(check bool) "not in a batch" false v.Leakage.q_in_batch)
+    views;
+  (* Queries 0 and 2 are the same DET point lookup: the server sees the
+     same token identity twice — and never a plaintext constant. *)
+  let key_of v =
+    match v.Leakage.q_tokens with
+    | tok :: _ -> (tok.Leakage.t_scheme, tok.Leakage.t_key)
+    | [] -> Alcotest.fail "no token"
+  in
+  let v0 = List.nth views 0 and v2 = List.nth views 2 in
+  Alcotest.(check bool) "repeat yields identical token identity" true
+    (key_of v0 = key_of v2);
+  Alcotest.(check string) "det scheme visible" "det" (fst (key_of v0))
+
+let test_batch_attribution () =
+  let o = owner 80 in
+  Fun.protect ~finally:(fun () -> System.release o) @@ fun () ->
+  let qs = workload 5 in
+  let trace =
+    snd
+      (System.record_wire_trace (fun () ->
+           List.iter
+             (function Ok _ -> () | Error e -> Alcotest.fail e)
+             (System.query_batch o qs)))
+  in
+  let views = Leakage.queries trace in
+  Alcotest.(check int) "one view per batched query" (List.length qs)
+    (List.length views);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "flagged as batched" true v.Leakage.q_in_batch;
+      Alcotest.(check bool) "batch rounds re-attributed" true
+        (v.Leakage.q_tokens <> []))
+    views
+
+(* --- profile --------------------------------------------------------------- *)
+
+let test_profile_sanity () =
+  let o = owner 80 in
+  Fun.protect ~finally:(fun () -> System.release o) @@ fun () ->
+  let qs = workload 9 in
+  let trace = record o qs in
+  let p = Leakage.profile trace in
+  Alcotest.(check int) "queries" (List.length qs) p.Leakage.p_queries;
+  Alcotest.(check bool) "rounds observed" true (p.Leakage.p_rounds > 0);
+  Alcotest.(check bool) "bytes up" true (p.Leakage.p_bytes_up > 0);
+  Alcotest.(check bool) "bytes down" true (p.Leakage.p_bytes_down > 0);
+  (* the repeated DET lookup *)
+  Alcotest.(check bool) "eq repeats detected" true (p.Leakage.p_eq_repeats >= 1);
+  Alcotest.(check bool) "distinct < total" true
+    (p.Leakage.p_eq_distinct < p.Leakage.p_eq_total);
+  Alcotest.(check bool) "range token observed" true (p.Leakage.p_range_total >= 1);
+  Alcotest.(check bool) "co-access pairs" true (p.Leakage.p_cooccur_pairs > 0);
+  let volume_occurrences =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 p.Leakage.p_volumes
+  in
+  Alcotest.(check bool) "volume histogram populated" true (volume_occurrences > 0);
+  (* publish bumps the exec.leak.* counters by exactly the profile *)
+  let before = Metrics.snapshot () in
+  Leakage.publish p;
+  let deltas = Metrics.counter_diff before (Metrics.snapshot ()) in
+  let d name = Option.value (List.assoc_opt name deltas) ~default:0 in
+  Alcotest.(check int) "exec.leak.queries" p.Leakage.p_queries (d "exec.leak.queries");
+  Alcotest.(check int) "exec.leak.rounds" p.Leakage.p_rounds (d "exec.leak.rounds");
+  Alcotest.(check int) "exec.leak.eq.repeats" p.Leakage.p_eq_repeats
+    (d "exec.leak.eq.repeats")
+
+(* --- determinism across SNF_DOMAINS ---------------------------------------- *)
+
+(* The only concurrency in the system is the per-leaf filter fan-out;
+   the recorder canonicalises it, so with a pinned clock the bytes of
+   the whole trace must not depend on the domain count. The owner is
+   warmed first so both recorded runs hit identical cache states. *)
+let prop_trace_domain_independent =
+  Helpers.qtest ~count:10 "seeded trace is byte-identical for domains 1 vs 4"
+    QCheck2.Gen.(int_bound 1000)
+    (fun seed ->
+      let o = owner 90 in
+      Fun.protect ~finally:(fun () -> System.release o) @@ fun () ->
+      let qs = workload seed in
+      run_all o qs;
+      let go domains =
+        with_domains domains (fun () ->
+            with_fake_clock (fun () -> Wiretrace.to_binary_string (record o qs)))
+      in
+      go 1 = go 4)
+
+let suite =
+  [ t "json codec round-trips" test_json_roundtrip;
+    t "binary codec round-trips" test_binary_roundtrip;
+    t "codecs reject garbage" test_codec_rejects_garbage;
+    t "marks cut per-query windows" test_query_windows;
+    t "batch rounds re-attributed to members" test_batch_attribution;
+    t "profile reconciles with workload" test_profile_sanity;
+    prop_trace_domain_independent ]
