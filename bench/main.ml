@@ -19,6 +19,13 @@
                                              one-at-a-time, mapping cache
                                              on/off, domains 1/4; writes
                                              BENCH_batch.json.
+   `dune exec bench/main.exe -- micro-server`
+                                           — the networked SNF server
+                                             under a 1000-client storm
+                                             (point/range/batch mix over
+                                             SNFF socket sessions),
+                                             oracle-gated; writes
+                                             BENCH_server.json.
    `dune exec bench/main.exe -- trace-demo`
                                            — record spans over the three
                                              reconstruction modes and
@@ -924,6 +931,260 @@ let run_micro_batch () =
          ("metrics", Report.of_obs_metrics (Snf_obs.Metrics.snapshot ())) ]);
   Printf.printf "wrote BENCH_batch.json\n"
 
+(* Micro-benchmark: the networked SNF server under a client storm. One
+   in-process [Snf_net] server (SNFF transport, session layer, domain
+   worker pool) takes `clients` concurrent connections — every client
+   holds its session open through a start barrier, so the server really
+   carries all of them at once — and each runs a point/range/batch mix
+   of queries. Gated on oracle-bag-identical answers for every single
+   response; typed busy rejections are retried and counted, never
+   errors. Writes BENCH_server.json with p50/p99 latency and
+   queries/sec. *)
+let run_micro_server () =
+  section "Micro: networked server (SNFF sessions + domain worker pool)";
+  let module Server = Snf_net.Server in
+  let module Client = Snf_net.Client in
+  let module Server_api = Snf_exec.Server_api in
+  let cores = Domain.recommended_domain_count () in
+  let clients = max 1 (arg_value "clients" 1000) in
+  let rows = max 1 (arg_value "rows" 1_000) in
+  let per_client = max 1 (arg_value "queries" 3) in
+  (* Oversubscribing domains on a small machine is worse than useless —
+     every domain shares the stop-the-world minor GC — so size both
+     pools to the hardware by default. *)
+  let server_domains = max 1 (arg_value "domains" (min 4 cores)) in
+  let client_domains = max 1 (arg_value "client-domains" (min 8 cores)) in
+  let r =
+    Snf_relational.Relation.create
+      (Snf_relational.Schema.of_attributes
+         Snf_relational.[ Attribute.int "a"; Attribute.int "b"; Attribute.int "c" ])
+      (List.init rows (fun i ->
+           Snf_relational.
+             [| Value.Int (i mod 11); Value.Int (i * 13); Value.Int (i mod 97) |]))
+  in
+  let policy =
+    Snf_core.Policy.create
+      [ ("a", Snf_crypto.Scheme.Det);
+        ("b", Snf_crypto.Scheme.Ndet);
+        ("c", Snf_crypto.Scheme.Ope) ]
+  in
+  let graph =
+    let g = Snf_deps.Dep_graph.create [ "a"; "b"; "c" ] in
+    let g = Snf_deps.Dep_graph.declare_dependent g "a" "b" in
+    Snf_deps.Dep_graph.declare_dependent g "b" "c"
+  in
+  let sock = Filename.temp_file "snfbench" ".sock" in
+  Sys.remove sock;
+  let addr = "unix:" ^ sock in
+  let config =
+    { Server.default_config with
+      Server.domains = server_domains;
+      queue_capacity = 1024;
+      idle_timeout = 600. }
+  in
+  let srv =
+    match Server.start_mem ~config ~addr () with
+    | Ok srv -> srv
+    | Error e -> failwith ("micro-server: cannot start server: " ^ e)
+  in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+  let name = "microserver" in
+  (* Outsourcing over the socket backend Installs the encrypted store
+     into the running server; encryption itself may fan out over
+     domains, so do it before pinning the client side to one. *)
+  let owner =
+    Snf_exec.System.outsource ~backend:(`Ext (Client.backend addr)) ~name ~graph r
+      policy
+  in
+  Fun.protect ~finally:(fun () -> Snf_exec.System.release owner) @@ fun () ->
+  let rep = owner.Snf_exec.System.plan.Snf_core.Normalizer.representation in
+  (* The workload mix, each shape precomputed against the oracle. *)
+  let q_point v =
+    Snf_exec.Query.point ~select:[ "b" ] [ ("a", Snf_relational.Value.Int v) ]
+  in
+  let q_range lo =
+    { Snf_exec.Query.select = [ "a"; "c" ];
+      where =
+        [ Snf_exec.Query.Range
+            ("c", Snf_relational.Value.Int lo, Snf_relational.Value.Int (lo + 9)) ] }
+  in
+  let oracle_bag q = Snf_check.Oracle.bag (Snf_check.Oracle.answer r q) in
+  let point_bags = Array.init 11 (fun v -> oracle_bag (q_point v)) in
+  let range_bags = Array.init 8 (fun k -> oracle_bag (q_range (k * 10))) in
+  let failures = Atomic.make 0 in
+  let busy_retries = Atomic.make 0 in
+  let connected = Atomic.make 0 in
+  (* A condition-variable start gate: a thousand parked threads must not
+     spin-wait on one core while the rest are still connecting. *)
+  let gate_lock = Mutex.create () in
+  let gate_cond = Condition.create () in
+  let gate_open = ref false in
+  let gate_wait () =
+    Mutex.protect gate_lock (fun () ->
+        while not !gate_open do
+          Condition.wait gate_cond gate_lock
+        done)
+  in
+  let gate_release () =
+    Mutex.protect gate_lock (fun () ->
+        gate_open := true;
+        Condition.broadcast gate_cond)
+  in
+  let lat_lock = Mutex.create () in
+  let latencies = ref [] in
+  let queries_done = Atomic.make 0 in
+  let note_failure () = Atomic.incr failures in
+  let rec connect_with_retry attempts =
+    match Client.connect addr with
+    | Ok conn -> Some conn
+    | Error _ when attempts < 40 ->
+      Thread.delay 0.05;
+      connect_with_retry (attempts + 1)
+    | Error _ -> None
+  in
+  let rec busy_retry n f =
+    try f ()
+    with Server_api.Busy when n < 200 ->
+      Atomic.incr busy_retries;
+      Thread.delay 0.01;
+      busy_retry (n + 1) f
+  in
+  let client_thread id () =
+    let client =
+      Snf_exec.Enc_relation.make_client ~seed:0x5eed ~relation_name:name
+        ~master:("master:" ^ name) ()
+    in
+    match connect_with_retry 0 with
+    | None -> note_failure ()
+    | Some conn ->
+      Fun.protect ~finally:(fun () -> Server_api.close conn) @@ fun () ->
+      Atomic.incr connected;
+      gate_wait ();
+      let mine = ref [] in
+      let check got want = if got <> want then note_failure () in
+      for k = 0 to per_client - 1 do
+        let t0 = Unix.gettimeofday () in
+        let n_queries =
+          match (id + k) mod 3 with
+          | 0 ->
+            let v = (id + k) mod 11 in
+            (match busy_retry 0 (fun () -> Snf_exec.Executor.run_conn client conn rep (q_point v)) with
+             | Ok (ans, _) -> check (Snf_check.Oracle.bag ans) point_bags.(v)
+             | Error _ -> note_failure ()
+             | exception _ -> note_failure ());
+            1
+          | 1 ->
+            let b = (id + k) mod 8 in
+            (match busy_retry 0 (fun () -> Snf_exec.Executor.run_conn client conn rep (q_range (b * 10))) with
+             | Ok (ans, _) -> check (Snf_check.Oracle.bag ans) range_bags.(b)
+             | Error _ -> note_failure ()
+             | exception _ -> note_failure ());
+            1
+          | _ ->
+            let v = (id + k) mod 11 and b = (id + k) mod 8 in
+            (match
+               busy_retry 0 (fun () ->
+                   Snf_exec.Executor.run_batch client conn rep
+                     [ q_point v; q_range (b * 10) ])
+             with
+             | [ p; g ] ->
+               (match p with
+                | Ok (ans, _) -> check (Snf_check.Oracle.bag ans) point_bags.(v)
+                | Error _ -> note_failure ());
+               (match g with
+                | Ok (ans, _) -> check (Snf_check.Oracle.bag ans) range_bags.(b)
+                | Error _ -> note_failure ())
+             | _ -> note_failure ()
+             | exception _ -> note_failure ());
+            2
+        in
+        mine := (Unix.gettimeofday () -. t0) :: !mine;
+        ignore (Atomic.fetch_and_add queries_done n_queries)
+      done;
+      Mutex.protect lat_lock (fun () -> latencies := !mine @ !latencies)
+  in
+  let threads_per_domain = (clients + client_domains - 1) / client_domains in
+  Printf.printf "  %d clients (%d domains x ~%d threads), %d ops each, server %d domains\n%!"
+    clients client_domains threads_per_domain per_client server_domains;
+  let wall, concurrent_sessions =
+    with_domains 1 @@ fun () ->
+    let storm = Atomic.make 0 in
+    let doms =
+      List.init client_domains (fun d ->
+          Domain.spawn (fun () ->
+              let base = d * threads_per_domain in
+              let n = min threads_per_domain (max 0 (clients - base)) in
+              let ts = List.init n (fun i -> Thread.create (client_thread (base + i)) ()) in
+              ignore (Atomic.fetch_and_add storm n);
+              List.iter Thread.join ts;
+              (* publish this domain's metrics shard before it dies, so the
+                 JSON snapshot below sees the client-side wire counters *)
+              Snf_obs.Metrics.flush ()))
+    in
+    (* barrier: every surviving client holds its session open before any
+       query fires, so the server carries all of them at once *)
+    let deadline = Unix.gettimeofday () +. 60. in
+    while
+      Atomic.get connected + Atomic.get failures < clients
+      && Unix.gettimeofday () < deadline
+    do
+      Thread.delay 0.01
+    done;
+    let concurrent = (Server.stats srv).Server.sessions_active in
+    let t0 = Unix.gettimeofday () in
+    gate_release ();
+    List.iter Domain.join doms;
+    (Unix.gettimeofday () -. t0, concurrent)
+  in
+  let lats = Array.of_list !latencies in
+  Array.sort compare lats;
+  let pct p =
+    if Array.length lats = 0 then 0.
+    else lats.(min (Array.length lats - 1) (int_of_float (p *. float_of_int (Array.length lats)))) *. 1e3
+  in
+  let p50 = pct 0.50 and p99 = pct 0.99 in
+  let total_queries = Atomic.get queries_done in
+  let qps = float_of_int total_queries /. wall in
+  let sstats = Server.stats srv in
+  Printf.printf
+    "  %d concurrent sessions; %d queries in %.2f s — %.1f q/s, p50 %.1f ms, p99 %.1f ms\n"
+    concurrent_sessions total_queries wall qps p50 p99;
+  Printf.printf
+    "  server: %d sessions, %d requests, %d busy rejections (%d client retries), %d frame errors\n"
+    sstats.Server.sessions_opened sstats.Server.requests_served
+    sstats.Server.busy_rejections (Atomic.get busy_retries) sstats.Server.frame_errors;
+  let all_ok = Atomic.get failures = 0 in
+  Report.write_json "BENCH_server.json"
+    (Report.J_obj
+       [ ("experiment", Report.J_string "server-storm");
+         ("clients", Report.J_int clients);
+         ("rows", Report.J_int rows);
+         ("ops_per_client", Report.J_int per_client);
+         ("server_domains", Report.J_int server_domains);
+         ("client_domains", Report.J_int client_domains);
+         ("concurrent_sessions", Report.J_int concurrent_sessions);
+         ("total_queries", Report.J_int total_queries);
+         ("wall_s", Report.J_float wall);
+         ("queries_per_s", Report.J_float qps);
+         ("p50_ms", Report.J_float p50);
+         ("p99_ms", Report.J_float p99);
+         ("busy_retries", Report.J_int (Atomic.get busy_retries));
+         ("server_sessions", Report.J_int sstats.Server.sessions_opened);
+         ("server_requests", Report.J_int sstats.Server.requests_served);
+         ("server_busy_rejections", Report.J_int sstats.Server.busy_rejections);
+         ("server_frame_errors", Report.J_int sstats.Server.frame_errors);
+         ("all_match_oracle", Report.J_bool all_ok);
+         ("metrics", Report.of_obs_metrics (Snf_obs.Metrics.snapshot ())) ]);
+  Printf.printf "wrote BENCH_server.json\n";
+  if not all_ok then
+    failwith
+      (Printf.sprintf "micro-server: %d responses disagreed with the oracle (or failed)"
+         (Atomic.get failures));
+  if concurrent_sessions < clients then
+    failwith
+      (Printf.sprintf "micro-server: only %d of %d sessions were concurrently open"
+         concurrent_sessions clients)
+
 (* Trace-replay adversary scorecard: record the SNFT wire trace of one
    fixed workload under every representation x execution arm, replay each
    trace through [Snf_attack.Trace_adversary], and write the per-cell
@@ -1190,6 +1451,7 @@ let () =
   if wants "micro-paillier" then run_micro_paillier ();
   if wants "micro-join" then run_micro_join ();
   if wants "micro-batch" then run_micro_batch ();
+  if wants "micro-server" then run_micro_server ();
   if wants "micro-attack" then run_micro_attack ();
   if wants "trace-demo" then run_trace_demo ();
   Printf.printf "\nbench: done\n"

@@ -5,6 +5,7 @@
      analyze    mine dependencies from a CSV and audit a representation
      normalize  partition a CSV into SNF and report the representation
      query      outsource a CSV and run a point query securely
+     serve      run a networked SNF server on a socket address
      table1 / figure3 / attack   regenerate the paper's experiments *)
 
 open Cmdliner
@@ -268,12 +269,35 @@ let query_cmd =
                  trace-replay adversary.")
   in
   let backend_arg =
-    Arg.(value & opt (enum [ ("mem", `Mem); ("disk", `Disk) ]) `Mem
-         & info [ "backend" ] ~docv:"mem|disk"
+    (* mem | disk | socket:ADDR — the last dials a running `snf_cli
+       serve` instance, so validate the address shape at flag-parse time
+       (exit 2 on garbage, like any other bad flag value). *)
+    let backend_conv =
+      let parse s =
+        match s with
+        | "mem" -> Ok `Mem
+        | "disk" -> Ok `Disk
+        | _ when String.length s > 7 && String.sub s 0 7 = "socket:" ->
+          let addr = String.sub s 7 (String.length s - 7) in
+          (match Snf_net.Addr.parse addr with
+           | Ok _ -> Ok (`Ext (Snf_net.Client.backend addr))
+           | Error e -> Error (`Msg e))
+        | _ -> Error (`Msg "expected mem, disk, or socket:ADDR")
+      in
+      let print fmt k =
+        Format.pp_print_string fmt (Snf_exec.System.backend_kind_name k)
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(value & opt backend_conv `Mem
+         & info [ "backend" ] ~docv:"mem|disk|socket:ADDR"
              ~doc:"Server backend: 'mem' (default) serves the store \
                    in-process; 'disk' pages it from a private temp \
-                   directory, removed on exit. Answers and traces are \
-                   identical either way.")
+                   directory, removed on exit; 'socket:unix:/path' or \
+                   'socket:tcp:host:port' outsources to a running \
+                   $(b,snf_cli serve) instance over the SNFF framed \
+                   transport. Answers and traces are identical in every \
+                   case.")
   in
   (* Batch-file grammar, one query per line:
        sel1,sel2 : attr=val,attr2=lo..hi
@@ -359,6 +383,14 @@ let query_cmd =
       | Value.TText -> Value.Text raw
     in
     if trace_out <> None then Snf_obs.Span.set_enabled true;
+    (* A socket backend that cannot reach its server is misuse of the
+       flag's value, not a crash: report and exit 2. *)
+    let outsource () =
+      try Snf_exec.System.outsource ~backend ~name:"cli" r policy
+      with Snf_net.Client.Disconnected e ->
+        Printf.eprintf "snf_cli: cannot reach server: %s\n" e;
+        exit 2
+    in
     let with_wire_trace f =
       match wire_trace_out with
       | None -> f ()
@@ -375,7 +407,7 @@ let query_cmd =
         Printf.eprintf "snf_cli: %s: no queries\n" path;
         exit 2
       end;
-      let owner = Snf_exec.System.outsource ~backend ~name:"cli" r policy in
+      let owner = outsource () in
       Fun.protect ~finally:(fun () -> Snf_exec.System.release owner) @@ fun () ->
       let results = Snf_exec.System.query_batch ~mode owner qs in
       List.iteri
@@ -406,7 +438,7 @@ let query_cmd =
           exit 2
       in
       let preds = parse_preds where parse_value in
-      let owner = Snf_exec.System.outsource ~backend ~name:"cli" r policy in
+      let owner = outsource () in
       (* Release drops the server connection — for the disk backend, that
          removes its temp directory. *)
       Fun.protect ~finally:(fun () -> Snf_exec.System.release owner) @@ fun () ->
@@ -525,13 +557,19 @@ let check_cmd =
   in
   let backend_arg =
     Arg.(value
-         & opt (enum [ ("mem", `Mem); ("disk", `Disk); ("rotate", `Rotate) ]) `Mem
-         & info [ "backend" ] ~docv:"mem|disk|rotate"
+         & opt
+             (enum
+                [ ("mem", `Mem); ("disk", `Disk); ("rotate", `Rotate);
+                  ("socket", `Socket) ])
+             `Mem
+         & info [ "backend" ] ~docv:"mem|disk|rotate|socket"
              ~doc:"Server backend for the soak: 'mem' (default) or 'disk' \
                    run every representation on that backend; 'rotate' \
                    additionally re-executes each query on a disk-backed \
                    twin of the SNF representation and fails on any \
-                   mem/disk disagreement (answers, counters, wire bytes).")
+                   mem/disk disagreement (answers, counters, wire bytes); \
+                   'socket' does the same against a loopback networked \
+                   server over the SNFF framed transport.")
   in
   let metrics_out_arg =
     Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
@@ -604,12 +642,91 @@ let check_cmd =
           $ tid_cache_arg $ backend_arg $ batch_arg $ out_arg $ metrics_out_arg
           $ wire_trace_out_arg)
 
+(* --- serve (networked SNF server) ------------------------------------------------- *)
+
+let serve_cmd =
+  let addr_arg =
+    Arg.(required & opt (some string) None & info [ "addr" ] ~docv:"ADDR"
+           ~doc:"Listen address: unix:/path/to.sock or tcp:host:port \
+                 (tcp:127.0.0.1:0 picks a free port and prints it).")
+  in
+  let domains_arg =
+    Arg.(value & opt int 0 & info [ "domains" ] ~docv:"N"
+           ~doc:"Worker pool size in OCaml domains; 0 (default) sizes it \
+                 to the machine.")
+  in
+  let queue_arg =
+    Arg.(value & opt int 1024 & info [ "queue" ] ~docv:"N"
+           ~doc:"Admission queue capacity; requests past it are answered \
+                 with a typed busy rejection instead of queueing.")
+  in
+  let idle_arg =
+    Arg.(value & opt float 60. & info [ "idle-timeout" ] ~docv:"SECONDS"
+           ~doc:"Reap sessions idle for this long (0 or negative: never).")
+  in
+  let pidfile_arg =
+    Arg.(value & opt (some string) None & info [ "pidfile" ] ~docv:"FILE"
+           ~doc:"Write the server's pid here once listening; removed on \
+                 exit.")
+  in
+  let run addr domains queue idle pidfile =
+    ensure_writable "--pidfile" pidfile;
+    let config =
+      { Snf_net.Server.default_config with
+        domains =
+          (if domains <= 0 then Snf_net.Server.default_config.Snf_net.Server.domains
+           else domains);
+        queue_capacity = max 1 queue;
+        idle_timeout = idle }
+    in
+    match Snf_net.Server.start_mem ~config ~addr () with
+    | Error e ->
+      Printf.eprintf "snf_cli: serve: %s\n" e;
+      exit 2
+    | Ok srv ->
+      (match pidfile with
+       | None -> ()
+       | Some path ->
+         let oc = open_out path in
+         Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+             Printf.fprintf oc "%d\n" (Unix.getpid ())));
+      Printf.printf "snf_cli: serving on %s (%d domains, queue %d)\n%!"
+        (Snf_net.Server.address srv) config.Snf_net.Server.domains
+        config.Snf_net.Server.queue_capacity;
+      (* Signal handlers must not take locks; they only flip the flag,
+         and the main thread polls it and runs the graceful drain. *)
+      let stop_requested = Atomic.make false in
+      let on_signal _ = Atomic.set stop_requested true in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+      while not (Atomic.get stop_requested) do
+        try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      let st = Snf_net.Server.stats srv in
+      Printf.printf
+        "snf_cli: draining (%d sessions active, %d requests served)\n%!"
+        st.Snf_net.Server.sessions_active st.Snf_net.Server.requests_served;
+      Snf_net.Server.stop srv;
+      (match pidfile with
+       | Some path -> (try Sys.remove path with Sys_error _ -> ())
+       | None -> ());
+      exit 0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run a networked SNF server: SNFF framed transport, one session \
+             per connection, a worker pool on OCaml domains behind a bounded \
+             queue. Clients Install stores and query them with $(b,snf_cli \
+             query --backend socket:ADDR). SIGTERM/SIGINT drain gracefully \
+             and exit 0.")
+    Term.(const run $ addr_arg $ domains_arg $ queue_arg $ idle_arg $ pidfile_arg)
+
 let main =
   Cmd.group
     (Cmd.info "snf_cli" ~version:"1.0.0"
        ~doc:"Secure Normal Form: leakage-aware normalization for encrypted databases.")
-    [ demo_cmd; analyze_cmd; normalize_cmd; query_cmd; visualize_cmd; table1_cmd;
-      figure3_cmd; attack_cmd; check_cmd ]
+    [ demo_cmd; analyze_cmd; normalize_cmd; query_cmd; serve_cmd; visualize_cmd;
+      table1_cmd; figure3_cmd; attack_cmd; check_cmd ]
 
 (* Exit codes: 0 success, 1 conformance/verification failure (from the
    subcommand itself), 2 command-line misuse — unknown subcommand, unknown

@@ -150,14 +150,34 @@ let run_instance ?(queries = 25) ?(check_ledger = true) ?(check_horizontal = tru
      the SNF representation — same keys, same store image, different
      server backend — and the two executions must agree on the answer
      bag, the [exec.query.*] counters, and the wire-traffic shape: the
-     backend must be invisible above the message protocol. *)
-  let disk_twin =
+     backend must be invisible above the message protocol. [`Socket]
+     runs the same twin discipline over a loopback [Snf_net] server
+     instead, so the whole frame/session/worker-pool path is proven
+     observationally identical to in-process execution. *)
+  let twin_server = ref None in
+  let twin =
     match backend with
-    | `Rotate -> Some (System.with_backend (List.assoc "snf" owners) `Disk)
+    | `Rotate ->
+      Some (System.with_backend (List.assoc "snf" owners) `Disk, "snf-disk", "backend")
+    | `Socket ->
+      let path = Filename.temp_file "snfdiff" ".sock" in
+      Sys.remove path;
+      (match
+         Snf_net.Server.start_mem
+           ~config:
+             { Snf_net.Server.default_config with domains = 2; idle_timeout = 30. }
+           ~addr:("unix:" ^ path) ()
+       with
+      | Error e -> failwith ("differential socket twin: cannot start server: " ^ e)
+      | Ok srv ->
+        twin_server := Some srv;
+        let kind = `Ext (Snf_net.Client.backend (Snf_net.Server.address srv)) in
+        Some (System.with_backend (List.assoc "snf" owners) kind, "snf-socket", "socket"))
     | _ -> None
   in
   let cleanup () =
-    Option.iter System.release disk_twin;
+    (match twin with Some (o, _, _) -> System.release o | None -> ());
+    Option.iter Snf_net.Server.stop !twin_server;
     List.iter (fun (_, o) -> System.release o) owners
   in
   Fun.protect ~finally:cleanup @@ fun () ->
@@ -214,29 +234,30 @@ let run_instance ?(queries = 25) ?(check_ledger = true) ?(check_horizontal = tru
               Some (label, Oracle.bag ans))
           owners
       in
-      (match (disk_twin, !snf_exec) with
-       | Some twin, Some (mem_bag, mem_trace, mem_deltas) ->
+      (match (twin, !snf_exec) with
+       | Some (towner, tlabel, tkind), Some (mem_bag, mem_trace, mem_deltas) ->
          incr executions;
+         let tname = System.backend_kind_name (System.backend towner) in
          let before = Metrics.snapshot () in
-         (match System.query_checked ~mode ~use_index ~use_tid_cache twin q with
+         (match System.query_checked ~mode ~use_index ~use_tid_cache towner q with
           | Error (`Plan e) ->
-            fail ~query:q ~rep:"snf-disk" ~mode:mstr ~kind:"backend"
-              ("disk backend failed to plan: " ^ e)
+            fail ~query:q ~rep:tlabel ~mode:mstr ~kind:tkind
+              (tname ^ " backend failed to plan: " ^ e)
           | Error (`Corruption c) ->
-            fail ~query:q ~rep:"snf-disk" ~mode:mstr ~kind:"backend"
-              ("disk backend flagged corruption: " ^ Integrity.to_string c)
+            fail ~query:q ~rep:tlabel ~mode:mstr ~kind:tkind
+              (tname ^ " backend flagged corruption: " ^ Integrity.to_string c)
           | Ok (ans, trace) ->
             let deltas = Metrics.counter_diff before (Metrics.snapshot ()) in
             if Oracle.bag ans <> mem_bag then
-              fail ~query:q ~rep:"snf-disk" ~mode:mstr ~kind:"backend"
-                "mem and disk backends disagree on the answer bag";
+              fail ~query:q ~rep:tlabel ~mode:mstr ~kind:tkind
+                ("mem and " ^ tname ^ " backends disagree on the answer bag");
             let d l n = Option.value (List.assoc_opt n l) ~default:0 in
             List.iter
               (fun n ->
                 if d mem_deltas n <> d deltas n then
-                  fail ~query:q ~rep:"snf-disk" ~mode:mstr ~kind:"backend"
-                    (Printf.sprintf "%s: mem moved %d, disk moved %d" n
-                       (d mem_deltas n) (d deltas n)))
+                  fail ~query:q ~rep:tlabel ~mode:mstr ~kind:tkind
+                    (Printf.sprintf "%s: mem moved %d, %s moved %d" n
+                       (d mem_deltas n) tname (d deltas n)))
               [ "exec.query.scanned_cells";
                 "exec.query.index_probes";
                 "exec.query.comparisons";
@@ -250,12 +271,13 @@ let run_instance ?(queries = 25) ?(check_ledger = true) ?(check_horizontal = tru
                    mem_trace.Executor.wire_bytes_up,
                    mem_trace.Executor.wire_bytes_down )
             then
-              fail ~query:q ~rep:"snf-disk" ~mode:mstr ~kind:"backend"
+              fail ~query:q ~rep:tlabel ~mode:mstr ~kind:tkind
                 (Printf.sprintf
-                   "wire traffic differs: mem %d req %d/%d B, disk %d req %d/%d B"
+                   "wire traffic differs: mem %d req %d/%d B, %s %d req %d/%d B"
                    mem_trace.Executor.wire_requests mem_trace.Executor.wire_bytes_up
-                   mem_trace.Executor.wire_bytes_down trace.Executor.wire_requests
-                   trace.Executor.wire_bytes_up trace.Executor.wire_bytes_down))
+                   mem_trace.Executor.wire_bytes_down tname
+                   trace.Executor.wire_requests trace.Executor.wire_bytes_up
+                   trace.Executor.wire_bytes_down))
        | _ -> ());
       match bags with
       | [] -> ()

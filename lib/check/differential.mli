@@ -30,7 +30,7 @@ type failure = {
   query : Query.t option;
   kind : string;
       (** ["oracle"] | ["cross-rep"] | ["plan"] | ["corruption"] |
-          ["counters"] | ["backend"] | ["batch"] | ["ledger"] |
+          ["counters"] | ["backend"] | ["socket"] | ["batch"] | ["ledger"] |
           ["group-sum"] | ["horizontal"] | ["fault-undetected"] *)
   detail : string;
 }
@@ -58,7 +58,7 @@ val run_instance :
   ?check_horizontal:bool ->
   ?check_group_sum:bool ->
   ?tid_cache:[ `Rotate | `On | `Off ] ->
-  ?backend:[ `Mem | `Disk | `Rotate ] ->
+  ?backend:[ `Mem | `Disk | `Rotate | `Socket ] ->
   ?batch:[ `Rotate | `Off | `Size of int ] ->
   Gen.instance ->
   outcome
@@ -76,7 +76,14 @@ val run_instance :
     invisibility per execution: equal answer bags, identical
     [exec.query.*] counter movement, and byte-identical wire traffic —
     disagreements are tagged ["backend"]. Disk stores live in private
-    temp directories, removed before returning.
+    temp directories, removed before returning. [`Socket] applies the
+    same twin discipline over a loopback [Snf_net] server (Unix-domain
+    socket, 2 worker domains): every query re-executes against the
+    networked SNF store and must match the in-process execution on
+    answer bag, the five [exec.query.*] counter deltas, and the wire
+    triple (requests, bytes up, bytes down — framing is not counted, so
+    parity is exact); disagreements are tagged ["socket"]. The server is
+    stopped and its socket path removed before returning.
 
     [batch] (default [`Rotate]) re-runs the whole workload through
     [System.query_batch] on every representation, sliced into batches of
@@ -90,7 +97,7 @@ val run_instance :
 val run_spec :
   ?queries:int ->
   ?tid_cache:[ `Rotate | `On | `Off ] ->
-  ?backend:[ `Mem | `Disk | `Rotate ] ->
+  ?backend:[ `Mem | `Disk | `Rotate | `Socket ] ->
   ?batch:[ `Rotate | `Off | `Size of int ] ->
   Gen.spec ->
   outcome
@@ -114,7 +121,7 @@ val soak :
   ?queries_per_instance:int ->
   ?with_faults:bool ->
   ?tid_cache:[ `Rotate | `On | `Off ] ->
-  ?backend:[ `Mem | `Disk | `Rotate ] ->
+  ?backend:[ `Mem | `Disk | `Rotate | `Socket ] ->
   ?batch:[ `Rotate | `Off | `Size of int ] ->
   seed:int ->
   queries:int ->

@@ -262,3 +262,140 @@ let campaign ?(seed = 1) (inst : Gen.instance) =
   in
   [ flip_cell_outcome; flip_tid_outcome; truncate_outcome; drop_outcome; stale_outcome;
     key_outcome ]
+
+(* --- connection faults ------------------------------------------------------
+   The transport analogue of the storage campaign: sever a live socket at
+   chosen points and assert the conformance contract for networks — the
+   client surfaces [Snf_net.Client.Disconnected] (typed, never a raw
+   [Unix_error]/[End_of_file]), the server reaps the dead session and
+   keeps serving, and a reconnect-and-retry yields the oracle bag. *)
+
+type conn_fault = Drop_mid_request | Drop_mid_query | Drop_mid_batch
+
+let conn_fault_name = function
+  | Drop_mid_request -> "drop-mid-request"
+  | Drop_mid_query -> "drop-mid-query"
+  | Drop_mid_batch -> "drop-mid-batch"
+
+type conn_outcome = {
+  conn_kind : conn_fault;
+  typed : bool;  (** the failure surfaced as [Disconnected], nothing rawer *)
+  server_alive : bool;  (** a fresh connection still serves afterwards *)
+  recovered : bool;  (** reconnect-and-retry produced the oracle bag *)
+  conn_detail : string;
+}
+
+let pp_conn_outcome fmt o =
+  Format.fprintf fmt "%-16s %s — %s" (conn_fault_name o.conn_kind)
+    (if o.typed && o.server_alive && o.recovered then "detected" else "UNDETECTED")
+    o.conn_detail
+
+let conn_campaign ~addr (inst : Gen.instance) =
+  let owner = outsource_leaves inst ~tag:"connfault" [ ("f0", [ "s0"; "s1" ]) ] in
+  let image = Wire.to_string owner.System.enc in
+  let q = full_scan [ "s0"; "s1" ] in
+  let oracle = Oracle.bag (Oracle.answer inst.Gen.relation q) in
+  let run_query conn =
+    Executor.run_conn owner.System.client conn
+      owner.System.plan.Snf_core.Normalizer.representation q
+  in
+  (* Install once through a throwaway session so every scenario below
+     finds the store already served. *)
+  (match Snf_net.Client.connect addr with
+  | Error e -> failwith ("conn_campaign: cannot connect: " ^ e)
+  | Ok setup ->
+    Server_api.install setup image;
+    Server_api.close setup);
+  let probe_server () =
+    match Snf_net.Client.connect addr with
+    | Error _ -> false
+    | Ok conn ->
+      Fun.protect
+        ~finally:(fun () -> Server_api.close conn)
+        (fun () ->
+          match Server_api.describe conn with _ -> true | exception _ -> false)
+  in
+  let retry () =
+    match Snf_net.Client.connect addr with
+    | Error e -> (false, "reconnect failed: " ^ e)
+    | Ok conn ->
+      Fun.protect
+        ~finally:(fun () -> Server_api.close conn)
+        (fun () ->
+          match run_query conn with
+          | Ok (ans, _) when Oracle.bag ans = oracle -> (true, "retry matched oracle")
+          | Ok (ans, _) ->
+            (false, Printf.sprintf "retry returned %d rows off the oracle bag"
+                      (Relation.cardinality ans))
+          | Error e -> (false, "retry failed to plan: " ^ e))
+  in
+  (* What a dead wire must look like to the caller. *)
+  let classify = function
+    | Snf_net.Client.Disconnected _ -> (true, "typed Disconnected")
+    | Unix.Unix_error (e, _, _) -> (false, "raw Unix_error: " ^ Unix.error_message e)
+    | End_of_file -> (false, "raw End_of_file")
+    | e -> (false, "unexpected exception: " ^ Printexc.to_string e)
+  in
+  let scenario kind f =
+    let typed, detail = f () in
+    let server_alive = probe_server () in
+    let recovered, rdetail = retry () in
+    { conn_kind = kind;
+      typed;
+      server_alive;
+      recovered;
+      conn_detail =
+        Printf.sprintf "%s; server %s; %s" detail
+          (if server_alive then "alive" else "DOWN")
+          rdetail }
+  in
+  [ (* Half a frame, then the wire dies: the server must reap the
+       session without ever dispatching the truncated request. *)
+    scenario Drop_mid_request (fun () ->
+        match Snf_net.Client.open_handle addr with
+        | Error e -> (false, "dial failed: " ^ e)
+        | Ok h ->
+          let req =
+            Snf_net.Frame.encode (Wire.request_to_string Wire.Describe)
+          in
+          let partial = String.sub req 0 (String.length req - 3) in
+          let conn = Snf_net.Client.conn_of_handle h in
+          (* Write the truncated frame bytes directly, then sever. *)
+          (match Snf_net.Client.raw_send h partial with
+          | () -> ()
+          | exception _ -> ());
+          Snf_net.Client.kill h;
+          Server_api.close conn;
+          (true, "severed after a partial frame"));
+    (* A healthy query, then the wire dies under the next one. *)
+    scenario Drop_mid_query (fun () ->
+        match Snf_net.Client.open_handle addr with
+        | Error e -> (false, "dial failed: " ^ e)
+        | Ok h ->
+          let conn = Snf_net.Client.conn_of_handle h in
+          Fun.protect
+            ~finally:(fun () -> Server_api.close conn)
+            (fun () ->
+              match run_query conn with
+              | Error e -> (false, "warm-up query failed: " ^ e)
+              | Ok _ -> (
+                Snf_net.Client.kill h;
+                match run_query conn with
+                | _ -> (false, "query succeeded over a severed wire")
+                | exception e -> classify e)));
+    (* Same, mid-batch. *)
+    scenario Drop_mid_batch (fun () ->
+        match Snf_net.Client.open_handle addr with
+        | Error e -> (false, "dial failed: " ^ e)
+        | Ok h ->
+          let conn = Snf_net.Client.conn_of_handle h in
+          Fun.protect
+            ~finally:(fun () -> Server_api.close conn)
+            (fun () ->
+              Snf_net.Client.kill h;
+              match
+                Executor.run_batch owner.System.client conn
+                  owner.System.plan.Snf_core.Normalizer.representation [ q; q ]
+              with
+              | _ -> (false, "batch succeeded over a severed wire")
+              | exception e -> classify e)) ]

@@ -71,3 +71,38 @@ val campaign : ?seed:int -> Gen.instance -> outcome list
     [detected = false] is a conformance failure. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
+
+(** {1 Connection faults}
+
+    The transport analogue of the storage campaign: sever a live socket
+    connection to a running {!Snf_net.Server} at chosen points and
+    assert the network conformance contract — the client surfaces the
+    typed [Snf_net.Client.Disconnected] (never a raw [Unix.Unix_error]
+    or [End_of_file]), the server reaps the dead session and keeps
+    serving other connections, and reconnecting and retrying yields the
+    oracle bag. *)
+
+type conn_fault =
+  | Drop_mid_request  (** wire dies after half a request frame *)
+  | Drop_mid_query    (** wire dies between a query's round trips *)
+  | Drop_mid_batch    (** wire dies under a batch *)
+
+val conn_fault_name : conn_fault -> string
+
+type conn_outcome = {
+  conn_kind : conn_fault;
+  typed : bool;  (** the failure surfaced as [Disconnected], nothing rawer *)
+  server_alive : bool;  (** a fresh connection still serves afterwards *)
+  recovered : bool;  (** reconnect-and-retry produced the oracle bag *)
+  conn_detail : string;
+}
+
+val conn_campaign : addr:string -> Gen.instance -> conn_outcome list
+(** [addr] must point at a running server (e.g.
+    [Snf_net.Server.start_mem]); the campaign Installs a fresh
+    outsourcing of the instance through it, then runs every
+    {!conn_fault} scenario on its own doomed connection. An outcome with
+    any of the three flags [false] is a conformance failure. The server
+    is left alive and serving. *)
+
+val pp_conn_outcome : Format.formatter -> conn_outcome -> unit

@@ -1,0 +1,39 @@
+type t = Unix_path of string | Tcp of string * int
+
+let forms = "expected unix:/path/to.sock or tcp:host:port"
+
+let parse s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "bad address %S: %s" s forms)
+  | Some i -> (
+    let scheme = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match scheme with
+    | "unix" ->
+      if rest = "" then Error (Printf.sprintf "bad address %S: empty socket path" s)
+      else Ok (Unix_path rest)
+    | "tcp" -> (
+      match String.rindex_opt rest ':' with
+      | None -> Error (Printf.sprintf "bad address %S: %s" s forms)
+      | Some j -> (
+        let host = String.sub rest 0 j in
+        let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+        match int_of_string_opt port with
+        | Some p when p >= 0 && p < 65536 && host <> "" -> Ok (Tcp (host, p))
+        | _ -> Error (Printf.sprintf "bad address %S: bad host or port" s)))
+    | _ -> Error (Printf.sprintf "bad address scheme %S: %s" scheme forms))
+
+let to_string = function
+  | Unix_path p -> "unix:" ^ p
+  | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+let sockaddr = function
+  | Unix_path p -> Ok (Unix.ADDR_UNIX p)
+  | Tcp (host, port) -> (
+    match Unix.inet_addr_of_string host with
+    | ip -> Ok (Unix.ADDR_INET (ip, port))
+    | exception _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+        Error (Printf.sprintf "cannot resolve host %S" host)
+      | { Unix.h_addr_list; _ } -> Ok (Unix.ADDR_INET (h_addr_list.(0), port))))

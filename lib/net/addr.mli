@@ -1,0 +1,15 @@
+(** Server addresses: [unix:/path/to.sock] or [tcp:host:port]. *)
+
+type t =
+  | Unix_path of string  (** Unix-domain stream socket at this path *)
+  | Tcp of string * int  (** TCP to [host:port]; host may be a name or dotted quad *)
+
+val parse : string -> (t, string) result
+(** [Error msg] names the expected forms — callers surface it as
+    command-line misuse. *)
+
+val to_string : t -> string
+(** Round-trips with {!parse}. *)
+
+val sockaddr : t -> (Unix.sockaddr, string) result
+(** Resolve to a socket address ([Error] on unresolvable host). *)

@@ -1,0 +1,111 @@
+let magic = "SNFF"
+let version = 1
+let header_len = 9
+let default_max_frame = 1 lsl 28
+
+type error = Bad_magic of string | Bad_version of int | Oversized of int | Truncated
+
+let error_to_string = function
+  | Bad_magic s -> Printf.sprintf "bad frame magic %S" s
+  | Bad_version v -> Printf.sprintf "unsupported frame version %d" v
+  | Oversized n -> Printf.sprintf "frame length %d past the size cap" n
+  | Truncated -> "truncated frame"
+
+let encode payload =
+  let n = String.length payload in
+  let b = Bytes.create (header_len + n) in
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set_uint8 b 4 version;
+  Bytes.set_int32_le b 5 (Int32.of_int n);
+  Bytes.blit_string payload 0 b header_len n;
+  Bytes.unsafe_to_string b
+
+(* Header check over the first [header_len] bytes of [s] at [off]. The
+   length is read unsigned (the Int32 round trip would sign-extend). *)
+let check_header ~max_frame s off =
+  let m = String.sub s off 4 in
+  if m <> magic then Error (Bad_magic m)
+  else
+    let v = Char.code s.[off + 4] in
+    if v <> version then Error (Bad_version v)
+    else
+      let n = Int32.to_int (String.get_int32_le s (off + 5)) land 0xffffffff in
+      if n > max_frame then Error (Oversized n) else Ok n
+
+module Reader = struct
+  type t = {
+    max_frame : int;
+    mutable acc : string;  (** undecoded bytes *)
+    mutable failed : error option;  (** a framing error is permanent *)
+  }
+
+  let create ?(max_frame = default_max_frame) () = { max_frame; acc = ""; failed = None }
+  let feed t chunk = if chunk <> "" then t.acc <- t.acc ^ chunk
+
+  let next t =
+    match t.failed with
+    | Some e -> Error e
+    | None ->
+      if String.length t.acc < header_len then Ok None
+      else (
+        match check_header ~max_frame:t.max_frame t.acc 0 with
+        | Error e ->
+          t.failed <- Some e;
+          Error e
+        | Ok n ->
+          if String.length t.acc < header_len + n then Ok None
+          else (
+            let payload = String.sub t.acc header_len n in
+            t.acc <-
+              String.sub t.acc (header_len + n)
+                (String.length t.acc - header_len - n);
+            Ok (Some payload)))
+end
+
+let decode ?max_frame s =
+  let r = Reader.create ?max_frame () in
+  Reader.feed r s;
+  match Reader.next r with
+  | Error e -> Error e
+  | Ok None -> Error Truncated
+  | Ok (Some payload) ->
+    (* Anything after one whole frame would have to start a second one. *)
+    if r.Reader.acc = "" then Ok payload
+    else Error (Bad_magic (String.sub r.Reader.acc 0 (min 4 (String.length r.Reader.acc))))
+
+(* --- blocking socket I/O --------------------------------------------------- *)
+
+let write fd payload =
+  let b = Bytes.unsafe_of_string (encode payload) in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    let k = Unix.write fd b !off (n - !off) in
+    if k = 0 then raise (Unix.Unix_error (Unix.EPIPE, "write", ""));
+    off := !off + k
+  done
+
+(* [Some bytes] or [None] for EOF on the very first byte. *)
+let read_exact fd n =
+  let b = Bytes.create n in
+  let rec go off =
+    if off = n then Some (Bytes.unsafe_to_string b)
+    else (
+      let k = Unix.read fd b off (n - off) in
+      if k = 0 then if off = 0 then None else raise End_of_file
+      else go (off + k))
+  in
+  go 0
+
+let read ?(max_frame = default_max_frame) fd =
+  try
+    match read_exact fd header_len with
+    | None -> None
+    | Some header -> (
+      match check_header ~max_frame header 0 with
+      | Error e -> Some (Error e)
+      | Ok n -> (
+        match if n = 0 then Some "" else read_exact fd n with
+        | Some payload -> Some (Ok payload)
+        | None -> Some (Error Truncated)))
+  with End_of_file -> Some (Error Truncated)

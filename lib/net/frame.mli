@@ -1,0 +1,75 @@
+(** The SNFF frame layer: length-prefixed envelopes that carry serialized
+    SNFM [Wire] messages over a byte stream, unchanged.
+
+    Frame grammar (all integers little-endian):
+
+    {v
+    frame := "SNFF"            4 bytes   magic
+             version           1 byte    (= 1)
+             length            4 bytes   payload byte count, unsigned
+             payload           length bytes   one SNFM message, verbatim
+    v}
+
+    The length field is bounded by [max_frame] {e before} any allocation,
+    so a garbled or hostile header can never force a giant buffer. All
+    decode failures are typed {!error}s — never an exception — and a
+    stream that has failed once stays failed (framing is unrecoverable
+    after a bad header). *)
+
+val magic : string
+(** ["SNFF"] *)
+
+val version : int
+
+val header_len : int
+(** Bytes before the payload: 9. *)
+
+val default_max_frame : int
+(** 256 MiB — roomy enough for a full store-image Install. *)
+
+type error =
+  | Bad_magic of string  (** the 4 bytes seen where ["SNFF"] belonged *)
+  | Bad_version of int
+  | Oversized of int  (** declared payload length past [max_frame] *)
+  | Truncated  (** stream ended inside a frame *)
+
+val error_to_string : error -> string
+
+val encode : string -> string
+(** Wrap one payload in a frame. *)
+
+val decode : ?max_frame:int -> string -> (string, error) result
+(** Exactly one whole frame: strict prefixes are [Error Truncated],
+    trailing bytes are a [Bad_magic] of what follows (a second frame
+    would start there). *)
+
+(** Incremental decoding over arbitrary chunk boundaries — the pure core
+    the socket read path and the fuzz suite share. Feed bytes as they
+    arrive (any split, down to 1-byte drips); [next] yields each
+    completed payload in order. *)
+module Reader : sig
+  type t
+
+  val create : ?max_frame:int -> unit -> t
+
+  val feed : t -> string -> unit
+
+  val next : t -> (string option, error) result
+  (** [Ok (Some payload)] — a whole frame was available; [Ok None] —
+      needs more bytes; [Error _] — the stream is garbage, and every
+      subsequent [next] returns the same error. *)
+end
+
+(** {1 Blocking socket I/O}
+
+    Thin loops over [Unix.read]/[Unix.write]; [Unix.Unix_error] passes
+    through to the caller (the client maps it to a typed disconnect, the
+    server reaps the session). *)
+
+val write : Unix.file_descr -> string -> unit
+(** Frame the payload and write it whole. *)
+
+val read : ?max_frame:int -> Unix.file_descr -> (string, error) result option
+(** Read one whole frame. [None] — the peer closed cleanly between
+    frames (EOF before any header byte); [Some (Error Truncated)] — EOF
+    mid-frame. *)

@@ -162,6 +162,9 @@ type memo_plan = {
 }
 
 type memo_state = {
+  (* The DLS slot is per-domain, but every systhread of the domain (a
+     networked server's clients, the concurrency tests) shares it. *)
+  lock : Mutex.t;
   (* Representation digests keyed by physical identity — the experiment
      loops plan thousands of queries against a handful of long-lived
      representation values, so digesting once per value is enough. *)
@@ -173,7 +176,8 @@ let max_digest_entries = 16
 let max_plan_entries = 1024
 
 let memo_key : memo_state Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> { digests = []; plans = Hashtbl.create 64 })
+  Domain.DLS.new_key (fun () ->
+      { lock = Mutex.create (); digests = []; plans = Hashtbl.create 64 })
 
 let rep_digest st rep =
   match List.find_opt (fun (r, _) -> r == rep) st.digests with
@@ -240,14 +244,22 @@ let plan ?(selector = `Greedy) rep q =
     plan_uncached ~selector rep q
   | `Greedy ->
     let st = Domain.DLS.get memo_key in
-    let key = (rep_digest st rep, shape_key q) in
-    (match Hashtbl.find_opt st.plans key with
+    let key, hit =
+      Mutex.protect st.lock (fun () ->
+          let key = (rep_digest st rep, shape_key q) in
+          (key, Hashtbl.find_opt st.plans key))
+    in
+    (match hit with
      | Some (Ok m) -> Ok (of_memo m q)
      | Some (Error e) -> Error e
      | None ->
+       (* Planning itself runs unlocked; a concurrent same-shape miss
+          just plans twice and the second replace wins harmlessly. *)
        let result = plan_uncached ~selector:`Greedy rep q in
-       if Hashtbl.length st.plans >= max_plan_entries then Hashtbl.reset st.plans;
-       Hashtbl.replace st.plans key (Result.map (fun p -> to_memo p q) result);
+       Mutex.protect st.lock (fun () ->
+           if Hashtbl.length st.plans >= max_plan_entries then
+             Hashtbl.reset st.plans;
+           Hashtbl.replace st.plans key (Result.map (fun p -> to_memo p q) result));
        result)
 
 let single_leaf p = List.length p.leaves <= 1

@@ -174,7 +174,13 @@ let serve view orams request_bytes =
   in
   Wire.response_to_string resp
 
+let session_handler view =
+  let orams = Hashtbl.create 4 in
+  serve view orams
+
 (* --- the connection -------------------------------------------------------- *)
+
+exception Busy
 
 type wire_stats = { requests : int; bytes_up : int; bytes_down : int }
 
@@ -194,17 +200,20 @@ type conn = {
   memo_mutex : Mutex.t;
 }
 
-let connect (type a) (module B : BACKEND with type t = a) (backend : a) =
-  let view = B.view backend in
-  let orams = Hashtbl.create 4 in
-  { backend_name = B.name;
-    handle = serve view orams;
-    close_backend = (fun () -> B.close backend);
+let connect_handler ~name ~handle ~close =
+  { backend_name = name;
+    handle;
+    close_backend = close;
     c_requests = Atomic.make 0;
     c_bytes_up = Atomic.make 0;
     c_bytes_down = Atomic.make 0;
     tid_memo = Hashtbl.create 4;
     memo_mutex = Mutex.create () }
+
+let connect (type a) (module B : BACKEND with type t = a) (backend : a) =
+  connect_handler ~name:B.name
+    ~handle:(session_handler (B.view backend))
+    ~close:(fun () -> B.close backend)
 
 let backend_name conn = conn.backend_name
 let close conn = conn.close_backend ()
@@ -321,6 +330,7 @@ let summarize_response (resp : Wire.response) =
                       (Leakage.mask_to_hex mask) ))
                 rs)
          results)
+  | Wire.R_busy -> [ ("error", "busy") ]
 
 (* One round trip: serialize, count, send, count, decode, and re-raise
    server-reported failures as the typed exceptions the pre-split code
@@ -348,6 +358,7 @@ let call conn ph req =
   | Wire.R_corrupt c -> raise (Integrity.Corruption c)
   | Wire.R_error { not_found = true; _ } -> raise Not_found
   | Wire.R_error { not_found = false; msg } -> invalid_arg msg
+  | Wire.R_busy -> raise Busy
   | resp -> resp
 
 let protocol_error what = invalid_arg ("Server_api: unexpected response to " ^ what)

@@ -45,10 +45,36 @@ type conn
 
 type wire_stats = { requests : int; bytes_up : int; bytes_down : int }
 
+exception Busy
+(** A transport rejected the request under admission control
+    ([Wire.R_busy]): the request was never executed and is safe to
+    retry. In-process backends never raise it. *)
+
+val session_handler : store_view -> string -> string
+(** One server session over a view: decode request bytes, dispatch,
+    serialize the response. Each call to [session_handler view] makes a
+    fresh session (its own ORAM table) — this is the server half of
+    {!connect}, exposed so a network server can run one session per
+    accepted socket against a shared view. Typed failures
+    ([Integrity.Corruption], [Not_found], [Invalid_argument] — which
+    covers malformed request bytes) come back as [R_corrupt]/[R_error]
+    payloads, never as raised exceptions. *)
+
 val connect : (module BACKEND with type t = 'a) -> 'a -> conn
 (** Open a session over a backend instance. Each connection gets its own
     server-side ORAM session table; none of the client-side state
     (counters, decoded-tid memo) is visible to the backend. *)
+
+val connect_handler :
+  name:string -> handle:(string -> string) -> close:(unit -> unit) -> conn
+(** Open a session over a raw request-bytes -> response-bytes exchange —
+    the client half of {!connect}, exposed so a network client can splice
+    a socket round trip under the unchanged accounting/memo machinery.
+    [handle] receives exactly the serialized SNFM request and must return
+    exactly the serialized SNFM response (any framing stripped), so
+    {!stats} and the [exec.wire.*] counters measure the same bytes as an
+    in-process backend. [handle] may raise to signal transport failure;
+    the exception passes through {!conn} calls untouched. *)
 
 val backend_name : conn -> string
 

@@ -4,9 +4,17 @@ module Partition = Snf_core.Partition
 module Paillier = Snf_crypto.Paillier
 module Nat = Snf_bignum.Nat
 
-type backend_kind = [ `Mem | `Disk ]
+type ext_backend = {
+  ext_name : string;
+  ext_connect : unit -> Server_api.conn;
+}
 
-let backend_kind_name = function `Mem -> "mem" | `Disk -> "disk"
+type backend_kind = [ `Mem | `Disk | `Ext of ext_backend ]
+
+let backend_kind_name = function
+  | `Mem -> "mem"
+  | `Disk -> "disk"
+  | `Ext e -> e.ext_name
 
 type binding = { for_enc : Enc_relation.t; conn : Server_api.conn }
 
@@ -26,16 +34,25 @@ type owner = {
    ships the full image through Install into a private temp directory;
    that traffic is charged when the binding is made (outsourcing), not to
    any query window. *)
+let install_image conn enc =
+  try Server_api.install conn (Wire.to_string enc)
+  with e ->
+    Server_api.close conn;
+    raise e
+
 let bind kind enc =
   match kind with
   | `Mem -> Server_api.connect (module Backend_mem) (Backend_mem.of_store enc)
   | `Disk ->
-    let be = Backend_disk.create_temp () in
-    let conn = Server_api.connect (module Backend_disk) be in
-    (try Server_api.install conn (Wire.to_string enc)
-     with e ->
-       Server_api.close conn;
-       raise e);
+    let conn = Server_api.connect (module Backend_disk) (Backend_disk.create_temp ()) in
+    install_image conn enc;
+    conn
+  | `Ext e ->
+    (* An external transport (e.g. a socket): connect, then ship the
+       image through Install like the disk binding — the remote end
+       starts empty. *)
+    let conn = e.ext_connect () in
+    install_image conn enc;
     conn
 
 (* The binding follows [owner.enc] by physical identity: harness twins

@@ -10,12 +10,23 @@
 
 open Snf_relational
 
-type backend_kind = [ `Mem | `Disk ]
+type ext_backend = {
+  ext_name : string;  (** what {!backend_kind_name} reports, e.g. ["socket"] *)
+  ext_connect : unit -> Server_api.conn;
+      (** open a fresh connection to an {e empty} remote server; the
+          binding ships the store through Install, like [`Disk] *)
+}
+(** An externally provided transport (e.g. [Snf_net.Client]'s socket
+    backend), kept abstract here so [System] stays network-free. *)
+
+type backend_kind = [ `Mem | `Disk | `Ext of ext_backend ]
 (** Which server backend the owner's connection binds: [`Mem] adopts the
     in-process store behind the [Server_api] boundary; [`Disk] explodes
     the store image into a private temp directory ([Backend_disk]) and
-    serves it paged from files. Answers are bit-identical either way —
-    the backend is invisible above the message protocol. *)
+    serves it paged from files; [`Ext] connects through a caller-supplied
+    transport and installs the image remotely. Answers are bit-identical
+    in every case — the backend is invisible above the message
+    protocol. *)
 
 val backend_kind_name : backend_kind -> string
 

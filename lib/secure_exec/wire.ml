@@ -285,6 +285,7 @@ type response =
   | R_error of { not_found : bool; msg : string }
   | R_corrupt of Integrity.corruption
   | R_batch of { results : (bool array * int) list list }
+  | R_busy
 
 let w_eq_token buf (tok : Enc_relation.eq_token) =
   match tok with
@@ -394,6 +395,7 @@ let response_tag = function
   | R_error _ -> 9
   | R_corrupt _ -> 10
   | R_batch _ -> 11
+  | R_busy -> 12
 
 let r_filter_op c =
   match r_u8 c with
@@ -564,6 +566,7 @@ let w_response buf = function
            w_bools buf mask;
            w_int buf scanned))
       buf results
+  | R_busy -> w_u8 buf 12
 
 let r_response c =
   match r_u8 c with
@@ -607,6 +610,7 @@ let r_response c =
                  let mask = r_bools c in
                  (mask, r_int c)))
             c }
+  | 12 -> R_busy
   | n -> fail (Printf.sprintf "unknown response tag %d" n)
 
 let msg_to_string w x =

@@ -99,6 +99,12 @@ type response =
           entry, the bit-packed match mask and the scanned-cell count —
           the same payload K [R_mask] responses would carry, split back
           out by the client *)
+  | R_busy
+      (** admission control: the server's bounded request queue is past
+          high-water and this request was rejected without being
+          executed. Purely a transport-level signal — in-process
+          backends never send it. Surfaced client-side as the typed,
+          retryable {!Server_api.Busy}. *)
 
 val request_to_string : request -> string
 
@@ -113,7 +119,8 @@ val response_of_string : string -> response
 
 val request_tag : request -> int
 val response_tag : response -> int
-(** The constructor's wire tag (0–11), mirrored in SNFT trace events. *)
+(** The constructor's wire tag (requests 0–11, responses 0–12),
+    mirrored in SNFT trace events. *)
 
 val filter_op_to_string : filter_op -> string
 (** Canonical serialized bytes of one filter op (no magic/version) — the

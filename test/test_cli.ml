@@ -237,6 +237,108 @@ let check_batch_sizes () =
   check_int "check --batch 7 exits 2" 2 code;
   check_bool "rejection names the flag" true (contains err "batch")
 
+(* --- serve: the networked server as a process ----------------------------- *)
+
+let serve_misuse () =
+  let code, err = run ~capture_stderr:true [ "serve"; "--addr"; "floppy:123" ] in
+  check_int "bad address exits 2" 2 code;
+  check_bool "message explains the grammar" true (contains err "bad address");
+  (* a path something already occupies *)
+  let taken = Filename.temp_file "snf_cli_test" ".sock" in
+  Fun.protect ~finally:(fun () -> try Sys.remove taken with Sys_error _ -> ())
+  @@ fun () ->
+  let code, err =
+    run ~capture_stderr:true [ "serve"; "--addr"; "unix:" ^ taken ]
+  in
+  check_int "address in use exits 2" 2 code;
+  check_bool "message says in use" true (contains err "in use");
+  (* unwritable pidfile is caught before binding anything *)
+  let bad_pid = Filename.concat Filename.null "pid" in
+  let code, err =
+    run ~capture_stderr:true
+      [ "serve"; "--addr"; "unix:" ^ taken ^ ".2"; "--pidfile"; bad_pid ]
+  in
+  check_int "unwritable pidfile exits 2" 2 code;
+  check_bool "message names --pidfile" true (contains err "--pidfile")
+
+let query_socket_no_server () =
+  with_csv @@ fun csv ->
+  let code, err =
+    run ~capture_stderr:true
+      [ "query"; "--csv"; csv; "--enc"; "code=DET"; "--select"; "id";
+        "--backend"; "socket:unix:/nonexistent-snf.sock" ]
+  in
+  check_int "unreachable server exits 2" 2 code;
+  check_bool "message points at the server" true (contains err "cannot reach server");
+  let code, err =
+    run ~capture_stderr:true
+      [ "query"; "--csv"; csv; "--select"; "id"; "--backend"; "socket:junk" ]
+  in
+  check_int "malformed socket address exits 2" 2 code;
+  check_bool "rejection names the flag" true (contains err "backend")
+
+(* Spawn `snf_cli serve`, wait until it listens, run the body, then
+   SIGTERM it and return its exit status. *)
+let with_served_cli f =
+  let sock = Filename.temp_file "snf_cli_test" ".sock" in
+  Sys.remove sock;
+  let pidfile = sock ^ ".pid" in
+  let devnull = Unix.openfile Filename.null [ Unix.O_RDWR ] 0 in
+  let pid =
+    Unix.create_process cli
+      [| cli; "serve"; "--addr"; "unix:" ^ sock; "--domains"; "2";
+         "--pidfile"; pidfile |]
+      devnull devnull devnull
+  in
+  Unix.close devnull;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ sock; pidfile ])
+  @@ fun () ->
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec wait_listening () =
+    if Sys.file_exists sock then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail "server never started listening"
+    else (
+      Unix.sleepf 0.05;
+      wait_listening ())
+  in
+  wait_listening ();
+  f ("socket:unix:" ^ sock);
+  check_bool "pidfile written while serving" true (Sys.file_exists pidfile);
+  Unix.kill pid Sys.sigterm;
+  let _, status = Unix.waitpid [] pid in
+  (status, sock, pidfile)
+
+let serve_then_query_then_sigterm () =
+  let status, sock, pidfile =
+    with_served_cli (fun backend ->
+        with_csv @@ fun csv ->
+        check_int "query --backend socket exits 0" 0
+          (fst
+             (run
+                [ "query"; "--csv"; csv; "--enc"; "code=DET"; "--select"; "id";
+                  "--where"; "code=c1"; "--backend"; backend ]));
+        (* a second client process reuses the same server *)
+        check_int "batch over the socket exits 0" 0
+          (with_batch_file [ "id,code : code=c1"; "id : code=c0" ] (fun batch ->
+               fst
+                 (run
+                    [ "query"; "--csv"; csv; "--enc"; "code=DET"; "--batch";
+                      batch; "--backend"; backend ]))))
+  in
+  (match status with
+   | Unix.WEXITED 0 -> ()
+   | Unix.WEXITED n -> Alcotest.failf "SIGTERM drain exited %d, want 0" n
+   | _ -> Alcotest.fail "server did not exit normally on SIGTERM");
+  check_bool "socket path unlinked on drain" false (Sys.file_exists sock);
+  check_bool "pidfile removed on drain" false (Sys.file_exists pidfile)
+
 let suite =
   [ Alcotest.test_case "binary present" `Quick binary_present;
     Alcotest.test_case "help and version exit 0" `Quick help_ok;
@@ -254,4 +356,10 @@ let suite =
     Alcotest.test_case "unwritable output paths exit 2" `Quick trace_out_unwritable;
     Alcotest.test_case "check --wire-trace-out records the soak" `Slow
       check_wire_trace;
-    Alcotest.test_case "check --batch 1|8|64" `Slow check_batch_sizes ]
+    Alcotest.test_case "check --batch 1|8|64" `Slow check_batch_sizes;
+    Alcotest.test_case "serve misuse exits 2 with pointed messages" `Quick
+      serve_misuse;
+    Alcotest.test_case "query --backend socket without a server exits 2" `Quick
+      query_socket_no_server;
+    Alcotest.test_case "serve, query over the socket, SIGTERM drains to 0" `Slow
+      serve_then_query_then_sigterm ]

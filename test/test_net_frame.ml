@@ -1,0 +1,196 @@
+(* SNFF framing under fire: QCheck fuzz over the frame codec and the
+   incremental Reader. The conformance contract: any byte stream — split
+   arbitrarily, truncated, bit-flipped, or pure garbage — yields either
+   the original payloads or a typed [Frame.error], never a crash, a
+   giant allocation, or a wedged reader. *)
+
+open Helpers
+module Frame = Snf_net.Frame
+module Addr = Snf_net.Addr
+module Gen = QCheck2.Gen
+
+let payload_gen = Gen.(string_size ~gen:char (int_bound 600))
+
+(* Drain every completed frame the reader has. *)
+let drain reader =
+  let rec go acc =
+    match Frame.Reader.next reader with
+    | Ok (Some p) -> go (p :: acc)
+    | Ok None -> Ok (List.rev acc)
+    | Error e -> Error (e, List.rev acc)
+  in
+  go []
+
+(* Cut [s] into chunks at pseudo-random boundaries drawn from [cuts]. *)
+let chunk_at cuts s =
+  let n = String.length s in
+  let cuts = List.sort_uniq compare (List.filter (fun i -> i > 0 && i < n) cuts) in
+  let rec go start = function
+    | [] -> if start < n then [ String.sub s start (n - start) ] else []
+    | c :: rest -> String.sub s start (c - start) :: go c rest
+  in
+  if n = 0 then [] else go 0 cuts
+
+(* --- round trips over arbitrary chunking --------------------------------- *)
+
+let frame_roundtrip_chunked =
+  qtest "frames survive any chunk boundaries"
+    Gen.(pair (list_size (int_bound 5) payload_gen) (list (int_bound 4096)))
+    (fun (payloads, cuts) ->
+      let stream = String.concat "" (List.map Frame.encode payloads) in
+      let reader = Frame.Reader.create () in
+      List.iter (Frame.Reader.feed reader) (chunk_at cuts stream);
+      drain reader = Ok payloads)
+
+let frame_roundtrip_drip =
+  qtest ~count:60 "frames survive a 1-byte drip"
+    Gen.(list_size (int_bound 3) payload_gen)
+    (fun payloads ->
+      let stream = String.concat "" (List.map Frame.encode payloads) in
+      let reader = Frame.Reader.create () in
+      String.iter (fun c -> Frame.Reader.feed reader (String.make 1 c)) stream;
+      drain reader = Ok payloads)
+
+let decode_roundtrip =
+  qtest "decode inverts encode" payload_gen (fun p ->
+      Frame.decode (Frame.encode p) = Ok p)
+
+(* --- truncation ----------------------------------------------------------- *)
+
+let strict_prefixes_truncated =
+  qtest ~count:40 "every strict prefix is Truncated, and the reader wants more"
+    payload_gen
+    (fun p ->
+      let s = Frame.encode p in
+      List.for_all
+        (fun n ->
+          let prefix = String.sub s 0 n in
+          Frame.decode prefix = Error Frame.Truncated
+          &&
+          (* the incremental reader just waits for the rest *)
+          let reader = Frame.Reader.create () in
+          Frame.Reader.feed reader prefix;
+          Frame.Reader.next reader = Ok None)
+        (List.init (String.length s) Fun.id))
+
+(* --- damage: typed error, never a crash ----------------------------------- *)
+
+(* Flipping a header byte must surface a typed error (or, for the length
+   field, possibly Truncated/oversized); flipping a payload byte decodes
+   fine — framing doesn't authenticate, the SNFM codec inside does. *)
+let header_flip_typed =
+  qtest "header byte-flips yield a typed error"
+    Gen.(triple payload_gen (int_bound (Frame.header_len - 1)) (int_range 1 255))
+    (fun (p, pos, x) ->
+      let s = Bytes.of_string (Frame.encode p) in
+      Bytes.set s pos (Char.chr (Char.code (Bytes.get s pos) lxor x));
+      let s = Bytes.to_string s in
+      match Frame.decode s with
+      | Ok _ ->
+        (* impossible: magic/version/length are all load-bearing, and the
+           xor is nonzero *)
+        false
+      | Error (Frame.Bad_magic _) ->
+        (* a magic flip directly, or a shrunk length leaving trailing
+           bytes that read as a mangled second magic *)
+        pos < 4 || pos >= 5
+      | Error (Frame.Bad_version _) -> pos = 4
+      | Error (Frame.Oversized _) | Error Frame.Truncated -> pos >= 5)
+
+let payload_flip_is_framings_problem_not =
+  qtest "payload byte-flips still frame correctly"
+    Gen.(triple payload_gen (int_bound 10_000) (int_range 1 255))
+    (fun (p, pos, x) ->
+      QCheck2.assume (String.length p > 0);
+      let s = Bytes.of_string (Frame.encode p) in
+      let pos = Frame.header_len + (pos mod String.length p) in
+      Bytes.set s pos (Char.chr (Char.code (Bytes.get s pos) lxor x));
+      match Frame.decode (Bytes.to_string s) with
+      | Ok p' -> String.length p' = String.length p && p' <> p
+      | Error _ -> false)
+
+let garbage_never_crashes =
+  qtest "garbage streams never crash the reader"
+    Gen.(pair (string_size ~gen:char (int_bound 2_000)) (list (int_bound 512)))
+    (fun (junk, cuts) ->
+      let reader = Frame.Reader.create () in
+      List.iter (Frame.Reader.feed reader) (chunk_at cuts junk);
+      match drain reader with
+      | Ok _ | Error _ -> true)
+
+let reader_stays_poisoned =
+  qtest ~count:60 "a failed reader keeps returning the same error"
+    payload_gen
+    (fun p ->
+      let reader = Frame.Reader.create () in
+      Frame.Reader.feed reader "JUNK!!!!!";
+      match Frame.Reader.next reader with
+      | Ok _ -> false
+      | Error e ->
+        (* fresh valid frames cannot resurrect it *)
+        Frame.Reader.feed reader (Frame.encode p);
+        Frame.Reader.next reader = Error e)
+
+(* --- size cap ------------------------------------------------------------- *)
+
+let test_oversized_rejected_before_allocation () =
+  (* A header declaring a huge payload must be refused from the 9 header
+     bytes alone — no allocation, no waiting for the body. *)
+  let b = Bytes.of_string (Frame.encode "x") in
+  Bytes.set_int32_le b 5 0x7fff_fff0l;
+  let reader = Frame.Reader.create () in
+  Frame.Reader.feed reader (Bytes.sub_string b 0 Frame.header_len);
+  (match Frame.Reader.next reader with
+   | Error (Frame.Oversized n) -> check_int "declared length" 0x7fff_fff0 n
+   | other ->
+     Alcotest.failf "expected Oversized, got %s"
+       (match other with
+        | Ok _ -> "Ok"
+        | Error e -> Frame.error_to_string e));
+  (* a custom cap applies the same way *)
+  (match Frame.decode ~max_frame:4 (Frame.encode "12345") with
+   | Error (Frame.Oversized 5) -> ()
+   | _ -> Alcotest.fail "5-byte payload must be Oversized under a 4-byte cap");
+  check_bool "at the cap is fine" true
+    (Frame.decode ~max_frame:5 (Frame.encode "12345") = Ok "12345")
+
+let test_empty_payload () =
+  check_bool "empty payload round trips" true (Frame.decode (Frame.encode "") = Ok "");
+  check_int "empty frame is just the header" Frame.header_len
+    (String.length (Frame.encode ""))
+
+let test_trailing_bytes_are_next_frame () =
+  (* decode is strict: exactly one frame. Trailing bytes read as a
+     mangled second magic. *)
+  match Frame.decode (Frame.encode "abc" ^ "zz") with
+  | Error (Frame.Bad_magic _) -> ()
+  | _ -> Alcotest.fail "trailing bytes must be rejected as a bad next magic"
+
+(* --- addresses ------------------------------------------------------------ *)
+
+let test_addr_parse () =
+  (match Addr.parse "unix:/tmp/x.sock" with
+   | Ok (Addr.Unix_path "/tmp/x.sock") -> ()
+   | _ -> Alcotest.fail "unix:/tmp/x.sock");
+  (match Addr.parse "tcp:127.0.0.1:7070" with
+   | Ok (Addr.Tcp ("127.0.0.1", 7070)) -> ()
+   | _ -> Alcotest.fail "tcp:127.0.0.1:7070");
+  List.iter
+    (fun bad ->
+      match Addr.parse bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S must not parse" bad)
+    [ ""; "unix:"; "tcp:"; "tcp:host"; "tcp:host:notaport"; "tcp:host:-1";
+      "tcp:host:70000"; "http://x"; "socket:unix:/x" ]
+
+let suite =
+  [ frame_roundtrip_chunked; frame_roundtrip_drip; decode_roundtrip;
+    strict_prefixes_truncated; header_flip_typed;
+    payload_flip_is_framings_problem_not; garbage_never_crashes;
+    reader_stays_poisoned;
+    Alcotest.test_case "oversized rejected from the header alone" `Quick
+      test_oversized_rejected_before_allocation;
+    Alcotest.test_case "empty payload" `Quick test_empty_payload;
+    Alcotest.test_case "trailing bytes rejected" `Quick
+      test_trailing_bytes_are_next_frame;
+    Alcotest.test_case "address grammar" `Quick test_addr_parse ]

@@ -140,6 +140,7 @@ let gen_response =
         (fun not_found msg -> Wire.R_error { not_found; msg })
         Gen.bool gen_blob;
       Gen.map (fun c -> Wire.R_corrupt c) gen_corruption;
+      Gen.return Wire.R_busy;
       Gen.map
         (fun results ->
           Wire.R_batch
@@ -220,6 +221,7 @@ let sample_responses =
     Wire.R_corrupt
       { Integrity.where = "leaf"; leaf = Some "R"; attr = None;
         detail = "row count mismatch" };
+    Wire.R_busy;
     Wire.R_batch { results = [] };
     Wire.R_batch
       { results =
