@@ -19,6 +19,13 @@
                                              one-at-a-time, mapping cache
                                              on/off, domains 1/4; writes
                                              BENCH_batch.json.
+   `dune exec bench/main.exe -- micro-shard`
+                                           — sharded scatter-gather:
+                                             one store over 1/2/4/8
+                                             shards x hash/skew
+                                             placement x domains 1/4,
+                                             oracle-gated; writes
+                                             BENCH_shard.json.
    `dune exec bench/main.exe -- micro-server`
                                            — the networked SNF server
                                              under a 1000-client storm
@@ -931,6 +938,185 @@ let run_micro_batch () =
          ("metrics", Report.of_obs_metrics (Snf_obs.Metrics.snapshot ())) ]);
   Printf.printf "wrote BENCH_batch.json\n"
 
+(* Micro-benchmark: sharded scatter-gather execution. One logical store
+   fanned across 1/2/4/8 in-process shards by [Backend_sharded], under
+   both placement policies and 1/4 executor domains, against a Zipf-
+   skewed DET column (the shape the Skew policy absorbs). The workload
+   is scan-dominant point lookups, so the per-shard legs carry the scan
+   work in parallel. Every cell's answers are bag-checked against the
+   plaintext oracle, per-shard imbalance is reported from the placement
+   itself, and the headline number is queries/sec at 4 shards vs 1.
+   Writes BENCH_shard.json. *)
+let run_micro_shard () =
+  section "Micro: sharded scatter-gather (Backend_sharded fan-out)";
+  let rows = arg_value "rows" 8_000 in
+  let queries = max 1 (arg_value "queries" 24) in
+  let iters = max 1 (arg_value "iters" 2) in
+  let zipf_values = 40 in
+  let prng = Snf_crypto.Prng.create 0x5a1f in
+  let zipf = Snf_crypto.Prng.zipf_sampler prng ~s:1.07 zipf_values in
+  let r =
+    Snf_relational.Relation.create
+      (Snf_relational.Schema.of_attributes
+         Snf_relational.[ Attribute.int "zip"; Attribute.int "code"; Attribute.int "pay" ])
+      (List.init rows (fun i ->
+           Snf_relational.
+             [| Value.Int (zipf ()); Value.Int (i mod 13); Value.Int (i * 17) |]))
+  in
+  let policy =
+    Snf_core.Policy.create
+      [ ("zip", Snf_crypto.Scheme.Det);
+        ("code", Snf_crypto.Scheme.Det);
+        ("pay", Snf_crypto.Scheme.Ndet) ]
+  in
+  let graph =
+    let g = Snf_deps.Dep_graph.create [ "zip"; "code"; "pay" ] in
+    let g = Snf_deps.Dep_graph.declare_dependent g "zip" "pay" in
+    Snf_deps.Dep_graph.declare_dependent g "code" "pay"
+  in
+  (* Outsource once; every cell rebinds the same ciphertext image through
+     a fresh coordinator, so placement differences — not encryption — are
+     what the grid measures. *)
+  let owner = Snf_exec.System.outsource ~name:"microshard" ~graph r policy in
+  Fun.protect ~finally:(fun () -> Snf_exec.System.release owner) @@ fun () ->
+  let workload =
+    List.init queries (fun i ->
+        match i mod 3 with
+        | 0 ->
+          Snf_exec.Query.point ~select:[ "pay" ]
+            [ ("zip", Snf_relational.Value.Int (i mod zipf_values)) ]
+        | 1 ->
+          Snf_exec.Query.point ~select:[ "pay"; "code" ]
+            [ ("zip", Snf_relational.Value.Int (i mod 7));
+              ("code", Snf_relational.Value.Int (i mod 13)) ]
+        | _ ->
+          Snf_exec.Query.point ~select:[ "zip"; "pay" ]
+            [ ("code", Snf_relational.Value.Int (i mod 13)) ])
+  in
+  let oracle = List.map (Snf_check.Oracle.answer r) workload in
+  let mem_connect _ =
+    Snf_exec.Server_api.connect
+      (module Snf_exec.Backend_mem)
+      (Snf_exec.Backend_mem.empty ())
+  in
+  (* Placement imbalance straight from the assignment, no connections:
+     max shard load over the even split, per policy. *)
+  Printf.printf "  placement imbalance (max load / even split), %d rows:\n" rows;
+  let imbalance = ref [] in
+  List.iter
+    (fun policy_v ->
+      List.iter
+        (fun shards ->
+          let loads =
+            Snf_exec.Backend_sharded.shard_loads ~shards
+              (Snf_exec.Backend_sharded.assignment policy_v ~shards
+                 owner.Snf_exec.System.enc)
+          in
+          let max_load = Array.fold_left max 0 loads in
+          let total = Array.fold_left ( + ) 0 loads in
+          let even = float_of_int total /. float_of_int shards in
+          let ratio = float_of_int max_load /. even in
+          Printf.printf "    %-4s shards=%d  max=%6d  even=%8.1f  ratio=%5.2f\n"
+            (Snf_exec.Backend_sharded.policy_name policy_v)
+            shards max_load even ratio;
+          imbalance :=
+            Report.J_obj
+              [ ("policy",
+                 Report.J_string (Snf_exec.Backend_sharded.policy_name policy_v));
+                ("shards", Report.J_int shards);
+                ("max_load", Report.J_int max_load);
+                ("imbalance_ratio", Report.J_float ratio) ]
+            :: !imbalance)
+        [ 2; 4; 8 ])
+    [ Snf_exec.Backend_sharded.Hash; Snf_exec.Backend_sharded.Skew ];
+  let grid = ref [] in
+  let grid_ok = ref true in
+  let best_qps = Hashtbl.create 16 in
+  List.iter
+    (fun shards ->
+      List.iter
+        (fun policy_v ->
+          List.iter
+            (fun domains ->
+              let st =
+                Snf_exec.Backend_sharded.create ~policy:policy_v
+                  ~connect:mem_connect ~shards ()
+              in
+              let tw =
+                Snf_exec.System.with_backend owner (Snf_exec.System.sharded st)
+              in
+              Fun.protect ~finally:(fun () -> Snf_exec.System.release tw)
+              @@ fun () ->
+              let run_all () =
+                List.map
+                  (fun q ->
+                    match Snf_exec.System.query tw q with
+                    | Ok (ans, _) -> ans
+                    | Error e -> failwith ("micro-shard: query failed: " ^ e))
+                  workload
+              in
+              let answers = ref [] in
+              let best = ref infinity in
+              with_domains domains (fun () ->
+                  for i = 1 to iters do
+                    let anss, dt = time run_all in
+                    if i = 1 then answers := anss;
+                    if dt < !best then best := dt
+                  done);
+              let agrees = List.for_all2 Snf_check.Oracle.agree oracle !answers in
+              if not agrees then grid_ok := false;
+              let ms = !best *. 1e3 in
+              let qps = float_of_int queries /. !best in
+              let key = (shards, policy_v) in
+              let prev = Option.value (Hashtbl.find_opt best_qps key) ~default:0. in
+              if qps > prev then Hashtbl.replace best_qps key qps;
+              Printf.printf
+                "  shards %d  %-4s  d%d  %9.1f ms  %8.1f q/s\n%!" shards
+                (Snf_exec.Backend_sharded.policy_name policy_v)
+                domains ms qps;
+              grid :=
+                Report.J_obj
+                  [ ("shards", Report.J_int shards);
+                    ("policy",
+                     Report.J_string (Snf_exec.Backend_sharded.policy_name policy_v));
+                    ("domains", Report.J_int domains);
+                    ("ms", Report.J_float ms);
+                    ("queries_per_s", Report.J_float qps);
+                    ("bag_matches_oracle", Report.J_bool agrees) ]
+                :: !grid)
+            [ 1; 4 ])
+        [ Snf_exec.Backend_sharded.Hash; Snf_exec.Backend_sharded.Skew ])
+    [ 1; 2; 4; 8 ];
+  if not !grid_ok then failwith "micro-shard: some answer disagreed with the oracle";
+  let qps_at shards policy_v =
+    Option.value (Hashtbl.find_opt best_qps (shards, policy_v)) ~default:0.
+  in
+  let speedup_skew =
+    qps_at 4 Snf_exec.Backend_sharded.Skew /. qps_at 1 Snf_exec.Backend_sharded.Skew
+  in
+  let speedup_hash =
+    qps_at 4 Snf_exec.Backend_sharded.Hash /. qps_at 1 Snf_exec.Backend_sharded.Hash
+  in
+  Printf.printf "  %d queries over %d rows, best of %d iteration(s)\n" queries rows
+    iters;
+  Printf.printf
+    "  queries/sec, 4 shards vs 1: %.1fx skew, %.1fx hash (acceptance >= 2.0x on multi-core)\n"
+    speedup_skew speedup_hash;
+  Report.write_json "BENCH_shard.json"
+    (Report.J_obj
+       [ ("experiment", Report.J_string "sharded-scatter-gather");
+         ("rows", Report.J_int rows);
+         ("queries", Report.J_int queries);
+         ("iters", Report.J_int iters);
+         ("cores", Report.J_int (Domain.recommended_domain_count ()));
+         ("imbalance", Report.J_list (List.rev !imbalance));
+         ("grid", Report.J_list (List.rev !grid));
+         ("speedup_4shards_vs_1_skew", Report.J_float speedup_skew);
+         ("speedup_4shards_vs_1_hash", Report.J_float speedup_hash);
+         ("all_match_oracle", Report.J_bool !grid_ok);
+         ("metrics", Report.of_obs_metrics (Snf_obs.Metrics.snapshot ())) ]);
+  Printf.printf "wrote BENCH_shard.json\n"
+
 (* Micro-benchmark: the networked SNF server under a client storm. One
    in-process [Snf_net] server (SNFF transport, session layer, domain
    worker pool) takes `clients` concurrent connections — every client
@@ -1451,6 +1637,7 @@ let () =
   if wants "micro-paillier" then run_micro_paillier ();
   if wants "micro-join" then run_micro_join ();
   if wants "micro-batch" then run_micro_batch ();
+  if wants "micro-shard" then run_micro_shard ();
   if wants "micro-server" then run_micro_server ();
   if wants "micro-attack" then run_micro_attack ();
   if wants "trace-demo" then run_trace_demo ();

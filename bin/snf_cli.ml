@@ -269,10 +269,82 @@ let query_cmd =
                  trace-replay adversary.")
   in
   let backend_arg =
-    (* mem | disk | socket:ADDR — the last dials a running `snf_cli
-       serve` instance, so validate the address shape at flag-parse time
-       (exit 2 on garbage, like any other bad flag value). *)
+    (* mem | disk | socket:ADDR | sharded:N[:KIND] — socket dials a
+       running `snf_cli serve` instance and sharded fans the store over N
+       inner backends, so validate the whole spec shape at flag-parse
+       time (exit 2 on garbage, like any other bad flag value). *)
     let backend_conv =
+      let sharded_of_spec rest =
+        (* N | N:mem | N:disk | N:socket:A1,A2,...  (exactly N addresses) *)
+        let count_s, kind_s =
+          match String.index_opt rest ':' with
+          | None -> (rest, "mem")
+          | Some i ->
+            (String.sub rest 0 i, String.sub rest (i + 1) (String.length rest - i - 1))
+        in
+        match int_of_string_opt count_s with
+        | None ->
+          Error
+            (`Msg
+              (Printf.sprintf
+                 "sharded: shard count must be a positive integer, got %S" count_s))
+        | Some n when n < 1 ->
+          Error
+            (`Msg (Printf.sprintf "sharded: shard count must be at least 1, got %d" n))
+        | Some n -> (
+          let local connect =
+            (* A fresh coordinator per binding, like every other kind: each
+               shard is its own private store, populated at Install. *)
+            Ok
+              (`Ext
+                { Snf_exec.System.ext_name = "sharded";
+                  ext_connect =
+                    (fun () ->
+                      Snf_exec.Backend_sharded.connect
+                        (Snf_exec.Backend_sharded.create ~shards:n ~connect ())) })
+          in
+          match kind_s with
+          | "mem" ->
+            local (fun _ ->
+                Snf_exec.Server_api.connect
+                  (module Snf_exec.Backend_mem)
+                  (Snf_exec.Backend_mem.empty ()))
+          | "disk" ->
+            local (fun _ ->
+                Snf_exec.Server_api.connect
+                  (module Snf_exec.Backend_disk)
+                  (Snf_exec.Backend_disk.create_temp ()))
+          | _ when String.length kind_s > 7 && String.sub kind_s 0 7 = "socket:" ->
+            let addrs =
+              String.split_on_char ','
+                (String.sub kind_s 7 (String.length kind_s - 7))
+            in
+            if List.length addrs <> n then
+              Error
+                (`Msg
+                  (Printf.sprintf
+                     "sharded:%d:socket needs exactly %d comma-separated \
+                      addresses (one server per shard), got %d"
+                     n n (List.length addrs)))
+            else (
+              match
+                List.find_map
+                  (fun a ->
+                    match Snf_net.Addr.parse a with
+                    | Error e -> Some e
+                    | Ok _ -> None)
+                  addrs
+              with
+              | Some e -> Error (`Msg ("sharded socket address: " ^ e))
+              | None -> Ok (`Ext (Snf_net.Client.sharded_backend addrs)))
+          | other ->
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "sharded inner kind must be mem, disk, or socket:A1,A2,... \
+                    — got %S"
+                   other)))
+      in
       let parse s =
         match s with
         | "mem" -> Ok `Mem
@@ -282,7 +354,11 @@ let query_cmd =
           (match Snf_net.Addr.parse addr with
            | Ok _ -> Ok (`Ext (Snf_net.Client.backend addr))
            | Error e -> Error (`Msg e))
-        | _ -> Error (`Msg "expected mem, disk, or socket:ADDR")
+        | _ when String.length s > 8 && String.sub s 0 8 = "sharded:" ->
+          sharded_of_spec (String.sub s 8 (String.length s - 8))
+        | "sharded" ->
+          Error (`Msg "sharded needs a shard count: sharded:N[:mem|disk|socket:...]")
+        | _ -> Error (`Msg "expected mem, disk, socket:ADDR, or sharded:N[:KIND]")
       in
       let print fmt k =
         Format.pp_print_string fmt (Snf_exec.System.backend_kind_name k)
@@ -290,14 +366,17 @@ let query_cmd =
       Arg.conv (parse, print)
     in
     Arg.(value & opt backend_conv `Mem
-         & info [ "backend" ] ~docv:"mem|disk|socket:ADDR"
+         & info [ "backend" ] ~docv:"mem|disk|socket:ADDR|sharded:N"
              ~doc:"Server backend: 'mem' (default) serves the store \
                    in-process; 'disk' pages it from a private temp \
                    directory, removed on exit; 'socket:unix:/path' or \
                    'socket:tcp:host:port' outsources to a running \
                    $(b,snf_cli serve) instance over the SNFF framed \
-                   transport. Answers and traces are identical in every \
-                   case.")
+                   transport; 'sharded:N' scatter-gathers the store over \
+                   N in-process shards ('sharded:N:disk' for file-backed \
+                   shards, 'sharded:N:socket:A1,...,AN' for one running \
+                   server per shard). Answers and traces are identical in \
+                   every case.")
   in
   (* Batch-file grammar, one query per line:
        sel1,sel2 : attr=val,attr2=lo..hi
@@ -560,16 +639,19 @@ let check_cmd =
          & opt
              (enum
                 [ ("mem", `Mem); ("disk", `Disk); ("rotate", `Rotate);
-                  ("socket", `Socket) ])
+                  ("socket", `Socket); ("sharded", `Sharded 3) ])
              `Mem
-         & info [ "backend" ] ~docv:"mem|disk|rotate|socket"
+         & info [ "backend" ] ~docv:"mem|disk|rotate|socket|sharded"
              ~doc:"Server backend for the soak: 'mem' (default) or 'disk' \
                    run every representation on that backend; 'rotate' \
                    additionally re-executes each query on a disk-backed \
                    twin of the SNF representation and fails on any \
                    mem/disk disagreement (answers, counters, wire bytes); \
                    'socket' does the same against a loopback networked \
-                   server over the SNFF framed transport.")
+                   server over the SNFF framed transport; 'sharded' \
+                   against a 3-shard scatter-gather coordinator, also \
+                   reconciling the per-shard wire counters against the \
+                   shard connections' own stats.")
   in
   let metrics_out_arg =
     Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"

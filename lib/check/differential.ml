@@ -153,12 +153,29 @@ let run_instance ?(queries = 25) ?(check_ledger = true) ?(check_horizontal = tru
      backend must be invisible above the message protocol. [`Socket]
      runs the same twin discipline over a loopback [Snf_net] server
      instead, so the whole frame/session/worker-pool path is proven
-     observationally identical to in-process execution. *)
+     observationally identical to in-process execution. [`Sharded n]
+     applies it to a coordinator scatter-gathering over n in-process
+     shards — plus a reconciliation: the summed per-shard
+     [exec.wire.shard<i>.*] counter movement of each query must equal
+     the summed per-connection stats deltas of the inner shard
+     connections, bit-identically. *)
   let twin_server = ref None in
+  let sharded_twin = ref None in
   let twin =
     match backend with
     | `Rotate ->
       Some (System.with_backend (List.assoc "snf" owners) `Disk, "snf-disk", "backend")
+    | `Sharded shards ->
+      let st =
+        Backend_sharded.create ~policy:Backend_sharded.Skew
+          ~connect:(fun _ ->
+            Server_api.connect (module Backend_mem) (Backend_mem.empty ()))
+          ~shards ()
+      in
+      sharded_twin := Some st;
+      Some
+        ( System.with_backend (List.assoc "snf" owners) (System.sharded st),
+          "snf-sharded", "sharded" )
     | `Socket ->
       let path = Filename.temp_file "snfdiff" ".sock" in
       Sys.remove path;
@@ -238,6 +255,9 @@ let run_instance ?(queries = 25) ?(check_ledger = true) ?(check_horizontal = tru
        | Some (towner, tlabel, tkind), Some (mem_bag, mem_trace, mem_deltas) ->
          incr executions;
          let tname = System.backend_kind_name (System.backend towner) in
+         let shard_before =
+           Option.map Backend_sharded.shard_stats !sharded_twin
+         in
          let before = Metrics.snapshot () in
          (match System.query_checked ~mode ~use_index ~use_tid_cache towner q with
           | Error (`Plan e) ->
@@ -277,7 +297,46 @@ let run_instance ?(queries = 25) ?(check_ledger = true) ?(check_horizontal = tru
                    mem_trace.Executor.wire_requests mem_trace.Executor.wire_bytes_up
                    mem_trace.Executor.wire_bytes_down tname
                    trace.Executor.wire_requests trace.Executor.wire_bytes_up
-                   trace.Executor.wire_bytes_down))
+                   trace.Executor.wire_bytes_down);
+            (* Sharded reconciliation: the per-shard counter movement of
+               this query must equal the inner connections' own stats
+               deltas, summed — the coordinator accounts every inner
+               round trip exactly once, deterministically under any
+               domain count. *)
+            (match (!sharded_twin, shard_before) with
+             | Some st, Some sb ->
+               let sa = Backend_sharded.shard_stats st in
+               let sum f = Array.fold_left (fun a s -> a + f s) 0 in
+               let conn_sums =
+                 ( sum (fun (s : Server_api.wire_stats) -> s.requests) sa
+                   - sum (fun (s : Server_api.wire_stats) -> s.requests) sb,
+                   sum (fun (s : Server_api.wire_stats) -> s.bytes_up) sa
+                   - sum (fun (s : Server_api.wire_stats) -> s.bytes_up) sb,
+                   sum (fun (s : Server_api.wire_stats) -> s.bytes_down) sa
+                   - sum (fun (s : Server_api.wire_stats) -> s.bytes_down) sb )
+               in
+               let fam = Metrics.counters_with_prefix "exec.wire.shard" deltas in
+               let suffix_sum sfx =
+                 List.fold_left
+                   (fun a (n, d) ->
+                     let ls = String.length sfx and ln = String.length n in
+                     if ln >= ls && String.sub n (ln - ls) ls = sfx then a + d
+                     else a)
+                   0 fam
+               in
+               let ctr_sums =
+                 ( suffix_sum ".requests",
+                   suffix_sum ".bytes_up",
+                   suffix_sum ".bytes_down" )
+               in
+               if conn_sums <> ctr_sums then
+                 let c1, c2, c3 = conn_sums and m1, m2, m3 = ctr_sums in
+                 fail ~query:q ~rep:tlabel ~mode:mstr ~kind:tkind
+                   (Printf.sprintf
+                      "shard accounting split: conns moved %d req %d/%d B, \
+                       exec.wire.shard* moved %d req %d/%d B"
+                      c1 c2 c3 m1 m2 m3)
+             | _ -> ()))
        | _ -> ());
       match bags with
       | [] -> ()

@@ -58,7 +58,7 @@ val run_instance :
   ?check_horizontal:bool ->
   ?check_group_sum:bool ->
   ?tid_cache:[ `Rotate | `On | `Off ] ->
-  ?backend:[ `Mem | `Disk | `Rotate | `Socket ] ->
+  ?backend:[ `Mem | `Disk | `Rotate | `Socket | `Sharded of int ] ->
   ?batch:[ `Rotate | `Off | `Size of int ] ->
   Gen.instance ->
   outcome
@@ -83,7 +83,13 @@ val run_instance :
     answer bag, the five [exec.query.*] counter deltas, and the wire
     triple (requests, bytes up, bytes down — framing is not counted, so
     parity is exact); disagreements are tagged ["socket"]. The server is
-    stopped and its socket path removed before returning.
+    stopped and its socket path removed before returning. [`Sharded n]
+    applies the same twin discipline to a [Backend_sharded] coordinator
+    scatter-gathering over [n] in-process shards (skew-aware placement):
+    bag, counter and outer-wire parity as above, plus a per-query
+    reconciliation that the summed [exec.wire.shard<i>.*] counter
+    movement equals the inner shard connections' own stats deltas,
+    bit-identically — disagreements are tagged ["sharded"].
 
     [batch] (default [`Rotate]) re-runs the whole workload through
     [System.query_batch] on every representation, sliced into batches of
@@ -97,7 +103,7 @@ val run_instance :
 val run_spec :
   ?queries:int ->
   ?tid_cache:[ `Rotate | `On | `Off ] ->
-  ?backend:[ `Mem | `Disk | `Rotate | `Socket ] ->
+  ?backend:[ `Mem | `Disk | `Rotate | `Socket | `Sharded of int ] ->
   ?batch:[ `Rotate | `Off | `Size of int ] ->
   Gen.spec ->
   outcome
@@ -121,7 +127,7 @@ val soak :
   ?queries_per_instance:int ->
   ?with_faults:bool ->
   ?tid_cache:[ `Rotate | `On | `Off ] ->
-  ?backend:[ `Mem | `Disk | `Rotate | `Socket ] ->
+  ?backend:[ `Mem | `Disk | `Rotate | `Socket | `Sharded of int ] ->
   ?batch:[ `Rotate | `Off | `Size of int ] ->
   seed:int ->
   queries:int ->

@@ -270,12 +270,13 @@ let campaign ?(seed = 1) (inst : Gen.instance) =
    [Unix_error]/[End_of_file]), the server reaps the dead session and
    keeps serving, and a reconnect-and-retry yields the oracle bag. *)
 
-type conn_fault = Drop_mid_request | Drop_mid_query | Drop_mid_batch
+type conn_fault = Drop_mid_request | Drop_mid_query | Drop_mid_batch | Drop_shard
 
 let conn_fault_name = function
   | Drop_mid_request -> "drop-mid-request"
   | Drop_mid_query -> "drop-mid-query"
   | Drop_mid_batch -> "drop-mid-batch"
+  | Drop_shard -> "drop-shard"
 
 type conn_outcome = {
   conn_kind : conn_fault;
@@ -398,4 +399,98 @@ let conn_campaign ~addr (inst : Gen.instance) =
                   owner.System.plan.Snf_core.Normalizer.representation [ q; q ]
               with
               | _ -> (false, "batch succeeded over a severed wire")
-              | exception e -> classify e)) ]
+              | exception e -> classify e));
+    (* A sharded coordinator loses one shard's wire mid-query: the
+       failure must surface as the same typed [Disconnected], {e both}
+       shard servers must stay up (the kill severs a client wire, not a
+       server), and rebuilding the coordinator — fresh wires, fresh
+       install — must recover the oracle bag. Runs against its own pair
+       of throwaway servers so the per-shard sub-images never touch the
+       campaign's shared store at [addr]. *)
+    (let fresh_server tag =
+       let path = Filename.temp_file ("snf-shardfault-" ^ tag) ".sock" in
+       Sys.remove path;
+       Snf_net.Server.start_mem ~addr:("unix:" ^ path) ()
+     in
+     let fail_outcome detail =
+       { conn_kind = Drop_shard; typed = false; server_alive = false;
+         recovered = false; conn_detail = detail }
+     in
+     match fresh_server "a" with
+     | Error e -> fail_outcome ("cannot start shard server: " ^ e)
+     | Ok srv0 ->
+       Fun.protect ~finally:(fun () -> Snf_net.Server.stop srv0) @@ fun () ->
+       (match fresh_server "b" with
+       | Error e -> fail_outcome ("cannot start shard server: " ^ e)
+       | Ok srv1 ->
+         Fun.protect ~finally:(fun () -> Snf_net.Server.stop srv1) @@ fun () ->
+         let addrs =
+           [| Snf_net.Server.address srv0; Snf_net.Server.address srv1 |]
+         in
+         (* Shard 1's wire goes through an exposed handle so it can be
+            severed; the connector re-dials on every (re)connect. *)
+         let doomed = ref None in
+         let connect i =
+           if i = 1 then (
+             match Snf_net.Client.open_handle addrs.(1) with
+             | Error e -> failwith ("shard 1 dial failed: " ^ e)
+             | Ok h ->
+               doomed := Some h;
+               Snf_net.Client.conn_of_handle h)
+           else
+             match Snf_net.Client.connect addrs.(0) with
+             | Ok conn -> conn
+             | Error e -> failwith ("shard 0 dial failed: " ^ e)
+         in
+         let st = Backend_sharded.create ~shards:2 ~connect () in
+         let outer = Backend_sharded.connect st in
+         Server_api.install outer image;
+         let typed, detail =
+           match run_query outer with
+           | Error e -> (false, "warm-up query failed: " ^ e)
+           | Ok _ -> (
+             (match !doomed with Some h -> Snf_net.Client.kill h | None -> ());
+             match run_query outer with
+             | _ -> (false, "query succeeded with a dead shard")
+             | exception e -> classify e)
+         in
+         let alive a =
+           match Snf_net.Client.connect a with
+           | Error _ -> false
+           | Ok conn ->
+             Fun.protect
+               ~finally:(fun () -> Server_api.close conn)
+               (fun () ->
+                 match Server_api.describe conn with
+                 | _ -> true
+                 | exception _ -> false)
+         in
+         let survivor = alive addrs.(0) and lost = alive addrs.(1) in
+         Server_api.close outer;
+         let recovered, rdetail =
+           match Backend_sharded.connect st with
+           | outer2 ->
+             Fun.protect
+               ~finally:(fun () -> Server_api.close outer2)
+               (fun () ->
+                 Server_api.install outer2 image;
+                 match run_query outer2 with
+                 | Ok (ans, _) when Oracle.bag ans = oracle ->
+                   (true, "rebuilt coordinator matched oracle")
+                 | Ok (ans, _) ->
+                   (false,
+                    Printf.sprintf
+                      "rebuilt coordinator returned %d rows off the oracle bag"
+                      (Relation.cardinality ans))
+                 | Error e -> (false, "rebuilt coordinator failed to plan: " ^ e))
+           | exception e -> (false, "reconnect failed: " ^ Printexc.to_string e)
+         in
+         { conn_kind = Drop_shard;
+           typed;
+           server_alive = survivor && lost;
+           recovered;
+           conn_detail =
+             Printf.sprintf "%s; shard servers %s/%s; %s" detail
+               (if survivor then "alive" else "DOWN")
+               (if lost then "alive" else "DOWN")
+               rdetail })) ]

@@ -86,6 +86,9 @@ type conn_fault =
   | Drop_mid_request  (** wire dies after half a request frame *)
   | Drop_mid_query    (** wire dies between a query's round trips *)
   | Drop_mid_batch    (** wire dies under a batch *)
+  | Drop_shard
+      (** one shard of a two-shard [Backend_sharded] coordinator loses
+          its wire mid-query; runs on its own pair of throwaway servers *)
 
 val conn_fault_name : conn_fault -> string
 

@@ -1,5 +1,6 @@
 module Server_api = Snf_exec.Server_api
 module System = Snf_exec.System
+module Backend_sharded = Snf_exec.Backend_sharded
 
 exception Disconnected of string
 
@@ -95,3 +96,24 @@ let backend addr_s =
         match connect addr_s with
         | Ok conn -> conn
         | Error e -> raise (Disconnected e)) }
+
+(* Multi-connection fan-out: one coordinator over N socket servers, one
+   address per shard. Each shard leg is its own SNFF stream, so the
+   coordinator's Parallel fan-out is genuinely concurrent on the wire —
+   per-handle serialization never queues one shard behind another. *)
+let sharded ?policy addrs =
+  let addrs = Array.of_list addrs in
+  if Array.length addrs = 0 then
+    invalid_arg "Snf_net.Client.sharded: need at least one shard address";
+  Backend_sharded.create ?policy ~shards:(Array.length addrs)
+    ~connect:(fun i ->
+      match connect addrs.(i) with
+      | Ok conn -> conn
+      | Error e ->
+        raise (Disconnected (Printf.sprintf "shard %d (%s): %s" i addrs.(i) e)))
+    ()
+
+let sharded_backend ?policy addrs =
+  let st = sharded ?policy addrs in
+  { System.ext_name = "sharded-socket";
+    ext_connect = (fun () -> Backend_sharded.connect st) }

@@ -46,3 +46,21 @@ val backend : string -> Snf_exec.System.ext_backend
     [System.outsource ~backend] / [System.with_backend] to run the whole
     stack against a remote server. Connection failures at bind time
     surface as {!Disconnected}. *)
+
+val sharded :
+  ?policy:Snf_exec.Backend_sharded.policy ->
+  string list ->
+  Snf_exec.Backend_sharded.t
+(** A sharded coordinator over socket shards, one address per shard:
+    shard [i] dials the [i]-th address on its own SNFF stream, so the
+    coordinator's fan-out runs genuinely concurrently on the wire. Dial
+    failures surface as {!Disconnected} naming the shard. @raise
+    Invalid_argument on an empty address list. *)
+
+val sharded_backend :
+  ?policy:Snf_exec.Backend_sharded.policy ->
+  string list ->
+  Snf_exec.System.ext_backend
+(** {!sharded} wrapped as a [`Ext] backend kind (name
+    ["sharded-socket"]) for [System.outsource ~backend] /
+    [System.with_backend]. *)

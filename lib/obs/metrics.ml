@@ -165,6 +165,13 @@ let counter_diff before after =
       if v <> v0 then Some (name, v - v0) else None)
     after.counters
 
+let counters_with_prefix prefix counters =
+  let n = String.length prefix in
+  List.filter
+    (fun (name, _) ->
+      String.length name >= n && String.sub name 0 n = prefix)
+    counters
+
 let reset () =
   (* Discard, don't merge: zero the calling domain's shard and the global
      accumulator. Worker domains never outlive a [Parallel] region, so no

@@ -57,6 +57,12 @@ val snapshot : unit -> snapshot
 val counter_diff : snapshot -> snapshot -> (string * int) list
 (** [counter_diff before after]: counters that moved, with their deltas. *)
 
+val counters_with_prefix : string -> (string * int) list -> (string * int) list
+(** Restrict a counter list (a snapshot's [counters] or a
+    {!counter_diff}) to names starting with [prefix] — how per-shard
+    families like [exec.wire.shard] are collected for imbalance and
+    reconciliation checks. *)
+
 val flush : unit -> unit
 (** Merge the calling domain's shard into the global accumulator.
     [Snf_exec.Parallel] calls this as each chunk finishes; only code

@@ -1,0 +1,542 @@
+(* Sharded scatter-gather coordinator: see backend_sharded.mli for the
+   routing/merge contract. The invariant everything hangs on: every
+   merged response is byte-identical to what a single backend holding
+   the whole store would return, so the layers above the connection
+   cannot tell N shards from one server. *)
+
+module Metrics = Snf_obs.Metrics
+module Scheme = Snf_crypto.Scheme
+module Paillier = Snf_crypto.Paillier
+module Nat = Snf_bignum.Nat
+
+type policy = Hash | Skew
+
+let policy_name = function Hash -> "hash" | Skew -> "skew"
+
+let policy_of_string = function
+  | "hash" -> Some Hash
+  | "skew" -> Some Skew
+  | _ -> None
+
+(* --- placement --------------------------------------------------------------
+   Fingerprints are server-visible by construction: the canonical key of
+   the first canonical column (the same bytes the eq-index keys on), or
+   the NDET tid ciphertext when nothing reveals equality — in which case
+   placement is effectively uniform-random but still deterministic. *)
+
+let fingerprints (l : Enc_relation.enc_leaf) =
+  let canonical =
+    List.find_opt
+      (fun (c : Enc_relation.enc_column) ->
+        match c.Enc_relation.scheme with
+        | Scheme.Plain | Scheme.Det | Scheme.Ope -> true
+        | Scheme.Ndet | Scheme.Phe | Scheme.Ore -> false)
+      l.Enc_relation.columns
+  in
+  match canonical with
+  | None -> Array.copy l.Enc_relation.tids
+  | Some col ->
+    Array.mapi
+      (fun i cell ->
+        match Enc_relation.canonical_key col.Enc_relation.scheme cell with
+        | Some k -> k
+        | None -> l.Enc_relation.tids.(i))
+      col.Enc_relation.cells
+
+let hash_owner ~shards fp =
+  let d = Digest.string fp in
+  let v = ref 0 in
+  for i = 0 to 6 do
+    v := (!v lsl 8) lor Char.code d.[i]
+  done;
+  !v mod shards
+
+(* LPT greedy on value groups: sort by (count desc, key asc), assign each
+   group to the least-loaded shard (lowest index on ties). Deterministic,
+   and max load <= ceil(total/shards) + largest group. *)
+let skew_owners ~shards fps =
+  let counts = Hashtbl.create 64 in
+  Array.iter
+    (fun fp ->
+      Hashtbl.replace counts fp
+        (1 + Option.value (Hashtbl.find_opt counts fp) ~default:0))
+    fps;
+  let groups = Hashtbl.fold (fun fp n acc -> (fp, n) :: acc) counts [] in
+  let groups =
+    List.sort
+      (fun (f1, n1) (f2, n2) ->
+        if n1 <> n2 then compare n2 n1 else String.compare f1 f2)
+      groups
+  in
+  let loads = Array.make shards 0 in
+  let assign = Hashtbl.create 64 in
+  List.iter
+    (fun (fp, n) ->
+      let best = ref 0 in
+      for s = 1 to shards - 1 do
+        if loads.(s) < loads.(!best) then best := s
+      done;
+      loads.(!best) <- loads.(!best) + n;
+      Hashtbl.replace assign fp !best)
+    groups;
+  Array.map (Hashtbl.find assign) fps
+
+let assignment policy ~shards (enc : Enc_relation.t) =
+  List.map
+    (fun (l : Enc_relation.enc_leaf) ->
+      let fps = fingerprints l in
+      let owner =
+        match policy with
+        | Hash -> Array.map (hash_owner ~shards) fps
+        | Skew -> skew_owners ~shards fps
+      in
+      (l.Enc_relation.label, owner))
+    enc.Enc_relation.leaves
+
+let shard_loads ~shards assign =
+  let loads = Array.make shards 0 in
+  List.iter
+    (fun (_, owner) -> Array.iter (fun s -> loads.(s) <- loads.(s) + 1) owner)
+    assign;
+  loads
+
+(* --- the coordinator -------------------------------------------------------- *)
+
+type leaf_meta = {
+  lm_rows : int;
+  lm_owner : int array;  (* global slot -> owning shard *)
+  lm_pos : int array;  (* global slot -> local slot on its owner *)
+  lm_locals : int array array;  (* shard -> ascending global slots *)
+  lm_schemes : (string * Scheme.kind) list;  (* column order preserved *)
+}
+
+type meta = {
+  m_relation : string;
+  m_leaves : (string * leaf_meta) list;  (* stored leaf order *)
+  m_pk : Paillier.public_key;
+}
+
+type shard_ctrs = {
+  sc_requests : Metrics.counter;
+  sc_bytes_up : Metrics.counter;
+  sc_bytes_down : Metrics.counter;
+}
+
+type t = {
+  t_policy : policy;
+  shards : int;
+  connector : int -> Server_api.conn;
+  ctrs : shard_ctrs array;
+  lock : Mutex.t;
+  mutable conns : Server_api.conn array option;
+  mutable meta : meta option;
+}
+
+let create ?(policy = Hash) ~connect ~shards () =
+  if shards < 1 then
+    invalid_arg "Backend_sharded.create: shard count must be positive";
+  { t_policy = policy;
+    shards;
+    connector = connect;
+    ctrs =
+      Array.init shards (fun i ->
+          { sc_requests =
+              Metrics.counter (Printf.sprintf "exec.wire.shard%d.requests" i);
+            sc_bytes_up =
+              Metrics.counter (Printf.sprintf "exec.wire.shard%d.bytes_up" i);
+            sc_bytes_down =
+              Metrics.counter (Printf.sprintf "exec.wire.shard%d.bytes_down" i) });
+    lock = Mutex.create ();
+    conns = None;
+    meta = None }
+
+let shard_count t = t.shards
+let policy t = t.t_policy
+
+let ensure_conns t =
+  Mutex.protect t.lock (fun () ->
+      match t.conns with
+      | Some c -> c
+      | None ->
+        let c = Array.init t.shards t.connector in
+        t.conns <- Some c;
+        c)
+
+let close_inner t =
+  Mutex.protect t.lock (fun () ->
+      match t.conns with
+      | None -> ()
+      | Some conns ->
+        t.conns <- None;
+        Array.iter
+          (fun c -> try Server_api.close c with _ -> ())
+          conns)
+
+let shard_stats t =
+  match t.conns with
+  | None ->
+    Array.make t.shards { Server_api.requests = 0; bytes_up = 0; bytes_down = 0 }
+  | Some conns -> Array.map Server_api.stats conns
+
+let loads t =
+  let a = Array.make t.shards 0 in
+  (match t.meta with
+  | None -> ()
+  | Some m ->
+    List.iter
+      (fun (_, lm) ->
+        Array.iteri (fun s ls -> a.(s) <- a.(s) + Array.length ls) lm.lm_locals)
+      m.m_leaves);
+  a
+
+(* One inner round trip. Raw exchange: the outer [Server_api.call]
+   already counts the boundary traffic; here we account the fan-out in
+   the per-shard counters (domain-sharded, merged at Parallel joins) and
+   re-raise server-reported failures typed, exactly like [call] does —
+   the outer serve wrapper re-encodes them into the same bytes a single
+   backend would have produced. *)
+let shard_call t conns i req =
+  let up = Wire.request_to_string req in
+  let down = Server_api.exchange_raw conns.(i) up in
+  let c = t.ctrs.(i) in
+  Metrics.incr c.sc_requests;
+  Metrics.add c.sc_bytes_up (String.length up);
+  Metrics.add c.sc_bytes_down (String.length down);
+  match Wire.response_of_string down with
+  | Wire.R_corrupt c -> raise (Integrity.Corruption c)
+  | Wire.R_error { not_found = true; _ } -> raise Not_found
+  | Wire.R_error { not_found = false; msg } -> invalid_arg msg
+  | Wire.R_busy -> raise Server_api.Busy
+  | resp -> resp
+
+let protocol_error what =
+  invalid_arg ("Backend_sharded: unexpected shard response to " ^ what)
+
+(* Run [f] once per shard, one Parallel lane each — domains for
+   in-process shards, genuine concurrency for socket shards. Every leg
+   runs to completion even if another raises (a dead shard must not
+   strand the survivors' work or their counter flushes); the first
+   failure by shard index is re-raised after the join. *)
+let fan_out t f =
+  let res =
+    Parallel.tabulate ~domains:t.shards t.shards (fun i ->
+        match f i with r -> Ok r | exception e -> Error e)
+  in
+  Array.iter (function Error e -> raise e | Ok _ -> ()) res;
+  Array.map (function Ok r -> r | Error _ -> assert false) res
+
+let leaf_meta t leaf =
+  match t.meta with
+  | None -> invalid_arg "Backend_sharded: no store installed"
+  | Some m -> (
+    match List.assoc_opt leaf m.m_leaves with
+    | Some lm -> (m, lm)
+    | None -> raise Not_found)
+
+(* Slot translation for one shard: token ops forwarded verbatim, probe
+   result slots narrowed to the rows the shard owns, in local indexing. *)
+let translate lm i ops =
+  List.map
+    (function
+      | Wire.F_slots slots ->
+        Wire.F_slots
+          (List.filter_map
+             (fun g -> if lm.lm_owner.(g) = i then Some lm.lm_pos.(g) else None)
+             slots)
+      | op -> op)
+    ops
+
+(* Scatter per-shard local masks back into global slot positions; the
+   scanned-cell counts add up to exactly the single-backend figure
+   (every global cell is scanned once, on its owner). *)
+let merge_masks lm per_shard =
+  let mask = Array.make lm.lm_rows false in
+  let scanned = ref 0 in
+  Array.iteri
+    (fun s (m, sc) ->
+      scanned := !scanned + sc;
+      Array.iteri (fun j v -> if v then mask.(lm.lm_locals.(s).(j)) <- true) m)
+    per_shard;
+  (mask, !scanned)
+
+let sub_store (enc : Enc_relation.t) assign s =
+  let leaves =
+    List.map2
+      (fun (l : Enc_relation.enc_leaf) (_, owner) ->
+        let globals = ref [] in
+        for g = Array.length owner - 1 downto 0 do
+          if owner.(g) = s then globals := g :: !globals
+        done;
+        let globals = Array.of_list !globals in
+        { l with
+          Enc_relation.row_count = Array.length globals;
+          tids = Array.map (fun g -> l.Enc_relation.tids.(g)) globals;
+          columns =
+            List.map
+              (fun (c : Enc_relation.enc_column) ->
+                { c with
+                  Enc_relation.cells =
+                    Array.map (fun g -> c.Enc_relation.cells.(g)) globals })
+              l.Enc_relation.columns })
+      enc.Enc_relation.leaves assign
+  in
+  { enc with Enc_relation.leaves; index_cache = Hashtbl.create 8 }
+
+let install t conns image =
+  let enc = Wire.of_string image in
+  let assign = assignment t.t_policy ~shards:t.shards enc in
+  let metas =
+    List.map2
+      (fun (l : Enc_relation.enc_leaf) (_, owner) ->
+        let n = Array.length owner in
+        let counts = Array.make t.shards 0 in
+        Array.iter (fun s -> counts.(s) <- counts.(s) + 1) owner;
+        let locals = Array.map (fun c -> Array.make c 0) counts in
+        let fill = Array.make t.shards 0 in
+        let pos = Array.make n 0 in
+        for g = 0 to n - 1 do
+          let s = owner.(g) in
+          locals.(s).(fill.(s)) <- g;
+          pos.(g) <- fill.(s);
+          fill.(s) <- fill.(s) + 1
+        done;
+        ( l.Enc_relation.label,
+          { lm_rows = n;
+            lm_owner = owner;
+            lm_pos = pos;
+            lm_locals = locals;
+            lm_schemes =
+              List.map
+                (fun (c : Enc_relation.enc_column) ->
+                  (c.Enc_relation.attr, c.Enc_relation.scheme))
+                l.Enc_relation.columns } ))
+      enc.Enc_relation.leaves assign
+  in
+  t.meta <-
+    Some
+      { m_relation = enc.Enc_relation.relation_name;
+        m_leaves = metas;
+        m_pk = enc.Enc_relation.paillier_public };
+  Array.iteri
+    (fun i n ->
+      Metrics.set_gauge
+        (Metrics.gauge (Printf.sprintf "exec.shard%d.rows" i))
+        (float_of_int n))
+    (shard_loads ~shards:t.shards assign);
+  (* Sub-image building is per-shard work too: serialize and ship in the
+     same fan-out lanes that will later carry queries. *)
+  let _ =
+    fan_out t (fun i ->
+        match
+          shard_call t conns i (Wire.Install (Wire.to_string (sub_store enc assign i)))
+        with
+        | Wire.R_unit -> ()
+        | r -> ignore r; protocol_error "Install")
+  in
+  Wire.R_unit
+
+let dispatch t conns (req : Wire.request) : Wire.response =
+  match req with
+  | Wire.Install image -> install t conns image
+  | Wire.Describe -> (
+    match t.meta with
+    | None -> invalid_arg "Backend_sharded: no store installed"
+    | Some m ->
+      Wire.R_described
+        { relation_name = m.m_relation;
+          leaves = List.map (fun (lbl, lm) -> (lbl, lm.lm_rows)) m.m_leaves })
+  | Wire.Check_shape ->
+    let _ =
+      fan_out t (fun i ->
+          match shard_call t conns i Wire.Check_shape with
+          | Wire.R_unit -> ()
+          | _ -> protocol_error "Check_shape")
+    in
+    Wire.R_unit
+  | Wire.Index_probe { leaf; _ } ->
+    (* Probe every shard — the lazy index build must happen everywhere a
+       single backend would have built it, keeping accounting uniform —
+       then map local hits to global slots. Descending sort reproduces
+       the single backend's prepend-during-ascending-scan list order. *)
+    let _, lm = leaf_meta t leaf in
+    let rs =
+      fan_out t (fun i ->
+          match shard_call t conns i req with
+          | Wire.R_slots r -> r
+          | _ -> protocol_error "Index_probe")
+    in
+    if Array.exists Option.is_some rs then (
+      let all = ref [] in
+      Array.iteri
+        (fun s r ->
+          Option.iter
+            (List.iter (fun l -> all := lm.lm_locals.(s).(l) :: !all))
+            r)
+        rs;
+      Wire.R_slots (Some (List.sort (fun a b -> compare b a) !all)))
+    else Wire.R_slots None
+  | Wire.Filter { leaf; ops } ->
+    let _, lm = leaf_meta t leaf in
+    let rs =
+      fan_out t (fun i ->
+          match
+            shard_call t conns i (Wire.Filter { leaf; ops = translate lm i ops })
+          with
+          | Wire.R_mask { mask; scanned } -> (mask, scanned)
+          | _ -> protocol_error "Filter")
+    in
+    let mask, scanned = merge_masks lm rs in
+    Wire.R_mask { mask; scanned }
+  | Wire.Fetch_rows { leaf; attrs; slots } ->
+    let _, lm = leaf_meta t leaf in
+    let per_shard = Array.make t.shards [] in
+    List.iter
+      (fun g ->
+        let s = lm.lm_owner.(g) in
+        per_shard.(s) <- lm.lm_pos.(g) :: per_shard.(s))
+      slots;
+    let per_shard = Array.map List.rev per_shard in
+    let rs =
+      fan_out t (fun i ->
+          match
+            shard_call t conns i
+              (Wire.Fetch_rows { leaf; attrs; slots = per_shard.(i) })
+          with
+          | Wire.R_rows rows -> rows
+          | _ -> protocol_error "Fetch_rows")
+    in
+    let na = List.length attrs in
+    let out =
+      Array.init na (fun _ ->
+          Array.make (List.length slots) (Enc_relation.C_bytes ""))
+    in
+    let cursors = Array.make t.shards 0 in
+    List.iteri
+      (fun k g ->
+        let s = lm.lm_owner.(g) in
+        let j = cursors.(s) in
+        cursors.(s) <- j + 1;
+        for a = 0 to na - 1 do
+          out.(a).(k) <- rs.(s).(a).(j)
+        done)
+      slots;
+    Wire.R_rows out
+  | Wire.Fetch_tids { leaf } ->
+    let _, lm = leaf_meta t leaf in
+    let rs =
+      fan_out t (fun i ->
+          match shard_call t conns i req with
+          | Wire.R_tids tids -> tids
+          | _ -> protocol_error "Fetch_tids")
+    in
+    let out = Array.make lm.lm_rows "" in
+    Array.iteri
+      (fun s tids ->
+        Array.iteri (fun j tid -> out.(lm.lm_locals.(s).(j)) <- tid) tids)
+      rs;
+    Wire.R_tids out
+  | Wire.Oram_init _ | Wire.Oram_read _ ->
+    (* ORAM state is per-connection, not per-store: the sealed blocks
+       arrive in the request and never touch shard rows, so the session
+       lives wholesale on shard 0 and the response bytes are exactly a
+       single backend's. *)
+    shard_call t conns 0 req
+  | Wire.Phe_sum { leaf; _ } ->
+    let m, lm = leaf_meta t leaf in
+    let rs =
+      fan_out t (fun i ->
+          match shard_call t conns i req with
+          | Wire.R_nat n -> n
+          | _ -> protocol_error "Phe_sum")
+    in
+    (* Empty shards answer the additive identity as Nat.zero (the fold
+       over no cells), which is NOT the multiplicative identity of the
+       ciphertext group — combine only the shards that own rows. *)
+    let acc = ref None in
+    Array.iteri
+      (fun s n ->
+        if Array.length lm.lm_locals.(s) > 0 then
+          acc := (match !acc with None -> Some n | Some a -> Some (Paillier.add m.m_pk a n)))
+      rs;
+    Wire.R_nat (Option.value !acc ~default:Nat.zero)
+  | Wire.Group_sum { leaf; group_by; _ } ->
+    let m, lm = leaf_meta t leaf in
+    let scheme =
+      match List.assoc_opt group_by lm.lm_schemes with
+      | Some s -> s
+      | None -> raise Not_found
+    in
+    let rs =
+      fan_out t (fun i ->
+          match shard_call t conns i req with
+          | Wire.R_groups g -> g
+          | _ -> protocol_error "Group_sum")
+    in
+    (* Canonical schemes make every cell of a group byte-identical, so
+       shards agree on representatives; merging on the canonical key and
+       sorting ascending reproduces the single backend's output order. *)
+    let tbl = Hashtbl.create 32 in
+    Array.iter
+      (List.iter (fun (rep, nat) ->
+           let key =
+             match Enc_relation.canonical_key scheme rep with
+             | Some k -> k
+             | None ->
+               invalid_arg "Backend_sharded: non-canonical group representative"
+           in
+           match Hashtbl.find_opt tbl key with
+           | Some (r, acc) -> Hashtbl.replace tbl key (r, Paillier.add m.m_pk acc nat)
+           | None -> Hashtbl.add tbl key (rep, nat)))
+      rs;
+    let keys =
+      Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort String.compare
+    in
+    Wire.R_groups (List.map (fun k -> Hashtbl.find tbl k) keys)
+  | Wire.Q_batch { queries } ->
+    let metas =
+      List.map
+        (List.map (fun (leaf, ops) -> (leaf, snd (leaf_meta t leaf), ops)))
+        queries
+    in
+    let rs =
+      fan_out t (fun i ->
+          let qs_i =
+            List.map
+              (List.map (fun (leaf, lm, ops) -> (leaf, translate lm i ops)))
+              metas
+          in
+          match shard_call t conns i (Wire.Q_batch { queries = qs_i }) with
+          | Wire.R_batch { results } ->
+            Array.of_list (List.map Array.of_list results)
+          | _ -> protocol_error "Q_batch")
+    in
+    let results =
+      List.mapi
+        (fun qi entries ->
+          List.mapi
+            (fun ei (_, lm, _) ->
+              merge_masks lm (Array.map (fun per -> per.(qi).(ei)) rs))
+            entries)
+        metas
+    in
+    Wire.R_batch { results }
+
+(* The outer boundary: decode, route, re-encode — with the exact error
+   mapping of [Server_api.serve], so typed shard failures re-encode into
+   the same R_error/R_corrupt bytes a single backend would have sent. *)
+let handle t request_bytes =
+  let resp =
+    match dispatch t (ensure_conns t) (Wire.request_of_string request_bytes) with
+    | resp -> resp
+    | exception Integrity.Corruption c -> Wire.R_corrupt c
+    | exception Not_found ->
+      Wire.R_error { not_found = true; msg = "unknown leaf or attribute" }
+    | exception Invalid_argument msg -> Wire.R_error { not_found = false; msg }
+    | exception Server_api.Busy -> Wire.R_busy
+  in
+  Wire.response_to_string resp
+
+let connect t =
+  ignore (ensure_conns t);
+  Server_api.connect_handler ~name:"sharded" ~handle:(handle t)
+    ~close:(fun () -> close_inner t)

@@ -1,0 +1,104 @@
+(** Sharded scatter-gather execution: one logical store fanned across N
+    inner backends behind a single [Server_api.conn].
+
+    The coordinator partitions the store image row-wise at [Install]
+    time (every leaf exists on every shard, possibly empty), routes each
+    SNFM request to the owning shards, executes the per-shard legs {e in
+    parallel} over [Snf_exec.Parallel] domains — genuinely concurrently
+    when the inner connections are sockets — and merges the per-shard
+    answers back into the {e byte-identical} single-backend response:
+
+    {ul
+    {- [Filter] / [Q_batch]: token ops are forwarded verbatim and
+       [F_slots] lists translated to shard-local slots; the local match
+       masks scatter back into global positions and the scanned-cell
+       counts add up, so the merged [R_mask] is bit-for-bit what one
+       backend scanning the whole leaf would return.}
+    {- [Index_probe]: every shard probes (keeping the lazy index build
+       accounting uniform); local hit lists map to global slots and the
+       union is sorted descending — the exact order a single backend's
+       prepend-during-ascending-scan index produces.}
+    {- [Fetch_rows] / [Fetch_tids]: positional reassembly of the owning
+       shards' cells.}
+    {- [Phe_sum] / [Group_sum]: per-shard Paillier partials combine with
+       [Paillier.add] (modular multiplication is commutative and
+       associative, and ciphertext bytes are canonical), with group
+       lists merged on {!Enc_relation.canonical_key} in the same
+       ascending order the server emits.}
+    {- [Oram_init] / [Oram_read] forward verbatim to shard 0: ORAM
+       sessions are connection state, not store state.}}
+
+    Because the merged responses are byte-identical, everything above
+    the connection — executor, oblivious k-way join, caches, SNFT
+    recorder — runs unchanged, and the differential harness can demand
+    exact bag + counter + wire parity against a single backend.
+
+    {b Leakage.} Each shard sees a strict sub-profile of the
+    single-server leakage: the same token identities, but only its own
+    rows' membership in each match set, plus its local row count. The
+    coordinator (deployed as a router in the untrusted domain) sees
+    exactly what a single server would have seen — no new leakage is
+    minted; placement itself is computed only from server-visible
+    canonical ciphertext bytes ({!Enc_relation.canonical_key}).
+
+    {b Accounting.} Inner traffic crosses {!Server_api.exchange_raw},
+    so boundary counters ([exec.wire.*], SNFT) count the outer
+    connection exactly once; the coordinator accounts its fan-out in
+    per-shard [exec.wire.shard<i>.{requests,bytes_up,bytes_down}]
+    counters, flushed at [Parallel] join points — totals are
+    bit-identical for any [SNF_DOMAINS], and shard imbalance shows up
+    per query in [Ledger] reports. Per-shard row placement is published
+    in [exec.shard<i>.rows] gauges at install. *)
+
+type policy =
+  | Hash  (** placement by MD5 of the canonical key, modulo shard count *)
+  | Skew
+      (** skew-aware: value groups sorted by descending frequency, then
+          greedily assigned to the least-loaded shard (LPT). The planted
+          Zipf skew of the ACS workload is exactly what this absorbs:
+          max shard load is bounded by [avg + largest group]. *)
+
+val policy_name : policy -> string
+val policy_of_string : string -> policy option
+
+val assignment : policy -> shards:int -> Enc_relation.t -> (string * int array) list
+(** Per leaf (stored order), the owner shard of every global slot.
+    Deterministic: a pure function of the ciphertext image and the
+    policy. Rows are fingerprinted by the {!Enc_relation.canonical_key}
+    of the leaf's first canonical column (falling back to the NDET tid
+    ciphertext when no column reveals equality), so one value group
+    always lands on one shard. Exposed for tests and benches to measure
+    imbalance without building connections. *)
+
+val shard_loads : shards:int -> (string * int array) list -> int array
+(** Rows per shard under an {!assignment}. *)
+
+type t
+
+val create :
+  ?policy:policy -> connect:(int -> Server_api.conn) -> shards:int -> unit -> t
+(** A coordinator over [shards] inner backends; [connect i] dials shard
+    [i] (an in-process [Server_api.connect] or a socket
+    [Snf_net.Client] connection — any mix). Connections are opened
+    lazily on {!connect} and re-opened after a close, so a
+    reconnect-and-retry after a shard failure is just close + connect.
+    Default policy {!Hash}. @raise Invalid_argument if [shards < 1]. *)
+
+val shard_count : t -> int
+val policy : t -> policy
+
+val connect : t -> Server_api.conn
+(** The outer connection (backend name ["sharded"]). Closing it closes
+    the inner shard connections. Transport exceptions from an inner
+    connection (e.g. [Snf_net.Client.Disconnected]) pass through
+    outer calls untouched, after all surviving shards' legs of the
+    fan-out have completed. *)
+
+val shard_stats : t -> Server_api.wire_stats array
+(** Per-shard cumulative inner traffic (zeros when disconnected). The
+    summed deltas reconcile bit-identically with the per-shard
+    [exec.wire.shard<i>.*] counter movement. *)
+
+val loads : t -> int array
+(** Rows per shard of the currently installed store (zeros before any
+    install). *)

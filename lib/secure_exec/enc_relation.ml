@@ -578,7 +578,14 @@ let phe_group_sum t leaf ~group_by ~sum =
       | Some (rep, acc) -> Hashtbl.replace groups key (rep, Paillier.add pk acc addend)
       | None -> Hashtbl.add groups key (gcell, addend))
     gcol.cells;
-  Hashtbl.fold (fun _ (rep, acc) out -> (rep, acc) :: out) groups []
+  (* Canonical output order (ascending canonical key): a deterministic
+     function of ciphertexts the server already sees, so it reveals
+     nothing new — and it makes the response {e byte-stable}, which is
+     what lets a sharded coordinator merge per-shard group lists and
+     still answer bit-identically to a single backend. *)
+  Hashtbl.fold (fun key (rep, acc) out -> (key, (rep, acc)) :: out) groups []
+  |> List.sort (fun (k1, _) (k2, _) -> String.compare k1 k2)
+  |> List.map snd
 
 let cell_bytes = function
   | C_plain v -> Storage_model.plain_cell_bytes v

@@ -229,7 +229,17 @@ val phe_group_sum :
     anything: the result pairs one representative group ciphertext with
     one Paillier aggregate, both for the client to decrypt. Group count
     and group sizes are within the group column's permissible equality
-    leakage. @raise Invalid_argument on unsupported schemes. *)
+    leakage. Groups come back sorted by ascending canonical key — a
+    deterministic, byte-stable order computable from what the server
+    already sees, so sharded merges can reproduce it exactly.
+    @raise Invalid_argument on unsupported schemes. *)
+
+val canonical_key : Scheme.kind -> cell -> string option
+(** The canonical equality key of a cell, when the scheme makes
+    ciphertexts canonical per plaintext (PLAIN / DET / OPE); [None]
+    otherwise. Server-computable: this is exactly the equality relation
+    those schemes already leak — the eq-index, the group-sum output
+    order, and sharded row placement all key on it. *)
 
 val measured_bytes : t -> int
 (** Actual stored bytes of the simulation ciphertexts. *)

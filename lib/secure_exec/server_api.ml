@@ -361,6 +361,19 @@ let call conn ph req =
   | Wire.R_busy -> raise Busy
   | resp -> resp
 
+(* One raw round trip for connection *composers* (the sharded
+   coordinator): per-connection atomics only — none of the global or
+   per-phase [exec.wire.*] counters, no SNFT recording, no typed
+   re-raising. The composer is itself behind an outer [call], which is
+   where boundary traffic gets counted exactly once; inner fan-out
+   traffic is the composer's to account (e.g. [exec.wire.shard<i>.*]). *)
+let exchange_raw conn up =
+  let down = conn.handle up in
+  Atomic.incr conn.c_requests;
+  ignore (Atomic.fetch_and_add conn.c_bytes_up (String.length up));
+  ignore (Atomic.fetch_and_add conn.c_bytes_down (String.length down));
+  down
+
 let protocol_error what = invalid_arg ("Server_api: unexpected response to " ^ what)
 
 let describe conn =

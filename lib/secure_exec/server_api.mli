@@ -87,6 +87,17 @@ val stats : conn -> wire_stats
     [exec.wire.bytes_up] / [exec.wire.bytes_down] and per-phase
     [exec.wire.{admin,probe,filter,fetch,oram,phe}.*]. *)
 
+val exchange_raw : conn -> string -> string
+(** One raw serialized-request -> serialized-response round trip,
+    updating {e only} this connection's {!stats} — none of the global or
+    per-phase [exec.wire.*] counters, no SNFT recording, and no typed
+    re-raising of [R_error]/[R_corrupt]/[R_busy]. For connection
+    composers ([Backend_sharded]) that sit {e behind} an outer
+    connection: the outer [call] counts the boundary traffic exactly
+    once, and the composer accounts its inner fan-out traffic itself
+    (the per-shard [exec.wire.shard<i>.*] counters). Transport
+    exceptions from the underlying handler pass through untouched. *)
+
 (** {1 Typed stubs}
 
     One round trip each: serialize the request, hand the bytes to the

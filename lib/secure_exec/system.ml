@@ -16,6 +16,14 @@ let backend_kind_name = function
   | `Disk -> "disk"
   | `Ext e -> e.ext_name
 
+(* A sharded coordinator as a backend kind: binding ships the image
+   through the coordinator's Install, which partitions it across the
+   shard fleet. Rebinding after a release reconnects the inner shards
+   lazily, so a reconnect-and-retry after a shard failure is just
+   release + query. *)
+let sharded st =
+  `Ext { ext_name = "sharded"; ext_connect = (fun () -> Backend_sharded.connect st) }
+
 type binding = { for_enc : Enc_relation.t; conn : Server_api.conn }
 
 type server_binding = { sb_backend : backend_kind; mutable sb : binding option }

@@ -30,6 +30,13 @@ type backend_kind = [ `Mem | `Disk | `Ext of ext_backend ]
 
 val backend_kind_name : backend_kind -> string
 
+val sharded : Backend_sharded.t -> backend_kind
+(** A sharded coordinator as a backend kind (name ["sharded"]): binding
+    ships the image through the coordinator's Install, which partitions
+    it across the shard fleet; queries scatter-gather with byte-identical
+    outer responses. Rebinding after {!release} reconnects the inner
+    shards, so shard-failure recovery is release + retry. *)
+
 type server_binding
 (** The owner's (mutable) connection to its server backend. *)
 

@@ -277,6 +277,42 @@ let query_socket_no_server () =
   check_int "malformed socket address exits 2" 2 code;
   check_bool "rejection names the flag" true (contains err "backend")
 
+let query_sharded_backend () =
+  with_csv @@ fun csv ->
+  let query backend =
+    fst
+      (run
+         [ "query"; "--csv"; csv; "--enc"; "code=DET"; "--select"; "id";
+           "--where"; "code=c1"; "--backend"; backend ])
+  in
+  check_int "query --backend sharded:2 exits 0" 0 (query "sharded:2");
+  check_int "query --backend sharded:3:mem exits 0" 0 (query "sharded:3:mem");
+  check_int "query --backend sharded:2:disk exits 0" 0 (query "sharded:2:disk");
+  (* Malformed specs are CLI misuse: exit 2 with a message naming the
+     precise defect, never a crash. *)
+  let misuse backend want =
+    let code, err =
+      run ~capture_stderr:true
+        [ "query"; "--csv"; csv; "--select"; "id"; "--backend"; backend ]
+    in
+    check_int (backend ^ " exits 2") 2 code;
+    check_bool (backend ^ " names the problem") true (contains err want)
+  in
+  misuse "sharded" "shard count";
+  misuse "sharded:0" "at least 1";
+  misuse "sharded:-1" "at least 1";
+  misuse "sharded:x" "positive integer";
+  misuse "sharded:2:floppy" "inner kind";
+  misuse "sharded:2:socket:unix:/a.sock" "exactly 2";
+  misuse "sharded:1:socket:junk" "address"
+
+let check_sharded_backend () =
+  let code, _ =
+    run [ "check"; "--seed"; "9"; "--queries"; "10"; "--rows"; "8";
+          "--faults"; "false"; "--backend"; "sharded" ]
+  in
+  check_int "check --backend sharded exits 0" 0 code
+
 (* Spawn `snf_cli serve`, wait until it listens, run the body, then
    SIGTERM it and return its exit status. *)
 let with_served_cli f =
@@ -361,5 +397,9 @@ let suite =
       serve_misuse;
     Alcotest.test_case "query --backend socket without a server exits 2" `Quick
       query_socket_no_server;
+    Alcotest.test_case "query --backend sharded:N, exit 2 on malformed specs"
+      `Slow query_sharded_backend;
+    Alcotest.test_case "check --backend sharded exits 0" `Slow
+      check_sharded_backend;
     Alcotest.test_case "serve, query over the socket, SIGTERM drains to 0" `Slow
       serve_then_query_then_sigterm ]

@@ -344,7 +344,7 @@ let test_connection_fault_campaign () =
   with_mem_server "fault" @@ fun _srv addr ->
   let inst = Snf_check.Gen.instance { Snf_check.Gen.seed = 23; rows = 8; clusters = [ 2; 2 ]; singles = 4 } in
   let outcomes = Fault.conn_campaign ~addr inst in
-  check_int "all three scenarios ran" 3 (List.length outcomes);
+  check_int "all four scenarios ran" 4 (List.length outcomes);
   List.iter
     (fun (o : Fault.conn_outcome) ->
       if not (o.Fault.typed && o.Fault.server_alive && o.Fault.recovered) then

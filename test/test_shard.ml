@@ -1,0 +1,381 @@
+(* Sharded scatter-gather execution: placement properties of the two
+   assignment policies, and backend invisibility of the coordinator —
+   a sharded twin of one store must be indistinguishable from a single
+   backend through the trust boundary (same answer bags, same
+   exec.query.* accounting, byte-identical wire traffic), with the
+   per-shard counters reconciling exactly against the inner shard
+   connections' own stats. *)
+
+open Snf_relational
+open Snf_exec
+module Scheme = Snf_crypto.Scheme
+module Metrics = Snf_obs.Metrics
+
+let t name f = Alcotest.test_case name `Quick f
+
+let mem_connect _ = Server_api.connect (module Backend_mem) (Backend_mem.empty ())
+
+(* One dominant DET value group plus distinct singletons — the planted
+   skew shape the Skew policy is built to absorb. *)
+let skewed_relation ~tag ~dominant ~singles =
+  Relation.create
+    (Schema.of_attributes [ Attribute.text "grp"; Attribute.text "pay" ])
+    (List.init (dominant + singles) (fun i ->
+         let g =
+           if i < dominant then Printf.sprintf "dom_%s" tag
+           else Printf.sprintf "one_%s_%d" tag i
+         in
+         [| Value.Text g; Value.Text (Printf.sprintf "p%d" i) |]))
+
+let skewed_owner ?backend ~tag ~dominant ~singles () =
+  let r = skewed_relation ~tag ~dominant ~singles in
+  let policy =
+    Snf_core.Policy.create [ ("grp", Scheme.Det); ("pay", Scheme.Ndet) ]
+  in
+  let g = Snf_deps.Dep_graph.create [ "grp"; "pay" ] in
+  System.outsource ?backend ~name:("shard-" ^ tag) ~graph:g r policy
+
+let max_load ~shards assign =
+  Array.fold_left max 0 (Backend_sharded.shard_loads ~shards assign)
+
+(* --- placement properties -------------------------------------------------- *)
+
+let test_policy_names () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Backend_sharded.policy_name p ^ " round-trips") true
+        (Backend_sharded.policy_of_string (Backend_sharded.policy_name p) = Some p))
+    [ Backend_sharded.Hash; Backend_sharded.Skew ];
+  Alcotest.(check bool) "unknown policy rejected" true
+    (Backend_sharded.policy_of_string "round-robin" = None)
+
+(* Deterministic, total, and in range: a pure function of the image. *)
+let test_assignment_deterministic () =
+  let o = skewed_owner ~tag:"det" ~dominant:7 ~singles:6 () in
+  Fun.protect ~finally:(fun () -> System.release o) @@ fun () ->
+  List.iter
+    (fun policy ->
+      let a1 = Backend_sharded.assignment policy ~shards:3 o.System.enc in
+      let a2 = Backend_sharded.assignment policy ~shards:3 o.System.enc in
+      Alcotest.(check bool)
+        (Backend_sharded.policy_name policy ^ " assignment is deterministic")
+        true (a1 = a2);
+      List.iter
+        (fun (leaf, owners) ->
+          Array.iter
+            (fun s ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s owner in range" leaf)
+                true
+                (s >= 0 && s < 3))
+            owners)
+        a1;
+      Alcotest.(check int)
+        (Backend_sharded.policy_name policy ^ " loads cover every row")
+        (13 * List.length a1)
+        (Array.fold_left ( + ) 0 (Backend_sharded.shard_loads ~shards:3 a1)))
+    [ Backend_sharded.Hash; Backend_sharded.Skew ]
+
+(* The greedy (LPT) bound holds on any input: max shard load is at most
+   the even split plus the largest value group. *)
+let lpt_bound_prop =
+  let gen =
+    QCheck2.Gen.(
+      quad (int_range 4 12) (int_range 3 9) (int_range 2 4) (int_range 0 999))
+  in
+  Helpers.qtest ~count:20 "skew placement obeys the LPT bound" gen
+    (fun (dominant, singles, shards, salt) ->
+      let tag = Printf.sprintf "lpt%d_%d_%d_%d" dominant singles shards salt in
+      let o = skewed_owner ~tag ~dominant ~singles () in
+      Fun.protect ~finally:(fun () -> System.release o) @@ fun () ->
+      let assign =
+        Backend_sharded.assignment Backend_sharded.Skew ~shards o.System.enc
+      in
+      let total = dominant + singles in
+      let bound = ((total + shards - 1) / shards) + dominant in
+      max_load ~shards assign <= bound)
+
+(* On the planted shape — one dominant group plus unit groups — greedy
+   placement is optimal, so hash placement can never beat it: hash's
+   max load is at least max(dominant, ceil(total/shards)), which is
+   exactly where greedy lands. *)
+let skew_beats_hash_prop =
+  let gen =
+    QCheck2.Gen.(
+      quad (int_range 6 14) (int_range 4 10) (int_range 2 4) (int_range 0 999))
+  in
+  Helpers.qtest ~count:20 "skew max load <= hash max load on planted skew" gen
+    (fun (dominant, singles, shards, salt) ->
+      let tag = Printf.sprintf "sh%d_%d_%d_%d" dominant singles shards salt in
+      let o = skewed_owner ~tag ~dominant ~singles () in
+      Fun.protect ~finally:(fun () -> System.release o) @@ fun () ->
+      let enc = o.System.enc in
+      let skew =
+        max_load ~shards (Backend_sharded.assignment Backend_sharded.Skew ~shards enc)
+      in
+      let hash =
+        max_load ~shards (Backend_sharded.assignment Backend_sharded.Hash ~shards enc)
+      in
+      skew <= hash)
+
+(* And strictly beats it somewhere: among a deterministic family of
+   two-equal-group relations on two shards, hash placement collides the
+   two groups onto one shard for some member (placement is a pure
+   function of the ciphertext image, so this witness is stable), while
+   skew placement always splits them. *)
+let test_skew_strictly_beats_hash_somewhere () =
+  let witness = ref None in
+  for salt = 0 to 19 do
+    if !witness = None then begin
+      let tag = Printf.sprintf "split%d" salt in
+      let r =
+        Relation.create
+          (Schema.of_attributes [ Attribute.text "grp"; Attribute.text "pay" ])
+          (List.init 12 (fun i ->
+               [| Value.Text (if i < 6 then "a_" ^ tag else "b_" ^ tag);
+                  Value.Text (Printf.sprintf "p%d" i) |]))
+      in
+      let policy =
+        Snf_core.Policy.create [ ("grp", Scheme.Det); ("pay", Scheme.Ndet) ]
+      in
+      let g = Snf_deps.Dep_graph.create [ "grp"; "pay" ] in
+      let o = System.outsource ~name:("shard-" ^ tag) ~graph:g r policy in
+      Fun.protect ~finally:(fun () -> System.release o) @@ fun () ->
+      let enc = o.System.enc in
+      let skew =
+        max_load ~shards:2
+          (Backend_sharded.assignment Backend_sharded.Skew ~shards:2 enc)
+      in
+      let hash =
+        max_load ~shards:2
+          (Backend_sharded.assignment Backend_sharded.Hash ~shards:2 enc)
+      in
+      Alcotest.(check int) (tag ^ ": skew splits the two groups") 6 skew;
+      if skew < hash then witness := Some (tag, skew, hash)
+    end
+  done;
+  match !witness with
+  | Some _ -> ()
+  | None ->
+    Alcotest.fail
+      "hash never collided two equal groups across 20 deterministic relations"
+
+(* --- coordinator parity ---------------------------------------------------- *)
+
+(* Every scheme, several leaves — the same shape the backend suite pins. *)
+let mixed_owner () =
+  let r =
+    Relation.create
+      (Schema.of_attributes
+         [ Attribute.int "id"; Attribute.text "note"; Attribute.text "code";
+           Attribute.int "score"; Attribute.int "level"; Attribute.int "amount" ])
+      (List.init 12 (fun i ->
+           [| Value.Int i; Value.Text (Printf.sprintf "n%d" i);
+              Value.Text (Printf.sprintf "c%d" (i mod 3));
+              Value.Int (i * 7 mod 13); Value.Int (i mod 4); Value.Int (i * 10) |]))
+  in
+  let policy =
+    Snf_core.Policy.create
+      [ ("id", Scheme.Plain); ("note", Scheme.Ndet); ("code", Scheme.Det);
+        ("score", Scheme.Ope); ("level", Scheme.Ore); ("amount", Scheme.Phe) ]
+  in
+  let g = Snf_deps.Dep_graph.create (Snf_core.Policy.attrs policy) in
+  System.outsource ~name:"shard-parity" ~graph:g r policy
+
+let queries =
+  [ Query.point ~select:[ "note" ] [ ("code", Value.Text "c1") ];
+    Query.point ~select:[ "note"; "score" ] [ ("code", Value.Text "c0") ];
+    Query.point ~select:[ "id"; "note" ] [ ("code", Value.Text "c2") ];
+    Query.point ~select:[ "note" ] [ ("code", Value.Text "nowhere") ] ]
+
+let run_q ?mode ?use_index o q =
+  match System.query ?mode ?use_index o q with
+  | Ok (ans, tr) -> (Helpers.bag ans, tr)
+  | Error e -> Alcotest.fail e
+
+let shard_counter_sums deltas =
+  List.fold_left
+    (fun (r, u, d) (name, v) ->
+      let has suffix =
+        let n = String.length name and m = String.length suffix in
+        n >= m && String.sub name (n - m) m = suffix
+      in
+      if has ".requests" then (r + v, u, d)
+      else if has ".bytes_up" then (r, u + v, d)
+      else if has ".bytes_down" then (r, u, d + v)
+      else (r, u, d))
+    (0, 0, 0)
+    (Metrics.counters_with_prefix "exec.wire.shard" deltas)
+
+(* The tentpole's acceptance: mem and sharded twins of one store agree
+   on answers, counters and outer wire traffic for shards x domains,
+   and the coordinator's per-shard counters reconcile bit-identically
+   with the shard connections' own stats. *)
+let test_sharded_mem_parity () =
+  let saved = Parallel.domain_count () in
+  Fun.protect ~finally:(fun () -> Parallel.set_domain_count saved) @@ fun () ->
+  List.iter
+    (fun shards ->
+      List.iter
+        (fun domains ->
+          Parallel.set_domain_count domains;
+          let mem = mixed_owner () in
+          let st =
+            Backend_sharded.create ~policy:Backend_sharded.Skew
+              ~connect:mem_connect ~shards ()
+          in
+          let tw = System.with_backend mem (System.sharded st) in
+          Fun.protect
+            ~finally:(fun () -> System.release tw; System.release mem)
+          @@ fun () ->
+          let name fmt =
+            Printf.sprintf "%dx%d domains: %s" shards domains fmt
+          in
+          Alcotest.(check string) (name "twin is sharded-bound") "sharded"
+            (System.backend_kind_name (System.backend tw));
+          Alcotest.(check int) (name "coordinator spans the shards") shards
+            (Backend_sharded.shard_count st);
+          Alcotest.(check int) (name "every row placed")
+            (Array.fold_left ( + ) 0
+               (Backend_sharded.shard_loads ~shards
+                  (Backend_sharded.assignment (Backend_sharded.policy st)
+                     ~shards mem.System.enc))
+            * 1)
+            (Array.fold_left ( + ) 0 (Backend_sharded.loads st));
+          List.iter
+            (fun (mode, use_index, tag) ->
+              List.iteri
+                (fun i q ->
+                  let qname fmt = name (Printf.sprintf "%s q%d: %s" tag i fmt) in
+                  let stats_before = Backend_sharded.shard_stats st in
+                  let before = Metrics.snapshot () in
+                  let b1, t1 = run_q ~mode ~use_index tw q in
+                  let after = Metrics.snapshot () in
+                  let stats_after = Backend_sharded.shard_stats st in
+                  let b0, t0 = run_q ~mode ~use_index mem q in
+                  Alcotest.(check bool) (qname "same answer bag") true (b0 = b1);
+                  Alcotest.(check bool)
+                    (qname "matches the plaintext reference") true
+                    (b0 = Helpers.bag (System.reference mem q));
+                  List.iter
+                    (fun (what, a, b) -> Alcotest.(check int) (qname what) a b)
+                    [ ("scanned cells", t0.Executor.scanned_cells,
+                       t1.Executor.scanned_cells);
+                      ("index probes", t0.Executor.index_probes,
+                       t1.Executor.index_probes);
+                      ("comparisons", t0.Executor.comparisons,
+                       t1.Executor.comparisons);
+                      ("rows processed", t0.Executor.rows_processed,
+                       t1.Executor.rows_processed);
+                      ("result rows", t0.Executor.result_rows,
+                       t1.Executor.result_rows);
+                      ("wire requests", t0.Executor.wire_requests,
+                       t1.Executor.wire_requests);
+                      ("wire bytes up", t0.Executor.wire_bytes_up,
+                       t1.Executor.wire_bytes_up);
+                      ("wire bytes down", t0.Executor.wire_bytes_down,
+                       t1.Executor.wire_bytes_down) ];
+                  (* Inner fan-out accounting: summed per-shard counter
+                     movement = summed per-shard conn stats movement. *)
+                  let cr, cu, cd =
+                    shard_counter_sums (Metrics.counter_diff before after)
+                  in
+                  let sr, su, sd =
+                    Array.fold_left
+                      (fun (r, u, d) i ->
+                        let a = stats_after.(i) and b = stats_before.(i) in
+                        ( r + a.Server_api.requests - b.Server_api.requests,
+                          u + a.Server_api.bytes_up - b.Server_api.bytes_up,
+                          d + a.Server_api.bytes_down - b.Server_api.bytes_down ))
+                      (0, 0, 0)
+                      (Array.init shards Fun.id)
+                  in
+                  Alcotest.(check int) (qname "shard requests reconcile") sr cr;
+                  Alcotest.(check int) (qname "shard bytes up reconcile") su cu;
+                  Alcotest.(check int) (qname "shard bytes down reconcile") sd cd;
+                  Alcotest.(check bool) (qname "fan-out is never free") true
+                    (cr > 0))
+                queries)
+            [ (`Sort_merge, false, "sort-merge");
+              (`Sort_merge, true, "sort-merge+index");
+              (`Binning 4, false, "binning") ])
+        [ 1; 4 ])
+    [ 1; 2; 4 ]
+
+(* Homomorphic aggregation crosses the coordinator: partial Paillier
+   sums recombine to the single-backend ciphertext semantics, and
+   grouped sums come back in the same canonical order. *)
+let test_sharded_aggregation_parity () =
+  let r =
+    Relation.create
+      (Schema.of_attributes
+         [ Attribute.text "dept"; Attribute.int "salary"; Attribute.text "name" ])
+      [ [| Value.Text "eng"; Value.Int 100; Value.Text "a" |];
+        [| Value.Text "eng"; Value.Int 150; Value.Text "b" |];
+        [| Value.Text "hr"; Value.Int 90; Value.Text "c" |];
+        [| Value.Text "ops"; Value.Int 75; Value.Text "d" |] ]
+  in
+  let policy =
+    Snf_core.Policy.create
+      [ ("dept", Scheme.Det); ("salary", Scheme.Phe); ("name", Scheme.Ndet) ]
+  in
+  let g = Snf_deps.Dep_graph.create [ "dept"; "salary"; "name" ] in
+  let mem = System.outsource ~name:"shard-agg" ~graph:g r policy in
+  let st =
+    (* More shards than distinct groups, so some shards hold zero rows
+       of the summed leaf — the empty-partial path must stay exact. *)
+    Backend_sharded.create ~policy:Backend_sharded.Skew ~connect:mem_connect
+      ~shards:5 ()
+  in
+  let tw = System.with_backend mem (System.sharded st) in
+  Fun.protect ~finally:(fun () -> System.release tw; System.release mem)
+  @@ fun () ->
+  let leaf =
+    (List.find
+       (fun (l : Snf_core.Partition.leaf) -> Snf_core.Partition.mem_leaf l "salary")
+       mem.System.plan.Snf_core.Normalizer.representation)
+      .Snf_core.Partition.label
+  in
+  Alcotest.(check int) "sum agrees across the coordinator"
+    (System.sum mem ~leaf ~attr:"salary")
+    (System.sum tw ~leaf ~attr:"salary");
+  Alcotest.(check int) "sum is the plaintext total" 415
+    (System.sum tw ~leaf ~attr:"salary");
+  let gs o =
+    System.group_sum o ~leaf ~group_by:"dept" ~sum:"salary"
+    |> List.map (fun (v, s) -> (Value.to_string v, s))
+  in
+  Alcotest.(check (list (pair string int))) "group sums agree across the coordinator"
+    (gs mem) (gs tw);
+  Alcotest.(check (list (pair string int))) "group sums are correct"
+    [ ("eng", 250); ("hr", 90); ("ops", 75) ] (gs tw)
+
+(* The differential harness's sharded arm end to end: bag, counter,
+   wire and per-shard reconciliation checks all green on a generated
+   instance. *)
+let test_differential_sharded_twin () =
+  let spec = { Snf_check.Gen.seed = 17; rows = 12; clusters = [ 3 ]; singles = 3 } in
+  let outcome =
+    Snf_check.Differential.run_spec ~queries:6 ~backend:(`Sharded 2) spec
+  in
+  (match outcome.Snf_check.Differential.failures with
+   | [] -> ()
+   | fs ->
+     Alcotest.fail
+       (String.concat "; " (List.map Snf_check.Differential.failure_to_string fs)));
+  Alcotest.(check bool) "queries actually ran" true
+    (outcome.Snf_check.Differential.queries_run >= 6)
+
+let suite =
+  [ t "policy names round-trip" test_policy_names;
+    t "assignment deterministic, total, in range" test_assignment_deterministic;
+    lpt_bound_prop;
+    skew_beats_hash_prop;
+    t "skew strictly beats hash on a colliding family"
+      test_skew_strictly_beats_hash_somewhere;
+    t "mem/sharded parity: bags, counters, wire, shard accounting"
+      test_sharded_mem_parity;
+    t "mem/sharded parity: homomorphic aggregation"
+      test_sharded_aggregation_parity;
+    t "differential sharded twin green" test_differential_sharded_twin ]
