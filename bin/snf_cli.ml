@@ -548,6 +548,127 @@ let query_cmd =
     Term.(const run $ csv_arg $ enc_arg $ default_scheme_arg $ select_arg $ where_arg
           $ mode_arg $ trace_out_arg $ wire_trace_out_arg $ backend_arg $ batch_arg)
 
+(* --- explain ------------------------------------------------------------------------ *)
+
+let explain_cmd =
+  let module P = Snf_exec.Planner in
+  let module Q = Snf_exec.Query in
+  let select_arg =
+    Arg.(required & opt (some string) None & info [ "select" ] ~docv:"ATTRS"
+           ~doc:"Comma-separated projection attributes.")
+  in
+  let where_arg =
+    Arg.(value & opt string "" & info [ "where" ] ~docv:"PREDS"
+           ~doc:"Comma-separated predicates: attr=value (point) or \
+                 attr=lo..hi (inclusive range); values typed against the \
+                 schema.")
+  in
+  let planner_arg =
+    Arg.(value
+         & opt (enum [ ("greedy", `Greedy); ("cost", `Cost); ("optimal", `Optimal) ])
+             `Cost
+         & info [ "planner" ] ~docv:"greedy|cost|optimal"
+             ~doc:"Planning handle to explain: 'cost' (default) prices \
+                   candidate covers and join orders from server-visible \
+                   statistics, 'greedy' is the cover heuristic, 'optimal' \
+                   the legacy exhaustive search minimizing leaf count.")
+  in
+  let run csv enc default select where planner_kind =
+    let r = load_csv csv in
+    let policy = policy_of ~enc ~default r in
+    let schema = Relation.schema r in
+    let parse_value attr raw =
+      match (Schema.find_exn schema attr).Attribute.ty with
+      | Value.TInt -> Value.Int (int_of_string raw)
+      | Value.TFloat -> Value.Float (float_of_string raw)
+      | Value.TBool -> Value.Bool (bool_of_string raw)
+      | Value.TText -> Value.Text raw
+    in
+    let split_range raw =
+      (* attr=lo..hi; a '..' anywhere in the value means range *)
+      let n = String.length raw in
+      let rec find i =
+        if i + 2 > n then None
+        else if String.sub raw i 2 = ".." then
+          Some (String.sub raw 0 i, String.sub raw (i + 2) (n - i - 2))
+        else find (i + 1)
+      in
+      find 0
+    in
+    let preds =
+      String.split_on_char ',' where
+      |> List.filter (( <> ) "")
+      |> List.map (fun pair ->
+             match String.index_opt pair '=' with
+             | None ->
+               Printf.eprintf "snf_cli: bad predicate %S\n" pair;
+               exit 2
+             | Some i ->
+               let attr = String.sub pair 0 i in
+               let raw = String.sub pair (i + 1) (String.length pair - i - 1) in
+               (match split_range raw with
+                | Some (lo, hi) ->
+                  Q.Range (attr, parse_value attr lo, parse_value attr hi)
+                | None -> Q.Point (attr, parse_value attr raw)))
+    in
+    let select = String.split_on_char ',' select |> List.filter (( <> ) "") in
+    let q = { Q.select; where = preds } in
+    let owner = Snf_exec.System.outsource ~name:"cli" r policy in
+    Fun.protect ~finally:(fun () -> Snf_exec.System.release owner) @@ fun () ->
+    let planner =
+      match planner_kind with
+      | `Greedy -> P.greedy
+      | `Cost -> Snf_exec.System.cost_planner owner
+      | `Optimal ->
+        P.optimal (fun p -> float_of_int (List.length p.P.leaves))
+    in
+    match Snf_exec.System.query ~planner owner q with
+    | Error e ->
+      Printf.printf "explain failed: %s\n" e;
+      exit 1
+    | Ok (ans, trace) ->
+      let d = trace.Snf_exec.Executor.decision in
+      let pl = d.P.d_plan in
+      let pred_text = function
+        | Q.Point (a, v) -> Printf.sprintf "%s = %s" a (Value.to_string v)
+        | Q.Range (a, lo, hi) ->
+          Printf.sprintf "%s in [%s .. %s]" a (Value.to_string lo)
+            (Value.to_string hi)
+      in
+      let report =
+        { Explain.pr_query = Format.asprintf "%a" Q.pp q;
+          pr_selector = d.P.d_selector;
+          pr_cache = d.P.d_cache;
+          pr_leaves = pl.P.leaves;
+          pr_joins = pl.P.joins;
+          pr_pred_homes = List.map (fun (p, l) -> (pred_text p, l)) pl.P.pred_home;
+          pr_proj_homes = pl.P.proj_home;
+          pr_estimate = d.P.d_estimate;
+          pr_enumerated = d.P.d_enumerated;
+          pr_rejected =
+            List.map (fun c -> (c.P.cand_leaves, c.P.cand_cost)) d.P.d_rejected;
+          pr_notes = List.map P.note_to_string d.P.d_notes;
+          pr_actual =
+            [ ("result_rows", trace.Snf_exec.Executor.result_rows);
+              ("scanned_cells", trace.Snf_exec.Executor.scanned_cells);
+              ("comparisons", trace.Snf_exec.Executor.comparisons);
+              ("rows_processed", trace.Snf_exec.Executor.rows_processed);
+              ("wire_requests", trace.Snf_exec.Executor.wire_requests);
+              ("wire_bytes_down", trace.Snf_exec.Executor.wire_bytes_down) ] }
+      in
+      print_string (Explain.render_plan report);
+      Printf.printf "-- answer: %d row(s); measured estimate %.6f s\n"
+        (Relation.cardinality ans) trace.Snf_exec.Executor.estimated_seconds
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Outsource a CSV, plan one query through the chosen planner, \
+             execute it, and render the full planning decision: chosen \
+             cover and join order, modeled cost, rejected candidates, \
+             truncation notes, and estimated-vs-actual counters.")
+    Term.(const run $ csv_arg $ enc_arg $ default_scheme_arg $ select_arg $ where_arg
+          $ planner_arg)
+
 (* --- visualize ---------------------------------------------------------------------- *)
 
 let visualize_cmd =
@@ -675,7 +796,19 @@ let check_cmd =
                  backend — and write it here (binary if FILE ends in \
                  .snft, JSON otherwise).")
   in
-  let run seed queries rows faults tid_cache backend batch out metrics_out
+  let planner_arg =
+    Arg.(value
+         & opt (enum [ ("greedy", `Greedy); ("cost", `Cost) ]) `Greedy
+         & info [ "planner" ] ~docv:"greedy|cost"
+             ~doc:"Planning handle for the differential and batched \
+                   passes: 'greedy' (default) runs the cover heuristic \
+                   and additionally re-executes part of the workload \
+                   through the cost-based planner; 'cost' runs the whole \
+                   soak through per-owner cost-based handles priced from \
+                   server-visible statistics. Answers must be identical \
+                   either way.")
+  in
+  let run seed queries rows faults tid_cache backend batch planner out metrics_out
       wire_trace_out =
     ensure_writable "--out" out;
     ensure_writable "--metrics-out" metrics_out;
@@ -683,7 +816,7 @@ let check_cmd =
     let batch = match batch with None -> `Rotate | Some n -> `Size n in
     let soak () =
       Snf_check.Differential.soak ~rows ~with_faults:faults ~tid_cache ~backend
-        ~batch ~seed ~queries ()
+        ~batch ~planner ~seed ~queries ()
     in
     let report =
       match wire_trace_out with
@@ -721,8 +854,8 @@ let check_cmd =
              representations against the plaintext oracle, plus fault injection. \
              Exit 0 on pass, 1 on any conformance failure.")
     Term.(const run $ seed_arg $ queries_arg $ check_rows_arg $ faults_arg
-          $ tid_cache_arg $ backend_arg $ batch_arg $ out_arg $ metrics_out_arg
-          $ wire_trace_out_arg)
+          $ tid_cache_arg $ backend_arg $ batch_arg $ planner_arg $ out_arg
+          $ metrics_out_arg $ wire_trace_out_arg)
 
 (* --- serve (networked SNF server) ------------------------------------------------- *)
 
@@ -807,8 +940,8 @@ let main =
   Cmd.group
     (Cmd.info "snf_cli" ~version:"1.0.0"
        ~doc:"Secure Normal Form: leakage-aware normalization for encrypted databases.")
-    [ demo_cmd; analyze_cmd; normalize_cmd; query_cmd; serve_cmd; visualize_cmd;
-      table1_cmd; figure3_cmd; attack_cmd; check_cmd ]
+    [ demo_cmd; analyze_cmd; normalize_cmd; query_cmd; explain_cmd; serve_cmd;
+      visualize_cmd; table1_cmd; figure3_cmd; attack_cmd; check_cmd ]
 
 (* Exit codes: 0 success, 1 conformance/verification failure (from the
    subcommand itself), 2 command-line misuse — unknown subcommand, unknown

@@ -67,6 +67,8 @@ let modes = [| `Sort_merge; `Oram; `Binning 4 |]
    observability layer is lying to one of its consumers. *)
 let counter_mismatches (trace : Executor.trace) deltas =
   let d name = Option.value (List.assoc_opt name deltas) ~default:0 in
+  let dec = trace.Executor.decision in
+  let hit, miss = match dec.Planner.d_cache with `Hit -> (1, 0) | `Miss -> (0, 1) in
   [ ("exec.query.count", 1);
     ("exec.query.scanned_cells", trace.Executor.scanned_cells);
     ("exec.query.index_probes", trace.Executor.index_probes);
@@ -75,7 +77,12 @@ let counter_mismatches (trace : Executor.trace) deltas =
     ("exec.query.result_rows", trace.Executor.result_rows);
     ("exec.wire.requests", trace.Executor.wire_requests);
     ("exec.wire.bytes_up", trace.Executor.wire_bytes_up);
-    ("exec.wire.bytes_down", trace.Executor.wire_bytes_down) ]
+    ("exec.wire.bytes_down", trace.Executor.wire_bytes_down);
+    (* Planner parity: one decide per query moves exactly one of
+       hit/miss, and a miss adds exactly the candidates it priced. *)
+    ("plan.cache.hit", hit);
+    ("plan.cache.miss", miss);
+    ("plan.candidates.enumerated", dec.Planner.d_enumerated) ]
   |> List.filter_map (fun (n, want) ->
          if d n = want then None
          else Some (Printf.sprintf "%s: trace says %d, counter moved %d" n want (d n)))
@@ -83,23 +90,40 @@ let counter_mismatches (trace : Executor.trace) deltas =
 (* The batched variant of the same invariant: a batch publishes per-query
    counters from its traces, so the traces of the answered queries must
    sum to exactly the global deltas the batch moved. *)
-let batch_counter_mismatches traces deltas =
+let batch_counter_mismatches ?planned traces deltas =
   let d name = Option.value (List.assoc_opt name deltas) ~default:0 in
   let sum f = List.fold_left (fun acc t -> acc + f t) 0 traces in
-  [ ("exec.query.count", List.length traces);
-    ("exec.query.scanned_cells", sum (fun t -> t.Executor.scanned_cells));
-    ("exec.query.index_probes", sum (fun t -> t.Executor.index_probes));
-    ("exec.query.comparisons", sum (fun t -> t.Executor.comparisons));
-    ("exec.query.rows_processed", sum (fun t -> t.Executor.rows_processed));
-    ("exec.query.result_rows", sum (fun t -> t.Executor.result_rows));
-    ("exec.wire.requests", sum (fun t -> t.Executor.wire_requests));
-    ("exec.wire.bytes_up", sum (fun t -> t.Executor.wire_bytes_up));
-    ("exec.wire.bytes_down", sum (fun t -> t.Executor.wire_bytes_down)) ]
-  |> List.filter_map (fun (n, want) ->
-         if d n = want then None
+  (* Every query in the batch is planned, answered or not, and each
+     decide moves exactly one of hit/miss; when every query produced a
+     trace the enumerated counter also reconciles exactly (errored
+     decisions price candidates the traces cannot see). *)
+  let planned = Option.value planned ~default:(List.length traces) in
+  let plan_checks =
+    ( "plan.cache.hit+miss",
+      planned,
+      d "plan.cache.hit" + d "plan.cache.miss" )
+    ::
+    (if List.length traces = planned then
+       [ ( "plan.candidates.enumerated",
+           sum (fun t -> t.Executor.decision.Planner.d_enumerated),
+           d "plan.candidates.enumerated" ) ]
+     else [])
+  in
+  ([ ("exec.query.count", List.length traces);
+     ("exec.query.scanned_cells", sum (fun t -> t.Executor.scanned_cells));
+     ("exec.query.index_probes", sum (fun t -> t.Executor.index_probes));
+     ("exec.query.comparisons", sum (fun t -> t.Executor.comparisons));
+     ("exec.query.rows_processed", sum (fun t -> t.Executor.rows_processed));
+     ("exec.query.result_rows", sum (fun t -> t.Executor.result_rows));
+     ("exec.wire.requests", sum (fun t -> t.Executor.wire_requests));
+     ("exec.wire.bytes_up", sum (fun t -> t.Executor.wire_bytes_up));
+     ("exec.wire.bytes_down", sum (fun t -> t.Executor.wire_bytes_down)) ]
+   |> List.map (fun (n, want) -> (n, want, d n)))
+  @ plan_checks
+  |> List.filter_map (fun (n, want, got) ->
+         if got = want then None
          else
-           Some
-             (Printf.sprintf "%s: traces sum to %d, counter moved %d" n want (d n)))
+           Some (Printf.sprintf "%s: traces sum to %d, counter moved %d" n want got))
 
 let chunks n l =
   let n = max 1 n in
@@ -132,7 +156,7 @@ let most_frequent col =
 
 let run_instance ?(queries = 25) ?(check_ledger = true) ?(check_horizontal = true)
     ?(check_group_sum = true) ?(tid_cache = `Rotate) ?(backend = `Mem)
-    ?(batch = `Rotate) (inst : Gen.instance) =
+    ?(batch = `Rotate) ?(planner = `Greedy) (inst : Gen.instance) =
   let qs = Gen.queries ~count:queries ~seed:inst.Gen.spec.Gen.seed inst in
   let reps = representations ~workload:qs inst.Gen.graph inst.Gen.policy in
   let owners =
@@ -198,6 +222,16 @@ let run_instance ?(queries = 25) ?(check_ledger = true) ?(check_horizontal = tru
     List.iter (fun (_, o) -> System.release o) owners
   in
   Fun.protect ~finally:cleanup @@ fun () ->
+  (* Under [`Cost] the whole differential pass runs through per-owner
+     cost-based handles (statistics refreshed here, at handle creation —
+     outside every counter window); greedy is the default. The twin gets
+     its own handle over its own connection's statistics: same store
+     image, so identical statistics, so identical decisions. *)
+  let handle_for owner =
+    match planner with `Greedy -> None | `Cost -> Some (System.cost_planner owner)
+  in
+  let handles = List.map (fun (label, owner) -> (label, handle_for owner)) owners in
+  let twin_handle = match twin with Some (o, _, _) -> handle_for o | None -> None in
   let failures = ref [] and executions = ref 0 in
   let fail ?query ~rep ~mode ~kind detail =
     failures := { spec = inst.Gen.spec; rep; mode; query; kind; detail } :: !failures
@@ -228,7 +262,10 @@ let run_instance ?(queries = 25) ?(check_ledger = true) ?(check_horizontal = tru
           (fun (label, owner) ->
             incr executions;
             let before = Metrics.snapshot () in
-            match System.query_checked ~mode ~use_index ~use_tid_cache owner q with
+            match
+              System.query_checked ~mode ?planner:(List.assoc label handles)
+                ~use_index ~use_tid_cache owner q
+            with
             | Error (`Plan e) ->
               fail ~query:q ~rep:label ~mode:mstr ~kind:"plan" e;
               None
@@ -259,7 +296,10 @@ let run_instance ?(queries = 25) ?(check_ledger = true) ?(check_horizontal = tru
            Option.map Backend_sharded.shard_stats !sharded_twin
          in
          let before = Metrics.snapshot () in
-         (match System.query_checked ~mode ~use_index ~use_tid_cache towner q with
+         (match
+            System.query_checked ~mode ?planner:twin_handle ~use_index ~use_tid_cache
+              towner q
+          with
           | Error (`Plan e) ->
             fail ~query:q ~rep:tlabel ~mode:mstr ~kind:tkind
               (tname ^ " backend failed to plan: " ^ e)
@@ -373,7 +413,10 @@ let run_instance ?(queries = 25) ?(check_ledger = true) ?(check_horizontal = tru
               List.filter_map
                 (fun (label, owner) ->
                   let before = Metrics.snapshot () in
-                  match System.query_batch ~mode owner chunk with
+                  match
+                    System.query_batch ~mode ?planner:(List.assoc label handles) owner
+                      chunk
+                  with
                   | exception Integrity.Corruption c ->
                     fail ~rep:label ~mode:mstr ~kind:"batch"
                       ("batch flagged corruption: " ^ Integrity.to_string c);
@@ -385,7 +428,10 @@ let run_instance ?(queries = 25) ?(check_ledger = true) ?(check_horizontal = tru
                         (function Ok (_, t) -> Some t | Error _ -> None)
                         results
                     in
-                    (match batch_counter_mismatches traces deltas with
+                    (match
+                       batch_counter_mismatches ~planned:(List.length chunk) traces
+                         deltas
+                     with
                      | [] -> ()
                      | errs ->
                        fail ~rep:label ~mode:mstr ~kind:"batch"
@@ -427,6 +473,48 @@ let run_instance ?(queries = 25) ?(check_ledger = true) ?(check_horizontal = tru
                 rest)
           (chunks size qs))
       batch_sizes;
+  (* Cost-planner pass (when the main pass ran greedy): the same workload
+     through the statistics-driven cost-based planner, every other query,
+     across all representations. Answers must stay bag-identical to the
+     plaintext oracle (and therefore to the greedy executions above),
+     every cost decision must carry an estimate, and the planner-counter
+     parity must hold exactly as under greedy. *)
+  if planner = `Greedy then
+    List.iter
+      (fun (label, owner) ->
+        let cost_handle = System.cost_planner owner in
+        List.iteri
+          (fun i q ->
+            if i mod 2 = 0 then begin
+              incr executions;
+              let before = Metrics.snapshot () in
+              match System.query_checked ~planner:cost_handle owner q with
+              | Error (`Plan e) ->
+                fail ~query:q ~rep:label ~mode:"cost" ~kind:"cost-planner" e
+              | Error (`Corruption c) ->
+                fail ~query:q ~rep:label ~mode:"cost" ~kind:"cost-planner"
+                  (Integrity.to_string c)
+              | Ok (ans, trace) ->
+                let deltas = Metrics.counter_diff before (Metrics.snapshot ()) in
+                let oracle_ans = Oracle.answer inst.Gen.relation q in
+                if not (Oracle.agree oracle_ans ans) then
+                  fail ~query:q ~rep:label ~mode:"cost" ~kind:"cost-planner"
+                    (Oracle.diff_summary ~expected:oracle_ans ~got:ans);
+                (match counter_mismatches trace deltas with
+                 | [] -> ()
+                 | errs ->
+                   fail ~query:q ~rep:label ~mode:"cost" ~kind:"cost-planner"
+                     (String.concat "; " errs));
+                let dec = trace.Executor.decision in
+                if dec.Planner.d_selector <> "cost" then
+                  fail ~query:q ~rep:label ~mode:"cost" ~kind:"cost-planner"
+                    ("expected a cost decision, got " ^ dec.Planner.d_selector);
+                if dec.Planner.d_estimate = None then
+                  fail ~query:q ~rep:label ~mode:"cost" ~kind:"cost-planner"
+                    "cost decision carries no estimate"
+            end)
+          qs)
+      owners;
   (* Ledger pass over the SNF representation: the report must recount
      exactly the answers it just recorded. *)
   if check_ledger then begin
@@ -527,8 +615,8 @@ let run_instance ?(queries = 25) ?(check_ledger = true) ?(check_horizontal = tru
   end;
   { queries_run = List.length qs; executions = !executions; failures = List.rev !failures }
 
-let run_spec ?queries ?tid_cache ?backend ?batch spec =
-  run_instance ?queries ?tid_cache ?backend ?batch (Gen.instance spec)
+let run_spec ?queries ?tid_cache ?backend ?batch ?planner spec =
+  run_instance ?queries ?tid_cache ?backend ?batch ?planner (Gen.instance spec)
 
 (* --- soak ------------------------------------------------------------------- *)
 
@@ -546,7 +634,7 @@ type report = {
 let max_kept_failures = 25
 
 let soak ?(rows = 16) ?(queries_per_instance = 25) ?(with_faults = true)
-    ?tid_cache ?backend ?batch ~seed ~queries () =
+    ?tid_cache ?backend ?batch ?planner ~seed ~queries () =
   let rows = max 1 rows in
   let prng = Prng.create ((seed * 1103515245) + 12345) in
   let acc =
@@ -570,7 +658,10 @@ let soak ?(rows = 16) ?(queries_per_instance = 25) ?(with_faults = true)
           singles = 2 + Prng.int prng 3 }
     in
     let inst = Gen.instance spec in
-    let o = run_instance ~queries:queries_per_instance ?tid_cache ?backend ?batch inst in
+    let o =
+      run_instance ~queries:queries_per_instance ?tid_cache ?backend ?batch ?planner
+        inst
+    in
     let fault_failures, applicable, undetected =
       if not with_faults then ([], 0, 0)
       else begin

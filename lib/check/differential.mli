@@ -30,8 +30,9 @@ type failure = {
   query : Query.t option;
   kind : string;
       (** ["oracle"] | ["cross-rep"] | ["plan"] | ["corruption"] |
-          ["counters"] | ["backend"] | ["socket"] | ["batch"] | ["ledger"] |
-          ["group-sum"] | ["horizontal"] | ["fault-undetected"] *)
+          ["counters"] | ["backend"] | ["socket"] | ["batch"] |
+          ["cost-planner"] | ["ledger"] | ["group-sum"] | ["horizontal"] |
+          ["fault-undetected"] *)
   detail : string;
 }
 
@@ -60,6 +61,7 @@ val run_instance :
   ?tid_cache:[ `Rotate | `On | `Off ] ->
   ?backend:[ `Mem | `Disk | `Rotate | `Socket | `Sharded of int ] ->
   ?batch:[ `Rotate | `Off | `Size of int ] ->
+  ?planner:[ `Greedy | `Cost ] ->
   Gen.instance ->
   outcome
 (** Default [queries] 25; all checks on. An empty [failures] list is
@@ -98,13 +100,28 @@ val run_instance :
     Checked: batched answers agree with the oracle and across
     representations, and each batch's summed per-query traces reconcile
     exactly with the [exec.query.*] / [exec.wire.*] counter deltas it
-    moved — disagreements are tagged ["batch"]. *)
+    moved — disagreements are tagged ["batch"].
+
+    [planner] (default [`Greedy]) selects the planning handle for the
+    differential and batched passes; [`Cost] builds a per-owner
+    cost-based handle ([System.cost_planner], statistics refreshed at
+    handle creation, outside every counter window) — the twin gets its
+    own handle over its own connection. Counter checks additionally
+    reconcile the [plan.cache.hit] / [plan.cache.miss] /
+    [plan.candidates.enumerated] movement against each trace's planning
+    decision under either handle. When the main pass runs greedy, a
+    dedicated cost-planner pass re-executes every other query of the
+    workload on every representation through [System.cost_planner] and
+    requires bag-identical answers, a priced estimate on every decision,
+    and exact planner-counter parity — disagreements are tagged
+    ["cost-planner"]. *)
 
 val run_spec :
   ?queries:int ->
   ?tid_cache:[ `Rotate | `On | `Off ] ->
   ?backend:[ `Mem | `Disk | `Rotate | `Socket | `Sharded of int ] ->
   ?batch:[ `Rotate | `Off | `Size of int ] ->
+  ?planner:[ `Greedy | `Cost ] ->
   Gen.spec ->
   outcome
 (** [run_instance (Gen.instance spec)]. *)
@@ -129,6 +146,7 @@ val soak :
   ?tid_cache:[ `Rotate | `On | `Off ] ->
   ?backend:[ `Mem | `Disk | `Rotate | `Socket | `Sharded of int ] ->
   ?batch:[ `Rotate | `Off | `Size of int ] ->
+  ?planner:[ `Greedy | `Cost ] ->
   seed:int ->
   queries:int ->
   unit ->

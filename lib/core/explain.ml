@@ -121,6 +121,59 @@ let repair_text = function
     Printf.sprintf "re-annotate %s as %s (gives up its server-side predicates)"
       attr (Scheme.to_string to_)
 
+(* --- query-plan EXPLAIN ------------------------------------------------------ *)
+
+(* Rendered from plain data: the planner and executor live above this
+   library, so callers (snf_cli) adapt their decision/trace records into
+   this layer-neutral report and we only format. *)
+
+type plan_report = {
+  pr_query : string;
+  pr_selector : string;
+  pr_cache : [ `Hit | `Miss ];
+  pr_leaves : string list;
+  pr_joins : int;
+  pr_pred_homes : (string * string) list;
+  pr_proj_homes : (string * string) list;
+  pr_estimate : float option;
+  pr_enumerated : int;
+  pr_rejected : (string list * float) list;
+  pr_notes : string list;
+  pr_actual : (string * int) list;
+}
+
+let render_plan r =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "EXPLAIN %s" r.pr_query;
+  line "  planner: %s (cache %s, %d candidate%s priced)" r.pr_selector
+    (match r.pr_cache with `Hit -> "hit" | `Miss -> "miss")
+    r.pr_enumerated
+    (if r.pr_enumerated = 1 then "" else "s");
+  line "  plan: %s  (%d oblivious join%s)"
+    (String.concat " |><| " r.pr_leaves)
+    r.pr_joins
+    (if r.pr_joins = 1 then "" else "s");
+  List.iter (fun (p, leaf) -> line "    predicate %s @ %s" p leaf) r.pr_pred_homes;
+  List.iter (fun (a, leaf) -> line "    project %s @ %s" a leaf) r.pr_proj_homes;
+  (match r.pr_estimate with
+   | Some e -> line "  estimated cost: %.6f s" e
+   | None -> line "  estimated cost: n/a (greedy heuristic, unpriced)");
+  (match r.pr_rejected with
+   | [] -> ()
+   | rs ->
+     line "  rejected candidates (cheapest first):";
+     List.iter
+       (fun (leaves, c) -> line "    %-40s %.6f s" (String.concat " |><| " leaves) c)
+       rs);
+  List.iter (fun n -> line "  note: %s" n) r.pr_notes;
+  (match r.pr_actual with
+   | [] -> ()
+   | actual ->
+     line "  estimated vs actual (executed):";
+     List.iter (fun (k, v) -> line "    %-24s %d" k v) actual);
+  Buffer.contents buf
+
 let report ?semantics g policy rep =
   match Audit.violations ?semantics g policy rep with
   | [] -> "The representation is in secure normal form: nothing beyond the \

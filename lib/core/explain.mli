@@ -33,3 +33,32 @@ val report :
   Snf_deps.Dep_graph.t -> Policy.t -> Partition.t -> string
 (** The full audit narrative: every violation with its explanation and
     verified repair options, or a clean bill of health. *)
+
+(** {1 Query-plan EXPLAIN}
+
+    The planner and executor live above this library, so EXPLAIN takes a
+    layer-neutral report of plain data — callers ([snf_cli explain])
+    adapt their decision and trace records into it and this module only
+    formats. *)
+
+type plan_report = {
+  pr_query : string;            (** the query, rendered *)
+  pr_selector : string;         (** ["greedy"] / ["cost"] / ["optimal"] *)
+  pr_cache : [ `Hit | `Miss ];  (** plan-cache outcome of this decision *)
+  pr_leaves : string list;      (** chosen cover, in join order *)
+  pr_joins : int;
+  pr_pred_homes : (string * string) list;  (** (predicate text, home leaf) *)
+  pr_proj_homes : (string * string) list;  (** (attribute, home leaf) *)
+  pr_estimate : float option;   (** modeled seconds; [None] under greedy *)
+  pr_enumerated : int;          (** candidates priced by this decision *)
+  pr_rejected : (string list * float) list;
+      (** priced-but-not-chosen covers, cheapest first *)
+  pr_notes : string list;       (** e.g. enumeration-truncation diagnostics *)
+  pr_actual : (string * int) list;
+      (** estimated-vs-actual counters when the query was also executed *)
+}
+
+val render_plan : plan_report -> string
+(** Multi-line EXPLAIN text: chosen plan with predicate/projection homes,
+    modeled cost, rejected candidates, truncation notes, and (when
+    executed) the measured counters next to the estimates. *)

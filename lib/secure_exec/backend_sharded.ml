@@ -520,6 +520,68 @@ let dispatch t conns (req : Wire.request) : Wire.response =
         metas
     in
     Wire.R_batch { results }
+  | Wire.Q_store_stats ->
+    (* Statistics fan out like any whole-store op (so the lazy eq-index
+       build accounting happens on every shard, exactly where a probe
+       would force it) and merge by value-class digest: a class's global
+       size is the sum of its per-shard sizes, and re-sorting by digest
+       restores the byte-deterministic order a single backend emits. *)
+    let m =
+      match t.meta with
+      | None -> invalid_arg "Backend_sharded: no store installed"
+      | Some m -> m
+    in
+    let rs =
+      fan_out t (fun i ->
+          match shard_call t conns i req with
+          | Wire.R_store_stats { leaves } -> leaves
+          | _ -> protocol_error "Q_store_stats")
+    in
+    let merged =
+      List.map
+        (fun (label, lm) ->
+          let per_shard =
+            Array.to_list rs
+            |> List.filter_map
+                 (List.find_opt (fun (s : Wire.leaf_stats) -> s.Wire.s_label = label))
+          in
+          let attr_order = ref [] in
+          let tables : (string, (string, int) Hashtbl.t) Hashtbl.t =
+            Hashtbl.create 8
+          in
+          List.iter
+            (fun (s : Wire.leaf_stats) ->
+              List.iter
+                (fun (a : Wire.attr_stats) ->
+                  let tbl =
+                    match Hashtbl.find_opt tables a.Wire.a_attr with
+                    | Some tbl -> tbl
+                    | None ->
+                      let tbl = Hashtbl.create 16 in
+                      Hashtbl.add tables a.Wire.a_attr tbl;
+                      attr_order := a.Wire.a_attr :: !attr_order;
+                      tbl
+                  in
+                  List.iter
+                    (fun (digest, n) ->
+                      Hashtbl.replace tbl digest
+                        (n + Option.value (Hashtbl.find_opt tbl digest) ~default:0))
+                    a.Wire.a_classes)
+                s.Wire.s_attrs)
+            per_shard;
+          let attrs =
+            List.rev !attr_order
+            |> List.map (fun attr ->
+                   let tbl = Hashtbl.find tables attr in
+                   { Wire.a_attr = attr;
+                     a_classes =
+                       Hashtbl.fold (fun d n acc -> (d, n) :: acc) tbl []
+                       |> List.sort compare })
+          in
+          { Wire.s_label = label; s_rows = lm.lm_rows; s_attrs = attrs })
+        m.m_leaves
+    in
+    Wire.R_store_stats { leaves = merged }
 
 (* The outer boundary: decode, route, re-encode — with the exact error
    mapping of [Server_api.serve], so typed shard failures re-encode into

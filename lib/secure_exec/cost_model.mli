@@ -41,3 +41,24 @@ val trace_seconds :
   comparisons:int -> rows_processed:int -> scanned_cells:int ->
   oram_bucket_touches:int -> retrieved_rows:int -> float
 (** Estimate from {e measured} executor counters rather than plan shape. *)
+
+val plan_seconds : ?params:params -> Statistics.t -> Planner.plan -> float
+(** Price one candidate plan from server-visible statistics: full-leaf
+    predicate scans, the oblivious-join chain over the leaves'
+    selectivity-{e filtered} sizes in the plan's join order, and a wire
+    term for the fetched cells scaled by the fetch phase's observed
+    bytes-per-request EWMA. A pure function of the plan shape and the
+    statistics (never of searched constants), so cost-based decisions
+    are safely cacheable per query shape. *)
+
+val planner :
+  ?params:params ->
+  ?max_cover:int ->
+  ?max_orders:int ->
+  epoch:(unit -> int) ->
+  Statistics.t ->
+  Planner.handle
+(** The cost-based planner handle: candidates priced by
+    {!plan_seconds} over the given statistics, plan cache stamped with
+    [(epoch (), Statistics.version stats)] so key-epoch rotation or
+    statistics drift forces re-planning. *)

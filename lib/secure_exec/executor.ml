@@ -33,6 +33,9 @@ let mode_name = function
 
 type trace = {
   plan : Planner.plan;
+  decision : Planner.decision;
+      (* the planner's full verdict for this query: estimate, rejected
+         candidates, truncation notes, cache hit/miss — what EXPLAIN shows *)
   mode : mode;
   scanned_cells : int;
   index_probes : int;   (* predicate evaluations served by an equality index *)
@@ -515,13 +518,14 @@ let run_anchor_fetch ~drop_tid ~cache client conn ~scheme_of q plan lvs compiled
 
 (* ------------------------------------------------------------------------ *)
 
-let run_conn ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
+let run_conn ?(mode = `Sort_merge) ?(params = Cost_model.default) ?planner
     ?(use_index = false) ?(use_tid_cache = true) ?(use_mapping_cache = false)
     ?(drop_tid = fun _ -> false) client conn rep q =
   let cache = use_mapping_cache in
-  match Planner.plan ?selector rep q with
+  match Planner.decide ?handle:planner rep q with
   | Error e -> Error e
-  | Ok plan ->
+  | Ok decision ->
+    let plan = decision.Planner.d_plan in
     let scheme_of = scheme_table rep in
     Wiretrace.mark "query.begin";
     let wire0 = Server_api.stats conn in
@@ -627,6 +631,7 @@ let run_conn ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
     let wire1 = Server_api.stats conn in
     let trace =
       { plan;
+        decision;
         mode;
         scanned_cells = !scanned;
         index_probes = !index_probes;
@@ -653,7 +658,7 @@ let run_conn ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
     Wiretrace.mark "query.end";
     Ok (result, trace)
 
-let run ?mode ?params ?selector ?use_index ?use_tid_cache ?use_mapping_cache ?drop_tid
+let run ?mode ?params ?planner ?use_index ?use_tid_cache ?use_mapping_cache ?drop_tid
     client enc rep q =
   (* Compatibility entry point: a transient in-process connection over the
      given store. [System] holds a persistent connection instead. *)
@@ -661,7 +666,7 @@ let run ?mode ?params ?selector ?use_index ?use_tid_cache ?use_mapping_cache ?dr
   Fun.protect
     ~finally:(fun () -> Server_api.close conn)
     (fun () ->
-      run_conn ?mode ?params ?selector ?use_index ?use_tid_cache ?use_mapping_cache
+      run_conn ?mode ?params ?planner ?use_index ?use_tid_cache ?use_mapping_cache
         ?drop_tid client conn rep q)
 
 (* --- batched execution ---------------------------------------------------- *)
@@ -675,12 +680,12 @@ let run ?mode ?params ?selector ?use_index ?use_tid_cache ?use_mapping_cache ?dr
    would. Everything client-side runs on the calling domain (parallelism
    stays inside the bitonic kernels), so counter totals are bit-identical
    for any SNF_DOMAINS. *)
-let run_batch ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
+let run_batch ?(mode = `Sort_merge) ?(params = Cost_model.default) ?planner
     ?(use_index = false) ?(use_tid_cache = true) ?(use_mapping_cache = true)
     ?(drop_tid = fun _ -> false) client conn rep qs =
   let cache = use_mapping_cache in
   let scheme_of = scheme_table rep in
-  let plans = List.map (fun q -> (q, Planner.plan ?selector rep q)) qs in
+  let plans = List.map (fun q -> (q, Planner.decide ?handle:planner rep q)) qs in
   if not (List.exists (fun (_, pl) -> Result.is_ok pl) plans) then
     (* Nothing executable: K planner errors, no server contact, no
        counters — the same outcome K [run_conn] calls would produce. *)
@@ -720,7 +725,8 @@ let run_batch ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
         (fun (q, pl) ->
           match pl with
           | Error e -> Error e
-          | Ok plan ->
+          | Ok decision ->
+            let plan = decision.Planner.d_plan in
             let lvs =
               List.map
                 (fun label ->
@@ -743,7 +749,7 @@ let run_batch ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
                     (preds_at plan lv.lv_label))
                 lvs
             in
-            Ok (q, plan, lvs, compiled, !index_probes, wire_delta wa (wire_at ())))
+            Ok (q, decision, lvs, compiled, !index_probes, wire_delta wa (wire_at ())))
         plans
     in
     (* Phase 2: ONE Q_batch round trip answers every executable query's
@@ -812,7 +818,8 @@ let run_batch ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
       List.map
         (function
           | Error e -> Error e
-          | Ok (q, plan, lvs, compiled, index_probes, mint_wire) ->
+          | Ok (q, decision, lvs, compiled, index_probes, mint_wire) ->
+            let plan = decision.Planner.d_plan in
             Wiretrace.mark ~summary:[ ("q", string_of_int !bq_idx) ] "query.begin";
             incr bq_idx;
             let per_leaf = next_result () in
@@ -888,6 +895,7 @@ let run_batch ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
             Ok
               ( result,
                 { plan;
+                  decision;
                   mode;
                   scanned_cells = scanned;
                   index_probes;
@@ -942,10 +950,13 @@ let run_batch ?(mode = `Sort_merge) ?(params = Cost_model.default) ?selector
 
 let pp_trace fmt t =
   Format.fprintf fmt
-    "@[<v>plan: %a (%s)@,scanned cells: %d (+%d via index); comparisons: %d; \
+    "@[<v>plan: %a (%s; %s planner, cache %s)@,\
+     scanned cells: %d (+%d via index); comparisons: %d; \
      rows through networks: %d@,oram bucket touches: %d; binning retrieved: %d@,\
      wire: %d requests, %d B up, %d B down@,\
      result rows: %d; est. %.4f s@]"
-    Planner.pp t.plan (mode_name t.mode) t.scanned_cells t.index_probes t.comparisons
+    Planner.pp t.plan (mode_name t.mode) t.decision.Planner.d_selector
+    (match t.decision.Planner.d_cache with `Hit -> "hit" | `Miss -> "miss")
+    t.scanned_cells t.index_probes t.comparisons
     t.rows_processed t.oram_bucket_touches t.binning_retrieved t.wire_requests
     t.wire_bytes_up t.wire_bytes_down t.result_rows t.estimated_seconds

@@ -25,6 +25,9 @@ type mode = [ `Sort_merge | `Oram | `Binning of int ]
 
 type trace = {
   plan : Planner.plan;
+  decision : Planner.decision;  (** the planner's full verdict: estimate,
+                                    rejected candidates, truncation notes,
+                                    cache hit/miss — EXPLAIN's payload *)
   mode : mode;
   scanned_cells : int;          (** server predicate evaluations (scans) *)
   index_probes : int;           (** predicate work served by equality indexes *)
@@ -42,7 +45,7 @@ type trace = {
 val run_conn :
   ?mode:mode ->
   ?params:Cost_model.params ->
-  ?selector:[ `Greedy | `Optimal of (Planner.plan -> float) ] ->
+  ?planner:Planner.handle ->
   ?use_index:bool ->
   ?use_tid_cache:bool ->
   ?use_mapping_cache:bool ->
@@ -60,6 +63,14 @@ val run_conn :
     metadata. The trace's [wire_*] fields are the connection's traffic
     delta across the query (Describe through the last fetch).
 
+    [planner] (shared by all three entry points; default
+    [Planner.greedy]) chooses how queries are planned: the greedy cover
+    heuristic, a statistics-driven cost-based handle
+    ([System.cost_planner] / [Cost_model.planner]), or the legacy
+    exhaustive [Planner.optimal]. The resulting {!Planner.decision} —
+    estimate, rejected candidates, truncation notes, cache hit/miss — is
+    carried in the trace's [decision] field.
+
     On a persistent connection the sort-merge tid cache keeps working
     across queries: [Server_api.fetch_tids] returns a physically stable
     array while the server's tid bytes are unchanged.
@@ -73,7 +84,7 @@ val run_conn :
 val run :
   ?mode:mode ->
   ?params:Cost_model.params ->
-  ?selector:[ `Greedy | `Optimal of (Planner.plan -> float) ] ->
+  ?planner:Planner.handle ->
   ?use_index:bool ->
   ?use_tid_cache:bool ->
   ?use_mapping_cache:bool ->
@@ -113,7 +124,7 @@ val run :
 val run_batch :
   ?mode:mode ->
   ?params:Cost_model.params ->
-  ?selector:[ `Greedy | `Optimal of (Planner.plan -> float) ] ->
+  ?planner:Planner.handle ->
   ?use_index:bool ->
   ?use_tid_cache:bool ->
   ?use_mapping_cache:bool ->

@@ -1,5 +1,6 @@
 module Scheme = Snf_crypto.Scheme
 module Partition = Snf_core.Partition
+module Metrics = Snf_obs.Metrics
 
 type plan = {
   leaves : string list;
@@ -7,6 +8,12 @@ type plan = {
   pred_home : (Query.pred * string) list;
   proj_home : (string * string) list;
 }
+
+(* Every planning call resolves to exactly one of these two counters —
+   the invariant the differential harness checks per query. *)
+let m_cache_hit = Metrics.counter "plan.cache.hit"
+let m_cache_miss = Metrics.counter "plan.cache.miss"
+let m_enumerated = Metrics.counter "plan.candidates.enumerated"
 
 let supports scheme (p : Query.pred) =
   match p with
@@ -118,47 +125,172 @@ let rec subsets_upto k = function
     in
     with_x @ List.filter (fun s -> List.length s <= k) without
 
-let optimal ~tbl cost rep q =
+(* --- candidates, notes, decisions -------------------------------------------- *)
+
+type candidate = { cand_leaves : string list; cand_cost : float }
+
+type note =
+  | Truncated_covers of { bound : int; relevant : int }
+  | Truncated_orders of { bound : int; cover_size : int }
+
+let note_to_string = function
+  | Truncated_covers { bound; relevant } ->
+    Printf.sprintf
+      "cover enumeration truncated: %d relevant leaves, subsets capped at %d"
+      relevant bound
+  | Truncated_orders { bound; cover_size } ->
+    Printf.sprintf
+      "join-order enumeration truncated: %d-leaf cover, orders capped at %d"
+      cover_size bound
+
+type decision = {
+  d_plan : plan;
+  d_estimate : float option;
+  d_rejected : candidate list;
+  d_notes : note list;
+  d_enumerated : int;
+  d_cache : [ `Hit | `Miss ];
+  d_selector : string;
+}
+
+(* --- planner handles ---------------------------------------------------------- *)
+
+type pricing = {
+  price : plan -> float;
+  stamp : unit -> int * int;  (* (key epoch, stats version) at call time *)
+  max_cover : int;
+  max_orders : int;
+  p_label : string;
+  p_id : int;
+}
+
+type handle =
+  | Greedy
+  | Priced of pricing
+  | Adhoc of (plan -> float)
+
+let optimal f = Adhoc f
+
+let next_handle_id = Atomic.make 0
+
+let cost_based ?(max_cover = 6) ?(max_orders = 6) ?(label = "cost") ~price ~stamp
+    () =
+  Priced
+    { price;
+      stamp;
+      max_cover = max 1 max_cover;
+      max_orders = max 1 max_orders;
+      p_label = label;
+      p_id = Atomic.fetch_and_add next_handle_id 1 }
+
+let selector_name = function
+  | Greedy -> "greedy"
+  | Priced p -> p.p_label
+  | Adhoc _ -> "optimal"
+
+let rec factorial n = if n <= 1 then 1 else n * factorial (n - 1)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        List.map
+          (fun p -> x :: p)
+          (permutations (List.filter (fun y -> y <> x) l)))
+      l
+
+let max_rejected_kept = 8
+
+(* Price every feasible cover (and, when cheap enough, every join order
+   of it); the caller's pricer decides. Ties keep the earliest candidate
+   in enumeration order, so the answer is deterministic. *)
+let enumerate ~tbl ~price ~max_cover ~max_orders ~explore_orders rep q =
+  let items = items_of_query q in
   let relevant =
     List.filter
-      (fun (l : Partition.leaf) -> List.exists (covers l) (items_of_query q))
+      (fun (l : Partition.leaf) -> List.exists (covers l) items)
       rep
     |> List.map (fun (l : Partition.leaf) -> l.label)
   in
-  let candidates =
-    subsets_upto 6 relevant
+  let notes = ref [] in
+  if List.length relevant > max_cover then
+    notes :=
+      Truncated_covers { bound = max_cover; relevant = List.length relevant }
+      :: !notes;
+  let covers_ =
+    subsets_upto max_cover relevant
     |> List.filter (fun s -> s <> [] && feasible ~tbl q s)
   in
-  match candidates with
+  match covers_ with
   | [] -> Error "no feasible cover within the size bound"
   | _ ->
+    let priced = ref [] and count = ref 0 in
+    List.iter
+      (fun cover ->
+        let k = List.length cover in
+        let orders =
+          if explore_orders && factorial k <= max_orders then permutations cover
+          else begin
+            if
+              explore_orders && k > 1
+              && not
+                   (List.exists
+                      (function Truncated_orders _ -> true | _ -> false)
+                      !notes)
+            then
+              notes :=
+                Truncated_orders { bound = max_orders; cover_size = k } :: !notes;
+            [ cover ]
+          end
+        in
+        List.iter
+          (fun order ->
+            let p = assemble ~tbl q order in
+            incr count;
+            priced := (price p, p) :: !priced)
+          orders)
+      covers_;
+    let cands = List.rev !priced in
     let best =
       List.fold_left
-        (fun acc chosen ->
-          let p = assemble ~tbl q chosen in
-          let c = cost p in
-          match acc with
-          | Some (c0, _) when c0 <= c -> acc
-          | _ -> Some (c, p))
-        None candidates
+        (fun acc (c, p) ->
+          match acc with Some (c0, _) when c0 <= c -> acc | _ -> Some (c, p))
+        None cands
     in
-    (match best with Some (_, p) -> Ok p | None -> Error "unreachable")
+    (match best with
+     | None -> Error "unreachable"
+     | Some (c, p) ->
+       let rejected =
+         List.filter (fun (_, p') -> p' != p) cands
+         |> List.map (fun (c', p') -> { cand_leaves = p'.leaves; cand_cost = c' })
+         |> List.stable_sort (fun a b -> compare a.cand_cost b.cand_cost)
+         |> List.filteri (fun i _ -> i < max_rejected_kept)
+       in
+       Ok (p, c, rejected, List.rev !notes, !count))
 
 (* --- plan memoization ------------------------------------------------------ *)
 
 (* A greedy plan depends only on the representation and the query's
    SHAPE — the projection list plus, per predicate, its attribute and
    kind (point vs range); the searched constants influence nothing
-   ([covers] only looks at schemes). Plans are therefore memoized per
-   (representation digest, query shape). The memo is per-domain
-   ([Domain.DLS]): [plan] runs inside [Parallel] workers (the experiment
-   planning loops), and a shared table would race. *)
+   ([covers] only looks at schemes). A cost-based plan additionally
+   depends on the statistics version and the key epoch its handle
+   reports, so its cache entries carry that stamp and a stale stamp
+   reads as a miss. The memo is per-domain ([Domain.DLS]): [plan] runs
+   inside [Parallel] workers (the experiment planning loops), and a
+   shared table would race. *)
 
 type memo_plan = {
   m_leaves : string list;
   m_joins : int;
   m_pred_labels : string option list; (* one per [q.where] position *)
   m_proj_home : (string * string) list;
+}
+
+type memo_decision = {
+  e_result : (memo_plan * float option * candidate list * note list, string) result;
+  e_stamp : (int * int) option;  (* None for greedy (stamp-independent) *)
 }
 
 type memo_state = {
@@ -169,7 +301,7 @@ type memo_state = {
      loops plan thousands of queries against a handful of long-lived
      representation values, so digesting once per value is enough. *)
   mutable digests : (Partition.t * string) list;
-  plans : (string * string, (memo_plan, string) result) Hashtbl.t;
+  plans : (string * string * string, memo_decision) Hashtbl.t;
 }
 
 let max_digest_entries = 16
@@ -227,40 +359,106 @@ let of_memo (m : memo_plan) (q : Query.t) =
            q.Query.where m.m_pred_labels);
     proj_home = m.m_proj_home }
 
-let plan_uncached ?(selector = `Greedy) rep q =
+(* Plan once, uncached. Returns the full decision payload minus cache
+   status; [d_enumerated] counts candidates priced by THIS call. *)
+let plan_fresh handle rep q =
   match check_items_coverable rep q with
   | Error e -> Error e
   | Ok () ->
     let tbl = leaf_table rep in
-    (match selector with
-     | `Greedy -> Result.map (assemble ~tbl q) (greedy rep q)
-     | `Optimal cost -> optimal ~tbl cost rep q)
+    (match handle with
+     | Greedy ->
+       Result.map
+         (fun chosen -> (assemble ~tbl q chosen, None, [], [], 1))
+         (greedy rep q)
+     | Priced p ->
+       Result.map
+         (fun (pl, c, rej, notes, n) -> (pl, Some c, rej, notes, n))
+         (enumerate ~tbl ~price:p.price ~max_cover:p.max_cover
+            ~max_orders:p.max_orders ~explore_orders:true rep q)
+     | Adhoc f ->
+       Result.map
+         (fun (pl, c, rej, notes, n) -> (pl, Some c, rej, notes, n))
+         (enumerate ~tbl ~price:f ~max_cover:6 ~max_orders:1
+            ~explore_orders:false rep q))
 
-let plan ?(selector = `Greedy) rep q =
-  match selector with
-  | `Optimal _ ->
-    (* Cost functions are arbitrary closures (and may inspect the
-       constants through pred_home), so only the greedy path memoizes. *)
-    plan_uncached ~selector rep q
-  | `Greedy ->
+let mode_tag = function
+  | Greedy -> "G"
+  | Priced p -> Printf.sprintf "C%d" p.p_id
+  | Adhoc _ -> "A"
+
+let decide ?(handle = Greedy) rep q =
+  let finish ~cache ~enumerated result =
+    (match cache with
+     | `Hit -> Metrics.incr m_cache_hit
+     | `Miss ->
+       Metrics.incr m_cache_miss;
+       if enumerated > 0 then Metrics.add m_enumerated enumerated);
+    Result.map
+      (fun (pl, est, rej, notes) ->
+        { d_plan = pl;
+          d_estimate = est;
+          d_rejected = rej;
+          d_notes = notes;
+          d_enumerated = enumerated;
+          d_cache = cache;
+          d_selector = selector_name handle })
+      result
+  in
+  match handle with
+  | Adhoc _ ->
+    (* Ad-hoc cost functions are arbitrary closures (and may inspect the
+       constants through pred_home), so they never memoize. *)
+    let result = plan_fresh handle rep q in
+    let enumerated =
+      match result with Ok (_, _, _, _, n) -> n | Error _ -> 0
+    in
+    finish ~cache:`Miss ~enumerated
+      (Result.map
+         (fun (pl, est, rej, notes, _) -> (pl, est, rej, notes))
+         result)
+  | Greedy | Priced _ ->
+    let stamp =
+      match handle with Priced p -> Some (p.stamp ()) | _ -> None
+    in
     let st = Domain.DLS.get memo_key in
     let key, hit =
       Mutex.protect st.lock (fun () ->
-          let key = (rep_digest st rep, shape_key q) in
+          let key = (mode_tag handle, rep_digest st rep, shape_key q) in
           (key, Hashtbl.find_opt st.plans key))
     in
     (match hit with
-     | Some (Ok m) -> Ok (of_memo m q)
-     | Some (Error e) -> Error e
-     | None ->
+     | Some e when e.e_stamp = stamp ->
+       finish ~cache:`Hit ~enumerated:0
+         (Result.map
+            (fun (m, est, rej, notes) -> (of_memo m q, est, rej, notes))
+            e.e_result)
+     | _ ->
        (* Planning itself runs unlocked; a concurrent same-shape miss
           just plans twice and the second replace wins harmlessly. *)
-       let result = plan_uncached ~selector:`Greedy rep q in
+       let result = plan_fresh handle rep q in
+       let enumerated =
+         match result with Ok (_, _, _, _, n) -> n | Error _ -> 0
+       in
        Mutex.protect st.lock (fun () ->
            if Hashtbl.length st.plans >= max_plan_entries then
              Hashtbl.reset st.plans;
-           Hashtbl.replace st.plans key (Result.map (fun p -> to_memo p q) result));
-       result)
+           Hashtbl.replace st.plans key
+             { e_result =
+                 Result.map
+                   (fun (pl, est, rej, notes, _) -> (to_memo pl q, est, rej, notes))
+                   result;
+               e_stamp = stamp });
+       finish ~cache:`Miss ~enumerated
+         (Result.map
+            (fun (pl, est, rej, notes, _) -> (pl, est, rej, notes))
+            result))
+
+let plan ?handle rep q = Result.map (fun d -> d.d_plan) (decide ?handle rep q)
+
+(* Shadows the internal greedy-cover function on purpose: from outside,
+   [Planner.greedy] is the default handle. *)
+let greedy = Greedy
 
 let single_leaf p = List.length p.leaves <= 1
 

@@ -87,6 +87,11 @@ let eval_filter (l : Enc_relation.enc_leaf) ops =
     ops;
   (mask, !scanned)
 
+(* Fingerprint used both for SNFT token summaries and for the value-class
+   digests of [Q_store_stats]: stable 16-hex identity of bytes the server
+   already holds, never the bytes themselves. *)
+let fp s = String.sub (Digest.to_hex (Digest.string s)) 0 16
+
 let dispatch view orams (req : Wire.request) : Wire.response =
   match req with
   | Wire.Describe ->
@@ -162,6 +167,37 @@ let dispatch view orams (req : Wire.request) : Wire.response =
           List.map
             (List.map (fun (label, ops) -> eval_filter (leaf_once label) ops))
             queries }
+  | Wire.Q_store_stats ->
+    (* Planner statistics, computed from nothing but what the store image
+       already reveals: per-leaf row counts and, for columns with a
+       canonical ciphertext, the equality-index class sizes keyed by a
+       digest of the canonical key. The index build/hit accounting runs
+       through the same [view.eq_index] path as probes, so stats
+       collection is backend-independent. *)
+    let _, leaves = view.describe () in
+    let stats =
+      List.map
+        (fun (label, rows) ->
+          let l = view.leaf label in
+          let attrs =
+            List.filter_map
+              (fun (col : Enc_relation.enc_column) ->
+                match view.eq_index ~leaf:label ~attr:col.Enc_relation.attr with
+                | None -> None
+                | Some idx ->
+                  let classes =
+                    Hashtbl.fold
+                      (fun key slots acc -> (fp key, List.length slots) :: acc)
+                      idx []
+                    |> List.sort compare
+                  in
+                  Some { Wire.a_attr = col.Enc_relation.attr; a_classes = classes })
+              l.Enc_relation.columns
+          in
+          { Wire.s_label = label; s_rows = rows; s_attrs = attrs })
+        leaves
+    in
+    Wire.R_store_stats { leaves = stats }
 
 let serve view orams request_bytes =
   let resp =
@@ -233,7 +269,6 @@ let stats conn =
    ORAM ships in the clear only as an artifact (the raw bytes still
    count; the access pattern is the [touches] in the response). *)
 
-let fp s = String.sub (Digest.to_hex (Digest.string s)) 0 16
 let fp_op op = fp (Wire.filter_op_to_string op)
 let csv_int l = String.concat "," (List.map string_of_int l)
 
@@ -290,6 +325,7 @@ let summarize_request (req : Wire.request) =
                      ("leaf", leaf) :: List.map (fun o -> ("op", op_desc o)) ops)
                    q)
             queries)
+  | Wire.Q_store_stats -> []
 
 let matched mask = Array.fold_left (fun a b -> if b then a + 1 else a) 0 mask
 
@@ -331,6 +367,8 @@ let summarize_response (resp : Wire.response) =
                 rs)
          results)
   | Wire.R_busy -> [ ("error", "busy") ]
+  | Wire.R_store_stats { leaves } ->
+    [ ("leaves", string_of_int (List.length leaves)) ]
 
 (* One round trip: serialize, count, send, count, decode, and re-raise
    server-reported failures as the typed exceptions the pre-split code
@@ -444,3 +482,8 @@ let group_sum conn ~leaf ~group_by ~sum =
   match call conn ph_phe (Wire.Group_sum { leaf; group_by; sum }) with
   | Wire.R_groups groups -> groups
   | _ -> protocol_error "Group_sum"
+
+let store_stats conn =
+  match call conn ph_admin Wire.Q_store_stats with
+  | Wire.R_store_stats { leaves } -> leaves
+  | _ -> protocol_error "Q_store_stats"

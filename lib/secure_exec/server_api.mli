@@ -157,3 +157,12 @@ val phe_sum : conn -> leaf:string -> attr:string -> Snf_bignum.Nat.t
 val group_sum :
   conn -> leaf:string -> group_by:string -> sum:string ->
   (Enc_relation.cell * Snf_bignum.Nat.t) list
+
+val store_stats : conn -> Wire.leaf_stats list
+(** Planner statistics for every stored leaf ([Wire.Q_store_stats]):
+    row counts plus, per canonically-encrypted column, the equality-index
+    class-size histogram keyed by canonical-ciphertext digest. Everything
+    in the answer is derivable from the store image the server already
+    holds, so the request reveals only that the client plans. Counted
+    under the [admin] wire phase; fetched at bind time, never during
+    [plan], so per-query wire accounting is planner-invisible. *)

@@ -35,6 +35,7 @@ type owner = {
   enc : Enc_relation.t;
   plaintext : Relation.t;
   server : server_binding;
+  stats : Statistics.t;
 }
 
 (* A memory binding adopts the store in place — no Install message, and
@@ -98,6 +99,23 @@ let finish ?(backend = `Mem) owner_sans_server =
   ignore (conn_of owner);
   owner
 
+(* Planner statistics are refreshed on demand — at handle creation and
+   other quiet moments, never inside a query window — so the extra
+   Q_store_stats round trip shows up in admin traffic only and per-query
+   wire accounting (and recorded traces) are exactly what they would be
+   without a cost planner. *)
+let refresh_stats owner =
+  let conn = conn_of owner in
+  Statistics.ingest owner.stats (Server_api.store_stats conn);
+  Statistics.observe_wire owner.stats;
+  Statistics.version owner.stats
+
+let cost_planner ?params ?max_cover ?max_orders owner =
+  ignore (refresh_stats owner);
+  Cost_model.planner ?params ?max_cover ?max_orders
+    ~epoch:(fun () -> Enc_relation.key_epoch owner.client)
+    owner.stats
+
 let outsource ?semantics ?strategy ?graph ?mode ?(seed = 0x5eed) ?master ?backend ~name r
     policy =
   let graph =
@@ -110,7 +128,13 @@ let outsource ?semantics ?strategy ?graph ?mode ?(seed = 0x5eed) ?master ?backen
   let client = Enc_relation.make_client ~seed ~relation_name:name ~master () in
   let enc = Enc_relation.encrypt client r plan.Normalizer.representation in
   finish ?backend
-    { client; policy; plan; enc; plaintext = r; server = { sb_backend = `Mem; sb = None } }
+    { client;
+      policy;
+      plan;
+      enc;
+      plaintext = r;
+      server = { sb_backend = `Mem; sb = None };
+      stats = Statistics.create () }
 
 let outsource_prepared ?(seed = 0x5eed) ?master ?backend ~name ~graph ~representation r
     policy =
@@ -126,24 +150,33 @@ let outsource_prepared ?(seed = 0x5eed) ?master ?backend ~name ~graph ~represent
   let client = Enc_relation.make_client ~seed ~relation_name:name ~master () in
   let enc = Enc_relation.encrypt client r representation in
   finish ?backend
-    { client; policy; plan; enc; plaintext = r; server = { sb_backend = `Mem; sb = None } }
+    { client;
+      policy;
+      plan;
+      enc;
+      plaintext = r;
+      server = { sb_backend = `Mem; sb = None };
+      stats = Statistics.create () }
 
-let query ?mode ?params ?use_index ?use_tid_cache ?use_mapping_cache ?drop_tid owner q =
-  Executor.run_conn ?mode ?params ?use_index ?use_tid_cache ?use_mapping_cache ?drop_tid
-    owner.client (conn_of owner) owner.plan.Normalizer.representation q
-
-let query_checked ?mode ?params ?use_index ?use_tid_cache ?use_mapping_cache ?drop_tid
+let query ?mode ?params ?planner ?use_index ?use_tid_cache ?use_mapping_cache ?drop_tid
     owner q =
-  match query ?mode ?params ?use_index ?use_tid_cache ?use_mapping_cache ?drop_tid owner q
+  Executor.run_conn ?mode ?params ?planner ?use_index ?use_tid_cache ?use_mapping_cache
+    ?drop_tid owner.client (conn_of owner) owner.plan.Normalizer.representation q
+
+let query_checked ?mode ?params ?planner ?use_index ?use_tid_cache ?use_mapping_cache
+    ?drop_tid owner q =
+  match
+    query ?mode ?params ?planner ?use_index ?use_tid_cache ?use_mapping_cache ?drop_tid
+      owner q
   with
   | Ok r -> Ok r
   | Error e -> Error (`Plan e)
   | exception Integrity.Corruption c -> Error (`Corruption c)
 
-let query_batch ?mode ?params ?use_index ?use_tid_cache ?use_mapping_cache ?drop_tid owner
-    qs =
-  Executor.run_batch ?mode ?params ?use_index ?use_tid_cache ?use_mapping_cache ?drop_tid
-    owner.client (conn_of owner) owner.plan.Normalizer.representation qs
+let query_batch ?mode ?params ?planner ?use_index ?use_tid_cache ?use_mapping_cache
+    ?drop_tid owner qs =
+  Executor.run_batch ?mode ?params ?planner ?use_index ?use_tid_cache ?use_mapping_cache
+    ?drop_tid owner.client (conn_of owner) owner.plan.Normalizer.representation qs
 
 let record_wire_trace f =
   Snf_obs.Wiretrace.start ();

@@ -47,6 +47,7 @@ type owner = {
   enc : Enc_relation.t;   (** what the cloud stores *)
   plaintext : Relation.t; (** retained at the owner *)
   server : server_binding;
+  stats : Statistics.t;   (** server-visible planner statistics *)
 }
 
 val outsource :
@@ -100,9 +101,32 @@ val wire_stats : owner -> Server_api.wire_stats
 (** Cumulative traffic on the owner's connection — includes the Install
     message for [`Disk] bindings, which per-query traces exclude. *)
 
+val refresh_stats : owner -> int
+(** Fetch the server's store statistics ([Server_api.store_stats]) into
+    the owner's {!Statistics.t} and fold the current wire counters into
+    its per-phase EWMAs; returns the (possibly advanced) statistics
+    version. Called by {!cost_planner}; call it again after bulk store
+    changes so a drifted store forces cached plans to be rebuilt. Always
+    outside any query window — per-query wire accounting and recorded
+    traces never carry statistics traffic. *)
+
+val cost_planner :
+  ?params:Cost_model.params ->
+  ?max_cover:int ->
+  ?max_orders:int ->
+  owner ->
+  Planner.handle
+(** A cost-based planner handle for this owner ([Cost_model.planner]):
+    candidates priced from the owner's server-visible statistics
+    (refreshed now, via {!refresh_stats}), plan cache stamped with the
+    client's key epoch and the statistics version so key rotation or
+    statistics drift forces re-planning. Pass it as [?planner] to
+    {!query} / {!query_checked} / {!query_batch}. *)
+
 val query :
   ?mode:Executor.mode ->
   ?params:Cost_model.params ->
+  ?planner:Planner.handle ->
   ?use_index:bool ->
   ?use_tid_cache:bool ->
   ?use_mapping_cache:bool ->
@@ -112,11 +136,13 @@ val query :
     [Integrity.Corruption] (see [Executor.run]); use {!query_checked} to
     receive it as a result instead. [use_tid_cache] (default true) and
     [use_mapping_cache] (default false) are passed through to
-    [Executor.run_conn] — identical answers either way. *)
+    [Executor.run_conn] — identical answers either way. [planner]
+    (default greedy) selects the planning handle; see {!cost_planner}. *)
 
 val query_checked :
   ?mode:Executor.mode ->
   ?params:Cost_model.params ->
+  ?planner:Planner.handle ->
   ?use_index:bool ->
   ?use_tid_cache:bool ->
   ?use_mapping_cache:bool ->
@@ -132,6 +158,7 @@ val query_checked :
 val query_batch :
   ?mode:Executor.mode ->
   ?params:Cost_model.params ->
+  ?planner:Planner.handle ->
   ?use_index:bool ->
   ?use_tid_cache:bool ->
   ?use_mapping_cache:bool ->

@@ -271,6 +271,15 @@ type request =
   | Phe_sum of { leaf : string; attr : string }
   | Group_sum of { leaf : string; group_by : string; sum : string }
   | Q_batch of { queries : (string * filter_op list) list list }
+  | Q_store_stats
+
+(* Per-column value-class histogram of one leaf, as the server sees it:
+   each class is (digest of the canonical ciphertext, class size), sorted
+   by digest so the merged form is byte-deterministic. Only columns with
+   a canonical (deterministic) ciphertext appear — exactly the columns
+   whose equality structure the store image already reveals. *)
+type attr_stats = { a_attr : string; a_classes : (string * int) list }
+type leaf_stats = { s_label : string; s_rows : int; s_attrs : attr_stats list }
 
 type response =
   | R_unit
@@ -286,6 +295,7 @@ type response =
   | R_corrupt of Integrity.corruption
   | R_batch of { results : (bool array * int) list list }
   | R_busy
+  | R_store_stats of { leaves : leaf_stats list }
 
 let w_eq_token buf (tok : Enc_relation.eq_token) =
   match tok with
@@ -381,6 +391,7 @@ let request_tag = function
   | Phe_sum _ -> 9
   | Group_sum _ -> 10
   | Q_batch _ -> 11
+  | Q_store_stats -> 12
 
 let response_tag = function
   | R_unit -> 0
@@ -396,6 +407,7 @@ let response_tag = function
   | R_corrupt _ -> 10
   | R_batch _ -> 11
   | R_busy -> 12
+  | R_store_stats _ -> 13
 
 let r_filter_op c =
   match r_u8 c with
@@ -457,6 +469,7 @@ let w_request buf = function
            w_string buf leaf;
            w_list w_filter_op buf ops))
       buf queries
+  | Q_store_stats -> w_u8 buf 12
 
 let r_request c =
   match r_u8 c with
@@ -498,7 +511,36 @@ let r_request c =
                  let leaf = r_string c in
                  (leaf, r_list r_filter_op c)))
             c }
+  | 12 -> Q_store_stats
   | n -> fail (Printf.sprintf "unknown request tag %d" n)
+
+let w_attr_stats buf (a : attr_stats) =
+  w_string buf a.a_attr;
+  w_list
+    (fun buf (digest, n) ->
+      w_string buf digest;
+      w_int buf n)
+    buf a.a_classes
+
+let r_attr_stats c =
+  let a_attr = r_string c in
+  { a_attr;
+    a_classes =
+      r_list
+        (fun c ->
+          let digest = r_string c in
+          (digest, r_int c))
+        c }
+
+let w_leaf_stats buf (l : leaf_stats) =
+  w_string buf l.s_label;
+  w_int buf l.s_rows;
+  w_list w_attr_stats buf l.s_attrs
+
+let r_leaf_stats c =
+  let s_label = r_string c in
+  let s_rows = r_int c in
+  { s_label; s_rows; s_attrs = r_list r_attr_stats c }
 
 let w_corruption buf (c : Integrity.corruption) =
   w_string buf c.Integrity.where;
@@ -567,6 +609,9 @@ let w_response buf = function
            w_int buf scanned))
       buf results
   | R_busy -> w_u8 buf 12
+  | R_store_stats { leaves } ->
+    w_u8 buf 13;
+    w_list w_leaf_stats buf leaves
 
 let r_response c =
   match r_u8 c with
@@ -611,6 +656,7 @@ let r_response c =
                  (mask, r_int c)))
             c }
   | 12 -> R_busy
+  | 13 -> R_store_stats { leaves = r_list r_leaf_stats c }
   | n -> fail (Printf.sprintf "unknown response tag %d" n)
 
 let msg_to_string w x =

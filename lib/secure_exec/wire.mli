@@ -75,6 +75,22 @@ type request =
           inter-query timing K singles would leak. Decoding is bounded by
           the same remaining-bytes [r_count] discipline as every other
           list, so a garbled count cannot force a giant allocation. *)
+  | Q_store_stats
+      (** ask for {!leaf_stats} of every stored leaf — the planner's
+          statistics feed. The answer is computed entirely from what the
+          store image already reveals (row counts and the equality
+          structure of canonical ciphertexts), so serving it adds zero
+          leakage; asking it reveals only that the client plans. *)
+
+(** Per-column value-class histogram of one leaf, exactly as the server
+    sees it: each class is [(digest of the canonical ciphertext, class
+    size)], sorted by digest so shard-merged histograms are
+    byte-deterministic. Only columns with a canonical (deterministic)
+    ciphertext carry classes — the columns whose equality structure the
+    image reveals anyway. *)
+type attr_stats = { a_attr : string; a_classes : (string * int) list }
+
+type leaf_stats = { s_label : string; s_rows : int; s_attrs : attr_stats list }
 
 type response =
   | R_unit
@@ -105,6 +121,9 @@ type response =
           executed. Purely a transport-level signal — in-process
           backends never send it. Surfaced client-side as the typed,
           retryable {!Server_api.Busy}. *)
+  | R_store_stats of { leaves : leaf_stats list }
+      (** answer to {!Q_store_stats}, one entry per stored leaf in
+          describe order *)
 
 val request_to_string : request -> string
 
@@ -119,7 +138,7 @@ val response_of_string : string -> response
 
 val request_tag : request -> int
 val response_tag : response -> int
-(** The constructor's wire tag (requests 0–11, responses 0–12),
+(** The constructor's wire tag (requests 0–12, responses 0–13),
     mirrored in SNFT trace events. *)
 
 val filter_op_to_string : filter_op -> string

@@ -194,7 +194,11 @@ let test_planner_optimal_beats_greedy_cover () =
       Partition.leaf "extra" [ ("c", Scheme.Det) ] ]
   in
   let q = Query.point ~select:[ "a"; "b"; "c" ] [] in
-  match Planner.plan ~selector:(`Optimal (fun p -> float_of_int (List.length p.Planner.leaves))) rep q with
+  match
+    Planner.plan
+      ~handle:(Planner.optimal (fun p -> float_of_int (List.length p.Planner.leaves)))
+      rep q
+  with
   | Ok p -> Alcotest.(check int) "two leaves suffice" 2 (List.length p.Planner.leaves)
   | Error e -> Alcotest.fail e
 

@@ -100,7 +100,22 @@ let gen_request =
         (fun queries -> Wire.Q_batch { queries })
         (Gen.list_size (Gen.int_bound 4)
            (Gen.list_size (Gen.int_bound 3)
-              (Gen.pair gen_label (Gen.list_size (Gen.int_bound 3) gen_filter_op)))) ]
+              (Gen.pair gen_label (Gen.list_size (Gen.int_bound 3) gen_filter_op))));
+      Gen.return Wire.Q_store_stats ]
+
+let gen_leaf_stats =
+  Gen.map2
+    (fun (s_label, s_rows) attrs ->
+      { Wire.s_label;
+        s_rows;
+        s_attrs =
+          List.map
+            (fun (a_attr, a_classes) -> { Wire.a_attr; a_classes })
+            attrs })
+    (Gen.pair gen_label Gen.nat)
+    (Gen.list_size (Gen.int_bound 3)
+       (Gen.pair gen_attr
+          (Gen.list_size (Gen.int_bound 4) (Gen.pair gen_blob Gen.nat))))
 
 let gen_corruption =
   Gen.map2
@@ -150,7 +165,10 @@ let gen_response =
                   results })
         (Gen.list_size (Gen.int_bound 4)
            (Gen.list_size (Gen.int_bound 3)
-              (Gen.pair (Gen.list_size (Gen.int_bound 24) Gen.bool) Gen.nat))) ]
+              (Gen.pair (Gen.list_size (Gen.int_bound 24) Gen.bool) Gen.nat)));
+      Gen.map
+        (fun leaves -> Wire.R_store_stats { leaves })
+        (Gen.list_size (Gen.int_bound 3) gen_leaf_stats) ]
 
 (* {1 Round trips} *)
 
@@ -194,7 +212,8 @@ let sample_requests =
           [ [ ("R.a", [ Wire.F_eq ("a", Enc_relation.Eq_det "tok") ]);
               ("R.b", [ Wire.F_range ("b", Enc_relation.Rng_ord (1, 5)) ]) ];
             [];
-            [ ("R.a", [ Wire.F_slots [ 0; 3 ] ]) ] ] } ]
+            [ ("R.a", [ Wire.F_slots [ 0; 3 ] ]) ] ] };
+    Wire.Q_store_stats ]
 
 let sample_responses =
   [ Wire.R_unit;
@@ -227,7 +246,17 @@ let sample_responses =
       { results =
           [ [ ([| true; false; true |], 3); ([||], 0) ];
             [];
-            [ ([| false |], 1) ] ] } ]
+            [ ([| false |], 1) ] ] };
+    Wire.R_store_stats { leaves = [] };
+    Wire.R_store_stats
+      { leaves =
+          [ { Wire.s_label = "R.a";
+              s_rows = 6;
+              s_attrs =
+                [ { Wire.a_attr = "a";
+                    a_classes = [ ("0a1b2c3d4e5f6071", 2); ("ffeeddccbbaa0011", 4) ] };
+                  { Wire.a_attr = "b"; a_classes = [] } ] };
+            { Wire.s_label = "R.b"; s_rows = 0; s_attrs = [] } ] } ]
 
 let test_every_constructor_roundtrips () =
   List.iteri
